@@ -1,0 +1,65 @@
+// Cross-validation of the structural cost model against the related work's
+// reported silicon, scaled to 28 nm (paper Table I + §VII.C).
+//
+// For each baseline with a reported area, prints the Stillmaker-scaled
+// silicon figure next to our gate-model estimate of the same datapath —
+// the two should agree in regime (the model is structural, not a layout).
+#include <cstdio>
+
+#include "hwcost/baseline_costs.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "hwcost/technology.hpp"
+
+namespace {
+
+double to_um2(double ge) {
+  using namespace nacu::cost;
+  return ge * Tech28::kGateAreaUm2 * Tech28::kLayoutOverhead;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nacu;
+
+  std::printf("=== Structural model vs scaled silicon (28 nm) ===\n");
+  std::printf("%-28s %14s %14s %8s\n", "design", "silicon@28nm",
+              "our model", "ratio");
+
+  struct Row {
+    const char* name;
+    double silicon_um2;  ///< reported area scaled to 28 nm
+    double model_ge;
+  };
+  const Row rows[] = {
+      {"[4] RALUT tanh (14e, 9b)", cost::scale_area(1280.66, 180, 28),
+       cost::ralut_unit_ge(14, 9, 6)},
+      {"[5] RALUT tanh (127e, 10b)", cost::scale_area(11871.53, 180, 28),
+       cost::ralut_unit_ge(127, 10, 10)},
+      {"[8] PWL+RALUT tanh (10b)", cost::scale_area(5130.78, 180, 28),
+       cost::pwl_unit_ge(4, 10, 10) + cost::ralut_unit_ge(48, 10, 10)},
+      {"[13] 6th-ord Taylor exp (18b)", cost::scale_area(20700, 65, 28),
+       cost::polynomial_unit_ge(8, 6, 18, 18) * 4.0 /* wide const mults */},
+      {"[14] CORDIC exp (21b)", cost::scale_area(19150, 65, 28),
+       cost::cordic_unit_ge(18, 24)},
+      {"[14] Parabolic exp (18b)", cost::scale_area(26400, 65, 28),
+       cost::parabolic_unit_ge(3, 18)},
+  };
+  for (const Row& row : rows) {
+    const double model = to_um2(row.model_ge);
+    std::printf("%-28s %14.0f %14.0f %8.2f\n", row.name, row.silicon_um2,
+                model, model / row.silicon_um2);
+  }
+
+  const cost::Breakdown nacu_model =
+      cost::nacu_breakdown(core::config_for_bits(16));
+  std::printf("%-28s %14.0f %14.0f %8.2f\n", "NACU (this work, 16b)", 9671.0,
+              nacu_model.area_um2(), nacu_model.area_um2() / 9671.0);
+
+  std::printf(
+      "\nEvery estimate lands within a small factor of the scaled silicon\n"
+      "(tiny macros deviate most — fixed overheads dominate them). The\n"
+      "same gate model that reproduces NACU's 9.7k um2 also places each\n"
+      "related-work datapath in its reported regime.\n");
+  return 0;
+}

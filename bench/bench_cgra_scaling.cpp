@@ -1,0 +1,87 @@
+// CGRA extension — dense-layer mapping across NACU processing elements
+// (paper §VII: NACU "is designed to be used as part of coarse grain
+// reconfigurable architectures").
+//
+// Maps a quantised dense layer onto 1..16 PEs, runs each fabric cycle-
+// accurately, verifies raw-exact agreement with the sequential reference,
+// and prints cycles / speedup / utilisation / simulated time plus a
+// measured-activity power estimate from the RTL toggle counters.
+#include <cstdio>
+
+#include "cgra/fabric.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "hwcost/technology.hpp"
+#include "nn/rng.hpp"
+
+int main() {
+  using namespace nacu;
+  const core::NacuConfig config = core::config_for_bits(16);
+
+  // A 64-input, 96-neuron tanh layer with random weights.
+  nn::Rng rng{11};
+  constexpr std::size_t kIn = 64;
+  constexpr std::size_t kOut = 96;
+  std::vector<std::vector<double>> weights(kOut, std::vector<double>(kIn));
+  std::vector<double> biases(kOut);
+  for (auto& row : weights) {
+    for (double& v : row) v = rng.uniform(-0.4, 0.4);
+  }
+  for (double& v : biases) v = rng.uniform(-0.4, 0.4);
+  const cgra::DenseLayer layer =
+      cgra::DenseLayer::quantise(weights, biases, 1, config.format);
+  std::vector<std::int64_t> inputs;
+  for (std::size_t i = 0; i < kIn; ++i) {
+    inputs.push_back(
+        fp::Fixed::from_double(rng.uniform(-1.0, 1.0), config.format).raw());
+  }
+  const auto reference =
+      cgra::dense_layer_reference(layer, inputs, config);
+
+  std::printf("=== CGRA fabric: 64-in x 96-out tanh layer, 16-bit NACU PEs "
+              "===\n");
+  std::printf("%5s %10s %9s %12s %12s %10s\n", "PEs", "cycles", "speedup",
+              "utilisation", "time [ns]", "bit-exact");
+  std::uint64_t base_cycles = 0;
+  for (const std::size_t pes : {1u, 2u, 4u, 8u, 16u}) {
+    cgra::Fabric fabric{config, pes};
+    fabric.configure(layer);
+    const auto out = fabric.run(inputs);
+    const bool exact = out == reference;
+    const cgra::FabricStats& s = fabric.stats();
+    if (pes == 1) base_cycles = s.cycles;
+    std::printf("%5zu %10llu %8.2fx %12.2f %12.0f %10s\n", pes,
+                static_cast<unsigned long long>(s.cycles),
+                static_cast<double>(base_cycles) /
+                    static_cast<double>(s.cycles),
+                s.utilisation, s.simulated_ns, exact ? "yes" : "NO");
+  }
+
+  // Measured-activity power: stream the same layer through one bare NACU
+  // pipeline and convert its register toggles into dynamic power.
+  hw::NacuRtl rtl{config};
+  std::uint64_t tag = 0;
+  for (std::size_t n = 0; n < kOut; ++n) {
+    rtl.issue(hw::Func::Tanh,
+              fp::Fixed::from_raw(reference[n], config.format), tag++);
+    rtl.tick();
+  }
+  for (int i = 0; i < 8; ++i) rtl.tick();
+  const cost::Breakdown breakdown = cost::nacu_breakdown(config);
+  const cost::PowerEstimate measured = cost::power_from_toggles(
+      breakdown, rtl.register_toggles(), rtl.cycles(),
+      cost::Tech28::kClockNs);
+  const cost::PowerEstimate modelled = cost::power_for_function(
+      breakdown, cost::Function::Tanh, cost::Tech28::kClockNs);
+  std::printf("\nPer-PE power while streaming tanh at 267 MHz:\n");
+  std::printf("  activity-model estimate:   %.3f mW\n", modelled.total_mw());
+  std::printf("  toggle-measured (RTL sim): %.3f mW  "
+              "(%llu toggles / %llu cycles)\n",
+              measured.total_mw(),
+              static_cast<unsigned long long>(rtl.register_toggles()),
+              static_cast<unsigned long long>(rtl.cycles()));
+  std::printf(
+      "\nOutputs are raw-identical at every PE count: the fabric scales\n"
+      "throughput near-linearly without touching numerics — the paper's\n"
+      "CGRA deployment story.\n");
+  return 0;
+}

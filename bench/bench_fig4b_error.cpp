@@ -1,0 +1,39 @@
+// Fig. 4b — maximum error vs number of entries at 11 fractional bits.
+//
+// Sweeps the entry budget for all four families at Q4.11 (the paper's 16-bit
+// format) and prints the max-error series. The paper's observations: PWL and
+// NUPWL scale much better than LUT/RALUT, and the curves flatten once
+// coefficient/output quantisation dominates ("the improvement is minimal
+// since it occurs after the knee").
+#include <cstdio>
+
+#include "approx/search.hpp"
+
+int main() {
+  using namespace nacu;
+  using approx::Family;
+  const fp::Format fmt{4, 11};
+  const Family families[] = {Family::Lut, Family::Ralut, Family::Pwl,
+                             Family::Nupwl};
+
+  std::printf("=== Fig. 4b: max error vs entries (sigmoid, Q4.11) ===\n");
+  std::printf("%8s |", "entries");
+  for (const Family f : families) {
+    std::printf(" %11s", approx::to_string(f).c_str());
+  }
+  std::printf("\n");
+  for (const std::size_t entries :
+       {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    std::printf("%8zu |", entries);
+    for (const Family family : families) {
+      std::printf(" %11.3e",
+                  approx::max_error_at_entries(
+                      family, approx::FunctionKind::Sigmoid, fmt, entries));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPWL/NUPWL reach the quantisation floor (~2^-12) with tens of\n"
+      "entries; LUT/RALUT need thousands — the Fig. 4b scaling gap.\n");
+  return 0;
+}

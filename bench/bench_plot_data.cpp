@@ -1,0 +1,107 @@
+// Figure-data exporter — writes the series behind the paper's plots as CSV
+// files under ./plots/ so they can be re-plotted with any tool.
+//
+//   plots/fig1_functions.csv       x, sigma, tanh, NACU sigma, NACU tanh
+//   plots/fig4b_error.csv          entries, LUT, RALUT, PWL, NUPWL max err
+//   plots/fig6_normalised.csv      design, function, max/avg error + ratios
+//   plots/fi_curve.csv             current, rate_ref, rate_nacu
+//
+// Prints a one-line summary per file; exits non-zero if a file cannot be
+// written.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "approx/error_analysis.hpp"
+#include "approx/search.hpp"
+#include "core/nacu_approximator.hpp"
+#include "snn/adex.hpp"
+
+int main() {
+  using namespace nacu;
+  namespace fs = std::filesystem;
+  fs::create_directories("plots");
+
+  // Fig. 1 series.
+  {
+    std::ofstream out{"plots/fig1_functions.csv"};
+    if (!out) {
+      std::fprintf(stderr, "cannot write plots/fig1_functions.csv\n");
+      return 1;
+    }
+    const core::NacuConfig config = core::config_for_bits(16);
+    const core::Nacu unit{config};
+    out << "x,sigma,tanh,nacu_sigma,nacu_tanh\n";
+    for (double x = -8.0; x <= 8.0 + 1e-9; x += 0.0625) {
+      const fp::Fixed xq = fp::Fixed::from_double(x, config.format);
+      out << x << ','
+          << approx::reference_eval(approx::FunctionKind::Sigmoid, x) << ','
+          << approx::reference_eval(approx::FunctionKind::Tanh, x) << ','
+          << unit.sigmoid(xq).to_double() << ','
+          << unit.tanh(xq).to_double() << '\n';
+    }
+    std::printf("wrote plots/fig1_functions.csv (257 rows)\n");
+  }
+
+  // Fig. 4b series.
+  {
+    std::ofstream out{"plots/fig4b_error.csv"};
+    out << "entries,lut,ralut,pwl,nupwl\n";
+    const fp::Format fmt{4, 11};
+    int rows = 0;
+    for (const std::size_t entries :
+         {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+      out << entries;
+      for (const auto family :
+           {approx::Family::Lut, approx::Family::Ralut, approx::Family::Pwl,
+            approx::Family::Nupwl}) {
+        out << ','
+            << approx::max_error_at_entries(
+                   family, approx::FunctionKind::Sigmoid, fmt, entries);
+      }
+      out << '\n';
+      ++rows;
+    }
+    std::printf("wrote plots/fig4b_error.csv (%d rows)\n", rows);
+  }
+
+  // Fig. 6 normalised bars (NACU widths only — the full related-work table
+  // is in bench_fig6_error_comparison's stdout).
+  {
+    std::ofstream out{"plots/fig6_normalised.csv"};
+    out << "bits,function,max_error,avg_error\n";
+    int rows = 0;
+    for (const int bits : {9, 10, 14, 16, 18, 21}) {
+      for (const auto kind :
+           {approx::FunctionKind::Sigmoid, approx::FunctionKind::Tanh,
+            approx::FunctionKind::Exp}) {
+        const auto stats = approx::analyze_natural(
+            core::NacuApproximator::for_bits(bits, kind));
+        out << bits << ',' << approx::to_string(kind) << ','
+            << stats.max_abs << ',' << stats.mean_abs << '\n';
+        ++rows;
+      }
+    }
+    std::printf("wrote plots/fig6_normalised.csv (%d rows)\n", rows);
+  }
+
+  // f–I curve.
+  {
+    std::ofstream out{"plots/fi_curve.csv"};
+    out << "current,rate_ref,rate_nacu\n";
+    const snn::AdexParams params;
+    std::vector<double> currents;
+    for (double i = 0.0; i <= 3.0 + 1e-9; i += 0.25) {
+      currents.push_back(i);
+    }
+    const auto curve =
+        snn::fi_curve(params, core::config_for_bits(16), currents, 100.0);
+    for (const auto& pt : curve) {
+      out << pt.current << ',' << pt.rate_ref << ',' << pt.rate_fixed
+          << '\n';
+    }
+    std::printf("wrote plots/fi_curve.csv (%zu rows)\n", curve.size());
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// SNN extension — AdEx integrate-and-fire neuron on NACU (paper §I's
+// "biologically plausible integrate-and-fire neurons" motivation; the
+// paper's refs [12, 15] are digital AdEx designs around an exp unit).
+//
+// Prints the f–I curve (firing rate vs input current) for the double
+// reference and the NACU fixed-point neuron, the subthreshold voltage
+// drift per datapath width, and spike-count convergence.
+#include <cstdio>
+
+#include "snn/adex.hpp"
+#include "snn/network.hpp"
+
+int main() {
+  using namespace nacu;
+  const snn::AdexParams params;
+  const core::NacuConfig config = core::config_for_bits(16);
+
+  std::printf("=== AdEx neuron on NACU (dimensionless, dt = 1/64) ===\n");
+  std::printf("exp argument cap u_max = %.1f; folded constant gl*D*e^umax = "
+              "%.2f (fits Q4.11)\n\n", params.u_max(),
+              params.gl * params.delta_t * 54.598);
+
+  std::printf("f-I curve (spikes per unit time, T = 200):\n");
+  std::printf("%8s %12s %12s %12s\n", "I", "rate ref", "rate NACU", "delta");
+  const std::vector<double> currents = {0.0, 0.5, 0.75, 1.0, 1.25, 1.5,
+                                        2.0, 2.5, 3.0};
+  for (const auto& pt : snn::fi_curve(params, config, currents, 200.0)) {
+    std::printf("%8.2f %12.3f %12.3f %+12.3f\n", pt.current, pt.rate_ref,
+                pt.rate_fixed, pt.rate_fixed - pt.rate_ref);
+  }
+
+  std::printf("\nSubthreshold voltage drift |v_fixed - v_ref| (I = 0.3, "
+              "2000 steps):\n");
+  std::printf("%6s %8s %12s\n", "bits", "format", "mean drift");
+  for (const int bits : {12, 14, 16, 18, 20}) {
+    const core::NacuConfig c = core::config_for_bits(bits);
+    std::printf("%6d %8s %12.5f\n", bits, c.format.to_string().c_str(),
+                snn::subthreshold_drift(params, c, 0.3, 2000));
+  }
+
+  std::printf("\nSpike-count convergence at I = 2.0 (8000 steps):\n");
+  snn::AdexNeuronRef ref{params};
+  for (int t = 0; t < 8000; ++t) ref.step(2.0);
+  std::printf("%6s %8s %10s   (reference: %zu)\n", "bits", "format",
+              "spikes", ref.spike_count());
+  for (const int bits : {12, 14, 16, 18, 20}) {
+    snn::AdexNeuronFixed fixed{params, core::config_for_bits(bits)};
+    for (int t = 0; t < 8000; ++t) fixed.step(2.0);
+    std::printf("%6d %8s %10zu\n", bits,
+                core::config_for_bits(bits).format.to_string().c_str(),
+                fixed.spike_count());
+  }
+  std::printf("\nRecurrent network (32 AdEx neurons, 20%% random synapses, "
+              "6000 steps):\n");
+  std::printf("%8s %16s %16s\n", "drive", "pop. rate ref", "pop. rate NACU");
+  for (const double drive : {1.0, 1.5, 2.0, 2.5}) {
+    snn::AdexNetwork::Config net_config;
+    net_config.neurons = 32;
+    snn::AdexNetwork network{net_config, config};
+    const auto run = network.run(6000, drive);
+    std::printf("%8.2f %16.4f %16.4f\n", drive, run.rate_ref,
+                run.rate_fixed);
+  }
+  std::printf(
+      "\nThe NACU neuron is quiescent below rheobase, fires above it, and\n"
+      "its f-I curve tracks the reference with a small quantisation-induced\n"
+      "rheobase shift that shrinks with datapath width — the same unit that\n"
+      "serves ANN layers serves SNN dynamics (paper Sec. I).\n");
+  return 0;
+}

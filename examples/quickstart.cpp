@@ -1,0 +1,66 @@
+// Quickstart — the NACU public API in one page.
+//
+// Builds a 16-bit NACU with the paper's method (Eq. 7 picks Q4.11, the σ
+// LUT holds 53 PWL entries) and computes all four functions plus a MAC,
+// printing each against the floating-point reference.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/nacu.hpp"
+
+int main() {
+  using namespace nacu;
+
+  // 1. Pick the fixed-point format with the paper's formal method (Eq. 7).
+  const core::NacuConfig config = core::config_for_bits(16);
+  std::printf("16-bit NACU: datapath %s, coefficients %s, sigma LUT %zu "
+              "entries\n\n",
+              config.format.to_string().c_str(),
+              config.coeff_format.to_string().c_str(), config.lut_entries);
+
+  // 2. Instantiate the unit. One LUT, one multiply-add, one divider —
+  //    reconfigured per call.
+  const core::Nacu unit{config};
+
+  // 3. Scalar non-linearities. Inputs/outputs are bit-accurate fp::Fixed.
+  std::printf("%8s %22s %22s\n", "x", "sigmoid (NACU / ref)",
+              "tanh (NACU / ref)");
+  for (const double x : {-4.0, -1.0, -0.25, 0.0, 0.5, 2.0, 6.0}) {
+    const fp::Fixed xq = fp::Fixed::from_double(x, config.format);
+    std::printf("%8.2f    %9.6f / %9.6f   %9.6f / %9.6f\n", x,
+                unit.sigmoid(xq).to_double(), 1.0 / (1.0 + std::exp(-x)),
+                unit.tanh(xq).to_double(), std::tanh(x));
+  }
+
+  // 4. Exponential on the softmax-normalised domain (x <= 0, Eq. 14).
+  std::printf("\n%8s %22s\n", "x", "exp (NACU / ref)");
+  for (const double x : {-8.0, -2.0, -0.5, 0.0}) {
+    const fp::Fixed xq = fp::Fixed::from_double(x, config.format);
+    std::printf("%8.2f    %9.6f / %9.6f\n", x, unit.exp(xq).to_double(),
+                std::exp(x));
+  }
+
+  // 5. Softmax over a logit vector (max-normalised internally, Eq. 13).
+  std::vector<fp::Fixed> logits;
+  for (const double v : {1.0, 2.0, 0.5, 3.0}) {
+    logits.push_back(fp::Fixed::from_double(v, config.format));
+  }
+  std::printf("\nsoftmax([1, 2, 0.5, 3]) = [");
+  for (const fp::Fixed& p : unit.softmax(logits)) {
+    std::printf(" %.4f", p.to_double());
+  }
+  std::printf(" ]\n");
+
+  // 6. The same multiply-add doubles as a MAC for convolution sums.
+  fp::Fixed acc = fp::Fixed::zero(fp::Format{10, 11});
+  acc = unit.mac(acc, fp::Fixed::from_double(1.5, config.format),
+                 fp::Fixed::from_double(2.0, config.format));
+  acc = unit.mac(acc, fp::Fixed::from_double(-0.5, config.format),
+                 fp::Fixed::from_double(3.0, config.format));
+  std::printf("mac: 1.5*2.0 + (-0.5)*3.0 = %.4f\n", acc.to_double());
+  return 0;
+}

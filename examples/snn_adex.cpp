@@ -1,0 +1,49 @@
+// AdEx spiking neuron — the SNN side of the paper's motivation (§I).
+//
+// Runs one adaptive-exponential integrate-and-fire neuron with its
+// exponential current computed by a 16-bit NACU, side by side with the
+// double-precision reference, and prints an ASCII voltage trace with spike
+// markers.
+//
+// Usage: ./build/examples/snn_adex
+#include <cstdio>
+#include <string>
+
+#include "snn/adex.hpp"
+
+int main() {
+  using namespace nacu;
+  const snn::AdexParams params;
+  const core::NacuConfig config = core::config_for_bits(16);
+  snn::AdexNeuronRef ref{params};
+  snn::AdexNeuronFixed fixed{params, config};
+
+  std::printf("AdEx neuron, I = 2.0, datapath %s (exp = NACU, Eq. 14)\n\n",
+              config.format.to_string().c_str());
+  std::printf("%6s %9s %9s  trace (v from %.1f to %.1f)\n", "t", "v ref",
+              "v NACU", params.v_reset, params.v_peak);
+
+  constexpr int kSteps = 1200;
+  constexpr int kPrintEvery = 24;
+  for (int t = 1; t <= kSteps; ++t) {
+    const snn::AdexState r = ref.step(2.0);
+    const snn::AdexState f = fixed.step(2.0);
+    if (t % kPrintEvery == 0 || f.spiked || r.spiked) {
+      const double span = params.v_peak - params.v_reset;
+      const int column = static_cast<int>(
+          40.0 * (f.v - params.v_reset) / span);
+      std::string bar(static_cast<std::size_t>(
+                          std::max(0, std::min(40, column))), '#');
+      std::printf("%6d %9.4f %9.4f  |%-40s|%s\n", t, r.v, f.v, bar.c_str(),
+                  f.spiked ? " <- NACU spike" : (r.spiked ? " <- ref spike"
+                                                          : ""));
+    }
+  }
+  std::printf("\nspikes: reference %zu, NACU %zu\n", ref.spike_count(),
+              fixed.spike_count());
+  std::printf(
+      "The same reconfigurable unit that computes ANN activations drives\n"
+      "the neuron's exponential upswing — the mixed ANN/SNN fabric the\n"
+      "paper targets.\n");
+  return 0;
+}

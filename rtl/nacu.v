@@ -1,0 +1,226 @@
+// NACU — generated from the verified C++ model (Q4.11 datapath, 53-entry sigma LUT).
+// Blocks follow paper Fig. 2; Fig. 3 bias units are wired,
+// not subtracted. The divider is behavioural (quotient +
+// DIV_STAGES delay line) — swap in a restoring array for
+// synthesis; latency and values are unchanged.
+
+module nacu_sigmoid_lut (
+  input [5:0] seg,
+  output reg [15:0] m1,
+  output reg [15:0] q
+);
+  localparam ENTRIES = 53;
+
+  // (m1, q) per PWL segment of the positive sigma half-range —
+  // the same quantised table the verified C++ model uses.
+  always @* begin
+    case (seg)
+      0: begin m1 = 16'b0000111111100001; q = 16'b0010000000000010; end
+      1: begin m1 = 16'b0000111100101111; q = 16'b0010000000111011; end
+      2: begin m1 = 16'b0000110111101000; q = 16'b0010000100000011; end
+      3: begin m1 = 16'b0000110000111110; q = 16'b0010001010000101; end
+      4: begin m1 = 16'b0000101001101010; q = 16'b0010010010111100; end
+      5: begin m1 = 16'b0000100010011000; q = 16'b0010011101111001; end
+      6: begin m1 = 16'b0000011011101101; q = 16'b0010101001111111; end
+      7: begin m1 = 16'b0000010101111000; q = 16'b0010110110010010; end
+      8: begin m1 = 16'b0000010001000000; q = 16'b0011000010000001; end
+      9: begin m1 = 16'b0000001101000100; q = 16'b0011001100101110; end
+      10: begin m1 = 16'b0000001001111100; q = 16'b0011010110001001; end
+      11: begin m1 = 16'b0000000111100000; q = 16'b0011011110001100; end
+      12: begin m1 = 16'b0000000101101001; q = 16'b0011100100111100; end
+      13: begin m1 = 16'b0000000100001110; q = 16'b0011101010100000; end
+      14: begin m1 = 16'b0000000011001001; q = 16'b0011101111000010; end
+      15: begin m1 = 16'b0000000010010110; q = 16'b0011110010101011; end
+      16: begin m1 = 16'b0000000001101111; q = 16'b0011110101100101; end
+      17: begin m1 = 16'b0000000001010011; q = 16'b0011110111111000; end
+      18: begin m1 = 16'b0000000000111101; q = 16'b0011111001101100; end
+      19: begin m1 = 16'b0000000000101101; q = 16'b0011111011000111; end
+      20: begin m1 = 16'b0000000000100010; q = 16'b0011111100001110; end
+      21: begin m1 = 16'b0000000000011001; q = 16'b0011111101000101; end
+      22: begin m1 = 16'b0000000000010010; q = 16'b0011111101110000; end
+      23: begin m1 = 16'b0000000000001110; q = 16'b0011111110010010; end
+      24: begin m1 = 16'b0000000000001010; q = 16'b0011111110101011; end
+      25: begin m1 = 16'b0000000000000111; q = 16'b0011111110111111; end
+      26: begin m1 = 16'b0000000000000110; q = 16'b0011111111001110; end
+      27: begin m1 = 16'b0000000000000100; q = 16'b0011111111011010; end
+      28: begin m1 = 16'b0000000000000011; q = 16'b0011111111100011; end
+      29: begin m1 = 16'b0000000000000010; q = 16'b0011111111101010; end
+      30: begin m1 = 16'b0000000000000010; q = 16'b0011111111101111; end
+      31: begin m1 = 16'b0000000000000001; q = 16'b0011111111110011; end
+      32: begin m1 = 16'b0000000000000001; q = 16'b0011111111110110; end
+      33: begin m1 = 16'b0000000000000001; q = 16'b0011111111111001; end
+      34: begin m1 = 16'b0000000000000000; q = 16'b0011111111111010; end
+      35: begin m1 = 16'b0000000000000000; q = 16'b0011111111111100; end
+      36: begin m1 = 16'b0000000000000000; q = 16'b0011111111111101; end
+      37: begin m1 = 16'b0000000000000000; q = 16'b0011111111111110; end
+      38: begin m1 = 16'b0000000000000000; q = 16'b0011111111111110; end
+      39: begin m1 = 16'b0000000000000000; q = 16'b0011111111111111; end
+      40: begin m1 = 16'b0000000000000000; q = 16'b0011111111111111; end
+      41: begin m1 = 16'b0000000000000000; q = 16'b0011111111111111; end
+      42: begin m1 = 16'b0000000000000000; q = 16'b0011111111111111; end
+      43: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      44: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      45: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      46: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      47: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      48: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      49: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      50: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      51: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      52: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+      default: begin m1 = 16'b0000000000000000; q = 16'b0100000000000000; end
+    endcase
+  end
+endmodule
+
+module nacu_bias_units (
+  input [15:0] q,
+  output [16:0] one_minus_q,
+  output [16:0] two_q_minus_one,
+  output [16:0] one_minus_two_q
+);
+  // Fig. 3a: integer bits zero, fractional field two's-complement.
+  assign one_minus_q = {3'b0, (~q[13:0]) + 1'b1};
+
+  // Fig. 3b: 2q-1 — fractional bits pass, a1 propagates into a0.
+  wire [16:0] q2 = {q, 1'b0};
+  assign two_q_minus_one = {2'b0, q2[15], q2[13:0]};
+
+  // Fig. 3c: 1-2q = (-2q)+1 — fractional bits pass, every integer
+  // bit takes ~a0 of -2q.
+  wire [16:0] t = ~q2 + 1'b1;
+  assign one_minus_two_q = {{3{~t[14]}}, t[13:0]};
+endmodule
+
+module nacu_top (
+  input clk,
+  input rst,
+  input in_valid,
+  input [1:0] in_func,
+  input [15:0] in_x,
+  output out_valid_a,
+  output [15:0] out_a,
+  output reg out_valid_e,
+  output reg [15:0] out_e
+);
+  localparam N = 16;
+  localparam FB = 11;
+  localparam CW = 16;
+  localparam CFB = 14;
+  localparam FBQ = 13;
+  localparam XMAX = 32767;
+  localparam ENTRIES = 53;
+  localparam QMAX = 262143;
+  localparam DIV_STAGES = 4;
+
+
+  // round half away from zero, then drop `sh` fractional bits
+  function signed [47:0] round_shift;
+    input signed [47:0] v; input integer sh;
+    begin
+      if (v >= 0) round_shift = (v + (48'sd1 <<< (sh-1))) >>> sh;
+      else round_shift = -((-v + (48'sd1 <<< (sh-1))) >>> sh);
+    end
+  endfunction
+
+  function signed [47:0] saturate_n;
+    input signed [47:0] v;
+    begin
+      if (v > 48'sd32767) saturate_n = 48'sd32767;
+      else if (v < -48'sd32768) saturate_n = -48'sd32768;
+      else saturate_n = v;
+    end
+  endfunction
+
+  // ---- S1: negate-for-exp, magnitude, segment select ----------
+  wire signed [N-1:0] x_eff = (in_func == 2'd2) ? saturate_n(-$signed(in_x)) : $signed(in_x);
+  wire neg_in = x_eff[N-1];
+  wire [N-1:0] mag_in = neg_in ? saturate_n(-x_eff) : x_eff;
+  wire [N-1:0] mag2_in = (in_func == 2'd1) ? ((mag_in > (XMAX>>1)) ? XMAX[N-1:0] : (mag_in << 1)) : mag_in;
+  wire [31:0] seg_wide = (mag2_in * ENTRIES) / XMAX;
+  wire [5:0] seg_in = (seg_wide >= ENTRIES) ? ENTRIES[5:0] - 1'b1 : seg_wide[5:0];
+
+  reg s1_valid; reg [1:0] s1_func; reg s1_neg;
+  reg [N-1:0] s1_mag; reg [5:0] s1_seg;
+  always @(posedge clk) begin
+    if (rst) s1_valid <= 1'b0;
+    else begin
+      s1_valid <= in_valid; s1_func <= in_func; s1_neg <= neg_in;
+      s1_mag <= mag_in; s1_seg <= seg_in;
+    end
+  end
+
+  // ---- S2: LUT read, Fig. 3 morphing, multiply ----------------
+  wire [CW-1:0] lut_m, lut_q;
+  nacu_sigmoid_lut u_lut (.seg(s1_seg), .m1(lut_m), .q(lut_q));
+  wire [CW:0] b_1mq, b_2qm1, b_1m2q;
+  nacu_bias_units u_bias (.q(lut_q), .one_minus_q(b_1mq), .two_q_minus_one(b_2qm1), .one_minus_two_q(b_1m2q));
+  wire [1:0] mode = (s1_func == 2'd1) ? (s1_neg ? 2'd3 : 2'd2)
+                                      : (s1_neg ? 2'd1 : 2'd0);
+  wire signed [CW:0] m_ext = {1'b0, lut_m};
+  wire signed [CW:0] coeff = (mode == 2'd0) ? m_ext :
+                             (mode == 2'd1) ? -m_ext :
+                             (mode == 2'd2) ? (m_ext <<< 2) : -(m_ext <<< 2);
+  wire signed [CW:0] bias = (mode == 2'd0) ? {1'b0, lut_q} :
+                            (mode == 2'd1) ? $signed(b_1mq) :
+                            (mode == 2'd2) ? $signed(b_2qm1) : $signed(b_1m2q);
+
+  reg s2_valid; reg [1:0] s2_func;
+  reg signed [47:0] s2_product; reg signed [CW:0] s2_bias;
+  always @(posedge clk) begin
+    if (rst) s2_valid <= 1'b0;
+    else begin
+      s2_valid <= s1_valid; s2_func <= s1_func;
+      s2_product <= $signed({1'b0, s1_mag}) * coeff;
+      s2_bias <= bias;
+    end
+  end
+
+  // ---- S3: add, round-half-away, saturate ---------------------
+  wire signed [47:0] s3_sum = s2_product + ($signed(s2_bias) <<< FB);
+  wire signed [47:0] s3_rounded = saturate_n(round_shift(s3_sum, CFB));
+  reg s3_valid; reg [1:0] s3_func; reg signed [N-1:0] s3_result;
+  always @(posedge clk) begin
+    if (rst) s3_valid <= 1'b0;
+    else begin
+      s3_valid <= s2_valid; s3_func <= s2_func;
+      s3_result <= s3_rounded[N-1:0];
+    end
+  end
+  assign out_valid_a = s3_valid && (s3_func != 2'd2);
+  assign out_a = s3_result;
+
+  // ---- divider pipeline (behavioural quotient + DIV_STAGES
+  //      delay; replace with a restoring array for synthesis) ----
+  wire signed [47:0] den = (s3_valid && s3_func == 2'd2) ?
+      (($signed(s3_result) <= 0) ? 48'sd1 : {{32{1'b0}}, s3_result}) : 48'sd1;
+  wire signed [47:0] quot_full = (48'sd1 <<< (FB + FBQ)) / den;
+  wire signed [47:0] quot_sat = (quot_full > QMAX) ? QMAX : quot_full;
+  reg [DIV_STAGES:1] dv; reg signed [47:0] dq [DIV_STAGES:1];
+  integer k;
+  always @(posedge clk) begin
+    if (rst) dv <= {DIV_STAGES{1'b0}};
+    else begin
+      dv[1] <= s3_valid && (s3_func == 2'd2); dq[1] <= quot_sat;
+      for (k = 2; k <= DIV_STAGES; k = k + 1) begin
+        dv[k] <= dv[k-1]; dq[k] <= dq[k-1];
+      end
+    end
+  end
+
+  // ---- DEC: sigma' - 1 via the Fig. 3b wiring when sigma' is in
+  //      [1, 2], general decrement otherwise; round into N bits --
+  wire signed [47:0] q_in = dq[DIV_STAGES];
+  wire in_band = (q_in >= (48'sd1 <<< FBQ)) && (q_in <= (48'sd1 <<< (FBQ+1)));
+  wire signed [47:0] dec_trick = {q_in[47:FBQ+2], 1'b0, q_in[FBQ+1], q_in[FBQ-1:0]};
+  wire signed [47:0] dec_gen = q_in - (48'sd1 <<< FBQ);
+  wire signed [47:0] dec_v = in_band ? dec_trick : dec_gen;
+  wire signed [47:0] dec_rounded = saturate_n(round_shift(dec_v, FBQ - FB));
+  always @(posedge clk) begin
+    if (rst) out_valid_e <= 1'b0;
+    else begin
+      out_valid_e <= dv[DIV_STAGES];
+      out_e <= dec_rounded[N-1:0];
+    end
+  end
+endmodule

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduce every result in EXPERIMENTS.md from a clean tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+echo "== benches (one per paper table/figure + extensions) =="
+for b in build/bench/*; do
+  echo "== $b"
+  "$b"
+done | tee bench_output.txt
+
+echo "== examples =="
+./build/examples/quickstart
+./build/examples/format_explorer 16
+./build/examples/generate_rtl 16 32
+./build/examples/trace_waveform nacu_trace.vcd
+
+echo "All reproduction outputs regenerated."

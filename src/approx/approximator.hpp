@@ -1,0 +1,50 @@
+// Common interface for every hardware function-approximation scheme.
+//
+// The paper's related-work taxonomy (§VI) spans LUT / RALUT / PWL / NUPWL /
+// Taylor / CORDIC / parabolic-synthesis / change-of-base designs. Each is a
+// concrete Approximator here: a bit-accurate fixed-point evaluator plus the
+// storage-cost accounting the paper compares on (table entries, bits).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "approx/reference.hpp"
+#include "fixedpoint/fixed.hpp"
+
+namespace nacu::approx {
+
+class Approximator {
+ public:
+  virtual ~Approximator() = default;
+
+  /// Scheme name for reports, e.g. "PWL(53)" or "RALUT(668)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Which reference function this instance approximates.
+  [[nodiscard]] virtual FunctionKind function() const = 0;
+
+  [[nodiscard]] virtual fp::Format input_format() const = 0;
+  [[nodiscard]] virtual fp::Format output_format() const = 0;
+
+  /// Bit-accurate evaluation: @p x must be in input_format(); the result is
+  /// in output_format(). This is the value the hardware would produce.
+  [[nodiscard]] virtual fp::Fixed evaluate(fp::Fixed x) const = 0;
+
+  /// Number of LUT/RALUT/coefficient-table entries (Table I row
+  /// "LUT entries"; "not applicable" schemes return 0).
+  [[nodiscard]] virtual std::size_t table_entries() const = 0;
+
+  /// Total table storage in bits (entries × bits-per-entry).
+  [[nodiscard]] virtual std::size_t storage_bits() const = 0;
+
+  /// Convenience: quantise a double input and return the double output.
+  [[nodiscard]] double evaluate_real(double x) const {
+    return evaluate(fp::Fixed::from_double(x, input_format())).to_double();
+  }
+};
+
+using ApproximatorPtr = std::unique_ptr<Approximator>;
+
+}  // namespace nacu::approx

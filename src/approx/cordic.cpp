@@ -1,0 +1,114 @@
+#include "approx/cordic.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nacu::approx {
+
+namespace {
+
+/// Hyperbolic iterations must repeat i = 4, 13, 40, ... to converge.
+std::vector<int> build_schedule(int iterations) {
+  std::vector<int> schedule;
+  int next_repeat = 4;
+  for (int i = 1; i <= iterations; ++i) {
+    schedule.push_back(i);
+    if (i == next_repeat) {
+      schedule.push_back(i);
+      next_repeat = 3 * next_repeat + 1;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+CordicExp::CordicExp(const Config& config)
+    : config_{config},
+      // 1/K_h ≈ 1.2075 needs one integer bit; e^r ≤ √2 fits as well; x/y
+      // stay below 2 throughout for |z| ≤ 1.118.
+      internal_{2, config.out.fractional_bits() + config.guard_bits},
+      shift_schedule_{build_schedule(config.iterations)} {
+  if (config_.iterations < 1) {
+    throw std::invalid_argument("CordicExp needs at least one iteration");
+  }
+  double gain = 1.0;
+  for (const int i : shift_schedule_) {
+    const double t = std::ldexp(1.0, -i);
+    gain *= std::sqrt(1.0 - t * t);
+    angles_raw_.push_back(
+        fp::Fixed::from_double(std::atanh(t), internal_).raw());
+  }
+  inv_gain_raw_ = fp::Fixed::from_double(1.0 / gain, internal_).raw();
+  ln2_raw_ = fp::Fixed::from_double(std::log(2.0), internal_).raw();
+}
+
+CordicExp::Config CordicExp::natural_config(fp::Format fmt, int iterations) {
+  Config config;
+  config.in = fmt;
+  config.out = fmt;
+  config.iterations = iterations;
+  return config;
+}
+
+std::string CordicExp::name() const {
+  std::ostringstream os;
+  os << "CORDIC(" << config_.iterations << ")";
+  return os.str();
+}
+
+fp::Fixed CordicExp::evaluate(fp::Fixed x) const {
+  // Range reduction: k = round(x / ln2), r = x − k·ln2.
+  const int fb_in = x.format().fractional_bits();
+  const int fb_int = internal_.fractional_bits();
+  // x on the internal grid (exact: fb_int >= fb_in for sane configs).
+  const std::int64_t x_int = fb_int >= fb_in
+                                 ? x.raw() << (fb_int - fb_in)
+                                 : x.raw() >> (fb_in - fb_int);
+  // k = round(x / ln2) with symmetric rounding.
+  const std::int64_t k =
+      static_cast<std::int64_t>(std::llround(x.to_double() / std::log(2.0)));
+  std::int64_t z = x_int - k * ln2_raw_;
+
+  // Micro-rotations: x ← x + d·y·2^-i, y ← y + d·x·2^-i, z ← z − d·atanh2^-i.
+  std::int64_t cx = inv_gain_raw_;
+  std::int64_t cy = 0;
+  for (std::size_t step = 0; step < shift_schedule_.size(); ++step) {
+    const int i = shift_schedule_[step];
+    const std::int64_t dx = cy >> i;
+    const std::int64_t dy = cx >> i;
+    if (z >= 0) {
+      cx += dx;
+      cy += dy;
+      z -= angles_raw_[step];
+    } else {
+      cx -= dx;
+      cy -= dy;
+      z += angles_raw_[step];
+    }
+  }
+
+  // e^r = cosh r + sinh r, then apply the 2^k shift.
+  std::int64_t er = cx + cy;
+  if (k < 0) {
+    const int shift = static_cast<int>(-k);
+    er = shift >= 63 ? 0 : er >> shift;
+    return fp::Fixed::from_raw(
+               fp::apply_overflow(er, internal_, fp::Overflow::Saturate),
+               internal_)
+        .requantize(config_.out, fp::Rounding::Truncate,
+                    fp::Overflow::Saturate);
+  }
+  // Positive k: widen before the left shift, then saturate into `out`.
+  const __int128 wide = static_cast<__int128>(er) << k;
+  const __int128 out_raw_wide =
+      wide >> (fb_int - config_.out.fractional_bits());
+  const std::int64_t max_raw = config_.out.max_raw();
+  const std::int64_t out_raw =
+      out_raw_wide > max_raw ? max_raw
+                             : static_cast<std::int64_t>(out_raw_wide);
+  return fp::Fixed::from_raw(out_raw, config_.out);
+}
+
+}  // namespace nacu::approx

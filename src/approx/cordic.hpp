@@ -1,0 +1,56 @@
+// Hyperbolic CORDIC exponential (§VI baselines [14, 15]).
+//
+// Rotation-mode hyperbolic CORDIC produces cosh(z) and sinh(z) with shifts
+// and adds only; e^z = cosh(z) + sinh(z). Convergence needs |z| ≲ 1.118, so
+// inputs are range-reduced with e^x = 2^k · e^r, r ∈ [−ln2/2, ln2/2] — the
+// 2^k is a plain arithmetic shift. Iterations 4 and 13 repeat, per the
+// standard hyperbolic-convergence rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class CordicExp final : public Approximator {
+ public:
+  struct Config {
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    /// Number of CORDIC micro-rotations (excluding the mandated repeats).
+    int iterations = 14;
+    /// Extra fractional bits carried internally beyond the output format.
+    int guard_bits = 6;
+  };
+
+  explicit CordicExp(const Config& config);
+
+  static Config natural_config(fp::Format fmt, int iterations);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override {
+    return FunctionKind::Exp;
+  }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override { return 0; }
+  /// The atanh(2^-i) angle constants.
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return angles_raw_.size() * static_cast<std::size_t>(internal_.width());
+  }
+
+ private:
+  Config config_;
+  fp::Format internal_;
+  std::vector<int> shift_schedule_;        ///< i per micro-rotation (repeats)
+  std::vector<std::int64_t> angles_raw_;   ///< atanh(2^-i), internal grid
+  std::int64_t inv_gain_raw_;              ///< 1/K_h, internal grid
+  std::int64_t ln2_raw_;                   ///< ln 2, internal grid
+};
+
+}  // namespace nacu::approx

@@ -1,0 +1,138 @@
+#include "approx/error_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+ErrorStats analyze(const Approximator& approximator, double x_min,
+                   double x_max, std::size_t max_samples) {
+  const fp::Format in = approximator.input_format();
+  const std::int64_t lo =
+      std::max(fp::Fixed::from_double(x_min, in).raw(), in.min_raw());
+  const std::int64_t hi =
+      std::min(fp::Fixed::from_double(x_max, in).raw(), in.max_raw());
+  ErrorStats stats;
+  if (hi < lo) {
+    return stats;
+  }
+  const std::uint64_t count = static_cast<std::uint64_t>(hi - lo) + 1;
+  const std::uint64_t stride =
+      count > max_samples ? (count + max_samples - 1) / max_samples : 1;
+
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  // Correlation accumulators.
+  double sa = 0.0, sr = 0.0, saa = 0.0, srr = 0.0, sar = 0.0;
+  for (std::int64_t raw = lo; raw <= hi;
+       raw += static_cast<std::int64_t>(stride)) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, in);
+    const double xd = x.to_double();
+    const double approx = approximator.evaluate(x).to_double();
+    const double ref = reference_eval(approximator.function(), xd);
+    const double err = approx - ref;
+    const double abs_err = std::abs(err);
+    if (abs_err > stats.max_abs) {
+      stats.max_abs = abs_err;
+      stats.worst_x = xd;
+    }
+    sum_abs += abs_err;
+    sum_sq += err * err;
+    sa += approx;
+    sr += ref;
+    saa += approx * approx;
+    srr += ref * ref;
+    sar += approx * ref;
+    ++stats.samples;
+  }
+  const double n = static_cast<double>(stats.samples);
+  stats.mean_abs = sum_abs / n;
+  stats.rmse = std::sqrt(sum_sq / n);
+  const double cov = sar - sa * sr / n;
+  const double var_a = saa - sa * sa / n;
+  const double var_r = srr - sr * sr / n;
+  stats.correlation =
+      (var_a > 0.0 && var_r > 0.0) ? cov / std::sqrt(var_a * var_r) : 0.0;
+  return stats;
+}
+
+ErrorStats analyze_natural(const Approximator& approximator,
+                           std::size_t max_samples) {
+  const fp::Format in = approximator.input_format();
+  if (approximator.function() == FunctionKind::Exp) {
+    return analyze(approximator, -fp::input_max(in), 0.0, max_samples);
+  }
+  return analyze(approximator, in.min_value(), in.max_value(), max_samples);
+}
+
+ErrorStats analyze_where(const Approximator& approximator,
+                         const std::function<bool(double)>& predicate,
+                         std::size_t max_samples) {
+  const fp::Format in = approximator.input_format();
+  const bool exp_domain = approximator.function() == FunctionKind::Exp;
+  const std::int64_t lo =
+      exp_domain ? fp::Fixed::from_double(-fp::input_max(in), in).raw()
+                 : in.min_raw();
+  const std::int64_t hi = exp_domain ? 0 : in.max_raw();
+  ErrorStats stats;
+  const std::uint64_t count = static_cast<std::uint64_t>(hi - lo) + 1;
+  const std::uint64_t stride =
+      count > max_samples ? (count + max_samples - 1) / max_samples : 1;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double sa = 0.0, sr = 0.0, saa = 0.0, srr = 0.0, sar = 0.0;
+  for (std::int64_t raw = lo; raw <= hi;
+       raw += static_cast<std::int64_t>(stride)) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, in);
+    const double xd = x.to_double();
+    if (!predicate(xd)) {
+      continue;
+    }
+    const double approx = approximator.evaluate(x).to_double();
+    const double ref = reference_eval(approximator.function(), xd);
+    const double err = approx - ref;
+    const double abs_err = std::abs(err);
+    if (abs_err > stats.max_abs) {
+      stats.max_abs = abs_err;
+      stats.worst_x = xd;
+    }
+    sum_abs += abs_err;
+    sum_sq += err * err;
+    sa += approx;
+    sr += ref;
+    saa += approx * approx;
+    srr += ref * ref;
+    sar += approx * ref;
+    ++stats.samples;
+  }
+  if (stats.samples == 0) {
+    return stats;
+  }
+  const double n = static_cast<double>(stats.samples);
+  stats.mean_abs = sum_abs / n;
+  stats.rmse = std::sqrt(sum_sq / n);
+  const double cov = sar - sa * sr / n;
+  const double var_a = saa - sa * sa / n;
+  const double var_r = srr - sr * sr / n;
+  stats.correlation =
+      (var_a > 0.0 && var_r > 0.0) ? cov / std::sqrt(var_a * var_r) : 0.0;
+  return stats;
+}
+
+RegionBreakdown analyze_regions(const Approximator& approximator,
+                                std::size_t max_samples) {
+  RegionBreakdown breakdown;
+  breakdown.steep = analyze_where(
+      approximator, [](double x) { return std::abs(x) < 1.0; }, max_samples);
+  breakdown.knee = analyze_where(
+      approximator,
+      [](double x) { return std::abs(x) >= 1.0 && std::abs(x) < 4.0; },
+      max_samples);
+  breakdown.tail = analyze_where(
+      approximator, [](double x) { return std::abs(x) >= 4.0; }, max_samples);
+  return breakdown;
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,58 @@
+// Exhaustive fixed-point error analysis (the paper's measurement method).
+//
+// Every accuracy number in the paper — max error (Fig. 4b, Fig. 6a–c),
+// average error (Fig. 6d–e), RMSE and correlation (§VII.A/B) — is the
+// deviation of the bit-accurate fixed-point output from the double-precision
+// reference, measured across the input range. We sweep every representable
+// input raw value (optionally strided for very wide formats).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+struct ErrorStats {
+  double max_abs = 0.0;      ///< max |approx − ref|
+  double mean_abs = 0.0;     ///< average |approx − ref|
+  double rmse = 0.0;         ///< sqrt(mean (approx − ref)²)
+  double correlation = 0.0;  ///< Pearson correlation approx vs ref
+  double worst_x = 0.0;      ///< input where max_abs occurred
+  std::size_t samples = 0;
+};
+
+/// Sweep every representable input in [x_min, x_max] (clamped to the input
+/// format's range). When the grid holds more than @p max_samples points the
+/// sweep strides uniformly to stay within the budget.
+[[nodiscard]] ErrorStats analyze(const Approximator& approximator,
+                                 double x_min, double x_max,
+                                 std::size_t max_samples = (1u << 22));
+
+/// Sweep the scheme's natural domain: the full input-format range for σ and
+/// tanh, the softmax-normalised range [−In_max, 0] for exp.
+[[nodiscard]] ErrorStats analyze_natural(const Approximator& approximator,
+                                         std::size_t max_samples = (1u << 22));
+
+/// Sweep the natural domain but fold only inputs satisfying @p predicate
+/// into the statistics — per-region error breakdowns (steep / knee / tail).
+[[nodiscard]] ErrorStats analyze_where(
+    const Approximator& approximator,
+    const std::function<bool(double)>& predicate,
+    std::size_t max_samples = (1u << 22));
+
+/// The three characteristic regions of the sigmoid-family curves: the steep
+/// core (|x| < 1), the knee (1 <= |x| < 4) where curvature peaks, and the
+/// saturated tail (|x| >= 4). For exp the same bands apply to |x| on the
+/// normalised domain.
+struct RegionBreakdown {
+  ErrorStats steep;
+  ErrorStats knee;
+  ErrorStats tail;
+};
+
+[[nodiscard]] RegionBreakdown analyze_regions(
+    const Approximator& approximator, std::size_t max_samples = (1u << 22));
+
+}  // namespace nacu::approx

@@ -1,0 +1,113 @@
+#include "approx/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nacu::approx {
+
+namespace {
+
+/// Find c in (a, b) with f'(c) == slope by bisection. Valid when f' is
+/// monotone on [a, b] (constant convexity). Returns NaN when the bracket is
+/// invalid.
+double solve_derivative(FunctionKind kind, double a, double b, double slope) {
+  double da = reference_derivative(kind, a) - slope;
+  double db = reference_derivative(kind, b) - slope;
+  if (da == 0.0) return a;
+  if (db == 0.0) return b;
+  if ((da > 0) == (db > 0)) {
+    return std::nan("");
+  }
+  double lo = a;
+  double hi = b;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double dm = reference_derivative(kind, mid) - slope;
+    if (dm == 0.0) return mid;
+    if ((dm > 0) == (da > 0)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+LinearFit fit_least_squares(FunctionKind kind, double a, double b,
+                            int samples) {
+  samples = std::max(samples, 2);
+  // Standard closed-form simple regression over uniform samples.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double step = (b - a) / (samples - 1);
+  for (int i = 0; i < samples; ++i) {
+    const double x = a + i * step;
+    const double y = reference_eval(kind, x);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = samples;
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  fit.max_error = linear_max_error(kind, a, b, fit.slope, fit.intercept);
+  return fit;
+}
+
+LinearFit fit_minimax(FunctionKind kind, double a, double b) {
+  LinearFit fit;
+  if (b <= a) {
+    fit.slope = 0.0;
+    fit.intercept = reference_eval(kind, a);
+    fit.max_error = 0.0;
+    return fit;
+  }
+  // Chebyshev construction for constant-convexity f: the optimal line is
+  // parallel to the secant; the peak interior error sits where f' equals the
+  // secant slope, and the intercept splits that error evenly.
+  const double fa = reference_eval(kind, a);
+  const double fb = reference_eval(kind, b);
+  const double m = (fb - fa) / (b - a);
+  const double c = solve_derivative(kind, a, b, m);
+  if (std::isnan(c)) {
+    // Mixed convexity (only possible when a segment straddles an inflection
+    // point): fall back to least squares, whose error is still measured
+    // densely below.
+    return fit_least_squares(kind, a, b);
+  }
+  const double fc = reference_eval(kind, c);
+  // Secant value at c and function value at c bracket the error; centre it.
+  const double secant_at_c = fa + m * (c - a);
+  fit.slope = m;
+  fit.intercept = fa - m * a + 0.5 * (fc - secant_at_c);
+  fit.max_error = linear_max_error(kind, a, b, fit.slope, fit.intercept);
+  return fit;
+}
+
+double linear_max_error(FunctionKind kind, double a, double b, double slope,
+                        double intercept, int samples) {
+  samples = std::max(samples, 2);
+  const double step = (b - a) / (samples - 1);
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = a + i * step;
+    const double err =
+        std::abs(reference_eval(kind, x) - (slope * x + intercept));
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,37 @@
+// Linear-segment fitting used by the PWL/NUPWL approximators.
+//
+// The paper's PWL model stores a slope m1 and bias q per segment (§V.A). How
+// the coefficients are obtained is outside the datapath ("the remaining
+// micro-architecture is agnostic to how m1 and q are calculated"); we provide
+// both classic choices so sweeps can pick the best, mirroring the paper's
+// "all possible interval sizes ... were explored" methodology (§VI):
+//  * least-squares   — minimises RMS error over the segment,
+//  * minimax         — Chebyshev equioscillating line, minimises max error.
+#pragma once
+
+#include "approx/reference.hpp"
+
+namespace nacu::approx {
+
+/// y ≈ slope·x + intercept on [a, b].
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double max_error = 0.0;  ///< max |f − fit| over the segment (continuous)
+};
+
+/// Least-squares line through @p samples uniformly spaced points of f.
+[[nodiscard]] LinearFit fit_least_squares(FunctionKind kind, double a, double b,
+                                          int samples = 257);
+
+/// Minimax (Chebyshev) line. Exact when f has constant convexity on [a, b]
+/// (true per segment for σ/tanh on x ≥ 0 and for exp everywhere); falls back
+/// to a dense sampled search otherwise.
+[[nodiscard]] LinearFit fit_minimax(FunctionKind kind, double a, double b);
+
+/// Max |f(x) − (slope·x + intercept)| over [a, b], dense sampling.
+[[nodiscard]] double linear_max_error(FunctionKind kind, double a, double b,
+                                      double slope, double intercept,
+                                      int samples = 1025);
+
+}  // namespace nacu::approx

@@ -1,0 +1,93 @@
+#include "approx/gomar.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "approx/symmetry.hpp"
+
+namespace nacu::approx {
+
+GomarExp::GomarExp(const Config& config)
+    : config_{config},
+      internal_{2, config.out.fractional_bits() + config.guard_bits},
+      inv_ln2_raw_{
+          fp::Fixed::from_double(std::log2(std::exp(1.0)), internal_).raw()} {}
+
+fp::Fixed GomarExp::evaluate_internal(fp::Fixed x) const {
+  // y = x·log2(e); split y = q + f with f ∈ [0, 1); 2^f ≈ 1 + f; apply 2^q
+  // as a shift. Everything is shifts, one constant multiply, one add.
+  const fp::Fixed inv_ln2 = fp::Fixed::from_raw(inv_ln2_raw_, internal_);
+  const std::int64_t y_raw =
+      x.mul_full(inv_ln2)
+          .requantize(fp::Format{x.format().integer_bits() + 3,
+                                 internal_.fractional_bits()},
+                      fp::Rounding::Truncate)
+          .raw();
+  const int fb = internal_.fractional_bits();
+  const std::int64_t q = y_raw >> fb;  // floor
+  const std::int64_t f_raw = y_raw - (q << fb);
+  const std::int64_t one_plus_f = (std::int64_t{1} << fb) + f_raw;  // 1 + f
+  if (q <= 0) {
+    const int s = static_cast<int>(-q);
+    const std::int64_t raw = s >= 63 ? 0 : one_plus_f >> s;
+    return fp::Fixed::from_raw(raw, internal_);
+  }
+  const __int128 wide = static_cast<__int128>(one_plus_f) << q;
+  const std::int64_t max_raw = internal_.max_raw();
+  return fp::Fixed::from_raw(
+      wide > max_raw ? max_raw : static_cast<std::int64_t>(wide), internal_);
+}
+
+fp::Fixed GomarExp::evaluate(fp::Fixed x) const {
+  return evaluate_internal(x).requantize(config_.out, fp::Rounding::Truncate,
+                                         fp::Overflow::Saturate);
+}
+
+GomarSigmoidTanh::GomarSigmoidTanh(const Config& config)
+    : config_{config},
+      exp_{GomarExp::Config{.in = config.in,
+                            .out = config.out,
+                            .guard_bits = config.guard_bits}} {}
+
+std::string GomarSigmoidTanh::name() const {
+  std::ostringstream os;
+  os << "Gomar" << (config_.kind == FunctionKind::Tanh ? "Tanh" : "Sigmoid");
+  return os.str();
+}
+
+fp::Fixed GomarSigmoidTanh::sigmoid_positive(fp::Fixed x) const {
+  // σ(x) = 1 / (1 + e^{-x}) for x >= 0: e^{-x} ∈ (0, 1], denominator in
+  // (1, 2], quotient in [0.5, 1) — the divider [11] pays for in every layer.
+  const fp::Fixed e = exp_.evaluate_internal(x.negate());
+  const fp::Fixed one = fp::Fixed::from_double(1.0, exp_.internal_format());
+  const fp::Fixed denom = one.add_full(e);
+  return one.div(denom, config_.out, fp::Rounding::Truncate);
+}
+
+fp::Fixed GomarSigmoidTanh::evaluate(fp::Fixed x) const {
+  if (config_.kind == FunctionKind::Sigmoid) {
+    if (x.is_negative()) {
+      return apply_negative_identity(Symmetry::SigmoidLike,
+                                     sigmoid_positive(x.negate()),
+                                     config_.out);
+    }
+    return sigmoid_positive(x);
+  }
+  // tanh(x) = 2σ(2x) − 1 (Eq. 3), σ from the same exp+divider datapath.
+  const fp::Fixed x2 = x.abs().shifted_left(1);
+  const fp::Fixed sig = sigmoid_positive(x2);
+  // 2σ − 1 on a widened grid, then regrid.
+  const fp::Fixed two_sig = sig.requantize(
+      fp::Format{sig.format().integer_bits() + 1,
+                 sig.format().fractional_bits()},
+      fp::Rounding::Truncate).shifted_left(1);
+  const fp::Fixed one = fp::Fixed::from_double(1.0, two_sig.format());
+  fp::Fixed t = two_sig.sub_full(one).requantize(
+      config_.out, fp::Rounding::Truncate, fp::Overflow::Saturate);
+  if (x.is_negative()) {
+    t = t.negate();
+  }
+  return t;
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,82 @@
+// Change-of-base baselines of Gomar et al. (§VI refs [11, 12]).
+//
+// [12] computes e^x multiplier-lessly: e^x = 2^{x·log2 e}; the integer part
+// of the new exponent becomes a shift, the fractional part f is approximated
+// by the straight line 2^f ≈ 1 + f.
+//
+// [11] then builds σ on top of that exp — σ(x) = 1/(1 + e^{-x}) needs a
+// divider in *every* layer, which is exactly the inefficiency the paper
+// calls out in §VII.A — and tanh via Eq. 3. Reported accuracy: σ RMSE
+// 9.1e-3, tanh RMSE 1.77e-2 (our reimplementations land in that regime).
+#pragma once
+
+#include <cstdint>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+/// e^x per [12]: change of base + the 1+f line + shifts. No tables.
+class GomarExp final : public Approximator {
+ public:
+  struct Config {
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    int guard_bits = 6;
+  };
+
+  explicit GomarExp(const Config& config);
+
+  [[nodiscard]] std::string name() const override { return "GomarExp"; }
+  [[nodiscard]] FunctionKind function() const override {
+    return FunctionKind::Exp;
+  }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override { return 0; }
+  [[nodiscard]] std::size_t storage_bits() const override { return 0; }
+
+  /// Evaluation on the internal (guarded) grid, used by GomarSigmoidTanh to
+  /// avoid double-quantising the exp result.
+  [[nodiscard]] fp::Fixed evaluate_internal(fp::Fixed x) const;
+  [[nodiscard]] fp::Format internal_format() const { return internal_; }
+
+ private:
+  Config config_;
+  fp::Format internal_;
+  std::int64_t inv_ln2_raw_;
+};
+
+/// σ or tanh per [11]: exp from [12] plus a divider.
+class GomarSigmoidTanh final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;  ///< Sigmoid or Tanh
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    int guard_bits = 6;
+  };
+
+  explicit GomarSigmoidTanh(const Config& config);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override { return 0; }
+  [[nodiscard]] std::size_t storage_bits() const override { return 0; }
+
+ private:
+  [[nodiscard]] fp::Fixed sigmoid_positive(fp::Fixed x) const;
+
+  Config config_;
+  GomarExp exp_;
+};
+
+}  // namespace nacu::approx

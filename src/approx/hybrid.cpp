@@ -1,0 +1,160 @@
+#include "approx/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/fit.hpp"
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+HybridPwlRalut::HybridPwlRalut(const Config& config) : config_{config} {
+  if (config_.pwl_segments == 0 || config_.correction_entries == 0) {
+    throw std::invalid_argument(
+        "HybridPwlRalut needs segments >= 1 and correction entries >= 1");
+  }
+  const double in_max = fp::input_max(config_.in);
+  x_max_raw_ = fp::Fixed::from_double(in_max, config_.in).raw();
+  const double step = in_max / static_cast<double>(config_.pwl_segments);
+
+  // Coarse PWL (least-squares — the correction table mops up the residual,
+  // so RMS-optimal segments leave it the least work).
+  for (std::size_t i = 0; i < config_.pwl_segments; ++i) {
+    const double a = static_cast<double>(i) * step;
+    const LinearFit fit = fit_least_squares(config_.kind, a, a + step);
+    pwl_m_raw_.push_back(
+        fp::Fixed::from_double(fit.slope, config_.coeff_m).raw());
+    pwl_q_raw_.push_back(
+        fp::Fixed::from_double(fit.intercept, config_.coeff_q).raw());
+  }
+
+  // Residual RALUT under a bisected tolerance fitting the entry budget.
+  const double lsb = config_.in.resolution();
+  const auto build = [&](double tolerance) {
+    std::vector<Correction> corrections;
+    double band_lo = 0.0;
+    double band_hi = 0.0;
+    bool open = false;
+    for (std::int64_t raw = 0; raw <= x_max_raw_; ++raw) {
+      const double x = static_cast<double>(raw) * lsb;
+      const double pwl_value =
+          fp::Fixed::from_raw(pwl_raw(raw), config_.out).to_double();
+      const double residual = reference_eval(config_.kind, x) - pwl_value;
+      if (!open) {
+        band_lo = band_hi = residual;
+        open = true;
+        continue;
+      }
+      const double lo = std::min(band_lo, residual);
+      const double hi = std::max(band_hi, residual);
+      if (hi - lo <= 2.0 * tolerance) {
+        band_lo = lo;
+        band_hi = hi;
+      } else {
+        corrections.push_back(Correction{
+            .upper_raw = raw - 1,
+            .delta_raw = fp::Fixed::from_double(0.5 * (band_lo + band_hi),
+                                                config_.out)
+                             .raw()});
+        band_lo = band_hi = residual;
+      }
+    }
+    if (open) {
+      corrections.push_back(Correction{
+          .upper_raw = x_max_raw_,
+          .delta_raw = fp::Fixed::from_double(0.5 * (band_lo + band_hi),
+                                              config_.out)
+                           .raw()});
+    }
+    return corrections;
+  };
+  double lo_tol = config_.out.resolution() / 16.0;
+  double hi_tol = 1.0;
+  corrections_ = build(hi_tol);
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo_tol + hi_tol);
+    auto candidate = build(mid);
+    if (candidate.size() <= config_.correction_entries) {
+      hi_tol = mid;
+      corrections_ = std::move(candidate);
+    } else {
+      lo_tol = mid;
+    }
+  }
+}
+
+HybridPwlRalut::Config HybridPwlRalut::natural_config(
+    FunctionKind kind, fp::Format fmt, std::size_t pwl_segments,
+    std::size_t correction_entries) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  config.coeff_m = fp::Format{1, fmt.width() - 2};
+  config.coeff_q = fp::Format{1, fmt.width() - 2};
+  config.pwl_segments = pwl_segments;
+  config.correction_entries = correction_entries;
+  return config;
+}
+
+std::string HybridPwlRalut::name() const {
+  std::ostringstream os;
+  os << "Hybrid(PWL" << pwl_m_raw_.size() << "+RALUT" << corrections_.size()
+     << ")";
+  return os.str();
+}
+
+std::size_t HybridPwlRalut::storage_bits() const {
+  return pwl_m_raw_.size() * static_cast<std::size_t>(
+                                 config_.coeff_m.width() +
+                                 config_.coeff_q.width()) +
+         corrections_.size() * static_cast<std::size_t>(
+                                   config_.in.width() + config_.out.width());
+}
+
+std::int64_t HybridPwlRalut::pwl_raw(std::int64_t x_raw) const {
+  const std::int64_t clamped = std::clamp<std::int64_t>(x_raw, 0, x_max_raw_);
+  auto index = static_cast<std::int64_t>(
+      (static_cast<__int128>(clamped) *
+       static_cast<__int128>(pwl_m_raw_.size())) /
+      x_max_raw_);
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(pwl_m_raw_.size()) - 1);
+  const auto i = static_cast<std::size_t>(index);
+  const fp::Fixed x = fp::Fixed::from_raw(clamped, config_.in);
+  const fp::Fixed m = fp::Fixed::from_raw(pwl_m_raw_[i], config_.coeff_m);
+  const fp::Fixed q = fp::Fixed::from_raw(pwl_q_raw_[i], config_.coeff_q);
+  return x.mul_full(m).add_full(q)
+      .requantize(config_.out, fp::Rounding::NearestEven,
+                  fp::Overflow::Saturate)
+      .raw();
+}
+
+fp::Fixed HybridPwlRalut::positive_eval(fp::Fixed x) const {
+  const std::int64_t clamped = std::clamp<std::int64_t>(x.raw(), 0,
+                                                        x_max_raw_);
+  const std::int64_t base = pwl_raw(clamped);
+  const auto it = std::lower_bound(
+      corrections_.begin(), corrections_.end(), clamped,
+      [](const Correction& c, std::int64_t key) { return c.upper_raw < key; });
+  const Correction& correction =
+      it == corrections_.end() ? corrections_.back() : *it;
+  return fp::Fixed::from_raw(
+      fp::apply_overflow(base + correction.delta_raw, config_.out,
+                         fp::Overflow::Saturate),
+      config_.out);
+}
+
+fp::Fixed HybridPwlRalut::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    return apply_negative_identity(symmetry, positive_eval(x.negate()),
+                                   config_.out);
+  }
+  return positive_eval(x);
+}
+
+}  // namespace nacu::approx

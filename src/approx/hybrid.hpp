@@ -1,0 +1,74 @@
+// Hybrid PWL + RALUT approximator (§VI baseline [8], Namin et al.).
+//
+// [8]'s tanh design evaluates a *coarse* piecewise-linear approximation and
+// then refines it with a range-addressable correction table: each RALUT
+// entry stores the quantised residual (f − pwl) over an input range where
+// that residual is constant to within tolerance. The PWL handles the bulk
+// of the curve with very few segments; the correction table is cheap
+// because residuals are small and flat.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class HybridPwlRalut final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Tanh;
+    fp::Format in{3, 6};
+    fp::Format out{3, 6};
+    fp::Format coeff_m{1, 8};
+    fp::Format coeff_q{1, 8};
+    /// Coarse PWL segment count (uniform, positive half-range).
+    std::size_t pwl_segments = 4;
+    /// Correction-RALUT entry budget.
+    std::size_t correction_entries = 32;
+  };
+
+  explicit HybridPwlRalut(const Config& config);
+
+  static Config natural_config(FunctionKind kind, fp::Format fmt,
+                               std::size_t pwl_segments,
+                               std::size_t correction_entries);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  /// PWL segments + correction entries.
+  [[nodiscard]] std::size_t table_entries() const override {
+    return pwl_m_raw_.size() + corrections_.size();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+  [[nodiscard]] std::size_t pwl_segment_count() const noexcept {
+    return pwl_m_raw_.size();
+  }
+  [[nodiscard]] std::size_t correction_count() const noexcept {
+    return corrections_.size();
+  }
+
+ private:
+  struct Correction {
+    std::int64_t upper_raw;
+    std::int64_t delta_raw;  ///< residual on the output grid
+  };
+
+  [[nodiscard]] std::int64_t pwl_raw(std::int64_t x_raw) const;
+  [[nodiscard]] fp::Fixed positive_eval(fp::Fixed x) const;
+
+  Config config_;
+  std::vector<std::int64_t> pwl_m_raw_;
+  std::vector<std::int64_t> pwl_q_raw_;
+  std::vector<Correction> corrections_;
+  std::int64_t x_max_raw_ = 0;
+};
+
+}  // namespace nacu::approx

@@ -1,0 +1,117 @@
+#include "approx/jet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nacu::approx {
+
+Jet::Jet(int order) : coeff_(static_cast<std::size_t>(order) + 1, 0.0) {
+  if (order < 0) {
+    throw std::invalid_argument("Jet order must be non-negative");
+  }
+}
+
+Jet Jet::constant(double value, int order) {
+  Jet jet{order};
+  jet.coeff_[0] = value;
+  return jet;
+}
+
+Jet Jet::variable(double value, int order) {
+  Jet jet{order};
+  jet.coeff_[0] = value;
+  if (order >= 1) {
+    jet.coeff_[1] = 1.0;
+  }
+  return jet;
+}
+
+Jet Jet::operator+(const Jet& rhs) const {
+  Jet out{order()};
+  for (int k = 0; k <= order(); ++k) {
+    out.coeff_[k] = coeff_[k] + rhs.coeff_.at(k);
+  }
+  return out;
+}
+
+Jet Jet::operator-(const Jet& rhs) const {
+  Jet out{order()};
+  for (int k = 0; k <= order(); ++k) {
+    out.coeff_[k] = coeff_[k] - rhs.coeff_.at(k);
+  }
+  return out;
+}
+
+Jet Jet::operator*(const Jet& rhs) const {
+  Jet out{order()};
+  for (int i = 0; i <= order(); ++i) {
+    for (int j = 0; i + j <= order(); ++j) {
+      out.coeff_[i + j] += coeff_[i] * rhs.coeff_.at(j);
+    }
+  }
+  return out;
+}
+
+Jet Jet::operator/(const Jet& rhs) const {
+  if (rhs.coeff_.at(0) == 0.0) {
+    throw std::domain_error("Jet division by a series with zero constant");
+  }
+  Jet out{order()};
+  for (int k = 0; k <= order(); ++k) {
+    double acc = coeff_[k];
+    for (int j = 1; j <= k; ++j) {
+      acc -= rhs.coeff_.at(j) * out.coeff_[k - j];
+    }
+    out.coeff_[k] = acc / rhs.coeff_[0];
+  }
+  return out;
+}
+
+Jet Jet::scaled(double factor) const {
+  Jet out{order()};
+  for (int k = 0; k <= order(); ++k) {
+    out.coeff_[k] = coeff_[k] * factor;
+  }
+  return out;
+}
+
+Jet Jet::exp() const {
+  // e_0 = exp(u_0); (k+1)·e_{k+1} = Σ_{j=0..k} (j+1)·u_{j+1}·e_{k-j}.
+  Jet out{order()};
+  out.coeff_[0] = std::exp(coeff_[0]);
+  for (int k = 0; k + 1 <= order(); ++k) {
+    double acc = 0.0;
+    for (int j = 0; j <= k; ++j) {
+      acc += (j + 1) * coeff_[j + 1] * out.coeff_[k - j];
+    }
+    out.coeff_[k + 1] = acc / (k + 1);
+  }
+  return out;
+}
+
+std::vector<double> taylor_coefficients(FunctionKind kind, double center,
+                                        int order) {
+  switch (kind) {
+    case FunctionKind::Exp:
+      return Jet::variable(center, order).exp().coefficients();
+    case FunctionKind::Sigmoid: {
+      // σ(x) = 1 / (1 + e^{-x}); inner series is −x about the center.
+      const Jet minus_x = Jet::variable(center, order).scaled(-1.0);
+      const Jet denom =
+          Jet::constant(1.0, order) + minus_x.exp();
+      return (Jet::constant(1.0, order) / denom).coefficients();
+    }
+    case FunctionKind::Tanh: {
+      // tanh(x) = 2σ(2x) − 1 (paper Eq. 3). The inner series 2x about the
+      // center has derivative 2, so build σ(u) with u = [2c, 2].
+      Jet two_x = Jet::variable(center, order).scaled(2.0);
+      const Jet denom =
+          Jet::constant(1.0, order) + two_x.scaled(-1.0).exp();
+      const Jet sigma = Jet::constant(1.0, order) / denom;
+      return (sigma.scaled(2.0) - Jet::constant(1.0, order)).coefficients();
+    }
+  }
+  return {};  // unreachable
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,53 @@
+// Truncated power-series (jet) arithmetic.
+//
+// Gives *exact* Taylor coefficients of σ, tanh and exp about any expansion
+// point — the coefficients the Taylor-series baselines of [10, 13] store.
+// A Jet holds a_k = f^(k)(c)/k! for k = 0..order, so multiplication is plain
+// coefficient convolution.
+#pragma once
+
+#include <vector>
+
+#include "approx/reference.hpp"
+
+namespace nacu::approx {
+
+class Jet {
+ public:
+  /// Zero series of the given order (order+1 coefficients).
+  explicit Jet(int order);
+
+  /// Series of the constant @p value.
+  static Jet constant(double value, int order);
+  /// Series of the identity around @p value: [value, 1, 0, ...].
+  static Jet variable(double value, int order);
+
+  [[nodiscard]] int order() const noexcept {
+    return static_cast<int>(coeff_.size()) - 1;
+  }
+  /// a_k = f^(k)/k! — already factorial-normalised.
+  [[nodiscard]] double operator[](int k) const { return coeff_.at(k); }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coeff_;
+  }
+
+  [[nodiscard]] Jet operator+(const Jet& rhs) const;
+  [[nodiscard]] Jet operator-(const Jet& rhs) const;
+  [[nodiscard]] Jet operator*(const Jet& rhs) const;
+  /// Series division; requires rhs[0] != 0.
+  [[nodiscard]] Jet operator/(const Jet& rhs) const;
+  [[nodiscard]] Jet scaled(double factor) const;
+  /// exp of the series via the ODE recurrence (e^u)' = u'·e^u.
+  [[nodiscard]] Jet exp() const;
+
+ private:
+  std::vector<double> coeff_;
+};
+
+/// Taylor coefficients (factorial-normalised) of the reference function
+/// about @p center, orders 0..order.
+[[nodiscard]] std::vector<double> taylor_coefficients(FunctionKind kind,
+                                                      double center,
+                                                      int order);
+
+}  // namespace nacu::approx

@@ -1,0 +1,86 @@
+#include "approx/lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+UniformLut::UniformLut(const Config& config)
+    : config_{config},
+      x_min_raw_{fp::Fixed::from_double(config.x_min, config.in).raw()},
+      x_max_raw_{fp::Fixed::from_double(config.x_max, config.in).raw()} {
+  if (config_.entries == 0) {
+    throw std::invalid_argument("UniformLut needs at least one entry");
+  }
+  if (x_max_raw_ <= x_min_raw_) {
+    throw std::invalid_argument("UniformLut domain is empty");
+  }
+  table_.reserve(config_.entries);
+  const double step =
+      (config_.x_max - config_.x_min) / static_cast<double>(config_.entries);
+  for (std::size_t i = 0; i < config_.entries; ++i) {
+    const double mid = config_.x_min + (static_cast<double>(i) + 0.5) * step;
+    table_.push_back(fp::Fixed::from_double(reference_eval(config_.kind, mid),
+                                            config_.out,
+                                            config_.entry_rounding)
+                         .raw());
+  }
+}
+
+UniformLut::Config UniformLut::natural_config(FunctionKind kind,
+                                              fp::Format fmt,
+                                              std::size_t entries) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  config.entries = entries;
+  const double in_max = fp::input_max(fmt);
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -in_max;
+    config.x_max = 0.0;
+  } else {
+    config.x_min = 0.0;
+    config.x_max = in_max;
+  }
+  return config;
+}
+
+std::string UniformLut::name() const {
+  std::ostringstream os;
+  os << "LUT(" << table_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed UniformLut::lookup_in_domain(fp::Fixed x) const {
+  // Bit-accurate index computation: integer scale of the raw offset. The
+  // hardware equivalent is an address decoder; for power-of-two entry counts
+  // over a power-of-two range it degenerates to a bit-slice of x.
+  const std::int64_t span = x_max_raw_ - x_min_raw_;
+  std::int64_t offset = x.raw() - x_min_raw_;
+  offset = std::clamp<std::int64_t>(offset, 0, span);
+  std::int64_t index = static_cast<std::int64_t>(
+      (static_cast<__int128>(offset) *
+       static_cast<__int128>(table_.size())) /
+      span);
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(table_.size()) - 1);
+  return fp::Fixed::from_raw(table_[static_cast<std::size_t>(index)],
+                             config_.out);
+}
+
+fp::Fixed UniformLut::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    const fp::Fixed positive = lookup_in_domain(x.negate());
+    return apply_negative_identity(symmetry, positive, config_.out);
+  }
+  return lookup_in_domain(x);
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,62 @@
+// Uniform-segment look-up table approximator (§VI alternative "LUT").
+//
+// The function's table domain is divided into `entries` equal segments; each
+// entry stores the quantised function value at the segment midpoint. For σ
+// and tanh the table covers only the positive half-range (paper §II) and the
+// negative half is reconstructed by symmetry; beyond the table the output
+// saturates to the quantised limit value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class UniformLut final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    std::size_t entries = 64;
+    /// Table domain [x_min, x_max]. For σ/tanh use [0, In_max]; for exp the
+    /// softmax-normalised domain is [−In_max, 0].
+    double x_min = 0.0;
+    double x_max = 8.0;
+    fp::Rounding entry_rounding = fp::Rounding::NearestEven;
+  };
+
+  /// Build the table (quantises f at each segment midpoint).
+  explicit UniformLut(const Config& config);
+
+  /// Natural config for @p kind at a given format/entry count: σ/tanh on
+  /// [0, In_max], exp on [−In_max, 0].
+  static Config natural_config(FunctionKind kind, fp::Format fmt,
+                               std::size_t entries);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return table_.size();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return table_.size() * static_cast<std::size_t>(config_.out.width());
+  }
+
+ private:
+  [[nodiscard]] fp::Fixed lookup_in_domain(fp::Fixed x) const;
+
+  Config config_;
+  std::vector<std::int64_t> table_;  ///< quantised outputs, raw in `out`
+  std::int64_t x_min_raw_;           ///< domain bounds on the input grid
+  std::int64_t x_max_raw_;
+};
+
+}  // namespace nacu::approx

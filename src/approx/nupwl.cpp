@@ -1,0 +1,157 @@
+#include "approx/nupwl.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/fit.hpp"
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+Nupwl::Nupwl(const Config& config)
+    : config_{config},
+      x_min_raw_{fp::Fixed::from_double(config.x_min, config.in).raw()},
+      x_max_raw_{fp::Fixed::from_double(config.x_max, config.in).raw()} {
+  if (x_max_raw_ <= x_min_raw_) {
+    throw std::invalid_argument("Nupwl domain is empty");
+  }
+  if (config_.tolerance <= 0.0) {
+    throw std::invalid_argument("Nupwl tolerance must be positive");
+  }
+  subdivide(config_.x_min, config_.x_max, 0);
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.upper_raw < b.upper_raw;
+            });
+  // The last segment must reach the end of the domain regardless of raw
+  // rounding of interior boundaries.
+  segments_.back().upper_raw = x_max_raw_;
+}
+
+void Nupwl::subdivide(double a, double b, int depth) {
+  const LinearFit fit = fit_minimax(config_.kind, a, b);
+  if (fit.max_error > config_.tolerance && depth < config_.max_depth &&
+      fp::Fixed::from_double(b, config_.in).raw() -
+              fp::Fixed::from_double(a, config_.in).raw() >
+          1) {
+    const double mid = 0.5 * (a + b);
+    subdivide(a, mid, depth + 1);
+    subdivide(mid, b, depth + 1);
+    return;
+  }
+  segments_.push_back(Segment{
+      .upper_raw = fp::Fixed::from_double(b, config_.in).raw(),
+      .m_raw = fp::Fixed::from_double(fit.slope, config_.coeff_m).raw(),
+      .q_raw = fp::Fixed::from_double(fit.intercept, config_.coeff_q).raw()});
+}
+
+Nupwl::Config Nupwl::natural_config(FunctionKind kind, fp::Format fmt,
+                                    double tolerance) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  config.coeff_m = fp::Format{1, fmt.width() - 2};
+  config.coeff_q = fp::Format{1, fmt.width() - 2};
+  config.tolerance = tolerance;
+  const double in_max = fp::input_max(fmt);
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -in_max;
+    config.x_max = 0.0;
+  } else {
+    config.x_min = 0.0;
+    config.x_max = in_max;
+  }
+  return config;
+}
+
+Nupwl Nupwl::with_max_entries(FunctionKind kind, fp::Format fmt,
+                              std::size_t max_entries, double x_max) {
+  Config config = natural_config(kind, fmt, 1.0);
+  if (x_max > 0.0) {
+    if (kind == FunctionKind::Exp) {
+      config.x_min = -x_max;
+    } else {
+      config.x_max = x_max;
+    }
+  }
+  config.datapath_rounding = fp::Rounding::NearestEven;
+  Nupwl best{config};
+  if (best.table_entries() > max_entries) {
+    throw std::invalid_argument(
+        "entry budget unreachable even at tolerance 1.0");
+  }
+  double lo = fmt.resolution() / 16.0;
+  double hi = 1.0;
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    config.tolerance = mid;
+    Nupwl candidate{config};
+    if (candidate.table_entries() <= max_entries) {
+      hi = mid;
+      best = std::move(candidate);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+Nupwl Nupwl::from_boundaries(FunctionKind kind, fp::Format fmt,
+                             const std::vector<double>& boundaries) {
+  if (boundaries.size() < 2) {
+    throw std::invalid_argument("from_boundaries needs >= 2 boundaries");
+  }
+  // Build with a huge tolerance (one segment), then replace the table.
+  Config config = natural_config(kind, fmt, 1e9);
+  config.datapath_rounding = fp::Rounding::NearestEven;
+  Nupwl nupwl{config};
+  nupwl.segments_.clear();
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const double a = boundaries[i];
+    const double b = boundaries[i + 1];
+    if (b <= a) {
+      throw std::invalid_argument("boundaries must be strictly increasing");
+    }
+    const LinearFit fit = fit_minimax(kind, a, b);
+    nupwl.segments_.push_back(Segment{
+        .upper_raw = fp::Fixed::from_double(b, fmt).raw(),
+        .m_raw = fp::Fixed::from_double(fit.slope, config.coeff_m).raw(),
+        .q_raw =
+            fp::Fixed::from_double(fit.intercept, config.coeff_q).raw()});
+  }
+  nupwl.segments_.back().upper_raw = nupwl.x_max_raw_;
+  return nupwl;
+}
+
+std::string Nupwl::name() const {
+  std::ostringstream os;
+  os << "NUPWL(" << segments_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed Nupwl::evaluate_in_domain(fp::Fixed x) const {
+  const std::int64_t clamped = std::clamp(x.raw(), x_min_raw_, x_max_raw_);
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), clamped,
+      [](const Segment& seg, std::int64_t key) { return seg.upper_raw < key; });
+  const Segment& seg = it == segments_.end() ? segments_.back() : *it;
+  const fp::Fixed xc = fp::Fixed::from_raw(clamped, config_.in);
+  const fp::Fixed m = fp::Fixed::from_raw(seg.m_raw, config_.coeff_m);
+  const fp::Fixed q = fp::Fixed::from_raw(seg.q_raw, config_.coeff_q);
+  return xc.mul_full(m).add_full(q).requantize(
+      config_.out, config_.datapath_rounding, fp::Overflow::Saturate);
+}
+
+fp::Fixed Nupwl::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    const fp::Fixed positive = evaluate_in_domain(x.negate());
+    return apply_negative_identity(symmetry, positive, config_.out);
+  }
+  return evaluate_in_domain(x);
+}
+
+}  // namespace nacu::approx

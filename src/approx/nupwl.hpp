@@ -1,0 +1,83 @@
+// Non-uniform piecewise-linear approximator (§VI alternative "NUPWL", the
+// recursive-refinement style of [6, 7]).
+//
+// Segments are produced by recursive bisection: a segment whose minimax fit
+// error exceeds the tolerance splits in half. Flat (saturation) regions end
+// up with a few wide segments, steep regions with many narrow ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class Nupwl final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    fp::Format coeff_m{1, 14};
+    fp::Format coeff_q{1, 14};
+    double x_min = 0.0;
+    double x_max = 8.0;
+    /// Max continuous-fit error allowed per segment before it splits.
+    double tolerance = 1.0 / (1 << 12);
+    /// Bisection depth limit (2^max_depth max segments).
+    int max_depth = 16;
+    fp::Rounding datapath_rounding = fp::Rounding::Truncate;
+  };
+
+  explicit Nupwl(const Config& config);
+
+  static Config natural_config(FunctionKind kind, fp::Format fmt,
+                               double tolerance);
+
+  /// Smallest tolerance (bisection) whose segment count fits @p max_entries.
+  /// @p x_max overrides the upper domain bound (0 = natural domain).
+  static Nupwl with_max_entries(FunctionKind kind, fp::Format fmt,
+                                std::size_t max_entries, double x_max = 0.0);
+
+  /// Build from explicit segment boundaries (sorted, spanning the natural
+  /// domain) — e.g. the DP-optimal breakpoints of optimal_linear_segments.
+  /// Coefficients are minimax-fitted per segment and quantised as usual.
+  static Nupwl from_boundaries(FunctionKind kind, fp::Format fmt,
+                               const std::vector<double>& boundaries);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return segments_.size();
+  }
+  /// Boundary + slope + bias per entry.
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return segments_.size() *
+           static_cast<std::size_t>(config_.in.width() +
+                                    config_.coeff_m.width() +
+                                    config_.coeff_q.width());
+  }
+
+ private:
+  struct Segment {
+    std::int64_t upper_raw;  ///< inclusive upper input bound on the raw grid
+    std::int64_t m_raw;
+    std::int64_t q_raw;
+  };
+
+  void subdivide(double a, double b, int depth);
+  [[nodiscard]] fp::Fixed evaluate_in_domain(fp::Fixed x) const;
+
+  Config config_;
+  std::vector<Segment> segments_;
+  std::int64_t x_min_raw_ = 0;
+  std::int64_t x_max_raw_ = 0;
+};
+
+}  // namespace nacu::approx

@@ -1,0 +1,76 @@
+#include "approx/optimal_segments.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "approx/fit.hpp"
+
+namespace nacu::approx {
+
+OptimalSegmentation optimal_linear_segments(FunctionKind kind, double a,
+                                            double b, std::size_t segments,
+                                            std::size_t grid_points) {
+  if (segments == 0 || grid_points < segments + 1 || b <= a) {
+    throw std::invalid_argument(
+        "optimal_linear_segments needs segments >= 1, grid > segments, "
+        "b > a");
+  }
+  const std::size_t g = grid_points;
+  std::vector<double> grid(g);
+  for (std::size_t i = 0; i < g; ++i) {
+    grid[i] = a + (b - a) * static_cast<double>(i) /
+                      static_cast<double>(g - 1);
+  }
+
+  // cost[i][j] = minimax linear-fit error on [grid[i], grid[j]].
+  // Memoised lazily: the DP touches O(g²) pairs at worst.
+  std::vector<std::vector<double>> cost(
+      g, std::vector<double>(g, -1.0));
+  const auto segment_cost = [&](std::size_t i, std::size_t j) {
+    if (cost[i][j] < 0.0) {
+      cost[i][j] = fit_minimax(kind, grid[i], grid[j]).max_error;
+    }
+    return cost[i][j];
+  };
+
+  // dp[s][j]: the best achievable bottleneck using s segments to cover
+  // [grid[0], grid[j]]. parent[s][j] reconstructs boundaries.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(
+      segments + 1, std::vector<double>(g, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      segments + 1, std::vector<std::size_t>(g, 0));
+  dp[0][0] = 0.0;
+  for (std::size_t s = 1; s <= segments; ++s) {
+    for (std::size_t j = s; j < g; ++j) {
+      // Monotonicity prune: segment_cost(i, j) grows as i shrinks, so once
+      // a candidate i makes the segment the bottleneck worse than the best
+      // so far AND dp is already finite, earlier i can only be worse — but
+      // dp[s-1][i] is not monotone, so we scan fully (g is modest).
+      for (std::size_t i = s - 1; i < j; ++i) {
+        if (dp[s - 1][i] == kInf) {
+          continue;
+        }
+        const double bottleneck =
+            std::max(dp[s - 1][i], segment_cost(i, j));
+        if (bottleneck < dp[s][j]) {
+          dp[s][j] = bottleneck;
+          parent[s][j] = i;
+        }
+      }
+    }
+  }
+
+  OptimalSegmentation result;
+  result.max_error = dp[segments][g - 1];
+  result.boundaries.resize(segments + 1);
+  std::size_t j = g - 1;
+  for (std::size_t s = segments; s > 0; --s) {
+    result.boundaries[s] = grid[j];
+    j = parent[s][j];
+  }
+  result.boundaries[0] = grid[0];
+  return result;
+}
+
+}  // namespace nacu::approx

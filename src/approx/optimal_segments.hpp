@@ -1,0 +1,34 @@
+// Optimal non-uniform segmentation via dynamic programming.
+//
+// The NUPWL baselines of §VI place breakpoints heuristically — [7] refines
+// recursively, our Nupwl bisects. This module computes the *minimax-optimal*
+// breakpoints for a given segment budget: on a candidate-boundary grid, a
+// DP over (boundary, segments-used) minimises the maximum per-segment
+// minimax-fit error. It quantifies how much accuracy the heuristics leave
+// on the table (spoiler, per bench_ablations: a few tens of percent at
+// small budgets, almost nothing at the paper's 53).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "approx/reference.hpp"
+
+namespace nacu::approx {
+
+struct OptimalSegmentation {
+  /// segment i covers [boundaries[i], boundaries[i+1]] (size = segments+1).
+  std::vector<double> boundaries;
+  /// The minimax bottleneck: max over segments of the per-segment
+  /// linear-minimax error.
+  double max_error = 0.0;
+};
+
+/// Minimax-optimal @p segments-piece linear segmentation of @p kind on
+/// [a, b], with boundaries restricted to a uniform grid of
+/// @p grid_points candidates (DP is exact on that grid).
+[[nodiscard]] OptimalSegmentation optimal_linear_segments(
+    FunctionKind kind, double a, double b, std::size_t segments,
+    std::size_t grid_points = 257);
+
+}  // namespace nacu::approx

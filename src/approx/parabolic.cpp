@@ -1,0 +1,143 @@
+#include "approx/parabolic.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nacu::approx {
+
+namespace {
+
+/// Least-squares parabola through (w_i, v_i): solves the 3×3 normal
+/// equations by Gaussian elimination with partial pivoting.
+std::array<double, 3> fit_parabola(const std::vector<double>& w,
+                                   const std::vector<double>& v) {
+  double a[3][4] = {};
+  for (std::size_t s = 0; s < w.size(); ++s) {
+    const double pw[5] = {1.0, w[s], w[s] * w[s], w[s] * w[s] * w[s],
+                          w[s] * w[s] * w[s] * w[s]};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        a[r][c] += pw[r + c];
+      }
+      a[r][3] += pw[r] * v[s];
+    }
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    for (int r = 0; r < 3; ++r) {
+      if (r == col || a[col][col] == 0.0) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) {
+        a[r][c] -= factor * a[col][c];
+      }
+    }
+  }
+  return {a[0][3] / a[0][0], a[1][3] / a[1][1], a[2][3] / a[2][2]};
+}
+
+}  // namespace
+
+ParabolicExp::ParabolicExp(const Config& config)
+    : config_{config},
+      internal_{2, config.out.fractional_bits() + config.guard_bits} {
+  if (config_.factors < 1) {
+    throw std::invalid_argument("ParabolicExp needs at least one factor");
+  }
+  inv_ln2_raw_ =
+      fp::Fixed::from_double(std::log2(std::exp(1.0)), internal_).raw();
+
+  // Synthesis: residual starts as the normalised target 2^-w on [0, 1];
+  // each factor is an LSQ parabola of the residual, and the residual becomes
+  // the pointwise ratio target / (product so far).
+  constexpr int kSamples = 1025;
+  std::vector<double> w(kSamples);
+  std::vector<double> residual(kSamples);
+  for (int s = 0; s < kSamples; ++s) {
+    w[s] = static_cast<double>(s) / (kSamples - 1);
+    residual[s] = std::exp2(-w[s]);
+  }
+  for (int f = 0; f < config_.factors; ++f) {
+    const std::array<double, 3> p = fit_parabola(w, residual);
+    factors_.push_back(Parabola{
+        fp::Fixed::from_double(p[0], config_.coeff).raw(),
+        fp::Fixed::from_double(p[1], config_.coeff).raw(),
+        fp::Fixed::from_double(p[2], config_.coeff).raw()});
+    for (int s = 0; s < kSamples; ++s) {
+      const double sv = p[0] + p[1] * w[s] + p[2] * w[s] * w[s];
+      residual[s] = sv != 0.0 ? residual[s] / sv : 1.0;
+    }
+  }
+}
+
+ParabolicExp::Config ParabolicExp::natural_config(fp::Format fmt,
+                                                  int factors) {
+  Config config;
+  config.in = fmt;
+  config.out = fmt;
+  config.coeff = fp::Format{1, fmt.width() - 2};
+  config.factors = factors;
+  return config;
+}
+
+std::string ParabolicExp::name() const {
+  std::ostringstream os;
+  os << "Parabolic(" << config_.factors << ")";
+  return os.str();
+}
+
+fp::Fixed ParabolicExp::evaluate(fp::Fixed x) const {
+  // e^x = 2^y with y = x·log2(e). Split y = q + f, f ∈ [0,1); with
+  // w = 1 − f ∈ (0,1]: 2^y = 2^{q+1} · 2^-w, and 2^-w is the synthesised
+  // product of parabolas.
+  const fp::Fixed inv_ln2 = fp::Fixed::from_raw(inv_ln2_raw_, internal_);
+  const std::int64_t y_raw =
+      x.mul_full(inv_ln2)
+          .requantize(fp::Format{x.format().integer_bits() + 3,
+                                 internal_.fractional_bits()},
+                      fp::Rounding::Truncate)
+          .raw();
+  const int fb = internal_.fractional_bits();
+  const std::int64_t q = y_raw >> fb;  // floor
+  const std::int64_t f_raw = y_raw - (q << fb);
+  const std::int64_t w_raw = (std::int64_t{1} << fb) - f_raw;
+  const fp::Fixed w = fp::Fixed::from_raw(w_raw, internal_);
+
+  // Product of Horner-evaluated parabolas, truncating between factors.
+  fp::Fixed product = fp::Fixed::from_double(1.0, internal_);
+  for (const Parabola& p : factors_) {
+    const fp::Fixed c0 = fp::Fixed::from_raw(p[0], config_.coeff);
+    const fp::Fixed c1 = fp::Fixed::from_raw(p[1], config_.coeff);
+    const fp::Fixed c2 = fp::Fixed::from_raw(p[2], config_.coeff);
+    fp::Fixed acc = c2.mul_full(w).add_full(c1).requantize(
+        internal_, fp::Rounding::Truncate, fp::Overflow::Saturate);
+    acc = acc.mul_full(w).add_full(c0).requantize(
+        internal_, fp::Rounding::Truncate, fp::Overflow::Saturate);
+    product = product.mul_full(acc).requantize(
+        internal_, fp::Rounding::Truncate, fp::Overflow::Saturate);
+  }
+
+  // Apply the 2^{q+1} shift.
+  const std::int64_t shift = q + 1;
+  if (shift <= 0) {
+    const int s = static_cast<int>(-shift);
+    const std::int64_t raw = s >= 63 ? 0 : product.raw() >> s;
+    return fp::Fixed::from_raw(raw, internal_)
+        .requantize(config_.out, fp::Rounding::Truncate,
+                    fp::Overflow::Saturate);
+  }
+  const __int128 wide = static_cast<__int128>(product.raw()) << shift;
+  const __int128 out_raw_wide =
+      wide >> (fb - config_.out.fractional_bits());
+  const std::int64_t max_raw = config_.out.max_raw();
+  const std::int64_t out_raw =
+      out_raw_wide > max_raw ? max_raw
+                             : static_cast<std::int64_t>(out_raw_wide);
+  return fp::Fixed::from_raw(out_raw, config_.out);
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,61 @@
+// Parabolic-synthesis exponential (§VI baseline [14]).
+//
+// Pouyan et al. approximate a normalised target as a *product* of low-order
+// (parabolic) sub-functions: f ≈ s1·s2·…·sn, where each s_{k+1} is a
+// parabola fitted to the residual ratio f / (s1…sk). We apply the same
+// methodology to the softmax-normalised exponential: after the 2^k range
+// reduction of e^x = 2^k·e^r, the remaining target 2^-w on w ∈ [0, 1] is
+// synthesised as a product of quantised parabolas.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class ParabolicExp final : public Approximator {
+ public:
+  struct Config {
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    /// Coefficient storage format for each parabola.
+    fp::Format coeff{1, 14};
+    /// Number of parabolic factors (1 = a single fitted parabola).
+    int factors = 2;
+    int guard_bits = 6;
+  };
+
+  explicit ParabolicExp(const Config& config);
+
+  static Config natural_config(fp::Format fmt, int factors);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override {
+    return FunctionKind::Exp;
+  }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override { return 0; }
+  /// Three coefficients per parabolic factor.
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return factors_.size() * 3 *
+           static_cast<std::size_t>(config_.coeff.width());
+  }
+
+ private:
+  /// s(w) = c0 + c1·w + c2·w², raw in `coeff`.
+  using Parabola = std::array<std::int64_t, 3>;
+
+  Config config_;
+  fp::Format internal_;
+  std::vector<Parabola> factors_;
+  std::int64_t inv_ln2_raw_ = 0;  ///< log2(e) on the internal grid
+};
+
+}  // namespace nacu::approx

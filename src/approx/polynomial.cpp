@@ -1,0 +1,173 @@
+#include "approx/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/jet.hpp"
+#include "approx/remez.hpp"
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+namespace {
+
+/// Degree-`order` interpolant through the Chebyshev nodes of
+/// [center−h, center+h], returned as monomial coefficients in t = x − center.
+std::vector<double> chebyshev_coefficients(FunctionKind kind, double center,
+                                           double h, int order) {
+  const int n = order + 1;
+  std::vector<double> t(n);
+  std::vector<double> f(n);
+  for (int k = 0; k < n; ++k) {
+    t[k] = h * std::cos((2.0 * k + 1.0) * std::numbers::pi / (2.0 * n));
+    f[k] = reference_eval(kind, center + t[k]);
+  }
+  // Newton divided differences.
+  std::vector<double> dd = f;
+  for (int level = 1; level < n; ++level) {
+    for (int k = n - 1; k >= level; --k) {
+      dd[k] = (dd[k] - dd[k - 1]) / (t[k] - t[k - level]);
+    }
+  }
+  // Expand Newton form to monomial coefficients in t.
+  std::vector<double> poly(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> basis(static_cast<std::size_t>(n), 0.0);
+  basis[0] = 1.0;  // running product Π (t − t_j)
+  int basis_degree = 0;
+  poly[0] = dd[0];
+  for (int j = 1; j < n; ++j) {
+    // basis *= (t − t_{j−1})
+    for (int d = basis_degree; d >= 0; --d) {
+      basis[d + 1] += basis[d];
+      basis[d] *= -t[j - 1];
+    }
+    ++basis_degree;
+    for (int d = 0; d <= basis_degree; ++d) {
+      poly[d] += dd[j] * basis[d];
+    }
+  }
+  return poly;
+}
+
+}  // namespace
+
+Polynomial::Polynomial(const Config& config)
+    : config_{config},
+      x_min_raw_{fp::Fixed::from_double(config.x_min, config.in).raw()},
+      x_max_raw_{fp::Fixed::from_double(config.x_max, config.in).raw()} {
+  if (config_.segments == 0 || config_.order < 0) {
+    throw std::invalid_argument("Polynomial needs segments >= 1, order >= 0");
+  }
+  if (x_max_raw_ <= x_min_raw_) {
+    throw std::invalid_argument("Polynomial domain is empty");
+  }
+  const double step =
+      (config_.x_max - config_.x_min) / static_cast<double>(config_.segments);
+  for (std::size_t i = 0; i < config_.segments; ++i) {
+    const double a = config_.x_min + static_cast<double>(i) * step;
+    const double b = a + step;
+    const double center = a + 0.5 * step;
+    std::vector<double> coeffs;
+    switch (config_.mode) {
+      case FitMode::Taylor:
+        coeffs = taylor_coefficients(config_.kind, center, config_.order);
+        break;
+      case FitMode::Chebyshev:
+        coeffs = chebyshev_coefficients(config_.kind, center, 0.5 * step,
+                                        config_.order);
+        break;
+      case FitMode::Minimax:
+        coeffs = remez_fit(config_.kind, a, b, config_.order).coefficients;
+        break;
+    }
+    Segment seg;
+    seg.center_raw = fp::Fixed::from_double(center, config_.in).raw();
+    seg.coeffs.reserve(coeffs.size());
+    for (const double c : coeffs) {
+      seg.coeffs.push_back(fp::Fixed::from_double(c, config_.coeff).raw());
+    }
+    segments_.push_back(std::move(seg));
+  }
+}
+
+Polynomial::Config Polynomial::natural_config(FunctionKind kind,
+                                              fp::Format fmt, int order,
+                                              std::size_t segments,
+                                              FitMode mode) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  config.coeff = fp::Format{2, fmt.width() - 3};
+  config.order = order;
+  config.segments = segments;
+  config.mode = mode;
+  const double in_max = fp::input_max(fmt);
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -in_max;
+    config.x_max = 0.0;
+  } else {
+    config.x_min = 0.0;
+    config.x_max = in_max;
+  }
+  return config;
+}
+
+std::string Polynomial::name() const {
+  std::ostringstream os;
+  const char* mode = config_.mode == FitMode::Taylor      ? "Taylor"
+                     : config_.mode == FitMode::Chebyshev ? "Chebyshev"
+                                                          : "Minimax";
+  os << mode << "(P=" << config_.order << ",seg=" << segments_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed Polynomial::evaluate_in_domain(fp::Fixed x) const {
+  const std::int64_t clamped = std::clamp(x.raw(), x_min_raw_, x_max_raw_);
+  const std::int64_t span = x_max_raw_ - x_min_raw_;
+  auto index = static_cast<std::int64_t>(
+      (static_cast<__int128>(clamped - x_min_raw_) *
+       static_cast<__int128>(segments_.size())) /
+      span);
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(segments_.size()) - 1);
+  const Segment& seg = segments_[static_cast<std::size_t>(index)];
+
+  // t = x − center, exact on a one-bit-wider grid.
+  const fp::Format t_fmt{config_.in.integer_bits() + 1,
+                         config_.in.fractional_bits()};
+  const fp::Fixed t = fp::Fixed::from_raw(clamped - seg.center_raw, t_fmt);
+
+  // Horner with a truncation after every MAC (a real datapath cannot let
+  // the word grow unboundedly).
+  const fp::Format acc_fmt{
+      config_.coeff.integer_bits() + config_.in.integer_bits() + 2,
+      config_.out.fractional_bits() + config_.guard_bits};
+  fp::Fixed acc =
+      fp::Fixed::from_raw(seg.coeffs.back(), config_.coeff)
+          .requantize(acc_fmt, config_.datapath_rounding);
+  for (int k = config_.order - 1; k >= 0; --k) {
+    const fp::Fixed c =
+        fp::Fixed::from_raw(seg.coeffs[static_cast<std::size_t>(k)],
+                            config_.coeff);
+    acc = acc.mul_full(t).add_full(c).requantize(
+        acc_fmt, config_.datapath_rounding, fp::Overflow::Saturate);
+  }
+  return acc.requantize(config_.out, config_.datapath_rounding,
+                        fp::Overflow::Saturate);
+}
+
+fp::Fixed Polynomial::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    const fp::Fixed positive = evaluate_in_domain(x.negate());
+    return apply_negative_identity(symmetry, positive, config_.out);
+  }
+  return evaluate_in_domain(x);
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,77 @@
+// Segmented polynomial approximator (§VI "higher-order" alternative: the
+// 1st/2nd-order Taylor designs of [10], the 6th-order exp of [13]).
+//
+// The domain splits into uniform segments; each stores order+1 quantised
+// coefficients of either the true Taylor expansion about the segment centre
+// or a Chebyshev-node interpolant (better max error at equal cost).
+// Evaluation is a fixed-point Horner chain with a truncation after every
+// multiply-add, as a real MAC-based datapath would have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class Polynomial final : public Approximator {
+ public:
+  enum class FitMode {
+    Taylor,     ///< expansion about the segment centre (exact jets)
+    Chebyshev,  ///< interpolation at Chebyshev nodes of the segment
+    Minimax,    ///< equioscillating Remez fit (optimal max error)
+  };
+
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    /// Per-coefficient storage format.
+    fp::Format coeff{2, 13};
+    int order = 2;
+    std::size_t segments = 4;
+    double x_min = 0.0;
+    double x_max = 8.0;
+    FitMode mode = FitMode::Taylor;
+    fp::Rounding datapath_rounding = fp::Rounding::Truncate;
+    /// Guard fractional bits kept on the Horner accumulator between steps.
+    int guard_bits = 6;
+  };
+
+  explicit Polynomial(const Config& config);
+
+  static Config natural_config(FunctionKind kind, fp::Format fmt, int order,
+                               std::size_t segments,
+                               FitMode mode = FitMode::Taylor);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return segments_.size();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return segments_.size() * static_cast<std::size_t>(config_.order + 1) *
+           static_cast<std::size_t>(config_.coeff.width());
+  }
+
+ private:
+  struct Segment {
+    std::int64_t center_raw;            ///< expansion point on the input grid
+    std::vector<std::int64_t> coeffs;   ///< raw in `coeff`, index = power
+  };
+
+  [[nodiscard]] fp::Fixed evaluate_in_domain(fp::Fixed x) const;
+
+  Config config_;
+  std::vector<Segment> segments_;
+  std::int64_t x_min_raw_ = 0;
+  std::int64_t x_max_raw_ = 0;
+};
+
+}  // namespace nacu::approx

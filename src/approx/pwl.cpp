@@ -1,0 +1,119 @@
+#include "approx/pwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+Pwl::Pwl(const Config& config)
+    : config_{config},
+      x_min_raw_{fp::Fixed::from_double(config.x_min, config.in).raw()},
+      x_max_raw_{fp::Fixed::from_double(config.x_max, config.in).raw()} {
+  if (config_.entries == 0) {
+    throw std::invalid_argument("Pwl needs at least one segment");
+  }
+  if (x_max_raw_ <= x_min_raw_) {
+    throw std::invalid_argument("Pwl domain is empty");
+  }
+  slopes_raw_.reserve(config_.entries);
+  biases_raw_.reserve(config_.entries);
+  const double step =
+      (config_.x_max - config_.x_min) / static_cast<double>(config_.entries);
+  for (std::size_t i = 0; i < config_.entries; ++i) {
+    const double a = config_.x_min + static_cast<double>(i) * step;
+    const double b = a + step;
+    LinearFit fit = config_.minimax ? fit_minimax(config_.kind, a, b)
+                                    : fit_least_squares(config_.kind, a, b);
+    if (config_.power_of_two_slopes && fit.slope != 0.0) {
+      // Snap the slope to the nearest power of two (in log space), then
+      // refit the intercept so the segment midpoint error is centred.
+      const double sign = fit.slope < 0.0 ? -1.0 : 1.0;
+      const double exponent = std::round(std::log2(std::abs(fit.slope)));
+      const double snapped = sign * std::exp2(exponent);
+      const double mid = 0.5 * (a + b);
+      fit.intercept += (fit.slope - snapped) * mid;
+      fit.slope = snapped;
+    }
+    slopes_raw_.push_back(
+        fp::Fixed::from_double(fit.slope, config_.coeff_m).raw());
+    biases_raw_.push_back(
+        fp::Fixed::from_double(fit.intercept, config_.coeff_q).raw());
+  }
+}
+
+Pwl::Config Pwl::natural_config(FunctionKind kind, fp::Format fmt,
+                                std::size_t entries) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  // Same storage width as the datapath, one integer bit (slopes and biases
+  // of all three functions stay inside [-2, 2)).
+  config.coeff_m = fp::Format{1, fmt.width() - 2};
+  config.coeff_q = fp::Format{1, fmt.width() - 2};
+  config.entries = entries;
+  const double in_max = fp::input_max(fmt);
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -in_max;
+    config.x_max = 0.0;
+  } else {
+    config.x_min = 0.0;
+    config.x_max = in_max;
+  }
+  return config;
+}
+
+std::string Pwl::name() const {
+  std::ostringstream os;
+  os << "PWL(" << slopes_raw_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed Pwl::slope(std::size_t i) const {
+  return fp::Fixed::from_raw(slopes_raw_.at(i), config_.coeff_m);
+}
+
+fp::Fixed Pwl::bias(std::size_t i) const {
+  return fp::Fixed::from_raw(biases_raw_.at(i), config_.coeff_q);
+}
+
+std::size_t Pwl::segment_index(std::int64_t raw) const {
+  const std::int64_t span = x_max_raw_ - x_min_raw_;
+  std::int64_t offset = std::clamp<std::int64_t>(raw - x_min_raw_, 0, span);
+  auto index = static_cast<std::int64_t>(
+      (static_cast<__int128>(offset) *
+       static_cast<__int128>(slopes_raw_.size())) /
+      span);
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(slopes_raw_.size()) - 1);
+  return static_cast<std::size_t>(index);
+}
+
+fp::Fixed Pwl::evaluate_in_domain(fp::Fixed x) const {
+  // Clamp to the table domain (saturation region: last segment extended).
+  const std::int64_t clamped =
+      std::clamp(x.raw(), x_min_raw_, x_max_raw_);
+  const fp::Fixed xc = fp::Fixed::from_raw(clamped, config_.in);
+  const std::size_t i = segment_index(clamped);
+  // Hardware datapath: exact product, exact bias add, one truncation.
+  const fp::Fixed product = xc.mul_full(slope(i));
+  const fp::Fixed sum = product.add_full(bias(i));
+  return sum.requantize(config_.out, config_.datapath_rounding,
+                        fp::Overflow::Saturate);
+}
+
+fp::Fixed Pwl::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    const fp::Fixed positive = evaluate_in_domain(x.negate());
+    return apply_negative_identity(symmetry, positive, config_.out);
+  }
+  return evaluate_in_domain(x);
+}
+
+}  // namespace nacu::approx

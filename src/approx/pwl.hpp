@@ -1,0 +1,81 @@
+// Uniform-segment piecewise-linear approximator (§VI alternative "PWL" —
+// the family NACU itself belongs to).
+//
+// Each of the `entries` equal segments stores a quantised slope m and bias q
+// (paper Eq. 8); evaluation follows the hardware datapath exactly:
+// full-precision multiply, bias add, single truncation into the output grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+#include "approx/fit.hpp"
+
+namespace nacu::approx {
+
+class Pwl final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    /// Storage formats for slope and bias. Defaults keep the datapath width:
+    /// Q1.(N−2) covers σ slopes (≤ 0.25), tanh slopes (≤ 1) and q ∈ [0.5, 1].
+    fp::Format coeff_m{1, 14};
+    fp::Format coeff_q{1, 14};
+    std::size_t entries = 32;
+    double x_min = 0.0;
+    double x_max = 8.0;
+    /// Minimax (Chebyshev) fit per segment when true, least-squares when
+    /// false. Minimax minimises the paper's headline metric (max error).
+    bool minimax = true;
+    /// Rounding applied at the single output quantisation point. Truncate is
+    /// what the cheap hardware does; NearestEven gains ~half an LSB.
+    fp::Rounding datapath_rounding = fp::Rounding::Truncate;
+    /// Round every slope to the nearest power of two, replacing the
+    /// multiplier with a barrel shift — the trick of [6] that the paper
+    /// credits with ~10× worse max error (§VII.A).
+    bool power_of_two_slopes = false;
+  };
+
+  explicit Pwl(const Config& config);
+
+  /// Natural domain config for @p kind (σ/tanh: [0, In_max]; exp:
+  /// [−In_max, 0]) with datapath-width coefficients.
+  static Config natural_config(FunctionKind kind, fp::Format fmt,
+                               std::size_t entries);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return slopes_raw_.size();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return slopes_raw_.size() *
+           static_cast<std::size_t>(config_.coeff_m.width() +
+                                    config_.coeff_q.width());
+  }
+
+  /// Quantised coefficients of segment @p i (exposed for the NACU core,
+  /// which shares this coefficient table across σ/tanh).
+  [[nodiscard]] fp::Fixed slope(std::size_t i) const;
+  [[nodiscard]] fp::Fixed bias(std::size_t i) const;
+
+ private:
+  [[nodiscard]] fp::Fixed evaluate_in_domain(fp::Fixed x) const;
+  [[nodiscard]] std::size_t segment_index(std::int64_t raw) const;
+
+  Config config_;
+  std::vector<std::int64_t> slopes_raw_;
+  std::vector<std::int64_t> biases_raw_;
+  std::int64_t x_min_raw_ = 0;
+  std::int64_t x_max_raw_ = 0;
+};
+
+}  // namespace nacu::approx

@@ -1,0 +1,148 @@
+#include "approx/ralut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/symmetry.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+
+Ralut::Ralut(const Config& config)
+    : config_{config},
+      x_min_raw_{fp::Fixed::from_double(config.x_min, config.in).raw()},
+      x_max_raw_{fp::Fixed::from_double(config.x_max, config.in).raw()} {
+  if (x_max_raw_ <= x_min_raw_) {
+    throw std::invalid_argument("Ralut domain is empty");
+  }
+  if (config_.tolerance <= 0.0) {
+    throw std::invalid_argument("Ralut tolerance must be positive");
+  }
+  build();
+}
+
+Ralut::Config Ralut::natural_config(FunctionKind kind, fp::Format fmt,
+                                    double tolerance) {
+  Config config;
+  config.kind = kind;
+  config.in = fmt;
+  config.out = fmt;
+  config.tolerance = tolerance;
+  const double in_max = fp::input_max(fmt);
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -in_max;
+    config.x_max = 0.0;
+  } else {
+    config.x_min = 0.0;
+    config.x_max = in_max;
+  }
+  return config;
+}
+
+void Ralut::build() {
+  // Greedy maximal segments: extend while all function values seen in the
+  // segment fit inside a band of width 2·tolerance; the entry value is the
+  // band centre, quantised. One pass over the input grid.
+  const double lsb = config_.in.resolution();
+  segments_.clear();
+  std::int64_t seg_start = x_min_raw_;
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+  bool open = false;
+  for (std::int64_t raw = x_min_raw_; raw <= x_max_raw_; ++raw) {
+    const double x = static_cast<double>(raw) * lsb;
+    const double f = reference_eval(config_.kind, x);
+    if (!open) {
+      seg_start = raw;
+      band_lo = band_hi = f;
+      open = true;
+      continue;
+    }
+    const double lo = std::min(band_lo, f);
+    const double hi = std::max(band_hi, f);
+    if (hi - lo <= 2.0 * config_.tolerance) {
+      band_lo = lo;
+      band_hi = hi;
+    } else {
+      segments_.push_back(Segment{
+          .upper_raw = raw - 1,
+          .value_raw = fp::Fixed::from_double(0.5 * (band_lo + band_hi),
+                                              config_.out)
+                           .raw()});
+      seg_start = raw;
+      band_lo = band_hi = f;
+    }
+  }
+  (void)seg_start;
+  if (open) {
+    segments_.push_back(Segment{
+        .upper_raw = x_max_raw_,
+        .value_raw =
+            fp::Fixed::from_double(0.5 * (band_lo + band_hi), config_.out)
+                .raw()});
+  }
+}
+
+Ralut Ralut::with_max_entries(FunctionKind kind, fp::Format fmt,
+                              std::size_t max_entries, double x_max) {
+  // Entry count decreases monotonically with tolerance; bisect the smallest
+  // tolerance that still fits the budget.
+  double lo = fmt.resolution() / 16.0;
+  double hi = 1.0;
+  Config config = natural_config(kind, fmt, hi);
+  if (x_max > 0.0) {
+    if (kind == FunctionKind::Exp) {
+      config.x_min = -x_max;
+    } else {
+      config.x_max = x_max;
+    }
+  }
+  Ralut best{config};
+  if (best.table_entries() > max_entries) {
+    throw std::invalid_argument(
+        "entry budget unreachable even at tolerance 1.0");
+  }
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    config.tolerance = mid;
+    Ralut candidate{config};
+    if (candidate.table_entries() <= max_entries) {
+      hi = mid;
+      best = std::move(candidate);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+std::string Ralut::name() const {
+  std::ostringstream os;
+  os << "RALUT(" << segments_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed Ralut::lookup_in_domain(fp::Fixed x) const {
+  const std::int64_t raw =
+      std::clamp(x.raw(), x_min_raw_, x_max_raw_);
+  // Hardware would resolve this with parallel range comparators; binary
+  // search gives the same answer.
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), raw,
+      [](const Segment& seg, std::int64_t key) { return seg.upper_raw < key; });
+  const Segment& seg = it == segments_.end() ? segments_.back() : *it;
+  return fp::Fixed::from_raw(seg.value_raw, config_.out);
+}
+
+fp::Fixed Ralut::evaluate(fp::Fixed x) const {
+  const Symmetry symmetry = symmetry_of(config_.kind);
+  if (symmetry != Symmetry::None && x.is_negative()) {
+    const fp::Fixed positive = lookup_in_domain(x.negate());
+    return apply_negative_identity(symmetry, positive, config_.out);
+  }
+  return lookup_in_domain(x);
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,77 @@
+// Range-addressable LUT approximator (§VI alternative "RALUT", as in the
+// tanh designs of [4, 5, 8]).
+//
+// Segments are non-uniform: each entry covers the largest contiguous input
+// range over which the function stays within ±tolerance of a single output
+// level. Regions where the function is flat (the saturation tail) collapse
+// into a handful of entries, which is exactly why RALUTs beat uniform LUTs
+// in Fig. 4a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class Ralut final : public Approximator {
+ public:
+  struct Config {
+    FunctionKind kind = FunctionKind::Sigmoid;
+    fp::Format in{4, 11};
+    fp::Format out{4, 11};
+    /// Table domain; σ/tanh use [0, In_max], exp uses [−In_max, 0].
+    double x_min = 0.0;
+    double x_max = 8.0;
+    /// Half-width of the band one entry may cover (absolute output error of
+    /// the constant approximation before output quantisation).
+    double tolerance = 1.0 / (1 << 12);
+  };
+
+  explicit Ralut(const Config& config);
+
+  /// Natural domain config for @p kind (mirrors UniformLut::natural_config).
+  static Config natural_config(FunctionKind kind, fp::Format fmt,
+                               double tolerance);
+
+  /// Largest tolerance (found by bisection) whose table fits @p max_entries;
+  /// this is the per-entry-budget build Fig. 4b sweeps. @p x_max overrides
+  /// the table's upper domain bound (0 = natural domain) — Fig. 4a explores
+  /// ranges as well as entry counts.
+  static Ralut with_max_entries(FunctionKind kind, fp::Format fmt,
+                                std::size_t max_entries, double x_max = 0.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override { return config_.kind; }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return segments_.size();
+  }
+  /// Each entry stores an input upper bound plus an output value.
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return segments_.size() *
+           static_cast<std::size_t>(config_.in.width() + config_.out.width());
+  }
+
+ private:
+  /// Entry covers raws in (previous upper_raw, upper_raw].
+  struct Segment {
+    std::int64_t upper_raw;
+    std::int64_t value_raw;
+  };
+
+  void build();
+  [[nodiscard]] fp::Fixed lookup_in_domain(fp::Fixed x) const;
+
+  Config config_;
+  std::vector<Segment> segments_;
+  std::int64_t x_min_raw_ = 0;
+  std::int64_t x_max_raw_ = 0;
+};
+
+}  // namespace nacu::approx

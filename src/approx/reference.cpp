@@ -1,0 +1,59 @@
+#include "approx/reference.hpp"
+
+#include <cmath>
+
+namespace nacu::approx {
+
+double reference_eval(FunctionKind kind, double x) noexcept {
+  switch (kind) {
+    case FunctionKind::Sigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case FunctionKind::Tanh:
+      return std::tanh(x);
+    case FunctionKind::Exp:
+      return std::exp(x);
+  }
+  return 0.0;  // unreachable
+}
+
+Symmetry symmetry_of(FunctionKind kind) noexcept {
+  switch (kind) {
+    case FunctionKind::Sigmoid:
+      return Symmetry::SigmoidLike;
+    case FunctionKind::Tanh:
+      return Symmetry::Odd;
+    case FunctionKind::Exp:
+      return Symmetry::None;
+  }
+  return Symmetry::None;  // unreachable
+}
+
+std::string to_string(FunctionKind kind) {
+  switch (kind) {
+    case FunctionKind::Sigmoid:
+      return "sigmoid";
+    case FunctionKind::Tanh:
+      return "tanh";
+    case FunctionKind::Exp:
+      return "exp";
+  }
+  return "?";  // unreachable
+}
+
+double reference_derivative(FunctionKind kind, double x) noexcept {
+  switch (kind) {
+    case FunctionKind::Sigmoid: {
+      const double s = reference_eval(FunctionKind::Sigmoid, x);
+      return s * (1.0 - s);
+    }
+    case FunctionKind::Tanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case FunctionKind::Exp:
+      return std::exp(x);
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace nacu::approx

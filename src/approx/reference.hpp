@@ -1,0 +1,40 @@
+// Double-precision reference functions and their symmetry identities.
+//
+// The paper's accuracy metrics (max error, average error, RMSE, correlation;
+// §VII, Fig. 4, Fig. 6) are all measured against the floating-point
+// implementation benchmark — this module is that benchmark.
+#pragma once
+
+#include <string>
+
+namespace nacu::approx {
+
+/// The non-linear functions NACU computes (softmax is vector-valued and
+/// built from Exp; see core/softmax).
+enum class FunctionKind {
+  Sigmoid,  ///< σ(x) = 1 / (1 + e^-x)
+  Tanh,     ///< tanh(x) = (e^x − e^-x) / (e^x + e^-x)
+  Exp,      ///< e^x
+};
+
+/// How a function's negative half-range is derived from its positive one.
+enum class Symmetry {
+  None,         ///< evaluate directly (Exp)
+  SigmoidLike,  ///< f(−x) = 1 − f(x)  (paper Eq. 4)
+  Odd,          ///< f(−x) = −f(x)     (paper Eq. 5)
+};
+
+/// Evaluate the reference (double) function.
+[[nodiscard]] double reference_eval(FunctionKind kind, double x) noexcept;
+
+/// The symmetry identity the paper exploits for each function (§II).
+[[nodiscard]] Symmetry symmetry_of(FunctionKind kind) noexcept;
+
+/// Human-readable name ("sigmoid", "tanh", "exp").
+[[nodiscard]] std::string to_string(FunctionKind kind);
+
+/// First derivative of the reference function (used by fitting and by the
+/// error-propagation model of Eq. 15).
+[[nodiscard]] double reference_derivative(FunctionKind kind, double x) noexcept;
+
+}  // namespace nacu::approx

@@ -1,0 +1,175 @@
+#include "approx/remez.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace nacu::approx {
+
+namespace {
+
+/// Solve the (n+2)×(n+2) alternation system
+///   Σ_k c_k·u_i^k + (−1)^i·E = f(u_i)
+/// by Gaussian elimination with partial pivoting. Returns {c_0..c_n, E}.
+std::vector<double> solve_alternation(const std::vector<double>& u,
+                                      const std::vector<double>& f) {
+  const int m = static_cast<int>(u.size());  // n + 2
+  std::vector<std::vector<double>> a(
+      static_cast<std::size_t>(m),
+      std::vector<double>(static_cast<std::size_t>(m) + 1, 0.0));
+  for (int i = 0; i < m; ++i) {
+    double power = 1.0;
+    for (int k = 0; k < m - 1; ++k) {
+      a[i][k] = power;
+      power *= u[i];
+    }
+    a[i][m - 1] = (i % 2 == 0) ? 1.0 : -1.0;
+    a[i][m] = f[i];
+  }
+  for (int col = 0; col < m; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < m; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    if (a[col][col] == 0.0) {
+      throw std::runtime_error("Remez alternation system is singular");
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (int c = col; c <= m; ++c) {
+        a[r][c] -= factor * a[col][c];
+      }
+    }
+  }
+  std::vector<double> solution(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    solution[static_cast<std::size_t>(i)] = a[i][m] / a[i][i];
+  }
+  return solution;
+}
+
+double poly_eval(const std::vector<double>& coeff, double u) {
+  double value = 0.0;
+  for (std::size_t k = coeff.size(); k-- > 0;) {
+    value = value * u + coeff[k];
+  }
+  return value;
+}
+
+}  // namespace
+
+RemezResult remez_fit(FunctionKind kind, double a, double b, int degree,
+                      int max_iterations) {
+  if (degree < 0 || b <= a) {
+    throw std::invalid_argument("remez_fit needs degree >= 0 and b > a");
+  }
+  const double center = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  const int n_ref = degree + 2;
+
+  // Work in the normalised variable u = (x − center)/half ∈ [−1, 1] for
+  // conditioning; convert coefficients back at the end.
+  std::vector<double> ref(static_cast<std::size_t>(n_ref));
+  for (int i = 0; i < n_ref; ++i) {
+    // Chebyshev extrema as the initial reference.
+    ref[static_cast<std::size_t>(i)] =
+        -std::cos(std::numbers::pi * i / (n_ref - 1));
+  }
+  const auto f_of_u = [&](double u) {
+    return reference_eval(kind, center + half * u);
+  };
+
+  constexpr int kScan = 4001;
+  RemezResult result;
+  result.center = center;
+  std::vector<double> coeff;
+  double level = 0.0;
+  for (int iteration = 1; iteration <= max_iterations; ++iteration) {
+    result.iterations = iteration;
+    std::vector<double> f(ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      f[i] = f_of_u(ref[i]);
+    }
+    std::vector<double> solution = solve_alternation(ref, f);
+    level = std::abs(solution.back());
+    solution.pop_back();
+    coeff = std::move(solution);
+
+    // Dense scan of the error; collect alternating local extrema.
+    double worst = 0.0;
+    std::vector<double> extrema;
+    std::vector<double> extrema_err;
+    double prev_err = f_of_u(-1.0) - poly_eval(coeff, -1.0);
+    extrema.push_back(-1.0);
+    extrema_err.push_back(prev_err);
+    for (int s = 1; s < kScan; ++s) {
+      const double u = -1.0 + 2.0 * s / (kScan - 1);
+      const double err = f_of_u(u) - poly_eval(coeff, u);
+      worst = std::max(worst, std::abs(err));
+      if ((err > 0) == (extrema_err.back() > 0)) {
+        // Same lobe: keep the larger magnitude.
+        if (std::abs(err) > std::abs(extrema_err.back())) {
+          extrema.back() = u;
+          extrema_err.back() = err;
+        }
+      } else {
+        extrema.push_back(u);
+        extrema_err.push_back(err);
+      }
+    }
+    result.max_error = worst;
+
+    if (static_cast<int>(extrema.size()) < n_ref) {
+      // Fewer alternations than needed (flat error floor) — accept.
+      result.converged = true;
+      break;
+    }
+    // Keep the n_ref consecutive extrema with the largest smallest-member
+    // magnitude (simple heuristic: slide a window).
+    std::size_t best_start = 0;
+    double best_min = -1.0;
+    for (std::size_t start = 0; start + n_ref <= extrema.size(); ++start) {
+      double window_min = 1e300;
+      for (int k = 0; k < n_ref; ++k) {
+        window_min = std::min(window_min,
+                              std::abs(extrema_err[start + k]));
+      }
+      if (window_min > best_min) {
+        best_min = window_min;
+        best_start = start;
+      }
+    }
+    for (int i = 0; i < n_ref; ++i) {
+      ref[static_cast<std::size_t>(i)] = extrema[best_start + i];
+    }
+
+    if (worst <= level * 1.001) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Convert from u back to t = x − center: c_t[k] = c_u[k] / half^k.
+  result.coefficients.resize(coeff.size());
+  double scale = 1.0;
+  for (std::size_t k = 0; k < coeff.size(); ++k) {
+    result.coefficients[k] = coeff[k] / scale;
+    scale *= half;
+  }
+  return result;
+}
+
+double remez_eval(const RemezResult& fit, double x) {
+  const double t = x - fit.center;
+  double value = 0.0;
+  for (std::size_t k = fit.coefficients.size(); k-- > 0;) {
+    value = value * t + fit.coefficients[k];
+  }
+  return value;
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,36 @@
+// Remez exchange algorithm — true minimax polynomial approximation.
+//
+// The related-work designs the paper compares against fit per-segment
+// polynomials of order 1–6 (§VI); Taylor expansion concentrates accuracy at
+// the centre and Chebyshev interpolation is near-optimal, but the actual
+// optimum is the equioscillating minimax polynomial. This is the classic
+// second Remez algorithm: solve the alternation system on n+2 reference
+// points, locate the error extrema, exchange, iterate to convergence.
+#pragma once
+
+#include <vector>
+
+#include "approx/reference.hpp"
+
+namespace nacu::approx {
+
+struct RemezResult {
+  /// Monomial coefficients in t = x − center, degree ascending.
+  std::vector<double> coefficients;
+  double center = 0.0;
+  /// The equioscillation level |E| (the minimax error).
+  double max_error = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Degree-@p degree minimax polynomial for @p kind on [a, b].
+/// @p max_iterations bounds the exchange loop; convergence is declared when
+/// the extremal errors agree to 0.1%.
+[[nodiscard]] RemezResult remez_fit(FunctionKind kind, double a, double b,
+                                    int degree, int max_iterations = 30);
+
+/// Evaluate a RemezResult at x (double precision, for tests/analysis).
+[[nodiscard]] double remez_eval(const RemezResult& fit, double x);
+
+}  // namespace nacu::approx

@@ -1,0 +1,129 @@
+#include "approx/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "approx/error_analysis.hpp"
+#include "approx/lut.hpp"
+#include "approx/nupwl.hpp"
+#include "approx/pwl.hpp"
+#include "approx/ralut.hpp"
+
+namespace nacu::approx {
+
+std::string to_string(Family family) {
+  switch (family) {
+    case Family::Lut:
+      return "LUT";
+    case Family::Ralut:
+      return "RALUT";
+    case Family::Pwl:
+      return "PWL";
+    case Family::Nupwl:
+      return "NUPWL";
+  }
+  return "?";  // unreachable
+}
+
+namespace {
+
+/// Apply a domain-bound override to a config with x_min/x_max members.
+template <typename Config>
+void override_domain(Config& config, FunctionKind kind, double x_max) {
+  if (x_max <= 0.0) {
+    return;
+  }
+  if (kind == FunctionKind::Exp) {
+    config.x_min = -x_max;
+  } else {
+    config.x_max = x_max;
+  }
+}
+
+}  // namespace
+
+ApproximatorPtr build_family(Family family, FunctionKind kind, fp::Format fmt,
+                             std::size_t entries, double x_max) {
+  switch (family) {
+    case Family::Lut: {
+      auto config = UniformLut::natural_config(kind, fmt, entries);
+      override_domain(config, kind, x_max);
+      return std::make_unique<UniformLut>(config);
+    }
+    case Family::Ralut:
+      return std::make_unique<Ralut>(
+          Ralut::with_max_entries(kind, fmt, entries, x_max));
+    case Family::Pwl: {
+      auto config = Pwl::natural_config(kind, fmt, entries);
+      override_domain(config, kind, x_max);
+      // The "best configuration" exploration always prefers nearest
+      // rounding at the output: half an LSB of headroom for free.
+      config.datapath_rounding = fp::Rounding::NearestEven;
+      return std::make_unique<Pwl>(config);
+    }
+    case Family::Nupwl:
+      return std::make_unique<Nupwl>(
+          Nupwl::with_max_entries(kind, fmt, entries, x_max));
+  }
+  return nullptr;  // unreachable
+}
+
+double max_error_at_entries(Family family, FunctionKind kind, fp::Format fmt,
+                            std::size_t entries, double x_max) {
+  const ApproximatorPtr approximator =
+      build_family(family, kind, fmt, entries, x_max);
+  return analyze_natural(*approximator).max_abs;
+}
+
+std::optional<EntrySearchResult> min_entries_for_accuracy(
+    Family family, FunctionKind kind, fp::Format fmt, double target_error,
+    std::size_t entry_cap, double x_max) {
+  // Exponential probe for a feasible upper bound.
+  std::size_t hi = 1;
+  double hi_error = max_error_at_entries(family, kind, fmt, hi, x_max);
+  while (hi_error > target_error) {
+    if (hi >= entry_cap) {
+      return std::nullopt;
+    }
+    hi = std::min(hi * 2, entry_cap);
+    hi_error = max_error_at_entries(family, kind, fmt, hi, x_max);
+  }
+  // Binary search the smallest feasible count. Error is not perfectly
+  // monotone in entry count (quantisation jitter), so the search keeps the
+  // best feasible point seen.
+  std::size_t lo = hi / 2;  // last known-infeasible (or 0)
+  EntrySearchResult best{hi, hi_error};
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const double err = max_error_at_entries(family, kind, fmt, mid, x_max);
+    if (err <= target_error) {
+      hi = mid;
+      best = EntrySearchResult{mid, err};
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+std::optional<EntrySearchResult> min_entries_explored(
+    Family family, FunctionKind kind, fp::Format fmt, double target_error,
+    std::size_t entry_cap) {
+  // Candidate table ranges: the function saturates to within `target` of
+  // its limit at roughly −ln(target) = fb·ln2; sweeping a few multiples
+  // explores the interval-size/range trade-off of §VI.
+  const double x_sat = -std::log(target_error);
+  std::optional<EntrySearchResult> best;
+  for (const double x_max : {x_sat, 1.25 * x_sat, 1.5 * x_sat, 0.0}) {
+    const auto result = min_entries_for_accuracy(family, kind, fmt,
+                                                 target_error, entry_cap,
+                                                 x_max);
+    if (result && (!best || result->entries < best->entries)) {
+      best = result;
+    }
+  }
+  return best;
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,58 @@
+// Configuration search across approximation families (Fig. 4 machinery).
+//
+// The paper's Fig. 4 was produced by exploring "all possible interval sizes,
+// ranges and fixed-point formats ... and the one with the best accuracy was
+// selected". This module provides that exploration: build a family member at
+// a given entry budget, and search the smallest entry count reaching a
+// target accuracy.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+/// The four σ/tanh implementation families compared in §VI / Fig. 4.
+enum class Family { Lut, Ralut, Pwl, Nupwl };
+
+[[nodiscard]] std::string to_string(Family family);
+
+/// Build a member of @p family for @p kind in @p fmt using at most
+/// @p entries table entries (uniform families use exactly @p entries;
+/// non-uniform families maximise accuracy within the budget).
+/// @p x_max overrides the table's upper domain bound (0 = natural domain);
+/// Fig. 4a explores ranges as well as entry counts ("all possible interval
+/// sizes, ranges and fixed-point formats were explored").
+[[nodiscard]] ApproximatorPtr build_family(Family family, FunctionKind kind,
+                                           fp::Format fmt,
+                                           std::size_t entries,
+                                           double x_max = 0.0);
+
+struct EntrySearchResult {
+  std::size_t entries = 0;
+  double max_error = 0.0;
+};
+
+/// Smallest entry count whose natural-domain max error is <= @p target_error
+/// (doubling then binary search; each probe is a full exhaustive sweep).
+/// Returns nullopt when @p entry_cap is reached without hitting the target.
+[[nodiscard]] std::optional<EntrySearchResult> min_entries_for_accuracy(
+    Family family, FunctionKind kind, fp::Format fmt, double target_error,
+    std::size_t entry_cap = 1u << 14, double x_max = 0.0);
+
+/// min_entries_for_accuracy with the paper's range exploration: probes
+/// saturation-aware domain bounds (multiples of ln2 · fb) plus the natural
+/// domain and returns the best result across them.
+[[nodiscard]] std::optional<EntrySearchResult> min_entries_explored(
+    Family family, FunctionKind kind, fp::Format fmt, double target_error,
+    std::size_t entry_cap = 1u << 14);
+
+/// Natural-domain max error at a fixed entry budget (one Fig. 4b point).
+[[nodiscard]] double max_error_at_entries(Family family, FunctionKind kind,
+                                          fp::Format fmt,
+                                          std::size_t entries,
+                                          double x_max = 0.0);
+
+}  // namespace nacu::approx

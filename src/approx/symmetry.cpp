@@ -1,0 +1,30 @@
+#include "approx/symmetry.hpp"
+
+namespace nacu::approx {
+
+fp::Fixed apply_negative_identity(Symmetry symmetry, fp::Fixed positive_value,
+                                  fp::Format out) {
+  switch (symmetry) {
+    case Symmetry::SigmoidLike: {
+      // 1 − f computed on the value's own grid, then regridded.
+      const std::int64_t one =
+          std::int64_t{1} << positive_value.format().fractional_bits();
+      const std::int64_t raw = one - positive_value.raw();
+      // `one - raw` can exceed the source format's max (e.g. f == 0 in a
+      // Q0.fb format), so widen by one integer bit before regridding.
+      const fp::Format wide{positive_value.format().integer_bits() + 1,
+                            positive_value.format().fractional_bits()};
+      return fp::Fixed::from_raw(raw, wide).requantize(
+          out, fp::Rounding::Truncate, fp::Overflow::Saturate);
+    }
+    case Symmetry::Odd:
+      return positive_value.negate(fp::Overflow::Saturate)
+          .requantize(out, fp::Rounding::Truncate, fp::Overflow::Saturate);
+    case Symmetry::None:
+      return positive_value.requantize(out, fp::Rounding::Truncate,
+                                       fp::Overflow::Saturate);
+  }
+  return positive_value;  // unreachable
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,20 @@
+// Negative-half-range reconstruction via the centro-symmetry identities the
+// paper exploits to halve every table (§II, Eqs. 4–5).
+#pragma once
+
+#include "approx/reference.hpp"
+#include "fixedpoint/fixed.hpp"
+
+namespace nacu::approx {
+
+/// Given f(|x|) already evaluated bit-accurately, produce f(x) for x < 0:
+///  * SigmoidLike: 1 − f(|x|), computed as raw subtraction from 1<<fb,
+///  * Odd:         −f(|x|),
+///  * None:        identity (callers must handle the negative domain).
+/// The result saturates into @p out when the identity's value does not fit
+/// (e.g. exactly 1.0 in a Q0.fb format).
+[[nodiscard]] fp::Fixed apply_negative_identity(Symmetry symmetry,
+                                                fp::Fixed positive_value,
+                                                fp::Format out);
+
+}  // namespace nacu::approx

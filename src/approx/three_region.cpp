@@ -1,0 +1,128 @@
+#include "approx/three_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "approx/symmetry.hpp"
+
+namespace nacu::approx {
+
+ThreeRegionTanh::ThreeRegionTanh(const Config& config) : config_{config} {
+  if (config_.max_entries == 0) {
+    throw std::invalid_argument("ThreeRegionTanh needs at least one entry");
+  }
+  const double half_lsb = 0.5 * config_.out.resolution();
+  const double in_lsb = config_.in.resolution();
+
+  // Pass region: largest x with |tanh(x) − x| <= half an output LSB.
+  // tanh(x) ≈ x − x³/3, so the boundary is near cbrt(1.5 · LSB); walk the
+  // grid to make it exact.
+  std::int64_t raw = 0;
+  while (raw <= config_.in.max_raw()) {
+    const double x = static_cast<double>(raw) * in_lsb;
+    if (std::abs(std::tanh(x) - x) > half_lsb) {
+      break;
+    }
+    ++raw;
+  }
+  pass_end_raw_ = raw;
+
+  // Saturation region: first x with 1 − tanh(x) < half an output LSB, i.e.
+  // x > atanh(1 − half_lsb).
+  const double x_sat = std::atanh(std::min(1.0 - half_lsb, 1.0 - 1e-12));
+  saturation_start_raw_ = std::min(
+      config_.in.max_raw(),
+      static_cast<std::int64_t>(std::ceil(x_sat / in_lsb)));
+  one_raw_ = fp::Fixed::from_double(1.0, config_.out).raw();
+
+  if (saturation_start_raw_ <= pass_end_raw_) {
+    return;  // the RALUT region is empty (very coarse formats)
+  }
+
+  // Elaboration region: greedy RALUT under a bisected tolerance that fits
+  // the entry budget (same scheme as the standalone Ralut).
+  const auto build = [&](double tolerance) {
+    std::vector<Segment> segments;
+    double band_lo = 0.0;
+    double band_hi = 0.0;
+    bool open = false;
+    for (std::int64_t r = pass_end_raw_; r < saturation_start_raw_; ++r) {
+      const double f = std::tanh(static_cast<double>(r) * in_lsb);
+      if (!open) {
+        band_lo = band_hi = f;
+        open = true;
+        continue;
+      }
+      const double lo = std::min(band_lo, f);
+      const double hi = std::max(band_hi, f);
+      if (hi - lo <= 2.0 * tolerance) {
+        band_lo = lo;
+        band_hi = hi;
+      } else {
+        segments.push_back(Segment{
+            .upper_raw = r - 1,
+            .value_raw = fp::Fixed::from_double(0.5 * (band_lo + band_hi),
+                                                config_.out)
+                             .raw()});
+        band_lo = band_hi = f;
+      }
+    }
+    if (open) {
+      segments.push_back(Segment{
+          .upper_raw = saturation_start_raw_ - 1,
+          .value_raw = fp::Fixed::from_double(0.5 * (band_lo + band_hi),
+                                              config_.out)
+                           .raw()});
+    }
+    return segments;
+  };
+
+  double lo_tol = config_.out.resolution() / 16.0;
+  double hi_tol = 1.0;
+  segments_ = build(hi_tol);
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo_tol + hi_tol);
+    auto candidate = build(mid);
+    if (candidate.size() <= config_.max_entries) {
+      hi_tol = mid;
+      segments_ = std::move(candidate);
+    } else {
+      lo_tol = mid;
+    }
+  }
+}
+
+std::string ThreeRegionTanh::name() const {
+  std::ostringstream os;
+  os << "3RegionTanh(" << segments_.size() << ")";
+  return os.str();
+}
+
+fp::Fixed ThreeRegionTanh::positive_eval(fp::Fixed x) const {
+  const std::int64_t raw = x.raw();
+  if (raw < pass_end_raw_) {
+    // Pass region: the input wires straight through (regridded to `out`).
+    return x.requantize(config_.out, fp::Rounding::NearestEven,
+                        fp::Overflow::Saturate);
+  }
+  if (raw >= saturation_start_raw_ || segments_.empty()) {
+    return fp::Fixed::from_raw(one_raw_, config_.out);
+  }
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), raw,
+      [](const Segment& seg, std::int64_t key) { return seg.upper_raw < key; });
+  const Segment& seg = it == segments_.end() ? segments_.back() : *it;
+  return fp::Fixed::from_raw(seg.value_raw, config_.out);
+}
+
+fp::Fixed ThreeRegionTanh::evaluate(fp::Fixed x) const {
+  if (x.is_negative()) {
+    return apply_negative_identity(Symmetry::Odd, positive_eval(x.negate()),
+                                   config_.out);
+  }
+  return positive_eval(x);
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,72 @@
+// Three-region tanh approximator (§VI baseline [4], Zamanlooy et al.).
+//
+// [4] splits tanh's positive input range into
+//   * a pass region       [0, a)  where tanh(x) ≈ x (identity wire),
+//   * an elaboration region [a, b) covered by a RALUT,
+//   * a saturation region  [b, ∞) where the output is the constant 1.
+// Only the middle region costs table entries, which is how [4] reaches 14
+// entries at 9-bit precision. The region boundaries are derived from the
+// output resolution exactly as [4]'s analysis prescribes: the pass region
+// ends where |tanh(x) − x| exceeds half an output LSB, the saturation
+// region starts where 1 − tanh(x) drops below half an LSB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+class ThreeRegionTanh final : public Approximator {
+ public:
+  struct Config {
+    fp::Format in{3, 5};
+    fp::Format out{3, 5};
+    /// Entry budget for the elaboration-region RALUT.
+    std::size_t max_entries = 14;
+  };
+
+  explicit ThreeRegionTanh(const Config& config);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FunctionKind function() const override {
+    return FunctionKind::Tanh;
+  }
+  [[nodiscard]] fp::Format input_format() const override { return config_.in; }
+  [[nodiscard]] fp::Format output_format() const override {
+    return config_.out;
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override;
+  [[nodiscard]] std::size_t table_entries() const override {
+    return segments_.size();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return segments_.size() *
+           static_cast<std::size_t>(config_.in.width() + config_.out.width());
+  }
+
+  /// Region boundaries on the input grid (exposed for tests/benches).
+  [[nodiscard]] std::int64_t pass_end_raw() const noexcept {
+    return pass_end_raw_;
+  }
+  [[nodiscard]] std::int64_t saturation_start_raw() const noexcept {
+    return saturation_start_raw_;
+  }
+
+ private:
+  struct Segment {
+    std::int64_t upper_raw;
+    std::int64_t value_raw;
+  };
+
+  [[nodiscard]] fp::Fixed positive_eval(fp::Fixed x) const;
+
+  Config config_;
+  std::int64_t pass_end_raw_ = 0;         ///< first raw NOT in pass region
+  std::int64_t saturation_start_raw_ = 0; ///< first raw in saturation region
+  std::int64_t one_raw_ = 0;              ///< quantised 1.0 in `out`
+  std::vector<Segment> segments_;         ///< elaboration-region RALUT
+};
+
+}  // namespace nacu::approx

@@ -1,0 +1,170 @@
+#include "cgra/fabric.hpp"
+
+#include <stdexcept>
+
+#include "hwcost/technology.hpp"
+
+namespace nacu::cgra {
+
+DenseLayer DenseLayer::quantise(
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<double>& biases, std::uint32_t function,
+    fp::Format fmt) {
+  DenseLayer layer;
+  layer.neurons = weights.size();
+  layer.inputs = weights.empty() ? 0 : weights.front().size();
+  layer.function = function;
+  layer.weights_raw.reserve(layer.neurons * layer.inputs);
+  for (const auto& row : weights) {
+    if (row.size() != layer.inputs) {
+      throw std::invalid_argument("ragged weight matrix");
+    }
+    for (const double w : row) {
+      layer.weights_raw.push_back(fp::Fixed::from_double(w, fmt).raw());
+    }
+  }
+  layer.biases_raw.reserve(biases.size());
+  for (const double b : biases) {
+    layer.biases_raw.push_back(fp::Fixed::from_double(b, fmt).raw());
+  }
+  return layer;
+}
+
+Fabric::Fabric(const core::NacuConfig& config, std::size_t pe_count)
+    : config_{config} {
+  if (pe_count == 0) {
+    throw std::invalid_argument("Fabric needs at least one PE");
+  }
+  for (std::size_t i = 0; i < pe_count; ++i) {
+    pes_.push_back(std::make_unique<ProcessingElement>(
+        config, "pe" + std::to_string(i)));
+  }
+}
+
+void Fabric::configure(const DenseLayer& layer) {
+  layer_neurons_ = layer.neurons;
+  assignments_.assign(pes_.size(), {});
+  // Round-robin neuron assignment balances slice sizes to within one.
+  for (std::size_t n = 0; n < layer.neurons; ++n) {
+    assignments_[n % pes_.size()].push_back(n);
+  }
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    const auto& mine = assignments_[p];
+    std::vector<std::int64_t> weights;
+    std::vector<std::int64_t> biases;
+    weights.reserve(mine.size() * layer.inputs);
+    biases.reserve(mine.size());
+    for (const std::size_t n : mine) {
+      for (std::size_t i = 0; i < layer.inputs; ++i) {
+        weights.push_back(layer.weights_raw.at(n * layer.inputs + i));
+      }
+      biases.push_back(layer.biases_raw.at(n));
+    }
+    pes_[p]->load_weights(std::move(weights));
+    pes_[p]->load_biases(std::move(biases));
+    pes_[p]->load_program(build_dense_slice_program(mine.size(), layer.inputs,
+                                                    layer.function));
+    pes_[p]->set_output_slots(mine.size());
+    pes_[p]->set_inputs(&bus_inputs_);
+  }
+}
+
+std::vector<std::int64_t> Fabric::run(
+    const std::vector<std::int64_t>& inputs_raw) {
+  bus_inputs_ = inputs_raw;
+  hw::Simulator sim;
+  for (auto& pe : pes_) {
+    pe->restart();
+    sim.add(*pe);
+  }
+  // Run until every PE drained, with a generous safety bound.
+  const std::uint64_t bound =
+      64 + 16 * (layer_neurons_ + 1) *
+               (inputs_raw.size() + 8);
+  while (sim.cycle() < bound) {
+    bool all_done = true;
+    for (const auto& pe : pes_) {
+      if (!pe->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      break;
+    }
+    sim.step();
+  }
+
+  stats_.cycles = sim.cycle();
+  stats_.pe_count = pes_.size();
+  stats_.simulated_ns =
+      static_cast<double>(sim.cycle()) * cost::Tech28::kClockNs;
+  double busy = 0.0;
+  double total = 0.0;
+  stats_.nacu_toggles = 0;
+  for (const auto& pe : pes_) {
+    busy += static_cast<double>(pe->busy_cycles());
+    total += static_cast<double>(pe->total_cycles());
+    stats_.nacu_toggles += pe->nacu_toggles();
+  }
+  stats_.utilisation = total > 0.0 ? busy / total : 0.0;
+
+  std::vector<std::int64_t> outputs(layer_neurons_, 0);
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    const auto& slice = pes_[p]->outputs();
+    for (std::size_t local = 0; local < assignments_[p].size(); ++local) {
+      outputs.at(assignments_[p][local]) = slice.at(local);
+    }
+  }
+  return outputs;
+}
+
+std::vector<std::int64_t> dense_layer_reference(
+    const DenseLayer& layer, const std::vector<std::int64_t>& inputs_raw,
+    const core::NacuConfig& config) {
+  const core::Nacu unit{config};
+  const fp::Format fmt = config.format;
+  const fp::Format acc_fmt{fmt.integer_bits() + 8, fmt.fractional_bits()};
+  std::vector<std::int64_t> outputs;
+  outputs.reserve(layer.neurons);
+  for (std::size_t n = 0; n < layer.neurons; ++n) {
+    fp::Fixed acc = fp::Fixed::from_raw(layer.biases_raw.at(n), fmt)
+                        .requantize(acc_fmt);
+    for (std::size_t i = 0; i < layer.inputs; ++i) {
+      acc = unit.mac(acc,
+                     fp::Fixed::from_raw(
+                         layer.weights_raw.at(n * layer.inputs + i), fmt),
+                     fp::Fixed::from_raw(inputs_raw.at(i), fmt));
+    }
+    const fp::Fixed z = acc.requantize(fmt, fp::Rounding::Truncate,
+                                       fp::Overflow::Saturate);
+    const fp::Fixed y = layer.function == 0   ? unit.sigmoid(z)
+                        : layer.function == 1 ? unit.tanh(z)
+                        : layer.function == 2 ? unit.exp(z)
+                                              : z;  // kLinearFunction
+    outputs.push_back(y.raw());
+  }
+  return outputs;
+}
+
+std::vector<std::int64_t> run_network(Fabric& fabric,
+                                      const std::vector<DenseLayer>& layers,
+                                      std::vector<std::int64_t> inputs_raw,
+                                      std::uint64_t* total_cycles) {
+  std::uint64_t cycles = 0;
+  for (const DenseLayer& layer : layers) {
+    if (layer.inputs != inputs_raw.size()) {
+      throw std::invalid_argument(
+          "layer input width does not match previous layer's output");
+    }
+    fabric.configure(layer);
+    inputs_raw = fabric.run(inputs_raw);
+    cycles += fabric.stats().cycles;
+  }
+  if (total_cycles != nullptr) {
+    *total_cycles = cycles;
+  }
+  return inputs_raw;
+}
+
+}  // namespace nacu::cgra

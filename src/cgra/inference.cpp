@@ -1,0 +1,79 @@
+#include "cgra/inference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nacu::cgra {
+
+InferenceEngine::InferenceEngine(const nn::Mlp& mlp,
+                                 const core::NacuConfig& config,
+                                 std::size_t pe_count)
+    : config_{config}, fabric_{config, pe_count}, softmax_{config} {
+  if (mlp.max_parameter_magnitude() >= config.format.max_value()) {
+    throw std::invalid_argument(
+        "trained weights exceed the datapath format range");
+  }
+  const std::uint32_t hidden_function =
+      mlp.config().activation == nn::HiddenActivation::Sigmoid ? 0u : 1u;
+  for (std::size_t l = 0; l < mlp.layers(); ++l) {
+    const nn::MatrixD& w = mlp.weights(l);
+    std::vector<std::vector<double>> rows(w.rows(),
+                                          std::vector<double>(w.cols()));
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        rows[r][c] = w(r, c);
+      }
+    }
+    const bool is_output = l + 1 == mlp.layers();
+    layers_.push_back(DenseLayer::quantise(
+        rows, mlp.biases(l),
+        is_output ? kLinearFunction : hidden_function, config.format));
+  }
+}
+
+InferenceEngine::Result InferenceEngine::infer(
+    const std::vector<double>& input) {
+  Result result;
+  std::vector<std::int64_t> acts;
+  acts.reserve(input.size());
+  for (const double v : input) {
+    acts.push_back(fp::Fixed::from_double(v, config_.format).raw());
+  }
+  std::uint64_t toggles_before = 0;
+  for (const DenseLayer& layer : layers_) {
+    fabric_.configure(layer);
+    acts = fabric_.run(acts);
+    result.layer_cycles += fabric_.stats().cycles;
+    toggles_before = fabric_.stats().nacu_toggles;
+  }
+  result.nacu_toggles = toggles_before;
+
+  const hw::SoftmaxEngine::Result sm = softmax_.run(acts);
+  result.softmax_cycles = sm.cycles;
+  result.probabilities.reserve(sm.probs_raw.size());
+  for (const std::int64_t raw : sm.probs_raw) {
+    result.probabilities.push_back(
+        fp::Fixed::from_raw(raw, config_.format).to_double());
+  }
+  result.predicted_class = static_cast<int>(
+      std::max_element(result.probabilities.begin(),
+                       result.probabilities.end()) -
+      result.probabilities.begin());
+  return result;
+}
+
+double InferenceEngine::accuracy(const nn::Dataset& data) {
+  std::size_t correct = 0;
+  std::vector<double> input(data.inputs.cols());
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    for (std::size_t c = 0; c < input.size(); ++c) {
+      input[c] = data.inputs(s, c);
+    }
+    if (infer(input).predicted_class == data.labels[s]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace nacu::cgra

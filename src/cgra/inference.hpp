@@ -1,0 +1,59 @@
+// End-to-end MLP inference on the CGRA: fabric dense layers + the
+// cycle-accurate softmax engine — the complete deployment the paper's §I
+// sketches (MACs, hidden non-linearities, and the last-layer softmax all on
+// NACU hardware).
+//
+// The arithmetic sequence matches nn::QuantizedMlp exactly (bias preload,
+// in-order MACs, one requantisation, NACU activation, Eq. 13 softmax), so
+// the hardware inference is bit-identical to the functional quantised model
+// — a tested invariant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cgra/fabric.hpp"
+#include "hwmodel/softmax_engine.hpp"
+#include "nn/mlp.hpp"
+
+namespace nacu::cgra {
+
+class InferenceEngine {
+ public:
+  /// Quantise @p mlp onto @p config and map it across @p pe_count PEs.
+  InferenceEngine(const nn::Mlp& mlp, const core::NacuConfig& config,
+                  std::size_t pe_count);
+
+  struct Result {
+    int predicted_class = 0;
+    std::vector<double> probabilities;
+    std::uint64_t layer_cycles = 0;    ///< all dense layers, fabric time
+    std::uint64_t softmax_cycles = 0;  ///< softmax engine time
+    std::uint64_t nacu_toggles = 0;    ///< PE switching activity
+    [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+      return layer_cycles + softmax_cycles;
+    }
+  };
+
+  [[nodiscard]] Result infer(const std::vector<double>& input);
+
+  /// Classification accuracy over a dataset (runs the full pipeline per
+  /// sample — cycle-accurate, so prefer modest dataset sizes).
+  [[nodiscard]] double accuracy(const nn::Dataset& data);
+
+  [[nodiscard]] const core::NacuConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+
+ private:
+  core::NacuConfig config_;
+  std::vector<DenseLayer> layers_;  ///< hidden σ/tanh + final linear
+  Fabric fabric_;
+  hw::SoftmaxEngine softmax_;
+};
+
+}  // namespace nacu::cgra

@@ -1,0 +1,46 @@
+// Micro-instruction set for a NACU-centric CGRA processing element.
+//
+// The paper positions NACU inside coarse-grain reconfigurable architectures
+// that morph between ANN layers (§I, §VII: "CGRAs that can be dynamically
+// configured for any mix of ANNs and SNNs in the same fabric instance").
+// This ISA is the minimal contract such a fabric needs from the unit: MAC
+// streaming into the accumulator, then a non-linearity issued down the same
+// pipeline — exactly the two roles Fig. 2's shared multiply-add plays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nacu::cgra {
+
+enum class Op : std::uint8_t {
+  Nop,       ///< idle cycle (bubble)
+  LoadAcc,   ///< acc ← bias[a]
+  Mac,       ///< acc ← acc + weight[a] · input[b]  (one cycle, Fig. 2 MAC)
+  Act,       ///< issue activation(acc) into the NACU pipeline; a = function
+             ///< (0 = sigmoid, 1 = tanh, 2 = exp), b = output slot
+  StoreAcc,  ///< write acc (requantised, no non-linearity) to output slot b
+             ///< — linear output layers whose logits feed a softmax engine
+  Halt,      ///< stop fetching (in-flight activations still retire)
+};
+
+struct Instr {
+  Op op = Op::Nop;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+using Program = std::vector<Instr>;
+
+/// Program builder for one dense-layer slice: for each assigned neuron,
+/// LoadAcc + one Mac per input + Act (or StoreAcc), then Halt.
+/// @p function: 0 = sigmoid, 1 = tanh, 2 = exp, kLinearFunction = none.
+/// Weight memory layout: neuron-major (neuron n's weights are contiguous).
+[[nodiscard]] Program build_dense_slice_program(std::size_t neurons,
+                                                std::size_t inputs,
+                                                std::uint32_t function);
+
+/// Function selector meaning "no activation" (StoreAcc output).
+inline constexpr std::uint32_t kLinearFunction = 3;
+
+}  // namespace nacu::cgra

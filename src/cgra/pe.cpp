@@ -1,0 +1,144 @@
+#include "cgra/pe.hpp"
+
+#include <stdexcept>
+
+namespace nacu::cgra {
+
+Program build_dense_slice_program(std::size_t neurons, std::size_t inputs,
+                                  std::uint32_t function) {
+  Program program;
+  program.reserve(neurons * (inputs + 2) + 1);
+  for (std::size_t n = 0; n < neurons; ++n) {
+    program.push_back(
+        Instr{.op = Op::LoadAcc, .a = static_cast<std::uint32_t>(n), .b = 0});
+    for (std::size_t i = 0; i < inputs; ++i) {
+      program.push_back(Instr{
+          .op = Op::Mac,
+          .a = static_cast<std::uint32_t>(n * inputs + i),
+          .b = static_cast<std::uint32_t>(i)});
+    }
+    program.push_back(Instr{.op = function == kLinearFunction ? Op::StoreAcc
+                                                              : Op::Act,
+                            .a = function,
+                            .b = static_cast<std::uint32_t>(n)});
+  }
+  program.push_back(Instr{.op = Op::Halt});
+  return program;
+}
+
+ProcessingElement::ProcessingElement(const core::NacuConfig& config,
+                                     std::string name)
+    : name_{std::move(name)},
+      fmt_{config.format},
+      acc_fmt_{config.format.integer_bits() + 8,
+               config.format.fractional_bits()},
+      rtl_{config},
+      acc_{fp::Fixed::zero(acc_fmt_)} {}
+
+void ProcessingElement::load_program(Program program) {
+  program_ = std::move(program);
+  pc_ = 0;
+}
+
+void ProcessingElement::load_weights(std::vector<std::int64_t> weights_raw) {
+  weights_raw_ = std::move(weights_raw);
+}
+
+void ProcessingElement::load_biases(std::vector<std::int64_t> biases_raw) {
+  biases_raw_ = std::move(biases_raw);
+}
+
+void ProcessingElement::set_inputs(
+    const std::vector<std::int64_t>* inputs_raw) {
+  inputs_raw_ = inputs_raw;
+}
+
+void ProcessingElement::set_output_slots(std::size_t count) {
+  outputs_raw_.assign(count, 0);
+  output_valid_.assign(count, false);
+}
+
+void ProcessingElement::restart() {
+  pc_ = 0;
+  acc_ = fp::Fixed::zero(acc_fmt_);
+  pending_acts_ = 0;
+  busy_cycles_ = 0;
+  total_cycles_ = 0;
+  output_valid_.assign(output_valid_.size(), false);
+}
+
+bool ProcessingElement::done() const noexcept {
+  const bool halted =
+      pc_ >= program_.size() ||
+      (pc_ < program_.size() && program_[pc_].op == Op::Halt);
+  return halted && pending_acts_ == 0;
+}
+
+void ProcessingElement::tick() {
+  ++total_cycles_;
+  bool issued_work = false;
+
+  // Sequencer: one micro-instruction per cycle.
+  if (pc_ < program_.size()) {
+    const Instr& instr = program_[pc_];
+    switch (instr.op) {
+      case Op::Nop:
+        ++pc_;
+        break;
+      case Op::LoadAcc:
+        acc_ = fp::Fixed::from_raw(biases_raw_.at(instr.a), fmt_)
+                   .requantize(acc_fmt_);
+        ++pc_;
+        issued_work = true;
+        break;
+      case Op::Mac: {
+        if (inputs_raw_ == nullptr) {
+          throw std::logic_error("PE has no input bus attached");
+        }
+        const fp::Fixed w =
+            fp::Fixed::from_raw(weights_raw_.at(instr.a), fmt_);
+        const fp::Fixed x =
+            fp::Fixed::from_raw(inputs_raw_->at(instr.b), fmt_);
+        acc_ = rtl_.unit().mac(acc_, w, x);
+        ++pc_;
+        issued_work = true;
+        break;
+      }
+      case Op::Act: {
+        const hw::Func func = instr.a == 0   ? hw::Func::Sigmoid
+                              : instr.a == 1 ? hw::Func::Tanh
+                                             : hw::Func::Exp;
+        const fp::Fixed z = acc_.requantize(fmt_, fp::Rounding::Truncate,
+                                            fp::Overflow::Saturate);
+        rtl_.issue(func, z, instr.b);
+        ++pending_acts_;
+        ++pc_;
+        issued_work = true;
+        break;
+      }
+      case Op::StoreAcc: {
+        const fp::Fixed z = acc_.requantize(fmt_, fp::Rounding::Truncate,
+                                            fp::Overflow::Saturate);
+        outputs_raw_.at(instr.b) = z.raw();
+        output_valid_.at(instr.b) = true;
+        ++pc_;
+        issued_work = true;
+        break;
+      }
+      case Op::Halt:
+        break;  // stay on Halt; in-flight activations keep draining
+    }
+  }
+
+  rtl_.tick();
+  for (const hw::NacuRtl::Output& out : rtl_.outputs()) {
+    outputs_raw_.at(out.tag) = out.value_raw;
+    output_valid_.at(out.tag) = true;
+    --pending_acts_;
+  }
+  if (issued_work) {
+    ++busy_cycles_;
+  }
+}
+
+}  // namespace nacu::cgra

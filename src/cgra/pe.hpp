@@ -1,0 +1,79 @@
+// CGRA processing element: one NACU plus local memories and a sequencer.
+//
+// The PE owns a cycle-accurate NACU pipeline (hw::NacuRtl), a weight/bias
+// memory, a shared-input view and an output buffer. Each cycle it either
+// executes one micro-instruction (MAC = single cycle on the shared
+// multiply-add; Act = issue into the 3-stage PWL pipeline) or idles while
+// in-flight activations drain. Activations are tagged with their output
+// slot, so results can retire out of order with respect to fetch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cgra/isa.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::cgra {
+
+class ProcessingElement final : public hw::Module {
+ public:
+  ProcessingElement(const core::NacuConfig& config, std::string name);
+
+  /// Load configuration state (what the CGRA's configuration plane writes).
+  void load_program(Program program);
+  void load_weights(std::vector<std::int64_t> weights_raw);
+  void load_biases(std::vector<std::int64_t> biases_raw);
+  /// Inputs are shared across PEs (broadcast bus); raw on the datapath grid.
+  void set_inputs(const std::vector<std::int64_t>* inputs_raw);
+  void set_output_slots(std::size_t count);
+
+  /// Rewind the sequencer for a fresh run (pipeline must be drained, i.e.
+  /// done() — guaranteed at the end of any completed Fabric::run).
+  void restart();
+
+  void tick() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// All activations retired and the sequencer halted?
+  [[nodiscard]] bool done() const noexcept;
+
+  [[nodiscard]] const std::vector<std::int64_t>& outputs() const noexcept {
+    return outputs_raw_;
+  }
+  [[nodiscard]] std::uint64_t busy_cycles() const noexcept {
+    return busy_cycles_;
+  }
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+    return total_cycles_;
+  }
+  /// Switching activity of this PE's NACU stage registers (energy model).
+  [[nodiscard]] std::uint64_t nacu_toggles() const noexcept {
+    return rtl_.register_toggles();
+  }
+  [[nodiscard]] const core::Nacu& unit() const noexcept {
+    return rtl_.unit();
+  }
+
+ private:
+  std::string name_;
+  fp::Format fmt_;
+  fp::Format acc_fmt_;
+  hw::NacuRtl rtl_;
+
+  Program program_;
+  std::vector<std::int64_t> weights_raw_;
+  std::vector<std::int64_t> biases_raw_;
+  const std::vector<std::int64_t>* inputs_raw_ = nullptr;
+  std::vector<std::int64_t> outputs_raw_;
+  std::vector<bool> output_valid_;
+
+  std::size_t pc_ = 0;
+  fp::Fixed acc_;
+  std::size_t pending_acts_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace nacu::cgra

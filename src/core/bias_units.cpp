@@ -1,0 +1,36 @@
+#include "core/bias_units.hpp"
+
+#include <cassert>
+
+namespace nacu::core {
+
+std::int64_t fig3a_one_minus_q(std::int64_t q_raw, int fb) noexcept {
+  assert(q_raw >= (std::int64_t{1} << (fb - 1)) &&
+         q_raw <= (std::int64_t{1} << fb) && "q must lie in [0.5, 1]");
+  const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
+  const std::int64_t frac = q_raw & frac_mask;
+  // Two's complement of the fractional field; integer bits forced to zero.
+  return (-frac) & frac_mask;
+}
+
+std::int64_t fig3b_minus_one(std::int64_t v_raw, int fb) noexcept {
+  assert(v_raw >= (std::int64_t{1} << fb) &&
+         v_raw <= (std::int64_t{1} << (fb + 1)) && "v must lie in [1, 2]");
+  const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
+  const std::int64_t frac = v_raw & frac_mask;
+  const std::int64_t a1 = (v_raw >> (fb + 1)) & 1;
+  // a1 propagates into a0's position; a1 of the result is always 0.
+  return (a1 << fb) | frac;
+}
+
+std::int64_t fig3c_plus_one(std::int64_t t_raw, int fb) noexcept {
+  assert(t_raw >= -(std::int64_t{1} << (fb + 1)) &&
+         t_raw <= -(std::int64_t{1} << fb) && "t must lie in [-2, -1]");
+  const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
+  const std::int64_t frac = t_raw & frac_mask;
+  const std::int64_t a0 = (t_raw >> fb) & 1;
+  // All integer bits take ~a0: result is −1 + frac·2^-fb or 0 + frac·2^-fb.
+  return a0 ? frac : frac - (std::int64_t{1} << fb);
+}
+
+}  // namespace nacu::core

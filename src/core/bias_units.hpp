@@ -1,0 +1,39 @@
+// The specialised bias/coefficient units of paper Fig. 3.
+//
+// The operations on the σ bias q are restricted to 1−q, 2q−1 and 1−2q, and q
+// lives in [0.5, 1] (paper §V.A). Exploiting those ranges, each operation
+// reduces to wiring + at most an inverter row — no general subtractor:
+//
+//  Fig. 3a  r = 1 − q,  q  ∈ [0.5, 1] : integer bits zero, fractional bits
+//           are the two's complement of q's fractional bits.
+//  Fig. 3b  r = v − 1,  v  ∈ [1, 2]   : fractional bits pass through,
+//           integer a1 propagates into a0 (covers both v < 2 and v = 2).
+//           Also used as the decrementor for σ' − 1, σ' ∈ [1, 2] (§V.B).
+//  Fig. 3c  r = t + 1,  t  ∈ [−2, −1] : fractional bits pass through, all
+//           integer bits take the inverse of t's a0.
+//
+// All functions operate on raw two's-complement values with fb fractional
+// bits and are exact drop-in replacements for the arithmetic they avoid —
+// tests prove equality against real subtraction over the whole legal range.
+#pragma once
+
+#include <cstdint>
+
+namespace nacu::core {
+
+/// Fig. 3a: r = 1 − q for q ∈ [0.5, 1] (raw in [2^(fb−1), 2^fb]).
+/// Result is in [0, 0.5] on the same grid.
+[[nodiscard]] std::int64_t fig3a_one_minus_q(std::int64_t q_raw,
+                                             int fb) noexcept;
+
+/// Fig. 3b: r = v − 1 for v ∈ [1, 2] (raw in [2^fb, 2^(fb+1)]).
+/// Result is in [0, 1]. Doubles as the σ' − 1 decrementor of §V.B.
+[[nodiscard]] std::int64_t fig3b_minus_one(std::int64_t v_raw,
+                                           int fb) noexcept;
+
+/// Fig. 3c: r = t + 1 for t ∈ [−2, −1] (raw in [−2^(fb+1), −2^fb]).
+/// Result is in [−1, 0].
+[[nodiscard]] std::int64_t fig3c_plus_one(std::int64_t t_raw,
+                                          int fb) noexcept;
+
+}  // namespace nacu::core

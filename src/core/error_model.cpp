@@ -1,0 +1,14 @@
+#include "core/error_model.hpp"
+
+namespace nacu::core {
+
+double propagation_coefficient(double sigma) noexcept {
+  const double r = 1.0 - sigma;
+  return 1.0 / (r * r);
+}
+
+double exp_error_bound(double sigma_error) noexcept {
+  return bounded_propagation_coefficient() * sigma_error;
+}
+
+}  // namespace nacu::core

@@ -1,0 +1,23 @@
+// Error propagation from σ to e (paper §IV.B, Eqs. 15–16).
+//
+// e = 1/(1−σ) − 1, so an error δσ in the sigmoid becomes
+// δe = δσ / (1−σ)² — a coefficient that diverges as σ → 1. Max-normalising
+// softmax inputs (Eq. 13) keeps σ(x − x_max) ∈ [0, 0.5], which caps the
+// coefficient at 1/(1−0.5)² = 4.
+#pragma once
+
+namespace nacu::core {
+
+/// |∂e/∂σ| = 1/(1−σ)² (Eq. 15). σ must be < 1.
+[[nodiscard]] double propagation_coefficient(double sigma) noexcept;
+
+/// The cap under max-normalisation: coefficient at σ = 0.5, i.e. 4 (Eq. 16).
+[[nodiscard]] constexpr double bounded_propagation_coefficient() noexcept {
+  return 4.0;
+}
+
+/// Worst-case exp error implied by a sigmoid error budget under
+/// normalisation: 4·δσ.
+[[nodiscard]] double exp_error_bound(double sigma_error) noexcept;
+
+}  // namespace nacu::core

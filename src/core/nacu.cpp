@@ -1,0 +1,211 @@
+#include "core/nacu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bias_units.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::core {
+
+std::size_t lut_entries_for_bits(int total_bits) {
+  const double scaled = 53.0 * std::pow(2.0, (total_bits - 16) / 2.0);
+  return std::max<std::size_t>(8, static_cast<std::size_t>(scaled + 0.5));
+}
+
+NacuConfig config_for_bits(int total_bits, std::size_t lut_entries) {
+  const auto fmt = fp::best_symmetric_format(total_bits);
+  if (!fmt) {
+    throw std::invalid_argument("no Eq. 7 format exists for this bit-width");
+  }
+  NacuConfig config;
+  config.format = *fmt;
+  config.coeff_format = fp::Format{1, total_bits - 2};
+  config.lut_entries =
+      lut_entries > 0 ? lut_entries : lut_entries_for_bits(total_bits);
+  return config;
+}
+
+Nacu::Nacu(const NacuConfig& config)
+    : config_{config},
+      lut_{SigmoidLut::Config{.format = config.format,
+                              .coeff_format = config.coeff_format,
+                              .entries = config.lut_entries,
+                              .minimax = config.minimax_fit,
+                              .refine_quantised = config.refine_quantised_lut}},
+      coeff_wide_{2, config.coeff_format.fractional_bits()} {
+  if (config_.approximate_reciprocal) {
+    reciprocal_.emplace(ReciprocalUnit::Config{
+        .entries = config_.reciprocal_entries,
+        .coeff_format = config_.coeff_format,
+        .mantissa_fractional_bits =
+            config_.format.fractional_bits() + config_.divider_guard_bits});
+  }
+}
+
+fp::Fixed Nacu::reciprocal_for(fp::Fixed denom, fp::Format out) const {
+  if (reciprocal_) {
+    return reciprocal_->reciprocal(denom, out);
+  }
+  const fp::Fixed one = fp::Fixed::from_double(1.0, config_.format);
+  return one.div(denom, out, fp::Rounding::Truncate);
+}
+
+std::size_t Nacu::segment_for_magnitude(fp::Fixed magnitude,
+                                        bool tanh_mode) const {
+  // tanh looks σ up at 2|x| (Eq. 3's stretch) — one left shift.
+  const std::int64_t raw = tanh_mode
+                               ? magnitude.shifted_left(1).raw()
+                               : magnitude.raw();
+  return lut_.segment_for(raw);
+}
+
+Nacu::Coefficients Nacu::morph_coefficients(std::size_t segment,
+                                            Mode mode) const {
+  const int fb = config_.coeff_format.fractional_bits();
+  const std::int64_t m = lut_.slope_raw(segment);
+  const std::int64_t q = lut_.bias_raw(segment);
+  std::int64_t coeff = 0;
+  std::int64_t bias = 0;
+  switch (mode) {
+    case Mode::SigmoidPos:
+      coeff = m;
+      bias = q;
+      break;
+    case Mode::SigmoidNeg:
+      coeff = -m;
+      bias = config_.use_bit_trick_units
+                 ? fig3a_one_minus_q(q, fb)
+                 : (std::int64_t{1} << fb) - q;  // general subtractor
+      break;
+    case Mode::TanhPos:
+      coeff = m << 2;  // 2^{i+1} m_i with i = 1 (Eq. 10)
+      bias = config_.use_bit_trick_units
+                 ? fig3b_minus_one(q << 1, fb)
+                 : (q << 1) - (std::int64_t{1} << fb);
+      break;
+    case Mode::TanhNeg:
+      coeff = -(m << 2);
+      bias = config_.use_bit_trick_units
+                 ? fig3c_plus_one(-(q << 1), fb)
+                 : (std::int64_t{1} << fb) - (q << 1);
+      break;
+  }
+  return Coefficients{fp::Fixed::from_raw(coeff, coeff_wide_),
+                      fp::Fixed::from_raw(bias, coeff_wide_)};
+}
+
+fp::Fixed Nacu::evaluate_pwl(fp::Fixed x, bool tanh_mode) const {
+  const fp::Fixed magnitude = x.abs();
+  const std::size_t segment = segment_for_magnitude(magnitude, tanh_mode);
+  const Mode mode =
+      tanh_mode ? (x.is_negative() ? Mode::TanhNeg : Mode::TanhPos)
+                : (x.is_negative() ? Mode::SigmoidNeg : Mode::SigmoidPos);
+  const Coefficients c = morph_coefficients(segment, mode);
+  // The shared multiply-add: full-precision product + bias, one output
+  // quantisation (Fig. 2 top-right).
+  return magnitude.mul_full(c.coeff).add_full(c.bias).requantize(
+      config_.format, config_.output_rounding, fp::Overflow::Saturate);
+}
+
+fp::Fixed Nacu::sigmoid(fp::Fixed x) const { return evaluate_pwl(x, false); }
+
+fp::Fixed Nacu::tanh(fp::Fixed x) const { return evaluate_pwl(x, true); }
+
+fp::Fixed Nacu::divider_reciprocal(fp::Fixed denom) const {
+  // Quotient at datapath fb plus guard bits. σ' = 1/σ is at most 2 for
+  // normalised inputs, but give the quotient enough integer range to cover
+  // un-normalised use, then let the caller quantise. The exact path is the
+  // pipelined restoring divider; the approximate path is the future-work
+  // PWL reciprocal (§VIII).
+  const fp::Format quotient_fmt{
+      config_.format.integer_bits() + 1,
+      config_.format.fractional_bits() + config_.divider_guard_bits};
+  return reciprocal_for(denom, quotient_fmt);
+}
+
+fp::Fixed Nacu::exp(fp::Fixed x) const {
+  // Eq. 14: e^x = 1/σ(−x) − 1.
+  fp::Fixed s = sigmoid(x.negate());
+  if (s.raw() <= 0) {
+    // σ(−x) underflowed to 0, or rounded past the symmetry point to −1 LSB
+    // (possible when σ(x) quantises to 1 + LSB near saturation). The divider
+    // operand is unsigned in hardware; clamp it to one LSB.
+    s = fp::Fixed::from_raw(1, s.format());
+  }
+  const fp::Fixed sigma_prime = divider_reciprocal(s);
+  const int fb = sigma_prime.format().fractional_bits();
+  const std::int64_t sp_raw = sigma_prime.raw();
+  std::int64_t r_raw;
+  if (config_.use_bit_trick_units && sp_raw >= (std::int64_t{1} << fb) &&
+      sp_raw <= (std::int64_t{1} << (fb + 1))) {
+    // Normalised path: σ' ∈ [1, 2], decrement via the Fig. 3b wiring.
+    r_raw = fig3b_minus_one(sp_raw, fb);
+  } else {
+    r_raw = sp_raw - (std::int64_t{1} << fb);  // general decrementor
+  }
+  return fp::Fixed::from_raw(r_raw, sigma_prime.format())
+      .requantize(config_.format, config_.output_rounding,
+                  fp::Overflow::Saturate);
+}
+
+fp::Fixed Nacu::mac(fp::Fixed acc, fp::Fixed a, fp::Fixed b) const {
+  return acc.add_full(a.mul_full(b))
+      .requantize(acc.format(), fp::Rounding::Truncate,
+                  fp::Overflow::Saturate);
+}
+
+std::vector<fp::Fixed> Nacu::softmax(
+    std::span<const fp::Fixed> inputs) const {
+  if (inputs.empty()) {
+    return {};
+  }
+  // Max-normalisation (Eq. 13) keeps every exponential in (0, 1] and the
+  // error-propagation coefficient bounded by 4 (Eq. 16).
+  fp::Fixed x_max = inputs[0];
+  for (const fp::Fixed& x : inputs) {
+    x_max = std::max(x_max, x, [](const fp::Fixed& a, const fp::Fixed& b) {
+      return a < b;
+    });
+  }
+  // Accumulator format: room for n terms of magnitude <= 1.
+  int sum_ib = 1;
+  while ((std::size_t{1} << sum_ib) < inputs.size() + 1) {
+    ++sum_ib;
+  }
+  const fp::Format sum_fmt{sum_ib + 1, config_.format.fractional_bits()};
+  std::vector<fp::Fixed> exps;
+  exps.reserve(inputs.size());
+  fp::Fixed denom = fp::Fixed::zero(sum_fmt);
+  const fp::Fixed one = fp::Fixed::from_double(1.0, config_.format);
+  for (const fp::Fixed& x : inputs) {
+    const fp::Fixed diff = x.sub(x_max, config_.format);
+    const fp::Fixed e = exp(diff);
+    exps.push_back(e);
+    denom = mac(denom, e, one);  // the MAC accumulates the denominator
+  }
+  if (denom.is_zero()) {
+    denom = fp::Fixed::from_raw(1, sum_fmt);
+  }
+  std::vector<fp::Fixed> out;
+  out.reserve(inputs.size());
+  if (reciprocal_) {
+    // Approximate path: one reciprocal of the shared denominator, then a
+    // multiply per element on the MAC (§VIII future work).
+    const fp::Format recip_fmt{1, config_.format.fractional_bits() +
+                                      config_.divider_guard_bits + 2};
+    const fp::Fixed denom_recip = reciprocal_->reciprocal(denom, recip_fmt);
+    for (const fp::Fixed& e : exps) {
+      out.push_back(e.mul(denom_recip, config_.format,
+                          fp::Rounding::Truncate, fp::Overflow::Saturate));
+    }
+    return out;
+  }
+  for (const fp::Fixed& e : exps) {
+    out.push_back(e.div(denom, config_.format, fp::Rounding::Truncate));
+  }
+  return out;
+}
+
+}  // namespace nacu::core

@@ -1,0 +1,132 @@
+// NACU — the reconfigurable Non-linear Arithmetic Computation Unit
+// (paper §IV–V, Fig. 2), as a bit-accurate functional model.
+//
+// One σ coefficient LUT (positive half-range only) plus one multiply-add
+// datapath computes, depending on the selected mode:
+//
+//   σ(x)      y = ±m1·|x| + {q | 1−q}                  (Eqs. 8–9)
+//   tanh(x)   y = ±4·m1·|x| + {2q−1 | 1−2q},           (Eqs. 10–11)
+//             segment selected by 2|x| (Eq. 3's stretch)
+//   e^x       σ(−x) → pipelined divider → decrementor  (Eq. 14)
+//   softmax   e^(x_i − x_max) / Σ e^(x_j − x_max)      (Eq. 13)
+//   MAC       acc + a·b  (the same multiply-add, accumulating)
+//
+// The coefficient morphing (negate, ×4 shift) and the bias morphing (1−q,
+// 2q−1, 1−2q, σ'−1) use the specialised Fig. 3 units; a config switch swaps
+// them for general subtractors so tests and benches can show they are exact
+// and cheaper (the ablation §VII discusses).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include <optional>
+
+#include "core/reciprocal.hpp"
+#include "core/sigmoid_lut.hpp"
+#include "fixedpoint/fixed.hpp"
+
+namespace nacu::core {
+
+struct NacuConfig {
+  /// Datapath input/output format. Q4.11 is the paper's 16-bit pick (§III).
+  fp::Format format{4, 11};
+  /// σ LUT geometry (entries/coefficient width).
+  std::size_t lut_entries = 53;
+  fp::Format coeff_format{1, 14};
+  /// Extra quotient bits the divider produces beyond the datapath fb; the
+  /// decrementor consumes them before the final output quantisation.
+  int divider_guard_bits = 2;
+  /// Final output quantisation. NearestUp is "add half an LSB, truncate" —
+  /// one extra adder input in hardware; Truncate is free.
+  fp::Rounding output_rounding = fp::Rounding::NearestUp;
+  /// Use the Fig. 3 wiring tricks (true) or general subtractors (false).
+  /// Outputs are bit-identical either way — that equivalence is tested.
+  bool use_bit_trick_units = true;
+  bool minimax_fit = true;
+  /// Quantisation-aware ±1 LSB refinement of the LUT coefficients (see
+  /// SigmoidLut::Config::refine_quantised).
+  bool refine_quantised_lut = false;
+  /// The paper's future-work option (§VIII): replace the pipelined
+  /// restoring divider with an approximate PWL reciprocal that reuses the
+  /// shared multiply-add — much smaller, slightly less accurate.
+  bool approximate_reciprocal = false;
+  std::size_t reciprocal_entries = 16;
+};
+
+/// LUT entry count for an N-bit datapath, scaling the paper's 53-at-16-bits
+/// choice: PWL max error ∝ 1/entries², so each extra output bit needs √2×
+/// the entries (floor of 8).
+[[nodiscard]] std::size_t lut_entries_for_bits(int total_bits);
+
+/// Derive the NacuConfig the paper's method selects for an N-bit datapath:
+/// format from Eq. 7 (best_symmetric_format), coefficients at Q1.(N−2),
+/// LUT entries from lut_entries_for_bits (override with @p lut_entries > 0).
+[[nodiscard]] NacuConfig config_for_bits(int total_bits,
+                                         std::size_t lut_entries = 0);
+
+class Nacu {
+ public:
+  explicit Nacu(const NacuConfig& config);
+
+  [[nodiscard]] const NacuConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SigmoidLut& lut() const noexcept { return lut_; }
+  [[nodiscard]] fp::Format format() const noexcept { return config_.format; }
+
+  /// σ(x) for any representable x (negative range via Eq. 9 morphing).
+  [[nodiscard]] fp::Fixed sigmoid(fp::Fixed x) const;
+
+  /// tanh(x) for any representable x (Eqs. 10–11; segment at 2|x|).
+  [[nodiscard]] fp::Fixed tanh(fp::Fixed x) const;
+
+  /// e^x via Eq. 14. Intended for softmax-normalised inputs x ≤ 0 where the
+  /// output is in (0, 1] and the σ'−1 decrementor trick applies; positive
+  /// inputs are still computed (general decrement) and saturate at the
+  /// format's maximum.
+  [[nodiscard]] fp::Fixed exp(fp::Fixed x) const;
+
+  /// Softmax over @p inputs (Eq. 13): max-normalise, exp each, one divider
+  /// pass per element against the MAC-accumulated denominator.
+  [[nodiscard]] std::vector<fp::Fixed> softmax(
+      std::span<const fp::Fixed> inputs) const;
+
+  /// One MAC step: acc + a·b, truncated back into acc's format. This is the
+  /// same multiply-add the PWL evaluation uses (paper §V.B: it accumulates
+  /// convolution sums and the softmax denominator).
+  [[nodiscard]] fp::Fixed mac(fp::Fixed acc, fp::Fixed a, fp::Fixed b) const;
+
+  /// The morphed (coefficient, bias) pair the datapath multiplies with — the
+  /// output of the "calculation of bias and coefficient" block in Fig. 2.
+  /// Exposed so the cycle-accurate hardware model shares one source of truth.
+  struct Coefficients {
+    fp::Fixed coeff;  ///< ±m1 or ±4·m1, in the widened coefficient format
+    fp::Fixed bias;   ///< q, 1−q, 2q−1 or 1−2q, same format
+  };
+  enum class Mode { SigmoidPos, SigmoidNeg, TanhPos, TanhNeg };
+  [[nodiscard]] Coefficients morph_coefficients(std::size_t segment,
+                                                Mode mode) const;
+
+  /// Segment index for a magnitude input (σ uses |x|, tanh uses 2|x|).
+  [[nodiscard]] std::size_t segment_for_magnitude(fp::Fixed magnitude,
+                                                  bool tanh_mode) const;
+
+  /// The reciprocal unit when approximate_reciprocal is enabled.
+  [[nodiscard]] const ReciprocalUnit* reciprocal_unit() const noexcept {
+    return reciprocal_ ? &*reciprocal_ : nullptr;
+  }
+
+ private:
+  [[nodiscard]] fp::Fixed evaluate_pwl(fp::Fixed x, bool tanh_mode) const;
+  [[nodiscard]] fp::Fixed divider_reciprocal(fp::Fixed denom) const;
+  /// 1/denom at quotient precision: exact restoring division, or the
+  /// approximate PWL reciprocal when configured.
+  [[nodiscard]] fp::Fixed reciprocal_for(fp::Fixed denom,
+                                         fp::Format out) const;
+
+  NacuConfig config_;
+  SigmoidLut lut_;
+  fp::Format coeff_wide_;  ///< Q2.fb_c: holds ±4m and all morphed biases
+  std::optional<ReciprocalUnit> reciprocal_;
+};
+
+}  // namespace nacu::core

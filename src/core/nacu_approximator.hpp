@@ -1,0 +1,64 @@
+// Adapter exposing a Nacu function as an approx::Approximator, so the NACU
+// itself plugs into the same error-analysis sweeps and Fig. 4/Fig. 6
+// comparisons as every baseline.
+#pragma once
+
+#include <memory>
+
+#include "approx/approximator.hpp"
+#include "core/nacu.hpp"
+
+namespace nacu::core {
+
+class NacuApproximator final : public approx::Approximator {
+ public:
+  NacuApproximator(std::shared_ptr<const Nacu> unit,
+                   approx::FunctionKind kind)
+      : unit_{std::move(unit)}, kind_{kind} {}
+
+  /// Convenience: build a fresh NACU for @p total_bits.
+  static NacuApproximator for_bits(int total_bits, approx::FunctionKind kind,
+                                   std::size_t lut_entries = 0) {
+    return NacuApproximator{
+        std::make_shared<Nacu>(config_for_bits(total_bits, lut_entries)),
+        kind};
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "NACU-" + approx::to_string(kind_);
+  }
+  [[nodiscard]] approx::FunctionKind function() const override {
+    return kind_;
+  }
+  [[nodiscard]] fp::Format input_format() const override {
+    return unit_->format();
+  }
+  [[nodiscard]] fp::Format output_format() const override {
+    return unit_->format();
+  }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override {
+    switch (kind_) {
+      case approx::FunctionKind::Sigmoid:
+        return unit_->sigmoid(x);
+      case approx::FunctionKind::Tanh:
+        return unit_->tanh(x);
+      case approx::FunctionKind::Exp:
+        return unit_->exp(x);
+    }
+    return unit_->sigmoid(x);  // unreachable
+  }
+  [[nodiscard]] std::size_t table_entries() const override {
+    return unit_->lut().entries();
+  }
+  [[nodiscard]] std::size_t storage_bits() const override {
+    return unit_->lut().storage_bits();
+  }
+
+  [[nodiscard]] const Nacu& unit() const noexcept { return *unit_; }
+
+ private:
+  std::shared_ptr<const Nacu> unit_;
+  approx::FunctionKind kind_;
+};
+
+}  // namespace nacu::core

@@ -1,0 +1,97 @@
+#include "core/reciprocal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nacu::core {
+
+namespace {
+
+/// Minimax line for the convex f(m) = 1/m on [a, b] (Chebyshev closed
+/// form: slope = secant; the interior tangency point is √(ab)).
+struct Line {
+  double slope;
+  double intercept;
+  double max_error;
+};
+
+Line minimax_reciprocal(double a, double b) {
+  const double slope = (1.0 / b - 1.0 / a) / (b - a);
+  const double c = std::sqrt(a * b);  // where f'(c) == slope
+  const double secant_at_c = 1.0 / a + slope * (c - a);
+  const double intercept = 1.0 / a - slope * a + 0.5 * (1.0 / c - secant_at_c);
+  const double max_error = std::abs(0.5 * (1.0 / c - secant_at_c));
+  return Line{slope, intercept, max_error};
+}
+
+}  // namespace
+
+ReciprocalUnit::ReciprocalUnit(const Config& config) : config_{config} {
+  if (config_.entries == 0 || config_.mantissa_fractional_bits < 2) {
+    throw std::invalid_argument(
+        "ReciprocalUnit needs entries >= 1 and mantissa bits >= 2");
+  }
+  const double step = 1.0 / static_cast<double>(config_.entries);
+  for (std::size_t i = 0; i < config_.entries; ++i) {
+    const double a = 1.0 + static_cast<double>(i) * step;
+    const Line line = minimax_reciprocal(a, a + step);
+    m_raw_.push_back(
+        fp::Fixed::from_double(line.slope, config_.coeff_format).raw());
+    q_raw_.push_back(
+        fp::Fixed::from_double(line.intercept, config_.coeff_format).raw());
+    // Relative error on [1,2): absolute error / min value (1/b < 1).
+    worst_relative_error_ =
+        std::max(worst_relative_error_, line.max_error * (a + step));
+  }
+}
+
+fp::Fixed ReciprocalUnit::reciprocal(fp::Fixed v, fp::Format out) const {
+  if (v.raw() <= 0) {
+    throw std::domain_error("ReciprocalUnit needs a positive operand");
+  }
+  const int fb = v.format().fractional_bits();
+  const int mfb = config_.mantissa_fractional_bits;
+
+  // Leading-one detection: v = m · 2^e with m ∈ [1, 2).
+  int position = 63;
+  while (((v.raw() >> position) & 1) == 0) {
+    --position;
+  }
+  const int exponent = position - fb;
+  // Mantissa on the Q1.mfb grid (truncating shift, as a barrel shifter
+  // with dropped low bits would).
+  const int shift = mfb - position;
+  const std::int64_t mantissa_raw =
+      shift >= 0 ? v.raw() << shift : v.raw() >> -shift;
+  const fp::Format mant_fmt{1, mfb};
+
+  // Segment select within the octave.
+  const std::int64_t one = std::int64_t{1} << mfb;
+  auto index = static_cast<std::int64_t>(
+      (static_cast<__int128>(mantissa_raw - one) *
+       static_cast<__int128>(m_raw_.size())) >>
+      mfb);
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(m_raw_.size()) - 1);
+  const auto i = static_cast<std::size_t>(index);
+
+  // The shared multiply-add computes r = m·mant + q ∈ (0.5, 1].
+  const fp::Fixed mant = fp::Fixed::from_raw(mantissa_raw, mant_fmt);
+  const fp::Fixed m = fp::Fixed::from_raw(m_raw_[i], config_.coeff_format);
+  const fp::Fixed q = fp::Fixed::from_raw(q_raw_[i], config_.coeff_format);
+  const fp::Fixed r = mant.mul_full(m).add_full(q).requantize(
+      fp::Format{1, mfb}, fp::Rounding::Truncate, fp::Overflow::Saturate);
+
+  // 1/v = r · 2^−e, regridded into `out` (one barrel shift).
+  const int total_shift = mfb - out.fractional_bits() + exponent;
+  const __int128 wide =
+      total_shift >= 0
+          ? static_cast<__int128>(r.raw()) >> std::min(total_shift, 126)
+          : static_cast<__int128>(r.raw()) << std::min(-total_shift, 126);
+  const std::int64_t raw =
+      wide > out.max_raw() ? out.max_raw() : static_cast<std::int64_t>(wide);
+  return fp::Fixed::from_raw(std::max<std::int64_t>(raw, 0), out);
+}
+
+}  // namespace nacu::core

@@ -1,0 +1,59 @@
+// Approximate reciprocal unit — the paper's stated future work (§VIII):
+// "we plan to optimise out the conventional divider with an approximate
+// one. This will allow us to significantly lower the area cost with a
+// small reduction in overall accuracy."
+//
+// Design: 1/v is computed by range reduction plus a small PWL table.
+// A leading-one detector writes v = m · 2^k with mantissa m ∈ [1, 2); then
+// 1/v = 2^−k · (1/m), and 1/m ∈ (0.5, 1] comes from a PWL approximation of
+// the reciprocal over one octave — evaluated on the *same* multiply-add the
+// σ/tanh path already owns. The 25-row restoring divider array disappears;
+// what remains is a second small coefficient table and a shifter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace nacu::core {
+
+class ReciprocalUnit {
+ public:
+  struct Config {
+    /// PWL segments over the mantissa octave [1, 2).
+    std::size_t entries = 16;
+    /// Coefficient storage format; slopes of 1/m on [1,2) lie in [−1,−0.25]
+    /// and intercepts in (0.5, 2], so one integer bit suffices with sign.
+    fp::Format coeff_format{1, 14};
+    /// Working fractional bits of the mantissa/reciprocal datapath.
+    int mantissa_fractional_bits = 13;
+  };
+
+  explicit ReciprocalUnit(const Config& config);
+
+  /// Approximate 1/v for v > 0, quantised into @p out (saturating).
+  /// Throws std::domain_error when v <= 0.
+  [[nodiscard]] fp::Fixed reciprocal(fp::Fixed v, fp::Format out) const;
+
+  [[nodiscard]] std::size_t entries() const noexcept {
+    return m_raw_.size();
+  }
+  /// Table bits: (m, q) per segment.
+  [[nodiscard]] std::size_t storage_bits() const noexcept {
+    return entries() * 2 *
+           static_cast<std::size_t>(config_.coeff_format.width());
+  }
+  /// Continuous max relative error of the mantissa PWL (for tests/benches).
+  [[nodiscard]] double worst_relative_error() const noexcept {
+    return worst_relative_error_;
+  }
+
+ private:
+  Config config_;
+  std::vector<std::int64_t> m_raw_;
+  std::vector<std::int64_t> q_raw_;
+  double worst_relative_error_ = 0.0;
+};
+
+}  // namespace nacu::core

@@ -1,0 +1,98 @@
+#include "core/sigmoid_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "approx/fit.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::core {
+
+SigmoidLut::SigmoidLut(const Config& config) : config_{config} {
+  if (config_.entries == 0) {
+    throw std::invalid_argument("SigmoidLut needs at least one entry");
+  }
+  const double in_max = fp::input_max(config_.format);
+  x_max_raw_ = fp::Fixed::from_double(in_max, config_.format).raw();
+  const double step = in_max / static_cast<double>(config_.entries);
+  const int fb = config_.coeff_format.fractional_bits();
+  const std::int64_t q_lo = std::int64_t{1} << (fb - 1);  // 0.5
+  const std::int64_t q_hi = std::int64_t{1} << fb;        // 1.0
+  m_raw_.reserve(config_.entries);
+  q_raw_.reserve(config_.entries);
+  // Measured max error of quantised (m, q) over one segment's input grid.
+  const auto segment_error = [&](double a, double b, std::int64_t m_raw,
+                                 std::int64_t q_raw) {
+    const double m = static_cast<double>(m_raw) *
+                     config_.coeff_format.resolution();
+    const double q = static_cast<double>(q_raw) *
+                     config_.coeff_format.resolution();
+    double worst = 0.0;
+    constexpr int kProbes = 33;
+    for (int p = 0; p <= kProbes; ++p) {
+      const double x = a + (b - a) * p / kProbes;
+      const double ref = 1.0 / (1.0 + std::exp(-x));
+      worst = std::max(worst, std::abs(m * x + q - ref));
+    }
+    return worst;
+  };
+
+  for (std::size_t i = 0; i < config_.entries; ++i) {
+    const double a = static_cast<double>(i) * step;
+    const double b = a + step;
+    const approx::LinearFit fit =
+        config_.minimax
+            ? approx::fit_minimax(approx::FunctionKind::Sigmoid, a, b)
+            : approx::fit_least_squares(approx::FunctionKind::Sigmoid, a, b);
+    std::int64_t m_raw = std::max<std::int64_t>(
+        fp::Fixed::from_double(fit.slope, config_.coeff_format).raw(), 0);
+    // The Fig. 3 units require q ∈ [0.5, 1]; quantisation can nudge a bias a
+    // hair outside, so clamp onto the legal grid.
+    std::int64_t q_raw = std::clamp(
+        fp::Fixed::from_double(fit.intercept, config_.coeff_format).raw(),
+        q_lo, q_hi);
+    if (config_.refine_quantised) {
+      // ±1 LSB neighbourhood search around the rounded pair.
+      std::int64_t best_m = m_raw;
+      std::int64_t best_q = q_raw;
+      double best = segment_error(a, b, m_raw, q_raw);
+      for (std::int64_t dm = -1; dm <= 1; ++dm) {
+        for (std::int64_t dq = -1; dq <= 1; ++dq) {
+          const std::int64_t cm = m_raw + dm;
+          const std::int64_t cq = std::clamp(q_raw + dq, q_lo, q_hi);
+          if (cm < 0) continue;
+          const double err = segment_error(a, b, cm, cq);
+          if (err < best) {
+            best = err;
+            best_m = cm;
+            best_q = cq;
+          }
+        }
+      }
+      m_raw = best_m;
+      q_raw = best_q;
+    }
+    m_raw_.push_back(m_raw);
+    q_raw_.push_back(q_raw);
+  }
+}
+
+std::size_t SigmoidLut::segment_for(std::int64_t x_raw) const noexcept {
+  const std::int64_t clamped = std::clamp<std::int64_t>(x_raw, 0, x_max_raw_);
+  auto index = static_cast<std::int64_t>(
+      (static_cast<__int128>(clamped) * static_cast<__int128>(entries())) /
+      x_max_raw_);
+  return static_cast<std::size_t>(std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(entries()) - 1));
+}
+
+fp::Fixed SigmoidLut::slope(std::size_t i) const {
+  return fp::Fixed::from_raw(m_raw_.at(i), config_.coeff_format);
+}
+
+fp::Fixed SigmoidLut::bias(std::size_t i) const {
+  return fp::Fixed::from_raw(q_raw_.at(i), config_.coeff_format);
+}
+
+}  // namespace nacu::core

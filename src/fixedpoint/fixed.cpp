@@ -1,0 +1,257 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nacu::fp {
+
+namespace {
+
+using Int128 = __int128;
+
+/// Quantise a 128-bit intermediate (scaled by 2^shift relative to the target
+/// grid) down to the target grid with rounding, then apply overflow policy.
+std::int64_t narrow(Int128 wide, const Format& out, Overflow overflow) {
+  // The widened formats used by *_full keep everything within int64 range
+  // for kMaxWidth-bit operands, but saturation must still clamp to `out`.
+  if (wide > out.max_raw()) {
+    return overflow == Overflow::Saturate
+               ? out.max_raw()
+               : apply_overflow(static_cast<std::int64_t>(
+                                    wide & Int128{~std::uint64_t{0}}),
+                                out, Overflow::Wrap);
+  }
+  if (wide < out.min_raw()) {
+    return overflow == Overflow::Saturate
+               ? out.min_raw()
+               : apply_overflow(static_cast<std::int64_t>(
+                                    wide & Int128{~std::uint64_t{0}}),
+                                out, Overflow::Wrap);
+  }
+  return static_cast<std::int64_t>(wide);
+}
+
+/// shift_right_rounded for 128-bit intermediates (products need it).
+Int128 shift_right_rounded128(Int128 raw, int shift, Rounding mode) {
+  if (shift <= 0) {
+    return raw << -shift;
+  }
+  const Int128 floor_val = raw >> shift;
+  const Int128 rem = raw - (floor_val << shift);
+  const Int128 half = Int128{1} << (shift - 1);
+  switch (mode) {
+    case Rounding::Truncate:
+      return floor_val;
+    case Rounding::TowardZero:
+      return (raw < 0 && rem != 0) ? floor_val + 1 : floor_val;
+    case Rounding::NearestUp:
+      if (rem > half) return floor_val + 1;
+      if (rem < half) return floor_val;
+      return raw >= 0 ? floor_val + 1 : floor_val;
+    case Rounding::NearestEven:
+      if (rem > half) return floor_val + 1;
+      if (rem < half) return floor_val;
+      return (floor_val & 1) ? floor_val + 1 : floor_val;
+  }
+  return floor_val;  // unreachable
+}
+
+}  // namespace
+
+std::int64_t shift_right_rounded(std::int64_t raw, int shift, Rounding mode) noexcept {
+  return static_cast<std::int64_t>(
+      shift_right_rounded128(Int128{raw}, shift, mode));
+}
+
+std::int64_t apply_overflow(std::int64_t raw, const Format& fmt,
+                            Overflow overflow) noexcept {
+  if (raw >= fmt.min_raw() && raw <= fmt.max_raw()) {
+    return raw;
+  }
+  if (overflow == Overflow::Saturate) {
+    return raw > fmt.max_raw() ? fmt.max_raw() : fmt.min_raw();
+  }
+  // Two's-complement wrap to `width` bits, then sign-extend.
+  const unsigned width = static_cast<unsigned>(fmt.width());
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  std::uint64_t bits = static_cast<std::uint64_t>(raw) & mask;
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  if (bits & sign) {
+    bits |= ~mask;
+  }
+  return static_cast<std::int64_t>(bits);
+}
+
+Fixed Fixed::from_raw(std::int64_t raw, Format fmt) {
+  if (raw < fmt.min_raw() || raw > fmt.max_raw()) {
+    std::ostringstream msg;
+    msg << "raw value " << raw << " does not fit " << fmt.to_string();
+    throw std::out_of_range(msg.str());
+  }
+  return Fixed{raw, fmt};
+}
+
+Fixed Fixed::from_double(double value, Format fmt, Rounding rounding,
+                         Overflow overflow) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("cannot quantise a non-finite value");
+  }
+  const double scaled = std::ldexp(value, fmt.fractional_bits());
+  double rounded = 0.0;
+  switch (rounding) {
+    case Rounding::Truncate:
+      rounded = std::floor(scaled);
+      break;
+    case Rounding::TowardZero:
+      rounded = std::trunc(scaled);
+      break;
+    case Rounding::NearestUp:
+      rounded = std::round(scaled);
+      break;
+    case Rounding::NearestEven:
+      rounded = std::nearbyint(scaled);  // assumes FE_TONEAREST (default)
+      break;
+  }
+  // Clamp in double space first: a wildly out-of-range double must not
+  // overflow the int64 conversion below.
+  const double max_d = static_cast<double>(fmt.max_raw());
+  const double min_d = static_cast<double>(fmt.min_raw());
+  if (rounded > max_d || rounded < min_d) {
+    if (overflow == Overflow::Saturate) {
+      return Fixed{rounded > max_d ? fmt.max_raw() : fmt.min_raw(), fmt};
+    }
+    // Wrap is only meaningful for mildly out-of-range values.
+    return Fixed{apply_overflow(static_cast<std::int64_t>(rounded), fmt,
+                                Overflow::Wrap),
+                 fmt};
+  }
+  return Fixed{static_cast<std::int64_t>(rounded), fmt};
+}
+
+double Fixed::to_double() const noexcept {
+  return std::ldexp(static_cast<double>(raw_), -fmt_.fractional_bits());
+}
+
+Fixed Fixed::requantize(Format out, Rounding rounding,
+                        Overflow overflow) const {
+  const int shift = fmt_.fractional_bits() - out.fractional_bits();
+  const Int128 regridded = shift_right_rounded128(Int128{raw_}, shift, rounding);
+  return Fixed{narrow(regridded, out, overflow), out};
+}
+
+Fixed Fixed::add_full(const Fixed& rhs) const {
+  const Format out = fmt_.add_result(rhs.fmt_);
+  const int fb = out.fractional_bits();
+  const std::int64_t a = raw_ << (fb - fmt_.fractional_bits());
+  const std::int64_t b = rhs.raw_ << (fb - rhs.fmt_.fractional_bits());
+  return Fixed{a + b, out};
+}
+
+Fixed Fixed::sub_full(const Fixed& rhs) const {
+  const Format out = fmt_.add_result(rhs.fmt_);
+  const int fb = out.fractional_bits();
+  const std::int64_t a = raw_ << (fb - fmt_.fractional_bits());
+  const std::int64_t b = rhs.raw_ << (fb - rhs.fmt_.fractional_bits());
+  return Fixed{a - b, out};
+}
+
+Fixed Fixed::mul_full(const Fixed& rhs) const {
+  const Format out = fmt_.mul_result(rhs.fmt_);
+  const Int128 product = Int128{raw_} * Int128{rhs.raw_};
+  return Fixed{static_cast<std::int64_t>(product), out};
+}
+
+Fixed Fixed::add(const Fixed& rhs, Format out, Rounding rounding,
+                 Overflow overflow) const {
+  return add_full(rhs).requantize(out, rounding, overflow);
+}
+
+Fixed Fixed::sub(const Fixed& rhs, Format out, Rounding rounding,
+                 Overflow overflow) const {
+  return sub_full(rhs).requantize(out, rounding, overflow);
+}
+
+Fixed Fixed::mul(const Fixed& rhs, Format out, Rounding rounding,
+                 Overflow overflow) const {
+  const Int128 product = Int128{raw_} * Int128{rhs.raw_};
+  const int shift =
+      fmt_.fractional_bits() + rhs.fmt_.fractional_bits() - out.fractional_bits();
+  const Int128 regridded = shift_right_rounded128(product, shift, rounding);
+  return Fixed{narrow(regridded, out, overflow), out};
+}
+
+Fixed Fixed::div(const Fixed& rhs, Format out, Rounding rounding) const {
+  if (rhs.raw_ == 0) {
+    throw std::domain_error("fixed-point division by zero");
+  }
+  // quotient_raw = (a_raw / b_raw) * 2^(fb_out + fb_b - fb_a), computed so
+  // that Truncate floors toward zero exactly like a restoring divider on
+  // sign-magnitude operands.
+  const int shift =
+      out.fractional_bits() + rhs.fmt_.fractional_bits() - fmt_.fractional_bits();
+  Int128 num = Int128{raw_};
+  Int128 den = Int128{rhs.raw_};
+  const bool negative = (num < 0) != (den < 0);
+  if (num < 0) num = -num;
+  if (den < 0) den = -den;
+  if (shift >= 0) {
+    num <<= shift;
+  } else {
+    den <<= -shift;
+  }
+  Int128 quotient = num / den;
+  const Int128 remainder = num % den;
+  switch (rounding) {
+    case Rounding::Truncate:
+    case Rounding::TowardZero:
+      break;  // magnitude already truncated
+    case Rounding::NearestUp:
+      if (2 * remainder >= den) ++quotient;
+      break;
+    case Rounding::NearestEven:
+      if (2 * remainder > den || (2 * remainder == den && (quotient & 1))) {
+        ++quotient;
+      }
+      break;
+  }
+  if (negative) quotient = -quotient;
+  return Fixed{narrow(quotient, out, Overflow::Saturate), out};
+}
+
+Fixed Fixed::negate(Overflow overflow) const {
+  return Fixed{apply_overflow(-raw_, fmt_, overflow), fmt_};
+}
+
+Fixed Fixed::abs(Overflow overflow) const {
+  return raw_ < 0 ? negate(overflow) : *this;
+}
+
+Fixed Fixed::shifted_left(int bits, Overflow overflow) const {
+  if (bits < 0) {
+    throw std::invalid_argument("shifted_left expects a non-negative count");
+  }
+  const Int128 shifted = Int128{raw_} << bits;
+  return Fixed{narrow(shifted, fmt_, overflow), fmt_};
+}
+
+int Fixed::compare(const Fixed& rhs) const noexcept {
+  const int fb = std::max(fmt_.fractional_bits(), rhs.fmt_.fractional_bits());
+  const Int128 a = Int128{raw_} << (fb - fmt_.fractional_bits());
+  const Int128 b = Int128{rhs.raw_} << (fb - rhs.fmt_.fractional_bits());
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Fixed::to_string() const {
+  std::ostringstream os;
+  os << raw_ << " (" << fmt_.to_string() << ") = " << to_double();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Fixed& value) {
+  return os << value.to_string();
+}
+
+}  // namespace nacu::fp

@@ -1,0 +1,130 @@
+// Bit-accurate signed fixed-point value type.
+//
+// A Fixed is an integer "raw" value interpreted on the grid of a Format:
+// value = raw * 2^-fb. All arithmetic is exact integer arithmetic with
+// explicit, hardware-faithful quantisation points — this is what lets the
+// C++ model reproduce the NACU RTL bit-for-bit (paper §V, footnote 1).
+//
+// Two styles of operation are provided:
+//  * *_full  — exact results in the widened result format (what a hardware
+//              multiplier/adder produces before truncation),
+//  * add/mul/div into an explicit output format with explicit Rounding and
+//    Overflow policies (the quantisation the datapath applies).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "fixedpoint/format.hpp"
+#include "fixedpoint/rounding.hpp"
+
+namespace nacu::fp {
+
+class Fixed {
+ public:
+  /// Wrap an existing raw integer. Throws std::out_of_range when @p raw does
+  /// not fit @p fmt — raw values are produced by hardware-model code that
+  /// must never silently overflow.
+  static Fixed from_raw(std::int64_t raw, Format fmt);
+
+  /// Quantise a real value onto @p fmt's grid.
+  static Fixed from_double(double value, Format fmt,
+                           Rounding rounding = Rounding::NearestEven,
+                           Overflow overflow = Overflow::Saturate);
+
+  /// Zero in the given format.
+  static Fixed zero(Format fmt) { return from_raw(0, fmt); }
+  /// Largest representable value in the given format.
+  static Fixed max(Format fmt) { return from_raw(fmt.max_raw(), fmt); }
+  /// Most negative representable value in the given format.
+  static Fixed min(Format fmt) { return from_raw(fmt.min_raw(), fmt); }
+
+  [[nodiscard]] std::int64_t raw() const noexcept { return raw_; }
+  [[nodiscard]] Format format() const noexcept { return fmt_; }
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] bool is_negative() const noexcept { return raw_ < 0; }
+  [[nodiscard]] bool is_zero() const noexcept { return raw_ == 0; }
+
+  /// Re-grid this value onto @p out. Exact when out.fb >= fb and the value
+  /// fits; otherwise rounds/saturates per the policies.
+  [[nodiscard]] Fixed requantize(Format out,
+                                 Rounding rounding = Rounding::Truncate,
+                                 Overflow overflow = Overflow::Saturate) const;
+
+  /// Exact sum in the widened format add_result().
+  [[nodiscard]] Fixed add_full(const Fixed& rhs) const;
+  /// Exact difference in the widened format add_result().
+  [[nodiscard]] Fixed sub_full(const Fixed& rhs) const;
+  /// Exact product in the widened format mul_result().
+  [[nodiscard]] Fixed mul_full(const Fixed& rhs) const;
+
+  /// Sum quantised into @p out.
+  [[nodiscard]] Fixed add(const Fixed& rhs, Format out,
+                          Rounding rounding = Rounding::Truncate,
+                          Overflow overflow = Overflow::Saturate) const;
+  /// Difference quantised into @p out.
+  [[nodiscard]] Fixed sub(const Fixed& rhs, Format out,
+                          Rounding rounding = Rounding::Truncate,
+                          Overflow overflow = Overflow::Saturate) const;
+  /// Product quantised into @p out.
+  [[nodiscard]] Fixed mul(const Fixed& rhs, Format out,
+                          Rounding rounding = Rounding::Truncate,
+                          Overflow overflow = Overflow::Saturate) const;
+
+  /// Quotient this/rhs quantised into @p out (saturating). Matches a
+  /// hardware restoring divider when rounding == Truncate (quotient bits are
+  /// simply not produced past fb_out). Throws std::domain_error on rhs == 0.
+  [[nodiscard]] Fixed div(const Fixed& rhs, Format out,
+                          Rounding rounding = Rounding::Truncate) const;
+
+  /// Two's-complement negation in the same format. -min saturates to max
+  /// under Overflow::Saturate.
+  [[nodiscard]] Fixed negate(Overflow overflow = Overflow::Saturate) const;
+  /// |x| in the same format (|min| saturates to max).
+  [[nodiscard]] Fixed abs(Overflow overflow = Overflow::Saturate) const;
+
+  /// Arithmetic left shift by @p bits in the same format — the "×2" of
+  /// tanh(x) = 2σ(2x) − 1 (paper Eq. 3). Saturates or wraps on overflow.
+  [[nodiscard]] Fixed shifted_left(int bits,
+                                   Overflow overflow = Overflow::Saturate) const;
+
+  /// Exact value comparison across formats (cross-scales the raws).
+  [[nodiscard]] int compare(const Fixed& rhs) const noexcept;
+
+  friend bool operator==(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const Fixed& a, const Fixed& b) noexcept {
+    return a.compare(b) >= 0;
+  }
+
+  /// "raw/2^fb (Q4.11) = value" debugging form.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Fixed(std::int64_t raw, Format fmt) : raw_{raw}, fmt_{fmt} {}
+
+  std::int64_t raw_;
+  Format fmt_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fixed& value);
+
+/// Clamp or wrap @p raw into the representable range of @p fmt.
+[[nodiscard]] std::int64_t apply_overflow(std::int64_t raw, const Format& fmt,
+                                          Overflow overflow) noexcept;
+
+}  // namespace nacu::fp

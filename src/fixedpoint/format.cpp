@@ -1,0 +1,67 @@
+#include "fixedpoint/format.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nacu::fp {
+
+namespace detail {
+void throw_bad_format(int ib, int fb) {
+  std::ostringstream msg;
+  msg << "invalid fixed-point format Q" << ib << "." << fb
+      << " (need ib >= 0, fb >= 0, 1 + ib + fb <= " << Format::kMaxWidth
+      << ")";
+  throw std::invalid_argument(msg.str());
+}
+}  // namespace detail
+
+Format Format::parse(const std::string& text) {
+  if (text.empty() || (text[0] != 'Q' && text[0] != 'q')) {
+    throw std::invalid_argument("format string must look like \"Q4.11\": " +
+                                text);
+  }
+  const auto dot = text.find('.');
+  if (dot == std::string::npos || dot == 1 || dot + 1 == text.size()) {
+    throw std::invalid_argument("format string must look like \"Q4.11\": " +
+                                text);
+  }
+  std::size_t parsed_ib = 0;
+  std::size_t parsed_fb = 0;
+  const int ib = std::stoi(text.substr(1, dot - 1), &parsed_ib);
+  const int fb = std::stoi(text.substr(dot + 1), &parsed_fb);
+  if (parsed_ib != dot - 1 || parsed_fb != text.size() - dot - 1) {
+    throw std::invalid_argument("trailing characters in format string: " +
+                                text);
+  }
+  return Format{ib, fb};
+}
+
+double Format::resolution() const noexcept { return std::ldexp(1.0, -fb_); }
+
+double Format::max_value() const noexcept {
+  return std::ldexp(1.0, ib_) - resolution();
+}
+
+double Format::min_value() const noexcept { return -std::ldexp(1.0, ib_); }
+
+Format Format::mul_result(const Format& rhs) const {
+  return Format{ib_ + rhs.ib_ + 1, fb_ + rhs.fb_};
+}
+
+Format Format::add_result(const Format& rhs) const {
+  return Format{std::max(ib_, rhs.ib_) + 1, std::max(fb_, rhs.fb_)};
+}
+
+std::string Format::to_string() const {
+  std::ostringstream os;
+  os << "Q" << ib_ << "." << fb_;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Format& fmt) {
+  return os << fmt.to_string();
+}
+
+}  // namespace nacu::fp

@@ -1,0 +1,81 @@
+// Q(i_b).(f_b) fixed-point format descriptor (paper §III).
+//
+// A format is 1 sign bit + i_b integer bits + f_b fractional bits, total
+// width N = 1 + i_b + f_b. Values are stored as two's-complement integers
+// scaled by 2^f_b ("raw" representation). The class is a value type carrying
+// no storage of its own; it describes the grid a Fixed value lives on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nacu::fp {
+
+class Format {
+ public:
+  /// Widest total bit-width supported. Raw values are int64_t, so any width
+  /// up to 62 stores losslessly; multiplication uses 128-bit intermediates.
+  /// Full-precision multiply results must themselves fit (operand widths
+  /// summing past this throw at Format construction, never wrap).
+  static constexpr int kMaxWidth = 62;
+
+  /// Construct Q(ib).(fb). Throws std::invalid_argument when ib < 0, fb < 0
+  /// or the total width exceeds kMaxWidth.
+  constexpr Format(int integer_bits, int fractional_bits);
+
+  /// Parse "Q4.11" notation (sign bit implied).
+  static Format parse(const std::string& text);
+
+  [[nodiscard]] constexpr int integer_bits() const noexcept { return ib_; }
+  [[nodiscard]] constexpr int fractional_bits() const noexcept { return fb_; }
+  /// Total width N = 1 + i_b + f_b (the 1 is the sign bit).
+  [[nodiscard]] constexpr int width() const noexcept { return 1 + ib_ + fb_; }
+
+  /// Largest representable raw value: 2^(ib+fb) - 1.
+  [[nodiscard]] constexpr std::int64_t max_raw() const noexcept {
+    return (std::int64_t{1} << (ib_ + fb_)) - 1;
+  }
+  /// Smallest representable raw value: -2^(ib+fb).
+  [[nodiscard]] constexpr std::int64_t min_raw() const noexcept {
+    return -(std::int64_t{1} << (ib_ + fb_));
+  }
+
+  /// Value of one LSB: 2^-fb.
+  [[nodiscard]] double resolution() const noexcept;
+  /// Largest representable value: 2^ib - 2^-fb (paper's In_max, Eq. 6).
+  [[nodiscard]] double max_value() const noexcept;
+  /// Smallest (most negative) representable value: -2^ib.
+  [[nodiscard]] double min_value() const noexcept;
+
+  /// Result format of a full-precision multiply: Q(ib1+ib2+1).(fb1+fb2).
+  /// The +1 integer bit absorbs min*min = +2^(ib1+ib2).
+  [[nodiscard]] Format mul_result(const Format& rhs) const;
+  /// Result format of a full-precision add: Q(max(ib)+1).(max(fb)).
+  [[nodiscard]] Format add_result(const Format& rhs) const;
+
+  /// "Q4.11" textual form.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Format&, const Format&) = default;
+
+ private:
+  int ib_;
+  int fb_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Format& fmt);
+
+namespace detail {
+[[noreturn]] void throw_bad_format(int ib, int fb);
+}
+
+constexpr Format::Format(int integer_bits, int fractional_bits)
+    : ib_{integer_bits}, fb_{fractional_bits} {
+  if (ib_ < 0 || fb_ < 0 || 1 + ib_ + fb_ > kMaxWidth) {
+    detail::throw_bad_format(ib_, fb_);
+  }
+}
+
+}  // namespace nacu::fp

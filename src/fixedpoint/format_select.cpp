@@ -1,0 +1,68 @@
+#include "fixedpoint/format_select.hpp"
+
+#include <cmath>
+
+namespace nacu::fp {
+
+double input_max(const Format& in) noexcept {
+  return std::ldexp(1.0, in.integer_bits()) -
+         std::ldexp(1.0, -in.fractional_bits());
+}
+
+bool satisfies_eq7(const Format& in, const Format& out) noexcept {
+  const double lhs = std::ldexp(1.0, in.integer_bits());
+  const double fb_out = out.fractional_bits();
+  const double denom = 1.0 - std::ldexp(1.0, 1 - in.width());
+  const double rhs = std::log(2.0) * fb_out / denom;
+  return lhs > rhs;
+}
+
+bool saturation_condition(const Format& in, const Format& out) noexcept {
+  return std::exp(-input_max(in)) <
+         std::ldexp(1.0, -out.fractional_bits());
+}
+
+std::optional<int> min_input_integer_bits(int n_in,
+                                          const Format& out) noexcept {
+  for (int ib = 0; ib <= n_in - 1; ++ib) {
+    const Format in{ib, n_in - 1 - ib};
+    if (satisfies_eq7(in, out)) {
+      return ib;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Format> best_symmetric_format(int n) noexcept {
+  if (n < 2 || n > Format::kMaxWidth) {
+    return std::nullopt;
+  }
+  for (int ib = 0; ib <= n - 1; ++ib) {
+    const Format candidate{ib, n - 1 - ib};
+    if (satisfies_eq7(candidate, candidate)) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FormatBound> format_bound_table(int n_min, int n_max) {
+  std::vector<FormatBound> rows;
+  for (int n = n_min; n <= n_max; ++n) {
+    const auto fmt = best_symmetric_format(n);
+    if (!fmt) {
+      continue;
+    }
+    rows.push_back(FormatBound{
+        .total_bits = n,
+        .min_integer_bits = fmt->integer_bits(),
+        .fractional_bits = fmt->fractional_bits(),
+        .in_max = input_max(*fmt),
+        .sigma_tail = std::exp(-input_max(*fmt)),
+        .output_lsb = fmt->resolution(),
+    });
+  }
+  return rows;
+}
+
+}  // namespace nacu::fp

@@ -1,0 +1,57 @@
+// Formal fixed-point format selection (paper §III, Eqs. 6–7).
+//
+// The paper's method: the input format must reach an In_max large enough
+// that e^-In_max is below the output LSB, so that σ saturates cleanly to 1
+// within the representable input range. Eq. 7 rearranges this into a lower
+// bound on the input integer bits:
+//
+//     2^{ib_in} > ln(2) · (N_out − ib_out − 1) / (1 − 2^{1−N_in})
+//
+// It has no closed form; this module solves it case by case, exactly as the
+// paper prescribes ("it has to be solved case by case").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace nacu::fp {
+
+/// Largest positive value of the input format: In_max = 2^ib − 2^−fb (Eq. 6).
+[[nodiscard]] double input_max(const Format& in) noexcept;
+
+/// Does the (input, output) format pair satisfy Eq. 7 — i.e. does the input
+/// range reach deep enough into σ's saturation for the output accuracy?
+[[nodiscard]] bool satisfies_eq7(const Format& in, const Format& out) noexcept;
+
+/// Equivalent direct check from Eq. 6/7's premise: e^−In_max < 2^−fb_out.
+/// Kept separate so tests can cross-validate the algebraic rearrangement.
+[[nodiscard]] bool saturation_condition(const Format& in,
+                                        const Format& out) noexcept;
+
+/// Smallest ib_in (for a fixed total input width N_in and output format)
+/// satisfying Eq. 7, or nullopt when even ib_in = N_in − 1 fails.
+[[nodiscard]] std::optional<int> min_input_integer_bits(
+    int n_in, const Format& out) noexcept;
+
+/// The paper's common case ib_in = ib_out = ib, N_in = N_out = N: the
+/// smallest ib such that Q(ib).(N−1−ib) satisfies Eq. 7 against itself.
+/// For N = 16 this returns Q4.11 (paper §III worked example).
+[[nodiscard]] std::optional<Format> best_symmetric_format(int n) noexcept;
+
+/// One row of the format-selection table printed by bench_tab_formats.
+struct FormatBound {
+  int total_bits;       ///< N
+  int min_integer_bits; ///< smallest ib satisfying Eq. 7
+  int fractional_bits;  ///< N − 1 − ib
+  double in_max;        ///< In_max of the resulting format
+  double sigma_tail;    ///< e^−In_max, must be < 2^−fb
+  double output_lsb;    ///< 2^−fb
+};
+
+/// Solve Eq. 7 for every N in [n_min, n_max] (symmetric case). Widths where
+/// no ib works are skipped.
+[[nodiscard]] std::vector<FormatBound> format_bound_table(int n_min, int n_max);
+
+}  // namespace nacu::fp

@@ -1,0 +1,34 @@
+// Rounding and overflow policies for fixed-point quantisation.
+//
+// The paper (§III) uses round-to-nearest when quantising LUT coefficients and
+// truncation inside the datapath (the cheapest hardware). Both are provided,
+// plus round-half-up and round-to-nearest-even so that sweeps can explore the
+// accuracy/cost trade-off the way the paper's "all possible fixed-point
+// formats were explored" evaluation does (§VI, Fig. 4).
+#pragma once
+
+#include <cstdint>
+
+namespace nacu::fp {
+
+/// How to map a value onto a coarser fixed-point grid.
+enum class Rounding {
+  Truncate,      ///< drop fractional bits (round toward negative infinity)
+  NearestEven,   ///< round half to even (IEEE-style, unbiased)
+  NearestUp,     ///< round half away from zero on ties
+  TowardZero,    ///< drop magnitude bits (round toward zero)
+};
+
+/// What to do when a value exceeds the representable range.
+enum class Overflow {
+  Saturate,  ///< clamp to [min_raw, max_raw] — what the NACU hardware does
+  Wrap,      ///< two's-complement wrap-around
+};
+
+/// Shift @p raw right by @p shift bits applying @p mode to the discarded
+/// bits. @p shift must be >= 0; shift == 0 returns @p raw unchanged.
+/// This is the primitive every requantisation reduces to.
+[[nodiscard]] std::int64_t shift_right_rounded(std::int64_t raw, int shift,
+                                               Rounding mode) noexcept;
+
+}  // namespace nacu::fp

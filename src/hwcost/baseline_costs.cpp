@@ -1,0 +1,60 @@
+#include "hwcost/baseline_costs.hpp"
+
+#include "hwcost/gates.hpp"
+
+namespace nacu::cost {
+
+double lut_unit_ge(std::size_t entries, int in_bits, int out_bits) {
+  const double rom = static_cast<double>(entries) * out_bits * rom_bit_ge();
+  const double decode = in_bits * 4.0;  // address decode tree
+  return rom + decode + register_ge(out_bits);
+}
+
+double ralut_unit_ge(std::size_t entries, int in_bits, int out_bits) {
+  const double rom = static_cast<double>(entries) * out_bits * rom_bit_ge();
+  // One magnitude comparator per range boundary + the boundary constants.
+  const double comparators =
+      static_cast<double>(entries) *
+      (comparator_ge(in_bits) + in_bits * rom_bit_ge());
+  const double priority_encode = static_cast<double>(entries) * 1.5;
+  return rom + comparators + priority_encode + register_ge(out_bits);
+}
+
+double pwl_unit_ge(std::size_t segments, int data_bits, int coeff_bits) {
+  const double rom = static_cast<double>(segments) * 2 * coeff_bits *
+                     rom_bit_ge();
+  return rom + multiplier_ge(data_bits, coeff_bits) +
+         adder_ge(data_bits + coeff_bits) + incrementer_ge(data_bits) +
+         register_ge(3 * data_bits);
+}
+
+double polynomial_unit_ge(std::size_t segments, int order, int data_bits,
+                          int coeff_bits) {
+  const double rom = static_cast<double>(segments) * (order + 1) *
+                     coeff_bits * rom_bit_ge();
+  // One shared multiply-add (Horner) + accumulator + step counter.
+  return rom + multiplier_ge(data_bits, coeff_bits) +
+         adder_ge(data_bits + coeff_bits) +
+         register_ge(data_bits + coeff_bits) + incrementer_ge(4);
+}
+
+double cordic_unit_ge(int iterations, int data_bits) {
+  // Per unrolled iteration: two shift-add datapaths (x, y) + the angle
+  // accumulator (z) + the angle constant + stage registers.
+  const double per_iteration = 3 * adder_ge(data_bits) +
+                               data_bits * rom_bit_ge() +
+                               register_ge(3 * data_bits);
+  return iterations * per_iteration;
+}
+
+double parabolic_unit_ge(int factors, int data_bits) {
+  // Per factor: Horner chain for c0 + c1·w + c2·w² (two multiply-adds) and
+  // the running product multiplier.
+  const double per_factor = 2 * (multiplier_ge(data_bits, data_bits) +
+                                 adder_ge(2 * data_bits)) +
+                            multiplier_ge(data_bits, data_bits) +
+                            register_ge(data_bits);
+  return factors * per_factor + 3 * factors * data_bits * rom_bit_ge();
+}
+
+}  // namespace nacu::cost

@@ -1,0 +1,40 @@
+// Structural area estimates for the related-work architectures, from the
+// same gate-equivalent building blocks as the NACU model.
+//
+// The paper compares its 28 nm area against reported areas scaled with
+// Stillmaker's equations. These estimators provide the complementary
+// check: build each baseline's datapath from our gate model and see that
+// the result lands in the same regime as the scaled silicon figures —
+// evidence the structural model generalises beyond NACU.
+#pragma once
+
+#include <cstddef>
+
+namespace nacu::cost {
+
+/// Uniform-LUT function unit: ROM + address decode + output register.
+[[nodiscard]] double lut_unit_ge(std::size_t entries, int in_bits,
+                                 int out_bits);
+
+/// RALUT: value ROM + one range comparator per entry + priority encode.
+[[nodiscard]] double ralut_unit_ge(std::size_t entries, int in_bits,
+                                   int out_bits);
+
+/// PWL unit: coefficient ROM + multiplier + adder + rounding + registers.
+[[nodiscard]] double pwl_unit_ge(std::size_t segments, int data_bits,
+                                 int coeff_bits);
+
+/// Segmented polynomial (Horner) unit of the given order: coefficient ROM +
+/// one multiply-add reused per step + sequencing.
+[[nodiscard]] double polynomial_unit_ge(std::size_t segments, int order,
+                                        int data_bits, int coeff_bits);
+
+/// Unrolled/pipelined hyperbolic CORDIC: per-iteration shift-add triple +
+/// angle constants + stage registers.
+[[nodiscard]] double cordic_unit_ge(int iterations, int data_bits);
+
+/// Parabolic-synthesis exp: per factor a squarer-grade multiply-add chain
+/// plus the inter-factor multiplier.
+[[nodiscard]] double parabolic_unit_ge(int factors, int data_bits);
+
+}  // namespace nacu::cost

@@ -1,0 +1,36 @@
+#include "hwcost/gates.hpp"
+
+namespace nacu::cost {
+
+double full_adder_ge() noexcept { return 5.0; }
+
+double half_adder_ge() noexcept { return 2.5; }
+
+double adder_ge(int bits) noexcept { return bits * full_adder_ge(); }
+
+double incrementer_ge(int bits) noexcept { return bits * half_adder_ge(); }
+
+double multiplier_ge(int n_bits, int m_bits) noexcept {
+  // Array multiplier: one AND + (almost) one FA per partial-product bit.
+  return static_cast<double>(n_bits) * static_cast<double>(m_bits) *
+         (full_adder_ge() + 0.5);
+}
+
+double register_bit_ge() noexcept { return 4.5; }
+
+double register_ge(int bits) noexcept { return bits * register_bit_ge(); }
+
+double mux2_ge(int bits) noexcept { return bits * 1.75; }
+
+double inverter_ge() noexcept { return 0.67; }
+
+double rom_bit_ge() noexcept { return 0.25; }
+
+double comparator_ge(int bits) noexcept { return bits * 1.5; }
+
+double divider_row_ge(int divisor_bits) noexcept {
+  // Conditional subtract (subtractor) + restore mux per divisor bit.
+  return adder_ge(divisor_bits) + mux2_ge(divisor_bits);
+}
+
+}  // namespace nacu::cost

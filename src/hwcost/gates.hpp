@@ -1,0 +1,40 @@
+// Gate-equivalent (GE) building-block costs for the structural area model.
+//
+// One GE = one NAND2. The per-primitive figures are standard synthesis
+// rules of thumb; what the benches compare is *relative* composition (the
+// paper's Fig. 5 claims: divider dominates, coefficient-calculation ≈ adder,
+// dedicated tanh LUTs would nearly double the coefficient area), which these
+// ratios reproduce.
+#pragma once
+
+#include <cstddef>
+
+namespace nacu::cost {
+
+/// GE for one full adder.
+[[nodiscard]] double full_adder_ge() noexcept;
+/// GE for one half adder.
+[[nodiscard]] double half_adder_ge() noexcept;
+/// GE for an n-bit ripple-carry adder/subtractor.
+[[nodiscard]] double adder_ge(int bits) noexcept;
+/// GE for an n-bit incrementer (half-adder chain).
+[[nodiscard]] double incrementer_ge(int bits) noexcept;
+/// GE for an n × m array multiplier.
+[[nodiscard]] double multiplier_ge(int n_bits, int m_bits) noexcept;
+/// GE for one D flip-flop.
+[[nodiscard]] double register_bit_ge() noexcept;
+/// GE for an n-bit register.
+[[nodiscard]] double register_ge(int bits) noexcept;
+/// GE for a 2:1 mux, per bit.
+[[nodiscard]] double mux2_ge(int bits) noexcept;
+/// GE for one inverter.
+[[nodiscard]] double inverter_ge() noexcept;
+/// GE per ROM/LUT storage bit (synthesised constant array).
+[[nodiscard]] double rom_bit_ge() noexcept;
+/// GE for an n-bit magnitude comparator.
+[[nodiscard]] double comparator_ge(int bits) noexcept;
+/// GE for one restoring-divider row producing one quotient bit over an
+/// n-bit divisor (conditional subtract + mux).
+[[nodiscard]] double divider_row_ge(int divisor_bits) noexcept;
+
+}  // namespace nacu::cost

@@ -1,0 +1,246 @@
+#include "hwcost/nacu_cost.hpp"
+
+#include <algorithm>
+
+#include "hwcost/gates.hpp"
+#include "hwcost/technology.hpp"
+
+namespace nacu::cost {
+
+double Breakdown::total_ge() const noexcept {
+  double sum = 0.0;
+  for (const Component& c : components) {
+    sum += c.ge;
+  }
+  return sum;
+}
+
+double Breakdown::area_um2() const noexcept {
+  return total_ge() * Tech28::kGateAreaUm2 * Tech28::kLayoutOverhead;
+}
+
+double Breakdown::component_ge(const std::string& name) const noexcept {
+  for (const Component& c : components) {
+    if (c.name == name) {
+      return c.ge;
+    }
+  }
+  return 0.0;
+}
+
+double Breakdown::component_area_um2(const std::string& name) const noexcept {
+  return component_ge(name) * Tech28::kGateAreaUm2 * Tech28::kLayoutOverhead;
+}
+
+Breakdown nacu_breakdown(const core::NacuConfig& config,
+                         const CostOptions& options) {
+  const int n = config.format.width();
+  const int coeff_w = config.coeff_format.width();
+  const int fb_c = config.coeff_format.fractional_bits();
+  const int product_w = n + coeff_w;  // multiplier output
+  const int quotient_bits = config.format.fractional_bits() * 2 +
+                            config.divider_guard_bits + 1;
+
+  Breakdown b;
+
+  // σ coefficient/bias LUT: (m1, q) per segment at coefficient width.
+  double lut_bits = static_cast<double>(config.lut_entries) * 2 * coeff_w;
+  if (options.dedicated_tanh_lut) {
+    lut_bits *= 2.0;  // a second table with pre-scaled tanh coefficients
+  }
+  b.components.push_back({"coeff LUT", lut_bits * rom_bit_ge()});
+
+  // Fig. 3 bias units + coefficient negate/shift + mode muxes. With general
+  // subtractors each of the three bias ops needs a full-width subtractor.
+  double bias_units_ge;
+  if (options.general_subtractors) {
+    bias_units_ge = 3 * adder_ge(coeff_w);
+  } else {
+    // 3a: fractional inverter row + carry-in incrementer; 3b/3c: wiring +
+    // one inverter each.
+    bias_units_ge = fb_c * inverter_ge() + incrementer_ge(fb_c) +
+                    2 * inverter_ge();
+  }
+  // Coefficient negation (two's complement) + ×4 shift wiring + mode muxes.
+  const double coeff_morph_ge = coeff_w * inverter_ge() +
+                                incrementer_ge(coeff_w) +
+                                2 * 2 * mux2_ge(coeff_w + 1);
+  b.components.push_back({"bias/coeff units", bias_units_ge + coeff_morph_ge});
+
+  // Shared multiply-add (also the MAC).
+  b.components.push_back({"multiplier", multiplier_ge(n, coeff_w + 1)});
+  b.components.push_back(
+      {"adder", adder_ge(product_w) + register_ge(product_w)});
+  b.components.push_back(
+      {"round/saturate", comparator_ge(product_w) + incrementer_ge(n)});
+
+  // Divider: one conditional-subtract row per quotient bit. Pipelined keeps
+  // all rows plus inter-stage state; sequential keeps one row + a counter
+  // and loops (the area saving [11] exploits, at 1/quotient_bits the rate).
+  const int divisor_w = n + 1;
+  double divider_ge;
+  if (options.approximate_reciprocal) {
+    // Future work (§VIII): leading-one detector + a small (m, q) table +
+    // one barrel shifter; the multiply-add is the shared one.
+    const double table_bits =
+        static_cast<double>(options.reciprocal_entries) * 2 * coeff_w;
+    divider_ge = table_bits * rom_bit_ge() + comparator_ge(n) +
+                 mux2_ge(n) * 5 /* barrel shifter */ + register_ge(n);
+  } else if (options.pipelined_divider) {
+    const double rows = quotient_bits * divider_row_ge(divisor_w);
+    const double state_bits =
+        divisor_w + quotient_bits + divisor_w + 8;  // rem + q + den + ctrl
+    divider_ge =
+        rows + options.divider_stages * register_ge(
+                   static_cast<int>(state_bits));
+  } else {
+    divider_ge = divider_row_ge(divisor_w) +
+                 register_ge(divisor_w + quotient_bits + divisor_w + 8) +
+                 incrementer_ge(6);  // iteration counter
+  }
+  b.components.push_back({"divider", divider_ge});
+
+  // Decrementor (Fig. 3b wiring, or a real decrementer when ablated).
+  b.components.push_back(
+      {"decrementor", options.general_subtractors
+                          ? incrementer_ge(quotient_bits)
+                          : 2 * inverter_ge()});
+
+  // Pipeline registers S1–S3 and the MAC accumulator.
+  const double s1 = n + 4;                 // input + mode/ctrl
+  const double s2 = product_w + coeff_w + 4;
+  const double s3 = n + 4;
+  b.components.push_back(
+      {"pipeline regs", register_ge(static_cast<int>(s1 + s2 + s3))});
+  b.components.push_back({"MAC accumulator", register_ge(product_w)});
+  b.components.push_back({"control", 150.0});
+  return b;
+}
+
+std::string to_string(Function function) {
+  switch (function) {
+    case Function::Sigmoid:
+      return "sigmoid";
+    case Function::Tanh:
+      return "tanh";
+    case Function::Exp:
+      return "exp";
+    case Function::Softmax:
+      return "softmax";
+    case Function::Mac:
+      return "mac";
+  }
+  return "?";  // unreachable
+}
+
+namespace {
+
+bool component_active(const std::string& name, Function function) {
+  const bool uses_divider =
+      function == Function::Exp || function == Function::Softmax;
+  const bool uses_pwl = function != Function::Mac;
+  if (name == "divider" || name == "decrementor") {
+    return uses_divider;
+  }
+  if (name == "coeff LUT" || name == "bias/coeff units") {
+    return uses_pwl;
+  }
+  if (name == "MAC accumulator") {
+    return function == Function::Mac || function == Function::Softmax;
+  }
+  return true;  // multiplier/adder/regs/control are always exercised
+}
+
+}  // namespace
+
+PowerEstimate power_for_function(const Breakdown& breakdown,
+                                 Function function, double clock_ns) {
+  constexpr double kActivity = 0.15;
+  const double freq_hz = 1e9 / clock_ns;
+  double active_ge = 0.0;
+  for (const Component& c : breakdown.components) {
+    if (component_active(c.name, function)) {
+      active_ge += c.ge;
+    }
+  }
+  PowerEstimate p;
+  // fJ × Hz = 1e-15 J/s = 1e-12 mW.
+  p.dynamic_mw =
+      active_ge * Tech28::kEnergyPerGeFj * kActivity * freq_hz * 1e-12;
+  p.leakage_mw = breakdown.total_ge() * Tech28::kLeakagePerGeNw * 1e-6;
+  return p;
+}
+
+PowerEstimate power_from_toggles(const Breakdown& breakdown,
+                                 std::uint64_t toggles, std::uint64_t cycles,
+                                 double clock_ns) {
+  PowerEstimate p;
+  p.leakage_mw = breakdown.total_ge() * Tech28::kLeakagePerGeNw * 1e-6;
+  if (cycles == 0) {
+    return p;
+  }
+  // Each stage-register bit toggle drives a cone of combinational logic;
+  // ~8 gate-equivalents of downstream switching per bit is a conventional
+  // fan-out estimate for datapath pipelines.
+  constexpr double kFanoutGePerToggle = 8.0;
+  const double toggles_per_cycle =
+      static_cast<double>(toggles) / static_cast<double>(cycles);
+  const double freq_hz = 1e9 / clock_ns;
+  p.dynamic_mw = toggles_per_cycle * kFanoutGePerToggle *
+                 Tech28::kEnergyPerGeFj * freq_hz * 1e-12;
+  return p;
+}
+
+int latency_cycles(Function function, const CostOptions& options) {
+  const int div_latency =
+      options.approximate_reciprocal
+          // Reciprocal re-enters the 3-stage multiply-add path.
+          ? 3
+          : options.pipelined_divider
+          ? options.divider_stages
+          // Sequential divider iterates once per quotient bit (16-bit
+          // datapath default: 25 bits).
+          : 25;
+  switch (function) {
+    case Function::Sigmoid:
+    case Function::Tanh:
+      return 3;
+    case Function::Exp:
+      return 3 + div_latency + 1;
+    case Function::Softmax:
+      // Per element after the exp pipeline fills: one divider pass.
+      return 3 + div_latency + 1 + div_latency;
+    case Function::Mac:
+      return 1;
+  }
+  return 0;  // unreachable
+}
+
+std::vector<RelatedWorkEntry> related_work_table() {
+  // Verbatim from paper Table I (area/clock/latency as originally reported).
+  return {
+      {"[6]", "NUPWL", -1.0, 65, 16, 10.0, 2, 7, "sigmoid"},
+      {"[6]", "2nd-order Taylor", -1.0, 65, 16, 10.0, 2, 4, "sigmoid"},
+      {"[6]", "2nd-order Taylor opt", -1.0, 65, 16, 10.0, 3, 4, "sigmoid"},
+      {"[10]", "1st-order Taylor", -1.0, 40, 16, 2.677, 4, 102, "sigmoid"},
+      {"[10]", "2nd-order Taylor", -1.0, 40, 16, 2.677, 7, 28, "sigmoid"},
+      {"[11]", "Based on e^x", -1.0, 90, 14, 2.605, 4, -1, "sigmoid, tanh"},
+      {"[4]", "RALUT", 1280.66, 180, 9, 2.12, 1, 14, "tanh"},
+      {"[5]", "RALUT", 11871.53, 180, 10, 2.12, 1, 127, "tanh"},
+      {"[8]", "PWL & RALUT", 5130.78, 180, 10, 2.8, 1, -1, "tanh"},
+      {"[13]", "6th-order Taylor", 20700.0, 65, 18, 40.3, 1, -1, "exp"},
+      {"[14]", "CORDIC", 19150.0, 65, 21, 86.0, 1, -1, "exp"},
+      {"[14]", "Parabolic", 26400.0, 65, 18, 20.8, 1, -1, "exp"},
+      {"NACU", "PWL", 9671.0, 28, 16, 3.75, 3, 53,
+       "sigmoid, tanh, exp, softmax"},
+  };
+}
+
+double area_scaled_to_28nm(const RelatedWorkEntry& entry) {
+  if (entry.area_um2 < 0.0) {
+    return -1.0;
+  }
+  return scale_area(entry.area_um2, entry.node_nm, 28);
+}
+
+}  // namespace nacu::cost

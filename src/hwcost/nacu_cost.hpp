@@ -1,0 +1,104 @@
+// Structural cost model of the NACU macro (paper §VII, Fig. 5, Table I).
+//
+// Composes the gate-level building blocks into the Fig. 2 datapath and
+// reports the area breakdown, per-function power, and timing the paper plots
+// in Fig. 5 — plus the two ablations §VII argues qualitatively: a dedicated
+// tanh LUT (≈ doubles the coefficient area) and a sequential divider
+// (smaller, but 1/quotient-bits the throughput, as in [11]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/nacu.hpp"
+
+namespace nacu::cost {
+
+struct Component {
+  std::string name;
+  double ge = 0.0;  ///< gate equivalents
+};
+
+struct Breakdown {
+  std::vector<Component> components;
+
+  [[nodiscard]] double total_ge() const noexcept;
+  /// Post-layout 28 nm area (gate area × layout overhead).
+  [[nodiscard]] double area_um2() const noexcept;
+  [[nodiscard]] double component_ge(const std::string& name) const noexcept;
+  [[nodiscard]] double component_area_um2(
+      const std::string& name) const noexcept;
+};
+
+struct CostOptions {
+  bool pipelined_divider = true;  ///< false = sequential (area ablation)
+  int divider_stages = 4;
+  /// Store a second (m, q) LUT for tanh instead of deriving from σ — the
+  /// alternative §VII says "would have nearly doubled the area" of the
+  /// coefficient block.
+  bool dedicated_tanh_lut = false;
+  /// Use general subtractors instead of the Fig. 3 wiring tricks.
+  bool general_subtractors = false;
+  /// Future-work option (§VIII): PWL reciprocal instead of the divider.
+  bool approximate_reciprocal = false;
+  std::size_t reciprocal_entries = 16;
+};
+
+/// Full NACU structural breakdown for a given configuration.
+[[nodiscard]] Breakdown nacu_breakdown(const core::NacuConfig& config,
+                                       const CostOptions& options = {});
+
+enum class Function { Sigmoid, Tanh, Exp, Softmax, Mac };
+
+[[nodiscard]] std::string to_string(Function function);
+
+struct PowerEstimate {
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  [[nodiscard]] double total_mw() const noexcept {
+    return dynamic_mw + leakage_mw;
+  }
+};
+
+/// Power when the unit computes @p function at the given clock: only the
+/// components that function exercises toggle; everything leaks.
+[[nodiscard]] PowerEstimate power_for_function(const Breakdown& breakdown,
+                                               Function function,
+                                               double clock_ns);
+
+/// Power from *measured* switching activity (hw::NacuRtl::register_toggles)
+/// instead of the fixed activity assumption — the paper's power numbers
+/// come from simulation with annotated activity (§VII). Each register-bit
+/// toggle is charged with its own energy plus a combinational fan-out
+/// factor.
+[[nodiscard]] PowerEstimate power_from_toggles(const Breakdown& breakdown,
+                                               std::uint64_t toggles,
+                                               std::uint64_t cycles,
+                                               double clock_ns);
+
+/// Latency in cycles (paper Table I: 3, 3, 8; softmax is per-element
+/// pipelined after a fill; MAC is single-cycle).
+[[nodiscard]] int latency_cycles(Function function,
+                                 const CostOptions& options = {});
+
+/// One row of the paper's Table I (reported as-published, not scaled).
+struct RelatedWorkEntry {
+  std::string ref;
+  std::string implementation;
+  double area_um2 = -1.0;  ///< −1 when not reported/applicable
+  int node_nm = 0;
+  int bits = 0;
+  double clock_ns = -1.0;
+  int latency_cycles = -1;
+  int lut_entries = -1;    ///< −1 when not applicable
+  std::string functions;
+};
+
+/// The paper's Table I related-work rows (verbatim reported metrics).
+[[nodiscard]] std::vector<RelatedWorkEntry> related_work_table();
+
+/// Area scaled to 28 nm with the calibrated Stillmaker factors (−1 when the
+/// source area is unreported).
+[[nodiscard]] double area_scaled_to_28nm(const RelatedWorkEntry& entry);
+
+}  // namespace nacu::cost

@@ -1,0 +1,42 @@
+#include "hwcost/technology.hpp"
+
+#include <cmath>
+
+namespace nacu::cost {
+
+namespace {
+// Exponents fitted to the paper's quoted 65→28 nm scalings (see header).
+constexpr double kAreaExponent = 1.417;
+constexpr double kDelayExponent = 0.851;
+constexpr double kEnergyExponent = 2.0;
+
+double factor(int node_nm, double exponent) noexcept {
+  return std::pow(static_cast<double>(node_nm) / 28.0, exponent);
+}
+}  // namespace
+
+double area_factor(int node_nm) noexcept {
+  return factor(node_nm, kAreaExponent);
+}
+
+double delay_factor(int node_nm) noexcept {
+  return factor(node_nm, kDelayExponent);
+}
+
+double energy_factor(int node_nm) noexcept {
+  return factor(node_nm, kEnergyExponent);
+}
+
+double scale_area(double area_um2, int from_nm, int to_nm) noexcept {
+  return area_um2 * area_factor(to_nm) / area_factor(from_nm);
+}
+
+double scale_delay(double delay_ns, int from_nm, int to_nm) noexcept {
+  return delay_ns * delay_factor(to_nm) / delay_factor(from_nm);
+}
+
+double scale_energy(double energy, int from_nm, int to_nm) noexcept {
+  return energy * energy_factor(to_nm) / energy_factor(from_nm);
+}
+
+}  // namespace nacu::cost

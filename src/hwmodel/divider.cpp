@@ -1,0 +1,100 @@
+#include "hwmodel/divider.hpp"
+
+#include <stdexcept>
+
+namespace nacu::hw {
+
+std::uint64_t restoring_divide(std::uint64_t numerator,
+                               std::uint64_t denominator,
+                               int quotient_bits) noexcept {
+  // Classic restoring scheme: shift a numerator bit into the partial
+  // remainder, subtract the denominator if it fits, emit the quotient bit.
+  std::uint64_t remainder = 0;
+  std::uint64_t quotient = 0;
+  for (int i = quotient_bits - 1; i >= 0; --i) {
+    remainder = (remainder << 1) | ((numerator >> i) & 1u);
+    quotient <<= 1;
+    if (remainder >= denominator) {
+      remainder -= denominator;
+      quotient |= 1u;
+    }
+  }
+  return quotient;
+}
+
+int quotient_bits_for(std::uint64_t numerator) noexcept {
+  int bits = 0;
+  while (numerator != 0) {
+    numerator >>= 1;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+PipelinedDivider::PipelinedDivider(int quotient_bits, int stages)
+    : quotient_bits_{quotient_bits} {
+  if (quotient_bits < 1 || stages < 1) {
+    throw std::invalid_argument(
+        "PipelinedDivider needs quotient_bits >= 1 and stages >= 1");
+  }
+  bits_per_stage_ = (quotient_bits + stages - 1) / stages;
+  stage_regs_.resize(static_cast<std::size_t>(stages));
+}
+
+void PipelinedDivider::issue(std::uint64_t numerator,
+                             std::uint64_t denominator, std::uint64_t tag) {
+  if (denominator == 0) {
+    throw std::domain_error("PipelinedDivider: division by zero");
+  }
+  input_ = StageState{.valid = true,
+                      .remainder = 0,
+                      .numerator = numerator,
+                      .denominator = denominator,
+                      .quotient = 0,
+                      .bits_done = 0,
+                      .tag = tag};
+  input_valid_ = true;
+}
+
+PipelinedDivider::StageState PipelinedDivider::advance(StageState state,
+                                                       int bits) const {
+  for (int step = 0; step < bits && state.bits_done < quotient_bits_;
+       ++step) {
+    const int bit_index = quotient_bits_ - 1 - state.bits_done;
+    state.remainder =
+        (state.remainder << 1) | ((state.numerator >> bit_index) & 1u);
+    state.quotient <<= 1;
+    if (state.remainder >= state.denominator) {
+      state.remainder -= state.denominator;
+      state.quotient |= 1u;
+    }
+    ++state.bits_done;
+  }
+  return state;
+}
+
+void PipelinedDivider::tick() {
+  // Shift the pipeline: stage i's next state is stage i-1's current state
+  // advanced by this stage's rows; stage 0 takes the presented input.
+  for (std::size_t i = stage_regs_.size(); i-- > 0;) {
+    const StageState prev =
+        i == 0 ? (input_valid_ ? input_ : StageState{})
+               : stage_regs_[i - 1].get();
+    stage_regs_[i].set(prev.valid ? advance(prev, bits_per_stage_)
+                                  : StageState{});
+  }
+  for (auto& reg : stage_regs_) {
+    reg.commit();
+  }
+  input_valid_ = false;
+}
+
+std::optional<PipelinedDivider::Result> PipelinedDivider::output() const {
+  const StageState& last = stage_regs_.back().get();
+  if (!last.valid) {
+    return std::nullopt;
+  }
+  return Result{.quotient = last.quotient, .tag = last.tag};
+}
+
+}  // namespace nacu::hw

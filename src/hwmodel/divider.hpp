@@ -1,0 +1,75 @@
+// Restoring division — the pipelined divider that dominates NACU's area
+// (paper §VII: "The area of NACU is dominated by a pipelined divider").
+//
+// `restoring_divide` is the bit-level reference algorithm (one
+// conditional-subtract per quotient bit, exactly what each pipeline stage's
+// hardware row does). `PipelinedDivider` spreads those rows across a
+// configurable number of stages and accepts one operation per cycle — the
+// throughput the paper buys with the divider's area.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hwmodel/sim.hpp"
+
+namespace nacu::hw {
+
+/// Bit-serial restoring division: floor(numerator / denominator) for
+/// non-negative numerator, positive denominator. Matches built-in integer
+/// division exactly (tested); exists to mirror the hardware row-by-row.
+[[nodiscard]] std::uint64_t restoring_divide(std::uint64_t numerator,
+                                             std::uint64_t denominator,
+                                             int quotient_bits) noexcept;
+
+/// Number of quotient bits needed for numerator < 2^n_bits.
+[[nodiscard]] int quotient_bits_for(std::uint64_t numerator) noexcept;
+
+class PipelinedDivider final : public Module {
+ public:
+  struct Result {
+    std::uint64_t quotient = 0;
+    std::uint64_t tag = 0;  ///< issue tag, for matching against inputs
+  };
+
+  /// @p quotient_bits total bits produced per op, spread over @p stages.
+  PipelinedDivider(int quotient_bits, int stages);
+
+  /// Present a new operand pair this cycle (at most one per cycle).
+  void issue(std::uint64_t numerator, std::uint64_t denominator,
+             std::uint64_t tag);
+
+  void tick() override;
+  [[nodiscard]] std::string name() const override { return "pipe_divider"; }
+
+  /// Result emerging this cycle, if any.
+  [[nodiscard]] std::optional<Result> output() const;
+
+  [[nodiscard]] int stages() const noexcept {
+    return static_cast<int>(stage_regs_.size());
+  }
+  [[nodiscard]] int latency() const noexcept { return stages(); }
+
+ private:
+  struct StageState {
+    bool valid = false;
+    std::uint64_t remainder = 0;
+    std::uint64_t numerator = 0;   ///< unconsumed numerator bits
+    std::uint64_t denominator = 0;
+    std::uint64_t quotient = 0;
+    int bits_done = 0;
+    std::uint64_t tag = 0;
+  };
+
+  /// Run this stage's share of conditional-subtract rows.
+  [[nodiscard]] StageState advance(StageState state, int bits) const;
+
+  int quotient_bits_;
+  int bits_per_stage_;
+  std::vector<Reg<StageState>> stage_regs_;
+  StageState input_;  ///< operand presented for the next edge
+  bool input_valid_ = false;
+};
+
+}  // namespace nacu::hw

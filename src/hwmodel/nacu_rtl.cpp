@@ -1,0 +1,240 @@
+#include "hwmodel/nacu_rtl.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/bias_units.hpp"
+
+namespace nacu::hw {
+
+namespace {
+constexpr int kDividerStages = 4;  // 3 (S1–S3) + 4 + 1 (DEC) = 8 cycles
+
+/// Hamming distance between the datapath fields of two stage snapshots.
+std::uint64_t stage_toggles(const auto& a, const auto& b) {
+  const auto bits = [](std::int64_t x, std::int64_t y) {
+    return static_cast<std::uint64_t>(std::popcount(
+        static_cast<std::uint64_t>(x) ^ static_cast<std::uint64_t>(y)));
+  };
+  return bits(a.magnitude_raw, b.magnitude_raw) +
+         bits(a.product_raw, b.product_raw) + bits(a.bias_raw, b.bias_raw) +
+         bits(a.result_raw, b.result_raw) +
+         (a.valid != b.valid ? 1u : 0u);
+}
+}  // namespace
+
+NacuRtl::NacuRtl(const core::NacuConfig& config)
+    : unit_{config},
+      quotient_fmt_{config.format.integer_bits() + 1,
+                    config.format.fractional_bits() +
+                        config.divider_guard_bits},
+      numerator_shift_{config.format.fractional_bits() +
+                       quotient_fmt_.fractional_bits()},
+      quotient_bits_{numerator_shift_ + 1},
+      product_fmt_{config.format.integer_bits() + 2 + 1,
+                   config.format.fractional_bits() +
+                       config.coeff_format.fractional_bits()},
+      divider_{quotient_bits_, kDividerStages} {}
+
+void NacuRtl::issue(Func func, fp::Fixed x, std::uint64_t tag) {
+  if (issue_valid_) {
+    throw std::logic_error("NacuRtl accepts at most one issue per cycle");
+  }
+  pending_issue_ = stage1(func, x, tag);
+  issue_valid_ = true;
+}
+
+NacuRtl::StageOp NacuRtl::stage1(Func func, fp::Fixed x,
+                                 std::uint64_t tag) const {
+  // Exp evaluates σ(−x) (Eq. 14): the negation happens at the input mux.
+  const fp::Fixed effective = func == Func::Exp ? x.negate() : x;
+  const fp::Fixed magnitude = effective.abs();
+  StageOp op;
+  op.valid = true;
+  op.func = func;
+  op.negative = effective.is_negative();
+  op.magnitude_raw = magnitude.raw();
+  op.segment = unit_.segment_for_magnitude(magnitude, func == Func::Tanh);
+  op.tag = tag;
+  return op;
+}
+
+NacuRtl::StageOp NacuRtl::stage2(StageOp op) const {
+  if (!op.valid || op.recip_pass) {
+    // Reciprocal passes carry the σ operand through; their arithmetic is
+    // modelled at S3 (the values of the intermediate mantissa product are
+    // not architecturally visible).
+    return op;
+  }
+  using Mode = core::Nacu::Mode;
+  const Mode mode =
+      op.func == Func::Tanh
+          ? (op.negative ? Mode::TanhNeg : Mode::TanhPos)
+          : (op.negative ? Mode::SigmoidNeg : Mode::SigmoidPos);
+  const core::Nacu::Coefficients c =
+      unit_.morph_coefficients(op.segment, mode);
+  const fp::Fixed magnitude =
+      fp::Fixed::from_raw(op.magnitude_raw, unit_.format());
+  op.product_raw = magnitude.mul_full(c.coeff).raw();
+  op.bias_raw = c.bias.raw();
+  return op;
+}
+
+NacuRtl::StageOp NacuRtl::stage3(StageOp op) const {
+  if (!op.valid) {
+    return op;
+  }
+  if (op.recip_pass) {
+    // §VIII reciprocal pass: leading-one detect + PWL (m,q) + the shared
+    // multiply-add produce σ' = 1/σ on the quotient grid.
+    const fp::Fixed sigma =
+        fp::Fixed::from_raw(op.magnitude_raw, unit_.format());
+    op.result_raw =
+        unit_.reciprocal_unit()->reciprocal(sigma, quotient_fmt_).raw();
+    return op;
+  }
+  const fp::Format coeff_wide{2,
+                              unit_.config().coeff_format.fractional_bits()};
+  const fp::Fixed product = fp::Fixed::from_raw(op.product_raw, product_fmt_);
+  const fp::Fixed bias = fp::Fixed::from_raw(op.bias_raw, coeff_wide);
+  op.result_raw = product.add_full(bias)
+                      .requantize(unit_.format(),
+                                  unit_.config().output_rounding,
+                                  fp::Overflow::Saturate)
+                      .raw();
+  return op;
+}
+
+std::int64_t NacuRtl::decrement_stage(std::uint64_t quotient) const {
+  const int fb = quotient_fmt_.fractional_bits();
+  const auto sp_raw = static_cast<std::int64_t>(quotient);
+  std::int64_t r_raw;
+  if (unit_.config().use_bit_trick_units &&
+      sp_raw >= (std::int64_t{1} << fb) &&
+      sp_raw <= (std::int64_t{1} << (fb + 1))) {
+    r_raw = core::fig3b_minus_one(sp_raw, fb);
+  } else {
+    r_raw = sp_raw - (std::int64_t{1} << fb);
+  }
+  const std::int64_t clamped =
+      fp::apply_overflow(r_raw, quotient_fmt_, fp::Overflow::Saturate);
+  return fp::Fixed::from_raw(clamped, quotient_fmt_)
+      .requantize(unit_.format(), unit_.config().output_rounding,
+                  fp::Overflow::Saturate)
+      .raw();
+}
+
+void NacuRtl::tick() {
+  retired_.clear();
+  const bool approximate = unit_.config().approximate_reciprocal;
+
+  // DEC stage: consume either the divider result (exact mode) or the
+  // reciprocal pass that left S3 (approximate mode, §VIII) — both were
+  // committed on the previous edge.
+  if (approximate) {
+    const StageOp rr = recip_result_.get();
+    if (rr.valid) {
+      retired_.push_back(Output{
+          .func = Func::Exp,
+          .tag = rr.tag,
+          .value_raw = decrement_stage(
+              static_cast<std::uint64_t>(rr.result_raw))});
+    }
+  } else if (const auto div_result = divider_.output()) {
+    retired_.push_back(Output{.func = Func::Exp,
+                              .tag = div_result->tag,
+                              .value_raw = decrement_stage(
+                                  div_result->quotient)});
+  }
+
+  // A σ(−x) that completed S3 on the previous edge enters the divider
+  // (exact) or re-enters S1 as a reciprocal pass (approximate).
+  const StageOp s3_prev = s3_.get();
+  StageOp reentry;
+  if (s3_prev.valid && s3_prev.func == Func::Exp && !s3_prev.recip_pass) {
+    // The divider/reciprocal operand is unsigned: clamp a zero or
+    // rounded-negative σ to one LSB (mirrors core::Nacu::exp).
+    const std::int64_t denom =
+        s3_prev.result_raw <= 0 ? 1 : s3_prev.result_raw;
+    if (approximate) {
+      reentry.valid = true;
+      reentry.func = Func::Exp;
+      reentry.recip_pass = true;
+      reentry.magnitude_raw = denom;
+      reentry.tag = s3_prev.tag;
+    } else {
+      divider_.issue(std::uint64_t{1} << numerator_shift_,
+                     static_cast<std::uint64_t>(denom), s3_prev.tag);
+    }
+  }
+  divider_.tick();
+
+  // S3: compute from S2's previous state; σ/tanh retire here.
+  const StageOp s3_next = stage3(s2_.get());
+  if (s3_next.valid && s3_next.func != Func::Exp) {
+    retired_.push_back(Output{.func = s3_next.func,
+                              .tag = s3_next.tag,
+                              .value_raw = s3_next.result_raw});
+  }
+  // Reciprocal pass leaving S3 heads for DEC next edge.
+  recip_result_.set(s3_next.valid && s3_next.recip_pass ? s3_next
+                                                        : StageOp{});
+  recip_result_.commit();
+
+  // S1 intake: a reciprocal re-entry owns the slot; colliding with an
+  // external issue is a structural hazard a real sequencer would stall on.
+  StageOp s1_next;
+  if (reentry.valid) {
+    if (issue_valid_) {
+      throw std::logic_error(
+          "NacuRtl: structural hazard — reciprocal re-entry collided with "
+          "an external issue (space exp issues >= 4 cycles apart, or "
+          "interleave bubbles)");
+    }
+    s1_next = reentry;
+  } else if (issue_valid_) {
+    s1_next = pending_issue_;
+  }
+  const StageOp s2_next = stage2(s1_.get());
+  register_toggles_ += stage_toggles(s1_.get(), s1_next) +
+                       stage_toggles(s2_.get(), s2_next) +
+                       stage_toggles(s3_.get(), s3_next);
+  s3_.set(s3_next);
+  s2_.set(s2_next);
+  s1_.set(s1_next);
+  s1_.commit();
+  s2_.commit();
+  s3_.commit();
+  issue_valid_ = false;
+  ++cycles_;
+}
+
+int NacuRtl::latency(Func func) const noexcept {
+  if (func != Func::Exp) {
+    return 3;
+  }
+  // Exact: σ pass + divider + DEC. Approximate (§VIII): σ pass + one more
+  // multiply-add pass + DEC.
+  return unit_.config().approximate_reciprocal
+             ? 3 + 3 + 1
+             : 3 + divider_.stages() + 1;
+}
+
+NacuRtl::SingleResult NacuRtl::run_single(Func func, fp::Fixed x) {
+  static std::uint64_t next_tag = 1;
+  const std::uint64_t tag = next_tag++;
+  issue(func, x, tag);
+  for (int cycle = 1; cycle <= 64; ++cycle) {
+    tick();
+    for (const Output& out : retired_) {
+      if (out.tag == tag) {
+        return SingleResult{
+            .value = fp::Fixed::from_raw(out.value_raw, unit_.format()),
+            .cycles = cycle};
+      }
+    }
+  }
+  throw std::logic_error("NacuRtl: operation did not retire within 64 cycles");
+}
+
+}  // namespace nacu::hw

@@ -1,0 +1,118 @@
+// Cycle-accurate NACU pipeline (paper Fig. 2), RTL-faithful structure:
+//
+//   S1  input register, magnitude, σ-LUT segment select (tanh: at 2|x|)
+//   S2  Fig. 3 coefficient/bias morphing + multiplier
+//   S3  adder + output rounding  → σ and tanh retire here (3-cycle latency)
+//   D1..Dk  pipelined restoring divider (k = divider_stages, default 4)
+//   DEC decrementor (Fig. 3b wiring) + output quantisation
+//                                     → exp retires here (3+k+1 = 8 cycles)
+//
+// One operation can be issued per cycle; σ/tanh and exp flows share S1–S3
+// exactly as the real unit shares its multiply-add. Numerical behaviour is
+// bit-identical to core::Nacu (tested exhaustively): both sides call the
+// same LUT, the same Fig. 3 units, and the same quantisation points.
+//
+// When NacuConfig::approximate_reciprocal is set (the §VIII future-work
+// divider), the divider stages disappear: a completed σ(−x) re-enters
+// S1–S3 as a reciprocal pass (leading-one detect → PWL (m,q) lookup →
+// the same multiply-add), then hits DEC — 3+3+1 = 7-cycle exp latency.
+// The re-entry occupies the S1 issue slot; an external issue in that cycle
+// is a structural hazard and throws (a real sequencer would stall).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/nacu.hpp"
+#include "hwmodel/divider.hpp"
+#include "hwmodel/sim.hpp"
+
+namespace nacu::hw {
+
+enum class Func { Sigmoid, Tanh, Exp };
+
+class NacuRtl final : public Module {
+ public:
+  struct Output {
+    Func func = Func::Sigmoid;
+    std::uint64_t tag = 0;
+    std::int64_t value_raw = 0;
+  };
+
+  explicit NacuRtl(const core::NacuConfig& config);
+
+  /// Present one operation for the next clock edge (at most one per cycle).
+  void issue(Func func, fp::Fixed x, std::uint64_t tag);
+
+  void tick() override;
+  [[nodiscard]] std::string name() const override { return "nacu_rtl"; }
+
+  /// Results that retired on the last edge (σ/tanh port and exp port can
+  /// both fire in the same cycle).
+  [[nodiscard]] const std::vector<Output>& outputs() const noexcept {
+    return retired_;
+  }
+
+  /// Issue-to-retire latency in cycles: 3 for σ/tanh, 3 + stages + 1 for exp
+  /// (the paper's "3, 3, 8" Table I row with 4 divider stages).
+  [[nodiscard]] int latency(Func func) const noexcept;
+
+  [[nodiscard]] const core::Nacu& unit() const noexcept { return unit_; }
+  [[nodiscard]] fp::Format format() const noexcept { return unit_.format(); }
+
+  /// Total bit toggles observed in the S1–S3 stage registers since
+  /// construction — the switching activity a post-layout power simulation
+  /// would annotate (paper §VII: power numbers from simulation). Divide by
+  /// (cycles × register bits) for an activity factor.
+  [[nodiscard]] std::uint64_t register_toggles() const noexcept {
+    return register_toggles_;
+  }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Convenience: run one operation to completion on a private clock and
+  /// return (value, cycles-taken). Used by tests and latency benches.
+  struct SingleResult {
+    fp::Fixed value;
+    int cycles;
+  };
+  [[nodiscard]] SingleResult run_single(Func func, fp::Fixed x);
+
+ private:
+  struct StageOp {
+    bool valid = false;
+    Func func = Func::Sigmoid;
+    bool negative = false;         ///< sign of the (possibly negated) input
+    bool recip_pass = false;       ///< re-entrant reciprocal pass (§VIII)
+    std::int64_t magnitude_raw = 0;
+    std::size_t segment = 0;
+    std::int64_t product_raw = 0;  ///< coeff × magnitude, full precision
+    std::int64_t bias_raw = 0;     ///< morphed bias, coefficient grid
+    std::int64_t result_raw = 0;   ///< S3 output (σ/tanh final; σ for exp)
+    std::uint64_t tag = 0;
+  };
+
+  [[nodiscard]] StageOp stage1(Func func, fp::Fixed x,
+                               std::uint64_t tag) const;
+  [[nodiscard]] StageOp stage2(StageOp op) const;
+  [[nodiscard]] StageOp stage3(StageOp op) const;
+  [[nodiscard]] std::int64_t decrement_stage(std::uint64_t quotient) const;
+
+  core::Nacu unit_;
+  fp::Format quotient_fmt_;
+  int numerator_shift_;  ///< numerator = 1 << numerator_shift_
+  int quotient_bits_;
+
+  fp::Format product_fmt_;
+
+  Reg<StageOp> s1_, s2_, s3_;
+  PipelinedDivider divider_;
+  Reg<StageOp> recip_result_;  ///< reciprocal pass leaving S3 (→ DEC)
+  StageOp pending_issue_;
+  bool issue_valid_ = false;
+  std::vector<Output> retired_;
+  std::uint64_t register_toggles_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace nacu::hw

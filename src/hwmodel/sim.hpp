@@ -1,0 +1,70 @@
+// Minimal cycle-accurate simulation framework.
+//
+// A Module owns registered state; on each clock edge (tick) it computes its
+// next state from the *current* registered state of everything it reads and
+// commits. The Simulator advances a set of modules one clock at a time and
+// counts cycles — enough to model the NACU pipeline faithfully (issue one
+// operation per cycle, observe results emerge 3 or 8 cycles later) without
+// dragging in a full event-driven HDL kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nacu::hw {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Clock edge: read current registered state, commit next state.
+  virtual void tick() = 0;
+
+  [[nodiscard]] virtual std::string name() const { return "module"; }
+};
+
+/// A two-field register: writes land in `next` and become visible in
+/// `current` after commit(). Using this for every piece of inter-stage state
+/// makes tick() order-independent.
+template <typename T>
+class Reg {
+ public:
+  Reg() = default;
+  explicit Reg(const T& reset) : current_{reset}, next_{reset} {}
+
+  [[nodiscard]] const T& get() const noexcept { return current_; }
+  void set(const T& value) { next_ = value; }
+  void commit() { current_ = next_; }
+
+ private:
+  T current_{};
+  T next_{};
+};
+
+class Simulator {
+ public:
+  void add(Module& module) { modules_.push_back(&module); }
+
+  /// One clock edge for every module.
+  void step() {
+    for (Module* m : modules_) {
+      m->tick();
+    }
+    ++cycle_;
+  }
+
+  void run(std::uint64_t cycles) {
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+      step();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+ private:
+  std::vector<Module*> modules_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace nacu::hw

@@ -1,0 +1,122 @@
+#include "hwmodel/softmax_engine.hpp"
+
+#include <algorithm>
+
+#include "hwmodel/divider.hpp"
+
+namespace nacu::hw {
+
+SoftmaxEngine::SoftmaxEngine(const core::NacuConfig& config)
+    : config_{config}, rtl_{config} {}
+
+SoftmaxEngine::Result SoftmaxEngine::run(
+    const std::vector<std::int64_t>& logits_raw) {
+  Result result;
+  if (logits_raw.empty()) {
+    return result;
+  }
+  const fp::Format fmt = config_.format;
+  const std::size_t n = logits_raw.size();
+
+  // Phase 1 — streaming max: one comparator pass, one logit per cycle.
+  std::int64_t max_raw = logits_raw[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    max_raw = std::max(max_raw, logits_raw[i]);
+  }
+  result.max_phase_cycles = n;
+
+  // Accumulator format: identical to core::Nacu::softmax so the MAC
+  // truncation sequence matches bit-for-bit.
+  int sum_ib = 1;
+  while ((std::size_t{1} << sum_ib) < n + 1) {
+    ++sum_ib;
+  }
+  const fp::Format sum_fmt{sum_ib + 1, fmt.fractional_bits()};
+  const fp::Fixed x_max = fp::Fixed::from_raw(max_raw, fmt);
+  const fp::Fixed one = fp::Fixed::from_double(1.0, fmt);
+  fp::Fixed denom = fp::Fixed::zero(sum_fmt);
+
+  // Phase 2 — exp streaming + denominator MAC. One issue per cycle in the
+  // exact-divider configuration; in the approximate-reciprocal mode (§VIII)
+  // each exp's reciprocal re-enters S1 and would collide with the issue
+  // three slots later, so the sequencer issues in bursts of three with
+  // three-cycle gaps.
+  const bool approximate = rtl_.unit().config().approximate_reciprocal;
+  std::vector<std::int64_t> exps(n, 0);
+  std::size_t issued = 0;
+  std::size_t retired = 0;
+  std::uint64_t step = 0;
+  while (retired < n) {
+    const bool slot_free = !approximate || (step % 6) < 3;
+    if (issued < n && slot_free) {
+      const fp::Fixed diff =
+          fp::Fixed::from_raw(logits_raw[issued], fmt).sub(x_max, fmt);
+      rtl_.issue(Func::Exp, diff, issued);
+      ++issued;
+    }
+    rtl_.tick();
+    ++step;
+    ++result.exp_phase_cycles;
+    for (const NacuRtl::Output& out : rtl_.outputs()) {
+      exps[out.tag] = out.value_raw;
+      denom = rtl_.unit().mac(
+          denom, fp::Fixed::from_raw(out.value_raw, fmt), one);
+      ++retired;
+    }
+  }
+  if (denom.is_zero()) {
+    denom = fp::Fixed::from_raw(1, sum_fmt);
+  }
+
+  if (approximate) {
+    // Phase 3 (§VIII) — one reciprocal pass of the shared denominator
+    // (3 cycles through the multiply-add), then one multiply per element
+    // on the MAC. Matches core::Nacu::softmax bit-for-bit.
+    const fp::Format recip_fmt{1, fmt.fractional_bits() +
+                                      config_.divider_guard_bits + 2};
+    const fp::Fixed denom_recip =
+        rtl_.unit().reciprocal_unit()->reciprocal(denom, recip_fmt);
+    result.divide_phase_cycles = 3;  // the reciprocal pass
+    for (std::size_t i = 0; i < n; ++i) {
+      result.probs_raw.push_back(
+          fp::Fixed::from_raw(exps[i], fmt)
+              .mul(denom_recip, fmt, fp::Rounding::Truncate,
+                   fp::Overflow::Saturate)
+              .raw());
+      ++result.divide_phase_cycles;  // one MAC multiply per element
+    }
+    result.cycles = result.max_phase_cycles + result.exp_phase_cycles +
+                    result.divide_phase_cycles;
+    return result;
+  }
+
+  // Phase 3 — one divider pass per element against the shared denominator.
+  // quotient = floor((e << fb) / denom): same scale as Fixed::div since all
+  // operands share the datapath fb.
+  const int shift = fmt.fractional_bits();
+  const int quotient_bits = fmt.width() + shift;
+  PipelinedDivider divider{quotient_bits, 4};
+  result.probs_raw.assign(n, 0);
+  issued = 0;
+  retired = 0;
+  while (retired < n) {
+    if (issued < n) {
+      divider.issue(static_cast<std::uint64_t>(exps[issued]) << shift,
+                    static_cast<std::uint64_t>(denom.raw()), issued);
+      ++issued;
+    }
+    divider.tick();
+    ++result.divide_phase_cycles;
+    if (const auto out = divider.output()) {
+      const std::int64_t q = std::min<std::int64_t>(
+          static_cast<std::int64_t>(out->quotient), fmt.max_raw());
+      result.probs_raw[out->tag] = q;
+      ++retired;
+    }
+  }
+  result.cycles = result.max_phase_cycles + result.exp_phase_cycles +
+                  result.divide_phase_cycles;
+  return result;
+}
+
+}  // namespace nacu::hw

@@ -1,0 +1,48 @@
+// Cycle-accurate softmax engine (paper §V.B + Eq. 13).
+//
+// Sequences the full hardware softmax over one NACU pipeline:
+//   phase 1  streaming max search over the logits (one compare per cycle),
+//   phase 2  stream x_i − x_max into the exp pipeline (one issue per
+//            cycle); as each e_i retires it is stored and MAC-accumulated
+//            into the denominator register — the dual use of the
+//            multiply-add the paper describes,
+//   phase 3  stream each e_i through the pipelined divider against the
+//            accumulated denominator (one issue per cycle).
+//
+// The probabilities are bit-identical to core::Nacu::softmax (tested); the
+// cycle count is what the paper's throughput discussion (§VII.C pipeline
+// fill) translates to for a softmax of N classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::hw {
+
+class SoftmaxEngine {
+ public:
+  explicit SoftmaxEngine(const core::NacuConfig& config);
+
+  struct Result {
+    std::vector<std::int64_t> probs_raw;  ///< datapath-format probabilities
+    std::uint64_t cycles = 0;             ///< total engine cycles
+    std::uint64_t max_phase_cycles = 0;
+    std::uint64_t exp_phase_cycles = 0;
+    std::uint64_t divide_phase_cycles = 0;
+  };
+
+  /// Run one softmax over @p logits_raw (datapath-format raw values).
+  [[nodiscard]] Result run(const std::vector<std::int64_t>& logits_raw);
+
+  [[nodiscard]] const core::Nacu& unit() const noexcept {
+    return rtl_.unit();
+  }
+
+ private:
+  core::NacuConfig config_;
+  NacuRtl rtl_;
+};
+
+}  // namespace nacu::hw

@@ -1,0 +1,53 @@
+// Minimal VCD (Value Change Dump) writer — waveforms from the cycle model.
+//
+// Lets any cycle-accurate run (NacuRtl streams, fabric executions) be
+// inspected in GTKWave or any VCD viewer, the way the paper's RTL artifact
+// would be debugged. Signals register once, then each cycle's values are
+// sampled; only changes are emitted, per the IEEE-1364 dump format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nacu::hw {
+
+class VcdWriter {
+ public:
+  /// @p timescale_ns nanoseconds per timestep (NACU's clock: 3.75 ns,
+  /// emitted as picoseconds to stay integral).
+  explicit VcdWriter(std::ostream& out, double timescale_ns = 3.75);
+
+  /// Register a signal before the first sample. Returns its handle.
+  int add_signal(const std::string& name, int width);
+
+  /// Set a signal's value for the current timestep.
+  void set(int handle, std::uint64_t value);
+
+  /// Emit the current timestep: writes the header on first call, then a
+  /// #<time> marker and every changed signal.
+  void step();
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return time_; }
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    std::string id;        ///< VCD short identifier
+    std::uint64_t value = 0;
+    std::uint64_t last_emitted = ~std::uint64_t{0};
+  };
+
+  void write_header();
+  static std::string identifier_for(int index);
+
+  std::ostream& out_;
+  double timescale_ns_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace nacu::hw

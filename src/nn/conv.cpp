@@ -1,0 +1,161 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+
+Dataset make_pattern_images(std::size_t samples_per_class, double noise,
+                            std::uint64_t seed) {
+  constexpr std::size_t kSize = 8;
+  Rng rng{seed};
+  Dataset d;
+  d.classes = 3;
+  d.inputs = MatrixD{samples_per_class * 3, kSize * kSize};
+  d.labels.reserve(samples_per_class * 3);
+  std::size_t row = 0;
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s, ++row) {
+      const std::size_t phase = rng.below(2);
+      for (std::size_t r = 0; r < kSize; ++r) {
+        for (std::size_t col = 0; col < kSize; ++col) {
+          double value = 0.0;
+          switch (c) {
+            case 0:  // horizontal stripes
+              value = ((r + phase) % 2 == 0) ? 1.0 : -1.0;
+              break;
+            case 1:  // vertical stripes
+              value = ((col + phase) % 2 == 0) ? 1.0 : -1.0;
+              break;
+            default:  // diagonal
+              value = ((r + col + phase) % 2 == 0) ? 1.0 : -1.0;
+              break;
+          }
+          d.inputs(row, r * kSize + col) = value + noise * rng.gaussian();
+        }
+      }
+      d.labels.push_back(c);
+    }
+  }
+  return d;
+}
+
+MatrixD conv2d_valid(const MatrixD& image, const MatrixD& filter) {
+  if (filter.rows() > image.rows() || filter.cols() > image.cols()) {
+    throw std::invalid_argument("filter larger than image");
+  }
+  const std::size_t out_r = image.rows() - filter.rows() + 1;
+  const std::size_t out_c = image.cols() - filter.cols() + 1;
+  MatrixD out{out_r, out_c};
+  for (std::size_t r = 0; r < out_r; ++r) {
+    for (std::size_t c = 0; c < out_c; ++c) {
+      double acc = 0.0;
+      for (std::size_t fr = 0; fr < filter.rows(); ++fr) {
+        for (std::size_t fc = 0; fc < filter.cols(); ++fc) {
+          acc += image(r + fr, c + fc) * filter(fr, fc);
+        }
+      }
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+MatrixD maxpool2(const MatrixD& input) {
+  const std::size_t out_r = input.rows() / 2;
+  const std::size_t out_c = input.cols() / 2;
+  MatrixD out{out_r, out_c};
+  for (std::size_t r = 0; r < out_r; ++r) {
+    for (std::size_t c = 0; c < out_c; ++c) {
+      out(r, c) = std::max({input(2 * r, 2 * c), input(2 * r, 2 * c + 1),
+                            input(2 * r + 1, 2 * c),
+                            input(2 * r + 1, 2 * c + 1)});
+    }
+  }
+  return out;
+}
+
+ConvFeatures::ConvFeatures(std::size_t filters, std::uint64_t seed) {
+  Rng rng{seed};
+  for (std::size_t f = 0; f < filters; ++f) {
+    MatrixD filter{3, 3};
+    for (double& v : filter.data()) {
+      v = 0.4 * rng.gaussian();
+    }
+    filters_.push_back(std::move(filter));
+  }
+}
+
+std::size_t ConvFeatures::feature_size(std::size_t rows,
+                                       std::size_t cols) const {
+  const std::size_t conv_r = rows - 2;
+  const std::size_t conv_c = cols - 2;
+  return filters_.size() * (conv_r / 2) * (conv_c / 2);
+}
+
+std::vector<double> ConvFeatures::extract_float(const MatrixD& image) const {
+  std::vector<double> features;
+  for (const MatrixD& filter : filters_) {
+    MatrixD conv = conv2d_valid(image, filter);
+    for (double& v : conv.data()) {
+      v = 1.0 / (1.0 + std::exp(-v));
+    }
+    const MatrixD pooled = maxpool2(conv);
+    features.insert(features.end(), pooled.data().begin(),
+                    pooled.data().end());
+  }
+  return features;
+}
+
+std::vector<double> ConvFeatures::extract_fixed(
+    const MatrixD& image, const core::Nacu& unit) const {
+  const fp::Format fmt = unit.format();
+  const fp::Format acc_fmt{fmt.integer_bits() + 6, fmt.fractional_bits()};
+  std::vector<double> features;
+  for (const MatrixD& filter : filters_) {
+    const std::size_t out_r = image.rows() - 2;
+    const std::size_t out_c = image.cols() - 2;
+    MatrixD activated{out_r, out_c};
+    for (std::size_t r = 0; r < out_r; ++r) {
+      for (std::size_t c = 0; c < out_c; ++c) {
+        // The convolution sum accumulates on the NACU MAC (paper §V.B:
+        // "accumulate a convolution sum that is common in ANNs before the
+        // non-linearity is applied").
+        fp::Fixed acc = fp::Fixed::zero(acc_fmt);
+        for (std::size_t fr = 0; fr < 3; ++fr) {
+          for (std::size_t fc = 0; fc < 3; ++fc) {
+            acc = unit.mac(
+                acc, fp::Fixed::from_double(filter(fr, fc), fmt),
+                fp::Fixed::from_double(image(r + fr, c + fc), fmt));
+          }
+        }
+        const fp::Fixed z = acc.requantize(fmt, fp::Rounding::Truncate,
+                                           fp::Overflow::Saturate);
+        activated(r, c) = unit.sigmoid(z).to_double();
+      }
+    }
+    const MatrixD pooled = maxpool2(activated);
+    features.insert(features.end(), pooled.data().begin(),
+                    pooled.data().end());
+  }
+  return features;
+}
+
+MatrixD row_to_image(const Dataset& data, std::size_t row, std::size_t rows,
+                     std::size_t cols) {
+  if (rows * cols != data.inputs.cols()) {
+    throw std::invalid_argument("image shape does not match dataset row");
+  }
+  MatrixD image{rows, cols};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      image(r, c) = data.inputs(row, r * cols + c);
+    }
+  }
+  return image;
+}
+
+}  // namespace nacu::nn

@@ -1,0 +1,64 @@
+// Convolutional feature path — the CNN half of the paper's CNN/LSTM
+// motivation (§I).
+//
+// A fixed bank of random 3×3 filters, NACU sigmoid activations and 2×2
+// max-pooling turn small synthetic images into feature vectors; a dense
+// classifier head (nn::Mlp) trains on the float features, and inference
+// runs end-to-end in fixed point with every multiply-accumulate and every
+// non-linearity on the NACU. Filters are fixed (not trained), so the float
+// and fixed paths share identical parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nacu.hpp"
+#include "nn/dataset.hpp"
+#include "nn/matrix.hpp"
+
+namespace nacu::nn {
+
+/// Synthetic 8×8 single-channel image dataset: horizontal stripes, vertical
+/// stripes, and diagonal patterns (3 classes), with additive noise.
+/// Images are flattened row-major into Dataset::inputs.
+[[nodiscard]] Dataset make_pattern_images(std::size_t samples_per_class,
+                                          double noise = 0.25,
+                                          std::uint64_t seed = 21);
+
+/// Valid-mode 2-D convolution of a (rows×cols) image with a k×k filter.
+[[nodiscard]] MatrixD conv2d_valid(const MatrixD& image,
+                                   const MatrixD& filter);
+
+/// 2×2 max-pool with stride 2 (odd trailing row/col dropped).
+[[nodiscard]] MatrixD maxpool2(const MatrixD& input);
+
+class ConvFeatures {
+ public:
+  /// @p filters random 3×3 kernels scaled into the datapath range.
+  ConvFeatures(std::size_t filters, std::uint64_t seed = 23);
+
+  /// Float path: conv → sigmoid → maxpool → flatten.
+  [[nodiscard]] std::vector<double> extract_float(
+      const MatrixD& image) const;
+
+  /// Fixed path: same parameters, every MAC and sigmoid on @p unit.
+  [[nodiscard]] std::vector<double> extract_fixed(
+      const MatrixD& image, const core::Nacu& unit) const;
+
+  /// Feature-vector length for r×c input images.
+  [[nodiscard]] std::size_t feature_size(std::size_t rows,
+                                         std::size_t cols) const;
+
+  [[nodiscard]] std::size_t filter_count() const noexcept {
+    return filters_.size();
+  }
+
+ private:
+  std::vector<MatrixD> filters_;
+};
+
+/// Convert one dataset row back into its image.
+[[nodiscard]] MatrixD row_to_image(const Dataset& data, std::size_t row,
+                                   std::size_t rows, std::size_t cols);
+
+}  // namespace nacu::nn

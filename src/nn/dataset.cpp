@@ -1,0 +1,87 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+
+Dataset make_blobs(std::size_t samples_per_class, int classes,
+                   std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.classes = classes;
+  d.inputs = MatrixD{samples_per_class * classes, 2};
+  d.labels.reserve(samples_per_class * classes);
+  std::size_t row = 0;
+  for (int c = 0; c < classes; ++c) {
+    const double angle = 2.0 * std::numbers::pi * c / classes;
+    const double cx = 3.0 * std::cos(angle);
+    const double cy = 3.0 * std::sin(angle);
+    for (std::size_t s = 0; s < samples_per_class; ++s, ++row) {
+      d.inputs(row, 0) = cx + rng.gaussian();
+      d.inputs(row, 1) = cy + rng.gaussian();
+      d.labels.push_back(c);
+    }
+  }
+  return d;
+}
+
+Dataset make_spirals(std::size_t samples_per_class, double noise,
+                     std::uint64_t seed) {
+  Rng rng{seed};
+  Dataset d;
+  d.classes = 2;
+  d.inputs = MatrixD{samples_per_class * 2, 2};
+  d.labels.reserve(samples_per_class * 2);
+  std::size_t row = 0;
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s, ++row) {
+      const double t =
+          static_cast<double>(s) / static_cast<double>(samples_per_class);
+      const double r = 0.2 + 2.3 * t;
+      const double phi =
+          1.75 * t * 2.0 * std::numbers::pi + c * std::numbers::pi;
+      d.inputs(row, 0) = r * std::cos(phi) + noise * rng.gaussian();
+      d.inputs(row, 1) = r * std::sin(phi) + noise * rng.gaussian();
+      d.labels.push_back(c);
+    }
+  }
+  return d;
+}
+
+Split train_test_split(const Dataset& dataset, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng{seed};
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const auto n_train =
+      static_cast<std::size_t>(train_fraction * dataset.size());
+  Split split;
+  for (Dataset* part : {&split.train, &split.test}) {
+    part->classes = dataset.classes;
+  }
+  split.train.inputs = MatrixD{n_train, dataset.inputs.cols()};
+  split.test.inputs = MatrixD{dataset.size() - n_train, dataset.inputs.cols()};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& part = i < n_train ? split.train : split.test;
+    const std::size_t row = i < n_train ? i : i - n_train;
+    for (std::size_t c = 0; c < dataset.inputs.cols(); ++c) {
+      part.inputs(row, c) = dataset.inputs(order[i], c);
+    }
+    part.labels.push_back(dataset.labels[order[i]]);
+  }
+  return split;
+}
+
+}  // namespace nacu::nn

@@ -1,0 +1,43 @@
+// Synthetic classification datasets.
+//
+// The paper motivates NACU with ANN inference but evaluates the unit in
+// isolation; we close the loop end-to-end on synthetic tasks (no external
+// data is available offline — see DESIGN.md substitutions): Gaussian blobs
+// (linearly separable-ish, exercises σ/softmax) and two-spirals (needs a
+// non-linear boundary, exercises tanh hidden layers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace nacu::nn {
+
+struct Dataset {
+  MatrixD inputs;           ///< one sample per row
+  std::vector<int> labels;  ///< class index per row
+  int classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+};
+
+/// @p classes Gaussian clusters on a circle of radius 3, unit variance.
+[[nodiscard]] Dataset make_blobs(std::size_t samples_per_class, int classes,
+                                 std::uint64_t seed = 1);
+
+/// Classic two-intertwined-spirals task (2 classes).
+[[nodiscard]] Dataset make_spirals(std::size_t samples_per_class,
+                                   double noise = 0.08,
+                                   std::uint64_t seed = 1);
+
+/// Deterministic shuffled split; @p train_fraction in (0, 1).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+[[nodiscard]] Split train_test_split(const Dataset& dataset,
+                                     double train_fraction,
+                                     std::uint64_t seed = 2);
+
+}  // namespace nacu::nn

@@ -1,0 +1,154 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+
+namespace {
+
+double sigmoid_ref(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+LstmWeights LstmWeights::random(std::size_t input, std::size_t hidden,
+                                std::uint64_t seed) {
+  Rng rng{seed};
+  LstmWeights w;
+  w.input = input;
+  w.hidden = hidden;
+  w.wx = MatrixD{4 * hidden, input};
+  w.wh = MatrixD{4 * hidden, hidden};
+  w.b.assign(4 * hidden, 0.0);
+  const double scale = 0.5 / std::sqrt(static_cast<double>(hidden));
+  for (double& v : w.wx.data()) {
+    v = scale * rng.gaussian();
+  }
+  for (double& v : w.wh.data()) {
+    v = scale * rng.gaussian();
+  }
+  // Forget-gate bias of +1 (conventional initialisation).
+  for (std::size_t i = hidden; i < 2 * hidden; ++i) {
+    w.b[i] = 1.0;
+  }
+  return w;
+}
+
+LstmStateF lstm_step_ref(const LstmWeights& weights, const LstmStateF& state,
+                         const std::vector<double>& x) {
+  const std::size_t h = weights.hidden;
+  std::vector<double> pre(4 * h, 0.0);
+  for (std::size_t r = 0; r < 4 * h; ++r) {
+    double acc = weights.b[r];
+    for (std::size_t i = 0; i < weights.input; ++i) {
+      acc += weights.wx(r, i) * x[i];
+    }
+    for (std::size_t i = 0; i < h; ++i) {
+      acc += weights.wh(r, i) * state.h[i];
+    }
+    pre[r] = acc;
+  }
+  LstmStateF next;
+  next.h.resize(h);
+  next.c.resize(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    const double ig = sigmoid_ref(pre[i]);
+    const double fg = sigmoid_ref(pre[h + i]);
+    const double cand = std::tanh(pre[2 * h + i]);
+    const double og = sigmoid_ref(pre[3 * h + i]);
+    next.c[i] = fg * state.c[i] + ig * cand;
+    next.h[i] = og * std::tanh(next.c[i]);
+  }
+  return next;
+}
+
+LstmFixed::LstmFixed(const LstmWeights& weights,
+                     const core::NacuConfig& config)
+    : weights_{weights},
+      unit_{config},
+      fmt_{config.format},
+      acc_fmt_{config.format.integer_bits() + 6,
+               config.format.fractional_bits()} {}
+
+LstmFixed::State LstmFixed::initial_state() const {
+  State s;
+  s.h.assign(weights_.hidden, fp::Fixed::zero(fmt_));
+  s.c.assign(weights_.hidden, fp::Fixed::zero(fmt_));
+  return s;
+}
+
+fp::Fixed LstmFixed::gate_preactivation(std::size_t row,
+                                        const std::vector<fp::Fixed>& xq,
+                                        const State& state) const {
+  fp::Fixed acc = fp::Fixed::from_double(weights_.b[row], fmt_)
+                      .requantize(acc_fmt_);
+  for (std::size_t i = 0; i < weights_.input; ++i) {
+    acc = unit_.mac(acc, fp::Fixed::from_double(weights_.wx(row, i), fmt_),
+                    xq[i]);
+  }
+  for (std::size_t i = 0; i < weights_.hidden; ++i) {
+    acc = unit_.mac(acc, fp::Fixed::from_double(weights_.wh(row, i), fmt_),
+                    state.h[i]);
+  }
+  return acc.requantize(fmt_, fp::Rounding::Truncate, fp::Overflow::Saturate);
+}
+
+LstmFixed::State LstmFixed::step(const State& state,
+                                 const std::vector<double>& x) const {
+  const std::size_t h = weights_.hidden;
+  std::vector<fp::Fixed> xq;
+  xq.reserve(x.size());
+  for (const double v : x) {
+    xq.push_back(fp::Fixed::from_double(v, fmt_));
+  }
+  State next;
+  next.h.reserve(h);
+  next.c.reserve(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    // Five NACU evaluations per element — the σ/tanh mix of §I.
+    const fp::Fixed ig = unit_.sigmoid(gate_preactivation(i, xq, state));
+    const fp::Fixed fg = unit_.sigmoid(gate_preactivation(h + i, xq, state));
+    const fp::Fixed cand = unit_.tanh(gate_preactivation(2 * h + i, xq, state));
+    const fp::Fixed og = unit_.sigmoid(gate_preactivation(3 * h + i, xq, state));
+    // c' = fg·c + ig·cand through the MAC (two accumulate steps).
+    fp::Fixed c_acc = fp::Fixed::zero(acc_fmt_);
+    c_acc = unit_.mac(c_acc, fg, state.c[i]);
+    c_acc = unit_.mac(c_acc, ig, cand);
+    const fp::Fixed c_new = c_acc.requantize(fmt_, fp::Rounding::Truncate,
+                                             fp::Overflow::Saturate);
+    const fp::Fixed h_new =
+        unit_.tanh(c_new).mul(og, fmt_, fp::Rounding::Truncate);
+    next.c.push_back(c_new);
+    next.h.push_back(h_new);
+  }
+  return next;
+}
+
+double lstm_state_drift(const LstmWeights& weights,
+                        const core::NacuConfig& config, std::size_t steps,
+                        std::uint64_t seed) {
+  LstmFixed fixed{weights, config};
+  LstmFixed::State fixed_state = fixed.initial_state();
+  LstmStateF ref_state;
+  ref_state.h.assign(weights.hidden, 0.0);
+  ref_state.c.assign(weights.hidden, 0.0);
+  Rng rng{seed};
+  double drift_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<double> x(weights.input);
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    ref_state = lstm_step_ref(weights, ref_state, x);
+    fixed_state = fixed.step(fixed_state, x);
+    for (std::size_t i = 0; i < weights.hidden; ++i) {
+      drift_sum += std::abs(fixed_state.h[i].to_double() - ref_state.h[i]);
+      ++count;
+    }
+  }
+  return drift_sum / static_cast<double>(count);
+}
+
+}  // namespace nacu::nn

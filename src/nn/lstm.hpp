@@ -1,0 +1,78 @@
+// LSTM cell: float reference vs NACU fixed-point forward pass.
+//
+// The LSTM is the paper's flagship motivation for a *reconfigurable*
+// non-linear unit (§I): one cell step needs σ three times (input/forget/
+// output gates) and tanh twice (candidate and output) — a fabric hosting
+// LSTMs must morph between both per cycle. We run the same weights through
+// a double-precision cell and a cell whose every non-linearity is a
+// bit-accurate NACU evaluation, and measure the state drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nacu.hpp"
+#include "nn/matrix.hpp"
+
+namespace nacu::nn {
+
+struct LstmWeights {
+  // Gate order within the stacked matrices: input, forget, candidate, output.
+  MatrixD wx;              ///< [4H × D] input weights
+  MatrixD wh;              ///< [4H × H] recurrent weights
+  std::vector<double> b;   ///< [4H]
+  std::size_t hidden = 0;
+  std::size_t input = 0;
+
+  /// Gaussian-initialised weights scaled to stay within a Q4.11 range.
+  static LstmWeights random(std::size_t input, std::size_t hidden,
+                            std::uint64_t seed = 11);
+};
+
+struct LstmStateF {
+  std::vector<double> h;
+  std::vector<double> c;
+};
+
+/// One double-precision cell step (the reference).
+[[nodiscard]] LstmStateF lstm_step_ref(const LstmWeights& weights,
+                                       const LstmStateF& state,
+                                       const std::vector<double>& x);
+
+class LstmFixed {
+ public:
+  LstmFixed(const LstmWeights& weights, const core::NacuConfig& config);
+
+  struct State {
+    std::vector<fp::Fixed> h;
+    std::vector<fp::Fixed> c;
+  };
+
+  [[nodiscard]] State initial_state() const;
+
+  /// One cell step where σ/tanh are NACU and dot products are NACU MACs.
+  [[nodiscard]] State step(const State& state,
+                           const std::vector<double>& x) const;
+
+  [[nodiscard]] const core::Nacu& unit() const noexcept { return unit_; }
+  [[nodiscard]] fp::Format format() const noexcept { return fmt_; }
+
+ private:
+  [[nodiscard]] fp::Fixed gate_preactivation(std::size_t row,
+                                             const std::vector<fp::Fixed>& xq,
+                                             const State& state) const;
+
+  LstmWeights weights_;
+  core::Nacu unit_;
+  fp::Format fmt_;
+  fp::Format acc_fmt_;
+};
+
+/// Mean |h_fixed − h_ref| after running @p steps of the same random input
+/// sequence through both cells.
+[[nodiscard]] double lstm_state_drift(const LstmWeights& weights,
+                                      const core::NacuConfig& config,
+                                      std::size_t steps,
+                                      std::uint64_t seed = 13);
+
+}  // namespace nacu::nn

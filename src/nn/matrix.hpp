@@ -1,0 +1,88 @@
+// Minimal dense-matrix type for the NN substrate.
+//
+// The NN layer exists to exercise NACU in its intended habitat (paper §I:
+// CGRAs hosting CNN/LSTM workloads need σ/tanh/exp/softmax units), so this
+// stays deliberately small: row-major storage, the handful of operations a
+// forward/backward pass needs, no BLAS.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace nacu::nn {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_{rows}, cols_{cols}, data_(rows * cols, init) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return (*this)(r, c);
+  }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Matrix index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+
+/// C = A · B. Dimension mismatch throws.
+[[nodiscard]] inline MatrixD matmul(const MatrixD& a, const MatrixD& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul dimension mismatch");
+  }
+  MatrixD c{a.rows(), b.cols()};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+/// B = Aᵀ.
+[[nodiscard]] inline MatrixD transpose(const MatrixD& a) {
+  MatrixD t{a.cols(), a.rows()};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+}  // namespace nacu::nn

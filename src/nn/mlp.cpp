@@ -1,0 +1,161 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+
+namespace {
+
+double activate(HiddenActivation kind, double x) {
+  return kind == HiddenActivation::Sigmoid ? 1.0 / (1.0 + std::exp(-x))
+                                           : std::tanh(x);
+}
+
+/// Derivative expressed through the activation value a (not the pre-act).
+double activate_grad(HiddenActivation kind, double a) {
+  return kind == HiddenActivation::Sigmoid ? a * (1.0 - a) : 1.0 - a * a;
+}
+
+}  // namespace
+
+std::vector<double> softmax_ref(const std::vector<double>& z) {
+  const double zmax = *std::max_element(z.begin(), z.end());
+  std::vector<double> out(z.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    out[i] = std::exp(z[i] - zmax);
+    denom += out[i];
+  }
+  for (double& v : out) {
+    v /= denom;
+  }
+  return out;
+}
+
+Mlp::Mlp(const MlpConfig& config) : config_{config} {
+  if (config_.layer_sizes.size() < 2) {
+    throw std::invalid_argument("Mlp needs at least input and output layers");
+  }
+  Rng rng{config_.seed};
+  for (std::size_t l = 0; l + 1 < config_.layer_sizes.size(); ++l) {
+    const std::size_t fan_in = config_.layer_sizes[l];
+    const std::size_t fan_out = config_.layer_sizes[l + 1];
+    MatrixD w{fan_out, fan_in};
+    const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (double& v : w.data()) {
+      v = scale * rng.gaussian();
+    }
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(fan_out, 0.0);
+  }
+}
+
+std::vector<std::vector<double>> Mlp::forward_trace(
+    const std::vector<double>& input) const {
+  std::vector<std::vector<double>> acts;
+  acts.push_back(input);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const MatrixD& w = weights_[l];
+    std::vector<double> z(w.rows(), 0.0);
+    for (std::size_t o = 0; o < w.rows(); ++o) {
+      double acc = biases_[l][o];
+      for (std::size_t i = 0; i < w.cols(); ++i) {
+        acc += w(o, i) * acts.back()[i];
+      }
+      z[o] = acc;
+    }
+    if (l + 1 == weights_.size()) {
+      acts.push_back(softmax_ref(z));
+    } else {
+      for (double& v : z) {
+        v = activate(config_.activation, v);
+      }
+      acts.push_back(std::move(z));
+    }
+  }
+  return acts;
+}
+
+void Mlp::train(const Dataset& data) {
+  Rng rng{config_.seed ^ 0xABCDEFull};
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const std::size_t sample : order) {
+      std::vector<double> input(data.inputs.cols());
+      for (std::size_t c = 0; c < input.size(); ++c) {
+        input[c] = data.inputs(sample, c);
+      }
+      const auto acts = forward_trace(input);
+      // Softmax + cross-entropy gradient at the output: p − onehot.
+      std::vector<double> delta = acts.back();
+      delta[static_cast<std::size_t>(data.labels[sample])] -= 1.0;
+      for (std::size_t l = weights_.size(); l-- > 0;) {
+        const std::vector<double>& prev = acts[l];
+        std::vector<double> next_delta(prev.size(), 0.0);
+        for (std::size_t o = 0; o < weights_[l].rows(); ++o) {
+          for (std::size_t i = 0; i < weights_[l].cols(); ++i) {
+            next_delta[i] += weights_[l](o, i) * delta[o];
+            weights_[l](o, i) -= config_.learning_rate * delta[o] * prev[i];
+          }
+          biases_[l][o] -= config_.learning_rate * delta[o];
+        }
+        if (l > 0) {
+          for (std::size_t i = 0; i < next_delta.size(); ++i) {
+            next_delta[i] *= activate_grad(config_.activation, acts[l][i]);
+          }
+          delta = std::move(next_delta);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::predict_proba(const std::vector<double>& input) const {
+  return forward_trace(input).back();
+}
+
+int Mlp::predict(const std::vector<double>& input) const {
+  const std::vector<double> p = predict_proba(input);
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  std::size_t correct = 0;
+  std::vector<double> input(data.inputs.cols());
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    for (std::size_t c = 0; c < input.size(); ++c) {
+      input[c] = data.inputs(s, c);
+    }
+    if (predict(input) == data.labels[s]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double Mlp::max_parameter_magnitude() const noexcept {
+  double max_abs = 0.0;
+  for (const MatrixD& w : weights_) {
+    for (const double v : w.data()) {
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+  for (const auto& b : biases_) {
+    for (const double v : b) {
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+  return max_abs;
+}
+
+}  // namespace nacu::nn

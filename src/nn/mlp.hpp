@@ -1,0 +1,65 @@
+// Float reference MLP with SGD training.
+//
+// This is the floating-point benchmark network: trained in double precision,
+// then handed to QuantizedMlp (quantized_mlp.hpp), which replaces every
+// non-linearity with bit-accurate NACU evaluations. The accuracy delta
+// between the two is the end-to-end cost of the NACU approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/matrix.hpp"
+
+namespace nacu::nn {
+
+enum class HiddenActivation { Sigmoid, Tanh };
+
+struct MlpConfig {
+  std::vector<std::size_t> layer_sizes;  ///< e.g. {2, 24, 24, 3}
+  HiddenActivation activation = HiddenActivation::Tanh;
+  double learning_rate = 0.05;
+  std::size_t epochs = 200;
+  std::uint64_t seed = 7;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  /// Mini-batch-free SGD with softmax + cross-entropy on the output layer.
+  void train(const Dataset& data);
+
+  /// Class probabilities for one input row (softmax output).
+  [[nodiscard]] std::vector<double> predict_proba(
+      const std::vector<double>& input) const;
+  [[nodiscard]] int predict(const std::vector<double>& input) const;
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t layers() const noexcept { return weights_.size(); }
+  [[nodiscard]] const MatrixD& weights(std::size_t layer) const {
+    return weights_.at(layer);
+  }
+  [[nodiscard]] const std::vector<double>& biases(std::size_t layer) const {
+    return biases_.at(layer);
+  }
+
+  /// Max |weight or bias| — used to pick the quantisation format.
+  [[nodiscard]] double max_parameter_magnitude() const noexcept;
+
+ private:
+  /// Forward pass keeping every layer's activations (for backprop).
+  [[nodiscard]] std::vector<std::vector<double>> forward_trace(
+      const std::vector<double>& input) const;
+
+  MlpConfig config_;
+  std::vector<MatrixD> weights_;             ///< [out × in] per layer
+  std::vector<std::vector<double>> biases_;  ///< [out] per layer
+};
+
+/// Reference softmax in double precision.
+[[nodiscard]] std::vector<double> softmax_ref(const std::vector<double>& z);
+
+}  // namespace nacu::nn

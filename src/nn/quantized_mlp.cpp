@@ -1,0 +1,124 @@
+#include "nn/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nacu::nn {
+
+QuantizedMlp::QuantizedMlp(const Mlp& reference,
+                           const core::NacuConfig& config)
+    : unit_{std::make_shared<core::Nacu>(config)},
+      activation_{reference.config().activation},
+      fmt_{config.format},
+      // MAC accumulator: datapath fb with headroom integer bits for the
+      // longest dot product.
+      acc_fmt_{std::min(config.format.integer_bits() + 8,
+                        fp::Format::kMaxWidth - 1 -
+                            config.format.fractional_bits()),
+               config.format.fractional_bits()} {
+  if (reference.max_parameter_magnitude() >= fmt_.max_value()) {
+    throw std::invalid_argument(
+        "trained weights exceed the datapath format range");
+  }
+  for (std::size_t l = 0; l < reference.layers(); ++l) {
+    const MatrixD& w = reference.weights(l);
+    std::vector<std::vector<std::int64_t>> wq(w.rows());
+    for (std::size_t o = 0; o < w.rows(); ++o) {
+      wq[o].reserve(w.cols());
+      for (std::size_t i = 0; i < w.cols(); ++i) {
+        wq[o].push_back(fp::Fixed::from_double(w(o, i), fmt_).raw());
+      }
+    }
+    weights_raw_.push_back(std::move(wq));
+    std::vector<std::int64_t> bq;
+    bq.reserve(reference.biases(l).size());
+    for (const double v : reference.biases(l)) {
+      bq.push_back(fp::Fixed::from_double(v, fmt_).raw());
+    }
+    biases_raw_.push_back(std::move(bq));
+  }
+}
+
+std::vector<fp::Fixed> QuantizedMlp::dense_forward(
+    std::size_t layer, const std::vector<fp::Fixed>& input,
+    bool apply_activation) const {
+  const auto& w = weights_raw_[layer];
+  const auto& b = biases_raw_[layer];
+  std::vector<fp::Fixed> out;
+  out.reserve(w.size());
+  for (std::size_t o = 0; o < w.size(); ++o) {
+    // Bias preloads the accumulator; each term goes through the NACU MAC.
+    fp::Fixed acc = fp::Fixed::from_raw(b[o], fmt_).requantize(acc_fmt_);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      acc = unit_->mac(acc, fp::Fixed::from_raw(w[o][i], fmt_), input[i]);
+    }
+    fp::Fixed z = acc.requantize(fmt_, fp::Rounding::Truncate,
+                                 fp::Overflow::Saturate);
+    if (apply_activation) {
+      z = activation_ == HiddenActivation::Sigmoid ? unit_->sigmoid(z)
+                                                   : unit_->tanh(z);
+    }
+    out.push_back(z);
+  }
+  return out;
+}
+
+std::vector<double> QuantizedMlp::predict_proba(
+    const std::vector<double>& input) const {
+  std::vector<fp::Fixed> acts;
+  acts.reserve(input.size());
+  for (const double v : input) {
+    acts.push_back(fp::Fixed::from_double(v, fmt_));
+  }
+  for (std::size_t l = 0; l < weights_raw_.size(); ++l) {
+    acts = dense_forward(l, acts, l + 1 < weights_raw_.size());
+  }
+  const std::vector<fp::Fixed> probs = unit_->softmax(acts);
+  std::vector<double> out;
+  out.reserve(probs.size());
+  for (const fp::Fixed& p : probs) {
+    out.push_back(p.to_double());
+  }
+  return out;
+}
+
+int QuantizedMlp::predict(const std::vector<double>& input) const {
+  const std::vector<double> p = predict_proba(input);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double QuantizedMlp::accuracy(const Dataset& data) const {
+  std::size_t correct = 0;
+  std::vector<double> input(data.inputs.cols());
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    for (std::size_t c = 0; c < input.size(); ++c) {
+      input[c] = data.inputs(s, c);
+    }
+    if (predict(input) == data.labels[s]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double QuantizedMlp::mean_probability_drift(const Mlp& reference,
+                                            const Dataset& data) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  std::vector<double> input(data.inputs.cols());
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    for (std::size_t c = 0; c < input.size(); ++c) {
+      input[c] = data.inputs(s, c);
+    }
+    const std::vector<double> pf = predict_proba(input);
+    const std::vector<double> pr = reference.predict_proba(input);
+    for (std::size_t k = 0; k < pf.size(); ++k) {
+      sum += std::abs(pf[k] - pr[k]);
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace nacu::nn

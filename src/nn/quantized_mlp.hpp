@@ -1,0 +1,51 @@
+// Post-training-quantised MLP inference where every non-linearity is NACU.
+//
+// Weights, biases and activations are quantised to the NACU datapath format;
+// dot products accumulate through the NACU MAC (wide accumulator, truncating
+// requantisation), hidden layers apply NACU σ or tanh, and the output layer
+// is the NACU softmax (Eq. 13 normalisation, exp via Eq. 14, divider pass).
+// This is the end-to-end deployment story the paper's CGRA hosts imply.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/nacu.hpp"
+#include "nn/mlp.hpp"
+
+namespace nacu::nn {
+
+class QuantizedMlp {
+ public:
+  /// Quantise @p reference onto @p config's formats. Throws when a weight
+  /// magnitude exceeds the representable range (pick a wider format).
+  QuantizedMlp(const Mlp& reference, const core::NacuConfig& config);
+
+  [[nodiscard]] std::vector<double> predict_proba(
+      const std::vector<double>& input) const;
+  [[nodiscard]] int predict(const std::vector<double>& input) const;
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  /// Mean |p_fixed − p_float| over all samples/classes — the probability
+  /// drift induced by quantisation + NACU approximation.
+  [[nodiscard]] double mean_probability_drift(const Mlp& reference,
+                                              const Dataset& data) const;
+
+  [[nodiscard]] const core::Nacu& unit() const noexcept { return *unit_; }
+
+ private:
+  /// One dense layer: NACU-MAC accumulation, requantise, optional σ/tanh.
+  [[nodiscard]] std::vector<fp::Fixed> dense_forward(
+      std::size_t layer, const std::vector<fp::Fixed>& input,
+      bool apply_activation) const;
+
+  std::shared_ptr<core::Nacu> unit_;
+  HiddenActivation activation_;
+  fp::Format fmt_;
+  fp::Format acc_fmt_;
+  std::vector<std::vector<std::vector<std::int64_t>>> weights_raw_;
+  std::vector<std::vector<std::int64_t>> biases_raw_;
+};
+
+}  // namespace nacu::nn

@@ -1,0 +1,88 @@
+#include "nn/reservoir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+
+SequenceDataset make_frequency_sequences(std::size_t samples_per_class,
+                                         std::size_t length, int classes,
+                                         double noise, std::uint64_t seed) {
+  Rng rng{seed};
+  SequenceDataset d;
+  d.classes = classes;
+  for (int c = 0; c < classes; ++c) {
+    // Frequencies 1, 2, 4, ... cycles per sequence: well separated.
+    const double cycles = std::pow(2.0, c);
+    for (std::size_t s = 0; s < samples_per_class; ++s) {
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      MatrixD sequence{length, 1};
+      for (std::size_t t = 0; t < length; ++t) {
+        sequence(t, 0) =
+            std::sin(2.0 * std::numbers::pi * cycles *
+                         static_cast<double>(t) /
+                         static_cast<double>(length) +
+                     phase) +
+            noise * rng.gaussian();
+      }
+      d.sequences.push_back(std::move(sequence));
+      d.labels.push_back(c);
+    }
+  }
+  return d;
+}
+
+LstmReservoir::LstmReservoir(std::size_t input_dim, std::size_t hidden,
+                             std::uint64_t seed)
+    : weights_{LstmWeights::random(input_dim, hidden, seed)} {}
+
+std::vector<double> LstmReservoir::features_float(
+    const MatrixD& sequence) const {
+  LstmStateF state;
+  state.h.assign(weights_.hidden, 0.0);
+  state.c.assign(weights_.hidden, 0.0);
+  std::vector<double> pooled(weights_.hidden, 0.0);
+  std::vector<double> x(sequence.cols());
+  for (std::size_t t = 0; t < sequence.rows(); ++t) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = sequence(t, i);
+    }
+    state = lstm_step_ref(weights_, state, x);
+    for (std::size_t i = 0; i < weights_.hidden; ++i) {
+      pooled[i] += std::abs(state.h[i]);
+    }
+  }
+  for (double& v : pooled) {
+    v /= static_cast<double>(sequence.rows());
+  }
+  pooled.insert(pooled.end(), state.h.begin(), state.h.end());
+  return pooled;
+}
+
+std::vector<double> LstmReservoir::features_fixed(
+    const MatrixD& sequence, const core::NacuConfig& config) const {
+  LstmFixed cell{weights_, config};
+  LstmFixed::State state = cell.initial_state();
+  std::vector<double> pooled(weights_.hidden, 0.0);
+  std::vector<double> x(sequence.cols());
+  for (std::size_t t = 0; t < sequence.rows(); ++t) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = sequence(t, i);
+    }
+    state = cell.step(state, x);
+    for (std::size_t i = 0; i < weights_.hidden; ++i) {
+      pooled[i] += std::abs(state.h[i].to_double());
+    }
+  }
+  for (double& v : pooled) {
+    v /= static_cast<double>(sequence.rows());
+  }
+  for (const fp::Fixed& h : state.h) {
+    pooled.push_back(h.to_double());
+  }
+  return pooled;
+}
+
+}  // namespace nacu::nn

@@ -1,0 +1,66 @@
+// LSTM reservoir sequence classification — the recurrent workload end to
+// end, without needing BPTT.
+//
+// A fixed random LSTM (echo-state style reservoir) integrates an input
+// sequence; a trained softmax readout classifies the final hidden state.
+// The float path trains the readout; the fixed path replays the *same*
+// reservoir with every σ/tanh as a bit-accurate NACU evaluation and the
+// readout quantised — the LSTM analogue of nn::QuantizedMlp's story.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+
+namespace nacu::nn {
+
+/// Labelled variable-content sequences: one row per timestep.
+struct SequenceDataset {
+  std::vector<MatrixD> sequences;  ///< [T × input_dim] each
+  std::vector<int> labels;
+  int classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+};
+
+/// Frequency-discrimination task: class k is a sine of frequency f_k (in
+/// cycles per sequence) with phase jitter and additive noise. Requires
+/// temporal integration — a memoryless readout cannot solve it.
+[[nodiscard]] SequenceDataset make_frequency_sequences(
+    std::size_t samples_per_class, std::size_t length, int classes = 3,
+    double noise = 0.15, std::uint64_t seed = 29);
+
+class LstmReservoir {
+ public:
+  LstmReservoir(std::size_t input_dim, std::size_t hidden,
+                std::uint64_t seed = 31);
+
+  /// Readout features after integrating @p sequence (double precision):
+  /// the time-mean of |h_t| concatenated with the final hidden state —
+  /// the standard reservoir pooling (the final state alone cannot carry
+  /// frequency information).
+  [[nodiscard]] std::vector<double> features_float(
+      const MatrixD& sequence) const;
+
+  /// Same reservoir and pooling, every non-linearity on NACU.
+  [[nodiscard]] std::vector<double> features_fixed(
+      const MatrixD& sequence, const core::NacuConfig& config) const;
+
+  /// Feature-vector length: 2 × hidden (pooled + final).
+  [[nodiscard]] std::size_t feature_size() const noexcept {
+    return 2 * weights_.hidden;
+  }
+  [[nodiscard]] std::size_t hidden() const noexcept {
+    return weights_.hidden;
+  }
+  [[nodiscard]] const LstmWeights& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  LstmWeights weights_;
+};
+
+}  // namespace nacu::nn

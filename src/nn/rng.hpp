@@ -1,0 +1,52 @@
+// Deterministic PRNG for datasets and weight init (xoshiro-style), so
+// experiments reproduce bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace nacu::nn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_{seed} {
+    // Avoid the all-zero fixed point.
+    if (state_ == 0) state_ = 1;
+  }
+
+  /// Uniform 64-bit (splitmix64 step).
+  std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal (Box–Muller).
+  double gaussian() noexcept {
+    const double u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nacu::nn

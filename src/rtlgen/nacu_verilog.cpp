@@ -1,0 +1,375 @@
+#include "rtlgen/nacu_verilog.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/rng.hpp"
+#include "rtlgen/verilog.hpp"
+
+namespace nacu::rtlgen {
+
+namespace {
+
+int ceil_log2(std::size_t n) {
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) {
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+std::string lut_module(const core::Nacu& unit) {
+  const core::SigmoidLut& lut = unit.lut();
+  const int cw = unit.config().coeff_format.width();
+  const int segw = ceil_log2(lut.entries());
+  ModuleBuilder m{"nacu_sigmoid_lut"};
+  m.input("seg", segw)
+      .output("m1", cw, true)
+      .output("q", cw, true)
+      .localparam("ENTRIES", static_cast<std::int64_t>(lut.entries()));
+  m.body("// (m1, q) per PWL segment of the positive sigma half-range —");
+  m.body("// the same quantised table the verified C++ model uses.");
+  m.body("always @* begin");
+  m.body("  case (seg)");
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    m.body("    " + std::to_string(i) + ": begin m1 = " +
+           bin_literal(lut.slope_raw(i), cw) + "; q = " +
+           bin_literal(lut.bias_raw(i), cw) + "; end");
+  }
+  m.body("    default: begin m1 = " +
+         bin_literal(lut.slope_raw(lut.entries() - 1), cw) + "; q = " +
+         bin_literal(lut.bias_raw(lut.entries() - 1), cw) + "; end");
+  m.body("  endcase");
+  m.body("end");
+  return m.str();
+}
+
+std::string bias_units_module(const core::NacuConfig& config) {
+  const int cw = config.coeff_format.width();
+  const int cfb = config.coeff_format.fractional_bits();
+  const int ow = cw + 1;  // Q2.cfb outputs
+  const int pad = ow - cfb;
+  ModuleBuilder m{"nacu_bias_units"};
+  m.input("q", cw)
+      .output("one_minus_q", ow)
+      .output("two_q_minus_one", ow)
+      .output("one_minus_two_q", ow);
+  m.body("// Fig. 3a: integer bits zero, fractional field two's-complement.");
+  m.body("assign one_minus_q = {" + std::to_string(pad) + "'b0, (~q[" +
+         std::to_string(cfb - 1) + ":0]) + 1'b1};");
+  m.blank();
+  m.body("// Fig. 3b: 2q-1 — fractional bits pass, a1 propagates into a0.");
+  m.body("wire [" + std::to_string(cw) + ":0] q2 = {q, 1'b0};");
+  m.body("assign two_q_minus_one = {" + std::to_string(pad - 1) +
+         "'b0, q2[" + std::to_string(cfb + 1) + "], q2[" +
+         std::to_string(cfb - 1) + ":0]};");
+  m.blank();
+  m.body("// Fig. 3c: 1-2q = (-2q)+1 — fractional bits pass, every integer");
+  m.body("// bit takes ~a0 of -2q.");
+  m.body("wire [" + std::to_string(cw) + ":0] t = ~q2 + 1'b1;");
+  m.body("assign one_minus_two_q = {{" + std::to_string(pad) + "{~t[" +
+         std::to_string(cfb) + "]}}, t[" + std::to_string(cfb - 1) +
+         ":0]};");
+  return m.str();
+}
+
+std::string top_module(const core::Nacu& unit) {
+  const core::NacuConfig& config = unit.config();
+  const int n = config.format.width();
+  const int fb = config.format.fractional_bits();
+  const int cw = config.coeff_format.width();
+  const int cfb = config.coeff_format.fractional_bits();
+  const int segw = ceil_log2(unit.lut().entries());
+  const int fbq = fb + config.divider_guard_bits;
+  const std::int64_t xmax = config.format.max_raw();
+  const std::int64_t qmax =
+      (std::int64_t{1} << (config.format.integer_bits() + 1 + fbq)) - 1;
+
+  ModuleBuilder m{"nacu_top"};
+  m.input("clk")
+      .input("rst")
+      .input("in_valid")
+      .input("in_func", 2)  // 0 sigmoid, 1 tanh, 2 exp
+      .input("in_x", n)
+      .output("out_valid_a", 1)   // sigma/tanh retire (3-cycle latency)
+      .output("out_a", n)
+      .output("out_valid_e", 1, true)  // exp retire (8-cycle latency)
+      .output("out_e", n, true);
+  m.localparam("N", n)
+      .localparam("FB", fb)
+      .localparam("CW", cw)
+      .localparam("CFB", cfb)
+      .localparam("FBQ", fbq)
+      .localparam("XMAX", xmax)
+      .localparam("ENTRIES", static_cast<std::int64_t>(unit.lut().entries()))
+      .localparam("QMAX", qmax)
+      .localparam("DIV_STAGES", 4);
+
+  m.blank();
+  m.body("// round half away from zero, then drop `sh` fractional bits");
+  m.body("function signed [47:0] round_shift;");
+  m.body("  input signed [47:0] v; input integer sh;");
+  m.body("  begin");
+  m.body("    if (v >= 0) round_shift = (v + (48'sd1 <<< (sh-1))) >>> sh;");
+  m.body("    else round_shift = -((-v + (48'sd1 <<< (sh-1))) >>> sh);");
+  m.body("  end");
+  m.body("endfunction");
+  m.blank();
+  m.body("function signed [47:0] saturate_n;");
+  m.body("  input signed [47:0] v;");
+  m.body("  begin");
+  m.body("    if (v > 48'sd" + std::to_string(xmax) + ") saturate_n = 48'sd" +
+         std::to_string(xmax) + ";");
+  m.body("    else if (v < -48'sd" + std::to_string(xmax + 1) +
+         ") saturate_n = -48'sd" + std::to_string(xmax + 1) + ";");
+  m.body("    else saturate_n = v;");
+  m.body("  end");
+  m.body("endfunction");
+
+  m.blank();
+  m.body("// ---- S1: negate-for-exp, magnitude, segment select ----------");
+  m.body("wire signed [N-1:0] x_eff = (in_func == 2'd2) ? "
+         "saturate_n(-$signed(in_x)) : $signed(in_x);");
+  m.body("wire neg_in = x_eff[N-1];");
+  m.body("wire [N-1:0] mag_in = neg_in ? saturate_n(-x_eff) : x_eff;");
+  m.body("wire [N-1:0] mag2_in = (in_func == 2'd1) ? ((mag_in > (XMAX>>1)) "
+         "? XMAX[N-1:0] : (mag_in << 1)) : mag_in;");
+  m.body("wire [31:0] seg_wide = (mag2_in * ENTRIES) / XMAX;");
+  m.body("wire [" + std::to_string(segw - 1) + ":0] seg_in = "
+         "(seg_wide >= ENTRIES) ? ENTRIES[" + std::to_string(segw - 1) +
+         ":0] - 1'b1 : seg_wide[" + std::to_string(segw - 1) + ":0];");
+  m.blank();
+  m.body("reg s1_valid; reg [1:0] s1_func; reg s1_neg;");
+  m.body("reg [N-1:0] s1_mag; reg [" + std::to_string(segw - 1) +
+         ":0] s1_seg;");
+  m.body("always @(posedge clk) begin");
+  m.body("  if (rst) s1_valid <= 1'b0;");
+  m.body("  else begin");
+  m.body("    s1_valid <= in_valid; s1_func <= in_func; s1_neg <= neg_in;");
+  m.body("    s1_mag <= mag_in; s1_seg <= seg_in;");
+  m.body("  end");
+  m.body("end");
+
+  m.blank();
+  m.body("// ---- S2: LUT read, Fig. 3 morphing, multiply ----------------");
+  m.body("wire [CW-1:0] lut_m, lut_q;");
+  m.body("nacu_sigmoid_lut u_lut (.seg(s1_seg), .m1(lut_m), .q(lut_q));");
+  m.body("wire [CW:0] b_1mq, b_2qm1, b_1m2q;");
+  m.body("nacu_bias_units u_bias (.q(lut_q), .one_minus_q(b_1mq), "
+         ".two_q_minus_one(b_2qm1), .one_minus_two_q(b_1m2q));");
+  m.body("wire [1:0] mode = (s1_func == 2'd1) ? (s1_neg ? 2'd3 : 2'd2)");
+  m.body("                                    : (s1_neg ? 2'd1 : 2'd0);");
+  m.body("wire signed [CW:0] m_ext = {1'b0, lut_m};");
+  m.body("wire signed [CW:0] coeff = (mode == 2'd0) ? m_ext :");
+  m.body("                           (mode == 2'd1) ? -m_ext :");
+  m.body("                           (mode == 2'd2) ? (m_ext <<< 2) : "
+         "-(m_ext <<< 2);");
+  m.body("wire signed [CW:0] bias = (mode == 2'd0) ? {1'b0, lut_q} :");
+  m.body("                          (mode == 2'd1) ? $signed(b_1mq) :");
+  m.body("                          (mode == 2'd2) ? $signed(b_2qm1) : "
+         "$signed(b_1m2q);");
+  m.blank();
+  m.body("reg s2_valid; reg [1:0] s2_func;");
+  m.body("reg signed [47:0] s2_product; reg signed [CW:0] s2_bias;");
+  m.body("always @(posedge clk) begin");
+  m.body("  if (rst) s2_valid <= 1'b0;");
+  m.body("  else begin");
+  m.body("    s2_valid <= s1_valid; s2_func <= s1_func;");
+  m.body("    s2_product <= $signed({1'b0, s1_mag}) * coeff;");
+  m.body("    s2_bias <= bias;");
+  m.body("  end");
+  m.body("end");
+
+  m.blank();
+  m.body("// ---- S3: add, round-half-away, saturate ---------------------");
+  m.body("wire signed [47:0] s3_sum = s2_product + ($signed(s2_bias) <<< FB);");
+  m.body("wire signed [47:0] s3_rounded = "
+         "saturate_n(round_shift(s3_sum, CFB));");
+  m.body("reg s3_valid; reg [1:0] s3_func; reg signed [N-1:0] s3_result;");
+  m.body("always @(posedge clk) begin");
+  m.body("  if (rst) s3_valid <= 1'b0;");
+  m.body("  else begin");
+  m.body("    s3_valid <= s2_valid; s3_func <= s2_func;");
+  m.body("    s3_result <= s3_rounded[N-1:0];");
+  m.body("  end");
+  m.body("end");
+  m.body("assign out_valid_a = s3_valid && (s3_func != 2'd2);");
+  m.body("assign out_a = s3_result;");
+
+  m.blank();
+  m.body("// ---- divider pipeline (behavioural quotient + DIV_STAGES");
+  m.body("//      delay; replace with a restoring array for synthesis) ----");
+  m.body("wire signed [47:0] den = (s3_valid && s3_func == 2'd2) ?");
+  m.body("    (($signed(s3_result) <= 0) ? 48'sd1 : "
+         "{{32{1'b0}}, s3_result}) : 48'sd1;");
+  m.body("wire signed [47:0] quot_full = (48'sd1 <<< (FB + FBQ)) / den;");
+  m.body("wire signed [47:0] quot_sat = (quot_full > QMAX) ? QMAX : "
+         "quot_full;");
+  m.body("reg [DIV_STAGES:1] dv; reg signed [47:0] dq [DIV_STAGES:1];");
+  m.body("integer k;");
+  m.body("always @(posedge clk) begin");
+  m.body("  if (rst) dv <= {DIV_STAGES{1'b0}};");
+  m.body("  else begin");
+  m.body("    dv[1] <= s3_valid && (s3_func == 2'd2); dq[1] <= quot_sat;");
+  m.body("    for (k = 2; k <= DIV_STAGES; k = k + 1) begin");
+  m.body("      dv[k] <= dv[k-1]; dq[k] <= dq[k-1];");
+  m.body("    end");
+  m.body("  end");
+  m.body("end");
+
+  m.blank();
+  m.body("// ---- DEC: sigma' - 1 via the Fig. 3b wiring when sigma' is in");
+  m.body("//      [1, 2], general decrement otherwise; round into N bits --");
+  m.body("wire signed [47:0] q_in = dq[DIV_STAGES];");
+  m.body("wire in_band = (q_in >= (48'sd1 <<< FBQ)) && "
+         "(q_in <= (48'sd1 <<< (FBQ+1)));");
+  m.body("wire signed [47:0] dec_trick = {q_in[47:FBQ+2], 1'b0, "
+         "q_in[FBQ+1], q_in[FBQ-1:0]};");
+  m.body("wire signed [47:0] dec_gen = q_in - (48'sd1 <<< FBQ);");
+  m.body("wire signed [47:0] dec_v = in_band ? dec_trick : dec_gen;");
+  m.body("wire signed [47:0] dec_rounded = "
+         "saturate_n(round_shift(dec_v, FBQ - FB));");
+  m.body("always @(posedge clk) begin");
+  m.body("  if (rst) out_valid_e <= 1'b0;");
+  m.body("  else begin");
+  m.body("    out_valid_e <= dv[DIV_STAGES];");
+  m.body("    out_e <= dec_rounded[N-1:0];");
+  m.body("  end");
+  m.body("end");
+  return m.str();
+}
+
+std::string testbench(const core::Nacu& unit, std::size_t vectors,
+                      std::uint64_t seed, std::size_t* emitted) {
+  const core::NacuConfig& config = unit.config();
+  const int n = config.format.width();
+  nn::Rng rng{seed};
+  std::ostringstream os;
+  os << "// Self-checking NACU testbench. Golden vectors were produced by\n"
+        "// the verified bit-accurate C++ model (core::Nacu); a pass means\n"
+        "// the RTL conforms to the reference, exactly as the paper's\n"
+        "// artifact pairs its HDL with a reference model.\n"
+        "`timescale 1ns/1ps\n"
+        "module nacu_tb;\n"
+        "  reg clk = 0; reg rst = 1;\n"
+        "  reg in_valid = 0; reg [1:0] in_func = 0;\n"
+        "  reg [" << n - 1 << ":0] in_x = 0;\n"
+        "  wire out_valid_a, out_valid_e;\n"
+        "  wire [" << n - 1 << ":0] out_a; wire [" << n - 1 << ":0] out_e;\n"
+        "  nacu_top dut (.clk(clk), .rst(rst), .in_valid(in_valid),\n"
+        "                .in_func(in_func), .in_x(in_x),\n"
+        "                .out_valid_a(out_valid_a), .out_a(out_a),\n"
+        "                .out_valid_e(out_valid_e), .out_e(out_e));\n"
+        "  always #5 clk = ~clk;\n"
+        "  integer errors = 0;\n\n"
+        "  task check;\n"
+        "    input [1:0] func;\n"
+        "    input [" << n - 1 << ":0] x;\n"
+        "    input [" << n - 1 << ":0] expected;\n"
+        "    integer i;\n"
+        "    reg done;\n"
+        "    begin\n"
+        "      @(negedge clk); in_valid = 1; in_func = func; in_x = x;\n"
+        "      @(negedge clk); in_valid = 0;\n"
+        "      done = 0;\n"
+        "      for (i = 0; i < 12 && !done; i = i + 1) begin\n"
+        "        @(posedge clk); #1;\n"
+        "        if (func != 2'd2 && out_valid_a) begin\n"
+        "          if (out_a !== expected) begin\n"
+        "            errors = errors + 1;\n"
+        "            $display(\"FAIL f=%0d x=%0d got=%0d want=%0d\",\n"
+        "                     func, $signed(x), $signed(out_a),\n"
+        "                     $signed(expected));\n"
+        "          end\n"
+        "          done = 1;\n"
+        "        end else if (func == 2'd2 && out_valid_e) begin\n"
+        "          if (out_e !== expected) begin\n"
+        "            errors = errors + 1;\n"
+        "            $display(\"FAIL exp x=%0d got=%0d want=%0d\",\n"
+        "                     $signed(x), $signed(out_e),\n"
+        "                     $signed(expected));\n"
+        "          end\n"
+        "          done = 1;\n"
+        "        end\n"
+        "      end\n"
+        "      if (!done) begin\n"
+        "        errors = errors + 1;\n"
+        "        $display(\"FAIL timeout f=%0d x=%0d\", func, $signed(x));\n"
+        "      end\n"
+        "    end\n"
+        "  endtask\n\n"
+        "  initial begin\n"
+        "    repeat (4) @(negedge clk); rst = 0;\n";
+  std::size_t count = 0;
+  const auto emit_vector = [&](int func, std::int64_t raw,
+                               std::int64_t expected) {
+    os << "    check(2'd" << func << ", " << bin_literal(raw, n) << ", "
+       << bin_literal(expected, n) << ");\n";
+    ++count;
+  };
+  for (std::size_t v = 0; v < vectors; ++v) {
+    const std::int64_t raw =
+        static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(config.format.max_raw() -
+                                                 config.format.min_raw()) +
+                      1)) +
+        config.format.min_raw();
+    const fp::Fixed x = fp::Fixed::from_raw(raw, config.format);
+    emit_vector(0, raw, unit.sigmoid(x).raw());
+    emit_vector(1, raw, unit.tanh(x).raw());
+    emit_vector(2, raw, unit.exp(x).raw());
+  }
+  os << "    if (errors == 0) $display(\"PASS: %0d vectors\", " << count
+     << ");\n"
+        "    else $display(\"FAILED: %0d errors\", errors);\n"
+        "    $finish;\n"
+        "  end\n"
+        "endmodule\n";
+  if (emitted != nullptr) {
+    *emitted = count;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+VerilogBundle emit_nacu_verilog(const core::NacuConfig& config,
+                                std::size_t tb_vectors, std::uint64_t seed) {
+  if (config.approximate_reciprocal) {
+    throw std::invalid_argument(
+        "rtlgen emits the paper's exact-divider design; disable "
+        "approximate_reciprocal");
+  }
+  const core::Nacu unit{config};
+  VerilogBundle bundle;
+  std::ostringstream design;
+  design << "// NACU — generated from the verified C++ model ("
+         << config.format.to_string() << " datapath, "
+         << config.lut_entries << "-entry sigma LUT).\n"
+         << "// Blocks follow paper Fig. 2; Fig. 3 bias units are wired,\n"
+         << "// not subtracted. The divider is behavioural (quotient +\n"
+         << "// DIV_STAGES delay line) — swap in a restoring array for\n"
+         << "// synthesis; latency and values are unchanged.\n\n";
+  design << lut_module(unit) << "\n";
+  design << bias_units_module(config) << "\n";
+  design << top_module(unit);
+  bundle.design = design.str();
+  bundle.testbench =
+      testbench(unit, tb_vectors, seed, &bundle.vector_count);
+  return bundle;
+}
+
+void write_bundle(const VerilogBundle& bundle, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ofstream design{fs::path{dir} / "nacu.v"};
+  std::ofstream tb{fs::path{dir} / "nacu_tb.v"};
+  if (!design || !tb) {
+    throw std::runtime_error("cannot write Verilog bundle to " + dir);
+  }
+  design << bundle.design;
+  tb << bundle.testbench;
+}
+
+}  // namespace nacu::rtlgen

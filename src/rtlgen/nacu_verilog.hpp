@@ -1,0 +1,40 @@
+// NACU Verilog generator — reproduces the paper's published artifact shape
+// ("The RTL HDL design of NACU, test-bench, reference model", §V footnote).
+//
+// Emits:
+//  * `design`    — Verilog-2001 for the σ coefficient LUT (case ROM built
+//    from the same quantised table the C++ model uses), the Fig. 3 bias
+//    wiring, the coefficient morphing, the shared multiply-add with
+//    round-half-away/saturate, a DIV_STAGES-deep divider pipeline
+//    (behavioural quotient + delay line; swap in a restoring array for
+//    synthesis), the σ'−1 decrementor, and the 3/3/8-cycle top pipeline.
+//  * `testbench` — a self-checking bench whose stimulus/expected pairs are
+//    golden vectors computed by the verified core::Nacu model, so any
+//    Verilog simulator can check conformance without this repository.
+//
+// The generator is deterministic: same config + seed → identical text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/nacu.hpp"
+
+namespace nacu::rtlgen {
+
+struct VerilogBundle {
+  std::string design;     ///< nacu.v contents
+  std::string testbench;  ///< nacu_tb.v contents
+  std::size_t vector_count = 0;
+};
+
+/// Generate the design + testbench for @p config. @p tb_vectors random
+/// stimulus vectors per function (σ, tanh, exp) are baked into the bench.
+[[nodiscard]] VerilogBundle emit_nacu_verilog(const core::NacuConfig& config,
+                                              std::size_t tb_vectors = 32,
+                                              std::uint64_t seed = 1);
+
+/// Write the bundle as <dir>/nacu.v and <dir>/nacu_tb.v (creates dir).
+void write_bundle(const VerilogBundle& bundle, const std::string& dir);
+
+}  // namespace nacu::rtlgen

@@ -1,0 +1,56 @@
+// Minimal Verilog source builder.
+//
+// The paper's artifact is "the RTL HDL design of NACU, test-bench,
+// reference model" (§V footnote). rtlgen reproduces that artifact from the
+// verified C++ model: structural Verilog-2001 for every block plus a
+// self-checking testbench whose golden vectors come from core::Nacu. This
+// file is the small text-building layer; nacu_verilog.hpp assembles the
+// actual design.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nacu::rtlgen {
+
+/// Incremental builder for one Verilog module.
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name);
+
+  ModuleBuilder& input(const std::string& name, int width = 1);
+  ModuleBuilder& output(const std::string& name, int width = 1,
+                        bool reg = false);
+  ModuleBuilder& localparam(const std::string& name, std::int64_t value);
+  /// Free-form body line (indented one level).
+  ModuleBuilder& body(const std::string& line);
+  /// Blank body line.
+  ModuleBuilder& blank();
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Port {
+    std::string direction;
+    std::string name;
+    int width;
+    bool reg;
+  };
+
+  std::string name_;
+  std::vector<Port> ports_;
+  std::vector<std::string> localparams_;
+  std::vector<std::string> body_;
+};
+
+/// `width`-bit binary literal: e.g. value 5, width 4 → "4'b0101".
+/// Negative values are emitted in two's complement.
+[[nodiscard]] std::string bin_literal(std::int64_t value, int width);
+
+/// `[msb:lsb]` range for a width (empty string for width 1).
+[[nodiscard]] std::string range(int width);
+
+}  // namespace nacu::rtlgen

@@ -1,0 +1,148 @@
+#include "snn/adex.hpp"
+
+#include <cmath>
+
+namespace nacu::snn {
+
+AdexNeuronRef::AdexNeuronRef(const AdexParams& params) : params_{params} {
+  reset();
+}
+
+void AdexNeuronRef::reset() {
+  state_ = AdexState{.v = params_.el, .w = 0.0, .spiked = false};
+  spikes_ = 0;
+}
+
+AdexState AdexNeuronRef::step(double current) {
+  const AdexParams& p = params_;
+  const double u = (state_.v - p.vt) / p.delta_t;
+  // The reference applies the same argument cap as the hardware (u <= u_max
+  // by construction since v <= v_peak; defensive for exotic parameters).
+  const double i_exp =
+      p.gl * p.delta_t * std::exp(std::min(u, p.u_max()));
+  const double dv =
+      (-p.gl * (state_.v - p.el) + i_exp - state_.w + current) * p.dt;
+  const double dw =
+      (p.a * (state_.v - p.el) - state_.w) * (p.dt / p.tau_w);
+  state_.v += dv;
+  state_.w += dw;
+  state_.spiked = false;
+  if (state_.v >= p.v_peak) {
+    state_.v = p.v_reset;
+    state_.w += p.b;
+    state_.spiked = true;
+    ++spikes_;
+  }
+  return state_;
+}
+
+AdexNeuronFixed::AdexNeuronFixed(const AdexParams& params,
+                                 const core::NacuConfig& config)
+    : params_{params},
+      unit_{config},
+      fmt_{config.format},
+      acc_fmt_{config.format.integer_bits() + 4,
+               config.format.fractional_bits()},
+      v_{fp::Fixed::from_double(params.el, config.format)},
+      w_{fp::Fixed::zero(config.format)} {
+  reset();
+}
+
+void AdexNeuronFixed::reset() {
+  v_ = fp::Fixed::from_double(params_.el, fmt_);
+  w_ = fp::Fixed::zero(fmt_);
+  state_ = AdexState{.v = v_.to_double(), .w = 0.0, .spiked = false};
+  spikes_ = 0;
+}
+
+AdexState AdexNeuronFixed::step(double current) {
+  const AdexParams& p = params_;
+  // Quantised constants; in hardware these are configuration registers.
+  const fp::Fixed inv_delta =
+      fp::Fixed::from_double(1.0 / p.delta_t, fmt_);
+  const fp::Fixed exp_scale = fp::Fixed::from_double(
+      p.gl * p.delta_t * std::exp(p.u_max()), fmt_);
+  const fp::Fixed el = fp::Fixed::from_double(p.el, fmt_);
+  const fp::Fixed vt = fp::Fixed::from_double(p.vt, fmt_);
+  const fp::Fixed i_in = fp::Fixed::from_double(current, fmt_);
+  const fp::Fixed u_max = fp::Fixed::from_double(p.u_max(), fmt_);
+
+  // u' = (v − vt)/Δ − u_max  (normalised exponential argument, <= 0).
+  const fp::Fixed v_minus_vt = v_.sub(vt, fmt_);
+  const fp::Fixed u =
+      v_minus_vt.mul(inv_delta, fmt_, fp::Rounding::Truncate);
+  const fp::Fixed u_norm = u.sub(u_max, fmt_);
+  // i_exp = (gl·Δ·e^{u_max}) · e^{u'} — NACU exp plus one constant multiply.
+  const fp::Fixed e = unit_.exp(u_norm);
+  const fp::Fixed i_exp = e.mul(exp_scale, acc_fmt_, fp::Rounding::Truncate);
+
+  // dv = (−gl·(v − el) + i_exp − w + I)·dt, accumulated on the NACU MAC.
+  const fp::Fixed minus_gl = fp::Fixed::from_double(-p.gl, fmt_);
+  fp::Fixed acc = i_exp;
+  acc = unit_.mac(acc, minus_gl, v_.sub(el, fmt_));
+  acc = acc.sub(w_, acc_fmt_);
+  acc = acc.add(i_in, acc_fmt_);
+  const fp::Fixed dt = fp::Fixed::from_double(p.dt, fmt_);
+  const fp::Fixed dv = acc.mul(dt, fmt_, fp::Rounding::Truncate);
+
+  // dw = (a·(v − el) − w)·dt/τw.
+  const fp::Fixed a_coeff = fp::Fixed::from_double(p.a, fmt_);
+  fp::Fixed w_acc = fp::Fixed::zero(acc_fmt_);
+  w_acc = unit_.mac(w_acc, a_coeff, v_.sub(el, fmt_));
+  w_acc = w_acc.sub(w_, acc_fmt_);
+  const fp::Fixed dt_over_tau =
+      fp::Fixed::from_double(p.dt / p.tau_w, fp::Format{0, fmt_.width() - 1});
+  const fp::Fixed dw =
+      w_acc.mul(dt_over_tau, fmt_, fp::Rounding::Truncate);
+
+  v_ = v_.add(dv, fmt_);
+  w_ = w_.add(dw, fmt_);
+  state_.spiked = false;
+  if (v_.to_double() >= p.v_peak) {
+    v_ = fp::Fixed::from_double(p.v_reset, fmt_);
+    w_ = w_.add(fp::Fixed::from_double(p.b, fmt_), fmt_);
+    state_.spiked = true;
+    ++spikes_;
+  }
+  state_.v = v_.to_double();
+  state_.w = w_.to_double();
+  return state_;
+}
+
+std::vector<FICurvePoint> fi_curve(const AdexParams& params,
+                                   const core::NacuConfig& config,
+                                   const std::vector<double>& currents,
+                                   double sim_time) {
+  std::vector<FICurvePoint> curve;
+  curve.reserve(currents.size());
+  const auto steps = static_cast<std::size_t>(sim_time / params.dt);
+  for (const double current : currents) {
+    AdexNeuronRef ref{params};
+    AdexNeuronFixed fixed{params, config};
+    for (std::size_t t = 0; t < steps; ++t) {
+      ref.step(current);
+      fixed.step(current);
+    }
+    curve.push_back(FICurvePoint{
+        .current = current,
+        .rate_ref = static_cast<double>(ref.spike_count()) / sim_time,
+        .rate_fixed = static_cast<double>(fixed.spike_count()) / sim_time});
+  }
+  return curve;
+}
+
+double subthreshold_drift(const AdexParams& params,
+                          const core::NacuConfig& config, double current,
+                          std::size_t steps) {
+  AdexNeuronRef ref{params};
+  AdexNeuronFixed fixed{params, config};
+  double drift = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const AdexState a = ref.step(current);
+    const AdexState b = fixed.step(current);
+    drift += std::abs(a.v - b.v);
+  }
+  return drift / static_cast<double>(steps);
+}
+
+}  // namespace nacu::snn

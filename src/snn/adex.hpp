@@ -1,0 +1,119 @@
+// Adaptive-exponential integrate-and-fire (AdEx) neuron on NACU.
+//
+// The paper motivates NACU beyond ANNs: "biologically plausible
+// integrate-and-fire neurons using differential equations ... whose
+// numerical solutions often involve these non-linearities" (§I) — its refs
+// [12] and [15] are digital AdEx implementations built around exactly the
+// exponential unit NACU provides. This module closes that loop: a
+// dimensionless AdEx neuron
+//
+//    dv/dt  = −gl·(v − el) + gl·Δ·exp((v − vt)/Δ) − w + I
+//    τw·dw/dt = a·(v − el) − w
+//    spike when v ≥ v_peak:  v ← v_reset,  w ← w + b
+//
+// integrated with forward Euler, in double precision (reference) and in
+// fixed point where the exponential is a bit-accurate NACU evaluation.
+// NACU's exp expects softmax-normalised arguments u ≤ 0, so the neuron
+// evaluates exp(u) = e^{u_max} · e^{u − u_max}: the NACU computes the
+// bounded factor, and the constant e^{u_max} folds into one fixed-point
+// multiplier — the same trick the softmax datapath uses (Eq. 13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nacu.hpp"
+
+namespace nacu::snn {
+
+/// Dimensionless AdEx parameters. Defaults give a regular-spiking neuron
+/// whose state stays inside Q4.11 and whose exponential constant
+/// e^{u_max}·gl·Δ ≈ 13.6 still fits the datapath.
+struct AdexParams {
+  double gl = 1.0;        ///< leak conductance
+  double el = -1.0;       ///< leak (rest) potential
+  double vt = 0.0;        ///< exponential threshold
+  double delta_t = 0.25;  ///< slope factor Δ
+  double v_peak = 1.0;    ///< spike detection level
+  double v_reset = -1.0;  ///< post-spike reset
+  double a = 0.2;         ///< subthreshold adaptation
+  double b = 0.25;        ///< spike-triggered adaptation increment
+  double tau_w = 20.0;    ///< adaptation time constant
+  double dt = 1.0 / 64.0; ///< Euler step (power of two: exact in fixed point)
+
+  /// Largest exponential argument the neuron can produce:
+  /// u_max = (v_peak − vt)/Δ.
+  [[nodiscard]] double u_max() const noexcept {
+    return (v_peak - vt) / delta_t;
+  }
+};
+
+/// One simulation step's observable state.
+struct AdexState {
+  double v = 0.0;
+  double w = 0.0;
+  bool spiked = false;
+};
+
+/// Double-precision reference neuron.
+class AdexNeuronRef {
+ public:
+  explicit AdexNeuronRef(const AdexParams& params);
+
+  /// Advance one Euler step under input current @p current.
+  AdexState step(double current);
+  void reset();
+
+  [[nodiscard]] const AdexState& state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t spike_count() const noexcept { return spikes_; }
+
+ private:
+  AdexParams params_;
+  AdexState state_;
+  std::size_t spikes_ = 0;
+};
+
+/// Fixed-point neuron: every exponential is a NACU evaluation, every
+/// multiply-accumulate runs on the NACU MAC at datapath precision.
+class AdexNeuronFixed {
+ public:
+  AdexNeuronFixed(const AdexParams& params, const core::NacuConfig& config);
+
+  AdexState step(double current);
+  void reset();
+
+  [[nodiscard]] const AdexState& state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t spike_count() const noexcept { return spikes_; }
+  [[nodiscard]] const core::Nacu& unit() const noexcept { return unit_; }
+
+ private:
+  AdexParams params_;
+  core::Nacu unit_;
+  fp::Format fmt_;
+  fp::Format acc_fmt_;
+  // Quantised constants (raw values on the datapath grid).
+  fp::Fixed v_;
+  fp::Fixed w_;
+  AdexState state_;
+  std::size_t spikes_ = 0;
+};
+
+/// Firing-rate sweep: spikes per unit time at each input current, for the
+/// reference and the NACU neuron. This is the f–I curve benches plot.
+struct FICurvePoint {
+  double current = 0.0;
+  double rate_ref = 0.0;
+  double rate_fixed = 0.0;
+};
+
+[[nodiscard]] std::vector<FICurvePoint> fi_curve(
+    const AdexParams& params, const core::NacuConfig& config,
+    const std::vector<double>& currents, double sim_time = 200.0);
+
+/// Mean |v_fixed − v_ref| over a subthreshold run (no spikes), isolating
+/// integration error from spike-time jitter.
+[[nodiscard]] double subthreshold_drift(const AdexParams& params,
+                                        const core::NacuConfig& config,
+                                        double current, std::size_t steps);
+
+}  // namespace nacu::snn

@@ -1,0 +1,76 @@
+#include "snn/network.hpp"
+
+#include "nn/rng.hpp"
+
+namespace nacu::snn {
+
+AdexNetwork::AdexNetwork(const Config& config,
+                         const core::NacuConfig& nacu_config)
+    : config_{config} {
+  nn::Rng rng{config.seed};
+  ref_.reserve(config.neurons);
+  fixed_.reserve(config.neurons);
+  synapses_.resize(config.neurons);
+  drive_offsets_.reserve(config.neurons);
+  for (std::size_t n = 0; n < config.neurons; ++n) {
+    ref_.emplace_back(config.params);
+    fixed_.emplace_back(config.params, nacu_config);
+    drive_offsets_.push_back(0.1 * rng.gaussian());
+  }
+  for (std::size_t post = 0; post < config.neurons; ++post) {
+    for (std::size_t pre = 0; pre < config.neurons; ++pre) {
+      if (pre == post ||
+          rng.uniform() >= config.connection_probability) {
+        continue;
+      }
+      const bool inhibitory = rng.uniform() < config.inhibitory_fraction;
+      const double weight =
+          (inhibitory ? -1.0 : 1.0) * config.weight_scale * rng.uniform();
+      synapses_[post].emplace_back(pre, weight);
+    }
+  }
+}
+
+AdexNetwork::RunResult AdexNetwork::run(std::size_t steps, double current) {
+  const std::size_t n = ref_.size();
+  RunResult result;
+  result.spikes_ref.assign(n, 0);
+  result.spikes_fixed.assign(n, 0);
+  std::vector<bool> spiked_ref(n, false);
+  std::vector<bool> spiked_fixed(n, false);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<bool> next_ref(n, false);
+    std::vector<bool> next_fixed(n, false);
+    for (std::size_t post = 0; post < n; ++post) {
+      double syn_ref = 0.0;
+      double syn_fixed = 0.0;
+      for (const auto& [pre, weight] : synapses_[post]) {
+        if (spiked_ref[pre]) syn_ref += weight;
+        if (spiked_fixed[pre]) syn_fixed += weight;
+      }
+      const double drive = current + drive_offsets_[post];
+      if (ref_[post].step(drive + syn_ref).spiked) {
+        next_ref[post] = true;
+        ++result.spikes_ref[post];
+      }
+      if (fixed_[post].step(drive + syn_fixed).spiked) {
+        next_fixed[post] = true;
+        ++result.spikes_fixed[post];
+      }
+    }
+    spiked_ref = std::move(next_ref);
+    spiked_fixed = std::move(next_fixed);
+  }
+  std::size_t total_ref = 0;
+  std::size_t total_fixed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_ref += result.spikes_ref[i];
+    total_fixed += result.spikes_fixed[i];
+  }
+  const double denom = static_cast<double>(n) * static_cast<double>(steps);
+  result.rate_ref = static_cast<double>(total_ref) / denom;
+  result.rate_fixed = static_cast<double>(total_fixed) / denom;
+  return result;
+}
+
+}  // namespace nacu::snn

@@ -1,0 +1,53 @@
+// A small recurrent AdEx network — the "mix of ANNs and SNNs in the same
+// fabric" scenario of §VII, population-level.
+//
+// N AdEx neurons with sparse random synapses; a spike at step t injects
+// synaptic current into its targets at step t+1. The double-precision and
+// NACU populations run side by side under the same external drive. Spiking
+// networks are chaotic, so agreement is measured at the population level
+// (mean firing rate), not spike-for-spike.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/adex.hpp"
+
+namespace nacu::snn {
+
+class AdexNetwork {
+ public:
+  struct Config {
+    std::size_t neurons = 32;
+    double connection_probability = 0.2;
+    double weight_scale = 0.4;     ///< synaptic strength (current units)
+    double inhibitory_fraction = 0.25;
+    AdexParams params{};
+    std::uint64_t seed = 5;
+  };
+
+  AdexNetwork(const Config& config, const core::NacuConfig& nacu_config);
+
+  struct RunResult {
+    std::vector<std::size_t> spikes_ref;    ///< per-neuron totals
+    std::vector<std::size_t> spikes_fixed;
+    double rate_ref = 0.0;    ///< population mean spikes per step
+    double rate_fixed = 0.0;
+  };
+
+  /// Run @p steps under constant external drive @p current (same for every
+  /// neuron, plus per-neuron frozen noise).
+  [[nodiscard]] RunResult run(std::size_t steps, double current);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ref_.size(); }
+
+ private:
+  Config config_;
+  std::vector<AdexNeuronRef> ref_;
+  std::vector<AdexNeuronFixed> fixed_;
+  /// synapses_[post] = list of (pre, weight).
+  std::vector<std::vector<std::pair<std::size_t, double>>> synapses_;
+  std::vector<double> drive_offsets_;  ///< frozen per-neuron drive noise
+};
+
+}  // namespace nacu::snn

@@ -1,0 +1,153 @@
+// Cross-family property suite: every approximator scheme, every function it
+// supports, checked against the same behavioural contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "approx/cordic.hpp"
+#include "approx/error_analysis.hpp"
+#include "approx/gomar.hpp"
+#include "approx/hybrid.hpp"
+#include "approx/lut.hpp"
+#include "approx/nupwl.hpp"
+#include "approx/parabolic.hpp"
+#include "approx/polynomial.hpp"
+#include "approx/pwl.hpp"
+#include "approx/ralut.hpp"
+#include "approx/three_region.hpp"
+#include "core/nacu_approximator.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+/// Factory registry: every scheme in the repository at a 16-bit config.
+std::vector<std::function<ApproximatorPtr()>> all_schemes() {
+  return {
+      [] { return std::make_unique<UniformLut>(
+               UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 128)); },
+      [] { return std::make_unique<UniformLut>(
+               UniformLut::natural_config(FunctionKind::Tanh, kFmt, 128)); },
+      [] { return std::make_unique<UniformLut>(
+               UniformLut::natural_config(FunctionKind::Exp, kFmt, 256)); },
+      [] { return std::make_unique<Ralut>(
+               Ralut::with_max_entries(FunctionKind::Sigmoid, kFmt, 128)); },
+      [] { return std::make_unique<Ralut>(
+               Ralut::with_max_entries(FunctionKind::Tanh, kFmt, 128)); },
+      [] { return std::make_unique<Pwl>(
+               Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 53)); },
+      [] { return std::make_unique<Pwl>(
+               Pwl::natural_config(FunctionKind::Tanh, kFmt, 53)); },
+      [] { return std::make_unique<Pwl>(
+               Pwl::natural_config(FunctionKind::Exp, kFmt, 53)); },
+      [] { return std::make_unique<Nupwl>(
+               Nupwl::with_max_entries(FunctionKind::Sigmoid, kFmt, 64)); },
+      [] { return std::make_unique<Polynomial>(
+               Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 2,
+                                          16)); },
+      [] { return std::make_unique<Polynomial>(Polynomial::natural_config(
+               FunctionKind::Exp, kFmt, 3, 16,
+               Polynomial::FitMode::Chebyshev)); },
+      [] { return std::make_unique<CordicExp>(
+               CordicExp::natural_config(kFmt, 14)); },
+      [] { return std::make_unique<ParabolicExp>(
+               ParabolicExp::natural_config(kFmt, 2)); },
+      [] { return std::make_unique<GomarExp>(
+               GomarExp::Config{.in = kFmt, .out = kFmt}); },
+      [] { return std::make_unique<GomarSigmoidTanh>(GomarSigmoidTanh::Config{
+               .kind = FunctionKind::Sigmoid, .in = kFmt, .out = kFmt}); },
+      [] { return std::make_unique<GomarSigmoidTanh>(GomarSigmoidTanh::Config{
+               .kind = FunctionKind::Tanh, .in = kFmt, .out = kFmt}); },
+      [] { return std::make_unique<HybridPwlRalut>(
+               HybridPwlRalut::natural_config(FunctionKind::Tanh, kFmt, 8,
+                                              256)); },
+      [] { return std::make_unique<core::NacuApproximator>(
+               core::NacuApproximator::for_bits(16, FunctionKind::Sigmoid)); },
+      [] { return std::make_unique<core::NacuApproximator>(
+               core::NacuApproximator::for_bits(16, FunctionKind::Tanh)); },
+      [] { return std::make_unique<core::NacuApproximator>(
+               core::NacuApproximator::for_bits(16, FunctionKind::Exp)); },
+  };
+}
+
+class SchemeProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ApproximatorPtr scheme() const { return all_schemes()[GetParam()](); }
+};
+
+TEST_P(SchemeProperty, OutputAlwaysInDeclaredFormat) {
+  const ApproximatorPtr a = scheme();
+  for (std::int64_t raw = kFmt.min_raw(); raw <= kFmt.max_raw(); raw += 251) {
+    const fp::Fixed y = a->evaluate(fp::Fixed::from_raw(raw, kFmt));
+    EXPECT_EQ(y.format(), a->output_format()) << a->name();
+    EXPECT_GE(y.raw(), y.format().min_raw());
+    EXPECT_LE(y.raw(), y.format().max_raw());
+  }
+}
+
+TEST_P(SchemeProperty, OutputStaysNearFunctionCodomain) {
+  const ApproximatorPtr a = scheme();
+  const double slack = 0.15;
+  for (std::int64_t raw = kFmt.min_raw(); raw <= kFmt.max_raw(); raw += 151) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    const double y = a->evaluate(x).to_double();
+    switch (a->function()) {
+      case FunctionKind::Sigmoid:
+        EXPECT_GE(y, 0.0 - slack) << a->name();
+        EXPECT_LE(y, 1.0 + slack) << a->name();
+        break;
+      case FunctionKind::Tanh:
+        EXPECT_GE(y, -1.0 - slack) << a->name();
+        EXPECT_LE(y, 1.0 + slack) << a->name();
+        break;
+      case FunctionKind::Exp:
+        EXPECT_GE(y, -slack) << a->name();
+        break;
+    }
+  }
+}
+
+TEST_P(SchemeProperty, DeterministicAcrossInstances) {
+  const ApproximatorPtr a = scheme();
+  const ApproximatorPtr b = scheme();
+  for (std::int64_t raw = kFmt.min_raw(); raw <= kFmt.max_raw(); raw += 509) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(a->evaluate(x).raw(), b->evaluate(x).raw()) << a->name();
+  }
+}
+
+TEST_P(SchemeProperty, NaturalDomainAccuracyIsFinite) {
+  const ApproximatorPtr a = scheme();
+  const ErrorStats stats = analyze_natural(*a, 1u << 14);
+  EXPECT_GT(stats.samples, 0u) << a->name();
+  EXPECT_LT(stats.max_abs, 0.15) << a->name();
+  EXPECT_GT(stats.correlation, 0.99) << a->name();
+}
+
+TEST_P(SchemeProperty, ApproximatelyMonotoneOnNaturalDomain) {
+  // σ, tanh and exp are all non-decreasing; allow a few LSBs of ripple
+  // from segment boundaries and rounding.
+  const ApproximatorPtr a = scheme();
+  const double tolerance = 6.0 * a->output_format().resolution() + 1e-9;
+  const std::int64_t lo =
+      a->function() == FunctionKind::Exp ? kFmt.min_raw() : kFmt.min_raw();
+  const std::int64_t hi =
+      a->function() == FunctionKind::Exp ? 0 : kFmt.max_raw();
+  double prev = -1e300;
+  for (std::int64_t raw = lo; raw <= hi; raw += 97) {
+    const double y =
+        a->evaluate(fp::Fixed::from_raw(raw, kFmt)).to_double();
+    EXPECT_GE(y, prev - tolerance) << a->name() << " at raw " << raw;
+    prev = std::max(prev, y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeProperty,
+                         ::testing::Range<std::size_t>(0, 20));
+
+}  // namespace
+}  // namespace nacu::approx

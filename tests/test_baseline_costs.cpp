@@ -1,0 +1,65 @@
+// Tests for the related-work structural cost estimators.
+#include <gtest/gtest.h>
+
+#include "hwcost/baseline_costs.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "hwcost/technology.hpp"
+
+namespace nacu::cost {
+namespace {
+
+double to_um2(double ge) {
+  return ge * Tech28::kGateAreaUm2 * Tech28::kLayoutOverhead;
+}
+
+TEST(BaselineCosts, EverythingScalesWithSize) {
+  EXPECT_LT(lut_unit_ge(64, 10, 10), lut_unit_ge(1024, 10, 10));
+  EXPECT_LT(ralut_unit_ge(14, 9, 6), ralut_unit_ge(127, 10, 10));
+  EXPECT_LT(pwl_unit_ge(8, 16, 16), pwl_unit_ge(64, 16, 16));
+  EXPECT_LT(polynomial_unit_ge(4, 2, 16, 16),
+            polynomial_unit_ge(4, 6, 16, 16));
+  EXPECT_LT(cordic_unit_ge(8, 16), cordic_unit_ge(16, 21));
+  EXPECT_LT(parabolic_unit_ge(1, 16), parabolic_unit_ge(3, 16));
+}
+
+TEST(BaselineCosts, RalutCostsMoreThanLutPerEntry) {
+  // Range comparators make each RALUT entry dearer than a plain ROM word.
+  EXPECT_GT(ralut_unit_ge(128, 10, 10), lut_unit_ge(128, 10, 10));
+}
+
+TEST(BaselineCosts, CordicRegimeMatchesScaledSilicon) {
+  // [14]'s 21-bit CORDIC: 19150 µm²@65 → ~5800 µm²@28. Our structural
+  // estimate for an unrolled 18-iteration 21+-bit CORDIC should land within
+  // 3× of that (it is a different micro-architecture, same regime).
+  const double model = to_um2(cordic_unit_ge(18, 24));
+  const double silicon = scale_area(19150, 65, 28);
+  EXPECT_GT(model, silicon / 3.0);
+  EXPECT_LT(model, silicon * 3.0);
+}
+
+TEST(BaselineCosts, RalutRegimeMatchesReportedSilicon) {
+  // [4]: 14 entries, 9-bit, 1280.66 µm² at 180 nm → ~92 µm² at 28 nm.
+  // Tiny macros are dominated by fixed overheads our per-primitive model
+  // spreads differently, so the check is same-regime (within 5×), not
+  // calibration-grade.
+  const double model = to_um2(ralut_unit_ge(14, 9, 6));
+  const double silicon = scale_area(1280.66, 180, 28);
+  EXPECT_GT(model, silicon / 5.0);
+  EXPECT_LT(model, silicon * 5.0);
+}
+
+TEST(BaselineCosts, PwlUnitFarSmallerThanNacu) {
+  // A bare σ-only PWL unit lacks NACU's divider: it must come out well
+  // under half the full NACU area.
+  const Breakdown nacu = nacu_breakdown(core::config_for_bits(16));
+  EXPECT_LT(pwl_unit_ge(53, 16, 16), 0.5 * nacu.total_ge());
+}
+
+TEST(BaselineCosts, ParabolicCostlierThanSingleMultiplierPwl) {
+  // Three parabola factors need several multipliers; a single-multiply PWL
+  // of equal width is cheaper.
+  EXPECT_GT(parabolic_unit_ge(3, 18), pwl_unit_ge(53, 18, 18));
+}
+
+}  // namespace
+}  // namespace nacu::cost

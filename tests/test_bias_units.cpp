@@ -1,0 +1,76 @@
+// Exhaustive proofs that the Fig. 3 wiring tricks equal real arithmetic
+// over their entire legal input ranges — the paper's claim that the
+// specialised units are drop-in replacements for subtractors.
+#include <gtest/gtest.h>
+
+#include "core/bias_units.hpp"
+
+namespace nacu::core {
+namespace {
+
+class BiasUnitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiasUnitSweep, Fig3aEqualsOneMinusQEverywhere) {
+  const int fb = GetParam();
+  const std::int64_t one = std::int64_t{1} << fb;
+  // q ∈ [0.5, 1] — every raw value in the range.
+  for (std::int64_t q = one / 2; q <= one; ++q) {
+    EXPECT_EQ(fig3a_one_minus_q(q, fb), one - q) << "fb=" << fb << " q=" << q;
+  }
+}
+
+TEST_P(BiasUnitSweep, Fig3bEqualsMinusOneEverywhere) {
+  const int fb = GetParam();
+  const std::int64_t one = std::int64_t{1} << fb;
+  // v = 2q ∈ [1, 2].
+  for (std::int64_t v = one; v <= 2 * one; ++v) {
+    EXPECT_EQ(fig3b_minus_one(v, fb), v - one) << "fb=" << fb << " v=" << v;
+  }
+}
+
+TEST_P(BiasUnitSweep, Fig3cEqualsPlusOneEverywhere) {
+  const int fb = GetParam();
+  const std::int64_t one = std::int64_t{1} << fb;
+  // t = −2q ∈ [−2, −1].
+  for (std::int64_t t = -2 * one; t <= -one; ++t) {
+    EXPECT_EQ(fig3c_plus_one(t, fb), t + one) << "fb=" << fb << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionalWidths, BiasUnitSweep,
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 14));
+
+TEST(BiasUnits, Fig3aEndpoints) {
+  // q = 0.5 → 0.5; q = 1 → 0 (the two-interval split of §V.A).
+  EXPECT_EQ(fig3a_one_minus_q(1 << 13, 14), 1 << 13);
+  EXPECT_EQ(fig3a_one_minus_q(1 << 14, 14), 0);
+}
+
+TEST(BiasUnits, Fig3bEndpoints) {
+  // 2q = 1 → 0; 2q = 2 → 1 (integer a1 propagates into a0).
+  EXPECT_EQ(fig3b_minus_one(1 << 14, 14), 0);
+  EXPECT_EQ(fig3b_minus_one(1 << 15, 14), 1 << 14);
+}
+
+TEST(BiasUnits, Fig3cEndpoints) {
+  // t = −1 → 0; t = −2 → −1 (all integer bits take ~a0).
+  EXPECT_EQ(fig3c_plus_one(-(std::int64_t{1} << 14), 14), 0);
+  EXPECT_EQ(fig3c_plus_one(-(std::int64_t{1} << 15), 14),
+            -(std::int64_t{1} << 14));
+}
+
+TEST(BiasUnits, CompositionMatchesSigmoidBiasAlgebra) {
+  // 1 − (2q − 1) == 2·(1 − q) for every legal q: cross-checks the three
+  // units against each other through the σ/tanh bias identities.
+  const int fb = 10;
+  const std::int64_t one = std::int64_t{1} << fb;
+  for (std::int64_t q = one / 2; q <= one; ++q) {
+    const std::int64_t tanh_pos = fig3b_minus_one(q << 1, fb);  // 2q−1
+    const std::int64_t tanh_neg = fig3c_plus_one(-(q << 1), fb);  // 1−2q
+    EXPECT_EQ(tanh_neg, -tanh_pos) << q;
+    EXPECT_EQ(one - tanh_pos, fig3a_one_minus_q(q, fb) << 1) << q;
+  }
+}
+
+}  // namespace
+}  // namespace nacu::core

@@ -1,0 +1,237 @@
+// Tests for the CGRA fabric: ISA, PE sequencing, mapping, and the
+// fabric-equals-reference numerical invariant.
+#include <gtest/gtest.h>
+
+#include "cgra/fabric.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::cgra {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+DenseLayer random_layer(std::size_t inputs, std::size_t neurons,
+                        std::uint32_t function, std::uint64_t seed) {
+  nn::Rng rng{seed};
+  std::vector<std::vector<double>> weights(neurons,
+                                           std::vector<double>(inputs));
+  std::vector<double> biases(neurons);
+  for (auto& row : weights) {
+    for (double& v : row) v = rng.uniform(-0.5, 0.5);
+  }
+  for (double& v : biases) v = rng.uniform(-0.5, 0.5);
+  return DenseLayer::quantise(weights, biases, function, kConfig.format);
+}
+
+std::vector<std::int64_t> random_inputs(std::size_t n, std::uint64_t seed) {
+  nn::Rng rng{seed};
+  std::vector<std::int64_t> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(
+        fp::Fixed::from_double(rng.uniform(-1.0, 1.0), kConfig.format).raw());
+  }
+  return inputs;
+}
+
+TEST(Isa, DenseSliceProgramShape) {
+  const Program program = build_dense_slice_program(3, 4, 1);
+  // Per neuron: LoadAcc + 4 Mac + Act; then Halt.
+  ASSERT_EQ(program.size(), 3u * 6u + 1u);
+  EXPECT_EQ(program[0].op, Op::LoadAcc);
+  EXPECT_EQ(program[1].op, Op::Mac);
+  EXPECT_EQ(program[5].op, Op::Act);
+  EXPECT_EQ(program[5].a, 1u);  // tanh select
+  EXPECT_EQ(program[5].b, 0u);  // output slot 0
+  EXPECT_EQ(program.back().op, Op::Halt);
+}
+
+TEST(Isa, WeightIndicesAreNeuronMajor) {
+  const Program program = build_dense_slice_program(2, 3, 0);
+  // Neuron 1's first Mac reads weight index 3 (= 1·inputs).
+  EXPECT_EQ(program[6].op, Op::Mac);
+  EXPECT_EQ(program[6].a, 3u);
+  EXPECT_EQ(program[6].b, 0u);
+}
+
+TEST(Fabric, RejectsZeroPes) {
+  EXPECT_THROW(Fabric(kConfig, 0), std::invalid_argument);
+}
+
+TEST(Fabric, MatchesSequentialReferenceExactly) {
+  const DenseLayer layer = random_layer(12, 17, 1, 31);
+  const auto inputs = random_inputs(12, 32);
+  const auto ref = dense_layer_reference(layer, inputs, kConfig);
+  for (const std::size_t pes : {1u, 3u, 5u}) {
+    Fabric fabric{kConfig, pes};
+    fabric.configure(layer);
+    const auto out = fabric.run(inputs);
+    ASSERT_EQ(out.size(), ref.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], ref[i]) << "pes=" << pes << " neuron " << i;
+    }
+  }
+}
+
+TEST(Fabric, AllThreeActivationFunctionsWork) {
+  const auto inputs = random_inputs(8, 77);
+  for (const std::uint32_t function : {0u, 1u, 2u}) {
+    const DenseLayer layer = random_layer(8, 6, function, 40 + function);
+    Fabric fabric{kConfig, 2};
+    fabric.configure(layer);
+    const auto out = fabric.run(inputs);
+    const auto ref = dense_layer_reference(layer, inputs, kConfig);
+    EXPECT_EQ(out, ref) << "function " << function;
+  }
+}
+
+TEST(Fabric, MorePesMeanFewerCycles) {
+  const DenseLayer layer = random_layer(16, 24, 0, 51);
+  const auto inputs = random_inputs(16, 52);
+  std::uint64_t prev = ~0ull;
+  for (const std::size_t pes : {1u, 2u, 4u, 8u}) {
+    Fabric fabric{kConfig, pes};
+    fabric.configure(layer);
+    (void)fabric.run(inputs);
+    EXPECT_LT(fabric.stats().cycles, prev) << pes;
+    prev = fabric.stats().cycles;
+  }
+}
+
+TEST(Fabric, SpeedupIsNearLinearWhenBalanced) {
+  // 24 neurons over 4 PEs = 6 each: speedup within 25% of ideal.
+  const DenseLayer layer = random_layer(16, 24, 0, 61);
+  const auto inputs = random_inputs(16, 62);
+  Fabric one{kConfig, 1};
+  one.configure(layer);
+  (void)one.run(inputs);
+  Fabric four{kConfig, 4};
+  four.configure(layer);
+  (void)four.run(inputs);
+  const double speedup = static_cast<double>(one.stats().cycles) /
+                         static_cast<double>(four.stats().cycles);
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LE(speedup, 4.2);
+}
+
+TEST(Fabric, UtilisationHighWhenBusy) {
+  const DenseLayer layer = random_layer(32, 16, 0, 71);
+  Fabric fabric{kConfig, 2};
+  fabric.configure(layer);
+  (void)fabric.run(random_inputs(32, 72));
+  EXPECT_GT(fabric.stats().utilisation, 0.9);
+}
+
+TEST(Fabric, RerunsAreIdempotent) {
+  const DenseLayer layer = random_layer(8, 9, 1, 81);
+  const auto inputs = random_inputs(8, 82);
+  Fabric fabric{kConfig, 3};
+  fabric.configure(layer);
+  const auto first = fabric.run(inputs);
+  const auto second = fabric.run(inputs);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Fabric, DifferentInputsDifferentOutputs) {
+  const DenseLayer layer = random_layer(8, 4, 0, 91);
+  Fabric fabric{kConfig, 2};
+  fabric.configure(layer);
+  const auto a = fabric.run(random_inputs(8, 92));
+  const auto b = fabric.run(random_inputs(8, 93));
+  EXPECT_NE(a, b);
+}
+
+TEST(Fabric, UnbalancedSliceStillCorrect) {
+  // 7 neurons over 4 PEs: slices of 2,2,2,1.
+  const DenseLayer layer = random_layer(5, 7, 1, 101);
+  const auto inputs = random_inputs(5, 102);
+  Fabric fabric{kConfig, 4};
+  fabric.configure(layer);
+  EXPECT_EQ(fabric.run(inputs),
+            dense_layer_reference(layer, inputs, kConfig));
+}
+
+TEST(RunNetwork, MultiLayerMatchesSequentialChain) {
+  // Three-layer network: fabric reconfigures between layers and the final
+  // outputs equal chaining the sequential references.
+  const DenseLayer l1 = random_layer(6, 10, 1, 201);
+  const DenseLayer l2 = random_layer(10, 8, 0, 202);
+  const DenseLayer l3 = random_layer(8, 4, 2, 203);
+  const auto inputs = random_inputs(6, 204);
+  Fabric fabric{kConfig, 3};
+  std::uint64_t cycles = 0;
+  const auto out = run_network(fabric, {l1, l2, l3}, inputs, &cycles);
+  auto expected = dense_layer_reference(l1, inputs, kConfig);
+  expected = dense_layer_reference(l2, expected, kConfig);
+  expected = dense_layer_reference(l3, expected, kConfig);
+  EXPECT_EQ(out, expected);
+  EXPECT_GT(cycles, 0u);
+}
+
+TEST(RunNetwork, RejectsDimensionMismatch) {
+  const DenseLayer l1 = random_layer(6, 10, 0, 211);
+  const DenseLayer bad = random_layer(7, 4, 0, 212);  // expects 7 inputs
+  Fabric fabric{kConfig, 2};
+  EXPECT_THROW((void)run_network(fabric, {l1, bad}, random_inputs(6, 213)),
+               std::invalid_argument);
+}
+
+TEST(DenseLayerQuantise, RejectsRaggedWeights) {
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(DenseLayer::quantise(ragged, {0.0, 0.0}, 0, kConfig.format),
+               std::invalid_argument);
+}
+
+TEST(Fabric, RandomisedConfigurationFuzz) {
+  // Random layer shapes, PE counts and functions: the fabric must always
+  // reproduce the sequential reference exactly.
+  nn::Rng rng{2024};
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t inputs = 1 + rng.below(20);
+    const std::size_t neurons = 1 + rng.below(24);
+    const std::size_t pes = 1 + rng.below(6);
+    const auto function = static_cast<std::uint32_t>(rng.below(4));
+    const DenseLayer layer = random_layer(
+        inputs, neurons, function == 3 ? kLinearFunction : function,
+        3000 + static_cast<std::uint64_t>(trial));
+    const auto in = random_inputs(inputs,
+                                  4000 + static_cast<std::uint64_t>(trial));
+    Fabric fabric{kConfig, pes};
+    fabric.configure(layer);
+    EXPECT_EQ(fabric.run(in), dense_layer_reference(layer, in, kConfig))
+        << "trial " << trial << " in=" << inputs << " out=" << neurons
+        << " pes=" << pes << " f=" << function;
+  }
+}
+
+TEST(RtlToggles, CountedAndActivityPlausible) {
+  // The toggle counter feeds the measured-activity power model: streaming
+  // random sigmoids must produce a nonzero activity well below 100%.
+  hw::NacuRtl rtl{kConfig};
+  nn::Rng rng{7};
+  for (int cycle = 0; cycle < 256; ++cycle) {
+    rtl.issue(hw::Func::Sigmoid,
+              fp::Fixed::from_double(rng.uniform(-8.0, 8.0), kConfig.format),
+              static_cast<std::uint64_t>(cycle));
+    rtl.tick();
+  }
+  EXPECT_EQ(rtl.cycles(), 256u);
+  EXPECT_GT(rtl.register_toggles(), 0u);
+  // ~240 tracked register bits across S1–S3 (magnitude + product + bias +
+  // result per stage); random data keeps the mean activity under ~0.6.
+  const double per_cycle =
+      static_cast<double>(rtl.register_toggles()) / 256.0;
+  EXPECT_LT(per_cycle, 240.0 * 0.6);
+  EXPECT_GT(per_cycle, 240.0 * 0.05);  // and clearly above idle
+}
+
+TEST(RtlToggles, IdleUnitBarelyToggles) {
+  hw::NacuRtl rtl{kConfig};
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    rtl.tick();  // no issues — pipeline stays empty
+  }
+  EXPECT_EQ(rtl.register_toggles(), 0u);
+}
+
+}  // namespace
+}  // namespace nacu::cgra

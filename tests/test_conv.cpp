@@ -1,0 +1,151 @@
+// Tests for the convolutional feature path and pattern-image dataset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/mlp.hpp"
+
+namespace nacu::nn {
+namespace {
+
+TEST(PatternImages, ShapeAndLabels) {
+  const Dataset d = make_pattern_images(20);
+  EXPECT_EQ(d.size(), 60u);
+  EXPECT_EQ(d.classes, 3);
+  EXPECT_EQ(d.inputs.cols(), 64u);
+}
+
+TEST(PatternImages, ClassesAreVisuallyDistinct) {
+  // Horizontal-stripe images have strong row-to-row sign flips; vertical
+  // ones column-to-column. Check the first sample of each class.
+  const Dataset d = make_pattern_images(1, 0.0);
+  const MatrixD horizontal = row_to_image(d, 0, 8, 8);
+  const MatrixD vertical = row_to_image(d, 1, 8, 8);
+  double row_flip_h = 0.0, col_flip_h = 0.0;
+  for (std::size_t r = 0; r + 1 < 8; ++r) {
+    for (std::size_t c = 0; c + 1 < 8; ++c) {
+      row_flip_h += std::abs(horizontal(r, c) - horizontal(r + 1, c));
+      col_flip_h += std::abs(horizontal(r, c) - horizontal(r, c + 1));
+    }
+  }
+  EXPECT_GT(row_flip_h, col_flip_h);  // horizontal stripes flip across rows
+  double row_flip_v = 0.0, col_flip_v = 0.0;
+  for (std::size_t r = 0; r + 1 < 8; ++r) {
+    for (std::size_t c = 0; c + 1 < 8; ++c) {
+      row_flip_v += std::abs(vertical(r, c) - vertical(r + 1, c));
+      col_flip_v += std::abs(vertical(r, c) - vertical(r, c + 1));
+    }
+  }
+  EXPECT_GT(col_flip_v, row_flip_v);
+}
+
+TEST(Conv2d, KnownValues) {
+  MatrixD image{3, 3};
+  for (std::size_t i = 0; i < 9; ++i) image.data()[i] = double(i + 1);
+  MatrixD filter{2, 2};
+  filter(0, 0) = 1.0;
+  filter(1, 1) = 1.0;  // trace filter
+  const MatrixD out = conv2d_valid(image, filter);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 5.0 + 9.0);
+}
+
+TEST(Conv2d, RejectsOversizedFilter) {
+  EXPECT_THROW(conv2d_valid(MatrixD{2, 2}, MatrixD{3, 3}),
+               std::invalid_argument);
+}
+
+TEST(Maxpool2, PicksWindowMaxima) {
+  MatrixD in{2, 4};
+  in(0, 0) = 1; in(0, 1) = 5; in(0, 2) = -2; in(0, 3) = 0;
+  in(1, 0) = 3; in(1, 1) = 2; in(1, 2) = 7;  in(1, 3) = -1;
+  const MatrixD out = maxpool2(in);
+  ASSERT_EQ(out.rows(), 1u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 7.0);
+}
+
+TEST(Maxpool2, OddTrailingEdgeDropped) {
+  const MatrixD out = maxpool2(MatrixD{5, 5, 1.0});
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(ConvFeatures, FeatureSizeFormula) {
+  const ConvFeatures conv{4};
+  // 8×8 → conv 6×6 → pool 3×3 → 9 per filter.
+  EXPECT_EQ(conv.feature_size(8, 8), 4u * 9u);
+  const MatrixD image{8, 8, 0.5};
+  EXPECT_EQ(conv.extract_float(image).size(), conv.feature_size(8, 8));
+}
+
+TEST(ConvFeatures, FixedTracksFloat) {
+  const ConvFeatures conv{4};
+  const core::Nacu unit{core::config_for_bits(16)};
+  const Dataset d = make_pattern_images(2);
+  for (std::size_t s = 0; s < d.size(); ++s) {
+    const MatrixD image = row_to_image(d, s, 8, 8);
+    const auto ff = conv.extract_float(image);
+    const auto fx = conv.extract_fixed(image, unit);
+    ASSERT_EQ(ff.size(), fx.size());
+    for (std::size_t i = 0; i < ff.size(); ++i) {
+      EXPECT_NEAR(ff[i], fx[i], 0.01) << s << ":" << i;
+    }
+  }
+}
+
+TEST(ConvFeatures, FeaturesAreSigmoidBounded) {
+  const ConvFeatures conv{3};
+  const core::Nacu unit{core::config_for_bits(16)};
+  const MatrixD image{8, 8, 2.0};
+  for (const double f : conv.extract_fixed(image, unit)) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+}
+
+TEST(ConvFeatures, EndToEndCnnClassification) {
+  // Full pipeline: random conv features + trained dense head; fixed-point
+  // inference must match float accuracy on the clean pattern task.
+  const Dataset data = make_pattern_images(40);
+  const Split split = train_test_split(data, 0.75);
+  const ConvFeatures conv{4};
+  const core::Nacu unit{core::config_for_bits(16)};
+
+  const auto featurize = [&](const Dataset& d, bool fixed) {
+    Dataset out;
+    out.classes = d.classes;
+    out.labels = d.labels;
+    const std::size_t fs = conv.feature_size(8, 8);
+    out.inputs = MatrixD{d.size(), fs};
+    for (std::size_t s = 0; s < d.size(); ++s) {
+      const MatrixD image = row_to_image(d, s, 8, 8);
+      const auto f = fixed ? conv.extract_fixed(image, unit)
+                           : conv.extract_float(image);
+      for (std::size_t i = 0; i < fs; ++i) out.inputs(s, i) = f[i];
+    }
+    return out;
+  };
+
+  MlpConfig head_config;
+  head_config.layer_sizes = {conv.feature_size(8, 8), 12, 3};
+  head_config.epochs = 60;
+  Mlp head{head_config};
+  head.train(featurize(split.train, false));
+  const double float_acc = head.accuracy(featurize(split.test, false));
+  const double fixed_acc = head.accuracy(featurize(split.test, true));
+  EXPECT_GT(float_acc, 0.9);
+  EXPECT_GE(fixed_acc, float_acc - 0.05);
+}
+
+TEST(RowToImage, RejectsShapeMismatch) {
+  const Dataset d = make_pattern_images(1);
+  EXPECT_THROW(row_to_image(d, 0, 4, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nacu::nn

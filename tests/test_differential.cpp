@@ -1,0 +1,174 @@
+// Differential fuzz suites: long random interaction sequences where an
+// independent oracle (double arithmetic, the functional model, or a prior
+// run) must agree with the system under test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "hwmodel/nacu_rtl.hpp"
+#include "hwmodel/softmax_engine.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+TEST(DifferentialFixed, RandomOpChainsTrackDouble) {
+  // Random chains of saturating fixed ops vs double arithmetic with
+  // saturation mirrored; divergence bounded by accumulated rounding.
+  nn::Rng rng{123};
+  const fp::Format fmt = kConfig.format;
+  for (int chain = 0; chain < 200; ++chain) {
+    fp::Fixed acc = fp::Fixed::from_double(rng.uniform(-4.0, 4.0), fmt);
+    double oracle = acc.to_double();
+    int steps = 0;
+    for (int op = 0; op < 20; ++op) {
+      const double operand = rng.uniform(-2.0, 2.0);
+      const fp::Fixed rhs = fp::Fixed::from_double(operand, fmt);
+      switch (rng.below(4)) {
+        case 0:
+          acc = acc.add(rhs, fmt);
+          oracle += rhs.to_double();
+          break;
+        case 1:
+          acc = acc.sub(rhs, fmt);
+          oracle -= rhs.to_double();
+          break;
+        case 2:
+          acc = acc.mul(rhs, fmt, fp::Rounding::NearestEven);
+          oracle *= rhs.to_double();
+          break;
+        default:
+          acc = acc.negate();
+          oracle = -oracle;
+          break;
+      }
+      oracle = std::clamp(oracle, fmt.min_value(), fmt.max_value());
+      ++steps;
+      // Each op introduces at most one LSB of rounding; saturation can
+      // pin both to the rail. Allow the accumulated budget.
+      EXPECT_NEAR(acc.to_double(), oracle,
+                  (steps + 1) * fmt.resolution() * 4.0)
+          << "chain " << chain << " step " << op;
+    }
+  }
+}
+
+TEST(DifferentialRtl, LongRandomMixedStreamMatchesFunctional) {
+  // 2000 random issues with random bubbles: every retired value must equal
+  // the functional model, every issued op must retire exactly once, and
+  // ordering per function must be preserved.
+  const core::Nacu functional{kConfig};
+  hw::NacuRtl rtl{kConfig};
+  nn::Rng rng{321};
+  std::deque<std::pair<std::uint64_t, std::int64_t>> expected;  // tag, raw
+  std::uint64_t tag = 0;
+  std::size_t retired = 0;
+  constexpr int kIssues = 2000;
+  int issued = 0;
+  int guard = 0;
+  while ((issued < kIssues || retired < static_cast<std::size_t>(kIssues)) &&
+         ++guard < 10 * kIssues) {
+    if (issued < kIssues && rng.below(4) != 0) {  // 75% issue density
+      const std::int64_t raw =
+          static_cast<std::int64_t>(rng.below(65536)) + kConfig.format.min_raw();
+      const fp::Fixed x = fp::Fixed::from_raw(raw, kConfig.format);
+      const std::uint64_t func_pick = rng.below(3);
+      const hw::Func func = func_pick == 0   ? hw::Func::Sigmoid
+                            : func_pick == 1 ? hw::Func::Tanh
+                                             : hw::Func::Exp;
+      const std::int64_t value = func_pick == 0 ? functional.sigmoid(x).raw()
+                                 : func_pick == 1
+                                     ? functional.tanh(x).raw()
+                                     : functional.exp(x).raw();
+      rtl.issue(func, x, tag);
+      expected.emplace_back(tag, value);
+      ++tag;
+      ++issued;
+    }
+    rtl.tick();
+    for (const auto& out : rtl.outputs()) {
+      bool found = false;
+      for (auto it = expected.begin(); it != expected.end(); ++it) {
+        if (it->first == out.tag) {
+          EXPECT_EQ(out.value_raw, it->second) << "tag " << out.tag;
+          expected.erase(it);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "unexpected retirement tag " << out.tag;
+      ++retired;
+    }
+  }
+  EXPECT_EQ(retired, static_cast<std::size_t>(kIssues));
+  EXPECT_TRUE(expected.empty());
+}
+
+TEST(DifferentialSoftmax, RandomSizesAgainstFunctional) {
+  hw::SoftmaxEngine engine{kConfig};
+  const core::Nacu functional{kConfig};
+  nn::Rng rng{555};
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + rng.below(40);
+    std::vector<fp::Fixed> xs;
+    std::vector<std::int64_t> raws;
+    for (std::size_t i = 0; i < n; ++i) {
+      const fp::Fixed x = fp::Fixed::from_double(
+          rng.uniform(-10.0, 10.0), kConfig.format);
+      xs.push_back(x);
+      raws.push_back(x.raw());
+    }
+    const auto expected = functional.softmax(xs);
+    const auto got = engine.run(raws);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got.probs_raw[i], expected[i].raw())
+          << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(DifferentialRequantize, WidenThenNarrowIsIdentity) {
+  // Requantize to any wider grid and back (same rounding-free path) must be
+  // the identity for every representable value — strided-exhaustive.
+  const fp::Format narrow{4, 11};
+  for (const int extra : {1, 4, 9, 20}) {
+    const fp::Format wide{4 + extra / 2, 11 + extra};
+    for (std::int64_t raw = narrow.min_raw(); raw <= narrow.max_raw();
+         raw += 7) {
+      const fp::Fixed x = fp::Fixed::from_raw(raw, narrow);
+      EXPECT_EQ(x.requantize(wide).requantize(narrow).raw(), raw)
+          << extra << ":" << raw;
+    }
+  }
+}
+
+TEST(DifferentialSoftmaxPermutation, PermutingInputsPermutesOutputs) {
+  // softmax is equivariant under permutation; with identical arithmetic
+  // order per element (each element's divider pass is independent), the
+  // raw outputs must permute exactly.
+  const core::Nacu functional{kConfig};
+  nn::Rng rng{777};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<fp::Fixed> xs;
+    for (int i = 0; i < 6; ++i) {
+      xs.push_back(
+          fp::Fixed::from_double(rng.uniform(-3.0, 3.0), kConfig.format));
+    }
+    std::vector<fp::Fixed> reversed(xs.rbegin(), xs.rend());
+    const auto a = functional.softmax(xs);
+    const auto b = functional.softmax(reversed);
+    // The denominator accumulates in a different order, which can shift the
+    // truncated sum by a few LSBs — outputs must agree to 1 LSB.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_NEAR(static_cast<double>(a[i].raw()),
+                  static_cast<double>(b[xs.size() - 1 - i].raw()), 1.0)
+          << trial << ":" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nacu

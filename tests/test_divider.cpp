@@ -1,0 +1,140 @@
+// Tests for restoring division and the pipelined divider module.
+#include <gtest/gtest.h>
+
+#include "hwmodel/divider.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::hw {
+namespace {
+
+TEST(RestoringDivide, MatchesBuiltinExhaustiveSmall) {
+  for (std::uint64_t n = 0; n < 256; ++n) {
+    for (std::uint64_t d = 1; d < 64; ++d) {
+      EXPECT_EQ(restoring_divide(n, d, 8), n / d) << n << "/" << d;
+    }
+  }
+}
+
+TEST(RestoringDivide, MatchesBuiltinRandomWide) {
+  nn::Rng rng{42};
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t n = rng.next() >> 20;  // 44-bit numerators
+    const std::uint64_t d = (rng.next() >> 40) + 1;
+    EXPECT_EQ(restoring_divide(n, d, 44), n / d);
+  }
+}
+
+TEST(RestoringDivide, QuotientBitsTruncateHighBits) {
+  // Asking for fewer bits than the numerator needs drops the high quotient
+  // bits (the hardware simply has no rows for them).
+  EXPECT_EQ(restoring_divide(255, 1, 4), 15u);  // low 4 bits worth
+}
+
+TEST(QuotientBitsFor, CountsBitLength) {
+  EXPECT_EQ(quotient_bits_for(0), 1);
+  EXPECT_EQ(quotient_bits_for(1), 1);
+  EXPECT_EQ(quotient_bits_for(255), 8);
+  EXPECT_EQ(quotient_bits_for(256), 9);
+  EXPECT_EQ(quotient_bits_for(std::uint64_t{1} << 24), 25);
+}
+
+TEST(PipelinedDivider, RejectsBadGeometry) {
+  EXPECT_THROW(PipelinedDivider(0, 4), std::invalid_argument);
+  EXPECT_THROW(PipelinedDivider(25, 0), std::invalid_argument);
+}
+
+TEST(PipelinedDivider, RejectsDivisionByZero) {
+  PipelinedDivider div{25, 4};
+  EXPECT_THROW(div.issue(100, 0, 1), std::domain_error);
+}
+
+TEST(PipelinedDivider, LatencyEqualsStageCount) {
+  PipelinedDivider div{25, 4};
+  div.issue(std::uint64_t{1} << 24, 3000, 7);
+  for (int cycle = 1; cycle <= 3; ++cycle) {
+    div.tick();
+    EXPECT_FALSE(div.output().has_value()) << cycle;
+  }
+  div.tick();
+  const auto out = div.output();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tag, 7u);
+  EXPECT_EQ(out->quotient, (std::uint64_t{1} << 24) / 3000);
+}
+
+TEST(PipelinedDivider, MatchesRestoringReference) {
+  nn::Rng rng{7};
+  PipelinedDivider div{25, 4};
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t n = rng.next() & ((1u << 25) - 1);
+    const std::uint64_t d = (rng.next() & 0xFFFF) + 1;
+    div.issue(n, d, static_cast<std::uint64_t>(i));
+    for (int c = 0; c < 4; ++c) div.tick();
+    const auto out = div.output();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->quotient, n / d) << n << "/" << d;
+  }
+}
+
+TEST(PipelinedDivider, FullThroughputBackToBack) {
+  // One result per cycle once the pipeline is full.
+  PipelinedDivider div{24, 4};
+  const int kOps = 20;
+  int received = 0;
+  for (int cycle = 0; cycle < kOps + 4; ++cycle) {
+    if (cycle < kOps) {
+      div.issue((static_cast<std::uint64_t>(cycle) + 1) << 12, 3,
+                static_cast<std::uint64_t>(cycle));
+    }
+    div.tick();
+    if (const auto out = div.output()) {
+      // Results appear in issue order with the right values.
+      EXPECT_EQ(out->tag, static_cast<std::uint64_t>(received));
+      EXPECT_EQ(out->quotient,
+                ((static_cast<std::uint64_t>(received) + 1) << 12) / 3);
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, kOps);
+}
+
+TEST(PipelinedDivider, BubblesPassThrough) {
+  PipelinedDivider div{24, 4};
+  div.issue(1 << 12, 2, 1);
+  div.tick();
+  div.tick();  // bubble
+  div.issue(1 << 13, 2, 2);
+  div.tick();
+  div.tick();
+  const auto first = div.output();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tag, 1u);
+  div.tick();
+  EXPECT_FALSE(div.output().has_value());  // the bubble
+  div.tick();
+  const auto second = div.output();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tag, 2u);
+}
+
+TEST(PipelinedDivider, SingleStageStillCorrect) {
+  PipelinedDivider div{16, 1};
+  div.issue(50000, 7, 3);
+  div.tick();
+  const auto out = div.output();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->quotient, 50000u / 7u);
+}
+
+TEST(PipelinedDivider, UnevenBitSplitCoversAllBits) {
+  // 25 bits over 4 stages = 7+7+7+4: the last stage must not run extra rows.
+  PipelinedDivider div{25, 4};
+  div.issue((std::uint64_t{1} << 25) - 1, 1, 9);
+  for (int c = 0; c < 4; ++c) div.tick();
+  const auto out = div.output();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->quotient, (std::uint64_t{1} << 25) - 1);
+}
+
+}  // namespace
+}  // namespace nacu::hw

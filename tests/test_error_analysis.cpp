@@ -1,0 +1,183 @@
+// Tests for the exhaustive error-analysis sweep and the Fig. 4 search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/lut.hpp"
+#include "approx/pwl.hpp"
+#include "approx/search.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+/// An approximator that is exact up to output quantisation — calibrates what
+/// "zero approximation error" looks like to the sweep.
+class QuantisedReference final : public Approximator {
+ public:
+  QuantisedReference(FunctionKind kind, fp::Format fmt)
+      : kind_{kind}, fmt_{fmt} {}
+  [[nodiscard]] std::string name() const override { return "ref"; }
+  [[nodiscard]] FunctionKind function() const override { return kind_; }
+  [[nodiscard]] fp::Format input_format() const override { return fmt_; }
+  [[nodiscard]] fp::Format output_format() const override { return fmt_; }
+  [[nodiscard]] fp::Fixed evaluate(fp::Fixed x) const override {
+    return fp::Fixed::from_double(reference_eval(kind_, x.to_double()), fmt_);
+  }
+  [[nodiscard]] std::size_t table_entries() const override { return 0; }
+  [[nodiscard]] std::size_t storage_bits() const override { return 0; }
+
+ private:
+  FunctionKind kind_;
+  fp::Format fmt_;
+};
+
+TEST(ErrorAnalysis, QuantisedReferenceHasHalfLsbError) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats = analyze_natural(ref);
+  EXPECT_LE(stats.max_abs, 0.5 * kFmt.resolution() + 1e-12);
+  EXPECT_GT(stats.samples, 60000u);  // full 16-bit sweep
+  EXPECT_NEAR(stats.correlation, 1.0, 1e-7);
+}
+
+TEST(ErrorAnalysis, RmseOfPureQuantisationIsLsbOverSqrt12) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats = analyze_natural(ref);
+  // Uniform quantisation noise: RMSE ≈ LSB/√12.
+  EXPECT_NEAR(stats.rmse, kFmt.resolution() / std::sqrt(12.0),
+              kFmt.resolution() / 4.0);
+}
+
+TEST(ErrorAnalysis, EmptyRangeReturnsZeroSamples) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats = analyze(ref, 2.0, 1.0);
+  EXPECT_EQ(stats.samples, 0u);
+}
+
+TEST(ErrorAnalysis, StridingKeepsSampleBudget) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, fp::Format{4, 20}};
+  const ErrorStats stats = analyze_natural(ref, 1u << 12);
+  EXPECT_LE(stats.samples, (1u << 12) + 1);
+  EXPECT_GT(stats.samples, (1u << 11));
+}
+
+TEST(ErrorAnalysis, WorstInputIsReported) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 8)};
+  const ErrorStats stats = analyze(lut, 0.0, fp::input_max(kFmt));
+  // With 8 coarse segments the worst error sits in the steep region near 0,
+  // far from the saturated tail.
+  EXPECT_LT(stats.worst_x, 4.0);
+  const double err_at_worst =
+      std::abs(lut.evaluate_real(stats.worst_x) -
+               reference_eval(FunctionKind::Sigmoid, stats.worst_x));
+  EXPECT_NEAR(err_at_worst, stats.max_abs, 1e-12);
+}
+
+TEST(ErrorAnalysis, ExpNaturalDomainIsNormalisedRange) {
+  const QuantisedReference ref{FunctionKind::Exp, kFmt};
+  const ErrorStats stats = analyze_natural(ref);
+  // Domain [−In_max, 0]: half the raw grid plus one.
+  EXPECT_NEAR(static_cast<double>(stats.samples), 32769.0, 2.0);
+}
+
+TEST(ErrorRegions, PartitionCoversWholeDomain) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const RegionBreakdown regions = analyze_regions(ref);
+  const ErrorStats whole = analyze_natural(ref);
+  EXPECT_EQ(regions.steep.samples + regions.knee.samples +
+                regions.tail.samples,
+            whole.samples);
+}
+
+TEST(ErrorRegions, PwlErrorConcentratesAtTheKnee) {
+  // A coarse PWL of σ nails the near-linear core and the flat tail; the
+  // curvature peak around |x| ≈ 2 is where the max error lives.
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 16)};
+  const RegionBreakdown regions = analyze_regions(pwl);
+  EXPECT_GT(regions.knee.max_abs, regions.tail.max_abs);
+  EXPECT_GE(regions.knee.max_abs, regions.steep.max_abs * 0.5);
+}
+
+TEST(ErrorRegions, SaturatedTailIsEssentiallyExact) {
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 53)};
+  const RegionBreakdown regions = analyze_regions(pwl);
+  EXPECT_LT(regions.tail.max_abs, 4.0 * kFmt.resolution());
+}
+
+TEST(ErrorRegions, EmptyPredicateGivesZeroSamples) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats =
+      analyze_where(ref, [](double) { return false; });
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+}
+
+TEST(ErrorRegions, ExpRegionsUseNormalisedDomain) {
+  const QuantisedReference ref{FunctionKind::Exp, kFmt};
+  const RegionBreakdown regions = analyze_regions(ref);
+  // Normalised domain is [−16, 0]: |x| >= 4 covers three quarters of it.
+  EXPECT_GT(regions.tail.samples, regions.steep.samples);
+  EXPECT_GT(regions.steep.samples, 0u);
+}
+
+TEST(Search, FamilyNames) {
+  EXPECT_EQ(to_string(Family::Lut), "LUT");
+  EXPECT_EQ(to_string(Family::Ralut), "RALUT");
+  EXPECT_EQ(to_string(Family::Pwl), "PWL");
+  EXPECT_EQ(to_string(Family::Nupwl), "NUPWL");
+}
+
+TEST(Search, BuildFamilyProducesRequestedScheme) {
+  for (const Family family :
+       {Family::Lut, Family::Ralut, Family::Pwl, Family::Nupwl}) {
+    const ApproximatorPtr a =
+        build_family(family, FunctionKind::Sigmoid, kFmt, 32);
+    ASSERT_NE(a, nullptr);
+    EXPECT_LE(a->table_entries(), 32u);
+    EXPECT_EQ(a->function(), FunctionKind::Sigmoid);
+  }
+}
+
+TEST(Search, MinEntriesResultIsFeasibleAndTight) {
+  const double target = 1.0 / (1 << 8);
+  const auto result = min_entries_for_accuracy(Family::Lut,
+                                               FunctionKind::Sigmoid, kFmt,
+                                               target);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->max_error, target);
+  // One fewer entry must miss the target (tightness).
+  if (result->entries > 1) {
+    EXPECT_GT(max_error_at_entries(Family::Lut, FunctionKind::Sigmoid, kFmt,
+                                   result->entries - 1),
+              target);
+  }
+}
+
+TEST(Search, UnreachableTargetReturnsNullopt) {
+  // No entry budget can beat the output quantisation floor.
+  const auto result =
+      min_entries_for_accuracy(Family::Lut, FunctionKind::Sigmoid, kFmt,
+                               kFmt.resolution() / 100.0, 256);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Search, PwlNeedsFarFewerEntriesThanLut) {
+  // The Fig. 4a headline: at equal accuracy PWL uses ~20× fewer entries.
+  const double target = 1.0 / (1 << 9);
+  const auto lut = min_entries_for_accuracy(Family::Lut,
+                                            FunctionKind::Sigmoid, kFmt,
+                                            target);
+  const auto pwl = min_entries_for_accuracy(Family::Pwl,
+                                            FunctionKind::Sigmoid, kFmt,
+                                            target);
+  ASSERT_TRUE(lut.has_value());
+  ASSERT_TRUE(pwl.has_value());
+  EXPECT_LT(pwl->entries * 4, lut->entries);
+}
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,101 @@
+// Analytic error-bound tests: the classical approximation-theory bounds
+// must dominate the measured errors for every configuration swept. This is
+// the theory check behind the Fig. 4 curves: PWL max error ≈ max|f''|·w²/8
+// (interpolation) — the minimax fit halves it — plus quantisation terms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/lut.hpp"
+#include "approx/pwl.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+namespace {
+
+/// max |σ''| on x >= 0 is at x = ln(2+√3): σ'' = σ(1−σ)(1−2σ).
+double sigmoid_second_derivative_peak() {
+  const double x = std::log(2.0 + std::sqrt(3.0));
+  const double s = 1.0 / (1.0 + std::exp(-x));
+  return std::abs(s * (1.0 - s) * (1.0 - 2.0 * s));
+}
+
+class PwlBoundSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PwlBoundSweep, MeasuredErrorBelowAnalyticBound) {
+  const std::size_t entries = GetParam();
+  const fp::Format fmt{4, 11};
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, fmt, entries)};
+  const double w = fp::input_max(fmt) / static_cast<double>(entries);
+  // Minimax linear error <= max|f''|·w²/16; coefficient quantisation adds
+  // (|x|_max·LSB_m + LSB_q) and the output truncation up to one LSB.
+  const double fit_bound =
+      sigmoid_second_derivative_peak() * w * w / 16.0;
+  const double coeff_lsb = 1.0 / (1 << 14);
+  const double quant_bound =
+      fp::input_max(fmt) * coeff_lsb / 2.0 + coeff_lsb / 2.0 +
+      fmt.resolution();
+  const double measured = analyze_natural(pwl).max_abs;
+  EXPECT_LE(measured, fit_bound + quant_bound) << entries;
+  // And the bound is not vacuous: within 50x of the measurement.
+  EXPECT_GE(measured * 50.0, fit_bound) << entries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, PwlBoundSweep,
+                         ::testing::Values(8, 16, 32, 53, 128));
+
+class LutBoundSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LutBoundSweep, MidpointLutBoundHolds) {
+  const std::size_t entries = GetParam();
+  const fp::Format fmt{4, 11};
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, fmt, entries)};
+  const double w = fp::input_max(fmt) / static_cast<double>(entries);
+  // Constant-at-midpoint error <= max|f'|·w/2 + half output LSB.
+  const double bound = 0.25 * w / 2.0 + 0.5 * fmt.resolution();
+  EXPECT_LE(analyze_natural(lut).max_abs, bound + 1e-12) << entries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, LutBoundSweep,
+                         ::testing::Values(8, 32, 128, 512, 2048));
+
+TEST(ErrorBounds, QuadraticScalingLawHolds) {
+  // Doubling PWL entries must cut the fit-limited error by ~4 until the
+  // quantisation floor; verify the ratio stays in [2.5, 6] pre-floor.
+  const fp::Format fine{4, 20};  // push the floor far down
+  double prev = -1.0;
+  for (const std::size_t entries : {8u, 16u, 32u, 64u}) {
+    const double err = analyze_natural(
+        Pwl{Pwl::natural_config(FunctionKind::Sigmoid, fine, entries)})
+        .max_abs;
+    if (prev > 0.0) {
+      const double ratio = prev / err;
+      EXPECT_GT(ratio, 2.5) << entries;
+      EXPECT_LT(ratio, 6.0) << entries;
+    }
+    prev = err;
+  }
+}
+
+TEST(ErrorBounds, LinearScalingLawForLut) {
+  // LUT error halves per doubling (first-order scheme).
+  const fp::Format fine{4, 20};
+  double prev = -1.0;
+  for (const std::size_t entries : {64u, 128u, 256u, 512u}) {
+    const double err = analyze_natural(
+        UniformLut{UniformLut::natural_config(FunctionKind::Sigmoid, fine,
+                                              entries)})
+        .max_abs;
+    if (prev > 0.0) {
+      const double ratio = prev / err;
+      EXPECT_GT(ratio, 1.6) << entries;
+      EXPECT_LT(ratio, 2.6) << entries;
+    }
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace nacu::approx

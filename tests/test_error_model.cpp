@@ -1,0 +1,55 @@
+// Tests for the σ→e error-propagation model (paper Eqs. 15–16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_model.hpp"
+
+namespace nacu::core {
+namespace {
+
+TEST(ErrorModel, CoefficientAtHalfIsFour) {
+  // Eq. 16: 1/(1 − 0.5)² = 4.
+  EXPECT_DOUBLE_EQ(propagation_coefficient(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(bounded_propagation_coefficient(), 4.0);
+}
+
+TEST(ErrorModel, CoefficientAtZeroIsOne) {
+  EXPECT_DOUBLE_EQ(propagation_coefficient(0.0), 1.0);
+}
+
+TEST(ErrorModel, CoefficientDivergesTowardOne) {
+  // Eq. 15's divergence as σ → 1 — the instability normalisation avoids.
+  EXPECT_GT(propagation_coefficient(0.9), 99.0);
+  EXPECT_GT(propagation_coefficient(0.999), 9.9e5);
+}
+
+TEST(ErrorModel, CoefficientIsMonotoneOnNormalisedRange) {
+  double prev = 0.0;
+  for (double s = 0.0; s <= 0.5; s += 0.01) {
+    const double c = propagation_coefficient(s);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  // And the normalised range never exceeds the bound.
+  EXPECT_LE(prev, bounded_propagation_coefficient() + 1e-12);
+}
+
+TEST(ErrorModel, MatchesAnalyticDerivative) {
+  // |∂e/∂σ| with e = 1/(1−σ) − 1: finite differences confirm Eq. 15.
+  const double h = 1e-7;
+  for (double s = 0.05; s <= 0.5; s += 0.05) {
+    const double e_plus = 1.0 / (1.0 - (s + h)) - 1.0;
+    const double e_minus = 1.0 / (1.0 - (s - h)) - 1.0;
+    const double numeric = (e_plus - e_minus) / (2.0 * h);
+    EXPECT_NEAR(propagation_coefficient(s), numeric, 1e-4 * numeric);
+  }
+}
+
+TEST(ErrorModel, BoundScalesLinearly) {
+  EXPECT_DOUBLE_EQ(exp_error_bound(1e-4), 4e-4);
+  EXPECT_DOUBLE_EQ(exp_error_bound(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace nacu::core

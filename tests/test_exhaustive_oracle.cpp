@@ -1,0 +1,127 @@
+// Exhaustive all-pairs oracle: at 8 bits the whole operand space is small
+// enough to check EVERY pair of values against double-precision arithmetic
+// with exactly mirrored rounding/saturation semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace nacu::fp {
+namespace {
+
+const Format kQ3_4{3, 4};  // 8-bit: 256 raws, 65536 pairs per operation
+
+double saturate(double v, const Format& fmt) {
+  return std::clamp(v, fmt.min_value(), fmt.max_value());
+}
+
+TEST(ExhaustiveOracle, AdditionAllPairs) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    for (std::int64_t b = kQ3_4.min_raw(); b <= kQ3_4.max_raw(); ++b) {
+      const Fixed fa = Fixed::from_raw(a, kQ3_4);
+      const Fixed fb = Fixed::from_raw(b, kQ3_4);
+      const double exact = fa.to_double() + fb.to_double();
+      // Same fb on both sides: the sum is exact pre-saturation, so the
+      // fixed result must equal the saturated exact value.
+      EXPECT_DOUBLE_EQ(fa.add(fb, kQ3_4).to_double(), saturate(exact, kQ3_4))
+          << a << "+" << b;
+    }
+  }
+}
+
+TEST(ExhaustiveOracle, SubtractionAllPairs) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    for (std::int64_t b = kQ3_4.min_raw(); b <= kQ3_4.max_raw(); ++b) {
+      const Fixed fa = Fixed::from_raw(a, kQ3_4);
+      const Fixed fb = Fixed::from_raw(b, kQ3_4);
+      const double exact = fa.to_double() - fb.to_double();
+      EXPECT_DOUBLE_EQ(fa.sub(fb, kQ3_4).to_double(), saturate(exact, kQ3_4))
+          << a << "-" << b;
+    }
+  }
+}
+
+TEST(ExhaustiveOracle, MultiplicationAllPairsAllRoundings) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    for (std::int64_t b = kQ3_4.min_raw(); b <= kQ3_4.max_raw(); ++b) {
+      const Fixed fa = Fixed::from_raw(a, kQ3_4);
+      const Fixed fb = Fixed::from_raw(b, kQ3_4);
+      const double exact = fa.to_double() * fb.to_double();
+      // Full-precision product is exact.
+      EXPECT_DOUBLE_EQ(fa.mul_full(fb).to_double(), exact);
+      // Truncation: floor onto the output grid, then saturate.
+      const double scaled = std::ldexp(exact, 4);
+      const double trunc =
+          saturate(std::ldexp(std::floor(scaled), -4), kQ3_4);
+      EXPECT_DOUBLE_EQ(
+          fa.mul(fb, kQ3_4, Rounding::Truncate).to_double(), trunc)
+          << a << "*" << b;
+      // Nearest-even.
+      const double nearest =
+          saturate(std::ldexp(std::nearbyint(scaled), -4), kQ3_4);
+      EXPECT_DOUBLE_EQ(
+          fa.mul(fb, kQ3_4, Rounding::NearestEven).to_double(), nearest)
+          << a << "*" << b;
+    }
+  }
+}
+
+TEST(ExhaustiveOracle, DivisionAllPairs) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    for (std::int64_t b = kQ3_4.min_raw(); b <= kQ3_4.max_raw(); ++b) {
+      if (b == 0) continue;
+      const Fixed fa = Fixed::from_raw(a, kQ3_4);
+      const Fixed fb = Fixed::from_raw(b, kQ3_4);
+      const double exact = fa.to_double() / fb.to_double();
+      const double scaled = std::ldexp(exact, 4);
+      // div truncates toward zero on the output grid, then saturates.
+      const double expected =
+          saturate(std::ldexp(std::trunc(scaled), -4), kQ3_4);
+      EXPECT_DOUBLE_EQ(fa.div(fb, kQ3_4).to_double(), expected)
+          << a << "/" << b;
+    }
+  }
+}
+
+TEST(ExhaustiveOracle, NegateAbsAllValues) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    const Fixed fa = Fixed::from_raw(a, kQ3_4);
+    EXPECT_DOUBLE_EQ(fa.negate().to_double(),
+                     saturate(-fa.to_double(), kQ3_4));
+    EXPECT_DOUBLE_EQ(fa.abs().to_double(),
+                     saturate(std::abs(fa.to_double()), kQ3_4));
+  }
+}
+
+TEST(ExhaustiveOracle, RequantizeAllValuesAllTargets) {
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    const Fixed fa = Fixed::from_raw(a, kQ3_4);
+    for (const int fb_out : {0, 2, 4, 6}) {
+      const Format out{3, fb_out};
+      const double scaled = std::ldexp(fa.to_double(), fb_out);
+      EXPECT_DOUBLE_EQ(
+          fa.requantize(out, Rounding::Truncate).to_double(),
+          saturate(std::ldexp(std::floor(scaled), -fb_out), out))
+          << a << "->" << out;
+      EXPECT_DOUBLE_EQ(
+          fa.requantize(out, Rounding::NearestEven).to_double(),
+          saturate(std::ldexp(std::nearbyint(scaled), -fb_out), out))
+          << a << "->" << out;
+    }
+  }
+}
+
+TEST(ExhaustiveOracle, WrapOverflowIsExactModulo) {
+  const Format narrow{1, 4};  // 6-bit
+  for (std::int64_t a = kQ3_4.min_raw(); a <= kQ3_4.max_raw(); ++a) {
+    const std::int64_t wrapped = apply_overflow(a, narrow, Overflow::Wrap);
+    // Same residue modulo 2^6 and in range.
+    EXPECT_EQ(((wrapped - a) % 64 + 64) % 64, 0) << a;
+    EXPECT_GE(wrapped, narrow.min_raw());
+    EXPECT_LE(wrapped, narrow.max_raw());
+  }
+}
+
+}  // namespace
+}  // namespace nacu::fp

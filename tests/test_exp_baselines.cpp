@@ -1,0 +1,154 @@
+// Tests for the exp-oriented baselines: CORDIC [14,15], parabolic synthesis
+// [14], and Gomar change-of-base [11,12].
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/cordic.hpp"
+#include "approx/error_analysis.hpp"
+#include "approx/gomar.hpp"
+#include "approx/parabolic.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+TEST(CordicExp, RejectsBadConfig) {
+  auto config = CordicExp::natural_config(kFmt, 0);
+  EXPECT_THROW(CordicExp{config}, std::invalid_argument);
+}
+
+TEST(CordicExp, AccuracyImprovesWithIterations) {
+  double prev = 1.0;
+  for (const int iters : {4, 8, 12, 16}) {
+    const CordicExp cordic{
+        CordicExp::natural_config(fp::Format{4, 20}, iters)};
+    const double err = analyze_natural(cordic).max_abs;
+    EXPECT_LT(err, prev) << iters;
+    prev = err;
+  }
+}
+
+TEST(CordicExp, SixteenBitAccuracyNearLsb) {
+  const CordicExp cordic{CordicExp::natural_config(kFmt, 14)};
+  EXPECT_LT(analyze_natural(cordic).max_abs, 4.0 * kFmt.resolution());
+}
+
+TEST(CordicExp, RangeReductionCoversWholeNormalisedDomain) {
+  const CordicExp cordic{CordicExp::natural_config(kFmt, 14)};
+  // Far tail, knee and endpoint all track e^x.
+  for (const double x : {-15.9, -8.0, -2.0, -0.7, -0.01, 0.0}) {
+    const double got = cordic.evaluate_real(x);
+    EXPECT_NEAR(got, std::exp(x), 5.0 * kFmt.resolution()) << x;
+  }
+}
+
+TEST(CordicExp, PositiveInputsSaturateGracefully) {
+  const CordicExp cordic{CordicExp::natural_config(kFmt, 14)};
+  // e^3 ≈ 20 exceeds Q4.11's 16: the unit must clamp, not wrap.
+  const fp::Fixed y = cordic.evaluate(fp::Fixed::from_double(3.0, kFmt));
+  EXPECT_EQ(y.raw(), kFmt.max_raw());
+  // e^2 ≈ 7.39 fits and must be accurate.
+  EXPECT_NEAR(cordic.evaluate_real(2.0), std::exp(2.0), 0.02);
+}
+
+TEST(CordicExp, NoTableEntriesButAngleStorage) {
+  const CordicExp cordic{CordicExp::natural_config(kFmt, 14)};
+  EXPECT_EQ(cordic.table_entries(), 0u);
+  EXPECT_GT(cordic.storage_bits(), 0u);
+}
+
+TEST(ParabolicExp, RejectsBadConfig) {
+  auto config = ParabolicExp::natural_config(kFmt, 0);
+  EXPECT_THROW(ParabolicExp{config}, std::invalid_argument);
+}
+
+TEST(ParabolicExp, MoreFactorsImproveAccuracy) {
+  const double e1 = analyze_natural(
+      ParabolicExp{ParabolicExp::natural_config(fp::Format{4, 16}, 1)})
+      .max_abs;
+  const double e2 = analyze_natural(
+      ParabolicExp{ParabolicExp::natural_config(fp::Format{4, 16}, 2)})
+      .max_abs;
+  EXPECT_LT(e2, e1);
+}
+
+TEST(ParabolicExp, TracksExpAcrossDomain) {
+  const ParabolicExp para{ParabolicExp::natural_config(kFmt, 2)};
+  for (const double x : {-12.0, -4.0, -1.0, -0.25, 0.0}) {
+    EXPECT_NEAR(para.evaluate_real(x), std::exp(x), 0.01) << x;
+  }
+}
+
+TEST(ParabolicExp, EndpointExactnessAtZero) {
+  // e^0 = 1 exactly representable; the synthesis should land within a few
+  // LSBs.
+  const ParabolicExp para{ParabolicExp::natural_config(kFmt, 2)};
+  EXPECT_NEAR(para.evaluate_real(0.0), 1.0, 8.0 * kFmt.resolution());
+}
+
+TEST(GomarExp, LinearFractionErrorRegime) {
+  // The 1+f line's worst relative error on 2^f is ≈ 8.6e-2·ln2 ≈ 6%; the
+  // absolute max error on the normalised domain must sit well below 0.09
+  // and well above the 16-bit quantisation floor.
+  const GomarExp gomar{{.in = kFmt, .out = kFmt}};
+  const double err = analyze_natural(gomar).max_abs;
+  EXPECT_LT(err, 0.09);
+  EXPECT_GT(err, 0.01);
+}
+
+TEST(GomarExp, ExactAtPowersOfTwoExponent) {
+  // When x·log2e is an integer, 2^f = 2^0 = 1 is exact: e^(−ln2) = 0.5.
+  const GomarExp gomar{{.in = fp::Format{4, 20}, .out = fp::Format{4, 20}}};
+  EXPECT_NEAR(gomar.evaluate_real(-std::log(2.0)), 0.5, 1e-4);
+  EXPECT_NEAR(gomar.evaluate_real(0.0), 1.0, 1e-4);
+}
+
+TEST(GomarSigmoid, RmseInReportedRegime) {
+  // [11] reports σ RMSE 9.1e-3; our reimplementation of the same structure
+  // must land in the same decade (ours uses more guard bits, so somewhat
+  // better is acceptable — much worse is not).
+  const GomarSigmoidTanh sig{
+      {.kind = FunctionKind::Sigmoid, .in = kFmt, .out = kFmt}};
+  const double rmse = analyze_natural(sig).rmse;
+  EXPECT_LT(rmse, 2e-2);
+  EXPECT_GT(rmse, 5e-4);
+}
+
+TEST(GomarTanh, RmseInReportedRegime) {
+  // [11] reports tanh RMSE 1.77e-2.
+  const GomarSigmoidTanh th{
+      {.kind = FunctionKind::Tanh, .in = kFmt, .out = kFmt}};
+  const double rmse = analyze_natural(th).rmse;
+  EXPECT_LT(rmse, 4e-2);
+  EXPECT_GT(rmse, 5e-4);
+}
+
+TEST(GomarSigmoid, SymmetryIdentityHoldsBitExactly) {
+  const GomarSigmoidTanh sig{
+      {.kind = FunctionKind::Sigmoid, .in = kFmt, .out = kFmt}};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 149) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(sig.evaluate(x.negate()).raw(),
+              (std::int64_t{1} << 11) - sig.evaluate(x).raw());
+  }
+}
+
+TEST(GomarTanh, OddSymmetryHoldsBitExactly) {
+  const GomarSigmoidTanh th{
+      {.kind = FunctionKind::Tanh, .in = kFmt, .out = kFmt}};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 149) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(th.evaluate(x.negate()).raw(), -th.evaluate(x).raw());
+  }
+}
+
+TEST(GomarBaselines, NoTables) {
+  const GomarExp ge{{.in = kFmt, .out = kFmt}};
+  EXPECT_EQ(ge.table_entries(), 0u);
+  EXPECT_EQ(ge.storage_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,94 @@
+// Tests for the linear-segment fitting used by the PWL family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/fit.hpp"
+
+namespace nacu::approx {
+namespace {
+
+TEST(FitLeastSquares, RecoversNearLinearSegment) {
+  // σ is almost linear near 0 with slope 0.25.
+  const LinearFit fit =
+      fit_least_squares(FunctionKind::Sigmoid, -0.01, 0.01);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-4);
+  EXPECT_NEAR(fit.intercept, 0.5, 1e-6);
+  EXPECT_LT(fit.max_error, 1e-7);
+}
+
+TEST(FitLeastSquares, DegenerateSegmentReturnsConstant) {
+  const LinearFit fit = fit_least_squares(FunctionKind::Exp, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, std::exp(1.0), 1e-12);
+}
+
+TEST(FitMinimax, SlopeIsSecantSlope) {
+  const double a = 0.5, b = 1.5;
+  const LinearFit fit = fit_minimax(FunctionKind::Sigmoid, a, b);
+  const double secant = (reference_eval(FunctionKind::Sigmoid, b) -
+                         reference_eval(FunctionKind::Sigmoid, a)) /
+                        (b - a);
+  EXPECT_NEAR(fit.slope, secant, 1e-12);
+}
+
+TEST(FitMinimax, ErrorEquioscillatesAtEndpoints) {
+  // Chebyshev optimality: error at both endpoints equals max_error (with
+  // opposite sign to the interior peak).
+  const double a = 0.25, b = 1.25;
+  const LinearFit fit = fit_minimax(FunctionKind::Exp, a, b);
+  const double err_a =
+      reference_eval(FunctionKind::Exp, a) - (fit.slope * a + fit.intercept);
+  const double err_b =
+      reference_eval(FunctionKind::Exp, b) - (fit.slope * b + fit.intercept);
+  EXPECT_NEAR(std::abs(err_a), fit.max_error, fit.max_error * 0.02);
+  EXPECT_NEAR(std::abs(err_b), fit.max_error, fit.max_error * 0.02);
+  EXPECT_GT(err_a * err_b, 0.0);  // same sign at both ends (interior flips)
+}
+
+TEST(FitMinimax, BeatsLeastSquaresOnMaxError) {
+  for (const FunctionKind kind :
+       {FunctionKind::Sigmoid, FunctionKind::Tanh, FunctionKind::Exp}) {
+    const double a = kind == FunctionKind::Exp ? -2.0 : 0.5;
+    const double b = a + 1.5;
+    const LinearFit mm = fit_minimax(kind, a, b);
+    const LinearFit ls = fit_least_squares(kind, a, b);
+    EXPECT_LE(mm.max_error, ls.max_error * 1.0001) << to_string(kind);
+  }
+}
+
+TEST(FitMinimax, HandlesInflectionStraddlingSegment) {
+  // σ's inflection is at 0; a segment across it falls back to LSQ but must
+  // still return a sane fit with a measured error.
+  const LinearFit fit = fit_minimax(FunctionKind::Sigmoid, -1.0, 1.0);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_GT(fit.max_error, 0.0);
+  EXPECT_LT(fit.max_error, 0.05);
+}
+
+TEST(LinearMaxError, ExactForKnownLine) {
+  // f(x) = e^x vs the line through (0,1),(1,e): peak error at the point
+  // where the derivative equals the secant slope.
+  const double m = std::exp(1.0) - 1.0;
+  const double measured =
+      linear_max_error(FunctionKind::Exp, 0.0, 1.0, m, 1.0, 40001);
+  const double c = std::log(m);
+  const double analytic = std::abs(std::exp(c) - (m * c + 1.0));
+  EXPECT_NEAR(measured, analytic, 1e-7);
+}
+
+TEST(LinearMaxError, ZeroForPerfectFitOfConstant) {
+  // tanh(0)=0 with zero slope on a zero-width-ish segment.
+  EXPECT_NEAR(
+      linear_max_error(FunctionKind::Tanh, 0.0, 1e-9, 1.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(FitQuality, ErrorShrinksQuadraticallyWithSegmentWidth) {
+  // Minimax linear error ≈ f''·w²/16 — halving the width quarters it.
+  const LinearFit wide = fit_minimax(FunctionKind::Sigmoid, 1.0, 2.0);
+  const LinearFit half = fit_minimax(FunctionKind::Sigmoid, 1.0, 1.5);
+  EXPECT_NEAR(wide.max_error / half.max_error, 4.0, 1.5);
+}
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,281 @@
+// Unit + property tests for fp::Fixed — bit-accurate fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "fixedpoint/fixed.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::fp {
+namespace {
+
+const Format kQ4_11{4, 11};
+
+TEST(FixedConstruction, FromRawChecksRange) {
+  EXPECT_NO_THROW(Fixed::from_raw(kQ4_11.max_raw(), kQ4_11));
+  EXPECT_NO_THROW(Fixed::from_raw(kQ4_11.min_raw(), kQ4_11));
+  EXPECT_THROW(Fixed::from_raw(kQ4_11.max_raw() + 1, kQ4_11),
+               std::out_of_range);
+  EXPECT_THROW(Fixed::from_raw(kQ4_11.min_raw() - 1, kQ4_11),
+               std::out_of_range);
+}
+
+TEST(FixedConstruction, FromDoubleExactGridValue) {
+  const Fixed x = Fixed::from_double(1.5, kQ4_11);
+  EXPECT_EQ(x.raw(), 3 << 10);
+  EXPECT_DOUBLE_EQ(x.to_double(), 1.5);
+}
+
+TEST(FixedConstruction, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Fixed::from_double(std::nan(""), kQ4_11),
+               std::invalid_argument);
+  EXPECT_THROW(Fixed::from_double(INFINITY, kQ4_11), std::invalid_argument);
+}
+
+TEST(FixedConstruction, SaturatesLargeValues) {
+  EXPECT_EQ(Fixed::from_double(1e9, kQ4_11).raw(), kQ4_11.max_raw());
+  EXPECT_EQ(Fixed::from_double(-1e9, kQ4_11).raw(), kQ4_11.min_raw());
+}
+
+TEST(FixedConstruction, HelpersProduceExtremes) {
+  EXPECT_EQ(Fixed::zero(kQ4_11).raw(), 0);
+  EXPECT_EQ(Fixed::max(kQ4_11).raw(), kQ4_11.max_raw());
+  EXPECT_EQ(Fixed::min(kQ4_11).raw(), kQ4_11.min_raw());
+}
+
+TEST(FixedRounding, TruncateIsFloor) {
+  // 0.3 · 2^11 = 614.4 → floor 614; −0.3 → −615 (toward −inf).
+  EXPECT_EQ(Fixed::from_double(0.3, kQ4_11, Rounding::Truncate).raw(), 614);
+  EXPECT_EQ(Fixed::from_double(-0.3, kQ4_11, Rounding::Truncate).raw(), -615);
+}
+
+TEST(FixedRounding, TowardZeroChopsMagnitude) {
+  EXPECT_EQ(Fixed::from_double(0.3, kQ4_11, Rounding::TowardZero).raw(), 614);
+  EXPECT_EQ(Fixed::from_double(-0.3, kQ4_11, Rounding::TowardZero).raw(),
+            -614);
+}
+
+TEST(FixedRounding, NearestUpBreaksTiesAwayFromZero) {
+  const Format q{4, 1};  // steps of 0.5
+  EXPECT_EQ(Fixed::from_double(0.25, q, Rounding::NearestUp).raw(), 1);
+  EXPECT_EQ(Fixed::from_double(-0.25, q, Rounding::NearestUp).raw(), -1);
+  EXPECT_EQ(Fixed::from_double(0.75, q, Rounding::NearestUp).raw(), 2);
+}
+
+TEST(FixedRounding, NearestEvenBreaksTiesToEven) {
+  const Format q{4, 1};
+  EXPECT_EQ(Fixed::from_double(0.25, q, Rounding::NearestEven).raw(), 0);
+  EXPECT_EQ(Fixed::from_double(0.75, q, Rounding::NearestEven).raw(), 2);
+  EXPECT_EQ(Fixed::from_double(-0.25, q, Rounding::NearestEven).raw(), 0);
+}
+
+TEST(ShiftRightRounded, ExhaustiveSmallCases) {
+  // All 8-bit raws, shift 3: compare against arithmetic definitions.
+  for (std::int64_t raw = -128; raw <= 127; ++raw) {
+    const double value = static_cast<double>(raw) / 8.0;
+    EXPECT_EQ(shift_right_rounded(raw, 3, Rounding::Truncate),
+              static_cast<std::int64_t>(std::floor(value)))
+        << raw;
+    EXPECT_EQ(shift_right_rounded(raw, 3, Rounding::TowardZero),
+              static_cast<std::int64_t>(std::trunc(value)))
+        << raw;
+    EXPECT_EQ(shift_right_rounded(raw, 3, Rounding::NearestUp),
+              static_cast<std::int64_t>(std::round(value)))
+        << raw;
+    const double nearest_even = std::nearbyint(value);
+    EXPECT_EQ(shift_right_rounded(raw, 3, Rounding::NearestEven),
+              static_cast<std::int64_t>(nearest_even))
+        << raw;
+  }
+}
+
+TEST(ShiftRightRounded, ZeroShiftIsIdentity) {
+  EXPECT_EQ(shift_right_rounded(12345, 0, Rounding::NearestEven), 12345);
+}
+
+TEST(FixedOverflow, ApplyOverflowSaturates) {
+  EXPECT_EQ(apply_overflow(40000, kQ4_11, Overflow::Saturate),
+            kQ4_11.max_raw());
+  EXPECT_EQ(apply_overflow(-40000, kQ4_11, Overflow::Saturate),
+            kQ4_11.min_raw());
+  EXPECT_EQ(apply_overflow(123, kQ4_11, Overflow::Saturate), 123);
+}
+
+TEST(FixedOverflow, ApplyOverflowWrapsTwosComplement) {
+  // 32768 wraps to −32768 in 16 bits.
+  EXPECT_EQ(apply_overflow(32768, kQ4_11, Overflow::Wrap), -32768);
+  EXPECT_EQ(apply_overflow(-32769, kQ4_11, Overflow::Wrap), 32767);
+  EXPECT_EQ(apply_overflow(65536 + 5, kQ4_11, Overflow::Wrap), 5);
+}
+
+TEST(FixedArithmetic, AddFullIsExact) {
+  const Fixed a = Fixed::from_double(3.25, kQ4_11);
+  const Fixed b = Fixed::from_double(-1.125, Format{2, 14});
+  const Fixed sum = a.add_full(b);
+  EXPECT_DOUBLE_EQ(sum.to_double(), 2.125);
+  EXPECT_EQ(sum.format(), (Format{5, 14}));
+}
+
+TEST(FixedArithmetic, SubFullIsExact) {
+  const Fixed a = Fixed::from_double(1.0, kQ4_11);
+  const Fixed b = Fixed::from_double(2.5, kQ4_11);
+  EXPECT_DOUBLE_EQ(a.sub_full(b).to_double(), -1.5);
+}
+
+TEST(FixedArithmetic, MulFullIsExact) {
+  const Fixed a = Fixed::from_double(1.5, kQ4_11);
+  const Fixed b = Fixed::from_double(-2.25, Format{2, 13});
+  const Fixed product = a.mul_full(b);
+  EXPECT_DOUBLE_EQ(product.to_double(), -3.375);
+  EXPECT_EQ(product.format(), (Format{7, 24}));
+}
+
+TEST(FixedArithmetic, MulFullExtremesDoNotOverflow) {
+  const Fixed m = Fixed::min(kQ4_11);
+  const Fixed product = m.mul_full(m);  // +256, needs the widened ib
+  EXPECT_DOUBLE_EQ(product.to_double(), 256.0);
+}
+
+TEST(FixedArithmetic, AddIntoNarrowFormatSaturates) {
+  const Fixed a = Fixed::from_double(15.0, kQ4_11);
+  const Fixed b = Fixed::from_double(15.0, kQ4_11);
+  const Fixed s = a.add(b, kQ4_11);
+  EXPECT_EQ(s.raw(), kQ4_11.max_raw());
+}
+
+TEST(FixedArithmetic, DivMatchesRealDivision) {
+  const Fixed a = Fixed::from_double(1.0, kQ4_11);
+  const Fixed b = Fixed::from_double(3.0, kQ4_11);
+  const Fixed q = a.div(b, Format{2, 20});
+  EXPECT_NEAR(q.to_double(), 1.0 / 3.0, 1.0 / (1 << 20));
+}
+
+TEST(FixedArithmetic, DivTruncatesTowardZeroBothSigns) {
+  const Format out{4, 2};  // steps of 0.25
+  const Fixed a = Fixed::from_double(1.0, kQ4_11);
+  const Fixed b = Fixed::from_double(3.0, kQ4_11);
+  EXPECT_DOUBLE_EQ(a.div(b, out).to_double(), 0.25);  // 0.333 → 0.25
+  EXPECT_DOUBLE_EQ(a.negate().div(b, out).to_double(), -0.25);
+}
+
+TEST(FixedArithmetic, DivByZeroThrows) {
+  const Fixed a = Fixed::from_double(1.0, kQ4_11);
+  EXPECT_THROW((void)a.div(Fixed::zero(kQ4_11), kQ4_11), std::domain_error);
+}
+
+TEST(FixedArithmetic, DivNearestRoundsCorrectly) {
+  const Format out{4, 1};  // steps of 0.5
+  const Fixed a = Fixed::from_double(1.0, kQ4_11);
+  const Fixed b = Fixed::from_double(4.0, kQ4_11);
+  // 0.25 is a tie on the 0.5 grid: NearestUp → 0.5, NearestEven → 0.
+  EXPECT_DOUBLE_EQ(a.div(b, out, Rounding::NearestUp).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(a.div(b, out, Rounding::NearestEven).to_double(), 0.0);
+}
+
+TEST(FixedArithmetic, NegateSaturatesAtMin) {
+  const Fixed m = Fixed::min(kQ4_11);
+  EXPECT_EQ(m.negate(Overflow::Saturate).raw(), kQ4_11.max_raw());
+  EXPECT_EQ(m.negate(Overflow::Wrap).raw(), kQ4_11.min_raw());
+}
+
+TEST(FixedArithmetic, AbsIsMagnitude) {
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-2.5, kQ4_11).abs().to_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(2.5, kQ4_11).abs().to_double(), 2.5);
+}
+
+TEST(FixedArithmetic, ShiftedLeftDoubles) {
+  const Fixed x = Fixed::from_double(1.25, kQ4_11);
+  EXPECT_DOUBLE_EQ(x.shifted_left(1).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ(x.shifted_left(2).to_double(), 5.0);
+}
+
+TEST(FixedArithmetic, ShiftedLeftSaturates) {
+  const Fixed x = Fixed::from_double(12.0, kQ4_11);
+  EXPECT_EQ(x.shifted_left(1).raw(), kQ4_11.max_raw());
+  EXPECT_EQ(x.negate().shifted_left(1).raw(), kQ4_11.min_raw());
+}
+
+TEST(FixedArithmetic, ShiftedLeftRejectsNegativeCount) {
+  EXPECT_THROW((void)Fixed::zero(kQ4_11).shifted_left(-1), std::invalid_argument);
+}
+
+TEST(FixedCompare, CrossFormatComparisonIsExact) {
+  const Fixed a = Fixed::from_double(1.5, kQ4_11);
+  const Fixed b = Fixed::from_double(1.5, Format{2, 20});
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a, b);
+  const Fixed c = Fixed::from_double(1.5 + 1.0 / (1 << 20), Format{2, 20});
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, a);
+  EXPECT_NE(a, c);
+}
+
+TEST(FixedRequantize, WideningIsExact) {
+  const Fixed x = Fixed::from_double(-3.625, kQ4_11);
+  const Fixed wide = x.requantize(Format{6, 20});
+  EXPECT_DOUBLE_EQ(wide.to_double(), -3.625);
+}
+
+TEST(FixedRequantize, NarrowingRoundsPerPolicy) {
+  const Fixed x = Fixed::from_raw(615, kQ4_11);  // 0.30029...
+  EXPECT_EQ(x.requantize(Format{4, 8}, Rounding::Truncate).raw(), 76);
+  EXPECT_EQ(x.requantize(Format{4, 8}, Rounding::NearestUp).raw(), 77);
+}
+
+// ---- Randomised property sweeps ----------------------------------------
+
+class FixedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedProperty, RoundTripThroughDoubleIsLossless) {
+  const int n = GetParam();
+  const Format fmt{n / 4, n - 1 - n / 4};
+  nn::Rng rng{static_cast<std::uint64_t>(n)};
+  for (int i = 0; i < 2000; ++i) {
+    const auto raw = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(fmt.max_raw() - fmt.min_raw()) +
+                  1)) + fmt.min_raw();
+    const Fixed x = Fixed::from_raw(raw, fmt);
+    EXPECT_EQ(Fixed::from_double(x.to_double(), fmt).raw(), raw);
+  }
+}
+
+TEST_P(FixedProperty, FullPrecisionOpsMatchDoubleExactly) {
+  const int n = GetParam();
+  const Format fmt{n / 4, n - 1 - n / 4};
+  nn::Rng rng{static_cast<std::uint64_t>(n) * 31};
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed a = Fixed::from_double(
+        rng.uniform(fmt.min_value(), fmt.max_value()), fmt);
+    const Fixed b = Fixed::from_double(
+        rng.uniform(fmt.min_value(), fmt.max_value()), fmt);
+    // Full-precision fixed ops are exact, and for these widths the double
+    // results are exact too (well within 53-bit mantissa).
+    EXPECT_DOUBLE_EQ(a.add_full(b).to_double(), a.to_double() + b.to_double());
+    EXPECT_DOUBLE_EQ(a.sub_full(b).to_double(), a.to_double() - b.to_double());
+    EXPECT_DOUBLE_EQ(a.mul_full(b).to_double(), a.to_double() * b.to_double());
+  }
+}
+
+TEST_P(FixedProperty, DivisionErrorBoundedByOutputLsb) {
+  const int n = GetParam();
+  const Format fmt{n / 4, n - 1 - n / 4};
+  const Format out{fmt.integer_bits() + 2, fmt.fractional_bits() + 2};
+  nn::Rng rng{static_cast<std::uint64_t>(n) * 77};
+  for (int i = 0; i < 1000; ++i) {
+    const Fixed a = Fixed::from_double(
+        rng.uniform(fmt.min_value() / 2, fmt.max_value() / 2), fmt);
+    Fixed b = Fixed::from_double(rng.uniform(0.5, fmt.max_value() / 2), fmt);
+    if (rng.below(2) == 0) b = b.negate();
+    const double expected = a.to_double() / b.to_double();
+    if (std::abs(expected) > out.max_value()) continue;
+    const double got = a.div(b, out).to_double();
+    EXPECT_NEAR(got, expected, out.resolution()) << a << " / " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FixedProperty,
+                         ::testing::Values(8, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace nacu::fp

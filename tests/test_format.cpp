@@ -1,0 +1,140 @@
+// Unit tests for fp::Format — the Q(ib).(fb) descriptor of paper §III.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fixedpoint/format.hpp"
+
+namespace nacu::fp {
+namespace {
+
+TEST(Format, WidthCountsSignIntegerAndFraction) {
+  const Format fmt{4, 11};
+  EXPECT_EQ(fmt.integer_bits(), 4);
+  EXPECT_EQ(fmt.fractional_bits(), 11);
+  EXPECT_EQ(fmt.width(), 16);
+}
+
+TEST(Format, ZeroIntegerBitsIsValid) {
+  const Format fmt{0, 15};
+  EXPECT_EQ(fmt.width(), 16);
+  EXPECT_DOUBLE_EQ(fmt.min_value(), -1.0);
+}
+
+TEST(Format, ZeroFractionalBitsIsValid) {
+  const Format fmt{15, 0};
+  EXPECT_DOUBLE_EQ(fmt.resolution(), 1.0);
+  EXPECT_DOUBLE_EQ(fmt.max_value(), 32767.0);
+}
+
+TEST(Format, NegativeIntegerBitsThrows) {
+  EXPECT_THROW((Format{-1, 11}), std::invalid_argument);
+}
+
+TEST(Format, NegativeFractionalBitsThrows) {
+  EXPECT_THROW((Format{4, -2}), std::invalid_argument);
+}
+
+TEST(Format, TooWideThrows) {
+  EXPECT_THROW((Format{40, 40}), std::invalid_argument);
+}
+
+TEST(Format, MaxWidthIsAccepted) {
+  EXPECT_NO_THROW((Format{23, Format::kMaxWidth - 24}));
+}
+
+TEST(Format, RawRangeIsSymmetricTwosComplement) {
+  const Format fmt{4, 11};
+  EXPECT_EQ(fmt.max_raw(), 32767);
+  EXPECT_EQ(fmt.min_raw(), -32768);
+}
+
+TEST(Format, MaxValueIsInMaxOfEq6) {
+  // In_max = 2^ib − 2^−fb (Eq. 6).
+  const Format fmt{4, 11};
+  EXPECT_DOUBLE_EQ(fmt.max_value(), 16.0 - 1.0 / 2048.0);
+}
+
+TEST(Format, ResolutionIsOneLsb) {
+  EXPECT_DOUBLE_EQ((Format{4, 11}.resolution()), 1.0 / 2048.0);
+  EXPECT_DOUBLE_EQ((Format{1, 0}.resolution()), 1.0);
+}
+
+TEST(Format, MulResultWidensExactly) {
+  const Format a{4, 11};
+  const Format b{1, 14};
+  const Format p = a.mul_result(b);
+  EXPECT_EQ(p.integer_bits(), 6);  // 4 + 1 + 1
+  EXPECT_EQ(p.fractional_bits(), 25);
+}
+
+TEST(Format, MulResultHoldsExtremeProduct) {
+  // min × min = +2^(ib1+ib2) needs the extra integer bit.
+  const Format a{2, 3};
+  const Format p = a.mul_result(a);
+  const double extreme = a.min_value() * a.min_value();
+  EXPECT_LE(extreme, p.max_value());
+}
+
+TEST(Format, AddResultWidensByOneBit) {
+  const Format a{4, 11};
+  const Format b{2, 14};
+  const Format s = a.add_result(b);
+  EXPECT_EQ(s.integer_bits(), 5);
+  EXPECT_EQ(s.fractional_bits(), 14);
+}
+
+TEST(Format, ParseRoundTrips) {
+  const Format fmt{4, 11};
+  EXPECT_EQ(Format::parse(fmt.to_string()), fmt);
+}
+
+TEST(Format, ParseAcceptsLowercase) {
+  EXPECT_EQ(Format::parse("q2.5"), (Format{2, 5}));
+}
+
+TEST(Format, ParseRejectsGarbage) {
+  EXPECT_THROW(Format::parse("4.11"), std::invalid_argument);
+  EXPECT_THROW(Format::parse("Q4"), std::invalid_argument);
+  EXPECT_THROW(Format::parse("Q4."), std::invalid_argument);
+  EXPECT_THROW(Format::parse("Q.11"), std::invalid_argument);
+  EXPECT_THROW(Format::parse("Q4.11x"), std::invalid_argument);
+  EXPECT_THROW(Format::parse(""), std::invalid_argument);
+}
+
+TEST(Format, StreamInsertionMatchesToString) {
+  std::ostringstream os;
+  os << Format{4, 11};
+  EXPECT_EQ(os.str(), "Q4.11");
+}
+
+TEST(Format, EqualityComparesBothFields) {
+  EXPECT_EQ((Format{4, 11}), (Format{4, 11}));
+  EXPECT_NE((Format{4, 11}), (Format{3, 12}));
+  EXPECT_NE((Format{4, 11}), (Format{4, 12}));
+}
+
+// Property sweep: raw range and value range are consistent for every format
+// width the datapath sweeps use.
+class FormatRangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatRangeProperty, ValueRangeMatchesRawRange) {
+  const int n = GetParam();
+  for (int ib = 0; ib < n; ++ib) {
+    const Format fmt{ib, n - 1 - ib};
+    EXPECT_DOUBLE_EQ(
+        fmt.max_value(),
+        static_cast<double>(fmt.max_raw()) * fmt.resolution());
+    EXPECT_DOUBLE_EQ(
+        fmt.min_value(),
+        static_cast<double>(fmt.min_raw()) * fmt.resolution());
+    EXPECT_EQ(fmt.max_raw() - fmt.min_raw() + 1,
+              std::int64_t{1} << fmt.width());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FormatRangeProperty,
+                         ::testing::Values(4, 8, 10, 12, 14, 16, 18, 20, 24));
+
+}  // namespace
+}  // namespace nacu::fp

@@ -1,0 +1,102 @@
+// Tests for the Eq. 7 format-selection method (paper §III).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::fp {
+namespace {
+
+TEST(FormatSelect, PaperWorkedExampleSixteenBits) {
+  // §III: "Consider a case of 16-bit fixed-point number ... i_b needs a
+  // minimum of 4 bits, and the remaining 11 bits ... fractional".
+  const auto fmt = best_symmetric_format(16);
+  ASSERT_TRUE(fmt.has_value());
+  EXPECT_EQ(fmt->integer_bits(), 4);
+  EXPECT_EQ(fmt->fractional_bits(), 11);
+}
+
+TEST(FormatSelect, InputMaxMatchesEq6) {
+  EXPECT_DOUBLE_EQ(input_max(Format{4, 11}), 16.0 - 1.0 / 2048.0);
+  EXPECT_DOUBLE_EQ(input_max(Format{2, 5}), 4.0 - 1.0 / 32.0);
+}
+
+TEST(FormatSelect, SixteenBitBoundIsTight) {
+  // ib = 4 passes, ib = 3 fails — the bound is not conservative by a bit.
+  EXPECT_TRUE(satisfies_eq7(Format{4, 11}, Format{4, 11}));
+  EXPECT_FALSE(satisfies_eq7(Format{3, 12}, Format{3, 12}));
+}
+
+TEST(FormatSelect, AlgebraMatchesDirectSaturationCondition) {
+  // Eq. 7 is an algebraic rearrangement of e^-In_max < 2^-fb_out; both
+  // predicates must agree everywhere we sweep.
+  for (int n_in = 4; n_in <= 24; ++n_in) {
+    for (int ib_in = 0; ib_in < n_in; ++ib_in) {
+      const Format in{ib_in, n_in - 1 - ib_in};
+      for (int fb_out : {4, 8, 11, 15, 20}) {
+        const Format out{2, fb_out};
+        EXPECT_EQ(satisfies_eq7(in, out), saturation_condition(in, out))
+            << in << " vs " << out;
+      }
+    }
+  }
+}
+
+TEST(FormatSelect, MoreOutputBitsNeedMoreInputRange) {
+  // Monotonicity: raising output precision can only raise the ib bound.
+  int prev = 0;
+  for (int fb_out = 4; fb_out <= 24; fb_out += 2) {
+    const auto ib = min_input_integer_bits(28, Format{2, fb_out});
+    ASSERT_TRUE(ib.has_value());
+    EXPECT_GE(*ib, prev);
+    prev = *ib;
+  }
+}
+
+TEST(FormatSelect, MinIntegerBitsIsMinimal) {
+  const Format out{4, 11};
+  const auto ib = min_input_integer_bits(16, out);
+  ASSERT_TRUE(ib.has_value());
+  EXPECT_TRUE(satisfies_eq7(Format{*ib, 15 - *ib}, out));
+  if (*ib > 0) {
+    EXPECT_FALSE(satisfies_eq7(Format{*ib - 1, 16 - *ib}, out));
+  }
+}
+
+TEST(FormatSelect, TinyWidthsHaveNoSolution) {
+  EXPECT_FALSE(best_symmetric_format(1).has_value());
+  EXPECT_FALSE(best_symmetric_format(0).has_value());
+}
+
+TEST(FormatSelect, TableCoversRequestedRange) {
+  const auto table = format_bound_table(8, 24);
+  ASSERT_FALSE(table.empty());
+  EXPECT_EQ(table.front().total_bits, 8);
+  EXPECT_EQ(table.back().total_bits, 24);
+  for (const FormatBound& row : table) {
+    EXPECT_EQ(row.total_bits, 1 + row.min_integer_bits + row.fractional_bits);
+    // The saturation premise holds for every accepted row.
+    EXPECT_LT(row.sigma_tail, row.output_lsb);
+  }
+}
+
+class SymmetricFormatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricFormatSweep, SelectedFormatSatisfiesItsOwnBound) {
+  const int n = GetParam();
+  const auto fmt = best_symmetric_format(n);
+  ASSERT_TRUE(fmt.has_value()) << "N=" << n;
+  EXPECT_EQ(fmt->width(), n);
+  EXPECT_TRUE(satisfies_eq7(*fmt, *fmt));
+  // σ evaluated at In_max must round to 1.0 at the output resolution —
+  // the whole point of the bound.
+  const double sigma_at_max = 1.0 / (1.0 + std::exp(-input_max(*fmt)));
+  EXPECT_GT(sigma_at_max, 1.0 - fmt->resolution());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SymmetricFormatSweep,
+                         ::testing::Range(6, 28));
+
+}  // namespace
+}  // namespace nacu::fp

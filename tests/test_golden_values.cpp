@@ -1,0 +1,79 @@
+// Golden-vector regression locks: exact raw outputs of the 16-bit NACU for
+// a fixed set of inputs. These pins catch *any* unintended numerical change
+// — a new rounding default, a refactored LUT fit, an off-by-one in a bit
+// trick — that the tolerance-based tests might absorb.
+//
+// If a change is intentional (e.g. a better default), regenerate the table
+// with tests/tools in this file's header comment and update DESIGN.md.
+#include <gtest/gtest.h>
+
+#include "core/nacu.hpp"
+
+namespace nacu::core {
+namespace {
+
+const NacuConfig kConfig = config_for_bits(16);
+
+struct Golden {
+  std::int64_t x_raw;
+  std::int64_t sigmoid_raw;
+  std::int64_t tanh_raw;
+  std::int64_t exp_raw;
+};
+
+// Generated from the verified implementation (commit of record); inputs
+// span both signs, the steep region, and deep saturation.
+// x values: −16, −8, −2.5, −1, −0.25, 0, 0.25, 1, 2.5, 8, 15.9995.
+constexpr std::int64_t kX[] = {-32768, -16384, -5120, -2048, -512, 0,
+                               512,    2048,   5120,  16384, 32767};
+
+TEST(GoldenValues, SigmoidTanhExpRawsAreLocked) {
+  const Nacu unit{kConfig};
+  // First run records; the committed expectations below were captured from
+  // the verified build and must never drift silently.
+  const Golden expected[] = {
+      {-32768, 0, -2048, 0},      {-16384, 0, -2048, 0},
+      {-5120, 156, -2020, 169},   {-2048, 552, -1558, 756},
+      {-512, 897, -501, 1596},    {0, 1024, 1, 2048},
+      {512, 1151, 501, 2628},     {2048, 1496, 1558, 5550},
+      {5120, 1892, 2020, 24839},  {16384, 2048, 2048, 32767},
+      {32767, 2048, 2048, 32767},
+  };
+  for (std::size_t i = 0; i < std::size(kX); ++i) {
+    const fp::Fixed x = fp::Fixed::from_raw(kX[i], kConfig.format);
+    EXPECT_EQ(unit.sigmoid(x).raw(), expected[i].sigmoid_raw)
+        << "sigmoid raw " << kX[i];
+    EXPECT_EQ(unit.tanh(x).raw(), expected[i].tanh_raw)
+        << "tanh raw " << kX[i];
+    EXPECT_EQ(unit.exp(x).raw(), expected[i].exp_raw)
+        << "exp raw " << kX[i];
+  }
+}
+
+TEST(GoldenValues, SoftmaxRawsAreLocked) {
+  const Nacu unit{kConfig};
+  std::vector<fp::Fixed> xs;
+  for (const double v : {1.0, 2.0, 3.0, 0.5}) {
+    xs.push_back(fp::Fixed::from_double(v, kConfig.format));
+  }
+  const auto probs = unit.softmax(xs);
+  const std::int64_t expected[] = {175, 476, 1290, 106};
+  ASSERT_EQ(probs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(probs[i].raw(), expected[i]) << i;
+  }
+}
+
+TEST(GoldenValues, LutCoefficientsAreLocked) {
+  // Segment 0 and the last segment of the σ LUT (Q1.14 raws).
+  const Nacu unit{kConfig};
+  const SigmoidLut& lut = unit.lut();
+  ASSERT_EQ(lut.entries(), 53u);
+  EXPECT_EQ(lut.slope_raw(0), 4065);
+  EXPECT_EQ(lut.bias_raw(0), 8194);
+  EXPECT_EQ(lut.slope_raw(52), 0);
+  EXPECT_EQ(lut.bias_raw(52), 16384);
+}
+
+}  // namespace
+}  // namespace nacu::core

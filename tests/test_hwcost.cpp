@@ -1,0 +1,191 @@
+// Tests for the structural cost model and technology scaling (paper §VII).
+#include <gtest/gtest.h>
+
+#include "hwcost/gates.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "hwcost/technology.hpp"
+
+namespace nacu::cost {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+TEST(Technology, TwentyEightNmIsUnity) {
+  EXPECT_DOUBLE_EQ(area_factor(28), 1.0);
+  EXPECT_DOUBLE_EQ(delay_factor(28), 1.0);
+  EXPECT_DOUBLE_EQ(energy_factor(28), 1.0);
+}
+
+TEST(Technology, ReproducesPaperAreaScalings) {
+  // §VII.C: [14] CORDIC 19150 µm²@65 → ~5800@28; [13] 20700 → ~6200;
+  // [14] parabolic 26400 → ~8000.
+  EXPECT_NEAR(scale_area(19150, 65, 28), 5800, 300);
+  EXPECT_NEAR(scale_area(20700, 65, 28), 6200, 300);
+  EXPECT_NEAR(scale_area(26400, 65, 28), 8000, 300);
+}
+
+TEST(Technology, ReproducesPaperDelayScalings) {
+  // §VII.C: [14] sequential 86 ns@65 → ~42 ns@28; [13] 40.3 → ~20;
+  // [14] parabolic 20.8 → ~10.
+  EXPECT_NEAR(scale_delay(86.0, 65, 28), 42.0, 2.0);
+  EXPECT_NEAR(scale_delay(40.3, 65, 28), 20.0, 1.0);
+  EXPECT_NEAR(scale_delay(20.8, 65, 28), 10.0, 0.7);
+}
+
+TEST(Technology, ScalingIsInvertible) {
+  const double a = scale_area(1000.0, 65, 28);
+  EXPECT_NEAR(scale_area(a, 28, 65), 1000.0, 1e-9);
+  const double d = scale_delay(10.0, 180, 28);
+  EXPECT_NEAR(scale_delay(d, 28, 180), 10.0, 1e-9);
+}
+
+TEST(Technology, OlderNodesAreBiggerAndSlower) {
+  for (const int node : {40, 65, 90, 180}) {
+    EXPECT_GT(area_factor(node), 1.0) << node;
+    EXPECT_GT(delay_factor(node), 1.0) << node;
+    EXPECT_GT(energy_factor(node), 1.0) << node;
+  }
+  EXPECT_LT(area_factor(16), 1.0);
+}
+
+TEST(Gates, CompositeCostsScaleWithWidth) {
+  EXPECT_DOUBLE_EQ(adder_ge(16), 16 * full_adder_ge());
+  EXPECT_DOUBLE_EQ(register_ge(16), 16 * register_bit_ge());
+  EXPECT_GT(multiplier_ge(16, 16), 16 * adder_ge(16) * 0.9);
+  EXPECT_GT(divider_row_ge(17), adder_ge(17));
+}
+
+TEST(NacuCost, TotalAreaNearPaperFigure) {
+  // Paper Table I: NACU = 9671 µm² post-layout at 28 nm.
+  const Breakdown b = nacu_breakdown(kConfig);
+  EXPECT_NEAR(b.area_um2(), 9671.0, 9671.0 * 0.10);
+}
+
+TEST(NacuCost, DividerDominatesArea) {
+  // §VII: "The area of NACU is dominated by a pipelined divider."
+  const Breakdown b = nacu_breakdown(kConfig);
+  const double divider = b.component_ge("divider");
+  EXPECT_GT(divider, 0.4 * b.total_ge());
+  for (const Component& c : b.components) {
+    if (c.name != "divider") {
+      EXPECT_LT(c.ge, divider) << c.name;
+    }
+  }
+}
+
+TEST(NacuCost, CoefficientBlockComparableToAdderBlock) {
+  // §VII: "the area of the coefficient and bias calculation is comparable
+  // to that of the adder" — same order of magnitude, within ~3×.
+  const Breakdown b = nacu_breakdown(kConfig);
+  const double coeff =
+      b.component_ge("coeff LUT") + b.component_ge("bias/coeff units");
+  const double adder = b.component_ge("adder") +
+                       b.component_ge("round/saturate");
+  EXPECT_LT(coeff / adder, 3.0);
+  EXPECT_GT(coeff / adder, 1.0 / 3.0);
+}
+
+TEST(NacuCost, DedicatedTanhLutNearlyDoublesCoefficientArea) {
+  // §VII: "Adopting dedicated LUTs for the tanh ... would have nearly
+  // doubled the area" (of the coefficient block).
+  const Breakdown base = nacu_breakdown(kConfig);
+  const Breakdown ded = nacu_breakdown(kConfig, {.dedicated_tanh_lut = true});
+  const double base_coeff = base.component_ge("coeff LUT") +
+                            base.component_ge("bias/coeff units");
+  const double ded_coeff = ded.component_ge("coeff LUT") +
+                           ded.component_ge("bias/coeff units");
+  EXPECT_GT(ded_coeff / base_coeff, 1.5);
+  EXPECT_LT(ded_coeff / base_coeff, 2.2);
+}
+
+TEST(NacuCost, SequentialDividerTradesAreaForLatency) {
+  // §VII: "possible to reduce the area by adopting a sequential divider".
+  const Breakdown pipe = nacu_breakdown(kConfig);
+  const Breakdown seq =
+      nacu_breakdown(kConfig, {.pipelined_divider = false});
+  EXPECT_LT(seq.component_ge("divider"), 0.5 * pipe.component_ge("divider"));
+  EXPECT_GT(latency_cycles(Function::Exp, {.pipelined_divider = false}),
+            latency_cycles(Function::Exp, {}));
+}
+
+TEST(NacuCost, GeneralSubtractorsCostMoreThanBitTricks) {
+  const Breakdown tricks = nacu_breakdown(kConfig);
+  const Breakdown subs =
+      nacu_breakdown(kConfig, {.general_subtractors = true});
+  EXPECT_GT(subs.component_ge("bias/coeff units"),
+            tricks.component_ge("bias/coeff units"));
+  EXPECT_GT(subs.component_ge("decrementor"),
+            tricks.component_ge("decrementor"));
+}
+
+TEST(NacuCost, PaperLatencies) {
+  EXPECT_EQ(latency_cycles(Function::Sigmoid), 3);
+  EXPECT_EQ(latency_cycles(Function::Tanh), 3);
+  EXPECT_EQ(latency_cycles(Function::Exp), 8);
+  EXPECT_EQ(latency_cycles(Function::Mac), 1);
+  EXPECT_GT(latency_cycles(Function::Softmax), 8);
+}
+
+TEST(NacuCost, PowerOrderingMatchesActiveHardware) {
+  // exp exercises the divider, σ does not; MAC bypasses the LUT.
+  const Breakdown b = nacu_breakdown(kConfig);
+  const double sig =
+      power_for_function(b, Function::Sigmoid, Tech28::kClockNs).total_mw();
+  const double exp =
+      power_for_function(b, Function::Exp, Tech28::kClockNs).total_mw();
+  const double mac =
+      power_for_function(b, Function::Mac, Tech28::kClockNs).total_mw();
+  EXPECT_GT(exp, sig);
+  EXPECT_LT(mac, sig);
+}
+
+TEST(NacuCost, PowerIsMilliwattScale) {
+  // A ~10k µm² 28 nm macro at 267 MHz draws well under 10 mW.
+  const Breakdown b = nacu_breakdown(kConfig);
+  const PowerEstimate p =
+      power_for_function(b, Function::Softmax, Tech28::kClockNs);
+  EXPECT_GT(p.total_mw(), 0.01);
+  EXPECT_LT(p.total_mw(), 10.0);
+  EXPECT_GT(p.dynamic_mw, p.leakage_mw);  // active macro, not idle
+}
+
+TEST(RelatedWork, TableMatchesPaperRowCount) {
+  const auto table = related_work_table();
+  EXPECT_EQ(table.size(), 13u);  // 12 related-work columns + NACU
+  EXPECT_EQ(table.back().ref, "NACU");
+  EXPECT_EQ(table.back().lut_entries, 53);
+  EXPECT_EQ(table.back().bits, 16);
+}
+
+TEST(RelatedWork, ScaledAreasMatchPaperQuotes) {
+  for (const RelatedWorkEntry& entry : related_work_table()) {
+    const double scaled = area_scaled_to_28nm(entry);
+    if (entry.implementation == "CORDIC") {
+      EXPECT_NEAR(scaled, 5800, 300);
+    } else if (entry.implementation == "6th-order Taylor") {
+      EXPECT_NEAR(scaled, 6200, 300);
+    } else if (entry.implementation == "Parabolic") {
+      EXPECT_NEAR(scaled, 8000, 300);
+    }
+  }
+}
+
+TEST(RelatedWork, UnreportedAreasStayUnreported) {
+  for (const RelatedWorkEntry& entry : related_work_table()) {
+    if (entry.area_um2 < 0) {
+      EXPECT_LT(area_scaled_to_28nm(entry), 0.0) << entry.ref;
+    }
+  }
+}
+
+TEST(NacuCost, WiderDatapathCostsMore) {
+  double prev = 0.0;
+  for (const int bits : {12, 16, 20, 24}) {
+    const Breakdown b = nacu_breakdown(core::config_for_bits(bits));
+    EXPECT_GT(b.total_ge(), prev) << bits;
+    prev = b.total_ge();
+  }
+}
+
+}  // namespace
+}  // namespace nacu::cost

@@ -1,0 +1,108 @@
+// Tests for the hybrid PWL + RALUT baseline ([8], Namin et al.).
+#include <gtest/gtest.h>
+
+#include "approx/error_analysis.hpp"
+#include "approx/hybrid.hpp"
+#include "approx/pwl.hpp"
+#include "approx/ralut.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kTenBit{3, 6};  // [8]'s 10-bit precision class
+
+TEST(Hybrid, RejectsEmptyStages) {
+  auto config =
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 0, 16);
+  EXPECT_THROW(HybridPwlRalut{config}, std::invalid_argument);
+  config = HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 0);
+  EXPECT_THROW(HybridPwlRalut{config}, std::invalid_argument);
+}
+
+TEST(Hybrid, EntryAccountingSplitsStages) {
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 24)};
+  EXPECT_EQ(hybrid.pwl_segment_count(), 4u);
+  EXPECT_LE(hybrid.correction_count(), 24u);
+  EXPECT_EQ(hybrid.table_entries(),
+            hybrid.pwl_segment_count() + hybrid.correction_count());
+}
+
+TEST(Hybrid, CorrectionImprovesOnBarePwl) {
+  // The whole point of [8]: the RALUT refinement beats the coarse PWL
+  // alone at the same segment count.
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 32)};
+  auto pwl_config = Pwl::natural_config(FunctionKind::Tanh, kTenBit, 4);
+  pwl_config.minimax = false;
+  const double hybrid_err = analyze_natural(hybrid).max_abs;
+  const double pwl_err = analyze_natural(Pwl{pwl_config}).max_abs;
+  EXPECT_LT(hybrid_err, pwl_err);
+}
+
+TEST(Hybrid, BeatsPureRalutAtEqualTotalEntries) {
+  // A coarse PWL flattens the residual, so the same entry total covers the
+  // curve with less error than constant segments alone.
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 28)};
+  const Ralut ralut = Ralut::with_max_entries(
+      FunctionKind::Tanh, kTenBit, hybrid.table_entries());
+  EXPECT_LE(analyze_natural(hybrid).max_abs,
+            analyze_natural(ralut).max_abs * 1.1);
+}
+
+TEST(Hybrid, OddSymmetryHoldsBitExactly) {
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 24)};
+  for (std::int64_t raw = 1; raw <= kTenBit.max_raw(); raw += 5) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kTenBit);
+    EXPECT_EQ(hybrid.evaluate(x.negate()).raw(), -hybrid.evaluate(x).raw())
+        << raw;
+  }
+}
+
+TEST(Hybrid, TenBitAccuracyInReportedRegime) {
+  // [8] reports max error in the 1e-2..1e-3 decade at 10 bits — Fig. 6b
+  // places it ~7-8x worse than 16-bit NACU.
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 32)};
+  const double err = analyze_natural(hybrid).max_abs;
+  EXPECT_LT(err, 0.03);
+  EXPECT_GT(err, 0.001);
+}
+
+TEST(Hybrid, MoreCorrectionEntriesMonotonicallyHelp) {
+  double prev = 1.0;
+  for (const std::size_t entries : {8u, 16u, 32u, 64u}) {
+    const HybridPwlRalut hybrid{HybridPwlRalut::natural_config(
+        FunctionKind::Tanh, kTenBit, 4, entries)};
+    const double err = analyze_natural(hybrid).max_abs;
+    EXPECT_LE(err, prev + 1e-12) << entries;
+    prev = err;
+  }
+}
+
+TEST(Hybrid, WorksForSigmoidToo) {
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Sigmoid, kTenBit, 4, 24)};
+  EXPECT_LT(analyze_natural(hybrid).max_abs, 0.03);
+  // Sigmoid-like symmetry bit-exact.
+  const std::int64_t one = std::int64_t{1} << 6;
+  for (std::int64_t raw = 1; raw <= kTenBit.max_raw(); raw += 7) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kTenBit);
+    EXPECT_EQ(hybrid.evaluate(x.negate()).raw(),
+              one - hybrid.evaluate(x).raw());
+  }
+}
+
+TEST(Hybrid, StorageChargesBothStages) {
+  const HybridPwlRalut hybrid{
+      HybridPwlRalut::natural_config(FunctionKind::Tanh, kTenBit, 4, 16)};
+  // Coefficients store at Q1.(N−2) = 10 bits for the 10-bit datapath.
+  const std::size_t expected =
+      4u * (10u + 10u) + hybrid.correction_count() * (10u + 10u);
+  EXPECT_EQ(hybrid.storage_bits(), expected);
+}
+
+}  // namespace
+}  // namespace nacu::approx

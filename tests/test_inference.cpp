@@ -1,0 +1,141 @@
+// Tests for end-to-end CGRA inference (fabric + softmax engine) and the
+// linear-output StoreAcc path.
+#include <gtest/gtest.h>
+
+#include "cgra/inference.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::cgra {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+class InferenceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new nn::Dataset(nn::make_blobs(60, 3));
+    split_ = new nn::Split(nn::train_test_split(*data_, 0.8));
+    nn::MlpConfig config;
+    config.layer_sizes = {2, 12, 3};
+    config.epochs = 60;
+    mlp_ = new nn::Mlp{config};
+    mlp_->train(split_->train);
+  }
+  static void TearDownTestSuite() {
+    delete mlp_;
+    delete split_;
+    delete data_;
+  }
+  static nn::Dataset* data_;
+  static nn::Split* split_;
+  static nn::Mlp* mlp_;
+};
+
+nn::Dataset* InferenceFixture::data_ = nullptr;
+nn::Split* InferenceFixture::split_ = nullptr;
+nn::Mlp* InferenceFixture::mlp_ = nullptr;
+
+TEST_F(InferenceFixture, BitIdenticalToQuantizedMlp) {
+  // The headline invariant: cycle-accurate hardware inference returns the
+  // exact probabilities of the functional quantised model.
+  const nn::QuantizedMlp functional{*mlp_, kConfig};
+  InferenceEngine engine{*mlp_, kConfig, 4};
+  std::vector<double> input(2);
+  for (std::size_t s = 0; s < split_->test.size(); ++s) {
+    input[0] = split_->test.inputs(s, 0);
+    input[1] = split_->test.inputs(s, 1);
+    const auto hw_result = engine.infer(input);
+    const auto ref = functional.predict_proba(input);
+    ASSERT_EQ(hw_result.probabilities.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_DOUBLE_EQ(hw_result.probabilities[k], ref[k]) << s << ":" << k;
+    }
+    EXPECT_EQ(hw_result.predicted_class, functional.predict(input)) << s;
+  }
+}
+
+TEST_F(InferenceFixture, PeCountDoesNotChangeResults) {
+  InferenceEngine one{*mlp_, kConfig, 1};
+  InferenceEngine eight{*mlp_, kConfig, 8};
+  const std::vector<double> input = {0.7, -1.3};
+  const auto a = one.infer(input);
+  const auto b = eight.infer(input);
+  EXPECT_EQ(a.probabilities, b.probabilities);
+  EXPECT_GT(a.layer_cycles, b.layer_cycles);  // but parallelism helps time
+}
+
+TEST_F(InferenceFixture, CycleAccountingIsPlausible) {
+  InferenceEngine engine{*mlp_, kConfig, 2};
+  const auto result = engine.infer({0.0, 0.0});
+  // Layer work: 12·(1+2+1) on PEs + 3·(1+12+1) ≥ lower bound under ideal
+  // parallelism; softmax of 3 classes = 3·3 + 10 = 19 cycles.
+  EXPECT_GT(result.layer_cycles, 20u);
+  EXPECT_EQ(result.softmax_cycles, 19u);
+  EXPECT_EQ(result.total_cycles(),
+            result.layer_cycles + result.softmax_cycles);
+  EXPECT_GT(result.nacu_toggles, 0u);
+}
+
+TEST_F(InferenceFixture, AccuracyMatchesFunctionalModel) {
+  const nn::QuantizedMlp functional{*mlp_, kConfig};
+  InferenceEngine engine{*mlp_, kConfig, 4};
+  EXPECT_DOUBLE_EQ(engine.accuracy(split_->test),
+                   functional.accuracy(split_->test));
+}
+
+TEST(InferenceEngine, RejectsOverflowingWeights) {
+  nn::MlpConfig config;
+  config.layer_sizes = {2, 4, 2};
+  nn::Mlp mlp{config};
+  core::NacuConfig narrow = kConfig;
+  narrow.format = fp::Format{0, 15};
+  if (mlp.max_parameter_magnitude() >= narrow.format.max_value()) {
+    EXPECT_THROW((InferenceEngine{mlp, narrow, 2}), std::invalid_argument);
+  } else {
+    GTEST_SKIP() << "weights happened to fit Q0.15";
+  }
+}
+
+TEST(StoreAcc, LinearLayerBypassesActivation) {
+  // A linear (kLinearFunction) layer returns the requantised accumulator —
+  // exactly the MAC sum, no non-linearity.
+  nn::Rng rng{9};
+  std::vector<std::vector<double>> weights(3, std::vector<double>(4));
+  std::vector<double> biases(3);
+  for (auto& row : weights) {
+    for (double& v : row) v = rng.uniform(-0.5, 0.5);
+  }
+  for (double& v : biases) v = rng.uniform(-0.5, 0.5);
+  const DenseLayer layer = DenseLayer::quantise(
+      weights, biases, kLinearFunction, kConfig.format);
+  std::vector<std::int64_t> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(
+        fp::Fixed::from_double(rng.uniform(-1.0, 1.0), kConfig.format).raw());
+  }
+  Fabric fabric{kConfig, 2};
+  fabric.configure(layer);
+  const auto out = fabric.run(inputs);
+  EXPECT_EQ(out, dense_layer_reference(layer, inputs, kConfig));
+  // And the values really are the linear sums (within quantisation).
+  for (std::size_t n = 0; n < 3; ++n) {
+    double exact = biases[n];
+    for (std::size_t i = 0; i < 4; ++i) {
+      exact += weights[n][i] *
+               fp::Fixed::from_raw(inputs[i], kConfig.format).to_double();
+    }
+    EXPECT_NEAR(fp::Fixed::from_raw(out[n], kConfig.format).to_double(),
+                exact, 0.01) << n;
+  }
+}
+
+TEST(StoreAcc, ProgramUsesStoreForLinearFunction) {
+  const Program program = build_dense_slice_program(2, 3, kLinearFunction);
+  EXPECT_EQ(program[4].op, Op::StoreAcc);
+  const Program act_program = build_dense_slice_program(2, 3, 0);
+  EXPECT_EQ(act_program[4].op, Op::Act);
+}
+
+}  // namespace
+}  // namespace nacu::cgra

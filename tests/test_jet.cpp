@@ -1,0 +1,119 @@
+// Tests for truncated power-series (jet) arithmetic and exact Taylor
+// coefficients of σ/tanh/exp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/jet.hpp"
+
+namespace nacu::approx {
+namespace {
+
+TEST(Jet, ConstantAndVariableShapes) {
+  const Jet c = Jet::constant(2.5, 3);
+  EXPECT_DOUBLE_EQ(c[0], 2.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  const Jet x = Jet::variable(1.5, 3);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+}
+
+TEST(Jet, NegativeOrderThrows) { EXPECT_THROW(Jet{-1}, std::invalid_argument); }
+
+TEST(Jet, MultiplicationIsConvolution) {
+  // (1 + x)² = 1 + 2x + x².
+  Jet one_plus_x = Jet::constant(1.0, 4) + Jet::variable(0.0, 4);
+  const Jet sq = one_plus_x * one_plus_x;
+  EXPECT_DOUBLE_EQ(sq[0], 1.0);
+  EXPECT_DOUBLE_EQ(sq[1], 2.0);
+  EXPECT_DOUBLE_EQ(sq[2], 1.0);
+  EXPECT_DOUBLE_EQ(sq[3], 0.0);
+}
+
+TEST(Jet, DivisionInvertsMultiplication) {
+  const Jet a = Jet::variable(0.7, 5).exp();   // some nontrivial series
+  const Jet b = Jet::constant(2.0, 5) + Jet::variable(0.0, 5);
+  const Jet q = (a * b) / b;
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_NEAR(q[k], a[k], 1e-12) << k;
+  }
+}
+
+TEST(Jet, DivisionByZeroConstantThrows) {
+  const Jet a = Jet::constant(1.0, 3);
+  const Jet zero = Jet::variable(0.0, 3);  // constant term 0
+  EXPECT_THROW(a / zero, std::domain_error);
+}
+
+TEST(Jet, ExpAtZeroGivesFactorialReciprocals) {
+  const Jet e = Jet::variable(0.0, 6).exp();
+  double factorial = 1.0;
+  for (int k = 0; k <= 6; ++k) {
+    if (k > 0) factorial *= k;
+    EXPECT_NEAR(e[k], 1.0 / factorial, 1e-14) << k;
+  }
+}
+
+TEST(Jet, ExpAtCenterScalesByExpC) {
+  const Jet e = Jet::variable(1.3, 4).exp();
+  const double ec = std::exp(1.3);
+  double factorial = 1.0;
+  for (int k = 0; k <= 4; ++k) {
+    if (k > 0) factorial *= k;
+    EXPECT_NEAR(e[k], ec / factorial, 1e-11) << k;
+  }
+}
+
+TEST(TaylorCoefficients, SigmoidAtZero) {
+  // σ(x) = 1/2 + x/4 − x³/48 + ... (even orders ≥ 2 vanish at 0).
+  const auto c = taylor_coefficients(FunctionKind::Sigmoid, 0.0, 5);
+  EXPECT_NEAR(c[0], 0.5, 1e-14);
+  EXPECT_NEAR(c[1], 0.25, 1e-14);
+  EXPECT_NEAR(c[2], 0.0, 1e-14);
+  EXPECT_NEAR(c[3], -1.0 / 48.0, 1e-14);
+  EXPECT_NEAR(c[4], 0.0, 1e-14);
+}
+
+TEST(TaylorCoefficients, TanhAtZero) {
+  // tanh(x) = x − x³/3 + 2x⁵/15 − ...
+  const auto c = taylor_coefficients(FunctionKind::Tanh, 0.0, 5);
+  EXPECT_NEAR(c[0], 0.0, 1e-14);
+  EXPECT_NEAR(c[1], 1.0, 1e-14);
+  EXPECT_NEAR(c[2], 0.0, 1e-14);
+  EXPECT_NEAR(c[3], -1.0 / 3.0, 1e-13);
+  EXPECT_NEAR(c[5], 2.0 / 15.0, 1e-13);
+}
+
+TEST(TaylorCoefficients, FirstCoefficientIsFunctionValue) {
+  for (const FunctionKind kind :
+       {FunctionKind::Sigmoid, FunctionKind::Tanh, FunctionKind::Exp}) {
+    for (double center : {-2.0, -0.5, 0.0, 1.0, 3.0}) {
+      const auto c = taylor_coefficients(kind, center, 3);
+      EXPECT_NEAR(c[0], reference_eval(kind, center), 1e-12);
+      EXPECT_NEAR(c[1], reference_derivative(kind, center), 1e-11);
+    }
+  }
+}
+
+TEST(TaylorCoefficients, TruncatedSeriesConvergesToFunction) {
+  // Evaluating the degree-6 series near the center reproduces the function
+  // to O(h^7).
+  for (const FunctionKind kind :
+       {FunctionKind::Sigmoid, FunctionKind::Tanh, FunctionKind::Exp}) {
+    const double center = 0.8;
+    const auto c = taylor_coefficients(kind, center, 6);
+    const double h = 0.05;
+    double value = 0.0;
+    double hp = 1.0;
+    for (int k = 0; k <= 6; ++k) {
+      value += c[k] * hp;
+      hp *= h;
+    }
+    EXPECT_NEAR(value, reference_eval(kind, center + h), 1e-10)
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace nacu::approx

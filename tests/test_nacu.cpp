@@ -1,0 +1,294 @@
+// Tests for the NACU functional model — the paper's core contribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "approx/error_analysis.hpp"
+#include "core/error_model.hpp"
+#include "core/nacu.hpp"
+#include "core/nacu_approximator.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::core {
+namespace {
+
+const NacuConfig kConfig16 = config_for_bits(16);
+
+fp::Fixed fx(double v) { return fp::Fixed::from_double(v, kConfig16.format); }
+
+TEST(NacuConfig, SixteenBitMatchesPaper) {
+  EXPECT_EQ(kConfig16.format, (fp::Format{4, 11}));
+  EXPECT_EQ(kConfig16.coeff_format, (fp::Format{1, 14}));
+  EXPECT_EQ(kConfig16.lut_entries, 53u);
+}
+
+TEST(NacuConfig, UnsatisfiableWidthThrows) {
+  EXPECT_THROW((void)config_for_bits(1), std::invalid_argument);
+}
+
+TEST(NacuSigmoid, AnchorValues) {
+  const Nacu unit{kConfig16};
+  EXPECT_NEAR(unit.sigmoid(fx(0.0)).to_double(), 0.5, 1e-3);
+  EXPECT_NEAR(unit.sigmoid(fx(15.9)).to_double(), 1.0, 1e-3);
+  EXPECT_NEAR(unit.sigmoid(fx(-15.9)).to_double(), 0.0, 1e-3);
+  EXPECT_NEAR(unit.sigmoid(fx(1.0)).to_double(), 1.0 / (1.0 + std::exp(-1.0)),
+              1e-3);
+}
+
+TEST(NacuSigmoid, PaperRmseReproduced) {
+  // §VII.A: NACU achieves 2.07e-4 RMSE with 0.999 correlation at 16 bits.
+  const NacuApproximator approx =
+      NacuApproximator::for_bits(16, approx::FunctionKind::Sigmoid);
+  const approx::ErrorStats stats = approx::analyze_natural(approx);
+  EXPECT_LT(stats.rmse, 2.5e-4);
+  EXPECT_GT(stats.correlation, 0.999);
+}
+
+TEST(NacuTanh, PaperRmseReproduced) {
+  // §VII.B: 2.09e-4 RMSE, 0.999 correlation.
+  const NacuApproximator approx =
+      NacuApproximator::for_bits(16, approx::FunctionKind::Tanh);
+  const approx::ErrorStats stats = approx::analyze_natural(approx);
+  EXPECT_LT(stats.rmse, 3.0e-4);
+  EXPECT_GT(stats.correlation, 0.999);
+}
+
+TEST(NacuSigmoid, CentrosymmetryWithinOneLsb) {
+  // Eq. 4 through the morphed-coefficient datapath: the pre-quantisation
+  // sums are exactly 1, and the single output rounding can split a tie two
+  // ways — so σ(x) + σ(−x) lands within one LSB of 1, never further.
+  const Nacu unit{kConfig16};
+  const std::int64_t one = std::int64_t{1} << 11;
+  for (std::int64_t raw = 0; raw <= kConfig16.format.max_raw(); raw += 11) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kConfig16.format);
+    const std::int64_t sum =
+        unit.sigmoid(x).raw() + unit.sigmoid(x.negate()).raw();
+    EXPECT_LE(std::abs(sum - one), 1) << raw;
+  }
+}
+
+TEST(NacuTanh, OddSymmetryWithinOneLsb) {
+  // raw = 0 is excluded: −0 is the same input, so the check would reduce to
+  // |2·tanh(0)| and measure the segment-0 bias offset instead of symmetry.
+  const Nacu unit{kConfig16};
+  for (std::int64_t raw = 1; raw <= kConfig16.format.max_raw(); raw += 11) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kConfig16.format);
+    const std::int64_t sum =
+        unit.tanh(x.negate()).raw() + unit.tanh(x).raw();
+    EXPECT_LE(std::abs(sum), 1) << raw;
+  }
+}
+
+TEST(NacuTanh, ValueAtZeroWithinOneLsb) {
+  // tanh(0) = 2q₀ − 1: the quantised segment-0 bias sits within one LSB of
+  // 0.5, so the output sits within one LSB of 0.
+  const Nacu unit{kConfig16};
+  EXPECT_LE(std::abs(unit.tanh(fp::Fixed::zero(kConfig16.format)).raw()), 1);
+}
+
+TEST(NacuTanh, Eq3StretchedSigmoidWithinQuantisation) {
+  // tanh(x) vs 2σ(2x) − 1 computed on the same unit: equal to within the
+  // difference of their quantisation points (≤ 2 output LSBs).
+  const Nacu unit{kConfig16};
+  const double lsb = kConfig16.format.resolution();
+  for (double x = -3.9; x <= 3.9; x += 0.113) {
+    const double via_tanh = unit.tanh(fx(x)).to_double();
+    const double via_sigma = 2.0 * unit.sigmoid(fx(2.0 * x)).to_double() - 1.0;
+    EXPECT_NEAR(via_tanh, via_sigma, 3.0 * lsb) << x;
+  }
+}
+
+TEST(NacuExp, AnchorValues) {
+  const Nacu unit{kConfig16};
+  EXPECT_NEAR(unit.exp(fx(0.0)).to_double(), 1.0, 2e-3);
+  EXPECT_NEAR(unit.exp(fx(-1.0)).to_double(), std::exp(-1.0), 2e-3);
+  EXPECT_NEAR(unit.exp(fx(-8.0)).to_double(), std::exp(-8.0), 2e-3);
+}
+
+TEST(NacuExp, Eq16ErrorBoundHolds) {
+  // Under normalisation (x ≤ 0), |exp error| ≤ 4·max|σ error| (Eq. 16).
+  const auto unit = std::make_shared<Nacu>(kConfig16);
+  const NacuApproximator sig{unit, approx::FunctionKind::Sigmoid};
+  const NacuApproximator exp{unit, approx::FunctionKind::Exp};
+  const double sigma_err = approx::analyze_natural(sig).max_abs;
+  const double exp_err = approx::analyze_natural(exp).max_abs;
+  // Divider guard bits add at most one output LSB on top of the bound.
+  EXPECT_LE(exp_err, exp_error_bound(sigma_err) +
+                         kConfig16.format.resolution());
+}
+
+TEST(NacuExp, PositiveInputsSaturateNotWrap) {
+  const Nacu unit{kConfig16};
+  const fp::Fixed big = unit.exp(fx(5.0));  // e^5 ≈ 148 > 16
+  EXPECT_EQ(big.raw(), kConfig16.format.max_raw());
+  // e^2 ≈ 7.39 fits the format and must still be close.
+  EXPECT_NEAR(unit.exp(fx(2.0)).to_double(), std::exp(2.0), 0.05);
+}
+
+TEST(NacuExp, MonotoneWithinOneLsbOnNormalisedDomain) {
+  // PWL segment boundaries plus divider truncation can dip one LSB; any
+  // larger inversion would indicate a datapath bug.
+  const Nacu unit{kConfig16};
+  std::int64_t prev = -1;
+  for (std::int64_t raw = kConfig16.format.min_raw(); raw <= 0; raw += 17) {
+    const std::int64_t y =
+        unit.exp(fp::Fixed::from_raw(raw, kConfig16.format)).raw();
+    EXPECT_GE(y, prev - 1) << raw;
+    prev = std::max(prev, y);
+  }
+}
+
+TEST(NacuSoftmax, SumsToOneWithinLsbPerElement) {
+  const Nacu unit{kConfig16};
+  const std::vector<fp::Fixed> xs = {fx(0.5), fx(2.0), fx(-1.0), fx(1.25),
+                                     fx(0.0)};
+  const auto probs = unit.softmax(xs);
+  double sum = 0.0;
+  for (const fp::Fixed& p : probs) {
+    EXPECT_GE(p.to_double(), 0.0);
+    EXPECT_LE(p.to_double(), 1.0);
+    sum += p.to_double();
+  }
+  EXPECT_NEAR(sum, 1.0, xs.size() * kConfig16.format.resolution());
+}
+
+TEST(NacuSoftmax, ShiftInvarianceIsBitExact) {
+  // Eq. 13's max-normalisation makes softmax(x) == softmax(x + c) exactly,
+  // because only differences x_i − x_max enter the datapath.
+  const Nacu unit{kConfig16};
+  const std::vector<fp::Fixed> xs = {fx(0.25), fx(1.5), fx(-0.75)};
+  std::vector<fp::Fixed> shifted;
+  for (const fp::Fixed& x : xs) {
+    shifted.push_back(x.add(fx(3.0), kConfig16.format));
+  }
+  const auto a = unit.softmax(xs);
+  const auto b = unit.softmax(shifted);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].raw(), b[i].raw()) << i;
+  }
+}
+
+TEST(NacuSoftmax, ArgmaxPreserved) {
+  const Nacu unit{kConfig16};
+  const std::vector<fp::Fixed> xs = {fx(0.1), fx(3.0), fx(-2.0), fx(2.9)};
+  const auto probs = unit.softmax(xs);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[best]) best = i;
+  }
+  EXPECT_EQ(best, 1u);
+}
+
+TEST(NacuSoftmax, MatchesReferenceProbabilities) {
+  const Nacu unit{kConfig16};
+  const std::vector<double> logits = {1.0, 2.0, 3.0};
+  std::vector<fp::Fixed> xs;
+  for (const double v : logits) xs.push_back(fx(v));
+  const auto probs = unit.softmax(xs);
+  double denom = 0.0;
+  for (const double v : logits) denom += std::exp(v - 3.0);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs[i].to_double(), std::exp(logits[i] - 3.0) / denom,
+                5e-3) << i;
+  }
+}
+
+TEST(NacuSoftmax, EmptyInputGivesEmptyOutput) {
+  const Nacu unit{kConfig16};
+  EXPECT_TRUE(unit.softmax({}).empty());
+}
+
+TEST(NacuSoftmax, SingleElementIsCertain) {
+  const Nacu unit{kConfig16};
+  const std::vector<fp::Fixed> xs = {fx(-2.5)};
+  const auto probs = unit.softmax(xs);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_NEAR(probs[0].to_double(), 1.0, 2e-3);
+}
+
+TEST(NacuMac, AccumulatesExactProducts) {
+  const Nacu unit{kConfig16};
+  fp::Fixed acc = fp::Fixed::zero(fp::Format{10, 11});
+  acc = unit.mac(acc, fx(1.5), fx(2.0));
+  acc = unit.mac(acc, fx(-0.5), fx(4.0));
+  EXPECT_DOUBLE_EQ(acc.to_double(), 1.0);  // 3 − 2
+}
+
+TEST(NacuMac, SaturatesAccumulator) {
+  const Nacu unit{kConfig16};
+  fp::Fixed acc = fp::Fixed::zero(kConfig16.format);
+  for (int i = 0; i < 10; ++i) {
+    acc = unit.mac(acc, fx(15.0), fx(15.0));
+  }
+  EXPECT_EQ(acc.raw(), kConfig16.format.max_raw());
+}
+
+TEST(NacuBitTricks, EquivalentToGeneralSubtractors) {
+  // The Fig. 3 ablation: identical outputs with tricks on and off, for all
+  // three functions across the full input range (strided).
+  NacuConfig with = kConfig16;
+  with.use_bit_trick_units = true;
+  NacuConfig without = kConfig16;
+  without.use_bit_trick_units = false;
+  const Nacu a{with};
+  const Nacu b{without};
+  for (std::int64_t raw = kConfig16.format.min_raw();
+       raw <= kConfig16.format.max_raw(); raw += 13) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kConfig16.format);
+    EXPECT_EQ(a.sigmoid(x).raw(), b.sigmoid(x).raw()) << raw;
+    EXPECT_EQ(a.tanh(x).raw(), b.tanh(x).raw()) << raw;
+    EXPECT_EQ(a.exp(x).raw(), b.exp(x).raw()) << raw;
+  }
+}
+
+TEST(NacuCoefficients, MorphedValuesMatchEquations) {
+  // Spot-check Eqs. 8–11 coefficient algebra on a middle segment.
+  const Nacu unit{kConfig16};
+  const std::size_t seg = 10;
+  const auto pos = unit.morph_coefficients(seg, Nacu::Mode::SigmoidPos);
+  const auto neg = unit.morph_coefficients(seg, Nacu::Mode::SigmoidNeg);
+  const auto tpos = unit.morph_coefficients(seg, Nacu::Mode::TanhPos);
+  const auto tneg = unit.morph_coefficients(seg, Nacu::Mode::TanhNeg);
+  EXPECT_EQ(neg.coeff.raw(), -pos.coeff.raw());
+  EXPECT_EQ(tpos.coeff.raw(), pos.coeff.raw() << 2);
+  EXPECT_EQ(tneg.coeff.raw(), -(pos.coeff.raw() << 2));
+  const std::int64_t one = std::int64_t{1} << 14;
+  EXPECT_EQ(neg.bias.raw(), one - pos.bias.raw());
+  EXPECT_EQ(tpos.bias.raw(), 2 * pos.bias.raw() - one);
+  EXPECT_EQ(tneg.bias.raw(), one - 2 * pos.bias.raw());
+}
+
+class NacuWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NacuWidthSweep, AccuracyScalesWithWidth) {
+  const int bits = GetParam();
+  const NacuApproximator sig =
+      NacuApproximator::for_bits(bits, approx::FunctionKind::Sigmoid);
+  const approx::ErrorStats stats = approx::analyze_natural(sig);
+  // Max error within a few LSBs of the width's resolution.
+  const double lsb = sig.input_format().resolution();
+  EXPECT_LT(stats.max_abs, 6.0 * lsb) << "bits=" << bits;
+  EXPECT_GT(stats.correlation, 0.995) << "bits=" << bits;
+}
+
+TEST_P(NacuWidthSweep, SymmetryWithinOneLsbAtEveryWidth) {
+  const int bits = GetParam();
+  const NacuConfig config = config_for_bits(bits);
+  const Nacu unit{config};
+  const std::int64_t one = std::int64_t{1} << config.format.fractional_bits();
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, config.format.max_raw() / 512);
+  for (std::int64_t raw = 1; raw <= config.format.max_raw(); raw += stride) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, config.format);
+    EXPECT_LE(std::abs(unit.sigmoid(x).raw() +
+                       unit.sigmoid(x.negate()).raw() - one), 1);
+    EXPECT_LE(std::abs(unit.tanh(x.negate()).raw() + unit.tanh(x).raw()), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NacuWidthSweep,
+                         ::testing::Values(10, 12, 14, 16, 18, 20, 24));
+
+}  // namespace
+}  // namespace nacu::core

@@ -1,0 +1,173 @@
+// Tests for the cycle-accurate NACU pipeline: bit-equivalence with the
+// functional model, the paper's 3/3/8 latencies, and pipelined throughput.
+#include <gtest/gtest.h>
+
+#include "hwmodel/nacu_rtl.hpp"
+#include "hwmodel/sim.hpp"
+
+namespace nacu::hw {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+TEST(Sim, RegCommitsOnlyOnCommit) {
+  Reg<int> reg{5};
+  EXPECT_EQ(reg.get(), 5);
+  reg.set(9);
+  EXPECT_EQ(reg.get(), 5);  // still old value
+  reg.commit();
+  EXPECT_EQ(reg.get(), 9);
+}
+
+TEST(Sim, SimulatorCountsCycles) {
+  class Counter final : public Module {
+   public:
+    int ticks = 0;
+    void tick() override { ++ticks; }
+  };
+  Counter counter;
+  Simulator sim;
+  sim.add(counter);
+  sim.run(17);
+  EXPECT_EQ(sim.cycle(), 17u);
+  EXPECT_EQ(counter.ticks, 17);
+}
+
+TEST(NacuRtl, PaperLatencies) {
+  // Table I NACU row: latency 3, 3, 8 cycles.
+  NacuRtl rtl{kConfig};
+  const fp::Fixed x = fp::Fixed::from_double(0.75, kConfig.format);
+  EXPECT_EQ(rtl.latency(Func::Sigmoid), 3);
+  EXPECT_EQ(rtl.latency(Func::Tanh), 3);
+  EXPECT_EQ(rtl.latency(Func::Exp), 8);
+  EXPECT_EQ(rtl.run_single(Func::Sigmoid, x).cycles, 3);
+  EXPECT_EQ(rtl.run_single(Func::Tanh, x).cycles, 3);
+  EXPECT_EQ(rtl.run_single(Func::Exp, x.negate()).cycles, 8);
+}
+
+TEST(NacuRtl, DoubleIssueInOneCycleThrows) {
+  NacuRtl rtl{kConfig};
+  const fp::Fixed x = fp::Fixed::zero(kConfig.format);
+  rtl.issue(Func::Sigmoid, x, 1);
+  EXPECT_THROW(rtl.issue(Func::Sigmoid, x, 2), std::logic_error);
+}
+
+TEST(NacuRtl, BitExactWithFunctionalModelStridedExhaustive) {
+  // The headline hwmodel invariant: every function, strided across the full
+  // 16-bit input range, matches core::Nacu raw-for-raw.
+  const core::Nacu functional{kConfig};
+  NacuRtl rtl{kConfig};
+  for (std::int64_t raw = kConfig.format.min_raw();
+       raw <= kConfig.format.max_raw(); raw += 37) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kConfig.format);
+    EXPECT_EQ(rtl.run_single(Func::Sigmoid, x).value.raw(),
+              functional.sigmoid(x).raw()) << raw;
+    EXPECT_EQ(rtl.run_single(Func::Tanh, x).value.raw(),
+              functional.tanh(x).raw()) << raw;
+    EXPECT_EQ(rtl.run_single(Func::Exp, x).value.raw(),
+              functional.exp(x).raw()) << raw;
+  }
+}
+
+TEST(NacuRtl, PipelinedSigmoidThroughputOnePerCycle) {
+  const core::Nacu functional{kConfig};
+  NacuRtl rtl{kConfig};
+  constexpr int kOps = 32;
+  int received = 0;
+  for (int cycle = 0; cycle < kOps + 3; ++cycle) {
+    if (cycle < kOps) {
+      const fp::Fixed x =
+          fp::Fixed::from_raw(cycle * 211 - 3000, kConfig.format);
+      rtl.issue(Func::Sigmoid, x, static_cast<std::uint64_t>(cycle));
+    }
+    rtl.tick();
+    for (const auto& out : rtl.outputs()) {
+      const fp::Fixed x = fp::Fixed::from_raw(
+          static_cast<std::int64_t>(out.tag) * 211 - 3000, kConfig.format);
+      EXPECT_EQ(out.value_raw, functional.sigmoid(x).raw());
+      EXPECT_EQ(out.tag, static_cast<std::uint64_t>(received));
+      ++received;
+    }
+  }
+  // One result per cycle: all 32 retire within 32 + 3 cycles.
+  EXPECT_EQ(received, kOps);
+}
+
+TEST(NacuRtl, PipelinedExpThroughputOnePerCycle) {
+  // Pipelined divider: back-to-back exps retire one per cycle after the
+  // 8-cycle fill — the §VII.C throughput claim (3.75 ns per consecutive e).
+  const core::Nacu functional{kConfig};
+  NacuRtl rtl{kConfig};
+  constexpr int kOps = 24;
+  int received = 0;
+  for (int cycle = 0; cycle < kOps + 8; ++cycle) {
+    if (cycle < kOps) {
+      const fp::Fixed x =
+          fp::Fixed::from_raw(-cycle * 517, kConfig.format);
+      rtl.issue(Func::Exp, x, static_cast<std::uint64_t>(cycle));
+    }
+    rtl.tick();
+    for (const auto& out : rtl.outputs()) {
+      const fp::Fixed x = fp::Fixed::from_raw(
+          -static_cast<std::int64_t>(out.tag) * 517, kConfig.format);
+      EXPECT_EQ(out.value_raw, functional.exp(x).raw());
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, kOps);
+}
+
+TEST(NacuRtl, MixedFunctionStreamRetiresEverything) {
+  // σ/tanh and exp in flight simultaneously share S1–S3 without corrupting
+  // each other; both retire ports can fire in the same cycle.
+  const core::Nacu functional{kConfig};
+  NacuRtl rtl{kConfig};
+  constexpr int kOps = 30;
+  int received = 0;
+  bool same_cycle_double_retire = false;
+  for (int cycle = 0; cycle < kOps + 10; ++cycle) {
+    if (cycle < kOps) {
+      const Func func = cycle % 3 == 0   ? Func::Exp
+                        : cycle % 3 == 1 ? Func::Sigmoid
+                                         : Func::Tanh;
+      const fp::Fixed x =
+          fp::Fixed::from_raw((cycle - 15) * 997, kConfig.format);
+      rtl.issue(func, x, static_cast<std::uint64_t>(cycle));
+    }
+    rtl.tick();
+    if (rtl.outputs().size() > 1) same_cycle_double_retire = true;
+    for (const auto& out : rtl.outputs()) {
+      const fp::Fixed x = fp::Fixed::from_raw(
+          (static_cast<std::int64_t>(out.tag) - 15) * 997, kConfig.format);
+      const std::int64_t expected =
+          out.func == Func::Sigmoid ? functional.sigmoid(x).raw()
+          : out.func == Func::Tanh  ? functional.tanh(x).raw()
+                                    : functional.exp(x).raw();
+      EXPECT_EQ(out.value_raw, expected) << out.tag;
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, kOps);
+  EXPECT_TRUE(same_cycle_double_retire);  // the mixing actually happened
+}
+
+TEST(NacuRtl, BitExactAcrossWidths) {
+  for (const int bits : {12, 14, 18, 20}) {
+    const core::NacuConfig config = core::config_for_bits(bits);
+    const core::Nacu functional{config};
+    NacuRtl rtl{config};
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, config.format.max_raw() / 128);
+    for (std::int64_t raw = config.format.min_raw();
+         raw <= config.format.max_raw(); raw += stride) {
+      const fp::Fixed x = fp::Fixed::from_raw(raw, config.format);
+      EXPECT_EQ(rtl.run_single(Func::Sigmoid, x).value.raw(),
+                functional.sigmoid(x).raw()) << bits << ":" << raw;
+      EXPECT_EQ(rtl.run_single(Func::Exp, x).value.raw(),
+                functional.exp(x).raw()) << bits << ":" << raw;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nacu::hw

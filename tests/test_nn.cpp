@@ -1,0 +1,283 @@
+// Tests for the NN substrate: matrix, datasets, float MLP, NACU-quantised
+// MLP, and the LSTM cell.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/dataset.hpp"
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::nn {
+namespace {
+
+TEST(Matrix, BasicAccessAndBounds) {
+  MatrixD m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  MatrixD a{2, 2};
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  MatrixD b{2, 2};
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const MatrixD c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MatmulDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(MatrixD{2, 3}, MatrixD{2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  MatrixD a{2, 3};
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = double(i);
+  const MatrixD t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(t(c, r), a(r, c));
+    }
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsSane) {
+  Rng rng{9};
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Dataset, BlobsShapeAndLabels) {
+  const Dataset d = make_blobs(50, 3);
+  EXPECT_EQ(d.size(), 150u);
+  EXPECT_EQ(d.classes, 3);
+  EXPECT_EQ(d.inputs.rows(), 150u);
+  for (const int y : d.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 3);
+  }
+}
+
+TEST(Dataset, SpiralsAreTwoClasses) {
+  const Dataset d = make_spirals(80);
+  EXPECT_EQ(d.size(), 160u);
+  EXPECT_EQ(d.classes, 2);
+}
+
+TEST(Dataset, SplitPreservesEverySample) {
+  const Dataset d = make_blobs(40, 3);
+  const Split split = train_test_split(d, 0.75);
+  EXPECT_EQ(split.train.size() + split.test.size(), d.size());
+  EXPECT_EQ(split.train.size(), 90u);
+  // Class totals preserved across the split.
+  std::vector<int> counts(3, 0);
+  for (const int y : split.train.labels) ++counts[static_cast<std::size_t>(y)];
+  for (const int y : split.test.labels) ++counts[static_cast<std::size_t>(y)];
+  for (const int c : counts) EXPECT_EQ(c, 40);
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const Dataset d = make_blobs(10, 2);
+  EXPECT_THROW(train_test_split(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(train_test_split(d, 1.0), std::invalid_argument);
+}
+
+TEST(SoftmaxRef, SumsToOneAndOrdersLikeInputs) {
+  const auto p = softmax_ref({1.0, 3.0, 2.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(SoftmaxRef, StableForLargeLogits) {
+  const auto p = softmax_ref({700.0, 710.0});
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(Mlp, RejectsTooFewLayers) {
+  MlpConfig config;
+  config.layer_sizes = {4};
+  EXPECT_THROW(Mlp{config}, std::invalid_argument);
+}
+
+TEST(Mlp, LearnsBlobs) {
+  const Dataset data = make_blobs(100, 3);
+  const Split split = train_test_split(data, 0.8);
+  MlpConfig config;
+  config.layer_sizes = {2, 16, 3};
+  config.epochs = 60;
+  Mlp mlp{config};
+  const double before = mlp.accuracy(split.test);
+  mlp.train(split.train);
+  const double after = mlp.accuracy(split.test);
+  EXPECT_GT(after, 0.95);
+  EXPECT_GT(after, before);
+}
+
+TEST(Mlp, LearnsSpiralsWithTanh) {
+  const Dataset data = make_spirals(150);
+  const Split split = train_test_split(data, 0.8);
+  MlpConfig config;
+  config.layer_sizes = {2, 24, 24, 2};
+  config.activation = HiddenActivation::Tanh;
+  config.epochs = 300;
+  config.learning_rate = 0.04;
+  Mlp mlp{config};
+  mlp.train(split.train);
+  EXPECT_GT(mlp.accuracy(split.test), 0.85);
+}
+
+TEST(Mlp, ProbabilitiesSumToOne) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 4};
+  const Mlp mlp{config};
+  const auto p = mlp.predict_proba({0.3, -0.7});
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+}
+
+class QuantizedMlpFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Dataset(make_blobs(100, 3));
+    split_ = new Split(train_test_split(*data_, 0.8));
+    MlpConfig config;
+    config.layer_sizes = {2, 16, 3};
+    config.activation = HiddenActivation::Sigmoid;
+    config.epochs = 80;
+    mlp_ = new Mlp{config};
+    mlp_->train(split_->train);
+  }
+  static void TearDownTestSuite() {
+    delete mlp_;
+    delete split_;
+    delete data_;
+  }
+  static Dataset* data_;
+  static Split* split_;
+  static Mlp* mlp_;
+};
+
+Dataset* QuantizedMlpFixture::data_ = nullptr;
+Split* QuantizedMlpFixture::split_ = nullptr;
+Mlp* QuantizedMlpFixture::mlp_ = nullptr;
+
+TEST_F(QuantizedMlpFixture, SixteenBitMatchesFloatAccuracy) {
+  const QuantizedMlp q{*mlp_, core::config_for_bits(16)};
+  const double float_acc = mlp_->accuracy(split_->test);
+  EXPECT_GE(q.accuracy(split_->test), float_acc - 0.02);
+}
+
+TEST_F(QuantizedMlpFixture, ProbabilityDriftIsTiny) {
+  const QuantizedMlp q{*mlp_, core::config_for_bits(16)};
+  EXPECT_LT(q.mean_probability_drift(*mlp_, split_->test), 5e-3);
+}
+
+TEST_F(QuantizedMlpFixture, NarrowerFormatsDegradeGracefully) {
+  const double acc16 =
+      QuantizedMlp{*mlp_, core::config_for_bits(16)}.accuracy(split_->test);
+  const double acc10 =
+      QuantizedMlp{*mlp_, core::config_for_bits(10)}.accuracy(split_->test);
+  EXPECT_GE(acc16, acc10 - 1e-9);
+  EXPECT_GT(acc10, 0.6);  // still far above chance at 10 bits
+}
+
+TEST(QuantizedMlp, RejectsOutOfRangeWeights) {
+  MlpConfig config;
+  config.layer_sizes = {2, 4, 2};
+  Mlp mlp{config};
+  // A format whose range can't hold typical He-initialised weights.
+  core::NacuConfig nacu_config = core::config_for_bits(16);
+  nacu_config.format = fp::Format{0, 15};
+  const double max_w = mlp.max_parameter_magnitude();
+  if (max_w >= nacu_config.format.max_value()) {
+    EXPECT_THROW((QuantizedMlp{mlp, nacu_config}), std::invalid_argument);
+  } else {
+    GTEST_SKIP() << "weights happened to fit Q0.15";
+  }
+}
+
+TEST(Lstm, ReferenceStateStaysBounded) {
+  const LstmWeights w = LstmWeights::random(4, 8);
+  LstmStateF state;
+  state.h.assign(8, 0.0);
+  state.c.assign(8, 0.0);
+  Rng rng{3};
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    state = lstm_step_ref(w, state, x);
+  }
+  for (const double h : state.h) {
+    EXPECT_LE(std::abs(h), 1.0);  // |h| = |og·tanh(c)| ≤ 1
+  }
+}
+
+TEST(Lstm, FixedTracksReference) {
+  const LstmWeights w = LstmWeights::random(4, 8);
+  const double drift = lstm_state_drift(w, core::config_for_bits(16), 50);
+  // Recurrent error accumulates but stays far below signal scale.
+  EXPECT_LT(drift, 0.02);
+}
+
+TEST(Lstm, DriftShrinksWithWiderDatapath) {
+  const LstmWeights w = LstmWeights::random(4, 8);
+  const double d12 = lstm_state_drift(w, core::config_for_bits(12), 30);
+  const double d20 = lstm_state_drift(w, core::config_for_bits(20), 30);
+  EXPECT_LT(d20, d12);
+}
+
+TEST(Lstm, FixedStateWithinTanhRange) {
+  const LstmWeights w = LstmWeights::random(3, 6);
+  LstmFixed cell{w, core::config_for_bits(16)};
+  auto state = cell.initial_state();
+  Rng rng{17};
+  for (int t = 0; t < 40; ++t) {
+    std::vector<double> x(3);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    state = cell.step(state, x);
+  }
+  for (const auto& h : state.h) {
+    EXPECT_LE(std::abs(h.to_double()), 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nacu::nn

@@ -1,0 +1,119 @@
+// Tests for the segmented polynomial approximator (Taylor/Chebyshev, §VI).
+#include <gtest/gtest.h>
+
+#include "approx/error_analysis.hpp"
+#include "approx/polynomial.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+TEST(Polynomial, RejectsBadConfig) {
+  auto config =
+      Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 2, 0);
+  EXPECT_THROW(Polynomial{config}, std::invalid_argument);
+  config = Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, -1, 4);
+  EXPECT_THROW(Polynomial{config}, std::invalid_argument);
+}
+
+TEST(Polynomial, OrderZeroDegeneratesToLut) {
+  // A 0th-order polynomial per segment is a constant table.
+  const Polynomial poly{
+      Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 0, 64)};
+  const double err = analyze_natural(poly).max_abs;
+  // Comparable to a 64-entry midpoint LUT: slope·step/2 ≈ 0.25·0.25/2.
+  EXPECT_LT(err, 0.04);
+  EXPECT_GT(err, 0.005);
+}
+
+TEST(Polynomial, HigherOrderImprovesAccuracy) {
+  double prev = 1.0;
+  for (const int order : {0, 1, 2, 3}) {
+    const Polynomial poly{Polynomial::natural_config(
+        FunctionKind::Sigmoid, fp::Format{4, 20}, order, 8)};
+    const double err = analyze_natural(poly).max_abs;
+    EXPECT_LT(err, prev) << "order " << order;
+    prev = err;
+  }
+}
+
+TEST(Polynomial, ChebyshevBeatsTaylorAtEqualOrder) {
+  // Interpolating at Chebyshev nodes spreads the error over the segment;
+  // Taylor concentrates accuracy at the centre.
+  const auto taylor = Polynomial::natural_config(
+      FunctionKind::Exp, kFmt, 2, 4, Polynomial::FitMode::Taylor);
+  const auto cheb = Polynomial::natural_config(
+      FunctionKind::Exp, kFmt, 2, 4, Polynomial::FitMode::Chebyshev);
+  EXPECT_LE(analyze_natural(Polynomial{cheb}).max_abs,
+            analyze_natural(Polynomial{taylor}).max_abs * 1.05);
+}
+
+TEST(Polynomial, SecondOrderTaylorMatchesTenSegmentsRegime) {
+  // [10]'s 2nd-order Taylor with 28 segments reaches ~1e-4 at 16 bits —
+  // confirm ours lands in that decade.
+  const Polynomial poly{
+      Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 2, 28)};
+  const double err = analyze_natural(poly).max_abs;
+  EXPECT_LT(err, 1.5e-3);
+}
+
+TEST(Polynomial, SixthOrderExpReachesReportedRegime) {
+  // [13] uses a 6th-order Taylor expansion at 18 bits. Over our normalised
+  // [−16, 0] domain that order needs segments ≤ 2 wide for the remainder
+  // term h⁷/7! · e^c to drop below 1e-4.
+  const Polynomial poly{Polynomial::natural_config(
+      FunctionKind::Exp, fp::Format{4, 13}, 6, 8)};
+  EXPECT_LT(analyze_natural(poly).max_abs, 1e-3);
+}
+
+TEST(Polynomial, SymmetryIdentityHoldsBitExactly) {
+  const Polynomial poly{
+      Polynomial::natural_config(FunctionKind::Tanh, kFmt, 2, 16)};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 127) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(poly.evaluate(x.negate()).raw(), -poly.evaluate(x).raw());
+  }
+}
+
+TEST(Polynomial, StorageCountsOrderPlusOneCoefficients) {
+  const Polynomial poly{
+      Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 2, 4)};
+  EXPECT_EQ(poly.table_entries(), 4u);
+  EXPECT_EQ(poly.storage_bits(), 4u * 3u * 16u);
+}
+
+TEST(Polynomial, NameEncodesModeOrderSegments) {
+  const Polynomial taylor{
+      Polynomial::natural_config(FunctionKind::Sigmoid, kFmt, 2, 4)};
+  EXPECT_EQ(taylor.name(), "Taylor(P=2,seg=4)");
+  const Polynomial cheb{Polynomial::natural_config(
+      FunctionKind::Sigmoid, kFmt, 1, 8, Polynomial::FitMode::Chebyshev)};
+  EXPECT_EQ(cheb.name(), "Chebyshev(P=1,seg=8)");
+}
+
+class PolynomialOrderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PolynomialOrderSweep, OutputStaysInFunctionRange) {
+  const auto [order, segments] = GetParam();
+  for (const FunctionKind kind : {FunctionKind::Sigmoid, FunctionKind::Tanh}) {
+    const Polynomial poly{
+        Polynomial::natural_config(kind, kFmt, order, segments)};
+    for (std::int64_t raw = kFmt.min_raw(); raw <= kFmt.max_raw();
+         raw += 211) {
+      const double y =
+          poly.evaluate(fp::Fixed::from_raw(raw, kFmt)).to_double();
+      EXPECT_GE(y, -1.2) << to_string(kind);
+      EXPECT_LE(y, 1.2) << to_string(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PolynomialOrderSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 8, 32)));
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,189 @@
+// Tests for the piecewise-linear approximators: uniform PWL and NUPWL (§VI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/nupwl.hpp"
+#include "approx/pwl.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+TEST(Pwl, RejectsBadConfig) {
+  auto config = Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 0);
+  EXPECT_THROW(Pwl{config}, std::invalid_argument);
+}
+
+TEST(Pwl, CoefficientsAreQuantisedToCoeffFormat) {
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 16)};
+  for (std::size_t i = 0; i < pwl.table_entries(); ++i) {
+    EXPECT_EQ(pwl.slope(i).format(), (fp::Format{1, 14}));
+    EXPECT_EQ(pwl.bias(i).format(), (fp::Format{1, 14}));
+    // σ slopes in [0, 0.25], biases in [0.5, 1] (paper §V.A).
+    EXPECT_GE(pwl.slope(i).to_double(), 0.0);
+    EXPECT_LE(pwl.slope(i).to_double(), 0.25 + 1e-3);
+    EXPECT_GE(pwl.bias(i).to_double(), 0.5 - 1e-3);
+    EXPECT_LE(pwl.bias(i).to_double(), 1.0);
+  }
+}
+
+TEST(Pwl, ErrorShrinksQuadraticallyWithEntries) {
+  // Linear-segment max error scales ~1/entries² until quantisation floors
+  // it; from 8 to 16 entries expect roughly 4× improvement.
+  const double e8 = analyze_natural(
+      Pwl{Pwl::natural_config(FunctionKind::Sigmoid, fp::Format{4, 20}, 8)})
+      .max_abs;
+  const double e16 = analyze_natural(
+      Pwl{Pwl::natural_config(FunctionKind::Sigmoid, fp::Format{4, 20}, 16)})
+      .max_abs;
+  EXPECT_GT(e8 / e16, 2.5);
+  EXPECT_LT(e8 / e16, 6.0);
+}
+
+TEST(Pwl, BeatsLutAtEqualEntries) {
+  // The Fig. 4 story: ~50 PWL entries do what ~1000 LUT entries do.
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 53)};
+  EXPECT_LT(analyze_natural(pwl).max_abs, 2e-3);
+}
+
+TEST(Pwl, MinimaxBeatsLeastSquaresOnMaxError) {
+  auto config = Pwl::natural_config(FunctionKind::Tanh, kFmt, 32);
+  config.minimax = true;
+  const double mm = analyze_natural(Pwl{config}).max_abs;
+  config.minimax = false;
+  const double ls = analyze_natural(Pwl{config}).max_abs;
+  EXPECT_LE(mm, ls * 1.05);
+}
+
+TEST(Pwl, SymmetryIdentitiesHoldBitExactly) {
+  const Pwl sig{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 32)};
+  const Pwl th{Pwl::natural_config(FunctionKind::Tanh, kFmt, 32)};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 113) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(sig.evaluate(x.negate()).raw(),
+              (std::int64_t{1} << 11) - sig.evaluate(x).raw());
+    EXPECT_EQ(th.evaluate(x.negate()).raw(), -th.evaluate(x).raw());
+  }
+}
+
+TEST(Pwl, NearestRoundingBeatsTruncation) {
+  auto config = Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 64);
+  config.datapath_rounding = fp::Rounding::Truncate;
+  const double trunc = analyze_natural(Pwl{config}).mean_abs;
+  config.datapath_rounding = fp::Rounding::NearestEven;
+  const double nearest = analyze_natural(Pwl{config}).mean_abs;
+  EXPECT_LT(nearest, trunc);
+}
+
+TEST(Pwl, StorageBitsAccountsBothCoefficients) {
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 53)};
+  EXPECT_EQ(pwl.storage_bits(), 53u * (16u + 16u));
+}
+
+TEST(Nupwl, RejectsBadTolerance) {
+  auto config = Nupwl::natural_config(FunctionKind::Sigmoid, kFmt, 0.0);
+  EXPECT_THROW(Nupwl{config}, std::invalid_argument);
+}
+
+TEST(Nupwl, MeetsToleranceBeforeQuantisation) {
+  const double tol = 1.0 / (1 << 8);
+  const Nupwl nupwl{Nupwl::natural_config(FunctionKind::Sigmoid, kFmt, tol)};
+  const ErrorStats stats = analyze(nupwl, 0.0, fp::input_max(kFmt));
+  // Fit tolerance plus coefficient/output quantisation slack.
+  EXPECT_LE(stats.max_abs, tol + 3.0 * kFmt.resolution());
+}
+
+TEST(Nupwl, TighterToleranceMeansMoreSegments) {
+  std::size_t prev = 0;
+  for (const double tol : {1.0 / 16, 1.0 / 64, 1.0 / 256, 1.0 / 1024}) {
+    const Nupwl nupwl{Nupwl::natural_config(FunctionKind::Tanh, kFmt, tol)};
+    EXPECT_GT(nupwl.table_entries(), prev);
+    prev = nupwl.table_entries();
+  }
+}
+
+TEST(Nupwl, SegmentsConcentrateWhereCurvatureIs) {
+  // NUPWL on σ should use far fewer segments than a uniform PWL with equal
+  // accuracy, because [4, 16] is nearly flat.
+  const Nupwl nupwl{
+      Nupwl::natural_config(FunctionKind::Sigmoid, kFmt, 1.0 / (1 << 10))};
+  // A uniform PWL that achieves the same measured error:
+  const double nupwl_err = analyze_natural(nupwl).max_abs;
+  std::size_t uniform_entries = 1;
+  while (uniform_entries < 4096) {
+    const Pwl pwl{
+        Pwl::natural_config(FunctionKind::Sigmoid, kFmt, uniform_entries)};
+    if (analyze_natural(pwl).max_abs <= nupwl_err) break;
+    uniform_entries *= 2;
+  }
+  EXPECT_LT(nupwl.table_entries(), uniform_entries);
+}
+
+TEST(Nupwl, WithMaxEntriesRespectsBudget) {
+  for (const std::size_t budget : {4u, 16u, 64u}) {
+    const Nupwl nupwl =
+        Nupwl::with_max_entries(FunctionKind::Sigmoid, kFmt, budget);
+    EXPECT_LE(nupwl.table_entries(), budget);
+  }
+}
+
+TEST(Nupwl, CoversWholeDomainWithoutGaps) {
+  const Nupwl nupwl{
+      Nupwl::natural_config(FunctionKind::Tanh, kFmt, 1.0 / (1 << 9))};
+  // Every representable non-negative input evaluates without throwing and
+  // lands in tanh's output range.
+  for (std::int64_t raw = 0; raw <= kFmt.max_raw(); raw += 61) {
+    const double y =
+        nupwl.evaluate(fp::Fixed::from_raw(raw, kFmt)).to_double();
+    EXPECT_GE(y, -1.0 - 1e-9);
+    EXPECT_LE(y, 1.0 + 1e-9);
+  }
+}
+
+TEST(Pwl, PowerOfTwoSlopesCostRoughlyTenX) {
+  // §VII.A: [6]'s shift-only multipliers (power-of-two slopes) have "10X
+  // worse max error compared to NACU". Same entry count, slopes snapped.
+  auto config = Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 53);
+  const double full = analyze_natural(Pwl{config}).max_abs;
+  config.power_of_two_slopes = true;
+  const double snapped = analyze_natural(Pwl{config}).max_abs;
+  EXPECT_GT(snapped / full, 4.0);
+  EXPECT_LT(snapped / full, 25.0);
+}
+
+TEST(Pwl, PowerOfTwoSlopesAreExactPowers) {
+  auto config = Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 16);
+  config.power_of_two_slopes = true;
+  const Pwl pwl{config};
+  for (std::size_t i = 0; i < pwl.table_entries(); ++i) {
+    const double m = pwl.slope(i).to_double();
+    if (m == 0.0) continue;
+    const double exponent = std::log2(std::abs(m));
+    EXPECT_NEAR(exponent, std::round(exponent), 1e-9) << i;
+  }
+}
+
+TEST(Pwl, PowerOfTwoSymmetryStillBitExact) {
+  auto config = Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 16);
+  config.power_of_two_slopes = true;
+  const Pwl pwl{config};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 173) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(pwl.evaluate(x.negate()).raw(),
+              (std::int64_t{1} << 11) - pwl.evaluate(x).raw());
+  }
+}
+
+TEST(Nupwl, StorageIncludesBoundaries) {
+  const Nupwl nupwl =
+      Nupwl::with_max_entries(FunctionKind::Sigmoid, kFmt, 32);
+  EXPECT_EQ(nupwl.storage_bits(),
+            nupwl.table_entries() * (16u + 16u + 16u));
+}
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,236 @@
+// Tests for the approximate reciprocal unit and the future-work NACU
+// configuration (§VIII).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "core/nacu_approximator.hpp"
+#include "core/reciprocal.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+#include "hwmodel/softmax_engine.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::core {
+namespace {
+
+ReciprocalUnit::Config default_config() {
+  return ReciprocalUnit::Config{.entries = 16,
+                                .coeff_format = fp::Format{1, 14},
+                                .mantissa_fractional_bits = 13};
+}
+
+TEST(ReciprocalUnit, RejectsBadConfig) {
+  auto config = default_config();
+  config.entries = 0;
+  EXPECT_THROW(ReciprocalUnit{config}, std::invalid_argument);
+  config = default_config();
+  config.mantissa_fractional_bits = 1;
+  EXPECT_THROW(ReciprocalUnit{config}, std::invalid_argument);
+}
+
+TEST(ReciprocalUnit, RejectsNonPositiveOperands) {
+  const ReciprocalUnit unit{default_config()};
+  const fp::Format fmt{4, 11};
+  EXPECT_THROW((void)unit.reciprocal(fp::Fixed::zero(fmt), fmt),
+               std::domain_error);
+  EXPECT_THROW(
+      (void)unit.reciprocal(fp::Fixed::from_double(-1.0, fmt), fmt),
+      std::domain_error);
+}
+
+TEST(ReciprocalUnit, ExactAtPowersOfTwo) {
+  // v = 2^k has mantissa exactly 1; the PWL intercept there is 1 − ε, so
+  // the result is within a few mantissa LSBs of the exact power of two.
+  const ReciprocalUnit unit{default_config()};
+  const fp::Format fmt{4, 11};
+  const fp::Format out{4, 11};
+  for (const double v : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double got =
+        unit.reciprocal(fp::Fixed::from_double(v, fmt), out).to_double();
+    EXPECT_NEAR(got, 1.0 / v, 4.0 * out.resolution() + 2e-3 / v) << v;
+  }
+}
+
+TEST(ReciprocalUnit, RelativeErrorBoundedAcrossDecades) {
+  const ReciprocalUnit unit{default_config()};
+  const fp::Format fmt{4, 11};
+  const fp::Format out{4, 13};
+  nn::Rng rng{3};
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform(0.1, 15.0);
+    const fp::Fixed vq = fp::Fixed::from_double(v, fmt);
+    if (vq.raw() <= 0) continue;
+    const double exact = 1.0 / vq.to_double();
+    if (exact > out.max_value()) continue;
+    const double got = unit.reciprocal(vq, out).to_double();
+    // PWL relative error + mantissa/output quantisation.
+    EXPECT_NEAR(got / exact, 1.0, 0.01) << v;
+  }
+}
+
+TEST(ReciprocalUnit, MoreEntriesMeanTighterWorstCase) {
+  double prev = 1.0;
+  for (const std::size_t entries : {4u, 8u, 16u, 32u}) {
+    auto config = default_config();
+    config.entries = entries;
+    const ReciprocalUnit unit{config};
+    EXPECT_LT(unit.worst_relative_error(), prev);
+    prev = unit.worst_relative_error();
+  }
+}
+
+TEST(ReciprocalUnit, StorageIsTiny) {
+  const ReciprocalUnit unit{default_config()};
+  EXPECT_EQ(unit.storage_bits(), 16u * 2u * 16u);  // 512 bits vs 25 divider rows
+}
+
+TEST(FutureWorkNacu, ExpAccuracyDegradesOnlySlightly) {
+  // §VIII: "significantly lower the area cost with a small reduction in
+  // overall accuracy."
+  NacuConfig exact_config = config_for_bits(16);
+  NacuConfig approx_config = exact_config;
+  approx_config.approximate_reciprocal = true;
+  const auto exact_stats = approx::analyze_natural(
+      NacuApproximator{std::make_shared<Nacu>(exact_config),
+                       approx::FunctionKind::Exp});
+  const auto approx_stats = approx::analyze_natural(
+      NacuApproximator{std::make_shared<Nacu>(approx_config),
+                       approx::FunctionKind::Exp});
+  EXPECT_LT(approx_stats.max_abs, 3.0 * exact_stats.max_abs);
+  EXPECT_LT(approx_stats.max_abs, 3e-3);
+}
+
+TEST(FutureWorkNacu, SigmoidTanhUntouched) {
+  // The reciprocal only sits on the exp/softmax path; σ/tanh outputs are
+  // bit-identical with the option on and off.
+  NacuConfig exact_config = config_for_bits(16);
+  NacuConfig approx_config = exact_config;
+  approx_config.approximate_reciprocal = true;
+  const Nacu a{exact_config};
+  const Nacu b{approx_config};
+  for (std::int64_t raw = exact_config.format.min_raw();
+       raw <= exact_config.format.max_raw(); raw += 29) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, exact_config.format);
+    EXPECT_EQ(a.sigmoid(x).raw(), b.sigmoid(x).raw());
+    EXPECT_EQ(a.tanh(x).raw(), b.tanh(x).raw());
+  }
+}
+
+TEST(FutureWorkNacu, SoftmaxStillNormalises) {
+  NacuConfig config = config_for_bits(16);
+  config.approximate_reciprocal = true;
+  const Nacu unit{config};
+  std::vector<fp::Fixed> xs;
+  for (const double v : {0.5, 2.0, -1.0, 1.5}) {
+    xs.push_back(fp::Fixed::from_double(v, config.format));
+  }
+  const auto probs = unit.softmax(xs);
+  double sum = 0.0;
+  for (const fp::Fixed& p : probs) {
+    sum += p.to_double();
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02);  // the approximate reciprocal biases ~1%
+  // Ordering preserved vs the exact path.
+  EXPECT_GT(probs[1], probs[3]);
+  EXPECT_GT(probs[3], probs[0]);
+  EXPECT_GT(probs[0], probs[2]);
+}
+
+TEST(FutureWorkNacu, AreaSavingIsLarge) {
+  const auto exact = cost::nacu_breakdown(config_for_bits(16));
+  const auto approx_bd = cost::nacu_breakdown(
+      config_for_bits(16), {.approximate_reciprocal = true});
+  // §VIII promises a significant saving: at least 35% of total area.
+  EXPECT_LT(approx_bd.area_um2(), 0.65 * exact.area_um2());
+  EXPECT_LT(approx_bd.component_ge("divider"),
+            0.2 * exact.component_ge("divider"));
+}
+
+TEST(FutureWorkRtl, BitExactWithFunctionalApproximateExp) {
+  NacuConfig config = config_for_bits(16);
+  config.approximate_reciprocal = true;
+  const Nacu functional{config};
+  hw::NacuRtl rtl{config};
+  for (std::int64_t raw = config.format.min_raw();
+       raw <= config.format.max_raw(); raw += 41) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, config.format);
+    const auto result = rtl.run_single(hw::Func::Exp, x);
+    EXPECT_EQ(result.value.raw(), functional.exp(x).raw()) << raw;
+    EXPECT_EQ(result.cycles, 7) << raw;  // 3 + 3 + 1 (§VIII)
+  }
+}
+
+TEST(FutureWorkRtl, LatencyAccessorReportsSeven) {
+  NacuConfig config = config_for_bits(16);
+  config.approximate_reciprocal = true;
+  hw::NacuRtl rtl{config};
+  EXPECT_EQ(rtl.latency(hw::Func::Exp), 7);
+  EXPECT_EQ(rtl.latency(hw::Func::Sigmoid), 3);
+}
+
+TEST(FutureWorkRtl, ReentryCollisionThrowsStructuralHazard) {
+  NacuConfig config = config_for_bits(16);
+  config.approximate_reciprocal = true;
+  hw::NacuRtl rtl{config};
+  const fp::Fixed x = fp::Fixed::from_double(-1.0, config.format);
+  rtl.issue(hw::Func::Exp, x, 0);
+  rtl.tick();  // exp in S1
+  rtl.tick();  // S2
+  rtl.tick();  // S3 (σ done)
+  // Next edge the reciprocal re-enters S1 — an external issue collides.
+  rtl.issue(hw::Func::Sigmoid, x, 1);
+  EXPECT_THROW(rtl.tick(), std::logic_error);
+}
+
+TEST(FutureWorkRtl, SigmoidStreamUnaffectedByMode) {
+  NacuConfig exact = config_for_bits(16);
+  NacuConfig approx_config = exact;
+  approx_config.approximate_reciprocal = true;
+  hw::NacuRtl a{exact};
+  hw::NacuRtl b{approx_config};
+  for (std::int64_t raw = -4000; raw <= 4000; raw += 177) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, exact.format);
+    EXPECT_EQ(a.run_single(hw::Func::Sigmoid, x).value.raw(),
+              b.run_single(hw::Func::Sigmoid, x).value.raw());
+  }
+}
+
+TEST(FutureWorkRtl, SoftmaxEngineBitExactInApproximateMode) {
+  NacuConfig config = config_for_bits(16);
+  config.approximate_reciprocal = true;
+  hw::SoftmaxEngine engine{config};
+  const Nacu functional{config};
+  nn::Rng rng{99};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    std::vector<fp::Fixed> xs;
+    std::vector<std::int64_t> raws;
+    for (std::size_t i = 0; i < n; ++i) {
+      const fp::Fixed x =
+          fp::Fixed::from_double(rng.uniform(-5.0, 5.0), config.format);
+      xs.push_back(x);
+      raws.push_back(x.raw());
+    }
+    const auto expected = functional.softmax(xs);
+    const auto got = engine.run(raws);
+    ASSERT_EQ(got.probs_raw.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got.probs_raw[i], expected[i].raw()) << trial << ":" << i;
+    }
+    // The stall pattern makes the exp phase slower than the exact engine's
+    // n+7, but still bounded by ~2n + fill.
+    EXPECT_GE(got.exp_phase_cycles, n + 4);
+    EXPECT_LE(got.exp_phase_cycles, 2 * n + 16);
+  }
+}
+
+TEST(FutureWorkNacu, LatencyNotWorse) {
+  EXPECT_LE(cost::latency_cycles(cost::Function::Exp,
+                                 {.approximate_reciprocal = true}),
+            cost::latency_cycles(cost::Function::Exp, {}));
+}
+
+}  // namespace
+}  // namespace nacu::core

@@ -1,0 +1,102 @@
+// Tests for the double-precision reference functions and the paper's
+// mathematical identities (§II, Eqs. 1–5; §IV, Eq. 14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/reference.hpp"
+
+namespace nacu::approx {
+namespace {
+
+TEST(Reference, SigmoidMatchesDefinition) {
+  for (double x : {-8.0, -1.0, 0.0, 0.5, 3.0, 7.5}) {
+    EXPECT_DOUBLE_EQ(reference_eval(FunctionKind::Sigmoid, x),
+                     1.0 / (1.0 + std::exp(-x)));
+  }
+}
+
+TEST(Reference, TanhMatchesExponentialForm) {
+  for (double x : {-4.0, -0.3, 0.0, 1.2, 5.0}) {
+    const double e2 = std::exp(x), em = std::exp(-x);
+    EXPECT_NEAR(reference_eval(FunctionKind::Tanh, x),
+                (e2 - em) / (e2 + em), 1e-15);
+  }
+}
+
+TEST(Reference, Eq3TanhIsStretchedSigmoid) {
+  // tanh(x) = 2σ(2x) − 1 (Eq. 3).
+  for (double x = -6.0; x <= 6.0; x += 0.37) {
+    EXPECT_NEAR(reference_eval(FunctionKind::Tanh, x),
+                2.0 * reference_eval(FunctionKind::Sigmoid, 2.0 * x) - 1.0,
+                1e-14);
+  }
+}
+
+TEST(Reference, Eq4SigmoidCentrosymmetry) {
+  for (double x = 0.0; x <= 8.0; x += 0.21) {
+    EXPECT_NEAR(reference_eval(FunctionKind::Sigmoid, -x),
+                1.0 - reference_eval(FunctionKind::Sigmoid, x), 1e-15);
+  }
+}
+
+TEST(Reference, Eq5TanhIsOdd) {
+  for (double x = 0.0; x <= 8.0; x += 0.21) {
+    EXPECT_NEAR(reference_eval(FunctionKind::Tanh, -x),
+                -reference_eval(FunctionKind::Tanh, x), 1e-15);
+  }
+}
+
+TEST(Reference, Eq14ExpFromSigmoid) {
+  // e^x = 1/σ(−x) − 1 (Eq. 14).
+  for (double x = -10.0; x <= 2.0; x += 0.17) {
+    const double sigma = reference_eval(FunctionKind::Sigmoid, -x);
+    EXPECT_NEAR(reference_eval(FunctionKind::Exp, x), 1.0 / sigma - 1.0,
+                1e-9 * std::exp(x) + 1e-12);
+  }
+}
+
+TEST(Reference, SymmetryClassification) {
+  EXPECT_EQ(symmetry_of(FunctionKind::Sigmoid), Symmetry::SigmoidLike);
+  EXPECT_EQ(symmetry_of(FunctionKind::Tanh), Symmetry::Odd);
+  EXPECT_EQ(symmetry_of(FunctionKind::Exp), Symmetry::None);
+}
+
+TEST(Reference, Names) {
+  EXPECT_EQ(to_string(FunctionKind::Sigmoid), "sigmoid");
+  EXPECT_EQ(to_string(FunctionKind::Tanh), "tanh");
+  EXPECT_EQ(to_string(FunctionKind::Exp), "exp");
+}
+
+TEST(Reference, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (const FunctionKind kind :
+       {FunctionKind::Sigmoid, FunctionKind::Tanh, FunctionKind::Exp}) {
+    for (double x = -3.0; x <= 3.0; x += 0.5) {
+      const double numeric = (reference_eval(kind, x + h) -
+                              reference_eval(kind, x - h)) /
+                             (2.0 * h);
+      EXPECT_NEAR(reference_derivative(kind, x), numeric, 1e-6)
+          << to_string(kind) << " at " << x;
+    }
+  }
+}
+
+TEST(Reference, SigmoidGradientShallowerThanTanh) {
+  // §II: tanh's gradient is steeper (4× at the origin) — the reason σ gets
+  // the LUT: fewer quantisation levels cover the same input range.
+  EXPECT_DOUBLE_EQ(reference_derivative(FunctionKind::Sigmoid, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(reference_derivative(FunctionKind::Tanh, 0.0), 1.0);
+  // In the steep region around the origin tanh changes strictly faster.
+  for (double x = -0.75; x <= 0.75; x += 0.125) {
+    EXPECT_LT(reference_derivative(FunctionKind::Sigmoid, x),
+              reference_derivative(FunctionKind::Tanh, x));
+  }
+  // And σ's gradient never exceeds tanh's peak anywhere.
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    EXPECT_LE(reference_derivative(FunctionKind::Sigmoid, x), 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace nacu::approx

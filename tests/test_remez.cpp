@@ -1,0 +1,120 @@
+// Tests for the Remez exchange minimax polynomial fitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/polynomial.hpp"
+#include "approx/remez.hpp"
+
+namespace nacu::approx {
+namespace {
+
+TEST(Remez, RejectsBadArguments) {
+  EXPECT_THROW(remez_fit(FunctionKind::Exp, 0.0, 1.0, -1),
+               std::invalid_argument);
+  EXPECT_THROW(remez_fit(FunctionKind::Exp, 1.0, 1.0, 2),
+               std::invalid_argument);
+}
+
+TEST(Remez, DegreeZeroIsMidrangeConstant) {
+  // Best constant approximation of a monotone f on [a,b] is (min+max)/2
+  // with error (max−min)/2.
+  const RemezResult fit = remez_fit(FunctionKind::Exp, -1.0, 0.0, 0);
+  const double lo = std::exp(-1.0);
+  const double expected = 0.5 * (lo + 1.0);
+  EXPECT_NEAR(fit.coefficients[0], expected, 1e-6);
+  EXPECT_NEAR(fit.max_error, 0.5 * (1.0 - lo), 1e-6);
+}
+
+TEST(Remez, DegreeOneMatchesChebyshevLine) {
+  // For constant-convexity f the minimax line is the classic Chebyshev
+  // construction (slope = secant slope).
+  const RemezResult fit = remez_fit(FunctionKind::Sigmoid, 0.5, 1.5, 1);
+  const double secant =
+      (reference_eval(FunctionKind::Sigmoid, 1.5) -
+       reference_eval(FunctionKind::Sigmoid, 0.5));
+  EXPECT_NEAR(fit.coefficients[1], secant, 1e-4);
+  EXPECT_TRUE(fit.converged);
+}
+
+TEST(Remez, ErrorEquioscillates) {
+  const RemezResult fit = remez_fit(FunctionKind::Exp, -2.0, 0.0, 3);
+  // Sample the error; its extrema magnitude must be close to max_error at
+  // both interval endpoints (alternation touches the boundary).
+  const double err_a =
+      std::abs(reference_eval(FunctionKind::Exp, -2.0) - remez_eval(fit, -2.0));
+  const double err_b =
+      std::abs(reference_eval(FunctionKind::Exp, 0.0) - remez_eval(fit, 0.0));
+  EXPECT_NEAR(err_a, fit.max_error, fit.max_error * 0.05);
+  EXPECT_NEAR(err_b, fit.max_error, fit.max_error * 0.05);
+}
+
+TEST(Remez, ErrorNeverExceedsReportedLevel) {
+  const RemezResult fit = remez_fit(FunctionKind::Tanh, 0.0, 2.0, 4);
+  for (double x = 0.0; x <= 2.0; x += 0.001) {
+    const double err =
+        std::abs(reference_eval(FunctionKind::Tanh, x) - remez_eval(fit, x));
+    EXPECT_LE(err, fit.max_error * 1.01) << x;
+  }
+}
+
+TEST(Remez, HigherDegreeMeansSmallerError) {
+  double prev = 1.0;
+  for (const int degree : {1, 2, 3, 4, 5}) {
+    const RemezResult fit = remez_fit(FunctionKind::Exp, -1.0, 0.0, degree);
+    EXPECT_LT(fit.max_error, prev) << degree;
+    prev = fit.max_error;
+  }
+}
+
+TEST(Remez, BeatsChebyshevInterpolationSlightly) {
+  // Minimax is optimal: its max error can never exceed the Chebyshev
+  // interpolant's (allowing numerical slack).
+  const auto cheb_config = Polynomial::natural_config(
+      FunctionKind::Sigmoid, fp::Format{4, 20}, 2, 4,
+      Polynomial::FitMode::Chebyshev);
+  const auto mm_config = Polynomial::natural_config(
+      FunctionKind::Sigmoid, fp::Format{4, 20}, 2, 4,
+      Polynomial::FitMode::Minimax);
+  const double cheb = analyze_natural(Polynomial{cheb_config}).max_abs;
+  const double mm = analyze_natural(Polynomial{mm_config}).max_abs;
+  EXPECT_LE(mm, cheb * 1.05);
+}
+
+TEST(Remez, ConvergesQuicklyOnSmoothFunctions) {
+  for (const FunctionKind kind :
+       {FunctionKind::Sigmoid, FunctionKind::Tanh, FunctionKind::Exp}) {
+    const double a = kind == FunctionKind::Exp ? -1.5 : 0.25;
+    const RemezResult fit = remez_fit(kind, a, a + 1.25, 3);
+    EXPECT_TRUE(fit.converged) << to_string(kind);
+    EXPECT_LE(fit.iterations, 12) << to_string(kind);
+  }
+}
+
+TEST(Remez, EvalUsesCenteredCoefficients) {
+  const RemezResult fit = remez_fit(FunctionKind::Exp, 1.0, 2.0, 2);
+  EXPECT_DOUBLE_EQ(fit.center, 1.5);
+  // p(center) is just c0.
+  EXPECT_DOUBLE_EQ(remez_eval(fit, 1.5), fit.coefficients[0]);
+}
+
+class RemezDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemezDegreeSweep, MatchesTheoreticalDecayOnExp) {
+  // Minimax error of degree-n poly for e^x on [-1,0] decays roughly like
+  // 1/(2^n (n+1)!); check we are within 10x of that envelope.
+  const int degree = GetParam();
+  const RemezResult fit = remez_fit(FunctionKind::Exp, -1.0, 0.0, degree);
+  double factorial = 1.0;
+  for (int k = 2; k <= degree + 1; ++k) factorial *= k;
+  const double envelope = 1.0 / (std::pow(2.0, 2.0 * degree + 1) * factorial);
+  EXPECT_LT(fit.max_error, envelope * 10.0);
+  EXPECT_GT(fit.max_error, envelope / 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RemezDegreeSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace nacu::approx

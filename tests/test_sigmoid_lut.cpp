@@ -1,0 +1,160 @@
+// Tests for the σ coefficient LUT (paper §V.A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sigmoid_lut.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::core {
+namespace {
+
+SigmoidLut::Config default_config() {
+  return SigmoidLut::Config{.format = fp::Format{4, 11},
+                            .coeff_format = fp::Format{1, 14},
+                            .entries = 53,
+                            .minimax = true};
+}
+
+TEST(SigmoidLut, RejectsZeroEntries) {
+  auto config = default_config();
+  config.entries = 0;
+  EXPECT_THROW(SigmoidLut{config}, std::invalid_argument);
+}
+
+TEST(SigmoidLut, PaperEntryCount) {
+  const SigmoidLut lut{default_config()};
+  EXPECT_EQ(lut.entries(), 53u);
+  EXPECT_EQ(lut.storage_bits(), 53u * 2u * 16u);
+}
+
+TEST(SigmoidLut, AllBiasesInFig3Range) {
+  // q ∈ [0.5, 1] is the precondition of every Fig. 3 unit.
+  const SigmoidLut lut{default_config()};
+  const std::int64_t lo = std::int64_t{1} << 13;
+  const std::int64_t hi = std::int64_t{1} << 14;
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    EXPECT_GE(lut.bias_raw(i), lo) << i;
+    EXPECT_LE(lut.bias_raw(i), hi) << i;
+  }
+}
+
+TEST(SigmoidLut, AllSlopesInSigmoidRange) {
+  // σ' ∈ (0, 0.25]: slopes are non-negative and bounded.
+  const SigmoidLut lut{default_config()};
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    EXPECT_GE(lut.slope_raw(i), 0) << i;
+    EXPECT_LE(lut.slope(i).to_double(), 0.25 + 1e-3) << i;
+  }
+}
+
+TEST(SigmoidLut, SlopesDecreaseBiasesIncrease) {
+  // σ on x ≥ 0: concave with saturating value — per-segment slope falls
+  // monotonically, bias (intercept) rises towards 1.
+  const SigmoidLut lut{default_config()};
+  for (std::size_t i = 1; i < lut.entries(); ++i) {
+    EXPECT_LE(lut.slope_raw(i), lut.slope_raw(i - 1)) << i;
+    EXPECT_GE(lut.bias_raw(i), lut.bias_raw(i - 1)) << i;
+  }
+}
+
+TEST(SigmoidLut, SegmentLookupCoversDomain) {
+  const SigmoidLut lut{default_config()};
+  EXPECT_EQ(lut.segment_for(0), 0u);
+  const std::int64_t max_raw = fp::Format{4, 11}.max_raw();
+  EXPECT_EQ(lut.segment_for(max_raw), lut.entries() - 1);
+  // Saturation beyond In_max clamps to the last segment.
+  EXPECT_EQ(lut.segment_for(max_raw + 1000), lut.entries() - 1);
+}
+
+TEST(SigmoidLut, SegmentBoundariesAreUniform) {
+  const SigmoidLut lut{default_config()};
+  const double in_max = fp::input_max(fp::Format{4, 11});
+  const double step = in_max / 53.0;
+  for (std::size_t i = 0; i < 53; ++i) {
+    // Midpoint of each nominal segment maps back to that segment.
+    const double mid = (static_cast<double>(i) + 0.5) * step;
+    const std::int64_t raw =
+        fp::Fixed::from_double(mid, fp::Format{4, 11}).raw();
+    EXPECT_EQ(lut.segment_for(raw), i);
+  }
+}
+
+TEST(SigmoidLut, FirstSegmentAnchorsAtHalf) {
+  // Segment 0 covers x ≈ 0 where σ = 0.5 and σ' = 0.25.
+  const SigmoidLut lut{default_config()};
+  EXPECT_NEAR(lut.bias(0).to_double(), 0.5, 0.01);
+  EXPECT_NEAR(lut.slope(0).to_double(), 0.25, 0.01);
+}
+
+TEST(SigmoidLut, LastSegmentIsSaturated) {
+  const SigmoidLut lut{default_config()};
+  const std::size_t last = lut.entries() - 1;
+  EXPECT_NEAR(lut.bias(last).to_double(), 1.0, 0.01);
+  EXPECT_NEAR(lut.slope(last).to_double(), 0.0, 0.01);
+}
+
+TEST(SigmoidLut, LeastSquaresVariantAlsoLegal) {
+  auto config = default_config();
+  config.minimax = false;
+  const SigmoidLut lut{config};
+  const std::int64_t lo = std::int64_t{1} << 13;
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    EXPECT_GE(lut.bias_raw(i), lo);
+  }
+}
+
+TEST(SigmoidLut, RefinementKeepsLegalRangesAndHelps) {
+  auto config = default_config();
+  const SigmoidLut rounded{config};
+  config.refine_quantised = true;
+  const SigmoidLut refined{config};
+  const std::int64_t lo = std::int64_t{1} << 13;
+  const std::int64_t hi = std::int64_t{1} << 14;
+  double rounded_worst = 0.0;
+  double refined_worst = 0.0;
+  const double step = fp::input_max(fp::Format{4, 11}) / 53.0;
+  for (std::size_t i = 0; i < refined.entries(); ++i) {
+    EXPECT_GE(refined.bias_raw(i), lo) << i;
+    EXPECT_LE(refined.bias_raw(i), hi) << i;
+    EXPECT_GE(refined.slope_raw(i), 0) << i;
+    // Per-segment continuous error of each table.
+    for (const SigmoidLut* lut : {&rounded, &refined}) {
+      double& worst = lut == &rounded ? rounded_worst : refined_worst;
+      const double a = static_cast<double>(i) * step;
+      for (int p = 0; p <= 16; ++p) {
+        const double x = a + step * p / 16.0;
+        const double y = lut->slope(i).to_double() * x +
+                         lut->bias(i).to_double();
+        worst = std::max(worst,
+                         std::abs(y - 1.0 / (1.0 + std::exp(-x))));
+      }
+    }
+  }
+  EXPECT_LE(refined_worst, rounded_worst + 1e-12);
+}
+
+class SigmoidLutWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmoidLutWidthSweep, LegalRangesAtEveryWidth) {
+  const int n = GetParam();
+  const SigmoidLut lut{SigmoidLut::Config{
+      .format = fp::Format{4, n - 5},
+      .coeff_format = fp::Format{1, n - 2},
+      .entries = 53,
+      .minimax = true}};
+  const std::int64_t lo = std::int64_t{1} << (n - 3);
+  const std::int64_t hi = std::int64_t{1} << (n - 2);
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    EXPECT_GE(lut.bias_raw(i), lo);
+    EXPECT_LE(lut.bias_raw(i), hi);
+    EXPECT_GE(lut.slope_raw(i), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SigmoidLutWidthSweep,
+                         ::testing::Values(10, 12, 14, 16, 18, 20));
+
+}  // namespace
+}  // namespace nacu::core

@@ -1,0 +1,146 @@
+// Tests for the AdEx spiking neuron on NACU (paper §I's SNN motivation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/adex.hpp"
+
+namespace nacu::snn {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+TEST(AdexParams, DefaultConstantsFitTheDatapath) {
+  const AdexParams p;
+  // The folded exponential constant gl·Δ·e^{u_max} must be representable.
+  const double exp_scale = p.gl * p.delta_t * std::exp(p.u_max());
+  EXPECT_LT(exp_scale, kConfig.format.max_value());
+  EXPECT_LT(std::abs(p.el), kConfig.format.max_value());
+  EXPECT_LT(p.v_peak, kConfig.format.max_value());
+}
+
+TEST(AdexRef, RestsAtLeakPotentialWithoutInput) {
+  const AdexParams p;
+  AdexNeuronRef neuron{p};
+  for (int t = 0; t < 4000; ++t) {
+    neuron.step(0.0);
+  }
+  EXPECT_EQ(neuron.spike_count(), 0u);
+  // Settles near the stable fixed point (slightly above el because the
+  // exponential current is small but positive there).
+  EXPECT_NEAR(neuron.state().v, p.el, 0.1);
+}
+
+TEST(AdexRef, SpikesAboveRheobase) {
+  AdexNeuronRef neuron{AdexParams{}};
+  for (int t = 0; t < 8000; ++t) {
+    neuron.step(2.0);
+  }
+  EXPECT_GT(neuron.spike_count(), 3u);
+}
+
+TEST(AdexRef, AdaptationLengthensInterSpikeIntervals) {
+  // The hallmark of AdEx regular spiking: w builds up after each spike, so
+  // the second interval is longer than the first.
+  AdexNeuronRef neuron{AdexParams{}};
+  std::vector<int> spike_times;
+  for (int t = 0; t < 30000 && spike_times.size() < 3; ++t) {
+    if (neuron.step(2.0).spiked) {
+      spike_times.push_back(t);
+    }
+  }
+  ASSERT_GE(spike_times.size(), 3u);
+  EXPECT_GT(spike_times[2] - spike_times[1], spike_times[1] - spike_times[0]);
+}
+
+TEST(AdexRef, ResetRestoresInitialState) {
+  AdexNeuronRef neuron{AdexParams{}};
+  for (int t = 0; t < 2000; ++t) neuron.step(2.0);
+  neuron.reset();
+  EXPECT_EQ(neuron.spike_count(), 0u);
+  EXPECT_DOUBLE_EQ(neuron.state().v, AdexParams{}.el);
+  EXPECT_DOUBLE_EQ(neuron.state().w, 0.0);
+}
+
+TEST(AdexFixed, QuiescentBelowRheobase) {
+  AdexNeuronFixed neuron{AdexParams{}, kConfig};
+  for (int t = 0; t < 4000; ++t) {
+    neuron.step(0.0);
+  }
+  EXPECT_EQ(neuron.spike_count(), 0u);
+}
+
+TEST(AdexFixed, SpikesAboveRheobase) {
+  AdexNeuronFixed neuron{AdexParams{}, kConfig};
+  for (int t = 0; t < 8000; ++t) {
+    neuron.step(2.0);
+  }
+  EXPECT_GT(neuron.spike_count(), 3u);
+}
+
+TEST(AdexFixed, SubthresholdDriftIsSmall) {
+  // Below rheobase no spikes occur, so all disagreement is integration
+  // error — a couple of percent of the voltage scale at 16 bits.
+  const double drift = subthreshold_drift(AdexParams{}, kConfig, 0.3, 2000);
+  EXPECT_LT(drift, 0.05);
+}
+
+TEST(AdexFixed, DriftShrinksWithWiderDatapath) {
+  const double d12 =
+      subthreshold_drift(AdexParams{}, core::config_for_bits(12), 0.3, 1500);
+  const double d20 =
+      subthreshold_drift(AdexParams{}, core::config_for_bits(20), 0.3, 1500);
+  EXPECT_LT(d20, d12);
+}
+
+TEST(AdexFixed, VoltageStaysInFormatRange) {
+  AdexNeuronFixed neuron{AdexParams{}, kConfig};
+  for (int t = 0; t < 6000; ++t) {
+    const AdexState s = neuron.step(2.5);
+    EXPECT_LE(std::abs(s.v), kConfig.format.max_value() + 1e-9);
+  }
+}
+
+TEST(FICurve, MonotoneAndMatchingShape) {
+  const auto curve = fi_curve(AdexParams{}, kConfig,
+                              {0.0, 1.0, 2.0, 3.0}, 80.0);
+  ASSERT_EQ(curve.size(), 4u);
+  // Both neurons silent at zero input.
+  EXPECT_DOUBLE_EQ(curve[0].rate_ref, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].rate_fixed, 0.0);
+  // Rates increase with current for both.
+  for (std::size_t i = 2; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].rate_ref, curve[i - 1].rate_ref);
+    EXPECT_GE(curve[i].rate_fixed, curve[i - 1].rate_fixed);
+  }
+  // Fixed-point rates track the reference within a modest margin (the
+  // quantised exponential shifts the effective rheobase slightly).
+  for (const FICurvePoint& pt : curve) {
+    EXPECT_NEAR(pt.rate_fixed, pt.rate_ref, 0.1 + 0.5 * pt.rate_ref);
+  }
+}
+
+class AdexWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdexWidthSweep, SpikeCountsConvergeToReference) {
+  const int bits = GetParam();
+  const AdexParams p;
+  AdexNeuronRef ref{p};
+  AdexNeuronFixed fixed{p, core::config_for_bits(bits)};
+  for (int t = 0; t < 8000; ++t) {
+    ref.step(2.0);
+    fixed.step(2.0);
+  }
+  ASSERT_GT(ref.spike_count(), 0u);
+  const double ratio = static_cast<double>(fixed.spike_count()) /
+                       static_cast<double>(ref.spike_count());
+  // Wider datapaths must stay within 2x of the reference spike count.
+  EXPECT_GT(ratio, 0.5) << bits;
+  EXPECT_LT(ratio, 2.0) << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdexWidthSweep,
+                         ::testing::Values(14, 16, 18, 20));
+
+}  // namespace
+}  // namespace nacu::snn

@@ -1,0 +1,119 @@
+// Tests for the cycle-accurate softmax engine (Eq. 13 in hardware).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hwmodel/softmax_engine.hpp"
+#include "nn/rng.hpp"
+
+namespace nacu::hw {
+namespace {
+
+const core::NacuConfig kConfig = core::config_for_bits(16);
+
+std::vector<std::int64_t> raw_logits(const std::vector<double>& values) {
+  std::vector<std::int64_t> raws;
+  raws.reserve(values.size());
+  for (const double v : values) {
+    raws.push_back(fp::Fixed::from_double(v, kConfig.format).raw());
+  }
+  return raws;
+}
+
+TEST(SoftmaxEngine, EmptyInputIsEmpty) {
+  SoftmaxEngine engine{kConfig};
+  const auto result = engine.run({});
+  EXPECT_TRUE(result.probs_raw.empty());
+  EXPECT_EQ(result.cycles, 0u);
+}
+
+TEST(SoftmaxEngine, BitExactWithFunctionalSoftmax) {
+  SoftmaxEngine engine{kConfig};
+  const core::Nacu functional{kConfig};
+  nn::Rng rng{17};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.below(12);
+    std::vector<fp::Fixed> xs;
+    std::vector<std::int64_t> raws;
+    for (std::size_t i = 0; i < n; ++i) {
+      const fp::Fixed x =
+          fp::Fixed::from_double(rng.uniform(-6.0, 6.0), kConfig.format);
+      xs.push_back(x);
+      raws.push_back(x.raw());
+    }
+    const auto expected = functional.softmax(xs);
+    const auto result = engine.run(raws);
+    ASSERT_EQ(result.probs_raw.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(result.probs_raw[i], expected[i].raw())
+          << "trial " << trial << " element " << i;
+    }
+  }
+}
+
+TEST(SoftmaxEngine, CycleCountMatchesPipelineStructure) {
+  // Phase cycles: max = N; exp = N + (8 − 1) drain... the exp pipeline
+  // retires the last element 8 cycles after its issue, with issues on the
+  // first N cycles: total N + 7. Divider: N issues, 4-stage: N + 3.
+  SoftmaxEngine engine{kConfig};
+  for (const std::size_t n : {2u, 5u, 10u, 32u}) {
+    std::vector<double> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(0.1 * static_cast<double>(i));
+    }
+    const auto result = engine.run(raw_logits(values));
+    EXPECT_EQ(result.max_phase_cycles, n);
+    EXPECT_EQ(result.exp_phase_cycles, n + 7) << n;
+    EXPECT_EQ(result.divide_phase_cycles, n + 3) << n;
+    EXPECT_EQ(result.cycles, 3 * n + 10) << n;
+  }
+}
+
+TEST(SoftmaxEngine, ThroughputAmortisesPipelineFill) {
+  // Cycles per element falls toward 3 as N grows (1 max + 1 exp + 1 div).
+  SoftmaxEngine engine{kConfig};
+  std::vector<double> small(4, 0.5);
+  std::vector<double> large(64);
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    large[i] = 0.05 * static_cast<double>(i);
+  }
+  const auto s = engine.run(raw_logits(small));
+  const auto l = engine.run(raw_logits(large));
+  const double per_small = static_cast<double>(s.cycles) / 4.0;
+  const double per_large = static_cast<double>(l.cycles) / 64.0;
+  EXPECT_LT(per_large, per_small);
+  EXPECT_NEAR(per_large, 3.0, 0.3);
+}
+
+TEST(SoftmaxEngine, ProbabilitiesSumNearOne) {
+  SoftmaxEngine engine{kConfig};
+  const auto result = engine.run(raw_logits({1.0, -0.5, 2.5, 0.0, 1.5}));
+  double sum = 0.0;
+  for (const std::int64_t raw : result.probs_raw) {
+    sum += fp::Fixed::from_raw(raw, kConfig.format).to_double();
+  }
+  EXPECT_NEAR(sum, 1.0, 5 * kConfig.format.resolution());
+}
+
+TEST(SoftmaxEngine, HotLogitsStayDistinct) {
+  // The Eq. 13 stability property, on the cycle model.
+  SoftmaxEngine engine{kConfig};
+  const auto result = engine.run(raw_logits({12.0, 10.0}));
+  const double p0 =
+      fp::Fixed::from_raw(result.probs_raw[0], kConfig.format).to_double();
+  const double p1 =
+      fp::Fixed::from_raw(result.probs_raw[1], kConfig.format).to_double();
+  EXPECT_GT(p0, 0.8);
+  EXPECT_LT(p1, 0.2);
+}
+
+TEST(SoftmaxEngine, ReusableAcrossRuns) {
+  SoftmaxEngine engine{kConfig};
+  const auto a = engine.run(raw_logits({1.0, 2.0}));
+  const auto b = engine.run(raw_logits({1.0, 2.0}));
+  EXPECT_EQ(a.probs_raw, b.probs_raw);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+}  // namespace
+}  // namespace nacu::hw

@@ -1,0 +1,157 @@
+// Tests for the table-based approximators: uniform LUT and RALUT (§VI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/lut.hpp"
+#include "approx/ralut.hpp"
+#include "fixedpoint/format_select.hpp"
+
+namespace nacu::approx {
+namespace {
+
+const fp::Format kFmt{4, 11};
+
+TEST(UniformLut, RejectsBadConfig) {
+  UniformLut::Config config =
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 0);
+  EXPECT_THROW(UniformLut{config}, std::invalid_argument);
+  config = UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 8);
+  config.x_max = config.x_min;
+  EXPECT_THROW(UniformLut{config}, std::invalid_argument);
+}
+
+TEST(UniformLut, EntryCountAndStorage) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 64)};
+  EXPECT_EQ(lut.table_entries(), 64u);
+  EXPECT_EQ(lut.storage_bits(), 64u * 16u);
+  EXPECT_EQ(lut.name(), "LUT(64)");
+}
+
+TEST(UniformLut, NaturalDomainsPerFunction) {
+  const auto sig = UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 8);
+  EXPECT_DOUBLE_EQ(sig.x_min, 0.0);
+  EXPECT_GT(sig.x_max, 15.9);
+  const auto exp = UniformLut::natural_config(FunctionKind::Exp, kFmt, 8);
+  EXPECT_LT(exp.x_min, -15.9);
+  EXPECT_DOUBLE_EQ(exp.x_max, 0.0);
+}
+
+TEST(UniformLut, MidpointValueWithinSegment) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 256)};
+  // Error within any segment bounded by slope·step/2 + quantisation.
+  const double step = fp::input_max(kFmt) / 256.0;
+  const ErrorStats stats = analyze(lut, 0.0, fp::input_max(kFmt));
+  EXPECT_LE(stats.max_abs, 0.25 * step / 2.0 + kFmt.resolution());
+}
+
+TEST(UniformLut, SaturatesBeyondTableRange) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 64)};
+  const fp::Fixed at_max = lut.evaluate(fp::Fixed::max(kFmt));
+  EXPECT_NEAR(at_max.to_double(), 1.0, 2.0 * kFmt.resolution());
+}
+
+TEST(UniformLut, SigmoidSymmetryIdentityHoldsBitExactly) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 128)};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 97) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    const std::int64_t pos = lut.evaluate(x).raw();
+    const std::int64_t neg = lut.evaluate(x.negate()).raw();
+    // σ(−x) = 1 − σ(x) on the raw grid (Eq. 4).
+    EXPECT_EQ(neg, (std::int64_t{1} << 11) - pos) << raw;
+  }
+}
+
+TEST(UniformLut, TanhOddSymmetryHoldsBitExactly) {
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Tanh, kFmt, 128)};
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 97) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(lut.evaluate(x.negate()).raw(), -lut.evaluate(x).raw()) << raw;
+  }
+}
+
+TEST(UniformLut, ErrorShrinksWithMoreEntries) {
+  double prev = 1.0;
+  for (const std::size_t entries : {16u, 64u, 256u, 1024u}) {
+    const UniformLut lut{
+        UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, entries)};
+    const double err = analyze_natural(lut).max_abs;
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Ralut, RejectsBadConfig) {
+  auto config = Ralut::natural_config(FunctionKind::Sigmoid, kFmt, 0.0);
+  EXPECT_THROW(Ralut{config}, std::invalid_argument);
+}
+
+TEST(Ralut, SegmentsRespectToleranceBand) {
+  const double tol = 1.0 / (1 << 9);
+  const Ralut ralut{Ralut::natural_config(FunctionKind::Sigmoid, kFmt, tol)};
+  // Constant-per-segment error ≤ tolerance + output quantisation.
+  const ErrorStats stats = analyze(ralut, 0.0, fp::input_max(kFmt));
+  EXPECT_LE(stats.max_abs, tol + kFmt.resolution());
+}
+
+TEST(Ralut, NonUniformityBeatsUniformLutAtEqualEntries) {
+  // The Fig. 4 claim: at the same entry budget a RALUT has lower max error
+  // than a uniform LUT, because σ's saturation tail collapses.
+  const Ralut ralut = Ralut::with_max_entries(FunctionKind::Sigmoid, kFmt, 64);
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 64)};
+  EXPECT_LE(ralut.table_entries(), 64u);
+  EXPECT_LT(analyze_natural(ralut).max_abs, analyze_natural(lut).max_abs);
+}
+
+TEST(Ralut, WithMaxEntriesRespectsBudget) {
+  for (const std::size_t budget : {8u, 32u, 128u, 512u}) {
+    const Ralut ralut =
+        Ralut::with_max_entries(FunctionKind::Tanh, kFmt, budget);
+    EXPECT_LE(ralut.table_entries(), budget);
+    EXPECT_GE(ralut.table_entries(), budget / 4);  // budget is actually used
+  }
+}
+
+TEST(Ralut, MoreEntriesMeansLessError) {
+  double prev = 1.0;
+  for (const std::size_t budget : {8u, 32u, 128u, 512u}) {
+    const double err = analyze_natural(Ralut::with_max_entries(
+                           FunctionKind::Sigmoid, kFmt, budget))
+                           .max_abs;
+    EXPECT_LE(err, prev + 1e-12);
+    prev = err;
+  }
+}
+
+TEST(Ralut, SymmetryIdentityHoldsBitExactly) {
+  const Ralut ralut =
+      Ralut::with_max_entries(FunctionKind::Sigmoid, kFmt, 128);
+  for (std::int64_t raw = 1; raw < kFmt.max_raw(); raw += 131) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, kFmt);
+    EXPECT_EQ(ralut.evaluate(x.negate()).raw(),
+              (std::int64_t{1} << 11) - ralut.evaluate(x).raw());
+  }
+}
+
+TEST(Ralut, StorageCountsBoundsAndValues) {
+  const Ralut ralut = Ralut::with_max_entries(FunctionKind::Tanh, kFmt, 64);
+  EXPECT_EQ(ralut.storage_bits(), ralut.table_entries() * (16u + 16u));
+}
+
+TEST(Ralut, ExpDomainIsNormalisedRange) {
+  const Ralut ralut{Ralut::natural_config(FunctionKind::Exp, kFmt,
+                                          1.0 / (1 << 8))};
+  // e^0 = 1 and e^-In_max ≈ 0 are both reproduced.
+  EXPECT_NEAR(ralut.evaluate(fp::Fixed::zero(kFmt)).to_double(), 1.0, 0.01);
+  EXPECT_NEAR(ralut.evaluate(fp::Fixed::min(kFmt)).to_double(), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace nacu::approx

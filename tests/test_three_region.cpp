@@ -1,0 +1,122 @@
+// Tests for the three-region tanh baseline ([4], Zamanlooy et al.).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_analysis.hpp"
+#include "approx/three_region.hpp"
+
+namespace nacu::approx {
+namespace {
+
+ThreeRegionTanh::Config nine_bit_config() {
+  // [4]'s configuration: 9-bit input, 14 RALUT entries.
+  return ThreeRegionTanh::Config{.in = fp::Format{3, 5},
+                                 .out = fp::Format{3, 5},
+                                 .max_entries = 14};
+}
+
+TEST(ThreeRegionTanh, RejectsZeroEntries) {
+  auto config = nine_bit_config();
+  config.max_entries = 0;
+  EXPECT_THROW(ThreeRegionTanh{config}, std::invalid_argument);
+}
+
+TEST(ThreeRegionTanh, RegionsArePlausiblyOrdered) {
+  const ThreeRegionTanh t{nine_bit_config()};
+  EXPECT_GT(t.pass_end_raw(), 0);
+  EXPECT_GT(t.saturation_start_raw(), t.pass_end_raw());
+}
+
+TEST(ThreeRegionTanh, PassRegionIsIdentity) {
+  const ThreeRegionTanh t{nine_bit_config()};
+  const fp::Format in{3, 5};
+  for (std::int64_t raw = 0; raw < t.pass_end_raw(); ++raw) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, in);
+    // Output equals input on the shared grid (a wire, no arithmetic).
+    EXPECT_EQ(t.evaluate(x).raw(), raw) << raw;
+  }
+}
+
+TEST(ThreeRegionTanh, SaturationRegionIsConstantOne) {
+  const ThreeRegionTanh t{nine_bit_config()};
+  const fp::Format in{3, 5};
+  const std::int64_t one = fp::Fixed::from_double(1.0, in).raw();
+  for (std::int64_t raw = t.saturation_start_raw(); raw <= in.max_raw();
+       raw += 3) {
+    EXPECT_EQ(t.evaluate(fp::Fixed::from_raw(raw, in)).raw(), one) << raw;
+  }
+}
+
+TEST(ThreeRegionTanh, PassBoundaryIsTight) {
+  // The first raw outside the pass region must genuinely violate the
+  // half-LSB identity criterion.
+  const ThreeRegionTanh t{nine_bit_config()};
+  const fp::Format in{3, 5};
+  const double x = static_cast<double>(t.pass_end_raw()) * in.resolution();
+  EXPECT_GT(std::abs(std::tanh(x) - x), 0.5 * in.resolution());
+}
+
+TEST(ThreeRegionTanh, EntryBudgetRespected) {
+  for (const std::size_t budget : {4u, 14u, 40u}) {
+    auto config = nine_bit_config();
+    config.max_entries = budget;
+    const ThreeRegionTanh t{config};
+    EXPECT_LE(t.table_entries(), budget);
+  }
+}
+
+TEST(ThreeRegionTanh, AccuracyInReportedRegime) {
+  // [4] reports max error in the percent range at 9 bits / 14 entries
+  // (the paper's Fig. 6b shows ~30× NACU's 16-bit error).
+  const ThreeRegionTanh t{nine_bit_config()};
+  const ErrorStats stats = analyze_natural(t);
+  EXPECT_LT(stats.max_abs, 0.08);
+  EXPECT_GT(stats.max_abs, 0.005);
+}
+
+TEST(ThreeRegionTanh, OddSymmetryHoldsBitExactly) {
+  const ThreeRegionTanh t{nine_bit_config()};
+  const fp::Format in{3, 5};
+  for (std::int64_t raw = 1; raw <= in.max_raw(); ++raw) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, in);
+    EXPECT_EQ(t.evaluate(x.negate()).raw(), -t.evaluate(x).raw()) << raw;
+  }
+}
+
+TEST(ThreeRegionTanh, MoreEntriesReduceError) {
+  auto config = nine_bit_config();
+  config.in = fp::Format{3, 8};
+  config.out = fp::Format{3, 8};
+  double prev = 1.0;
+  for (const std::size_t budget : {8u, 32u, 128u}) {
+    config.max_entries = budget;
+    const double err = analyze_natural(ThreeRegionTanh{config}).max_abs;
+    EXPECT_LE(err, prev + 1e-12) << budget;
+    prev = err;
+  }
+}
+
+TEST(ThreeRegionTanh, StorageChargesBoundaryAndValue) {
+  const ThreeRegionTanh t{nine_bit_config()};
+  EXPECT_EQ(t.storage_bits(), t.table_entries() * (9u + 9u));
+}
+
+TEST(ThreeRegionTanh, FinerOutputGridShrinksPassRegion) {
+  // With a finer output LSB the |tanh(x) − x| <= LSB/2 criterion fails
+  // earlier, so the pass region must shrink (in real units).
+  auto coarse = nine_bit_config();
+  auto fine = nine_bit_config();
+  fine.in = fp::Format{3, 10};
+  fine.out = fp::Format{3, 10};
+  const ThreeRegionTanh tc{coarse};
+  const ThreeRegionTanh tf{fine};
+  const double coarse_end =
+      static_cast<double>(tc.pass_end_raw()) * coarse.in.resolution();
+  const double fine_end =
+      static_cast<double>(tf.pass_end_raw()) * fine.in.resolution();
+  EXPECT_LT(fine_end, coarse_end);
+}
+
+}  // namespace
+}  // namespace nacu::approx

@@ -1,0 +1,129 @@
+// Tests for the VCD waveform writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hwmodel/nacu_rtl.hpp"
+#include "hwmodel/vcd.hpp"
+
+namespace nacu::hw {
+namespace {
+
+TEST(Vcd, RejectsBadArguments) {
+  std::ostringstream os;
+  EXPECT_THROW(VcdWriter(os, 0.0), std::invalid_argument);
+  VcdWriter vcd{os};
+  EXPECT_THROW(vcd.add_signal("w", 0), std::invalid_argument);
+  EXPECT_THROW(vcd.add_signal("w", 65), std::invalid_argument);
+}
+
+TEST(Vcd, HeaderListsAllSignals) {
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  vcd.add_signal("clk", 1);
+  vcd.add_signal("data", 16);
+  vcd.step();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("$timescale 3750ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 16"), std::string::npos);
+  EXPECT_NE(text.find("data [15:0]"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, AddSignalAfterFirstStepThrows) {
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  vcd.add_signal("a", 1);
+  vcd.step();
+  EXPECT_THROW(vcd.add_signal("late", 1), std::logic_error);
+}
+
+TEST(Vcd, OnlyChangesAreEmitted) {
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  const int a = vcd.add_signal("a", 1);
+  vcd.set(a, 1);
+  vcd.step();  // change: emitted
+  vcd.step();  // no change: silent
+  vcd.set(a, 0);
+  vcd.step();  // change: emitted
+  const std::string text = os.str();
+  // Identifier of signal 0 is '!': expect exactly "1!" once and "0!" once.
+  std::size_t ones = 0;
+  std::size_t zeros = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("1!", pos)) != std::string::npos) {
+    ++ones;
+    pos += 2;
+  }
+  pos = 0;
+  while ((pos = text.find("0!", pos)) != std::string::npos) {
+    ++zeros;
+    pos += 2;
+  }
+  EXPECT_EQ(ones, 1u);
+  EXPECT_EQ(zeros, 1u);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#2"), std::string::npos);
+}
+
+TEST(Vcd, VectorValuesPrintedInBinary) {
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  const int bus = vcd.add_signal("bus", 8);
+  vcd.set(bus, 0xA5);
+  vcd.step();
+  EXPECT_NE(os.str().find("b10100101 !"), std::string::npos);
+}
+
+TEST(Vcd, ValuesAreMaskedToWidth) {
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  const int nibble = vcd.add_signal("n", 4);
+  vcd.set(nibble, 0xFF);
+  vcd.step();
+  EXPECT_NE(os.str().find("b1111 !"), std::string::npos);
+  EXPECT_EQ(os.str().find("b11111111"), std::string::npos);
+}
+
+TEST(Vcd, TracedNacuRunProducesPlausibleDump) {
+  // Drive a short sigmoid stream through the RTL model and trace the
+  // architectural ports; the dump must contain one timestep per cycle.
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  const int sig_valid = vcd.add_signal("in_valid", 1);
+  const int sig_x = vcd.add_signal("in_x", 16);
+  const int sig_out_valid = vcd.add_signal("out_valid", 1);
+  const int sig_out = vcd.add_signal("out_a", 16);
+  const core::NacuConfig config = core::config_for_bits(16);
+  NacuRtl rtl{config};
+  constexpr int kCycles = 12;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    const bool drive = cycle < 6;
+    if (drive) {
+      rtl.issue(Func::Sigmoid,
+                fp::Fixed::from_raw(cycle * 700 - 2000, config.format),
+                static_cast<std::uint64_t>(cycle));
+    }
+    vcd.set(sig_valid, drive ? 1 : 0);
+    vcd.set(sig_x, drive ? static_cast<std::uint64_t>(
+                               (cycle * 700 - 2000) & 0xFFFF)
+                         : 0);
+    rtl.tick();
+    const auto& outs = rtl.outputs();
+    vcd.set(sig_out_valid, outs.empty() ? 0 : 1);
+    vcd.set(sig_out, outs.empty() ? 0
+                                  : static_cast<std::uint64_t>(
+                                        outs.front().value_raw & 0xFFFF));
+    vcd.step();
+  }
+  EXPECT_EQ(vcd.steps(), static_cast<std::uint64_t>(kCycles));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("#11"), std::string::npos);
+  // Results appear from cycle 3 (the 3-cycle latency).
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nacu::hw
