@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_costs"
+  "../bench/bench_baseline_costs.pdb"
+  "CMakeFiles/bench_baseline_costs.dir/bench_baseline_costs.cpp.o"
+  "CMakeFiles/bench_baseline_costs.dir/bench_baseline_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

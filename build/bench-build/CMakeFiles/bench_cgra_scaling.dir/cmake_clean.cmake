@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cgra_scaling"
+  "../bench/bench_cgra_scaling.pdb"
+  "CMakeFiles/bench_cgra_scaling.dir/bench_cgra_scaling.cpp.o"
+  "CMakeFiles/bench_cgra_scaling.dir/bench_cgra_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cgra_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

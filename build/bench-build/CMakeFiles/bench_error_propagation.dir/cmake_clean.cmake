@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_error_propagation"
+  "../bench/bench_error_propagation.pdb"
+  "CMakeFiles/bench_error_propagation.dir/bench_error_propagation.cpp.o"
+  "CMakeFiles/bench_error_propagation.dir/bench_error_propagation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_functions"
+  "../bench/bench_fig1_functions.pdb"
+  "CMakeFiles/bench_fig1_functions.dir/bench_fig1_functions.cpp.o"
+  "CMakeFiles/bench_fig1_functions.dir/bench_fig1_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_entries"
+  "../bench/bench_fig4a_entries.pdb"
+  "CMakeFiles/bench_fig4a_entries.dir/bench_fig4a_entries.cpp.o"
+  "CMakeFiles/bench_fig4a_entries.dir/bench_fig4a_entries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_error"
+  "../bench/bench_fig4b_error.pdb"
+  "CMakeFiles/bench_fig4b_error.dir/bench_fig4b_error.cpp.o"
+  "CMakeFiles/bench_fig4b_error.dir/bench_fig4b_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

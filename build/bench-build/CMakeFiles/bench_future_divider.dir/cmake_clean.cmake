@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_future_divider"
+  "../bench/bench_future_divider.pdb"
+  "CMakeFiles/bench_future_divider.dir/bench_future_divider.cpp.o"
+  "CMakeFiles/bench_future_divider.dir/bench_future_divider.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_divider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

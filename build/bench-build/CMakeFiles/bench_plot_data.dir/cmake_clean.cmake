@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_plot_data"
+  "../bench/bench_plot_data.pdb"
+  "CMakeFiles/bench_plot_data.dir/bench_plot_data.cpp.o"
+  "CMakeFiles/bench_plot_data.dir/bench_plot_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plot_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_snn_adex"
+  "../bench/bench_snn_adex.pdb"
+  "CMakeFiles/bench_snn_adex.dir/bench_snn_adex.cpp.o"
+  "CMakeFiles/bench_snn_adex.dir/bench_snn_adex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snn_adex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_layer.dir/cgra_layer.cpp.o"
+  "CMakeFiles/cgra_layer.dir/cgra_layer.cpp.o.d"
+  "cgra_layer"
+  "cgra_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

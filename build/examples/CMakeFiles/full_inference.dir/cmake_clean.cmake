@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_inference.dir/full_inference.cpp.o"
+  "CMakeFiles/full_inference.dir/full_inference.cpp.o.d"
+  "full_inference"
+  "full_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_gates.dir/lstm_gates.cpp.o"
+  "CMakeFiles/lstm_gates.dir/lstm_gates.cpp.o.d"
+  "lstm_gates"
+  "lstm_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

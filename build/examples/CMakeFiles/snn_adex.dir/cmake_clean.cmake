@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_adex.dir/snn_adex.cpp.o"
+  "CMakeFiles/snn_adex.dir/snn_adex.cpp.o.d"
+  "snn_adex"
+  "snn_adex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_adex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_classifier.dir/softmax_classifier.cpp.o"
+  "CMakeFiles/softmax_classifier.dir/softmax_classifier.cpp.o.d"
+  "softmax_classifier"
+  "softmax_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

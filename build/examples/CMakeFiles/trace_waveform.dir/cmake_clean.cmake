@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_waveform.dir/trace_waveform.cpp.o"
+  "CMakeFiles/trace_waveform.dir/trace_waveform.cpp.o.d"
+  "trace_waveform"
+  "trace_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/cordic.cpp" "src/approx/CMakeFiles/nacu_approx.dir/cordic.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/cordic.cpp.o.d"
+  "/root/repo/src/approx/error_analysis.cpp" "src/approx/CMakeFiles/nacu_approx.dir/error_analysis.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/error_analysis.cpp.o.d"
+  "/root/repo/src/approx/fit.cpp" "src/approx/CMakeFiles/nacu_approx.dir/fit.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/fit.cpp.o.d"
+  "/root/repo/src/approx/gomar.cpp" "src/approx/CMakeFiles/nacu_approx.dir/gomar.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/gomar.cpp.o.d"
+  "/root/repo/src/approx/hybrid.cpp" "src/approx/CMakeFiles/nacu_approx.dir/hybrid.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/hybrid.cpp.o.d"
+  "/root/repo/src/approx/jet.cpp" "src/approx/CMakeFiles/nacu_approx.dir/jet.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/jet.cpp.o.d"
+  "/root/repo/src/approx/lut.cpp" "src/approx/CMakeFiles/nacu_approx.dir/lut.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/lut.cpp.o.d"
+  "/root/repo/src/approx/nupwl.cpp" "src/approx/CMakeFiles/nacu_approx.dir/nupwl.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/nupwl.cpp.o.d"
+  "/root/repo/src/approx/optimal_segments.cpp" "src/approx/CMakeFiles/nacu_approx.dir/optimal_segments.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/optimal_segments.cpp.o.d"
+  "/root/repo/src/approx/parabolic.cpp" "src/approx/CMakeFiles/nacu_approx.dir/parabolic.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/parabolic.cpp.o.d"
+  "/root/repo/src/approx/polynomial.cpp" "src/approx/CMakeFiles/nacu_approx.dir/polynomial.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/polynomial.cpp.o.d"
+  "/root/repo/src/approx/pwl.cpp" "src/approx/CMakeFiles/nacu_approx.dir/pwl.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/pwl.cpp.o.d"
+  "/root/repo/src/approx/ralut.cpp" "src/approx/CMakeFiles/nacu_approx.dir/ralut.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/ralut.cpp.o.d"
+  "/root/repo/src/approx/reference.cpp" "src/approx/CMakeFiles/nacu_approx.dir/reference.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/reference.cpp.o.d"
+  "/root/repo/src/approx/remez.cpp" "src/approx/CMakeFiles/nacu_approx.dir/remez.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/remez.cpp.o.d"
+  "/root/repo/src/approx/search.cpp" "src/approx/CMakeFiles/nacu_approx.dir/search.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/search.cpp.o.d"
+  "/root/repo/src/approx/symmetry.cpp" "src/approx/CMakeFiles/nacu_approx.dir/symmetry.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/symmetry.cpp.o.d"
+  "/root/repo/src/approx/three_region.cpp" "src/approx/CMakeFiles/nacu_approx.dir/three_region.cpp.o" "gcc" "src/approx/CMakeFiles/nacu_approx.dir/three_region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgra/fabric.cpp" "src/cgra/CMakeFiles/nacu_cgra.dir/fabric.cpp.o" "gcc" "src/cgra/CMakeFiles/nacu_cgra.dir/fabric.cpp.o.d"
+  "/root/repo/src/cgra/inference.cpp" "src/cgra/CMakeFiles/nacu_cgra.dir/inference.cpp.o" "gcc" "src/cgra/CMakeFiles/nacu_cgra.dir/inference.cpp.o.d"
+  "/root/repo/src/cgra/pe.cpp" "src/cgra/CMakeFiles/nacu_cgra.dir/pe.cpp.o" "gcc" "src/cgra/CMakeFiles/nacu_cgra.dir/pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwmodel/CMakeFiles/nacu_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/nacu_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nacu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

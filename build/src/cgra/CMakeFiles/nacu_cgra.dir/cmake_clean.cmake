@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_cgra.dir/fabric.cpp.o"
+  "CMakeFiles/nacu_cgra.dir/fabric.cpp.o.d"
+  "CMakeFiles/nacu_cgra.dir/inference.cpp.o"
+  "CMakeFiles/nacu_cgra.dir/inference.cpp.o.d"
+  "CMakeFiles/nacu_cgra.dir/pe.cpp.o"
+  "CMakeFiles/nacu_cgra.dir/pe.cpp.o.d"
+  "libnacu_cgra.a"
+  "libnacu_cgra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

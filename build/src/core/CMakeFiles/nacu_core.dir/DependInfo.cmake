@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bias_units.cpp" "src/core/CMakeFiles/nacu_core.dir/bias_units.cpp.o" "gcc" "src/core/CMakeFiles/nacu_core.dir/bias_units.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "src/core/CMakeFiles/nacu_core.dir/error_model.cpp.o" "gcc" "src/core/CMakeFiles/nacu_core.dir/error_model.cpp.o.d"
+  "/root/repo/src/core/nacu.cpp" "src/core/CMakeFiles/nacu_core.dir/nacu.cpp.o" "gcc" "src/core/CMakeFiles/nacu_core.dir/nacu.cpp.o.d"
+  "/root/repo/src/core/reciprocal.cpp" "src/core/CMakeFiles/nacu_core.dir/reciprocal.cpp.o" "gcc" "src/core/CMakeFiles/nacu_core.dir/reciprocal.cpp.o.d"
+  "/root/repo/src/core/sigmoid_lut.cpp" "src/core/CMakeFiles/nacu_core.dir/sigmoid_lut.cpp.o" "gcc" "src/core/CMakeFiles/nacu_core.dir/sigmoid_lut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_core.dir/bias_units.cpp.o"
+  "CMakeFiles/nacu_core.dir/bias_units.cpp.o.d"
+  "CMakeFiles/nacu_core.dir/error_model.cpp.o"
+  "CMakeFiles/nacu_core.dir/error_model.cpp.o.d"
+  "CMakeFiles/nacu_core.dir/nacu.cpp.o"
+  "CMakeFiles/nacu_core.dir/nacu.cpp.o.d"
+  "CMakeFiles/nacu_core.dir/reciprocal.cpp.o"
+  "CMakeFiles/nacu_core.dir/reciprocal.cpp.o.d"
+  "CMakeFiles/nacu_core.dir/sigmoid_lut.cpp.o"
+  "CMakeFiles/nacu_core.dir/sigmoid_lut.cpp.o.d"
+  "libnacu_core.a"
+  "libnacu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

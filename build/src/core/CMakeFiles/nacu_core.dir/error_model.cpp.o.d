@@ -1,0 +1,3 @@
+src/core/CMakeFiles/nacu_core.dir/error_model.cpp.o: \
+ /root/repo/src/core/error_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/../core/error_model.hpp

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixedpoint/fixed.cpp" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/fixed.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/fixed.cpp.o.d"
+  "/root/repo/src/fixedpoint/format.cpp" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/format.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/format.cpp.o.d"
+  "/root/repo/src/fixedpoint/format_select.cpp" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/format_select.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/format_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_fixedpoint.dir/fixed.cpp.o"
+  "CMakeFiles/nacu_fixedpoint.dir/fixed.cpp.o.d"
+  "CMakeFiles/nacu_fixedpoint.dir/format.cpp.o"
+  "CMakeFiles/nacu_fixedpoint.dir/format.cpp.o.d"
+  "CMakeFiles/nacu_fixedpoint.dir/format_select.cpp.o"
+  "CMakeFiles/nacu_fixedpoint.dir/format_select.cpp.o.d"
+  "libnacu_fixedpoint.a"
+  "libnacu_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwcost/baseline_costs.cpp" "src/hwcost/CMakeFiles/nacu_hwcost.dir/baseline_costs.cpp.o" "gcc" "src/hwcost/CMakeFiles/nacu_hwcost.dir/baseline_costs.cpp.o.d"
+  "/root/repo/src/hwcost/gates.cpp" "src/hwcost/CMakeFiles/nacu_hwcost.dir/gates.cpp.o" "gcc" "src/hwcost/CMakeFiles/nacu_hwcost.dir/gates.cpp.o.d"
+  "/root/repo/src/hwcost/nacu_cost.cpp" "src/hwcost/CMakeFiles/nacu_hwcost.dir/nacu_cost.cpp.o" "gcc" "src/hwcost/CMakeFiles/nacu_hwcost.dir/nacu_cost.cpp.o.d"
+  "/root/repo/src/hwcost/technology.cpp" "src/hwcost/CMakeFiles/nacu_hwcost.dir/technology.cpp.o" "gcc" "src/hwcost/CMakeFiles/nacu_hwcost.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

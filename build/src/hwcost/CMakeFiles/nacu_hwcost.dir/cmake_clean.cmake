@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_hwcost.dir/baseline_costs.cpp.o"
+  "CMakeFiles/nacu_hwcost.dir/baseline_costs.cpp.o.d"
+  "CMakeFiles/nacu_hwcost.dir/gates.cpp.o"
+  "CMakeFiles/nacu_hwcost.dir/gates.cpp.o.d"
+  "CMakeFiles/nacu_hwcost.dir/nacu_cost.cpp.o"
+  "CMakeFiles/nacu_hwcost.dir/nacu_cost.cpp.o.d"
+  "CMakeFiles/nacu_hwcost.dir/technology.cpp.o"
+  "CMakeFiles/nacu_hwcost.dir/technology.cpp.o.d"
+  "libnacu_hwcost.a"
+  "libnacu_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

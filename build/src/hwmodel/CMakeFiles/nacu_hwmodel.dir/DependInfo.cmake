@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/divider.cpp" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/divider.cpp.o" "gcc" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/divider.cpp.o.d"
+  "/root/repo/src/hwmodel/nacu_rtl.cpp" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/nacu_rtl.cpp.o" "gcc" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/nacu_rtl.cpp.o.d"
+  "/root/repo/src/hwmodel/softmax_engine.cpp" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/softmax_engine.cpp.o" "gcc" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/softmax_engine.cpp.o.d"
+  "/root/repo/src/hwmodel/vcd.cpp" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/vcd.cpp.o" "gcc" "src/hwmodel/CMakeFiles/nacu_hwmodel.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_hwmodel.dir/divider.cpp.o"
+  "CMakeFiles/nacu_hwmodel.dir/divider.cpp.o.d"
+  "CMakeFiles/nacu_hwmodel.dir/nacu_rtl.cpp.o"
+  "CMakeFiles/nacu_hwmodel.dir/nacu_rtl.cpp.o.d"
+  "CMakeFiles/nacu_hwmodel.dir/softmax_engine.cpp.o"
+  "CMakeFiles/nacu_hwmodel.dir/softmax_engine.cpp.o.d"
+  "CMakeFiles/nacu_hwmodel.dir/vcd.cpp.o"
+  "CMakeFiles/nacu_hwmodel.dir/vcd.cpp.o.d"
+  "libnacu_hwmodel.a"
+  "libnacu_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/nacu_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/nacu_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/nacu_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/nacu_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/quantized_mlp.cpp" "src/nn/CMakeFiles/nacu_nn.dir/quantized_mlp.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/quantized_mlp.cpp.o.d"
+  "/root/repo/src/nn/reservoir.cpp" "src/nn/CMakeFiles/nacu_nn.dir/reservoir.cpp.o" "gcc" "src/nn/CMakeFiles/nacu_nn.dir/reservoir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

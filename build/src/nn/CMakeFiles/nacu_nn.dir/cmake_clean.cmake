@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_nn.dir/conv.cpp.o"
+  "CMakeFiles/nacu_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/nacu_nn.dir/dataset.cpp.o"
+  "CMakeFiles/nacu_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/nacu_nn.dir/lstm.cpp.o"
+  "CMakeFiles/nacu_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/nacu_nn.dir/mlp.cpp.o"
+  "CMakeFiles/nacu_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/nacu_nn.dir/quantized_mlp.cpp.o"
+  "CMakeFiles/nacu_nn.dir/quantized_mlp.cpp.o.d"
+  "CMakeFiles/nacu_nn.dir/reservoir.cpp.o"
+  "CMakeFiles/nacu_nn.dir/reservoir.cpp.o.d"
+  "libnacu_nn.a"
+  "libnacu_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtlgen/nacu_verilog.cpp" "src/rtlgen/CMakeFiles/nacu_rtlgen.dir/nacu_verilog.cpp.o" "gcc" "src/rtlgen/CMakeFiles/nacu_rtlgen.dir/nacu_verilog.cpp.o.d"
+  "/root/repo/src/rtlgen/verilog.cpp" "src/rtlgen/CMakeFiles/nacu_rtlgen.dir/verilog.cpp.o" "gcc" "src/rtlgen/CMakeFiles/nacu_rtlgen.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_rtlgen.dir/nacu_verilog.cpp.o"
+  "CMakeFiles/nacu_rtlgen.dir/nacu_verilog.cpp.o.d"
+  "CMakeFiles/nacu_rtlgen.dir/verilog.cpp.o"
+  "CMakeFiles/nacu_rtlgen.dir/verilog.cpp.o.d"
+  "libnacu_rtlgen.a"
+  "libnacu_rtlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_rtlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

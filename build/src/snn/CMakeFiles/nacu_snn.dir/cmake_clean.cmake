@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nacu_snn.dir/adex.cpp.o"
+  "CMakeFiles/nacu_snn.dir/adex.cpp.o.d"
+  "CMakeFiles/nacu_snn.dir/network.cpp.o"
+  "CMakeFiles/nacu_snn.dir/network.cpp.o.d"
+  "libnacu_snn.a"
+  "libnacu_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nacu_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

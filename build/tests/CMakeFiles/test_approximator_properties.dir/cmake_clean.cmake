@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approximator_properties.dir/test_approximator_properties.cpp.o"
+  "CMakeFiles/test_approximator_properties.dir/test_approximator_properties.cpp.o.d"
+  "test_approximator_properties"
+  "test_approximator_properties.pdb"
+  "test_approximator_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approximator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_costs.dir/test_baseline_costs.cpp.o"
+  "CMakeFiles/test_baseline_costs.dir/test_baseline_costs.cpp.o.d"
+  "test_baseline_costs"
+  "test_baseline_costs.pdb"
+  "test_baseline_costs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bias_units.dir/test_bias_units.cpp.o"
+  "CMakeFiles/test_bias_units.dir/test_bias_units.cpp.o.d"
+  "test_bias_units"
+  "test_bias_units.pdb"
+  "test_bias_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bias_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgra.dir/test_cgra.cpp.o"
+  "CMakeFiles/test_cgra.dir/test_cgra.cpp.o.d"
+  "test_cgra"
+  "test_cgra.pdb"
+  "test_cgra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_divider.dir/test_divider.cpp.o"
+  "CMakeFiles/test_divider.dir/test_divider.cpp.o.d"
+  "test_divider"
+  "test_divider.pdb"
+  "test_divider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_divider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

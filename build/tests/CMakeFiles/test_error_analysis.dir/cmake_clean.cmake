@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_analysis.dir/test_error_analysis.cpp.o"
+  "CMakeFiles/test_error_analysis.dir/test_error_analysis.cpp.o.d"
+  "test_error_analysis"
+  "test_error_analysis.pdb"
+  "test_error_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format_select.dir/test_format_select.cpp.o"
+  "CMakeFiles/test_format_select.dir/test_format_select.cpp.o.d"
+  "test_format_select"
+  "test_format_select.pdb"
+  "test_format_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

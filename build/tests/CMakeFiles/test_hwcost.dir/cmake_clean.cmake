@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwcost.dir/test_hwcost.cpp.o"
+  "CMakeFiles/test_hwcost.dir/test_hwcost.cpp.o.d"
+  "test_hwcost"
+  "test_hwcost.pdb"
+  "test_hwcost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

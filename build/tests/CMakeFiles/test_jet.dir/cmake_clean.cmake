@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jet.dir/test_jet.cpp.o"
+  "CMakeFiles/test_jet.dir/test_jet.cpp.o.d"
+  "test_jet"
+  "test_jet.pdb"
+  "test_jet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

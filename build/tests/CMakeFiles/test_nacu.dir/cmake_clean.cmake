@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nacu.dir/test_nacu.cpp.o"
+  "CMakeFiles/test_nacu.dir/test_nacu.cpp.o.d"
+  "test_nacu"
+  "test_nacu.pdb"
+  "test_nacu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nacu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_nacu_rtl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_segments.dir/test_optimal_segments.cpp.o"
+  "CMakeFiles/test_optimal_segments.dir/test_optimal_segments.cpp.o.d"
+  "test_optimal_segments"
+  "test_optimal_segments.pdb"
+  "test_optimal_segments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwl_approx.dir/test_pwl_approx.cpp.o"
+  "CMakeFiles/test_pwl_approx.dir/test_pwl_approx.cpp.o.d"
+  "test_pwl_approx"
+  "test_pwl_approx.pdb"
+  "test_pwl_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwl_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reciprocal.dir/test_reciprocal.cpp.o"
+  "CMakeFiles/test_reciprocal.dir/test_reciprocal.cpp.o.d"
+  "test_reciprocal"
+  "test_reciprocal.pdb"
+  "test_reciprocal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reciprocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

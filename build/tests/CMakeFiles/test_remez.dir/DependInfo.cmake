@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_remez.cpp" "tests/CMakeFiles/test_remez.dir/test_remez.cpp.o" "gcc" "tests/CMakeFiles/test_remez.dir/test_remez.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/nacu_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/nacu_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nacu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/nacu_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/nacu_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nacu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/snn/CMakeFiles/nacu_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgra/CMakeFiles/nacu_cgra.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlgen/CMakeFiles/nacu_rtlgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

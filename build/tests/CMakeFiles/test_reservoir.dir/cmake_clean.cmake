@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reservoir.dir/test_reservoir.cpp.o"
+  "CMakeFiles/test_reservoir.dir/test_reservoir.cpp.o.d"
+  "test_reservoir"
+  "test_reservoir.pdb"
+  "test_reservoir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reservoir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigmoid_lut.dir/test_sigmoid_lut.cpp.o"
+  "CMakeFiles/test_sigmoid_lut.dir/test_sigmoid_lut.cpp.o.d"
+  "test_sigmoid_lut"
+  "test_sigmoid_lut.pdb"
+  "test_sigmoid_lut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigmoid_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snn_network.dir/test_snn_network.cpp.o"
+  "CMakeFiles/test_snn_network.dir/test_snn_network.cpp.o.d"
+  "test_snn_network"
+  "test_snn_network.pdb"
+  "test_snn_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snn_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

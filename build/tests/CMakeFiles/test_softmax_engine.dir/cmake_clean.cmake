@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_engine.dir/test_softmax_engine.cpp.o"
+  "CMakeFiles/test_softmax_engine.dir/test_softmax_engine.cpp.o.d"
+  "test_softmax_engine"
+  "test_softmax_engine.pdb"
+  "test_softmax_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

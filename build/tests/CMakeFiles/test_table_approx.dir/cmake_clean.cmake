@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_approx.dir/test_table_approx.cpp.o"
+  "CMakeFiles/test_table_approx.dir/test_table_approx.cpp.o.d"
+  "test_table_approx"
+  "test_table_approx.pdb"
+  "test_table_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

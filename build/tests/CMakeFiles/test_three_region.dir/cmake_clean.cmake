@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_region.dir/test_three_region.cpp.o"
+  "CMakeFiles/test_three_region.dir/test_three_region.cpp.o.d"
+  "test_three_region"
+  "test_three_region.pdb"
+  "test_three_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
