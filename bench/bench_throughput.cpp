@@ -6,8 +6,12 @@
 // claim that consecutive exps stream at one per clock after the fill.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <utility>
 #include <vector>
 
+#include "core/batch_nacu.hpp"
 #include "core/nacu.hpp"
 #include "hwmodel/nacu_rtl.hpp"
 #include "hwmodel/softmax_engine.hpp"
@@ -17,6 +21,20 @@ namespace {
 using namespace nacu;
 
 const core::NacuConfig kConfig = core::config_for_bits(16);
+
+/// A batch covering the datapath domain with a stride-17 walk (the same
+/// input pattern the scalar benchmarks use).
+std::vector<fp::Fixed> make_batch(std::size_t n) {
+  std::vector<fp::Fixed> xs;
+  xs.reserve(n);
+  std::int64_t raw = kConfig.format.min_raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(fp::Fixed::from_raw(raw, kConfig.format));
+    raw = raw >= kConfig.format.max_raw() ? kConfig.format.min_raw()
+                                          : raw + 17;
+  }
+  return xs;
+}
 
 void BM_FunctionalSigmoid(benchmark::State& state) {
   const core::Nacu unit{kConfig};
@@ -65,6 +83,92 @@ void BM_FunctionalSoftmax(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FunctionalSoftmax)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Scalar baseline: one full Fig. 2 datapath walk per element.
+void BM_BatchScalarLoop(benchmark::State& state, core::BatchNacu::Function f) {
+  const core::Nacu unit{kConfig};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<fp::Fixed> xs = make_batch(n);
+  std::vector<fp::Fixed> out(n, fp::Fixed::zero(kConfig.format));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = f == core::BatchNacu::Function::Sigmoid ? unit.sigmoid(xs[i])
+               : f == core::BatchNacu::Function::Tanh  ? unit.tanh(xs[i])
+                                                       : unit.exp(xs[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+void BM_BatchSigmoidScalar(benchmark::State& state) {
+  BM_BatchScalarLoop(state, core::BatchNacu::Function::Sigmoid);
+}
+BENCHMARK(BM_BatchSigmoidScalar)->Arg(1 << 16)->Arg(1 << 18);
+void BM_BatchTanhScalar(benchmark::State& state) {
+  BM_BatchScalarLoop(state, core::BatchNacu::Function::Tanh);
+}
+BENCHMARK(BM_BatchTanhScalar)->Arg(1 << 16)->Arg(1 << 18);
+
+/// Batched single-thread path: dense 2^16-entry table, no pool fan-out.
+void BM_BatchCachedLoop(benchmark::State& state, core::BatchNacu::Function f) {
+  core::BatchNacu::Options options;
+  options.parallel_threshold = ~std::size_t{0};  // keep it on one thread
+  const core::BatchNacu unit{kConfig, options};
+  unit.warm(f);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<fp::Fixed> xs = make_batch(n);
+  std::vector<fp::Fixed> out(n, fp::Fixed::zero(kConfig.format));
+  for (auto _ : state) {
+    unit.evaluate(f, xs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+void BM_BatchSigmoidCached(benchmark::State& state) {
+  BM_BatchCachedLoop(state, core::BatchNacu::Function::Sigmoid);
+}
+BENCHMARK(BM_BatchSigmoidCached)->Arg(1 << 16)->Arg(1 << 18);
+void BM_BatchTanhCached(benchmark::State& state) {
+  BM_BatchCachedLoop(state, core::BatchNacu::Function::Tanh);
+}
+BENCHMARK(BM_BatchTanhCached)->Arg(1 << 16)->Arg(1 << 18);
+
+/// Batched parallel path: table + thread-pool fan-out (defaults).
+void BM_BatchParallelLoop(benchmark::State& state,
+                          core::BatchNacu::Function f) {
+  const core::BatchNacu unit{kConfig};
+  unit.warm(f);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<fp::Fixed> xs = make_batch(n);
+  std::vector<fp::Fixed> out(n, fp::Fixed::zero(kConfig.format));
+  for (auto _ : state) {
+    unit.evaluate(f, xs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+void BM_BatchSigmoidParallel(benchmark::State& state) {
+  BM_BatchParallelLoop(state, core::BatchNacu::Function::Sigmoid);
+}
+BENCHMARK(BM_BatchSigmoidParallel)->Arg(1 << 16)->Arg(1 << 18);
+void BM_BatchTanhParallel(benchmark::State& state) {
+  BM_BatchParallelLoop(state, core::BatchNacu::Function::Tanh);
+}
+BENCHMARK(BM_BatchTanhParallel)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_BatchSoftmax(benchmark::State& state) {
+  const core::BatchNacu unit{kConfig};
+  unit.warm(core::BatchNacu::Function::Exp);
+  std::vector<fp::Fixed> xs;
+  for (int i = 0; i < state.range(0); ++i) {
+    xs.push_back(fp::Fixed::from_double(0.1 * i - 2.0, kConfig.format));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.softmax(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchSoftmax)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_RtlSigmoidPipelined(benchmark::State& state) {
   // Streams one op per cycle; reports host cycles/sec of the cycle model.
@@ -130,6 +234,62 @@ int main(int argc, char** argv) {
   std::printf("  (pipeline fill overhead: 10 cycles ~ 38 ns; cf. the "
               "paper's ~90 ns fill quote,\n   which also covers the MAC "
               "accumulation pass)\n\n");
+
+  // Scalar vs batched-cached vs batched-parallel ops/s (host model). The
+  // batch engine's contract is bit-identical outputs (proved exhaustively
+  // by test_batch_differential), so this table is pure speed.
+  std::printf("=== Batch evaluation engine: ops/s by path ===\n");
+  {
+    using Clock = std::chrono::steady_clock;
+    const core::Nacu scalar{kConfig};
+    core::BatchNacu::Options serial_options;
+    serial_options.parallel_threshold = ~std::size_t{0};
+    const core::BatchNacu cached{kConfig, serial_options};
+    const core::BatchNacu parallel{kConfig};
+    const auto time_ops = [](auto&& body) {
+      // One warm-up pass, then the best of three timed passes.
+      body();
+      double best_s = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = Clock::now();
+        body();
+        best_s = std::min(
+            best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      return best_s;
+    };
+    std::printf("  %-8s %8s %14s %14s %14s %9s\n", "func", "batch",
+                "scalar op/s", "cached op/s", "parallel op/s", "par/scal");
+    for (const auto& [name, func] :
+         {std::pair{"sigmoid", core::BatchNacu::Function::Sigmoid},
+          std::pair{"tanh", core::BatchNacu::Function::Tanh}}) {
+      cached.warm(func);
+      parallel.warm(func);
+      for (const std::size_t n : {std::size_t{1} << 16,
+                                  std::size_t{1} << 18}) {
+        const std::vector<fp::Fixed> xs = make_batch(n);
+        std::vector<fp::Fixed> out(n, fp::Fixed::zero(kConfig.format));
+        const core::BatchNacu::Function f = func;
+        const double scalar_s = time_ops([&] {
+          for (std::size_t i = 0; i < n; ++i) {
+            out[i] = f == core::BatchNacu::Function::Sigmoid
+                         ? scalar.sigmoid(xs[i])
+                         : scalar.tanh(xs[i]);
+          }
+        });
+        const double cached_s = time_ops([&] { cached.evaluate(f, xs, out); });
+        const double parallel_s =
+            time_ops([&] { parallel.evaluate(f, xs, out); });
+        const double dn = static_cast<double>(n);
+        std::printf("  %-8s %8zu %14.3e %14.3e %14.3e %8.1fx\n", name, n,
+                    dn / scalar_s, dn / cached_s, dn / parallel_s,
+                    scalar_s / parallel_s);
+      }
+    }
+    std::printf("  (activation table: %zu KiB per function; pool size %zu)\n\n",
+                parallel.table_bytes() / 1024,
+                core::ThreadPool::shared().size());
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -122,8 +122,14 @@ std::vector<std::int64_t> Fabric::run(
 std::vector<std::int64_t> dense_layer_reference(
     const DenseLayer& layer, const std::vector<std::int64_t>& inputs_raw,
     const core::NacuConfig& config) {
-  const core::Nacu unit{config};
-  const fp::Format fmt = config.format;
+  const core::BatchNacu unit{config};
+  return dense_layer_reference(layer, inputs_raw, unit);
+}
+
+std::vector<std::int64_t> dense_layer_reference(
+    const DenseLayer& layer, const std::vector<std::int64_t>& inputs_raw,
+    const core::BatchNacu& unit) {
+  const fp::Format fmt = unit.format();
   const fp::Format acc_fmt{fmt.integer_bits() + 8, fmt.fractional_bits()};
   std::vector<std::int64_t> outputs;
   outputs.reserve(layer.neurons);
@@ -131,18 +137,24 @@ std::vector<std::int64_t> dense_layer_reference(
     fp::Fixed acc = fp::Fixed::from_raw(layer.biases_raw.at(n), fmt)
                         .requantize(acc_fmt);
     for (std::size_t i = 0; i < layer.inputs; ++i) {
-      acc = unit.mac(acc,
-                     fp::Fixed::from_raw(
-                         layer.weights_raw.at(n * layer.inputs + i), fmt),
-                     fp::Fixed::from_raw(inputs_raw.at(i), fmt));
+      acc = unit.unit().mac(
+          acc,
+          fp::Fixed::from_raw(layer.weights_raw.at(n * layer.inputs + i),
+                              fmt),
+          fp::Fixed::from_raw(inputs_raw.at(i), fmt));
     }
-    const fp::Fixed z = acc.requantize(fmt, fp::Rounding::Truncate,
-                                       fp::Overflow::Saturate);
-    const fp::Fixed y = layer.function == 0   ? unit.sigmoid(z)
-                        : layer.function == 1 ? unit.tanh(z)
-                        : layer.function == 2 ? unit.exp(z)
-                                              : z;  // kLinearFunction
-    outputs.push_back(y.raw());
+    outputs.push_back(acc.requantize(fmt, fp::Rounding::Truncate,
+                                     fp::Overflow::Saturate)
+                          .raw());
+  }
+  // One batch non-linearity pass over the whole layer (kLinearFunction
+  // keeps the requantised accumulator sums).
+  if (layer.function == 0) {
+    unit.evaluate_raw(core::BatchNacu::Function::Sigmoid, outputs, outputs);
+  } else if (layer.function == 1) {
+    unit.evaluate_raw(core::BatchNacu::Function::Tanh, outputs, outputs);
+  } else if (layer.function == 2) {
+    unit.evaluate_raw(core::BatchNacu::Function::Exp, outputs, outputs);
   }
   return outputs;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cgra/pe.hpp"
+#include "core/batch_nacu.hpp"
 #include "hwmodel/sim.hpp"
 
 namespace nacu::cgra {
@@ -65,11 +66,16 @@ class Fabric {
   FabricStats stats_;
 };
 
-/// Reference: evaluate the layer sequentially on one core::Nacu (the raw
-/// values the fabric must reproduce exactly).
+/// Reference: evaluate the layer on one NACU — sequential MACs, then one
+/// batch non-linearity pass (the raw values the fabric must reproduce
+/// exactly). The config overload constructs a throwaway BatchNacu; pass a
+/// long-lived one to reuse its cached activation tables.
 [[nodiscard]] std::vector<std::int64_t> dense_layer_reference(
     const DenseLayer& layer, const std::vector<std::int64_t>& inputs_raw,
     const core::NacuConfig& config);
+[[nodiscard]] std::vector<std::int64_t> dense_layer_reference(
+    const DenseLayer& layer, const std::vector<std::int64_t>& inputs_raw,
+    const core::BatchNacu& unit);
 
 /// Run a whole feed-forward network through one fabric, reconfiguring
 /// between layers (the morphing the paper's CGRA story is about). Returns

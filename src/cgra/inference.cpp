@@ -8,7 +8,10 @@ namespace nacu::cgra {
 InferenceEngine::InferenceEngine(const nn::Mlp& mlp,
                                  const core::NacuConfig& config,
                                  std::size_t pe_count)
-    : config_{config}, fabric_{config, pe_count}, softmax_{config} {
+    : config_{config},
+      fabric_{config, pe_count},
+      softmax_{config},
+      batch_{config} {
   if (mlp.max_parameter_magnitude() >= config.format.max_value()) {
     throw std::invalid_argument(
         "trained weights exceed the datapath format range");
@@ -62,6 +65,26 @@ InferenceEngine::Result InferenceEngine::infer(
   return result;
 }
 
+std::vector<double> InferenceEngine::infer_functional(
+    const std::vector<double>& input) const {
+  std::vector<std::int64_t> acts;
+  acts.reserve(input.size());
+  for (const double v : input) {
+    acts.push_back(fp::Fixed::from_double(v, config_.format).raw());
+  }
+  for (const DenseLayer& layer : layers_) {
+    acts = dense_layer_reference(layer, acts, batch_);
+  }
+  const std::vector<std::int64_t> probs_raw = batch_.softmax_raw(acts);
+  std::vector<double> probabilities;
+  probabilities.reserve(probs_raw.size());
+  for (const std::int64_t raw : probs_raw) {
+    probabilities.push_back(
+        fp::Fixed::from_raw(raw, config_.format).to_double());
+  }
+  return probabilities;
+}
+
 double InferenceEngine::accuracy(const nn::Dataset& data) {
   std::size_t correct = 0;
   std::vector<double> input(data.inputs.cols());
@@ -69,7 +92,10 @@ double InferenceEngine::accuracy(const nn::Dataset& data) {
     for (std::size_t c = 0; c < input.size(); ++c) {
       input[c] = data.inputs(s, c);
     }
-    if (infer(input).predicted_class == data.labels[s]) {
+    const std::vector<double> probs = infer_functional(input);
+    const int predicted = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    if (predicted == data.labels[s]) {
       ++correct;
     }
   }

@@ -38,8 +38,16 @@ class InferenceEngine {
 
   [[nodiscard]] Result infer(const std::vector<double>& input);
 
-  /// Classification accuracy over a dataset (runs the full pipeline per
-  /// sample — cycle-accurate, so prefer modest dataset sizes).
+  /// Functional fast path: the same probabilities infer() produces (the
+  /// fabric is bit-identical to dense_layer_reference and the softmax
+  /// engine to the batched softmax — both tested), computed through the
+  /// core::BatchNacu API with no cycle simulation.
+  [[nodiscard]] std::vector<double> infer_functional(
+      const std::vector<double>& input) const;
+
+  /// Classification accuracy over a dataset. Goes through the functional
+  /// batch path — bit-identical to running the cycle-accurate pipeline per
+  /// sample, orders of magnitude faster on large datasets.
   [[nodiscard]] double accuracy(const nn::Dataset& data);
 
   [[nodiscard]] const core::NacuConfig& config() const noexcept {
@@ -54,6 +62,7 @@ class InferenceEngine {
   std::vector<DenseLayer> layers_;  ///< hidden σ/tanh + final linear
   Fabric fabric_;
   hw::SoftmaxEngine softmax_;
+  core::BatchNacu batch_;  ///< functional fast path + cached tables
 };
 
 }  // namespace nacu::cgra

@@ -1,0 +1,244 @@
+#include "core/batch_nacu.hpp"
+
+#include <stdexcept>
+
+namespace nacu::core {
+
+BatchNacu::BatchNacu(const NacuConfig& config)
+    : BatchNacu{config, Options{}} {}
+
+BatchNacu::BatchNacu(const NacuConfig& config, Options options)
+    : unit_{config},
+      options_{options},
+      pool_{options.pool != nullptr ? options.pool : &ThreadPool::shared()} {}
+
+bool BatchNacu::table_cacheable() const noexcept {
+  return unit_.format().width() <= kMaxTableWidth;
+}
+
+bool BatchNacu::table_built(Function f) const noexcept {
+  return table_built_[static_cast<std::size_t>(f)].load(
+      std::memory_order_acquire);
+}
+
+std::size_t BatchNacu::table_bytes() const noexcept {
+  if (!table_cacheable()) {
+    return 0;
+  }
+  return (std::size_t{1} << unit_.format().width()) * sizeof(std::int16_t);
+}
+
+void BatchNacu::warm(Function f) const {
+  (void)table_for(f, options_.table_threshold);
+}
+
+std::int64_t BatchNacu::scalar_raw(Function f, std::int64_t raw) const {
+  const fp::Fixed x = fp::Fixed::from_raw(raw, unit_.format());
+  switch (f) {
+    case Function::Sigmoid:
+      return unit_.sigmoid(x).raw();
+    case Function::Tanh:
+      return unit_.tanh(x).raw();
+    case Function::Exp:
+      return unit_.exp(x).raw();
+  }
+  throw std::logic_error("BatchNacu: unknown function");
+}
+
+const std::vector<std::int16_t>* BatchNacu::table_for(
+    Function f, std::size_t batch_size) const {
+  if (!table_cacheable()) {
+    return nullptr;
+  }
+  const auto index = static_cast<std::size_t>(f);
+  if (!table_built_[index].load(std::memory_order_acquire) &&
+      batch_size < options_.table_threshold) {
+    return nullptr;  // too small to justify a full-domain sweep
+  }
+  std::call_once(table_once_[index], [&] {
+    // Build with the *scalar* datapath over the entire domain — the table
+    // is bit-identical to per-call evaluation by construction. Serial on
+    // purpose: a nested parallel build could deadlock a caller already
+    // running inside the pool, and the sweep is a few milliseconds.
+    const fp::Format fmt = unit_.format();
+    const std::int64_t min_raw = fmt.min_raw();
+    const auto entries =
+        static_cast<std::size_t>(fmt.max_raw() - min_raw + 1);
+    std::vector<std::int16_t> table(entries);
+    for (std::size_t k = 0; k < entries; ++k) {
+      table[k] = static_cast<std::int16_t>(
+          scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
+    }
+    tables_[index] = std::move(table);
+    table_built_[index].store(true, std::memory_order_release);
+  });
+  return &tables_[index];
+}
+
+void BatchNacu::for_range(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  if (n >= options_.parallel_threshold) {
+    pool_->parallel_for(n, options_.parallel_grain, body);
+  } else {
+    body(0, n);
+  }
+}
+
+void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
+                         std::span<fp::Fixed> out) const {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("BatchNacu::evaluate: size mismatch");
+  }
+  const std::size_t n = in.size();
+  if (n == 0) {
+    return;
+  }
+  const fp::Format fmt = unit_.format();
+  const std::vector<std::int16_t>* table = table_for(f, n);
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    if (table != nullptr) {
+      const std::int64_t min_raw = fmt.min_raw();
+      for (std::size_t k = begin; k < end; ++k) {
+        if (in[k].format() != fmt) {
+          throw std::invalid_argument(
+              "BatchNacu::evaluate: input not in the datapath format");
+        }
+        out[k] = fp::Fixed::from_raw(
+            (*table)[static_cast<std::size_t>(in[k].raw() - min_raw)], fmt);
+      }
+      return;
+    }
+    for (std::size_t k = begin; k < end; ++k) {
+      if (in[k].format() != fmt) {
+        throw std::invalid_argument(
+            "BatchNacu::evaluate: input not in the datapath format");
+      }
+      switch (f) {
+        case Function::Sigmoid:
+          out[k] = unit_.sigmoid(in[k]);
+          break;
+        case Function::Tanh:
+          out[k] = unit_.tanh(in[k]);
+          break;
+        case Function::Exp:
+          out[k] = unit_.exp(in[k]);
+          break;
+      }
+    }
+  });
+}
+
+std::vector<fp::Fixed> BatchNacu::evaluate(
+    Function f, std::span<const fp::Fixed> in) const {
+  std::vector<fp::Fixed> out(in.size(), fp::Fixed::zero(unit_.format()));
+  evaluate(f, in, out);
+  return out;
+}
+
+void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
+                             std::span<std::int64_t> out) const {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("BatchNacu::evaluate_raw: size mismatch");
+  }
+  const std::size_t n = in.size();
+  if (n == 0) {
+    return;
+  }
+  const fp::Format fmt = unit_.format();
+  const std::vector<std::int16_t>* table = table_for(f, n);
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    const std::int64_t min_raw = fmt.min_raw();
+    const std::int64_t max_raw = fmt.max_raw();
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::int64_t raw = in[k];
+      if (raw < min_raw || raw > max_raw) {
+        throw std::out_of_range(
+            "BatchNacu::evaluate_raw: raw outside the datapath format");
+      }
+      out[k] = table != nullptr
+                   ? (*table)[static_cast<std::size_t>(raw - min_raw)]
+                   : scalar_raw(f, raw);
+    }
+  });
+}
+
+std::vector<fp::Fixed> BatchNacu::softmax(
+    std::span<const fp::Fixed> inputs) const {
+  if (inputs.empty()) {
+    return {};
+  }
+  const fp::Format fmt = unit_.format();
+  const std::size_t n = inputs.size();
+  // Max-scan (Eq. 13), same comparator as core::Nacu::softmax.
+  fp::Fixed x_max = inputs[0];
+  for (const fp::Fixed& x : inputs) {
+    if (x_max < x) {
+      x_max = x;
+    }
+  }
+  // Accumulator format: identical derivation to core::Nacu::softmax so the
+  // MAC truncation sequence matches bit-for-bit.
+  int sum_ib = 1;
+  while ((std::size_t{1} << sum_ib) < n + 1) {
+    ++sum_ib;
+  }
+  const fp::Format sum_fmt{sum_ib + 1, fmt.fractional_bits()};
+  // Shift pass + batched exp (one table pass for the whole vector).
+  std::vector<fp::Fixed> exps(n, fp::Fixed::zero(fmt));
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      exps[k] = inputs[k].sub(x_max, fmt);
+    }
+  });
+  evaluate(Function::Exp, exps, exps);
+  // Denominator MAC accumulation stays sequential, preserving the exact
+  // truncation order of the scalar path.
+  const fp::Fixed one = fp::Fixed::from_double(1.0, fmt);
+  fp::Fixed denom = fp::Fixed::zero(sum_fmt);
+  for (const fp::Fixed& e : exps) {
+    denom = unit_.mac(denom, e, one);
+  }
+  if (denom.is_zero()) {
+    denom = fp::Fixed::from_raw(1, sum_fmt);
+  }
+  std::vector<fp::Fixed> out(n, fp::Fixed::zero(fmt));
+  if (const ReciprocalUnit* recip = unit_.reciprocal_unit()) {
+    // Approximate path (§VIII): one shared reciprocal, one multiply each.
+    const fp::Format recip_fmt{
+        1, fmt.fractional_bits() + config().divider_guard_bits + 2};
+    const fp::Fixed denom_recip = recip->reciprocal(denom, recip_fmt);
+    for_range(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        out[k] = exps[k].mul(denom_recip, fmt, fp::Rounding::Truncate,
+                             fp::Overflow::Saturate);
+      }
+    });
+    return out;
+  }
+  // Exact path: independent divider passes fan out across the pool.
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      out[k] = exps[k].div(denom, fmt, fp::Rounding::Truncate);
+    }
+  });
+  return out;
+}
+
+std::vector<std::int64_t> BatchNacu::softmax_raw(
+    std::span<const std::int64_t> inputs_raw) const {
+  std::vector<fp::Fixed> inputs;
+  inputs.reserve(inputs_raw.size());
+  for (const std::int64_t raw : inputs_raw) {
+    inputs.push_back(fp::Fixed::from_raw(raw, unit_.format()));
+  }
+  const std::vector<fp::Fixed> probs = softmax(inputs);
+  std::vector<std::int64_t> out;
+  out.reserve(probs.size());
+  for (const fp::Fixed& p : probs) {
+    out.push_back(p.raw());
+  }
+  return out;
+}
+
+}  // namespace nacu::core

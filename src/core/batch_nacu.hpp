@@ -1,0 +1,121 @@
+// Batched NACU evaluation engine.
+//
+// The scalar core::Nacu walks the full Fig. 2 datapath — segment search,
+// coefficient morphing, widened multiply-add, output quantisation — once
+// per call. BatchNacu amortises that per-call cost for array-granularity
+// consumers (dense layers, LSTM gates, conv feature maps, softmax):
+//
+//  * dense activation table — a datapath of width ≤ 16 bits has at most
+//    2^16 representable inputs, so σ/tanh/e^x each collapse into one dense
+//    raw→raw table (2^width × 2 B). Tables are built lazily, once per
+//    (function, config), under std::call_once, by running the *scalar*
+//    datapath over the whole domain — a table lookup is therefore
+//    bit-identical to the scalar unit by construction (and exhaustively
+//    re-proven by tests/test_batch_differential.cpp);
+//  * thread-pool fan-out — batches past Options::parallel_threshold split
+//    across core::ThreadPool chunks. Every element is independent, so the
+//    split cannot change results;
+//  * batched softmax — the Eq. 13 passes (max-scan, exp, MAC-accumulated
+//    denominator, normalise) run over whole vectors, with the exp pass on
+//    the table and the per-element divider pass fanned out. The MAC
+//    accumulation order is preserved, keeping the result bit-identical to
+//    core::Nacu::softmax.
+//
+// Formats wider than 16 bits skip the table (2^width entries would not pay
+// off) and keep the scalar datapath per element, still chunked across the
+// pool. See DESIGN.md ("Batch evaluation engine") for the memory/speed
+// trade-off numbers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/nacu.hpp"
+#include "core/thread_pool.hpp"
+
+namespace nacu::core {
+
+class BatchNacu {
+ public:
+  enum class Function { Sigmoid, Tanh, Exp };
+  static constexpr std::size_t kFunctionCount = 3;
+  /// Widest datapath that gets a dense table (2^16 × 2 B = 128 KiB).
+  static constexpr int kMaxTableWidth = 16;
+
+  struct Options {
+    /// Batch size at which a first use builds the dense table. Below it,
+    /// fresh instances stay on the scalar path (a table costs a full-domain
+    /// sweep to build); once built, the table serves every size.
+    std::size_t table_threshold = 64;
+    /// Batch size at which work fans out across the thread pool.
+    std::size_t parallel_threshold = std::size_t{1} << 14;
+    /// Minimum elements per pool chunk.
+    std::size_t parallel_grain = std::size_t{1} << 12;
+    /// Pool to fan out on; nullptr uses ThreadPool::shared().
+    ThreadPool* pool = nullptr;
+  };
+
+  explicit BatchNacu(const NacuConfig& config);
+  BatchNacu(const NacuConfig& config, Options options);
+
+  [[nodiscard]] const Nacu& unit() const noexcept { return unit_; }
+  [[nodiscard]] const NacuConfig& config() const noexcept {
+    return unit_.config();
+  }
+  [[nodiscard]] fp::Format format() const noexcept { return unit_.format(); }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Whether this config's domain is small enough for dense tables.
+  [[nodiscard]] bool table_cacheable() const noexcept;
+  /// Whether @p f's table has been built (lazily, by a prior batch).
+  [[nodiscard]] bool table_built(Function f) const noexcept;
+  /// Bytes one function's dense table occupies (0 when not cacheable).
+  [[nodiscard]] std::size_t table_bytes() const noexcept;
+  /// Force-build @p f's table now (e.g. before timing-sensitive batches).
+  void warm(Function f) const;
+
+  /// Evaluate @p f element-wise: out[i] = f(in[i]), bit-identical to the
+  /// scalar core::Nacu calls. Inputs must be in the datapath format;
+  /// in.size() must equal out.size(). in and out may alias exactly.
+  void evaluate(Function f, std::span<const fp::Fixed> in,
+                std::span<fp::Fixed> out) const;
+  [[nodiscard]] std::vector<fp::Fixed> evaluate(
+      Function f, std::span<const fp::Fixed> in) const;
+
+  /// Raw-value variant for consumers that carry datapath raws (CGRA,
+  /// softmax engine). Raws must be representable in the datapath format.
+  void evaluate_raw(Function f, std::span<const std::int64_t> in,
+                    std::span<std::int64_t> out) const;
+
+  /// Batched Eq. 13 softmax, bit-identical to core::Nacu::softmax.
+  [[nodiscard]] std::vector<fp::Fixed> softmax(
+      std::span<const fp::Fixed> inputs) const;
+  [[nodiscard]] std::vector<std::int64_t> softmax_raw(
+      std::span<const std::int64_t> inputs_raw) const;
+
+ private:
+  /// Scalar datapath result for one raw input.
+  [[nodiscard]] std::int64_t scalar_raw(Function f, std::int64_t raw) const;
+  /// The dense table for @p f, building it if a batch of @p batch_size
+  /// warrants one; nullptr when the scalar path should be used instead.
+  [[nodiscard]] const std::vector<std::int16_t>* table_for(
+      Function f, std::size_t batch_size) const;
+  /// Run @p body over [0, n), fanned out when n crosses the threshold.
+  void for_range(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& body)
+      const;
+
+  Nacu unit_;
+  Options options_;
+  ThreadPool* pool_;
+  mutable std::array<std::once_flag, kFunctionCount> table_once_;
+  mutable std::array<std::vector<std::int16_t>, kFunctionCount> tables_;
+  mutable std::array<std::atomic<bool>, kFunctionCount> table_built_{};
+};
+
+}  // namespace nacu::core

@@ -1,0 +1,136 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace nacu::core {
+
+namespace {
+
+/// Completion state shared by every task of one run() batch.
+struct Batch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr error;  ///< first exception thrown by any task
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::function<void()> ThreadPool::try_pop() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (queue_.empty()) {
+    return {};
+  }
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  return task;
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (std::function<void()>& task : tasks) {
+      queue_.emplace_back([batch, task = std::move(task)] {
+        std::exception_ptr error;
+        try {
+          task();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> batch_lock{batch->mutex};
+        if (error && !batch->error) {
+          batch->error = error;
+        }
+        if (--batch->remaining == 0) {
+          batch->done.notify_all();
+        }
+      });
+    }
+  }
+  work_ready_.notify_all();
+  // The caller drains queued tasks too (its own batch's or another's), so
+  // a single-threaded host still makes progress and no core idles.
+  while (std::function<void()> task = try_pop()) {
+    task();
+  }
+  std::unique_lock<std::mutex> lock{batch->mutex};
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->error) {
+    std::rethrow_exception(batch->error);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks =
+      std::min(size(), (count + grain - 1) / grain);
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  const std::size_t chunk = (count + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    tasks.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  run(std::move(tasks));  // blocks, so capturing body by reference is safe
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace nacu::core

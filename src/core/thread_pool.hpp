@@ -1,0 +1,65 @@
+// Small reusable worker pool for batch evaluation fan-out.
+//
+// The pool owns a fixed set of worker threads and a shared FIFO task queue.
+// Each run() call is a *batch*: the caller enqueues its tasks, helps drain
+// the queue, and blocks until every task of its own batch has completed.
+// The first exception thrown by any task is captured and rethrown on the
+// calling thread, so batch evaluation keeps ordinary error semantics.
+//
+// The pool is deliberately minimal — no futures, no work stealing beyond
+// the shared queue, no task priorities — because the only client is
+// BatchNacu's data-parallel range splitting, where every task is a chunk of
+// one homogeneous loop. Tasks must not enqueue nested run() batches on the
+// same pool (a worker blocking on a nested batch could deadlock a pool
+// whose other workers wait on it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nacu::core {
+
+class ThreadPool {
+ public:
+  /// Spawn @p threads workers; 0 means std::thread::hardware_concurrency()
+  /// (with a floor of one worker).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run every task, block until all complete, rethrow the first exception.
+  /// The calling thread participates in draining the queue.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Split [0, count) into at most size() contiguous chunks of at least
+  /// @p grain elements and run body(begin, end) over each. Runs inline on
+  /// the caller when one chunk (or fewer than grain elements) remains.
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool shared by every BatchNacu that does not bring its
+  /// own. Sized to the hardware concurrency.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  /// Pop one queued task, or an empty function when the queue is empty.
+  std::function<void()> try_pop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace nacu::core

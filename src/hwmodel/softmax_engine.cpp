@@ -7,7 +7,12 @@
 namespace nacu::hw {
 
 SoftmaxEngine::SoftmaxEngine(const core::NacuConfig& config)
-    : config_{config}, rtl_{config} {}
+    : config_{config}, rtl_{config}, batch_{config} {}
+
+std::vector<std::int64_t> SoftmaxEngine::values(
+    const std::vector<std::int64_t>& logits_raw) const {
+  return batch_.softmax_raw(logits_raw);
+}
 
 SoftmaxEngine::Result SoftmaxEngine::run(
     const std::vector<std::int64_t>& logits_raw) {

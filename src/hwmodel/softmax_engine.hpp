@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_nacu.hpp"
 #include "hwmodel/nacu_rtl.hpp"
 
 namespace nacu::hw {
@@ -36,13 +37,24 @@ class SoftmaxEngine {
   /// Run one softmax over @p logits_raw (datapath-format raw values).
   [[nodiscard]] Result run(const std::vector<std::int64_t>& logits_raw);
 
+  /// Value-only softmax through the batched engine (core::BatchNacu):
+  /// bit-identical probabilities to run().probs_raw with no cycle
+  /// simulation — the path bulk consumers (CGRA inference accuracy sweeps)
+  /// take when they only need numbers, not timing.
+  [[nodiscard]] std::vector<std::int64_t> values(
+      const std::vector<std::int64_t>& logits_raw) const;
+
   [[nodiscard]] const core::Nacu& unit() const noexcept {
     return rtl_.unit();
+  }
+  [[nodiscard]] const core::BatchNacu& batch_unit() const noexcept {
+    return batch_;
   }
 
  private:
   core::NacuConfig config_;
   NacuRtl rtl_;
+  core::BatchNacu batch_;
 };
 
 }  // namespace nacu::hw

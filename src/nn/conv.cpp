@@ -144,6 +144,46 @@ std::vector<double> ConvFeatures::extract_fixed(
   return features;
 }
 
+std::vector<double> ConvFeatures::extract_fixed(
+    const MatrixD& image, const core::BatchNacu& unit) const {
+  const fp::Format fmt = unit.format();
+  const fp::Format acc_fmt{fmt.integer_bits() + 6, fmt.fractional_bits()};
+  std::vector<double> features;
+  for (const MatrixD& filter : filters_) {
+    const std::size_t out_r = image.rows() - 2;
+    const std::size_t out_c = image.cols() - 2;
+    // Accumulate the whole feature map's pre-activations, then run one
+    // batch σ pass over it instead of a scalar call per pixel.
+    std::vector<fp::Fixed> pre;
+    pre.reserve(out_r * out_c);
+    for (std::size_t r = 0; r < out_r; ++r) {
+      for (std::size_t c = 0; c < out_c; ++c) {
+        fp::Fixed acc = fp::Fixed::zero(acc_fmt);
+        for (std::size_t fr = 0; fr < 3; ++fr) {
+          for (std::size_t fc = 0; fc < 3; ++fc) {
+            acc = unit.unit().mac(
+                acc, fp::Fixed::from_double(filter(fr, fc), fmt),
+                fp::Fixed::from_double(image(r + fr, c + fc), fmt));
+          }
+        }
+        pre.push_back(acc.requantize(fmt, fp::Rounding::Truncate,
+                                     fp::Overflow::Saturate));
+      }
+    }
+    unit.evaluate(core::BatchNacu::Function::Sigmoid, pre, pre);
+    MatrixD activated{out_r, out_c};
+    for (std::size_t r = 0; r < out_r; ++r) {
+      for (std::size_t c = 0; c < out_c; ++c) {
+        activated(r, c) = pre[r * out_c + c].to_double();
+      }
+    }
+    const MatrixD pooled = maxpool2(activated);
+    features.insert(features.end(), pooled.data().begin(),
+                    pooled.data().end());
+  }
+  return features;
+}
+
 MatrixD row_to_image(const Dataset& data, std::size_t row, std::size_t rows,
                      std::size_t cols) {
   if (rows * cols != data.inputs.cols()) {

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/nacu.hpp"
+#include "core/batch_nacu.hpp"
 #include "nn/dataset.hpp"
 #include "nn/matrix.hpp"
 
@@ -44,6 +44,11 @@ class ConvFeatures {
   /// Fixed path: same parameters, every MAC and sigmoid on @p unit.
   [[nodiscard]] std::vector<double> extract_fixed(
       const MatrixD& image, const core::Nacu& unit) const;
+
+  /// Batched fixed path: MACs per output pixel, then one batch σ pass per
+  /// feature map on @p unit — bit-identical to the scalar overload.
+  [[nodiscard]] std::vector<double> extract_fixed(
+      const MatrixD& image, const core::BatchNacu& unit) const;
 
   /// Feature-vector length for r×c input images.
   [[nodiscard]] std::size_t feature_size(std::size_t rows,

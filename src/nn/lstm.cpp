@@ -84,12 +84,12 @@ fp::Fixed LstmFixed::gate_preactivation(std::size_t row,
   fp::Fixed acc = fp::Fixed::from_double(weights_.b[row], fmt_)
                       .requantize(acc_fmt_);
   for (std::size_t i = 0; i < weights_.input; ++i) {
-    acc = unit_.mac(acc, fp::Fixed::from_double(weights_.wx(row, i), fmt_),
-                    xq[i]);
+    acc = unit_.unit().mac(
+        acc, fp::Fixed::from_double(weights_.wx(row, i), fmt_), xq[i]);
   }
   for (std::size_t i = 0; i < weights_.hidden; ++i) {
-    acc = unit_.mac(acc, fp::Fixed::from_double(weights_.wh(row, i), fmt_),
-                    state.h[i]);
+    acc = unit_.unit().mac(
+        acc, fp::Fixed::from_double(weights_.wh(row, i), fmt_), state.h[i]);
   }
   return acc.requantize(fmt_, fp::Rounding::Truncate, fp::Overflow::Saturate);
 }
@@ -102,25 +102,45 @@ LstmFixed::State LstmFixed::step(const State& state,
   for (const double v : x) {
     xq.push_back(fp::Fixed::from_double(v, fmt_));
   }
+  // Gate pre-activations for the whole step (row order: i, f, cand, o),
+  // then the σ/tanh mix of §I as two batch passes: σ over the 3H gate rows
+  // (input, forget, output), tanh over the H candidate rows.
+  std::vector<fp::Fixed> sig_pre;
+  sig_pre.reserve(3 * h);
+  std::vector<fp::Fixed> tanh_pre;
+  tanh_pre.reserve(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    sig_pre.push_back(gate_preactivation(i, xq, state));
+  }
+  for (std::size_t i = 0; i < h; ++i) {
+    sig_pre.push_back(gate_preactivation(h + i, xq, state));
+  }
+  for (std::size_t i = 0; i < h; ++i) {
+    tanh_pre.push_back(gate_preactivation(2 * h + i, xq, state));
+  }
+  for (std::size_t i = 0; i < h; ++i) {
+    sig_pre.push_back(gate_preactivation(3 * h + i, xq, state));
+  }
+  unit_.evaluate(core::BatchNacu::Function::Sigmoid, sig_pre, sig_pre);
+  unit_.evaluate(core::BatchNacu::Function::Tanh, tanh_pre, tanh_pre);
+
   State next;
-  next.h.reserve(h);
   next.c.reserve(h);
   for (std::size_t i = 0; i < h; ++i) {
-    // Five NACU evaluations per element — the σ/tanh mix of §I.
-    const fp::Fixed ig = unit_.sigmoid(gate_preactivation(i, xq, state));
-    const fp::Fixed fg = unit_.sigmoid(gate_preactivation(h + i, xq, state));
-    const fp::Fixed cand = unit_.tanh(gate_preactivation(2 * h + i, xq, state));
-    const fp::Fixed og = unit_.sigmoid(gate_preactivation(3 * h + i, xq, state));
     // c' = fg·c + ig·cand through the MAC (two accumulate steps).
     fp::Fixed c_acc = fp::Fixed::zero(acc_fmt_);
-    c_acc = unit_.mac(c_acc, fg, state.c[i]);
-    c_acc = unit_.mac(c_acc, ig, cand);
-    const fp::Fixed c_new = c_acc.requantize(fmt_, fp::Rounding::Truncate,
-                                             fp::Overflow::Saturate);
-    const fp::Fixed h_new =
-        unit_.tanh(c_new).mul(og, fmt_, fp::Rounding::Truncate);
-    next.c.push_back(c_new);
-    next.h.push_back(h_new);
+    c_acc = unit_.unit().mac(c_acc, sig_pre[h + i], state.c[i]);
+    c_acc = unit_.unit().mac(c_acc, sig_pre[i], tanh_pre[i]);
+    next.c.push_back(c_acc.requantize(fmt_, fp::Rounding::Truncate,
+                                      fp::Overflow::Saturate));
+  }
+  // h' = og · tanh(c'): one more batch tanh pass over the new cell states.
+  std::vector<fp::Fixed> tanh_c = unit_.evaluate(
+      core::BatchNacu::Function::Tanh, next.c);
+  next.h.reserve(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    next.h.push_back(
+        tanh_c[i].mul(sig_pre[2 * h + i], fmt_, fp::Rounding::Truncate));
   }
   return next;
 }

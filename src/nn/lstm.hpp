@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/nacu.hpp"
+#include "core/batch_nacu.hpp"
 #include "nn/matrix.hpp"
 
 namespace nacu::nn {
@@ -51,10 +51,15 @@ class LstmFixed {
   [[nodiscard]] State initial_state() const;
 
   /// One cell step where σ/tanh are NACU and dot products are NACU MACs.
+  /// All 4H gate non-linearities of the step go through one batched σ pass
+  /// and one batched tanh pass on core::BatchNacu (plus a batched tanh over
+  /// the new cell states) — bit-identical to per-gate scalar evaluation.
   [[nodiscard]] State step(const State& state,
                            const std::vector<double>& x) const;
 
-  [[nodiscard]] const core::Nacu& unit() const noexcept { return unit_; }
+  [[nodiscard]] const core::Nacu& unit() const noexcept {
+    return unit_.unit();
+  }
   [[nodiscard]] fp::Format format() const noexcept { return fmt_; }
 
  private:
@@ -63,7 +68,7 @@ class LstmFixed {
                                              const State& state) const;
 
   LstmWeights weights_;
-  core::Nacu unit_;
+  core::BatchNacu unit_;
   fp::Format fmt_;
   fp::Format acc_fmt_;
 };

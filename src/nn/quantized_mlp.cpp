@@ -8,7 +8,7 @@ namespace nacu::nn {
 
 QuantizedMlp::QuantizedMlp(const Mlp& reference,
                            const core::NacuConfig& config)
-    : unit_{std::make_shared<core::Nacu>(config)},
+    : unit_{config},
       activation_{reference.config().activation},
       fmt_{config.format},
       // MAC accumulator: datapath fb with headroom integer bits for the
@@ -51,15 +51,18 @@ std::vector<fp::Fixed> QuantizedMlp::dense_forward(
     // Bias preloads the accumulator; each term goes through the NACU MAC.
     fp::Fixed acc = fp::Fixed::from_raw(b[o], fmt_).requantize(acc_fmt_);
     for (std::size_t i = 0; i < input.size(); ++i) {
-      acc = unit_->mac(acc, fp::Fixed::from_raw(w[o][i], fmt_), input[i]);
+      acc = unit_.unit().mac(acc, fp::Fixed::from_raw(w[o][i], fmt_),
+                             input[i]);
     }
-    fp::Fixed z = acc.requantize(fmt_, fp::Rounding::Truncate,
-                                 fp::Overflow::Saturate);
-    if (apply_activation) {
-      z = activation_ == HiddenActivation::Sigmoid ? unit_->sigmoid(z)
-                                                   : unit_->tanh(z);
-    }
-    out.push_back(z);
+    out.push_back(acc.requantize(fmt_, fp::Rounding::Truncate,
+                                 fp::Overflow::Saturate));
+  }
+  if (apply_activation) {
+    // One batch activation pass over the whole layer.
+    unit_.evaluate(activation_ == HiddenActivation::Sigmoid
+                       ? core::BatchNacu::Function::Sigmoid
+                       : core::BatchNacu::Function::Tanh,
+                   out, out);
   }
   return out;
 }
@@ -74,7 +77,7 @@ std::vector<double> QuantizedMlp::predict_proba(
   for (std::size_t l = 0; l < weights_raw_.size(); ++l) {
     acts = dense_forward(l, acts, l + 1 < weights_raw_.size());
   }
-  const std::vector<fp::Fixed> probs = unit_->softmax(acts);
+  const std::vector<fp::Fixed> probs = unit_.softmax(acts);
   std::vector<double> out;
   out.reserve(probs.size());
   for (const fp::Fixed& p : probs) {

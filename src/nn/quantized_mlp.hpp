@@ -5,13 +5,17 @@
 // requantisation), hidden layers apply NACU σ or tanh, and the output layer
 // is the NACU softmax (Eq. 13 normalisation, exp via Eq. 14, divider pass).
 // This is the end-to-end deployment story the paper's CGRA hosts imply.
+//
+// Non-linearities go through core::BatchNacu at layer granularity: one batch
+// σ/tanh call per dense layer and one batched softmax at the output —
+// bit-identical to per-element scalar evaluation, but served from the dense
+// activation table once layers are wide enough to build it.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "core/nacu.hpp"
+#include "core/batch_nacu.hpp"
 #include "nn/mlp.hpp"
 
 namespace nacu::nn {
@@ -32,7 +36,12 @@ class QuantizedMlp {
   [[nodiscard]] double mean_probability_drift(const Mlp& reference,
                                               const Dataset& data) const;
 
-  [[nodiscard]] const core::Nacu& unit() const noexcept { return *unit_; }
+  [[nodiscard]] const core::Nacu& unit() const noexcept {
+    return unit_.unit();
+  }
+  [[nodiscard]] const core::BatchNacu& batch_unit() const noexcept {
+    return unit_;
+  }
 
  private:
   /// One dense layer: NACU-MAC accumulation, requantise, optional σ/tanh.
@@ -40,7 +49,7 @@ class QuantizedMlp {
       std::size_t layer, const std::vector<fp::Fixed>& input,
       bool apply_activation) const;
 
-  std::shared_ptr<core::Nacu> unit_;
+  core::BatchNacu unit_;
   HiddenActivation activation_;
   fp::Format fmt_;
   fp::Format acc_fmt_;

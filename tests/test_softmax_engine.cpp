@@ -115,5 +115,114 @@ TEST(SoftmaxEngine, ReusableAcrossRuns) {
   EXPECT_EQ(a.cycles, b.cycles);
 }
 
+TEST(SoftmaxEngine, ValuesMatchCycleAccurateRun) {
+  // The batched value-only path must reproduce the cycle model bit-for-bit.
+  SoftmaxEngine engine{kConfig};
+  nn::Rng rng{23};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(24);
+    std::vector<std::int64_t> raws;
+    for (std::size_t i = 0; i < n; ++i) {
+      raws.push_back(
+          fp::Fixed::from_double(rng.uniform(-6.0, 6.0), kConfig.format)
+              .raw());
+    }
+    EXPECT_EQ(engine.values(raws), engine.run(raws).probs_raw)
+        << "trial " << trial;
+  }
+}
+
+// ---- Batched softmax properties (Eq. 13 on core::BatchNacu) ----
+
+TEST(BatchedSoftmaxProperties, SumsToOneWithinTruncationBound) {
+  // Each probability is a truncating divide against the exact MAC-summed
+  // denominator, so the sum sits in (1 − n·LSB, 1] (plus one LSB of slack
+  // for the saturated-exp edge cases near the format limits).
+  const core::BatchNacu batch{kConfig};
+  nn::Rng rng{59};
+  const double res = kConfig.format.resolution();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.below(48);
+    std::vector<fp::Fixed> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(
+          fp::Fixed::from_double(rng.uniform(-6.0, 6.0), kConfig.format));
+    }
+    double sum = 0.0;
+    for (const fp::Fixed& p : batch.softmax(xs)) {
+      sum += p.to_double();
+    }
+    EXPECT_LE(sum, 1.0 + res) << "trial " << trial << " n " << n;
+    EXPECT_GT(sum, 1.0 - static_cast<double>(n + 1) * res)
+        << "trial " << trial << " n " << n;
+  }
+}
+
+TEST(BatchedSoftmaxProperties, InvariantUnderConstantShift) {
+  // Eq. 13's max-normalisation subtracts x_max before exponentiating, so
+  // adding a constant to every logit (within range) changes nothing — not
+  // even the raw bits.
+  const core::BatchNacu batch{kConfig};
+  nn::Rng rng{61};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(16);
+    const double shift = rng.uniform(-3.0, 3.0);
+    std::vector<fp::Fixed> xs;
+    std::vector<fp::Fixed> shifted;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = rng.uniform(-4.0, 4.0);
+      // Quantise the shift once so x_i and x_i + c land on exact raws with
+      // an identical raw offset for every element.
+      const std::int64_t base =
+          fp::Fixed::from_double(v, kConfig.format).raw();
+      const std::int64_t offset =
+          fp::Fixed::from_double(shift, kConfig.format).raw();
+      xs.push_back(fp::Fixed::from_raw(base, kConfig.format));
+      shifted.push_back(fp::Fixed::from_raw(base + offset, kConfig.format));
+    }
+    const auto a = batch.softmax(xs);
+    const auto b = batch.softmax(shifted);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i].raw(), b[i].raw()) << "trial " << trial << " elem " << i;
+    }
+  }
+}
+
+TEST(BatchedSoftmaxProperties, PermutationEquivariant) {
+  // The max is order-free, exps are element-wise, the MAC accumulation is
+  // exact within the headroom format, and each divide is independent — so
+  // permuting the logits permutes the probabilities, bit-for-bit.
+  const core::BatchNacu batch{kConfig};
+  nn::Rng rng{67};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(24);
+    std::vector<fp::Fixed> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(
+          fp::Fixed::from_double(rng.uniform(-6.0, 6.0), kConfig.format));
+    }
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      perm[i] = i;
+    }
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    std::vector<fp::Fixed> permuted;
+    permuted.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      permuted.push_back(xs[perm[i]]);
+    }
+    const auto base = batch.softmax(xs);
+    const auto shuffled = batch.softmax(permuted);
+    ASSERT_EQ(shuffled.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(shuffled[i].raw(), base[perm[i]].raw())
+          << "trial " << trial << " position " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nacu::hw

@@ -1,0 +1,176 @@
+// Thread-pool unit tests: completion, exception propagation, reuse, edge
+// batch sizes, and concurrent BatchNacu use (the TSan target — lazy table
+// builds racing from many threads must stay clean and bit-identical).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "core/thread_pool.hpp"
+
+namespace nacu::core {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.emplace_back([&hits, i] { ++hits[i]; });
+  }
+  pool.run(std::move(tasks));
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversTheRangeExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneElementBatches) {
+  ThreadPool pool{2};
+  pool.run({});  // no tasks: returns immediately
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, 1, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool{3};
+  EXPECT_THROW(pool.parallel_for(1 << 12, 1,
+                                 [](std::size_t, std::size_t) -> void {
+                                   throw std::runtime_error("chunk failed");
+                                 }),
+               std::runtime_error);
+  // Exceptions in some tasks must not lose the others' work.
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back([&completed, i] {
+      if (i == 7) {
+        throw std::logic_error("task 7");
+      }
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.run(std::move(tasks)), std::logic_error);
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool{4};
+  // A batch that threw must leave the pool fully usable.
+  EXPECT_THROW(pool.run({[] { throw std::runtime_error("boom"); }}),
+               std::runtime_error);
+  std::size_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(1000, 10, [&](std::size_t begin, std::size_t end) {
+      std::size_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        local += i;
+      }
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2u) << round;
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50u * (999u * 1000u / 2u));
+}
+
+TEST(ThreadPool, ConcurrentCallersShareOneQueue) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(4 * 256);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.parallel_for(256, 8, [&hits, c](std::size_t begin,
+                                           std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++hits[static_cast<std::size_t>(c) * 256 + i];
+        }
+      });
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ConcurrentBatchNacuUseIsBitIdentical) {
+  // Many threads hammer one shared BatchNacu whose tables are not yet
+  // built: the lazy call_once build must race cleanly (TSan job) and every
+  // thread must see bit-identical results.
+  const NacuConfig config = config_for_bits(16);
+  ThreadPool pool{4};
+  BatchNacu::Options options;
+  options.pool = &pool;
+  options.parallel_threshold = 1 << 10;
+  options.parallel_grain = 1 << 9;
+  const BatchNacu batch{config, options};
+  const Nacu scalar{config};
+
+  std::vector<fp::Fixed> xs;
+  for (std::int64_t raw = config.format.min_raw();
+       raw <= config.format.max_raw(); raw += 7) {
+    xs.push_back(fp::Fixed::from_raw(raw, config.format));
+  }
+  std::vector<std::vector<fp::Fixed>> results(6);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&batch, &xs, &results, t] {
+      const auto f = static_cast<BatchNacu::Function>(t % 3);
+      results[t] = batch.evaluate(f, xs);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const auto f = static_cast<BatchNacu::Function>(t % 3);
+    ASSERT_EQ(results[t].size(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const fp::Fixed expected = f == BatchNacu::Function::Sigmoid
+                                     ? scalar.sigmoid(xs[i])
+                                 : f == BatchNacu::Function::Tanh
+                                     ? scalar.tanh(xs[i])
+                                     : scalar.exp(xs[i]);
+      ASSERT_EQ(results[t][i].raw(), expected.raw())
+          << "thread " << t << " element " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nacu::core
