@@ -1,0 +1,43 @@
+// Fault-injection campaign quickstart: rain single-bit upsets on the NACU
+// state surfaces and watch the invariant detectors and recovery policies
+// deal with them.
+//
+//   ./fault_campaign [trials] [seed]
+//
+// Runs [trials] randomized single-bit injections (default 10000) over the
+// σ-LUT coefficients, the S1–S3 pipeline registers and the dense activation
+// tables of the paper's Q4.11 configuration, then prints the
+// masked / detected / silent-corruption breakdown per surface and which
+// invariant caught what. Deterministic for a given seed regardless of how
+// many threads the campaign fans out on.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "fault/campaign.hpp"
+
+int main(int argc, char** argv) {
+  nacu::fault::CampaignConfig config;
+  config.trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const nacu::fault::CampaignRunner runner{config};
+  std::cout << "datapath Q" << config.unit.format.integer_bits() << "."
+            << config.unit.format.fractional_bits() << ", "
+            << config.unit.lut_entries << "-entry sigma-LUT, seed "
+            << config.seed << "\n\n";
+
+  const nacu::fault::CampaignReport report = runner.run();
+  std::cout << report.summary() << "\n";
+  std::cout << "report fingerprint: 0x" << std::hex << report.fingerprint()
+            << std::dec << "\n";
+
+  // A demonstration single trial, narrated.
+  const nacu::fault::TrialResult t = runner.run_trial(0);
+  std::cout << "\ntrial 0: " << nacu::fault::fault_model_name(t.fault.model)
+            << " on " << nacu::fault::surface_name(t.fault.surface)
+            << " word " << t.fault.word << " bit " << t.fault.bit << " -> "
+            << nacu::fault::outcome_name(t.outcome)
+            << " (detectors: " << t.detection.to_string() << ")\n";
+  return 0;
+}

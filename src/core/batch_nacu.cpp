@@ -32,6 +32,35 @@ void BatchNacu::warm(Function f) const {
   (void)table_for(f, options_.table_threshold);
 }
 
+fault::Surface BatchNacu::table_surface(Function f) noexcept {
+  switch (f) {
+    case Function::Sigmoid:
+      return fault::Surface::TableSigmoid;
+    case Function::Tanh:
+      return fault::Surface::TableTanh;
+    case Function::Exp:
+      return fault::Surface::TableExp;
+  }
+  return fault::Surface::TableSigmoid;
+}
+
+void BatchNacu::scrub_table(Function f) const {
+  const auto index = static_cast<std::size_t>(f);
+  if (!table_built_[index].load(std::memory_order_acquire)) {
+    return;
+  }
+  const fault::Surface surface = table_surface(f);
+  const std::int64_t min_raw = unit_.format().min_raw();
+  std::vector<std::int16_t>& table = tables_[index];
+  for (std::size_t k = 0; k < table.size(); ++k) {
+    table[k] = static_cast<std::int16_t>(
+        scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
+    if (fault_port_ != nullptr) {
+      fault_port_->on_rewrite(surface, k);
+    }
+  }
+}
+
 std::int64_t BatchNacu::scalar_raw(Function f, std::int64_t raw) const {
   const fp::Fixed x = fp::Fixed::from_raw(raw, unit_.format());
   switch (f) {
@@ -96,6 +125,9 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
   }
   const fp::Format fmt = unit_.format();
   const std::vector<std::int16_t>* table = table_for(f, n);
+  // Hoisted so the fault-free path pays one pointer compare per batch.
+  fault::BitFaultPort* const port = fault_port_;
+  const fault::Surface surface = table_surface(f);
   for_range(n, [&](std::size_t begin, std::size_t end) {
     if (table != nullptr) {
       const std::int64_t min_raw = fmt.min_raw();
@@ -104,8 +136,12 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
           throw std::invalid_argument(
               "BatchNacu::evaluate: input not in the datapath format");
         }
-        out[k] = fp::Fixed::from_raw(
-            (*table)[static_cast<std::size_t>(in[k].raw() - min_raw)], fmt);
+        const auto word = static_cast<std::size_t>(in[k].raw() - min_raw);
+        std::int64_t entry = (*table)[word];
+        if (port != nullptr) {
+          entry = port->read(surface, word, entry, fmt.width());
+        }
+        out[k] = fp::Fixed::from_raw(entry, fmt);
       }
       return;
     }
@@ -147,6 +183,8 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
   }
   const fp::Format fmt = unit_.format();
   const std::vector<std::int16_t>* table = table_for(f, n);
+  fault::BitFaultPort* const port = fault_port_;
+  const fault::Surface surface = table_surface(f);
   for_range(n, [&](std::size_t begin, std::size_t end) {
     const std::int64_t min_raw = fmt.min_raw();
     const std::int64_t max_raw = fmt.max_raw();
@@ -156,9 +194,16 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
         throw std::out_of_range(
             "BatchNacu::evaluate_raw: raw outside the datapath format");
       }
-      out[k] = table != nullptr
-                   ? (*table)[static_cast<std::size_t>(raw - min_raw)]
-                   : scalar_raw(f, raw);
+      if (table != nullptr) {
+        const auto word = static_cast<std::size_t>(raw - min_raw);
+        std::int64_t entry = (*table)[word];
+        if (port != nullptr) {
+          entry = port->read(surface, word, entry, fmt.width());
+        }
+        out[k] = entry;
+      } else {
+        out[k] = scalar_raw(f, raw);
+      }
     }
   });
 }

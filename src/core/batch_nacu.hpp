@@ -64,6 +64,9 @@ class BatchNacu {
   BatchNacu(const NacuConfig& config, Options options);
 
   [[nodiscard]] const Nacu& unit() const noexcept { return unit_; }
+  /// Mutable access to the scalar unit — needed to arm fault-injection on
+  /// the σ-LUT beneath this engine (fault/fault_port.hpp).
+  [[nodiscard]] Nacu& unit() noexcept { return unit_; }
   [[nodiscard]] const NacuConfig& config() const noexcept {
     return unit_.config();
   }
@@ -98,6 +101,29 @@ class BatchNacu {
   [[nodiscard]] std::vector<std::int64_t> softmax_raw(
       std::span<const std::int64_t> inputs_raw) const;
 
+  /// Fault injection (fault/fault_port.hpp): route every dense-table entry
+  /// read through @p port (surfaces TableSigmoid/TableTanh/TableExp, word =
+  /// raw − min_raw). nullptr disarms (the default); the fault-free path
+  /// then costs one pointer compare per batch, hoisted out of the loops.
+  /// Not thread-safe: attach only while no evaluation is in flight, and do
+  /// not fan armed batches out across the pool (an injector is not a
+  /// thread-safe object) — campaign trials evaluate serially.
+  void attach_fault_port(fault::BitFaultPort* port) noexcept {
+    fault_port_ = port;
+  }
+  [[nodiscard]] fault::BitFaultPort* fault_port() const noexcept {
+    return fault_port_;
+  }
+  /// The TableSigmoid/TableTanh/TableExp surface backing @p f's table.
+  [[nodiscard]] static fault::Surface table_surface(Function f) noexcept;
+
+  /// Recovery: rewrite @p f's dense table from the scalar datapath (a
+  /// controller scrub). Every entry is recomputed and stored, and the
+  /// attached port is told about each rewrite — transient upsets heal,
+  /// stuck-at defects persist (route those consumers to the scalar path
+  /// instead). No-op when the table was never built.
+  void scrub_table(Function f) const;
+
  private:
   /// Scalar datapath result for one raw input.
   [[nodiscard]] std::int64_t scalar_raw(Function f, std::int64_t raw) const;
@@ -113,6 +139,7 @@ class BatchNacu {
   Nacu unit_;
   Options options_;
   ThreadPool* pool_;
+  fault::BitFaultPort* fault_port_ = nullptr;
   mutable std::array<std::once_flag, kFunctionCount> table_once_;
   mutable std::array<std::vector<std::int16_t>, kFunctionCount> tables_;
   mutable std::array<std::atomic<bool>, kFunctionCount> table_built_{};

@@ -1,12 +1,16 @@
 #include "core/bias_units.hpp"
 
-#include <cassert>
-
 namespace nacu::core {
 
+// These units are pure wiring (inverter rows at most): they produce a
+// well-defined bit pattern for *any* input, not just the legal §V.A range
+// quoted in the header. That totality matters — fault-injection campaigns
+// (fault/) deliberately feed bit-flipped, out-of-range coefficients through
+// them, exactly as corrupted SRAM words would reach the physical gates.
+// Equality with real subtraction is only guaranteed (and tested) on the
+// legal range.
+
 std::int64_t fig3a_one_minus_q(std::int64_t q_raw, int fb) noexcept {
-  assert(q_raw >= (std::int64_t{1} << (fb - 1)) &&
-         q_raw <= (std::int64_t{1} << fb) && "q must lie in [0.5, 1]");
   const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
   const std::int64_t frac = q_raw & frac_mask;
   // Two's complement of the fractional field; integer bits forced to zero.
@@ -14,8 +18,6 @@ std::int64_t fig3a_one_minus_q(std::int64_t q_raw, int fb) noexcept {
 }
 
 std::int64_t fig3b_minus_one(std::int64_t v_raw, int fb) noexcept {
-  assert(v_raw >= (std::int64_t{1} << fb) &&
-         v_raw <= (std::int64_t{1} << (fb + 1)) && "v must lie in [1, 2]");
   const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
   const std::int64_t frac = v_raw & frac_mask;
   const std::int64_t a1 = (v_raw >> (fb + 1)) & 1;
@@ -24,8 +26,6 @@ std::int64_t fig3b_minus_one(std::int64_t v_raw, int fb) noexcept {
 }
 
 std::int64_t fig3c_plus_one(std::int64_t t_raw, int fb) noexcept {
-  assert(t_raw >= -(std::int64_t{1} << (fb + 1)) &&
-         t_raw <= -(std::int64_t{1} << fb) && "t must lie in [-2, -1]");
   const std::int64_t frac_mask = (std::int64_t{1} << fb) - 1;
   const std::int64_t frac = t_raw & frac_mask;
   const std::int64_t a0 = (t_raw >> fb) & 1;

@@ -92,8 +92,16 @@ Nacu::Coefficients Nacu::morph_coefficients(std::size_t segment,
                  : (std::int64_t{1} << fb) - (q << 1);
       break;
   }
-  return Coefficients{fp::Fixed::from_raw(coeff, coeff_wide_),
-                      fp::Fixed::from_raw(bias, coeff_wide_)};
+  // The coefficient bus is coeff_wide_ bits of wire: legal LUT words always
+  // fit (wrap is an identity then), and a fault-corrupted word gets its
+  // excess bits dropped exactly as the physical shifter would drop them.
+  return Coefficients{
+      fp::Fixed::from_raw(fp::apply_overflow(coeff, coeff_wide_,
+                                             fp::Overflow::Wrap),
+                          coeff_wide_),
+      fp::Fixed::from_raw(fp::apply_overflow(bias, coeff_wide_,
+                                             fp::Overflow::Wrap),
+                          coeff_wide_)};
 }
 
 fp::Fixed Nacu::evaluate_pwl(fp::Fixed x, bool tanh_mode) const {

@@ -115,6 +115,15 @@ class Nacu {
     return reciprocal_ ? &*reciprocal_ : nullptr;
   }
 
+  /// Fault injection (fault/fault_port.hpp): arm @p port on the σ-LUT
+  /// coefficient store — every slope/bias word read of every subsequent
+  /// evaluation goes through it. nullptr disarms (the default; zero cost).
+  void attach_lut_fault_port(fault::BitFaultPort* port) noexcept {
+    lut_.attach_fault_port(port);
+  }
+  /// Rewrite every LUT word from the golden copy (transient-upset scrub).
+  void scrub_lut() noexcept { lut_.scrub(); }
+
  private:
   [[nodiscard]] fp::Fixed evaluate_pwl(fp::Fixed x, bool tanh_mode) const;
   [[nodiscard]] fp::Fixed divider_reciprocal(fp::Fixed denom) const;

@@ -78,6 +78,16 @@ SigmoidLut::SigmoidLut(const Config& config) : config_{config} {
   }
 }
 
+void SigmoidLut::scrub() noexcept {
+  if (fault_port_ == nullptr) {
+    return;
+  }
+  for (std::size_t i = 0; i < m_raw_.size(); ++i) {
+    fault_port_->on_rewrite(fault::Surface::LutSlope, i);
+    fault_port_->on_rewrite(fault::Surface::LutBias, i);
+  }
+}
+
 std::size_t SigmoidLut::segment_for(std::int64_t x_raw) const noexcept {
   const std::int64_t clamped = std::clamp<std::int64_t>(x_raw, 0, x_max_raw_);
   auto index = static_cast<std::int64_t>(
@@ -88,11 +98,13 @@ std::size_t SigmoidLut::segment_for(std::int64_t x_raw) const noexcept {
 }
 
 fp::Fixed SigmoidLut::slope(std::size_t i) const {
-  return fp::Fixed::from_raw(m_raw_.at(i), config_.coeff_format);
+  // Through slope_raw so an armed fault port sees this read too. A fault
+  // stays within the coefficient word's width, so from_raw cannot throw.
+  return fp::Fixed::from_raw(slope_raw(i), config_.coeff_format);
 }
 
 fp::Fixed SigmoidLut::bias(std::size_t i) const {
-  return fp::Fixed::from_raw(q_raw_.at(i), config_.coeff_format);
+  return fp::Fixed::from_raw(bias_raw(i), config_.coeff_format);
 }
 
 }  // namespace nacu::core

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_port.hpp"
 #include "fixedpoint/fixed.hpp"
 
 namespace nacu::core {
@@ -52,17 +53,41 @@ class SigmoidLut {
   [[nodiscard]] fp::Fixed bias(std::size_t i) const;
 
   [[nodiscard]] std::int64_t slope_raw(std::size_t i) const {
-    return m_raw_.at(i);
+    const std::int64_t clean = m_raw_.at(i);
+    return fault_port_ == nullptr
+               ? clean
+               : fault_port_->read(fault::Surface::LutSlope, i, clean,
+                                   config_.coeff_format.width());
   }
   [[nodiscard]] std::int64_t bias_raw(std::size_t i) const {
-    return q_raw_.at(i);
+    const std::int64_t clean = q_raw_.at(i);
+    return fault_port_ == nullptr
+               ? clean
+               : fault_port_->read(fault::Surface::LutBias, i, clean,
+                                   config_.coeff_format.width());
   }
+
+  /// Fault injection (fault/fault_port.hpp): route every coefficient read
+  /// through @p port. nullptr (the default) disarms; reads then cost one
+  /// pointer compare. The port is not owned. Not thread-safe — attach only
+  /// while no reader is in flight.
+  void attach_fault_port(fault::BitFaultPort* port) noexcept {
+    fault_port_ = port;
+  }
+  [[nodiscard]] fault::BitFaultPort* fault_port() const noexcept {
+    return fault_port_;
+  }
+  /// Model a controller scrub: every coefficient word is rewritten from the
+  /// golden copy. Heals transient upsets; stuck-at defects persist (the
+  /// attached port is told about each rewrite and keeps its own state).
+  void scrub() noexcept;
 
  private:
   Config config_;
   std::vector<std::int64_t> m_raw_;
   std::vector<std::int64_t> q_raw_;
   std::int64_t x_max_raw_ = 0;
+  fault::BitFaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace nacu::core

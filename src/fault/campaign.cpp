@@ -1,0 +1,539 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace nacu::fault {
+
+namespace {
+
+using Function = InvariantChecker::Function;
+
+std::int64_t eval_scalar(const core::Nacu& unit, Function f, std::int64_t raw,
+                         fp::Format fmt) {
+  const fp::Fixed x = fp::Fixed::from_raw(raw, fmt);
+  switch (f) {
+    case Function::Sigmoid:
+      return unit.sigmoid(x).raw();
+    case Function::Tanh:
+      return unit.tanh(x).raw();
+    case Function::Exp:
+      return unit.exp(x).raw();
+  }
+  throw std::logic_error("campaign: unknown function");
+}
+
+hw::Func hw_func(Function f) {
+  switch (f) {
+    case Function::Sigmoid:
+      return hw::Func::Sigmoid;
+    case Function::Tanh:
+      return hw::Func::Tanh;
+    case Function::Exp:
+      return hw::Func::Exp;
+  }
+  return hw::Func::Sigmoid;
+}
+
+Outcome classify(const TrialResult& t) {
+  if (!t.corrupted) {
+    return t.detection.flagged() ? Outcome::DetectedBenign : Outcome::Masked;
+  }
+  if (!t.detection.flagged()) {
+    return Outcome::SilentCorruption;
+  }
+  return t.recovered ? Outcome::DetectedCorrected
+                     : Outcome::DetectedUnrecoverable;
+}
+
+/// Counter-based per-trial seed: identical streams regardless of which pool
+/// thread runs the trial (splitmix64-style mixing).
+std::mt19937_64 trial_rng(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = (seed + 0x9E3779B97F4A7C15ull) +
+                    index * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return std::mt19937_64{z ^ (z >> 31)};
+}
+
+/// Modulo draw: biased by < 2^-50 for our ranges, and — unlike
+/// std::uniform_int_distribution — bit-identical across standard libraries.
+std::size_t draw_below(std::mt19937_64& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng() % n);
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+std::vector<FaultModel> all_fault_models() {
+  return {FaultModel::TransientSeu, FaultModel::StuckAt0,
+          FaultModel::StuckAt1};
+}
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Masked:
+      return "masked";
+    case Outcome::DetectedBenign:
+      return "detected-benign";
+    case Outcome::DetectedCorrected:
+      return "detected-corrected";
+    case Outcome::DetectedUnrecoverable:
+      return "detected-unrecoverable";
+    case Outcome::SilentCorruption:
+      return "silent-corruption";
+  }
+  return "?";
+}
+
+std::size_t CampaignReport::corrupted_trials() const noexcept {
+  return by_outcome[static_cast<std::size_t>(Outcome::DetectedCorrected)] +
+         by_outcome[static_cast<std::size_t>(
+             Outcome::DetectedUnrecoverable)] +
+         by_outcome[static_cast<std::size_t>(Outcome::SilentCorruption)];
+}
+
+std::size_t CampaignReport::detected_corrupted() const noexcept {
+  return by_outcome[static_cast<std::size_t>(Outcome::DetectedCorrected)] +
+         by_outcome[static_cast<std::size_t>(Outcome::DetectedUnrecoverable)];
+}
+
+double CampaignReport::detection_coverage() const noexcept {
+  const std::size_t corrupted = corrupted_trials();
+  if (corrupted == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(detected_corrupted()) /
+         static_cast<double>(corrupted);
+}
+
+std::uint64_t CampaignReport::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const TrialResult& t : results) {
+    fnv_mix(h, static_cast<std::uint64_t>(t.fault.surface));
+    fnv_mix(h, t.fault.word);
+    fnv_mix(h, static_cast<std::uint64_t>(t.fault.bit));
+    fnv_mix(h, static_cast<std::uint64_t>(t.fault.model));
+    fnv_mix(h, static_cast<std::uint64_t>(t.outcome));
+    fnv_mix(h, t.detection.flags);
+    fnv_mix(h, (t.corrupted ? 1u : 0u) | (t.recovered ? 2u : 0u));
+  }
+  return h;
+}
+
+std::string CampaignReport::summary() const {
+  static constexpr const char* kShortOutcome[kOutcomeCount] = {
+      "masked", "benign", "corrected", "unrecov", "sdc"};
+  std::ostringstream out;
+  out << "fault campaign: " << trials << " trials\n";
+  out << std::left << std::setw(16) << "surface";
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    out << std::right << std::setw(12) << kShortOutcome[o];
+  }
+  out << std::right << std::setw(12) << "trials" << "\n";
+  for (std::size_t s = 0; s < kSurfaceCount; ++s) {
+    if (surface_trials[s] == 0) {
+      continue;
+    }
+    out << std::left << std::setw(16)
+        << surface_name(static_cast<Surface>(s));
+    for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+      out << std::right << std::setw(12) << by_surface[s][o];
+    }
+    out << std::right << std::setw(12) << surface_trials[s] << "\n";
+  }
+  out << std::left << std::setw(16) << "total";
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    out << std::right << std::setw(12) << by_outcome[o];
+  }
+  out << std::right << std::setw(12) << trials << "\n";
+  out << "corrupting injections: " << corrupted_trials() << ", detected: "
+      << detected_corrupted() << " (coverage "
+      << std::fixed << std::setprecision(2) << 100.0 * detection_coverage()
+      << "%)\n";
+  out << "detector hits on corrupting trials:";
+  for (std::size_t d = 0; d < kDetectorCount; ++d) {
+    if (detector_hits[d] != 0) {
+      out << ' ' << detector_name(static_cast<Detector>(d)) << '='
+          << detector_hits[d];
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_{std::move(config)},
+      checker_{config_.unit, config_.checker},
+      pool_{config_.pool != nullptr ? config_.pool
+                                    : &core::ThreadPool::shared()} {
+  if (config_.trials == 0) {
+    throw std::invalid_argument("CampaignRunner: trials must be > 0");
+  }
+  if (config_.models.empty()) {
+    throw std::invalid_argument("CampaignRunner: no fault models enabled");
+  }
+  const fp::Format fmt = config_.unit.format;
+  const bool cacheable = fmt.width() <= core::BatchNacu::kMaxTableWidth;
+  for (std::size_t s = 0; s < kSurfaceCount; ++s) {
+    const auto surface = static_cast<Surface>(s);
+    bool enabled = config_.surfaces[s];
+    const bool is_table = surface == Surface::TableSigmoid ||
+                          surface == Surface::TableTanh ||
+                          surface == Surface::TableExp;
+    if (is_table && !cacheable) {
+      enabled = false;  // no dense table exists for this format
+    }
+    if (enabled) {
+      active_surfaces_.push_back(surface);
+    }
+  }
+  if (active_surfaces_.empty()) {
+    throw std::invalid_argument("CampaignRunner: no target surfaces enabled");
+  }
+
+  // Inverse segment maps: the exact input set each LUT word can influence
+  // (σ and e^x read the segment of |x|; tanh reads the segment of 2|x|).
+  // Exhaustive for cacheable formats, probe-grid otherwise.
+  const core::Nacu& golden = checker_.golden();
+  sigma_affected_.resize(golden.lut().entries());
+  tanh_affected_.resize(golden.lut().entries());
+  const auto map_input = [&](std::int64_t raw) {
+    const fp::Fixed mag = fp::Fixed::from_raw(raw, fmt).abs();
+    sigma_affected_[golden.segment_for_magnitude(mag, false)].push_back(
+        static_cast<std::int32_t>(raw));
+    tanh_affected_[golden.segment_for_magnitude(mag, true)].push_back(
+        static_cast<std::int32_t>(raw));
+  };
+  if (cacheable) {
+    for (std::int64_t raw = fmt.min_raw(); raw <= fmt.max_raw(); ++raw) {
+      map_input(raw);
+    }
+  } else {
+    for (const std::int64_t raw : checker_.probes()) {
+      map_input(raw);
+    }
+  }
+
+  // Steady-state pipeline workload: ~pipeline_ops probes, the three
+  // functions interleaved so every stage stays busy.
+  const std::vector<std::int64_t>& probes = checker_.probes();
+  const std::size_t per_func =
+      std::max<std::size_t>(1, config_.pipeline_ops / 3);
+  const std::size_t stride = std::max<std::size_t>(1, probes.size() / per_func);
+  for (std::size_t k = 0; k < probes.size(); k += stride) {
+    for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+      const auto f = static_cast<Function>(fi);
+      stream_ops_.push_back(StreamOp{hw_func(f), probes[k],
+                                     golden_scalar(f, probes[k])});
+    }
+  }
+
+  hw::NacuRtl width_probe{core::Nacu{golden}};
+  for (std::size_t w = 0; w < hw::NacuRtl::kFaultWords; ++w) {
+    pipeline_widths_[w] = width_probe.fault_word_width(w);
+  }
+}
+
+std::int64_t CampaignRunner::golden_scalar(Function f,
+                                           std::int64_t raw) const {
+  const std::vector<std::int16_t>& table = checker_.golden_table(f);
+  if (!table.empty()) {
+    return table[static_cast<std::size_t>(raw -
+                                          config_.unit.format.min_raw())];
+  }
+  return eval_scalar(checker_.golden(), f, raw, config_.unit.format);
+}
+
+std::size_t CampaignRunner::surface_words(Surface s) const {
+  switch (s) {
+    case Surface::LutSlope:
+    case Surface::LutBias:
+      return checker_.golden().lut().entries();
+    case Surface::RtlPipeline:
+      return hw::NacuRtl::kFaultWords;
+    case Surface::TableSigmoid:
+      return checker_.golden_table(Function::Sigmoid).size();
+    case Surface::TableTanh:
+      return checker_.golden_table(Function::Tanh).size();
+    case Surface::TableExp:
+      return checker_.golden_table(Function::Exp).size();
+  }
+  return 0;
+}
+
+int CampaignRunner::word_width(Surface s, std::size_t word) const {
+  switch (s) {
+    case Surface::LutSlope:
+    case Surface::LutBias:
+      return config_.unit.coeff_format.width();
+    case Surface::RtlPipeline:
+      return pipeline_widths_[word];
+    case Surface::TableSigmoid:
+    case Surface::TableTanh:
+    case Surface::TableExp:
+      return config_.unit.format.width();
+  }
+  return 1;
+}
+
+Fault CampaignRunner::draw_fault(std::mt19937_64& rng) const {
+  Fault fault;
+  fault.surface = active_surfaces_[draw_below(rng, active_surfaces_.size())];
+  fault.word = draw_below(rng, surface_words(fault.surface));
+  fault.bit = static_cast<int>(
+      draw_below(rng, static_cast<std::size_t>(
+                          word_width(fault.surface, fault.word))));
+  fault.model = config_.models[draw_below(rng, config_.models.size())];
+  return fault;
+}
+
+TrialResult CampaignRunner::run_lut_trial(const Fault& fault) const {
+  TrialResult trial;
+  trial.fault = fault;
+  const fp::Format fmt = config_.unit.format;
+  core::Nacu unit{checker_.golden()};  // copy: no LUT refit
+  FaultInjector injector;
+  injector.arm(fault);
+  unit.attach_lut_fault_port(&injector);
+
+  // Ground truth: exhaustive over the inputs this LUT word can reach.
+  const std::vector<std::int32_t>& sig_set = sigma_affected_[fault.word];
+  const std::vector<std::int32_t>& tanh_set = tanh_affected_[fault.word];
+  const auto differs = [&](Function f,
+                           const std::vector<std::int32_t>& set) {
+    for (const std::int32_t raw : set) {
+      if (eval_scalar(unit, f, raw, fmt) != golden_scalar(f, raw)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  trial.corrupted = differs(Function::Sigmoid, sig_set) ||
+                    differs(Function::Tanh, tanh_set) ||
+                    differs(Function::Exp, sig_set);
+
+  trial.detection = checker_.check_unit(unit);
+
+  if (trial.corrupted && trial.detection.flagged()) {
+    // Recovery policy: controller scrub (rewrite every word from the golden
+    // copy). Heals a transient; a stuck-at defect re-asserts on the next
+    // read and the shared LUT has no redundant copy to fail over to.
+    unit.scrub_lut();
+    trial.recovered = !(differs(Function::Sigmoid, sig_set) ||
+                        differs(Function::Tanh, tanh_set) ||
+                        differs(Function::Exp, sig_set));
+  }
+  trial.outcome = classify(trial);
+  return trial;
+}
+
+TrialResult CampaignRunner::run_table_trial(const Fault& fault) const {
+  TrialResult trial;
+  trial.fault = fault;
+  const auto f = static_cast<Function>(
+      static_cast<std::size_t>(fault.surface) -
+      static_cast<std::size_t>(Surface::TableSigmoid));
+  const std::vector<std::int16_t>& golden = checker_.golden_table(f);
+  const int width = config_.unit.format.width();
+  FaultInjector injector;
+  injector.arm(fault);
+  // The trial's table is the golden array viewed through the injector —
+  // bit-identical to a fault-port-armed BatchNacu table read (proven by
+  // tests/test_fault_detectors.cpp), without paying a full table build per
+  // trial.
+  const auto read_word = [&](std::size_t w) {
+    return injector.read(fault.surface, w, golden[w], width);
+  };
+
+  // A table word backs exactly one input, so ground truth is one read.
+  trial.corrupted = read_word(fault.word) != golden[fault.word];
+
+  trial.detection = checker_.check_table(f, read_word);
+
+  if (trial.corrupted && trial.detection.flagged()) {
+    if (fault.model == FaultModel::TransientSeu) {
+      // Scrub: rewrite the word from the scalar datapath.
+      injector.on_rewrite(fault.surface, fault.word);
+      trial.recovered = read_word(fault.word) == golden[fault.word];
+    } else {
+      // Stuck-at cells survive a scrub; the policy routes this function to
+      // the scalar datapath instead (BatchNacu's table bypass), which the
+      // fault cannot reach — recompute and confirm.
+      const std::int64_t x = config_.unit.format.min_raw() +
+                             static_cast<std::int64_t>(fault.word);
+      trial.recovered =
+          eval_scalar(checker_.golden(), f, x, config_.unit.format) ==
+          golden[fault.word];
+    }
+  }
+  trial.outcome = classify(trial);
+  return trial;
+}
+
+std::vector<std::int64_t> CampaignRunner::run_stream(
+    hw::NacuRtl& rtl, FaultInjector* injector, std::size_t arm_at) const {
+  // Stream tags live far above run_single's per-instance counter so a
+  // stale stream op re-retiring during later vote reruns cannot collide.
+  constexpr std::uint64_t kTagBase = std::uint64_t{1} << 32;
+  const fp::Format fmt = config_.unit.format;
+  const std::size_t n = stream_ops_.size();
+  // Reciprocal re-entry (§VIII) needs the S1 slot 3 cycles after an exp
+  // issue; spacing issues 4 apart avoids the structural hazard.
+  const std::size_t gap = config_.unit.approximate_reciprocal ? 4 : 1;
+  std::vector<std::int64_t> out(n, 0);
+  std::vector<bool> got(n, false);
+  std::size_t issued = 0;
+  std::size_t retired = 0;
+  std::size_t cycle = 0;
+  const std::size_t cap = n * gap + 256;
+  while (retired < n) {
+    if (cycle >= cap) {
+      throw std::logic_error("campaign: pipeline stream did not drain");
+    }
+    if (injector != nullptr && cycle == arm_at) {
+      rtl.attach_fault_port(injector);
+    }
+    if (issued < n && cycle % gap == 0) {
+      rtl.issue(stream_ops_[issued].func,
+                fp::Fixed::from_raw(stream_ops_[issued].in_raw, fmt),
+                kTagBase + issued);
+      ++issued;
+    }
+    rtl.tick();
+    for (const hw::NacuRtl::Output& o : rtl.outputs()) {
+      if (o.tag >= kTagBase && o.tag < kTagBase + n) {
+        const auto k = static_cast<std::size_t>(o.tag - kTagBase);
+        if (!got[k]) {
+          got[k] = true;
+          out[k] = o.value_raw;
+          ++retired;
+        }
+      }
+    }
+    ++cycle;
+  }
+  // Flush stale stage/divider state so later probes start from bubbles (a
+  // stale exp in S3 would otherwise re-enter S1 and collide with them).
+  for (int i = 0; i < 16; ++i) {
+    rtl.tick();
+  }
+  rtl.attach_fault_port(nullptr);
+  return out;
+}
+
+TrialResult CampaignRunner::run_pipeline_trial(const Fault& fault,
+                                               std::mt19937_64& rng) const {
+  TrialResult trial;
+  trial.fault = fault;
+  const fp::Format fmt = config_.unit.format;
+  hw::NacuRtl rtl{core::Nacu{checker_.golden()}};
+  FaultInjector injector;
+  injector.arm(fault);
+  const std::size_t gap = config_.unit.approximate_reciprocal ? 4 : 1;
+  // A transient upsets one flop at one random cycle of the busy window;
+  // permanent defects are present from the first tick.
+  const std::size_t arm_at =
+      fault.model == FaultModel::TransientSeu
+          ? draw_below(rng, std::max<std::size_t>(1, stream_ops_.size() * gap))
+          : 0;
+  const std::vector<std::int64_t> observed = run_stream(rtl, &injector, arm_at);
+
+  for (std::size_t k = 0; k < stream_ops_.size(); ++k) {
+    if (observed[k] != stream_ops_[k].golden_raw) {
+      trial.corrupted = true;
+      break;
+    }
+  }
+
+  if (fault.model == FaultModel::TransientSeu) {
+    // The upset is spent; detect and recover with the 2-of-3 temporal vote:
+    // the streamed value plus two re-evaluations on the now-clean pipeline.
+    bool majorities_match = true;
+    for (std::size_t k = 0; k < stream_ops_.size(); ++k) {
+      std::size_t calls = 0;
+      const VoteResult vote = temporal_vote3([&]() -> std::int64_t {
+        if (calls++ == 0) {
+          return observed[k];
+        }
+        return rtl.run_single(stream_ops_[k].func,
+                              fp::Fixed::from_raw(stream_ops_[k].in_raw, fmt))
+            .value.raw();
+      });
+      if (vote.disagreed) {
+        trial.detection.flag(Detector::TemporalVote);
+      }
+      if (vote.majority != stream_ops_[k].golden_raw) {
+        majorities_match = false;
+      }
+    }
+    trial.recovered =
+        trial.corrupted && trial.detection.flagged() && majorities_match;
+  } else {
+    // Persistent defect: every re-evaluation is identically wrong, so the
+    // vote is blind — the invariant probe battery through the live pipeline
+    // is the detector. No redundant pipeline exists to recover with.
+    rtl.attach_fault_port(&injector);
+    trial.detection = checker_.check_rtl(rtl);
+  }
+  trial.outcome = classify(trial);
+  return trial;
+}
+
+TrialResult CampaignRunner::run_trial(std::uint64_t index) const {
+  std::mt19937_64 rng = trial_rng(config_.seed, index);
+  const Fault fault = draw_fault(rng);
+  switch (fault.surface) {
+    case Surface::LutSlope:
+    case Surface::LutBias:
+      return run_lut_trial(fault);
+    case Surface::RtlPipeline:
+      return run_pipeline_trial(fault, rng);
+    case Surface::TableSigmoid:
+    case Surface::TableTanh:
+    case Surface::TableExp:
+      return run_table_trial(fault);
+  }
+  throw std::logic_error("campaign: unknown surface");
+}
+
+CampaignReport CampaignRunner::run() const {
+  CampaignReport report;
+  report.trials = config_.trials;
+  report.results.resize(config_.trials);
+  std::vector<TrialResult>& results = report.results;
+  // Trials are independent and each seeds its own RNG from its index, so
+  // the fan-out cannot perturb the report.
+  pool_->parallel_for(config_.trials, /*grain=*/8,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          results[i] = run_trial(i);
+                        }
+                      });
+  for (const TrialResult& t : results) {
+    const auto s = static_cast<std::size_t>(t.fault.surface);
+    const auto o = static_cast<std::size_t>(t.outcome);
+    ++report.by_outcome[o];
+    ++report.by_surface[s][o];
+    ++report.surface_trials[s];
+    if (t.corrupted) {
+      for (std::size_t d = 0; d < kDetectorCount; ++d) {
+        if (t.detection.flagged(static_cast<Detector>(d))) {
+          ++report.detector_hits[d];
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nacu::fault

@@ -1,0 +1,155 @@
+// Randomized fault-injection campaigns over the NACU datapath.
+//
+// Each trial arms exactly one single-bit fault (transient SEU or stuck-at,
+// fault_injector.hpp) on one of the architectural state surfaces — σ-LUT
+// coefficient words, pipeline stage registers, dense activation tables —
+// then measures three things against the golden unit:
+//
+//   1. ground truth — would the fault corrupt any architecturally visible
+//      output? (exhaustive over the inputs the faulted word can reach:
+//      inverse segment maps give the affected-input set for LUT words, a
+//      table word serves exactly one input, and pipeline faults are driven
+//      through a steady-state op stream);
+//   2. detection — which invariant detectors (detectors.hpp) flag it;
+//   3. recovery — whether the matching policy restores bit-identical
+//      outputs: LUT/table scrub for transients, recompute-via-scalar bypass
+//      for stuck-at table words, 2-of-3 temporal vote for pipeline
+//      transients. Stuck-at faults inside the shared LUT or the pipeline
+//      itself have no redundant resource and stay unrecoverable.
+//
+// Trials fan out across core::ThreadPool, but every trial derives its
+// randomness from a counter-based seed and results are aggregated by trial
+// index — the report is bit-identical for a given (config, seed) regardless
+// of thread count or scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "fault/detectors.hpp"
+#include "fault/fault_injector.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::fault {
+
+enum class Outcome : std::uint8_t {
+  Masked = 0,             ///< no output corruption, no detector fired
+  DetectedBenign,         ///< no output corruption, but detectors fired
+  DetectedCorrected,      ///< corruption detected and recovery restored
+                          ///< bit-identical outputs
+  DetectedUnrecoverable,  ///< corruption detected; no recovery policy
+  SilentCorruption,       ///< corruption escaped every detector (SDC)
+};
+inline constexpr std::size_t kOutcomeCount = 5;
+[[nodiscard]] const char* outcome_name(Outcome o) noexcept;
+
+/// All three fault models: transient SEU plus both stuck-at polarities.
+/// (Out-of-line so the CampaignConfig default init stays warning-clean.)
+[[nodiscard]] std::vector<FaultModel> all_fault_models();
+
+struct CampaignConfig {
+  core::NacuConfig unit{};  ///< datapath under test (paper Q4.11 default)
+  std::uint64_t seed = 1;
+  std::size_t trials = 10000;
+  /// Fault models drawn uniformly per trial.
+  std::vector<FaultModel> models = all_fault_models();
+  /// Surfaces drawn uniformly per trial (index = fault::Surface). Table
+  /// surfaces are silently dropped when the format is too wide to cache.
+  std::array<bool, kSurfaceCount> surfaces{true, true, true,
+                                           true, true, true};
+  /// Ops in the steady-state stream a pipeline trial drives (the window a
+  /// transient can land in).
+  std::size_t pipeline_ops = 48;
+  CheckerOptions checker{};
+  core::ThreadPool* pool = nullptr;  ///< nullptr → ThreadPool::shared()
+};
+
+struct TrialResult {
+  Fault fault{};
+  Outcome outcome = Outcome::Masked;
+  DetectionReport detection{};
+  bool corrupted = false;  ///< ground truth: at least one wrong output
+  bool recovered = false;  ///< recovery restored bit-identical outputs
+};
+
+struct CampaignReport {
+  std::size_t trials = 0;
+  std::array<std::size_t, kOutcomeCount> by_outcome{};
+  std::array<std::array<std::size_t, kOutcomeCount>, kSurfaceCount>
+      by_surface{};
+  std::array<std::size_t, kSurfaceCount> surface_trials{};
+  /// Per-detector fire counts over *corrupted* trials only — which piece of
+  /// the paper's algebra actually catches what.
+  std::array<std::size_t, kDetectorCount> detector_hits{};
+  std::vector<TrialResult> results;  ///< indexed by trial
+
+  [[nodiscard]] std::size_t corrupted_trials() const noexcept;
+  [[nodiscard]] std::size_t detected_corrupted() const noexcept;
+  /// Fraction of would-be-SDC injections a detector caught (1.0 when no
+  /// trial corrupted anything).
+  [[nodiscard]] double detection_coverage() const noexcept;
+  /// Order-sensitive FNV-1a digest of every trial's (fault, outcome,
+  /// detector flags) — two runs are bit-identical iff digests match.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+  [[nodiscard]] std::string summary() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config);
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const InvariantChecker& checker() const noexcept {
+    return checker_;
+  }
+  /// The surfaces trials actually draw from after capability filtering.
+  [[nodiscard]] const std::vector<Surface>& active_surfaces() const noexcept {
+    return active_surfaces_;
+  }
+
+  /// Run config().trials independent injections across the pool.
+  [[nodiscard]] CampaignReport run() const;
+
+  /// One fully deterministic trial (exposed for tests).
+  [[nodiscard]] TrialResult run_trial(std::uint64_t index) const;
+
+ private:
+  struct StreamOp {
+    hw::Func func;
+    std::int64_t in_raw;
+    std::int64_t golden_raw;
+  };
+
+  [[nodiscard]] Fault draw_fault(std::mt19937_64& rng) const;
+  [[nodiscard]] std::size_t surface_words(Surface s) const;
+  [[nodiscard]] int word_width(Surface s, std::size_t word) const;
+  [[nodiscard]] std::int64_t golden_scalar(InvariantChecker::Function f,
+                                           std::int64_t raw) const;
+  [[nodiscard]] TrialResult run_lut_trial(const Fault& fault) const;
+  [[nodiscard]] TrialResult run_table_trial(const Fault& fault) const;
+  [[nodiscard]] TrialResult run_pipeline_trial(const Fault& fault,
+                                               std::mt19937_64& rng) const;
+  /// Issue the stream through @p rtl, arming @p injector before tick
+  /// @p arm_at; returns retired raw results by op index.
+  [[nodiscard]] std::vector<std::int64_t> run_stream(
+      hw::NacuRtl& rtl, FaultInjector* injector, std::size_t arm_at) const;
+
+  CampaignConfig config_;
+  InvariantChecker checker_;
+  core::ThreadPool* pool_;
+  std::vector<Surface> active_surfaces_;
+  /// Inverse segment maps (cacheable formats): raws whose σ (resp. tanh)
+  /// evaluation reads LUT segment i. exp(x) reads σ's segment of |x|.
+  std::vector<std::vector<std::int32_t>> sigma_affected_;
+  std::vector<std::vector<std::int32_t>> tanh_affected_;
+  std::vector<StreamOp> stream_ops_;
+  std::array<int, hw::NacuRtl::kFaultWords> pipeline_widths_{};
+};
+
+}  // namespace nacu::fault

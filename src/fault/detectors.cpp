@@ -1,0 +1,505 @@
+#include "fault/detectors.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace nacu::fault {
+
+namespace {
+
+/// Even parity of the low @p width bits of @p word.
+bool parity_of(std::int64_t word, int width) {
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0}
+                  : (std::uint64_t{1} << width) - 1;
+  return (std::popcount(static_cast<std::uint64_t>(word) & mask) & 1) != 0;
+}
+
+/// Continuity slope bound in raw LSBs for a raw input gap: σ' ≤ 1/4,
+/// tanh' ≤ 1, (e^x)' ≤ 1 on x ≤ 0. Input and output share the datapath
+/// grid, so the bound is a shift of the gap.
+std::int64_t slope_bound(core::BatchNacu::Function f, std::int64_t dx) {
+  return f == core::BatchNacu::Function::Sigmoid ? dx >> 2 : dx;
+}
+
+/// Whether the continuity bound applies to the pair (a, b): everywhere for
+/// σ/tanh; only on the x ≤ 0 half for e^x (its slope is unbounded above 0).
+bool continuity_applies(core::BatchNacu::Function f, std::int64_t a,
+                        std::int64_t b) {
+  return f != core::BatchNacu::Function::Exp || (a <= 0 && b <= 0);
+}
+
+}  // namespace
+
+const char* detector_name(Detector d) noexcept {
+  switch (d) {
+    case Detector::CoefficientRange:
+      return "coeff-range";
+    case Detector::OutputRange:
+      return "output-range";
+    case Detector::CentroSymmetry:
+      return "centro-symmetry";
+    case Detector::TanhOddness:
+      return "tanh-oddness";
+    case Detector::Monotonicity:
+      return "monotonicity";
+    case Detector::Continuity:
+      return "continuity";
+    case Detector::SoftmaxSum:
+      return "softmax-sum";
+    case Detector::TableParity:
+      return "table-parity";
+    case Detector::TemporalVote:
+      return "temporal-vote";
+  }
+  return "?";
+}
+
+std::string DetectionReport::to_string() const {
+  if (!flagged()) {
+    return "-";
+  }
+  std::string out;
+  for (std::size_t d = 0; d < kDetectorCount; ++d) {
+    if (flagged(static_cast<Detector>(d))) {
+      if (!out.empty()) {
+        out += '|';
+      }
+      out += detector_name(static_cast<Detector>(d));
+    }
+  }
+  return out;
+}
+
+VoteResult temporal_vote3(const std::function<std::int64_t()>& evaluate) {
+  const std::int64_t a = evaluate();
+  const std::int64_t b = evaluate();
+  const std::int64_t c = evaluate();
+  VoteResult vote;
+  vote.disagreed = !(a == b && b == c);
+  // A single-cycle upset corrupts at most one of the three runs, so two
+  // always agree; a three-way split (multi-fault) falls back to the first.
+  vote.majority = (a == b || a == c) ? a : (b == c ? b : a);
+  return vote;
+}
+
+InvariantChecker::InvariantChecker(const core::NacuConfig& config,
+                                   CheckerOptions options)
+    : config_{config}, options_{options}, golden_{config} {
+  if (options_.rtl_probe_stride == 0) {
+    options_.rtl_probe_stride = 1;
+  }
+  calibrate();
+}
+
+std::int64_t InvariantChecker::scalar_raw(const core::Nacu& unit, Function f,
+                                          std::int64_t raw) const {
+  const fp::Fixed x = fp::Fixed::from_raw(raw, config_.format);
+  switch (f) {
+    case Function::Sigmoid:
+      return unit.sigmoid(x).raw();
+    case Function::Tanh:
+      return unit.tanh(x).raw();
+    case Function::Exp:
+      return unit.exp(x).raw();
+  }
+  throw std::logic_error("InvariantChecker: unknown function");
+}
+
+void InvariantChecker::calibrate() {
+  const fp::Format fmt = config_.format;
+  const std::int64_t max_raw = fmt.max_raw();
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t one = std::int64_t{1} << fmt.fractional_bits();
+
+  // --- Probe grid: σ segment boundaries (and the half positions tanh's
+  // 2|x| stretch lands on), segment midpoints, format extremes; mirrored.
+  {
+    std::vector<std::int64_t> grid;
+    const auto entries = static_cast<std::int64_t>(config_.lut_entries);
+    for (std::int64_t i = 0; i <= entries; ++i) {
+      const std::int64_t b = max_raw * i / entries;
+      const std::int64_t b_next = max_raw * std::min(i + 1, entries) / entries;
+      grid.push_back(b);
+      grid.push_back(std::min(b + 1, max_raw));
+      grid.push_back((b + b_next) / 2);
+      grid.push_back(b / 2);
+      grid.push_back(std::min(b / 2 + 1, max_raw));
+    }
+    grid.push_back(0);
+    grid.push_back(max_raw);
+    const std::size_t positive = grid.size();
+    for (std::size_t k = 0; k < positive; ++k) {
+      if (grid[k] > 0) {
+        grid.push_back(-grid[k]);
+      }
+    }
+    grid.push_back(min_raw);
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    probes_ = std::move(grid);
+  }
+
+  // --- σ-LUT word signatures and §V.A coefficient bounds.
+  const core::SigmoidLut& lut = golden_.lut();
+  const int coeff_width = config_.coeff_format.width();
+  const int coeff_fb = config_.coeff_format.fractional_bits();
+  slope_hi_ = std::int64_t{1} << (coeff_fb - 2);  // m1 ≤ 0.25
+  bias_lo_ = std::int64_t{1} << (coeff_fb - 1);   // q ≥ 0.5
+  bias_hi_ = std::int64_t{1} << coeff_fb;         // q ≤ 1
+  lut_slope_parity_.resize(lut.entries());
+  lut_bias_parity_.resize(lut.entries());
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    const std::int64_t m = lut.slope_raw(i);
+    const std::int64_t q = lut.bias_raw(i);
+    lut_slope_parity_[i] = parity_of(m, coeff_width);
+    lut_bias_parity_[i] = parity_of(q, coeff_width);
+    slope_hi_ = std::max(slope_hi_, m);
+    bias_lo_ = std::min(bias_lo_, q);
+    bias_hi_ = std::max(bias_hi_, q);
+  }
+
+  // --- Dense golden tables + parity signatures (cacheable formats).
+  const bool cacheable = fmt.width() <= core::BatchNacu::kMaxTableWidth;
+  if (cacheable) {
+    const auto entries = static_cast<std::size_t>(max_raw - min_raw + 1);
+    for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+      const auto f = static_cast<Function>(fi);
+      std::vector<std::int16_t> table(entries);
+      std::vector<bool> parity(entries);
+      for (std::size_t w = 0; w < entries; ++w) {
+        const std::int64_t v =
+            scalar_raw(golden_, f, min_raw + static_cast<std::int64_t>(w));
+        table[w] = static_cast<std::int16_t>(v);
+        parity[w] = parity_of(v, fmt.width());
+      }
+      golden_tables_[fi] = std::move(table);
+      table_parity_[fi] = std::move(parity);
+    }
+  }
+
+  // --- Tolerance calibration: measure the clean unit's worst deviation
+  // from each ideal invariant, over the dense domain when available and
+  // the probe grid always, then add margin_lsb.
+  const std::int64_t margin = options_.margin_lsb;
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    const auto f = static_cast<Function>(fi);
+    FunctionCal& cal = cal_[fi];
+    // Theoretical output envelopes; widened below by anything the clean
+    // unit actually produces.
+    switch (f) {
+      case Function::Sigmoid:
+        cal.range_lo = 0;
+        cal.range_hi = one;
+        break;
+      case Function::Tanh:
+        cal.range_lo = -one;
+        cal.range_hi = one;
+        break;
+      case Function::Exp:
+        cal.range_lo = 0;
+        cal.range_hi = max_raw;  // positive inputs saturate
+        break;
+    }
+    std::int64_t backstep = 0;
+    std::int64_t cont = 0;
+
+    std::vector<std::int64_t> vals(probes_.size());
+    for (std::size_t k = 0; k < probes_.size(); ++k) {
+      vals[k] = scalar_raw(golden_, f, probes_[k]);
+      cal.range_lo = std::min(cal.range_lo, vals[k]);
+      cal.range_hi = std::max(cal.range_hi, vals[k]);
+    }
+    // All ordered probe pairs, so any stride's adjacency is covered.
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      for (std::size_t j = i + 1; j < probes_.size(); ++j) {
+        backstep = std::max(backstep, vals[i] - vals[j]);
+        if (continuity_applies(f, probes_[i], probes_[j])) {
+          cont = std::max(cont, vals[j] - vals[i] -
+                                    slope_bound(f, probes_[j] - probes_[i]));
+        }
+      }
+    }
+    if (cacheable) {
+      const std::vector<std::int16_t>& table = golden_tables_[fi];
+      for (std::size_t w = 0; w < table.size(); ++w) {
+        const std::int64_t v = table[w];
+        const std::int64_t x = min_raw + static_cast<std::int64_t>(w);
+        cal.range_lo = std::min(cal.range_lo, v);
+        cal.range_hi = std::max(cal.range_hi, v);
+        if (w > 0) {
+          backstep = std::max(backstep, std::int64_t{table[w - 1]} - v);
+          if (continuity_applies(f, x - 1, x)) {
+            cont = std::max(cont, v - table[w - 1] - slope_bound(f, 1));
+          }
+        }
+      }
+    }
+    cal.mono_tol = backstep + margin;
+    cal.cont_slack = cont + margin;
+  }
+
+  // Symmetry/oddness deviations over mirrored pairs (probes + table).
+  std::int64_t sym = 0;
+  std::int64_t odd = 0;
+  std::int64_t half_hi = one / 2;  // σ(x ≤ 0) ≤ 0.5 — the Eq. 13 operand
+  for (const std::int64_t p : probes_) {
+    if (p < 0 || -p < min_raw) {
+      continue;
+    }
+    const std::int64_t sp = scalar_raw(golden_, Function::Sigmoid, p);
+    const std::int64_t sn = scalar_raw(golden_, Function::Sigmoid, -p);
+    sym = std::max(sym, std::abs(sp + sn - one));
+    const std::int64_t tp = scalar_raw(golden_, Function::Tanh, p);
+    const std::int64_t tn = scalar_raw(golden_, Function::Tanh, -p);
+    odd = std::max(odd, std::abs(tp + tn));
+    half_hi = std::max(half_hi, sn);
+  }
+  if (cacheable) {
+    const std::vector<std::int16_t>& sig =
+        golden_tables_[static_cast<std::size_t>(Function::Sigmoid)];
+    const std::vector<std::int16_t>& tnh =
+        golden_tables_[static_cast<std::size_t>(Function::Tanh)];
+    for (std::int64_t r = 0; r <= max_raw; ++r) {
+      const auto wp = static_cast<std::size_t>(r - min_raw);
+      const auto wn = static_cast<std::size_t>(-r - min_raw);
+      sym = std::max(sym, std::abs(std::int64_t{sig[wp]} +
+                                   std::int64_t{sig[wn]} - one));
+      odd = std::max(odd,
+                     std::abs(std::int64_t{tnh[wp]} + std::int64_t{tnh[wn]}));
+      half_hi = std::max(half_hi, std::int64_t{sig[wn]});
+    }
+  }
+  sym_tol_ = sym + margin;
+  odd_tol_ = odd + margin;
+
+  // --- Softmax probe vector and its clean sum deviation (Eq. 13).
+  softmax_probe_ = {0,           max_raw / 2, -max_raw / 2, max_raw / 4,
+                    -max_raw / 4, max_raw / 8, -max_raw / 8, -max_raw};
+  std::vector<fp::Fixed> sm_in;
+  sm_in.reserve(softmax_probe_.size());
+  for (const std::int64_t r : softmax_probe_) {
+    sm_in.push_back(fp::Fixed::from_raw(r, fmt));
+  }
+  const std::vector<fp::Fixed> sm_out = golden_.softmax(sm_in);
+  std::int64_t sum = 0;
+  std::int64_t elem_lo = 0;  // §VIII approximate reciprocal can dip below 0
+  std::int64_t elem_hi = one;
+  for (const fp::Fixed& p : sm_out) {
+    sum += p.raw();
+    elem_lo = std::min(elem_lo, p.raw());
+    elem_hi = std::max(elem_hi, p.raw());
+  }
+  softmax_sum_tol_ = std::abs(sum - one) + margin;
+  softmax_elem_lo_ = elem_lo - margin;
+  softmax_elem_hi_ = elem_hi + margin;
+  softmax_half_hi_ = half_hi + margin;
+}
+
+void InvariantChecker::probe_battery(
+    Function f, const std::function<std::int64_t(std::int64_t)>& eval,
+    std::size_t stride, DetectionReport& report) const {
+  const FunctionCal& cal = cal_[static_cast<std::size_t>(f)];
+  std::vector<std::int64_t> xs;
+  std::vector<std::int64_t> vals;
+  xs.reserve(probes_.size() / stride + 1);
+  vals.reserve(probes_.size() / stride + 1);
+  for (std::size_t k = 0; k < probes_.size(); k += stride) {
+    xs.push_back(probes_[k]);
+    vals.push_back(eval(probes_[k]));
+  }
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    if (vals[k] < cal.range_lo || vals[k] > cal.range_hi) {
+      report.flag(Detector::OutputRange);
+    }
+    if (f == Function::Sigmoid && xs[k] <= 0 && vals[k] > softmax_half_hi_) {
+      report.flag(Detector::SoftmaxSum);  // Eq. 13 operand guard
+    }
+    if (k > 0) {
+      if (vals[k - 1] - vals[k] > cal.mono_tol) {
+        report.flag(Detector::Monotonicity);
+      }
+      if (continuity_applies(f, xs[k - 1], xs[k]) &&
+          vals[k] - vals[k - 1] >
+              slope_bound(f, xs[k] - xs[k - 1]) + cal.cont_slack) {
+        report.flag(Detector::Continuity);
+      }
+    }
+  }
+  if (f == Function::Exp) {
+    return;
+  }
+  // Mirrored pairs via two pointers over the sorted grid.
+  const std::int64_t one = std::int64_t{1} << config_.format.fractional_bits();
+  std::size_t i = 0;
+  std::size_t j = xs.size();
+  while (j > 0 && i < j - 1) {
+    const std::int64_t s = xs[i] + xs[j - 1];
+    if (s < 0) {
+      ++i;
+    } else if (s > 0) {
+      --j;
+    } else {
+      const std::int64_t pair = vals[i] + vals[j - 1];
+      if (f == Function::Sigmoid && std::abs(pair - one) > sym_tol_) {
+        report.flag(Detector::CentroSymmetry);
+      }
+      if (f == Function::Tanh && std::abs(pair) > odd_tol_) {
+        report.flag(Detector::TanhOddness);
+      }
+      ++i;
+      --j;
+    }
+  }
+}
+
+DetectionReport InvariantChecker::check_unit(const core::Nacu& unit) const {
+  DetectionReport report;
+  // σ-LUT word scan: §V.A coefficient bounds + parity signatures. Reads go
+  // through the unit's LUT accessors, i.e. through any armed fault port.
+  const core::SigmoidLut& lut = unit.lut();
+  const int coeff_width = config_.coeff_format.width();
+  for (std::size_t i = 0; i < lut.entries(); ++i) {
+    const std::int64_t m = lut.slope_raw(i);
+    const std::int64_t q = lut.bias_raw(i);
+    if (m < 0 || m > slope_hi_ || q < bias_lo_ || q > bias_hi_) {
+      report.flag(Detector::CoefficientRange);
+    }
+    if (i < lut_slope_parity_.size() &&
+        (parity_of(m, coeff_width) != lut_slope_parity_[i] ||
+         parity_of(q, coeff_width) != lut_bias_parity_[i])) {
+      report.flag(Detector::TableParity);
+    }
+  }
+  // Probe battery through the full scalar datapath.
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    const auto f = static_cast<Function>(fi);
+    probe_battery(
+        f, [&](std::int64_t raw) { return scalar_raw(unit, f, raw); }, 1,
+        report);
+  }
+  // Eq. 13 sum check through the unit's full softmax path.
+  std::vector<fp::Fixed> sm_in;
+  sm_in.reserve(softmax_probe_.size());
+  for (const std::int64_t r : softmax_probe_) {
+    sm_in.push_back(fp::Fixed::from_raw(r, config_.format));
+  }
+  const std::vector<fp::Fixed> sm_out = unit.softmax(sm_in);
+  std::int64_t sum = 0;
+  const std::int64_t one = std::int64_t{1} << config_.format.fractional_bits();
+  for (const fp::Fixed& p : sm_out) {
+    if (p.raw() < softmax_elem_lo_ || p.raw() > softmax_elem_hi_) {
+      report.flag(Detector::SoftmaxSum);
+    }
+    sum += p.raw();
+  }
+  if (std::abs(sum - one) > softmax_sum_tol_) {
+    report.flag(Detector::SoftmaxSum);
+  }
+  return report;
+}
+
+DetectionReport InvariantChecker::check_table(
+    Function f,
+    const std::function<std::int64_t(std::size_t)>& read_word) const {
+  const auto fi = static_cast<std::size_t>(f);
+  const std::vector<std::int16_t>& golden = golden_tables_[fi];
+  if (golden.empty()) {
+    throw std::logic_error(
+        "InvariantChecker::check_table: format has no dense table");
+  }
+  DetectionReport report;
+  const FunctionCal& cal = cal_[fi];
+  const fp::Format fmt = config_.format;
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t max_raw = fmt.max_raw();
+  const std::int64_t one = std::int64_t{1} << fmt.fractional_bits();
+  std::int64_t prev = 0;
+  for (std::size_t w = 0; w < golden.size(); ++w) {
+    const std::int64_t v = read_word(w);
+    const std::int64_t x = min_raw + static_cast<std::int64_t>(w);
+    if (parity_of(v, fmt.width()) != table_parity_[fi][w]) {
+      report.flag(Detector::TableParity);
+    }
+    if (v < cal.range_lo || v > cal.range_hi) {
+      report.flag(Detector::OutputRange);
+    }
+    if (f == Function::Sigmoid && x <= 0 && v > softmax_half_hi_) {
+      report.flag(Detector::SoftmaxSum);
+    }
+    if (w > 0) {
+      if (prev - v > cal.mono_tol) {
+        report.flag(Detector::Monotonicity);
+      }
+      if (continuity_applies(f, x - 1, x) &&
+          v - prev > slope_bound(f, 1) + cal.cont_slack) {
+        report.flag(Detector::Continuity);
+      }
+    }
+    prev = v;
+  }
+  if (f == Function::Exp) {
+    return report;
+  }
+  for (std::int64_t r = 0; r <= max_raw; ++r) {
+    const std::int64_t vp = read_word(static_cast<std::size_t>(r - min_raw));
+    const std::int64_t vn = read_word(static_cast<std::size_t>(-r - min_raw));
+    if (f == Function::Sigmoid && std::abs(vp + vn - one) > sym_tol_) {
+      report.flag(Detector::CentroSymmetry);
+    }
+    if (f == Function::Tanh && std::abs(vp + vn) > odd_tol_) {
+      report.flag(Detector::TanhOddness);
+    }
+  }
+  return report;
+}
+
+DetectionReport InvariantChecker::check_batch(
+    const core::BatchNacu& batch) const {
+  DetectionReport report;
+  const std::int64_t min_raw = config_.format.min_raw();
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    const auto f = static_cast<Function>(fi);
+    if (!batch.table_built(f)) {
+      continue;
+    }
+    report.merge(check_table(f, [&](std::size_t w) {
+      const std::int64_t in = min_raw + static_cast<std::int64_t>(w);
+      std::int64_t out = 0;
+      batch.evaluate_raw(f, std::span<const std::int64_t>{&in, 1},
+                         std::span<std::int64_t>{&out, 1});
+      return out;
+    }));
+  }
+  return report;
+}
+
+DetectionReport InvariantChecker::check_rtl(hw::NacuRtl& rtl) const {
+  DetectionReport report;
+  const fp::Format fmt = config_.format;
+  const auto hw_func = [](Function f) {
+    switch (f) {
+      case Function::Sigmoid:
+        return hw::Func::Sigmoid;
+      case Function::Tanh:
+        return hw::Func::Tanh;
+      case Function::Exp:
+        return hw::Func::Exp;
+    }
+    return hw::Func::Sigmoid;
+  };
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    const auto f = static_cast<Function>(fi);
+    probe_battery(
+        f,
+        [&](std::int64_t raw) {
+          return rtl.run_single(hw_func(f), fp::Fixed::from_raw(raw, fmt))
+              .value.raw();
+        },
+        options_.rtl_probe_stride, report);
+  }
+  return report;
+}
+
+}  // namespace nacu::fault

@@ -1,0 +1,187 @@
+// Invariant-based online fault detectors for the NACU datapath.
+//
+// Every check is derived from algebra the paper itself establishes, so a
+// deployed controller can run them with no golden reference model:
+//
+//   CoefficientRange  m1 ∈ [0, 0.25], q ∈ [0.5, 1]            (§V.A)
+//   OutputRange       σ ∈ [0, 1], tanh ∈ [−1, 1], e^x ∈ (0, 1] for x ≤ 0
+//   CentroSymmetry    σ(x) + σ(−x) = 1                        (Eq. 9)
+//   TanhOddness       tanh(x) + tanh(−x) = 0                  (Eq. 11)
+//   Monotonicity      σ, tanh, e^x nondecreasing over the domain
+//   Continuity        |Δf| ≤ slope-bound · Δx (σ' ≤ 1/4, tanh' ≤ 1, e^x ≤ 1
+//                     on x ≤ 0) plus quantisation slack
+//   SoftmaxSum        Eq. 13 outputs sum to 1; shifted σ operands ≤ 0.5
+//   TableParity       even parity per cached word (σ-LUT coefficients and
+//                     BatchNacu dense tables), captured from clean state —
+//                     the classic SRAM guard; catches every single-bit flip
+//   TemporalVote      2-of-3 re-evaluation disagreement — the only check
+//                     that can see a single-cycle pipeline-flop upset
+//
+// Fixed-point quantisation makes none of the algebraic identities exact, so
+// the checker *calibrates* its tolerances on the clean unit at construction
+// (measured clean deviation + margin_lsb). That guarantees zero false
+// positives on the calibration config by construction while keeping the
+// detection threshold as tight as the format allows.
+//
+// An interesting consequence of the shared-LUT architecture, exposed by the
+// campaign: CentroSymmetry and TanhOddness largely *cannot* catch σ-LUT
+// coefficient faults — σ(x) and σ(−x) morph the same corrupted (m1, q)
+// words, so slope corruption cancels exactly in the sum (Eqs. 9, 11), and
+// bias corruption cancels while the corrupted q stays inside (0, 1] (beyond
+// that the Fig. 3a fractional complement wraps and the identity breaks by a
+// whole integer, which *is* caught). They do catch dense-table and pipeline
+// faults, where the two reads are independent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::fault {
+
+enum class Detector : std::uint8_t {
+  CoefficientRange = 0,
+  OutputRange,
+  CentroSymmetry,
+  TanhOddness,
+  Monotonicity,
+  Continuity,
+  SoftmaxSum,
+  TableParity,
+  TemporalVote,
+};
+inline constexpr std::size_t kDetectorCount = 9;
+
+[[nodiscard]] const char* detector_name(Detector d) noexcept;
+
+/// Which detectors flagged, as a bitmask (bit = enum value).
+struct DetectionReport {
+  std::uint32_t flags = 0;
+
+  [[nodiscard]] bool flagged() const noexcept { return flags != 0; }
+  [[nodiscard]] bool flagged(Detector d) const noexcept {
+    return (flags & (1u << static_cast<unsigned>(d))) != 0;
+  }
+  void flag(Detector d) noexcept {
+    flags |= 1u << static_cast<unsigned>(d);
+  }
+  void merge(const DetectionReport& other) noexcept { flags |= other.flags; }
+  /// "centro-symmetry|table-parity" style list ("-" when clean).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// 2-of-3 temporal redundancy: evaluate three times, majority-vote the raw
+/// result. Any disagreement is a detection; the majority value is the
+/// recovered output (a single-cycle transient can corrupt at most one run).
+struct VoteResult {
+  std::int64_t majority = 0;
+  bool disagreed = false;
+};
+[[nodiscard]] VoteResult temporal_vote3(
+    const std::function<std::int64_t()>& evaluate);
+
+struct CheckerOptions {
+  /// Extra output-grid LSBs of slack on top of each measured clean
+  /// deviation. 1 keeps thresholds tight; raise to trade coverage for
+  /// robustness against untested configs.
+  std::int64_t margin_lsb = 1;
+  /// Stride through the probe list for pipeline (run_single) checks, which
+  /// cost ~8 cycles per probe instead of one table read. 1 gives the full
+  /// grid (best stuck-at coverage); larger trades coverage for speed.
+  std::size_t rtl_probe_stride = 1;
+};
+
+class InvariantChecker {
+ public:
+  using Function = core::BatchNacu::Function;
+
+  /// Builds the golden unit, the probe grid (segment boundaries, segment
+  /// midpoints, format extremes, mirrored), the dense golden tables (when
+  /// the format is table-cacheable) with their parity signatures, and
+  /// calibrates every tolerance on the clean unit.
+  explicit InvariantChecker(const core::NacuConfig& config,
+                            CheckerOptions options = {});
+
+  [[nodiscard]] const core::Nacu& golden() const noexcept { return golden_; }
+  [[nodiscard]] const std::vector<std::int64_t>& probes() const noexcept {
+    return probes_;
+  }
+  /// Dense golden table for @p f (raw outputs, index = raw − min_raw);
+  /// empty when the format is wider than BatchNacu::kMaxTableWidth.
+  [[nodiscard]] const std::vector<std::int16_t>& golden_table(
+      Function f) const noexcept {
+    return golden_tables_[static_cast<std::size_t>(f)];
+  }
+
+  /// Scalar-unit battery: σ-LUT word checks (coefficient range + parity)
+  /// and the full probe battery (range, symmetry, oddness, monotonicity,
+  /// continuity, softmax) evaluated through @p unit — which may have a
+  /// fault port armed on its LUT.
+  [[nodiscard]] DetectionReport check_unit(const core::Nacu& unit) const;
+
+  /// Dense-table battery over one function's table, read through
+  /// @p read_word (word = raw − min_raw): parity, range, monotonicity, and
+  /// the symmetry/oddness pairing for σ/tanh. Requires a cacheable format.
+  [[nodiscard]] DetectionReport check_table(
+      Function f,
+      const std::function<std::int64_t(std::size_t)>& read_word) const;
+
+  /// Convenience: run check_table over every built table of @p batch,
+  /// reading entries through its (possibly fault-armed) evaluate_raw path.
+  /// Evaluates in small serial chunks — safe for non-thread-safe ports as
+  /// long as batch.options().parallel_threshold > 1024.
+  [[nodiscard]] DetectionReport check_batch(
+      const core::BatchNacu& batch) const;
+
+  /// Pipeline battery: the probe grid (strided) driven through @p rtl with
+  /// run_single; range, symmetry, oddness and monotonicity on the retired
+  /// values. Catches persistent (stuck-at) pipeline defects; single-cycle
+  /// transients need temporal_vote3 at the moment of the computation.
+  [[nodiscard]] DetectionReport check_rtl(hw::NacuRtl& rtl) const;
+
+ private:
+  struct FunctionCal {
+    std::int64_t range_lo = 0;     ///< min legal raw output
+    std::int64_t range_hi = 0;     ///< max legal raw output
+    std::int64_t mono_tol = 0;     ///< max legal backstep, raw
+    std::int64_t cont_slack = 0;   ///< slack beyond slope-bound · Δx, raw
+  };
+
+  [[nodiscard]] std::int64_t scalar_raw(const core::Nacu& unit, Function f,
+                                        std::int64_t raw) const;
+  /// Range/monotonicity/continuity/symmetry sweep over one function's
+  /// outputs at the probe rows; shared by check_unit and check_rtl.
+  void probe_battery(Function f,
+                     const std::function<std::int64_t(std::int64_t)>& eval,
+                     std::size_t stride, DetectionReport& report) const;
+  void calibrate();
+
+  core::NacuConfig config_;
+  CheckerOptions options_;
+  core::Nacu golden_;
+  std::vector<std::int64_t> probes_;  ///< sorted raw inputs, mirrored
+  std::array<std::vector<std::int16_t>, core::BatchNacu::kFunctionCount>
+      golden_tables_;
+  std::array<std::vector<bool>, core::BatchNacu::kFunctionCount>
+      table_parity_;
+  std::vector<bool> lut_slope_parity_;
+  std::vector<bool> lut_bias_parity_;
+  std::int64_t slope_hi_ = 0;  ///< max legal m1 raw (0.25 on the coeff grid)
+  std::int64_t bias_lo_ = 0;   ///< 0.5 on the coefficient grid
+  std::int64_t bias_hi_ = 0;   ///< 1.0 on the coefficient grid
+  std::array<FunctionCal, core::BatchNacu::kFunctionCount> cal_;
+  std::int64_t sym_tol_ = 0;   ///< |σ(x)+σ(−x)−1| clean max + margin, raw
+  std::int64_t odd_tol_ = 0;   ///< |tanh(x)+tanh(−x)| clean max + margin
+  std::vector<std::int64_t> softmax_probe_;  ///< fixed probe vector, raw
+  std::int64_t softmax_sum_tol_ = 0;
+  std::int64_t softmax_elem_lo_ = 0;  ///< §VIII reciprocal bias can dip <0
+  std::int64_t softmax_elem_hi_ = 0;
+  std::int64_t softmax_half_hi_ = 0;  ///< Eq. 13 operand guard: σ(x≤0) bound
+};
+
+}  // namespace nacu::fault

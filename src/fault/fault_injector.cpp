@@ -1,0 +1,82 @@
+#include "fault/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace nacu::fault {
+
+void FaultInjector::arm(const Fault& fault) {
+  if (fault.bit < 0 || fault.bit >= 64) {
+    throw std::invalid_argument("FaultInjector: bit index out of range");
+  }
+  faults_.push_back(Armed{.fault = fault, .spent = false});
+}
+
+void FaultInjector::disarm_all() noexcept { faults_.clear(); }
+
+bool FaultInjector::transient_live() const noexcept {
+  for (const Armed& a : faults_) {
+    if (a.fault.model == FaultModel::TransientSeu && !a.spent) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t FaultInjector::apply(const Fault& fault, std::int64_t clean,
+                                  int width) noexcept {
+  if (fault.bit >= width) {
+    return clean;  // the targeted cell does not exist at this word's width
+  }
+  const std::uint64_t value_mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  const std::uint64_t bit_mask = std::uint64_t{1} << fault.bit;
+  std::uint64_t u = static_cast<std::uint64_t>(clean) & value_mask;
+  switch (fault.model) {
+    case FaultModel::TransientSeu:
+      u ^= bit_mask;
+      break;
+    case FaultModel::StuckAt0:
+      u &= ~bit_mask;
+      break;
+    case FaultModel::StuckAt1:
+      u |= bit_mask;
+      break;
+  }
+  // Sign-extend the width-bit two's-complement word back to int64.
+  if (width < 64 && (u & (std::uint64_t{1} << (width - 1))) != 0) {
+    u |= ~value_mask;
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+std::int64_t FaultInjector::read(Surface surface, std::size_t word,
+                                 std::int64_t clean, int width) noexcept {
+  std::int64_t value = clean;
+  for (Armed& a : faults_) {
+    if (a.fault.surface != surface || a.fault.word != word || a.spent) {
+      continue;
+    }
+    value = apply(a.fault, value, width);
+    if (a.fault.model == FaultModel::TransientSeu &&
+        surface == Surface::RtlPipeline) {
+      // A flop upset corrupts exactly one clocking of the register; the
+      // next cycle's write overwrites it.
+      a.spent = true;
+    }
+  }
+  if (value != clean) {
+    ++reads_faulted_;
+  }
+  return value;
+}
+
+void FaultInjector::on_rewrite(Surface surface, std::size_t word) noexcept {
+  for (Armed& a : faults_) {
+    if (a.fault.surface == surface && a.fault.word == word &&
+        a.fault.model == FaultModel::TransientSeu) {
+      a.spent = true;  // the rewrite stored a clean value over the upset
+    }
+  }
+}
+
+}  // namespace nacu::fault

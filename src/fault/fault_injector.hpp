@@ -1,0 +1,89 @@
+// Single-bit fault models over the NACU state surfaces.
+//
+// A FaultInjector is a BitFaultPort holding a set of armed faults. Each
+// fault targets one (surface, word, bit) and follows one of three models:
+//
+//  * TransientSeu — a soft-error bit flip. In SRAM surfaces (LUT words,
+//    dense tables) the flipped bit persists until the word is rewritten
+//    (on_rewrite — a scrub); in the pipeline-register surface the upset
+//    lasts exactly one clocking of the flop (the next cycle overwrites it),
+//    so the injector spends it after its first applied read.
+//  * StuckAt0 / StuckAt1 — a permanent defect: the bit is forced on every
+//    read and survives any scrub.
+//
+// Faults are applied within the word's physical bit-width (two's
+// complement, sign-extended), so a corrupted word is always representable
+// in the format the clean word came from — corruption propagates as wrong
+// *values*, never as out-of-range crashes.
+//
+// Not thread-safe: one injector serves one (serially used) set of hooked
+// units. Fault-campaign trials each own a private injector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_port.hpp"
+
+namespace nacu::fault {
+
+enum class FaultModel : std::uint8_t { TransientSeu, StuckAt0, StuckAt1 };
+
+[[nodiscard]] constexpr const char* fault_model_name(FaultModel m) noexcept {
+  switch (m) {
+    case FaultModel::TransientSeu: return "transient-seu";
+    case FaultModel::StuckAt0: return "stuck-at-0";
+    case FaultModel::StuckAt1: return "stuck-at-1";
+  }
+  return "?";
+}
+
+struct Fault {
+  Surface surface = Surface::LutSlope;
+  std::size_t word = 0;
+  int bit = 0;  ///< bit position within the word's physical width
+  FaultModel model = FaultModel::TransientSeu;
+};
+
+class FaultInjector final : public BitFaultPort {
+ public:
+  FaultInjector() = default;
+
+  /// Arm @p fault; multiple armed faults compose (applied in arm order).
+  void arm(const Fault& fault);
+  void disarm_all() noexcept;
+  [[nodiscard]] std::size_t armed_count() const noexcept {
+    return faults_.size();
+  }
+
+  /// Number of reads whose returned value differed from the clean word.
+  [[nodiscard]] std::size_t reads_faulted() const noexcept {
+    return reads_faulted_;
+  }
+  /// Whether any armed TransientSeu is still live (not spent / scrubbed).
+  [[nodiscard]] bool transient_live() const noexcept;
+
+  /// Pure fault application: @p clean with @p fault applied, within
+  /// @p width bits. read() matches this bit-for-bit for a live fault; a
+  /// bit index outside the word's width is a no-op (the flop/cell does not
+  /// exist), mirroring read().
+  [[nodiscard]] static std::int64_t apply(const Fault& fault,
+                                          std::int64_t clean,
+                                          int width) noexcept;
+
+  // BitFaultPort:
+  [[nodiscard]] std::int64_t read(Surface surface, std::size_t word,
+                                  std::int64_t clean,
+                                  int width) noexcept override;
+  void on_rewrite(Surface surface, std::size_t word) noexcept override;
+
+ private:
+  struct Armed {
+    Fault fault;
+    bool spent = false;  ///< transient already healed (scrub / flop re-clock)
+  };
+  std::vector<Armed> faults_;
+  std::size_t reads_faulted_ = 0;
+};
+
+}  // namespace nacu::fault

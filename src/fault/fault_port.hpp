@@ -1,0 +1,69 @@
+// Fault-injection port — the seam between the NACU state surfaces and the
+// resilience subsystem.
+//
+// Deployed NACU state is SRAM and flops: the σ coefficient LUT words, the
+// S1–S3 pipeline registers of the cycle-accurate model, and BatchNacu's
+// dense activation tables. Each of those classes owns an optional, non-owned
+// `BitFaultPort*` (nullptr by default) and routes every architectural read
+// of a state word through it when armed. With no port attached the hook is
+// a single pointer compare — the fault machinery costs nothing in the
+// fault-free fast path and the numerical behaviour is exactly the seed's.
+//
+// This header is deliberately dependency-free (interface only) so that
+// nacu_core / nacu_hwmodel can include it without linking the fault library;
+// the concrete FaultInjector lives in fault_injector.hpp and links the other
+// way around.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nacu::fault {
+
+/// One word-addressable state surface of the NACU datapath.
+enum class Surface : std::uint8_t {
+  LutSlope,      ///< core::SigmoidLut m1 words, word = segment index
+  LutBias,       ///< core::SigmoidLut q words, word = segment index
+  RtlPipeline,   ///< hw::NacuRtl S1–S3 stage-register fields (see NacuRtl)
+  TableSigmoid,  ///< core::BatchNacu σ table, word = raw − min_raw
+  TableTanh,     ///< core::BatchNacu tanh table, word = raw − min_raw
+  TableExp,      ///< core::BatchNacu e^x table, word = raw − min_raw
+};
+inline constexpr std::size_t kSurfaceCount = 6;
+
+[[nodiscard]] constexpr const char* surface_name(Surface s) noexcept {
+  switch (s) {
+    case Surface::LutSlope: return "lut-slope";
+    case Surface::LutBias: return "lut-bias";
+    case Surface::RtlPipeline: return "rtl-pipeline";
+    case Surface::TableSigmoid: return "table-sigmoid";
+    case Surface::TableTanh: return "table-tanh";
+    case Surface::TableExp: return "table-exp";
+  }
+  return "?";
+}
+
+/// Read-interception interface. The stored state is never mutated; faults
+/// live in the port and are applied on the way out of the "SRAM"/flop —
+/// which is also what makes stuck-at faults survive a scrub naturally.
+class BitFaultPort {
+ public:
+  virtual ~BitFaultPort() = default;
+
+  /// A state word is being read. @p clean is the stored (golden) value as a
+  /// sign-extended two's-complement integer occupying @p width bits; the
+  /// returned value must also fit @p width bits (fault application flips or
+  /// forces bits *within* the physical word, so it cannot escape the range
+  /// a downstream fp::Fixed::from_raw accepts).
+  [[nodiscard]] virtual std::int64_t read(Surface surface, std::size_t word,
+                                          std::int64_t clean,
+                                          int width) noexcept = 0;
+
+  /// The word was rewritten with a freshly computed value (a controller
+  /// scrub, or a pipeline flop clocking in its next state). Transient upsets
+  /// on the word are healed; stuck-at defects persist.
+  virtual void on_rewrite(Surface /*surface*/, std::size_t /*word*/) noexcept {
+  }
+};
+
+}  // namespace nacu::fault

@@ -19,6 +19,11 @@ namespace nacu::hw {
 /// Bit-serial restoring division: floor(numerator / denominator) for
 /// non-negative numerator, positive denominator. Matches built-in integer
 /// division exactly (tested); exists to mirror the hardware row-by-row.
+///
+/// A zero denominator does what the gates do, not what C++ does: every
+/// conditional subtract of 0 "fits", so every quotient bit comes out 1 and
+/// the result saturates to all-ones over @p quotient_bits. No trap, no UB —
+/// the same saturating answer a real divider array would produce (tested).
 [[nodiscard]] std::uint64_t restoring_divide(std::uint64_t numerator,
                                              std::uint64_t denominator,
                                              int quotient_bits) noexcept;
@@ -37,6 +42,11 @@ class PipelinedDivider final : public Module {
   PipelinedDivider(int quotient_bits, int stages);
 
   /// Present a new operand pair this cycle (at most one per cycle).
+  /// Throws std::domain_error on a zero denominator — the module models a
+  /// datapath whose control logic is required to never issue x/0 (NACU's
+  /// Eq. 14 denominator σ(−x) is clamped positive upstream); the check
+  /// turns a protocol violation into a loud failure instead of the silent
+  /// all-ones word restoring_divide would return.
   void issue(std::uint64_t numerator, std::uint64_t denominator,
              std::uint64_t tag);
 

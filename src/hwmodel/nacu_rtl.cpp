@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
 #include "core/bias_units.hpp"
 
@@ -24,17 +25,47 @@ std::uint64_t stage_toggles(const auto& a, const auto& b) {
 }  // namespace
 
 NacuRtl::NacuRtl(const core::NacuConfig& config)
-    : unit_{config},
-      quotient_fmt_{config.format.integer_bits() + 1,
-                    config.format.fractional_bits() +
-                        config.divider_guard_bits},
-      numerator_shift_{config.format.fractional_bits() +
+    : NacuRtl{core::Nacu{config}} {}
+
+NacuRtl::NacuRtl(core::Nacu unit)
+    : unit_{std::move(unit)},
+      quotient_fmt_{unit_.config().format.integer_bits() + 1,
+                    unit_.config().format.fractional_bits() +
+                        unit_.config().divider_guard_bits},
+      numerator_shift_{unit_.config().format.fractional_bits() +
                        quotient_fmt_.fractional_bits()},
       quotient_bits_{numerator_shift_ + 1},
-      product_fmt_{config.format.integer_bits() + 2 + 1,
-                   config.format.fractional_bits() +
-                       config.coeff_format.fractional_bits()},
+      product_fmt_{unit_.config().format.integer_bits() + 2 + 1,
+                   unit_.config().format.fractional_bits() +
+                       unit_.config().coeff_format.fractional_bits()},
       divider_{quotient_bits_, kDividerStages} {}
+
+int NacuRtl::fault_word_width(std::size_t word) const {
+  switch (word % kFaultWordsPerStage) {
+    case 0:  // magnitude
+      return unit_.format().width();
+    case 1:  // product
+      return product_fmt_.width();
+    case 2:  // bias (coeff_wide = Q2.fb_c)
+      return 1 + 2 + unit_.config().coeff_format.fractional_bits();
+    default:  // result
+      return unit_.format().width();
+  }
+}
+
+void NacuRtl::apply_fault_port(StageOp& op, std::size_t base) {
+  constexpr auto kSurface = fault::Surface::RtlPipeline;
+  op.magnitude_raw = fault_port_->read(kSurface, base + 0, op.magnitude_raw,
+                                       fault_word_width(0));
+  op.product_raw = fault_port_->read(kSurface, base + 1, op.product_raw,
+                                     fault_word_width(1));
+  op.bias_raw =
+      fault_port_->read(kSurface, base + 2, op.bias_raw, fault_word_width(2));
+  // A reciprocal pass (§VIII) carries its S3 result on the quotient grid.
+  op.result_raw = fault_port_->read(
+      kSurface, base + 3, op.result_raw,
+      op.recip_pass ? quotient_fmt_.width() : fault_word_width(3));
+}
 
 void NacuRtl::issue(Func func, fp::Fixed x, std::uint64_t tag) {
   if (issue_valid_) {
@@ -86,9 +117,11 @@ NacuRtl::StageOp NacuRtl::stage3(StageOp op) const {
   }
   if (op.recip_pass) {
     // §VIII reciprocal pass: leading-one detect + PWL (m,q) + the shared
-    // multiply-add produce σ' = 1/σ on the quotient grid.
-    const fp::Fixed sigma =
-        fp::Fixed::from_raw(op.magnitude_raw, unit_.format());
+    // multiply-add produce σ' = 1/σ on the quotient grid. The operand is
+    // unsigned hardware-side: a fault-corrupted non-positive σ clamps to
+    // one LSB, same as the issue-side clamp below.
+    const fp::Fixed sigma = fp::Fixed::from_raw(
+        op.magnitude_raw <= 0 ? 1 : op.magnitude_raw, unit_.format());
     op.result_raw =
         unit_.reciprocal_unit()->reciprocal(sigma, quotient_fmt_).raw();
     return op;
@@ -169,8 +202,13 @@ void NacuRtl::tick() {
   }
   divider_.tick();
 
-  // S3: compute from S2's previous state; σ/tanh retire here.
-  const StageOp s3_next = stage3(s2_.get());
+  // S3: compute from S2's previous state; σ/tanh retire here. Faults land
+  // on the value being clocked into the S3 register, *before* the retire
+  // port reads it — a corrupted flop is architecturally visible.
+  StageOp s3_next = stage3(s2_.get());
+  if (fault_port_ != nullptr) {
+    apply_fault_port(s3_next, 2 * kFaultWordsPerStage);
+  }
   if (s3_next.valid && s3_next.func != Func::Exp) {
     retired_.push_back(Output{.func = s3_next.func,
                               .tag = s3_next.tag,
@@ -195,7 +233,11 @@ void NacuRtl::tick() {
   } else if (issue_valid_) {
     s1_next = pending_issue_;
   }
-  const StageOp s2_next = stage2(s1_.get());
+  StageOp s2_next = stage2(s1_.get());
+  if (fault_port_ != nullptr) {
+    apply_fault_port(s1_next, 0);
+    apply_fault_port(s2_next, kFaultWordsPerStage);
+  }
   register_toggles_ += stage_toggles(s1_.get(), s1_next) +
                        stage_toggles(s2_.get(), s2_next) +
                        stage_toggles(s3_.get(), s3_next);
@@ -221,8 +263,9 @@ int NacuRtl::latency(Func func) const noexcept {
 }
 
 NacuRtl::SingleResult NacuRtl::run_single(Func func, fp::Fixed x) {
-  static std::uint64_t next_tag = 1;
-  const std::uint64_t tag = next_tag++;
+  // Per-instance tag counter: a process-wide static would race when fault
+  // campaigns drive private pipelines from many pool threads at once.
+  const std::uint64_t tag = next_tag_++;
   issue(func, x, tag);
   for (int cycle = 1; cycle <= 64; ++cycle) {
     tick();

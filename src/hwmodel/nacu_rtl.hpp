@@ -41,6 +41,9 @@ class NacuRtl final : public Module {
   };
 
   explicit NacuRtl(const core::NacuConfig& config);
+  /// Same pipeline wrapped around a copy of an already-constructed unit —
+  /// skips the LUT refit (fault campaigns build thousands of pipelines).
+  explicit NacuRtl(core::Nacu unit);
 
   /// Present one operation for the next clock edge (at most one per cycle).
   void issue(Func func, fp::Fixed x, std::uint64_t tag);
@@ -78,6 +81,24 @@ class NacuRtl final : public Module {
   };
   [[nodiscard]] SingleResult run_single(Func func, fp::Fixed x);
 
+  /// Fault injection (fault/fault_port.hpp, surface RtlPipeline): every
+  /// clock edge, the value written into each S1–S3 stage-register datapath
+  /// field passes through @p port. Word addressing is stage-major:
+  ///   word = stage * 4 + field,  stage ∈ {0:S1, 1:S2, 2:S3},
+  ///   field ∈ {0: magnitude, 1: product, 2: bias, 3: result}.
+  /// A transient upset therefore corrupts exactly one cycle's flop state
+  /// (the injector spends it on first read); stuck-ats apply every cycle.
+  /// nullptr disarms (the default; the hook is one branch per tick).
+  void attach_fault_port(fault::BitFaultPort* port) noexcept {
+    fault_port_ = port;
+  }
+  static constexpr std::size_t kFaultWordsPerStage = 4;
+  static constexpr std::size_t kFaultWords = 3 * kFaultWordsPerStage;
+  /// Physical width in bits of the flop field behind @p word (for normal
+  /// σ/tanh/exp ops; a §VIII reciprocal pass carries its result at the
+  /// wider quotient format).
+  [[nodiscard]] int fault_word_width(std::size_t word) const;
+
  private:
   struct StageOp {
     bool valid = false;
@@ -97,6 +118,9 @@ class NacuRtl final : public Module {
   [[nodiscard]] StageOp stage2(StageOp op) const;
   [[nodiscard]] StageOp stage3(StageOp op) const;
   [[nodiscard]] std::int64_t decrement_stage(std::uint64_t quotient) const;
+  /// Route @p op's datapath fields (next state of the stage whose first
+  /// fault word is @p base) through the armed fault port.
+  void apply_fault_port(StageOp& op, std::size_t base);
 
   core::Nacu unit_;
   fp::Format quotient_fmt_;
@@ -113,6 +137,8 @@ class NacuRtl final : public Module {
   std::vector<Output> retired_;
   std::uint64_t register_toggles_ = 0;
   std::uint64_t cycles_ = 0;
+  std::uint64_t next_tag_ = 1;  ///< run_single tags (per instance)
+  fault::BitFaultPort* fault_port_ = nullptr;
 };
 
 }  // namespace nacu::hw

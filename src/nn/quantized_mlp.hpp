@@ -42,6 +42,9 @@ class QuantizedMlp {
   [[nodiscard]] const core::BatchNacu& batch_unit() const noexcept {
     return unit_;
   }
+  /// Mutable access to the batch engine — needed to arm fault injection on
+  /// the activation tables / σ-LUT beneath this network (fault/).
+  [[nodiscard]] core::BatchNacu& batch_unit() noexcept { return unit_; }
 
  private:
   /// One dense layer: NACU-MAC accumulation, requantise, optional σ/tanh.

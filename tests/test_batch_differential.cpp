@@ -244,12 +244,31 @@ TEST(BatchDifferential, WideFormatsFallBackToScalarDatapath) {
         fp::Fixed::from_double(rng.uniform(-8.0, 8.0), config.format));
   }
   for (const BatchNacu::Function f : kFunctions) {
+    batch.warm(f);  // must be a safe no-op: there is no table to build
     const std::vector<fp::Fixed> got = batch.evaluate(f, xs);
     EXPECT_FALSE(batch.table_built(f));
     for (std::size_t i = 0; i < xs.size(); ++i) {
       ASSERT_EQ(got[i].raw(), scalar_eval(scalar, f, xs[i]).raw())
           << function_name(f) << " element " << i;
     }
+  }
+  // The raw-path and softmax fall back identically.
+  std::vector<std::int64_t> raw_in;
+  std::vector<std::int64_t> raw_out(256);
+  std::vector<fp::Fixed> sm_in;
+  for (std::size_t i = 0; i < 256; ++i) {
+    raw_in.push_back(xs[i].raw());
+    sm_in.push_back(xs[i]);
+  }
+  batch.evaluate_raw(BatchNacu::Function::Tanh, raw_in, raw_out);
+  for (std::size_t i = 0; i < raw_in.size(); ++i) {
+    ASSERT_EQ(raw_out[i], scalar.tanh(xs[i]).raw()) << i;
+  }
+  const std::vector<fp::Fixed> sm_batch = batch.softmax(sm_in);
+  const std::vector<fp::Fixed> sm_scalar = scalar.softmax(sm_in);
+  ASSERT_EQ(sm_batch.size(), sm_scalar.size());
+  for (std::size_t i = 0; i < sm_batch.size(); ++i) {
+    ASSERT_EQ(sm_batch[i].raw(), sm_scalar[i].raw()) << i;
   }
 }
 

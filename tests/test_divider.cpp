@@ -24,6 +24,15 @@ TEST(RestoringDivide, MatchesBuiltinRandomWide) {
   }
 }
 
+TEST(RestoringDivide, ZeroDenominatorSaturatesToAllOnes) {
+  // The hardware answer to x/0: each conditional subtract of 0 "fits", so
+  // every quotient bit is 1 — a saturated all-ones word, never a trap.
+  EXPECT_EQ(restoring_divide(0, 0, 8), 0xFFu);
+  EXPECT_EQ(restoring_divide(1, 0, 8), 0xFFu);
+  EXPECT_EQ(restoring_divide(123456, 0, 25), (std::uint64_t{1} << 25) - 1);
+  EXPECT_EQ(restoring_divide(0, 0, 1), 1u);
+}
+
 TEST(RestoringDivide, QuotientBitsTruncateHighBits) {
   // Asking for fewer bits than the numerator needs drops the high quotient
   // bits (the hardware simply has no rows for them).
@@ -46,6 +55,24 @@ TEST(PipelinedDivider, RejectsBadGeometry) {
 TEST(PipelinedDivider, RejectsDivisionByZero) {
   PipelinedDivider div{25, 4};
   EXPECT_THROW(div.issue(100, 0, 1), std::domain_error);
+}
+
+TEST(PipelinedDivider, StaysUsableAfterRejectedIssue) {
+  // The throw must not half-latch the bad operand: the next legal op flows
+  // through untouched and no ghost result emerges for the rejected one.
+  PipelinedDivider div{25, 4};
+  EXPECT_THROW(div.issue(100, 0, 1), std::domain_error);
+  div.issue(100, 7, 2);
+  int results = 0;
+  for (int c = 0; c < 8; ++c) {
+    div.tick();
+    if (const auto out = div.output()) {
+      EXPECT_EQ(out->tag, 2u);
+      EXPECT_EQ(out->quotient, 100u / 7u);
+      ++results;
+    }
+  }
+  EXPECT_EQ(results, 1);
 }
 
 TEST(PipelinedDivider, LatencyEqualsStageCount) {

@@ -1,0 +1,155 @@
+// Campaign-level guarantees: the ISSUE acceptance bar (≥10k-SEU campaign,
+// deterministic from a fixed seed, ≥90% detection of would-be-SDC
+// injections), plus the recovery-policy contract per surface and the
+// outcome-classification algebra.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/thread_pool.hpp"
+#include "fault/campaign.hpp"
+
+namespace nacu::fault {
+namespace {
+
+CampaignReport run_campaign(std::size_t trials, std::uint64_t seed,
+                            core::ThreadPool* pool = nullptr) {
+  CampaignConfig config;
+  config.trials = trials;
+  config.seed = seed;
+  config.pool = pool;
+  return CampaignRunner{config}.run();
+}
+
+TEST(Campaign, TenThousandTrialsMeetTheCoverageBar) {
+  const CampaignReport report = run_campaign(10000, 1);
+  ASSERT_EQ(report.trials, 10000u);
+  ASSERT_EQ(report.results.size(), 10000u);
+  const std::size_t outcome_sum = std::accumulate(
+      report.by_outcome.begin(), report.by_outcome.end(), std::size_t{0});
+  EXPECT_EQ(outcome_sum, report.trials);
+  const std::size_t surface_sum =
+      std::accumulate(report.surface_trials.begin(),
+                      report.surface_trials.end(), std::size_t{0});
+  EXPECT_EQ(surface_sum, report.trials);
+
+  // A healthy campaign must actually corrupt things (else coverage is
+  // vacuous) and the detectors must catch ≥90% of what would be SDC.
+  EXPECT_GT(report.corrupted_trials(), 1000u);
+  EXPECT_GE(report.detection_coverage(), 0.90)
+      << report.by_outcome[static_cast<std::size_t>(
+             Outcome::SilentCorruption)]
+      << " silent corruptions";
+}
+
+TEST(Campaign, FingerprintIsDeterministicAcrossRunsAndPools) {
+  const CampaignReport a = run_campaign(1000, 42);
+  const CampaignReport b = run_campaign(1000, 42);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.by_outcome, b.by_outcome);
+  EXPECT_EQ(a.detector_hits, b.detector_hits);
+
+  // Scheduling must not leak into results: one worker vs the shared pool.
+  core::ThreadPool serial{1};
+  const CampaignReport c = run_campaign(1000, 42, &serial);
+  EXPECT_EQ(a.fingerprint(), c.fingerprint());
+
+  // A different seed draws a different fault sequence.
+  const CampaignReport d = run_campaign(1000, 43);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(Campaign, SingleTrialIsReproducible) {
+  CampaignConfig config;
+  config.trials = 64;
+  config.seed = 9;
+  const CampaignRunner runner{config};
+  for (const std::uint64_t index : {0u, 7u, 63u}) {
+    const TrialResult x = runner.run_trial(index);
+    const TrialResult y = runner.run_trial(index);
+    EXPECT_EQ(x.fault.surface, y.fault.surface);
+    EXPECT_EQ(x.fault.word, y.fault.word);
+    EXPECT_EQ(x.fault.bit, y.fault.bit);
+    EXPECT_EQ(x.fault.model, y.fault.model);
+    EXPECT_EQ(x.outcome, y.outcome);
+    EXPECT_EQ(x.detection.flags, y.detection.flags);
+    EXPECT_EQ(x.corrupted, y.corrupted);
+    EXPECT_EQ(x.recovered, y.recovered);
+  }
+}
+
+// The per-surface recovery contract the report's corrected/unrecoverable
+// split rests on:
+//   - dense-table faults always have a recovery path (scrub for transients,
+//     recompute-via-scalar bypass for stuck-ats), so detected corruption on
+//     a table surface is always corrected;
+//   - LUT transients are correctable by scrub; LUT stuck-ats resist scrub
+//     and stay unrecoverable;
+//   - pipeline stuck-ats have no redundant resource and stay unrecoverable.
+TEST(Campaign, RecoveryPoliciesMatchTheResourceModel) {
+  const CampaignReport report = run_campaign(4000, 5);
+  std::size_t checked = 0;
+  for (const TrialResult& t : report.results) {
+    // Outcome classification is a pure function of the three observables.
+    if (!t.corrupted) {
+      EXPECT_EQ(t.outcome, t.detection.flagged() ? Outcome::DetectedBenign
+                                                 : Outcome::Masked);
+    } else if (!t.detection.flagged()) {
+      EXPECT_EQ(t.outcome, Outcome::SilentCorruption);
+    } else {
+      EXPECT_EQ(t.outcome, t.recovered ? Outcome::DetectedCorrected
+                                       : Outcome::DetectedUnrecoverable);
+    }
+    if (!t.corrupted || !t.detection.flagged()) {
+      continue;
+    }
+    ++checked;
+    switch (t.fault.surface) {
+      case Surface::TableSigmoid:
+      case Surface::TableTanh:
+      case Surface::TableExp:
+        EXPECT_TRUE(t.recovered)
+            << surface_name(t.fault.surface) << " word " << t.fault.word;
+        break;
+      case Surface::LutSlope:
+      case Surface::LutBias:
+        EXPECT_EQ(t.recovered, t.fault.model == FaultModel::TransientSeu)
+            << surface_name(t.fault.surface) << " "
+            << fault_model_name(t.fault.model);
+        break;
+      case Surface::RtlPipeline:
+        if (t.fault.model != FaultModel::TransientSeu) {
+          EXPECT_FALSE(t.recovered);
+        }
+        break;
+    }
+  }
+  // The campaign must actually have exercised the recovery paths.
+  EXPECT_GT(checked, 500u);
+}
+
+TEST(Campaign, ConfigValidationRejectsDegenerateCampaigns) {
+  CampaignConfig no_trials;
+  no_trials.trials = 0;
+  EXPECT_THROW(CampaignRunner{no_trials}, std::invalid_argument);
+
+  CampaignConfig no_models;
+  no_models.models.clear();
+  EXPECT_THROW(CampaignRunner{no_models}, std::invalid_argument);
+
+  CampaignConfig no_surfaces;
+  no_surfaces.surfaces.fill(false);
+  EXPECT_THROW(CampaignRunner{no_surfaces}, std::invalid_argument);
+}
+
+TEST(Campaign, SummaryMentionsEveryOutcomeAndCoverage) {
+  const CampaignReport report = run_campaign(200, 3);
+  const std::string text = report.summary();
+  for (const char* label : {"masked", "benign", "corrected", "unrecov",
+                            "sdc", "coverage"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+}
+
+}  // namespace
+}  // namespace nacu::fault

@@ -1,0 +1,249 @@
+// InvariantChecker tests: zero false positives on clean units across
+// configs (the self-calibration guarantee), sensitivity to engineered
+// faults on every surface, the shared-LUT self-cancellation property of the
+// symmetry identities, temporal voting, and the virtual-table/real-table
+// equivalence the campaign's fast path rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "fault/campaign.hpp"
+#include "fault/detectors.hpp"
+#include "fault/fault_injector.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::fault {
+namespace {
+
+using F = core::BatchNacu::Function;
+
+std::vector<core::NacuConfig> clean_configs() {
+  std::vector<core::NacuConfig> configs;
+  configs.push_back(core::NacuConfig{});  // the paper's Q4.11
+  configs.push_back(core::config_for_bits(8));
+  configs.push_back(core::config_for_bits(12));
+  core::NacuConfig approx;  // §VIII approximate-reciprocal variant
+  approx.approximate_reciprocal = true;
+  configs.push_back(approx);
+  core::NacuConfig refined;
+  refined.refine_quantised_lut = true;
+  configs.push_back(refined);
+  return configs;
+}
+
+TEST(InvariantChecker, CleanUnitNeverFlagsAnyConfig) {
+  for (const core::NacuConfig& config : clean_configs()) {
+    const InvariantChecker checker{config};
+    const DetectionReport unit = checker.check_unit(checker.golden());
+    EXPECT_FALSE(unit.flagged())
+        << "false positive on clean unit: " << unit.to_string();
+
+    core::BatchNacu batch{config};
+    batch.warm(F::Sigmoid);
+    batch.warm(F::Tanh);
+    batch.warm(F::Exp);
+    const DetectionReport tables = checker.check_batch(batch);
+    EXPECT_FALSE(tables.flagged())
+        << "false positive on clean tables: " << tables.to_string();
+
+    hw::NacuRtl rtl{core::Nacu{checker.golden()}};
+    const DetectionReport pipe = checker.check_rtl(rtl);
+    EXPECT_FALSE(pipe.flagged())
+        << "false positive on clean pipeline: " << pipe.to_string();
+  }
+}
+
+TEST(InvariantChecker, GoldenTableMatchesBatchNacuBitForBit) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  core::BatchNacu batch{config};
+  const fp::Format fmt = config.format;
+  for (const F f : {F::Sigmoid, F::Tanh, F::Exp}) {
+    batch.warm(f);
+    const std::vector<std::int16_t>& golden = checker.golden_table(f);
+    ASSERT_EQ(golden.size(),
+              static_cast<std::size_t>(fmt.max_raw() - fmt.min_raw() + 1));
+    std::vector<std::int64_t> in(golden.size());
+    std::vector<std::int64_t> out(golden.size());
+    for (std::size_t w = 0; w < in.size(); ++w) {
+      in[w] = fmt.min_raw() + static_cast<std::int64_t>(w);
+    }
+    batch.evaluate_raw(f, in, out);
+    for (std::size_t w = 0; w < out.size(); ++w) {
+      ASSERT_EQ(out[w], golden[w]) << "word " << w;
+    }
+  }
+}
+
+// The campaign never builds a BatchNacu per trial: it reads the checker's
+// golden table through the trial's injector instead. This test is the
+// licence for that shortcut — the virtual view must equal a genuinely
+// fault-port-armed BatchNacu on every input word.
+TEST(InvariantChecker, VirtualTableEqualsArmedBatchNacu) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  const fp::Format fmt = config.format;
+  const Fault fault{Surface::TableSigmoid, 20000, 11,
+                    FaultModel::TransientSeu};
+
+  core::BatchNacu batch{config};
+  batch.warm(F::Sigmoid);
+  FaultInjector real_injector;
+  real_injector.arm(fault);
+  batch.attach_fault_port(&real_injector);
+
+  FaultInjector virtual_injector;
+  virtual_injector.arm(fault);
+  const std::vector<std::int16_t>& golden = checker.golden_table(F::Sigmoid);
+
+  for (std::size_t w = 0; w < golden.size(); ++w) {
+    const std::int64_t in = fmt.min_raw() + static_cast<std::int64_t>(w);
+    std::int64_t via_batch = 0;
+    batch.evaluate_raw(F::Sigmoid, std::span<const std::int64_t>{&in, 1},
+                       std::span<std::int64_t>{&via_batch, 1});
+    const std::int64_t via_virtual =
+        virtual_injector.read(fault.surface, w, golden[w], fmt.width());
+    ASSERT_EQ(via_batch, via_virtual) << "word " << w;
+  }
+  batch.attach_fault_port(nullptr);
+}
+
+TEST(InvariantChecker, ParityCatchesEverySingleBitTableFlip) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  const fp::Format fmt = config.format;
+  const std::vector<std::int16_t>& golden = checker.golden_table(F::Tanh);
+  // Sampled words × every bit: a single flipped SRAM cell always breaks the
+  // word's parity signature — the backbone of the ≥90% coverage claim.
+  for (std::size_t w = 3; w < golden.size(); w += 4099) {
+    for (int bit = 0; bit < fmt.width(); ++bit) {
+      FaultInjector inj;
+      inj.arm({Surface::TableTanh, w, bit, FaultModel::TransientSeu});
+      const DetectionReport report =
+          checker.check_table(F::Tanh, [&](std::size_t word) {
+            return inj.read(Surface::TableTanh, word, golden[word],
+                            fmt.width());
+          });
+      EXPECT_TRUE(report.flagged(Detector::TableParity))
+          << "word " << w << " bit " << bit;
+    }
+  }
+}
+
+TEST(InvariantChecker, TableFaultTripsAlgebraicDetectorsToo) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  const fp::Format fmt = config.format;
+  const std::vector<std::int16_t>& golden = checker.golden_table(F::Sigmoid);
+  // A high bit flipped in σ's table at x = 0: breaks range (σ > 1),
+  // symmetry against the intact −x word, and monotonicity.
+  const auto w0 = static_cast<std::size_t>(-fmt.min_raw());
+  FaultInjector inj;
+  inj.arm({Surface::TableSigmoid, w0, fmt.width() - 2,
+           FaultModel::StuckAt1});
+  const DetectionReport report =
+      checker.check_table(F::Sigmoid, [&](std::size_t word) {
+        return inj.read(Surface::TableSigmoid, word, golden[word],
+                        fmt.width());
+      });
+  EXPECT_TRUE(report.flagged(Detector::OutputRange));
+  EXPECT_TRUE(report.flagged(Detector::CentroSymmetry));
+  EXPECT_TRUE(report.flagged(Detector::TableParity));
+}
+
+TEST(InvariantChecker, LutCoefficientRangeGuardsTheFittedBounds) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  core::Nacu unit{checker.golden()};
+  // Slope words carry m1 ∈ [0, 0.25]: setting the sign bit of a slope word
+  // leaves §V.A's legal window.
+  FaultInjector inj;
+  inj.arm({Surface::LutSlope, 10, config.coeff_format.width() - 1,
+           FaultModel::StuckAt1});
+  unit.attach_lut_fault_port(&inj);
+  const DetectionReport report = checker.check_unit(unit);
+  EXPECT_TRUE(report.flagged(Detector::CoefficientRange));
+  EXPECT_TRUE(report.flagged(Detector::TableParity));
+}
+
+// The finding the campaign surfaces about the paper's architecture: since
+// σ(x) and σ(−x) morph the *same* stored (m1, q) words, a corrupted slope
+// cancels out of the centro-symmetry sum exactly — (m|x| + q) +
+// (−m|x| + (1−q)) = 1 for *any* m — so Eq. 9 is structurally blind to
+// slope faults, however large. (Bias faults are blind only while the
+// corrupted q stays inside (0, 1]; past that, the Fig. 3a fractional
+// complement wraps and the identity breaks by a whole integer — which the
+// detector then does catch.) Detection of in-window LUT faults therefore
+// rests on the coefficient-range/parity/monotonicity word checks.
+TEST(InvariantChecker, CentroSymmetryIsBlindToLutSlopeFaults) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  const fp::Format fmt = config.format;
+  const std::int64_t one = std::int64_t{1} << fmt.fractional_bits();
+  for (const int bit : {3, 7, 12, 13}) {  // up to a 0.5-magnitude slope hit
+    core::Nacu unit{checker.golden()};
+    FaultInjector inj;
+    inj.arm({Surface::LutSlope, 5, bit, FaultModel::TransientSeu});
+    unit.attach_lut_fault_port(&inj);
+    // Directly: the identity still holds to quantisation accuracy...
+    for (std::int64_t raw = 0; raw <= fmt.max_raw(); raw += 131) {
+      const fp::Fixed x = fp::Fixed::from_raw(raw, fmt);
+      const std::int64_t sum =
+          unit.sigmoid(x).raw() + unit.sigmoid(x.negate()).raw();
+      EXPECT_NEAR(static_cast<double>(sum), static_cast<double>(one), 4.0)
+          << "bit " << bit << " raw " << raw;
+    }
+    // ...so the checker's symmetry detector stays silent even though the
+    // word-level detectors (parity at minimum) do fire.
+    const DetectionReport report = checker.check_unit(unit);
+    EXPECT_FALSE(report.flagged(Detector::CentroSymmetry));
+    EXPECT_TRUE(report.flagged(Detector::TableParity));
+  }
+}
+
+TEST(InvariantChecker, RtlStuckAtIsCaughtByTheProbeBattery) {
+  const core::NacuConfig config;
+  const InvariantChecker checker{config};
+  hw::NacuRtl rtl{core::Nacu{checker.golden()}};
+  FaultInjector inj;
+  // S3 result register, high bit: every retiring op is wrong.
+  inj.arm({Surface::RtlPipeline, 2 * hw::NacuRtl::kFaultWordsPerStage + 3,
+           config.format.width() - 2, FaultModel::StuckAt1});
+  rtl.attach_fault_port(&inj);
+  const DetectionReport report = checker.check_rtl(rtl);
+  EXPECT_TRUE(report.flagged());
+}
+
+TEST(TemporalVote, MajorityRecoversASingleCorruptRun) {
+  int call = 0;
+  const VoteResult vote = temporal_vote3([&]() -> std::int64_t {
+    return ++call == 1 ? 999 : 42;  // first run corrupted, reruns clean
+  });
+  EXPECT_TRUE(vote.disagreed);
+  EXPECT_EQ(vote.majority, 42);
+
+  const VoteResult clean = temporal_vote3([]() -> std::int64_t {
+    return 7;
+  });
+  EXPECT_FALSE(clean.disagreed);
+  EXPECT_EQ(clean.majority, 7);
+}
+
+TEST(DetectionReport, FlagBookkeeping) {
+  DetectionReport r;
+  EXPECT_FALSE(r.flagged());
+  EXPECT_EQ(r.to_string(), "-");
+  r.flag(Detector::Monotonicity);
+  r.flag(Detector::TableParity);
+  EXPECT_TRUE(r.flagged(Detector::Monotonicity));
+  EXPECT_FALSE(r.flagged(Detector::OutputRange));
+  EXPECT_EQ(r.to_string(), "monotonicity|table-parity");
+  DetectionReport other;
+  other.flag(Detector::TemporalVote);
+  r.merge(other);
+  EXPECT_TRUE(r.flagged(Detector::TemporalVote));
+}
+
+}  // namespace
+}  // namespace nacu::fault

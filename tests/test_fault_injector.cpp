@@ -1,0 +1,280 @@
+// FaultInjector unit tests: bit-flip models, SRAM vs pipeline transient
+// semantics, scrub interaction, and the injection hooks on SigmoidLut,
+// BatchNacu and NacuRtl (clean state is never mutated — faults live only in
+// the injector and vanish when it is detached).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/batch_nacu.hpp"
+#include "fault/fault_injector.hpp"
+#include "hwmodel/nacu_rtl.hpp"
+
+namespace nacu::fault {
+namespace {
+
+TEST(FaultInjectorApply, TransientFlipsExactlyOneBit) {
+  const Fault f{Surface::LutSlope, 0, 3, FaultModel::TransientSeu};
+  EXPECT_EQ(FaultInjector::apply(f, 0b0000, 8), 0b1000);
+  EXPECT_EQ(FaultInjector::apply(f, 0b1000, 8), 0b0000);
+  EXPECT_EQ(FaultInjector::apply(f, 0b1010, 8), 0b0010);
+}
+
+TEST(FaultInjectorApply, StuckAtForcesTheBit) {
+  const Fault sa0{Surface::LutSlope, 0, 2, FaultModel::StuckAt0};
+  EXPECT_EQ(FaultInjector::apply(sa0, 0b0111, 8), 0b0011);
+  EXPECT_EQ(FaultInjector::apply(sa0, 0b0011, 8), 0b0011);  // already 0
+  const Fault sa1{Surface::LutSlope, 0, 2, FaultModel::StuckAt1};
+  EXPECT_EQ(FaultInjector::apply(sa1, 0b0011, 8), 0b0111);
+  EXPECT_EQ(FaultInjector::apply(sa1, 0b0111, 8), 0b0111);  // already 1
+}
+
+TEST(FaultInjectorApply, SignBitFlipSignExtends) {
+  // Flipping the top bit of a width-8 word must produce the two's
+  // complement reinterpretation, not a positive 64-bit value.
+  const Fault f{Surface::TableSigmoid, 0, 7, FaultModel::TransientSeu};
+  EXPECT_EQ(FaultInjector::apply(f, 1, 8), 1 - 128);
+  EXPECT_EQ(FaultInjector::apply(f, -128, 8), 0);
+}
+
+TEST(FaultInjectorApply, BitBeyondWordWidthIsNoOp) {
+  const Fault f{Surface::RtlPipeline, 0, 20, FaultModel::StuckAt1};
+  EXPECT_EQ(FaultInjector::apply(f, 5, 16), 5);  // cell does not exist
+}
+
+TEST(FaultInjector, ArmRejectsAbsurdBitIndices) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.arm({Surface::LutSlope, 0, -1, FaultModel::StuckAt0}),
+               std::invalid_argument);
+  EXPECT_THROW(inj.arm({Surface::LutSlope, 0, 64, FaultModel::StuckAt0}),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, ReadAppliesOnlyToTheArmedWord) {
+  FaultInjector inj;
+  inj.arm({Surface::LutBias, 7, 0, FaultModel::TransientSeu});
+  EXPECT_EQ(inj.read(Surface::LutBias, 6, 100, 16), 100);
+  EXPECT_EQ(inj.read(Surface::LutSlope, 7, 100, 16), 100);  // other surface
+  EXPECT_EQ(inj.read(Surface::LutBias, 7, 100, 16), 101);
+  EXPECT_EQ(inj.reads_faulted(), 1u);
+}
+
+TEST(FaultInjector, SramTransientPersistsUntilRewrite) {
+  FaultInjector inj;
+  inj.arm({Surface::TableTanh, 3, 1, FaultModel::TransientSeu});
+  // SRAM upsets persist across any number of reads...
+  EXPECT_EQ(inj.read(Surface::TableTanh, 3, 4, 16), 6);
+  EXPECT_EQ(inj.read(Surface::TableTanh, 3, 4, 16), 6);
+  EXPECT_TRUE(inj.transient_live());
+  // ...and a rewrite of an unrelated word changes nothing...
+  inj.on_rewrite(Surface::TableTanh, 2);
+  EXPECT_EQ(inj.read(Surface::TableTanh, 3, 4, 16), 6);
+  // ...but rewriting the upset word heals it.
+  inj.on_rewrite(Surface::TableTanh, 3);
+  EXPECT_EQ(inj.read(Surface::TableTanh, 3, 4, 16), 4);
+  EXPECT_FALSE(inj.transient_live());
+}
+
+TEST(FaultInjector, PipelineTransientIsSpentByOneRead) {
+  FaultInjector inj;
+  inj.arm({Surface::RtlPipeline, 5, 0, FaultModel::TransientSeu});
+  EXPECT_EQ(inj.read(Surface::RtlPipeline, 5, 8, 16), 9);  // the one cycle
+  EXPECT_EQ(inj.read(Surface::RtlPipeline, 5, 8, 16), 8);  // flop re-clocked
+  EXPECT_FALSE(inj.transient_live());
+}
+
+TEST(FaultInjector, StuckAtSurvivesScrub) {
+  FaultInjector inj;
+  inj.arm({Surface::TableExp, 9, 2, FaultModel::StuckAt1});
+  EXPECT_EQ(inj.read(Surface::TableExp, 9, 0, 16), 4);
+  inj.on_rewrite(Surface::TableExp, 9);
+  EXPECT_EQ(inj.read(Surface::TableExp, 9, 0, 16), 4);
+}
+
+TEST(FaultInjector, ArmedFaultsCompose) {
+  FaultInjector inj;
+  inj.arm({Surface::LutSlope, 1, 0, FaultModel::StuckAt1});
+  inj.arm({Surface::LutSlope, 1, 1, FaultModel::StuckAt1});
+  EXPECT_EQ(inj.read(Surface::LutSlope, 1, 0, 16), 3);
+  inj.disarm_all();
+  EXPECT_EQ(inj.armed_count(), 0u);
+  EXPECT_EQ(inj.read(Surface::LutSlope, 1, 0, 16), 0);
+}
+
+// --- Hook integration -----------------------------------------------------
+
+TEST(FaultHooks, LutReadsRouteThroughThePort) {
+  const core::NacuConfig config;
+  core::Nacu golden{config};
+  core::Nacu unit{golden};
+  const std::int64_t clean = golden.lut().slope_raw(4);
+  FaultInjector inj;
+  inj.arm({Surface::LutSlope, 4, 0, FaultModel::TransientSeu});
+  unit.attach_lut_fault_port(&inj);
+  EXPECT_EQ(unit.lut().slope_raw(4), clean ^ 1);
+  // Other words unaffected; the golden unit never sees the injector.
+  EXPECT_EQ(unit.lut().slope_raw(5), golden.lut().slope_raw(5));
+  EXPECT_EQ(golden.lut().slope_raw(4), clean);
+  // Scrub rewrites every word from the (unchanged) stored copy.
+  unit.scrub_lut();
+  EXPECT_EQ(unit.lut().slope_raw(4), clean);
+}
+
+TEST(FaultHooks, LutFaultChangesSigmoidOnlyInTheFaultedSegment) {
+  const core::NacuConfig config;
+  core::Nacu golden{config};
+  core::Nacu unit{golden};
+  FaultInjector inj;
+  inj.arm({Surface::LutBias, 0, 8, FaultModel::TransientSeu});
+  unit.attach_lut_fault_port(&inj);
+  const fp::Format fmt = config.format;
+  // Segment 0 holds the smallest |x|: σ(0) must change, σ(x_max) must not.
+  EXPECT_NE(unit.sigmoid(fp::Fixed::zero(fmt)).raw(),
+            golden.sigmoid(fp::Fixed::zero(fmt)).raw());
+  const fp::Fixed big = fp::Fixed::from_raw(fmt.max_raw(), fmt);
+  EXPECT_EQ(unit.sigmoid(big).raw(), golden.sigmoid(big).raw());
+}
+
+TEST(FaultHooks, DetachingThePortRestoresCleanBehaviour) {
+  const core::NacuConfig config;
+  core::Nacu golden{config};
+  core::Nacu unit{golden};
+  FaultInjector inj;
+  inj.arm({Surface::LutSlope, 2, 9, FaultModel::StuckAt1});
+  unit.attach_lut_fault_port(&inj);
+  unit.attach_lut_fault_port(nullptr);
+  const fp::Format fmt = config.format;
+  for (std::int64_t raw = fmt.min_raw(); raw <= fmt.max_raw(); raw += 997) {
+    const fp::Fixed x = fp::Fixed::from_raw(raw, fmt);
+    EXPECT_EQ(unit.sigmoid(x).raw(), golden.sigmoid(x).raw());
+  }
+}
+
+TEST(FaultHooks, BatchTableFaultHitsExactlyOneInput) {
+  const core::NacuConfig config;
+  core::BatchNacu batch{config};
+  batch.warm(core::BatchNacu::Function::Sigmoid);
+  const fp::Format fmt = config.format;
+  const std::size_t word = 1234;
+  const std::int64_t x = fmt.min_raw() + static_cast<std::int64_t>(word);
+  FaultInjector inj;
+  inj.arm({Surface::TableSigmoid, word, 5, FaultModel::StuckAt1});
+
+  std::vector<std::int64_t> in{x, x + 1, x - 1};
+  std::vector<std::int64_t> clean(in.size());
+  batch.evaluate_raw(core::BatchNacu::Function::Sigmoid, in, clean);
+  batch.attach_fault_port(&inj);
+  std::vector<std::int64_t> faulty(in.size());
+  batch.evaluate_raw(core::BatchNacu::Function::Sigmoid, in, faulty);
+  EXPECT_EQ(faulty[0], clean[0] | (std::int64_t{1} << 5));
+  EXPECT_EQ(faulty[1], clean[1]);
+  EXPECT_EQ(faulty[2], clean[2]);
+  batch.attach_fault_port(nullptr);
+}
+
+TEST(FaultHooks, BatchScrubHealsTransientNotStuckAt) {
+  const core::NacuConfig config;
+  core::BatchNacu batch{config};
+  using F = core::BatchNacu::Function;
+  batch.warm(F::Tanh);
+  const fp::Format fmt = config.format;
+  const std::size_t word = 777;
+  const std::int64_t x = fmt.min_raw() + static_cast<std::int64_t>(word);
+  std::vector<std::int64_t> in{x};
+  std::vector<std::int64_t> clean(1);
+  batch.evaluate_raw(F::Tanh, in, clean);
+
+  FaultInjector transient;
+  transient.arm({Surface::TableTanh, word, 0, FaultModel::TransientSeu});
+  batch.attach_fault_port(&transient);
+  std::vector<std::int64_t> out(1);
+  batch.evaluate_raw(F::Tanh, in, out);
+  EXPECT_NE(out[0], clean[0]);
+  batch.scrub_table(F::Tanh);
+  batch.evaluate_raw(F::Tanh, in, out);
+  EXPECT_EQ(out[0], clean[0]);
+
+  FaultInjector stuck;
+  stuck.arm({Surface::TableTanh, word, 0, FaultModel::StuckAt0});
+  batch.attach_fault_port(&stuck);
+  batch.scrub_table(F::Tanh);
+  batch.evaluate_raw(F::Tanh, in, out);
+  EXPECT_EQ(out[0], clean[0] & ~std::int64_t{1});
+  batch.attach_fault_port(nullptr);
+}
+
+TEST(FaultHooks, RtlPipelineTransientCorruptsAtMostOneOp) {
+  const core::NacuConfig config;
+  core::Nacu golden{config};
+  hw::NacuRtl rtl{core::Nacu{golden}};
+  const fp::Format fmt = config.format;
+  const fp::Fixed x = fp::Fixed::from_double(0.75, fmt);
+  const std::int64_t clean = golden.sigmoid(x).raw();
+
+  // Drive the op by hand so the upset lands exactly when the op is being
+  // clocked into S3 (armed earlier, the single-cycle transient would be
+  // spent on a pipeline bubble — masked, as in real silicon).
+  rtl.issue(hw::Func::Sigmoid, x, 42);
+  rtl.tick();  // op into S1
+  rtl.tick();  // op into S2
+  FaultInjector inj;
+  // S3 result register, a high bit: guaranteed architecturally visible.
+  inj.arm({Surface::RtlPipeline, 2 * hw::NacuRtl::kFaultWordsPerStage + 3, 9,
+           FaultModel::TransientSeu});
+  rtl.attach_fault_port(&inj);
+  rtl.tick();  // op into S3: retires through the upset flop
+  ASSERT_EQ(rtl.outputs().size(), 1u);
+  EXPECT_EQ(rtl.outputs()[0].tag, 42u);
+  EXPECT_EQ(rtl.outputs()[0].value_raw,
+            clean ^ (std::int64_t{1} << 9));
+  EXPECT_FALSE(inj.transient_live());  // spent by the one clocking
+  // The very next evaluation of the same input is clean again.
+  EXPECT_EQ(rtl.run_single(hw::Func::Sigmoid, x).value.raw(), clean);
+}
+
+TEST(FaultHooks, RtlStuckAtCorruptsEveryAffectedOp) {
+  const core::NacuConfig config;
+  core::Nacu golden{config};
+  hw::NacuRtl rtl{core::Nacu{golden}};
+  const fp::Format fmt = config.format;
+  const fp::Fixed x = fp::Fixed::zero(fmt);
+  const std::int64_t clean = golden.sigmoid(x).raw();  // 0.5: bit 9 clear
+
+  FaultInjector inj;
+  inj.arm({Surface::RtlPipeline, 2 * hw::NacuRtl::kFaultWordsPerStage + 3, 9,
+           FaultModel::StuckAt0});
+  rtl.attach_fault_port(&inj);
+  const std::int64_t expected = clean & ~(std::int64_t{1} << 9);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rtl.run_single(hw::Func::Sigmoid, x).value.raw(), expected);
+  }
+  rtl.attach_fault_port(nullptr);
+  EXPECT_EQ(rtl.run_single(hw::Func::Sigmoid, x).value.raw(), clean);
+}
+
+TEST(FaultHooks, RtlExpSurvivesWorstCaseCorruption) {
+  // A corrupted σ feeding the reciprocal/divider must clamp, not crash —
+  // for every S3-result bit, both stuck-at polarities, exact and §VIII
+  // approximate reciprocal datapaths.
+  for (const bool approx : {false, true}) {
+    core::NacuConfig config;
+    config.approximate_reciprocal = approx;
+    core::Nacu golden{config};
+    const fp::Format fmt = config.format;
+    for (int bit = 0; bit < fmt.width(); ++bit) {
+      for (const FaultModel model :
+           {FaultModel::StuckAt0, FaultModel::StuckAt1}) {
+        hw::NacuRtl rtl{core::Nacu{golden}};
+        FaultInjector inj;
+        inj.arm({Surface::RtlPipeline,
+                 2 * hw::NacuRtl::kFaultWordsPerStage + 3, bit, model});
+        rtl.attach_fault_port(&inj);
+        EXPECT_NO_THROW((void)rtl.run_single(
+            hw::Func::Exp, fp::Fixed::from_double(-1.0, fmt)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nacu::fault

@@ -144,6 +144,36 @@ TEST(FixedArithmetic, AddIntoNarrowFormatSaturates) {
   EXPECT_EQ(s.raw(), kQ4_11.max_raw());
 }
 
+TEST(FixedArithmetic, AddIntoNarrowFormatWrapsTwosComplement) {
+  // Same overflow, Wrap policy: 15 + 15 = 30 is 61440/2048, which reads
+  // back as 61440 − 65536 = −4096/2048 = −2 in 16-bit two's complement.
+  const Fixed a = Fixed::from_double(15.0, kQ4_11);
+  const Fixed s = a.add(a, kQ4_11, Rounding::Truncate, Overflow::Wrap);
+  EXPECT_DOUBLE_EQ(s.to_double(), -2.0);
+}
+
+TEST(FixedArithmetic, MulIntoNarrowFormatWrapsTwosComplement) {
+  const Fixed a = Fixed::from_double(8.0, kQ4_11);
+  const Fixed b = Fixed::from_double(4.0, kQ4_11);
+  // 32.0 is exactly 2^16 LSBs: wraps to 0 where Saturate pins to max.
+  EXPECT_DOUBLE_EQ(
+      a.mul(b, kQ4_11, Rounding::Truncate, Overflow::Wrap).to_double(), 0.0);
+  EXPECT_EQ(a.mul(b, kQ4_11).raw(), kQ4_11.max_raw());
+}
+
+TEST(FixedArithmetic, ShiftedLeftWrapVsSaturate) {
+  // The ×2 of tanh(x) = 2σ(2x) − 1 (Eq. 3). A wrapping shift is what a
+  // plain hardware wire shift does; Saturate is the guarded variant.
+  const Fixed x = Fixed::from_double(12.0, kQ4_11);
+  EXPECT_DOUBLE_EQ(x.shifted_left(1, Overflow::Wrap).to_double(), -8.0);
+  EXPECT_EQ(x.shifted_left(1, Overflow::Saturate).raw(), kQ4_11.max_raw());
+  // In-range shifts agree under both policies.
+  const Fixed small = Fixed::from_double(1.5, kQ4_11);
+  EXPECT_DOUBLE_EQ(small.shifted_left(1, Overflow::Wrap).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(small.shifted_left(1, Overflow::Saturate).to_double(),
+                   3.0);
+}
+
 TEST(FixedArithmetic, DivMatchesRealDivision) {
   const Fixed a = Fixed::from_double(1.0, kQ4_11);
   const Fixed b = Fixed::from_double(3.0, kQ4_11);

@@ -11,6 +11,7 @@
 
 #include "core/batch_nacu.hpp"
 #include "core/thread_pool.hpp"
+#include "fault/campaign.hpp"
 
 namespace nacu::core {
 namespace {
@@ -97,6 +98,48 @@ TEST(ThreadPool, ReusableAcrossManyBatches) {
     total += sum.load();
   }
   EXPECT_EQ(total, 50u * (999u * 1000u / 2u));
+}
+
+TEST(ThreadPool, SurvivesSustainedThrowingBatches) {
+  // Campaign-style stress: every round a chunk throws mid-flight (possibly
+  // several chunks racing to record the first exception), and the very next
+  // batch must run to completion on the same workers. 100 alternations
+  // shake out any slow leak of queue or batch state.
+  ThreadPool pool{4};
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(512, 8,
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              if (i % 128 == 31) {
+                                throw std::runtime_error("trial failed");
+                              }
+                            }
+                          }),
+        std::runtime_error)
+        << round;
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for(512, 8, [&](std::size_t begin, std::size_t end) {
+      covered += end - begin;
+    });
+    EXPECT_EQ(covered.load(), 512u) << round;
+  }
+}
+
+TEST(ThreadPool, CampaignRunsCleanlyOnAPoolThatSawExceptions) {
+  // The fault campaign shares whatever pool it is handed; a batch that blew
+  // up earlier (another subsystem's bug) must not poison its trials.
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.run({[] { throw std::logic_error("boom"); },
+                         [] { throw std::logic_error("boom"); }}),
+               std::logic_error);
+  fault::CampaignConfig config;
+  config.trials = 64;
+  config.seed = 11;
+  config.pool = &pool;
+  const fault::CampaignReport report = fault::CampaignRunner{config}.run();
+  EXPECT_EQ(report.trials, 64u);
+  EXPECT_EQ(report.results.size(), 64u);
 }
 
 TEST(ThreadPool, ConcurrentCallersShareOneQueue) {
