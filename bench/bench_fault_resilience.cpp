@@ -13,12 +13,16 @@
 //       detection fires from the very first defect, well before the
 //       accuracy cliff. Transient SEUs under the same sweep barely register:
 //       each one corrupts at most one read before the next scrub heals it.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 
+#include "bench_json.hpp"
 #include "fault/campaign.hpp"
 #include "nn/quantized_mlp.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -37,11 +41,26 @@ double run_model_campaign(fault::FaultModel model, std::size_t trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional argv[1]: campaign trial count (default 10000) so CI smoke runs
+  // can dial the cost down (e.g. `bench_fault_resilience 300`). Below 1000
+  // trials the slow MLP accuracy sweep (3) is skipped as well.
+  std::size_t trials = 10000;
+  if (argc > 1) {
+    const long parsed = std::strtol(argv[1], nullptr, 10);
+    if (parsed > 0) {
+      trials = static_cast<std::size_t>(parsed);
+    }
+  }
+  const std::size_t model_trials = std::min<std::size_t>(trials, 3000);
+  benchjson::Writer writer{"nacu-bench-fault-v1"};
+  const std::string fmt_name = core::config_for_bits(16).format.to_string();
+  const char* backend = simd::backend_name(simd::active_backend());
+
   std::printf("=== (1) randomized campaign, Q4.11, all surfaces/models ===\n");
   {
     fault::CampaignConfig config;
-    config.trials = 10000;
+    config.trials = trials;
     config.seed = 1;
     const fault::CampaignRunner runner{config};
     const auto start = std::chrono::steady_clock::now();
@@ -54,14 +73,40 @@ int main() {
     std::printf("  wall time %.2f s (%.0f trials/s), fingerprint %016llx\n",
                 secs, static_cast<double>(report.trials) / secs,
                 static_cast<unsigned long long>(report.fingerprint()));
+    writer.add(benchjson::Record{}
+                   .add("op", "campaign-all-models")
+                   .add("format", fmt_name)
+                   .add("backend", backend)
+                   .add("threads", core::ThreadPool::shared().size())
+                   .add("trials", report.trials)
+                   .add("trials_per_s",
+                        static_cast<double>(report.trials) / secs)
+                   .add("detection_coverage", report.detection_coverage()));
   }
 
   std::printf("\n=== (2) detection coverage per fault model ===\n");
   for (const fault::FaultModel model :
        {fault::FaultModel::TransientSeu, fault::FaultModel::StuckAt0,
         fault::FaultModel::StuckAt1}) {
+    const double coverage = run_model_campaign(model, model_trials);
     std::printf("  %-12s coverage %.4f\n", fault::fault_model_name(model),
-                run_model_campaign(model, 3000));
+                coverage);
+    std::string op_name = "campaign-";
+    op_name += fault::fault_model_name(model);
+    writer.add(benchjson::Record{}
+                   .add("op", op_name)
+                   .add("format", fmt_name)
+                   .add("backend", backend)
+                   .add("trials", model_trials)
+                   .add("detection_coverage", coverage));
+  }
+
+  if (trials < 1000) {
+    if (writer.write("BENCH_fault.json")) {
+      std::printf("\nwrote BENCH_fault.json (accuracy sweep skipped at %zu "
+                  "trials)\n", trials);
+    }
+    return 0;
   }
 
   std::printf("\n=== (3) QuantizedMlp accuracy vs accumulated table "
@@ -129,7 +174,17 @@ int main() {
       std::printf("  %8zu %12.3f %+12.3f %14.3f  %s\n", count, stuck_acc,
                   stuck_acc - clean_acc, transient_acc,
                   detected.to_string().c_str());
+      writer.add(benchjson::Record{}
+                     .add("op", "mlp-accuracy-stuck-at")
+                     .add("format", config.format.to_string())
+                     .add("backend", backend)
+                     .add("faults", count)
+                     .add("accuracy", stuck_acc)
+                     .add("clean_accuracy", clean_acc));
     }
+  }
+  if (writer.write("BENCH_fault.json")) {
+    std::printf("\nwrote BENCH_fault.json\n");
   }
   return 0;
 }

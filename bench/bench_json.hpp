@@ -1,0 +1,104 @@
+// Minimal machine-readable benchmark output (no third-party JSON dep).
+//
+// Benches print human tables to stdout AND append flat records here; the
+// result is written as BENCH_*.json so runs accumulate comparable artifacts
+// (scripts/bench_compare.py diffs two of them and flags regressions).
+// Records are flat string/number maps on purpose — the compare script
+// matches records on their string fields and compares the numeric ones.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nacu::benchjson {
+
+class Record {
+ public:
+  Record& add(const std::string& key, const std::string& value) {
+    std::string field;
+    field += '"';
+    field += escape(key);
+    field += "\":\"";
+    field += escape(value);
+    field += '"';
+    fields_.push_back(std::move(field));
+    return *this;
+  }
+  Record& add(const std::string& key, const char* value) {
+    return add(key, std::string{value});
+  }
+  Record& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    add_unquoted(key, buf);
+    return *this;
+  }
+  Record& add(const std::string& key, std::size_t value) {
+    add_unquoted(key, std::to_string(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += fields_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  void add_unquoted(const std::string& key, const std::string& value) {
+    std::string field;
+    field += '"';
+    field += escape(key);
+    field += "\":";
+    field += value;
+    fields_.push_back(std::move(field));
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::string> fields_;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::string schema) : schema_{std::move(schema)} {}
+
+  void add(const Record& record) { records_.push_back(record.to_json()); }
+
+  /// Write {"schema": ..., "records": [...]}; returns false on I/O error.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"%s\",\n  \"records\": [\n",
+                 schema_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string schema_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace nacu::benchjson

@@ -8,13 +8,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/batch_nacu.hpp"
 #include "core/nacu.hpp"
 #include "hwmodel/nacu_rtl.hpp"
 #include "hwmodel/softmax_engine.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -235,17 +238,31 @@ int main(int argc, char** argv) {
               "paper's ~90 ns fill quote,\n   which also covers the MAC "
               "accumulation pass)\n\n");
 
-  // Scalar vs batched-cached vs batched-parallel ops/s (host model). The
-  // batch engine's contract is bit-identical outputs (proved exhaustively
-  // by test_batch_differential), so this table is pure speed.
-  std::printf("=== Batch evaluation engine: ops/s by path ===\n");
+  // Scalar datapath vs table (scalar kernel) vs table (SIMD kernel) vs
+  // parallel elems/s. Every path is bit-identical (proved exhaustively by
+  // test_batch_differential / test_simd_differential), so this table is
+  // pure speed — and it feeds BENCH_throughput.json so runs accumulate
+  // machine-comparable artifacts.
+  std::printf("=== Batch evaluation engine: elems/s by path ===\n");
   {
     using Clock = std::chrono::steady_clock;
+    const simd::Backend simd_backend = simd::active_backend();
+    const char* simd_name = simd::backend_name(simd_backend);
+    const std::size_t pool_threads = core::ThreadPool::shared().size();
+    const std::string fmt_name = kConfig.format.to_string();
+    benchjson::Writer writer{"nacu-bench-throughput-v1"};
+
     const core::Nacu scalar{kConfig};
-    core::BatchNacu::Options serial_options;
-    serial_options.parallel_threshold = ~std::size_t{0};
-    const core::BatchNacu cached{kConfig, serial_options};
+    core::BatchNacu::Options table_scalar_options;
+    table_scalar_options.parallel_threshold = ~std::size_t{0};
+    table_scalar_options.backend = simd::Backend::Scalar;
+    const core::BatchNacu table_scalar{kConfig, table_scalar_options};
+    core::BatchNacu::Options table_simd_options;
+    table_simd_options.parallel_threshold = ~std::size_t{0};
+    table_simd_options.backend = simd_backend;
+    const core::BatchNacu table_simd{kConfig, table_simd_options};
     const core::BatchNacu parallel{kConfig};
+
     const auto time_ops = [](auto&& body) {
       // One warm-up pass, then the best of three timed passes.
       body();
@@ -258,13 +275,50 @@ int main(int argc, char** argv) {
       }
       return best_s;
     };
-    std::printf("  %-8s %8s %14s %14s %14s %9s\n", "func", "batch",
-                "scalar op/s", "cached op/s", "parallel op/s", "par/scal");
+    const auto record = [&](const char* op, const char* backend,
+                            std::size_t threads, std::size_t n,
+                            double seconds) {
+      const double dn = static_cast<double>(n);
+      writer.add(benchjson::Record{}
+                     .add("op", op)
+                     .add("format", fmt_name)
+                     .add("backend", backend)
+                     .add("threads", threads)
+                     .add("elems", n)
+                     .add("elems_per_s", dn / seconds)
+                     .add("ns_per_elem", seconds * 1e9 / dn));
+    };
+
+    std::printf("  %-8s %8s %12s %12s %12s %12s %12s %9s\n", "func", "batch",
+                "scalar el/s", "pr1 el/s", "table el/s", "simd el/s",
+                "par el/s", "simd/pr1");
+    std::string table_simd_label = "table-";
+    table_simd_label += simd_name;
     for (const auto& [name, func] :
          {std::pair{"sigmoid", core::BatchNacu::Function::Sigmoid},
-          std::pair{"tanh", core::BatchNacu::Function::Tanh}}) {
-      cached.warm(func);
+          std::pair{"tanh", core::BatchNacu::Function::Tanh},
+          std::pair{"exp", core::BatchNacu::Function::Exp}}) {
+      table_scalar.warm(func);
+      table_simd.warm(func);
       parallel.warm(func);
+      // PR 1 cached-table reference loop: per-element format check,
+      // fault-port branch and range-checked from_raw — the acceptance
+      // baseline the kernel layer replaces.
+      const fp::Format fmt = kConfig.format;
+      const std::int64_t min_raw = fmt.min_raw();
+      const auto entries =
+          static_cast<std::size_t>(fmt.max_raw() - min_raw + 1);
+      std::vector<std::int16_t> table(entries);
+      for (std::size_t k = 0; k < entries; ++k) {
+        const fp::Fixed x = fp::Fixed::from_raw(
+            min_raw + static_cast<std::int64_t>(k), fmt);
+        const fp::Fixed y = func == core::BatchNacu::Function::Sigmoid
+                                ? scalar.sigmoid(x)
+                            : func == core::BatchNacu::Function::Tanh
+                                ? scalar.tanh(x)
+                                : scalar.exp(x);
+        table[k] = static_cast<std::int16_t>(y.raw());
+      }
       for (const std::size_t n : {std::size_t{1} << 16,
                                   std::size_t{1} << 18}) {
         const std::vector<fp::Fixed> xs = make_batch(n);
@@ -274,21 +328,70 @@ int main(int argc, char** argv) {
           for (std::size_t i = 0; i < n; ++i) {
             out[i] = f == core::BatchNacu::Function::Sigmoid
                          ? scalar.sigmoid(xs[i])
-                         : scalar.tanh(xs[i]);
+                     : f == core::BatchNacu::Function::Tanh
+                         ? scalar.tanh(xs[i])
+                         : scalar.exp(xs[i]);
           }
         });
-        const double cached_s = time_ops([&] { cached.evaluate(f, xs, out); });
+        fault::BitFaultPort* const port = nullptr;
+        const double pr1_s = time_ops([&] {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (xs[i].format() != fmt) {
+              throw std::invalid_argument("input not in datapath format");
+            }
+            const auto word =
+                static_cast<std::size_t>(xs[i].raw() - min_raw);
+            std::int64_t entry = table[word];
+            if (port != nullptr) {
+              entry = port->read(core::BatchNacu::table_surface(f), word,
+                                 entry, fmt.width());
+            }
+            out[i] = fp::Fixed::from_raw(entry, fmt);
+          }
+          benchmark::DoNotOptimize(out.data());
+        });
+        const double table_s =
+            time_ops([&] { table_scalar.evaluate(f, xs, out); });
+        const double simd_s =
+            time_ops([&] { table_simd.evaluate(f, xs, out); });
         const double parallel_s =
             time_ops([&] { parallel.evaluate(f, xs, out); });
         const double dn = static_cast<double>(n);
-        std::printf("  %-8s %8zu %14.3e %14.3e %14.3e %8.1fx\n", name, n,
-                    dn / scalar_s, dn / cached_s, dn / parallel_s,
-                    scalar_s / parallel_s);
+        std::printf(
+            "  %-8s %8zu %12.3e %12.3e %12.3e %12.3e %12.3e %8.1fx\n", name,
+            n, dn / scalar_s, dn / pr1_s, dn / table_s, dn / simd_s,
+            dn / parallel_s, pr1_s / simd_s);
+        record(name, "scalar-datapath", 1, n, scalar_s);
+        record(name, "table-pr1", 1, n, pr1_s);
+        record(name, "table-scalar", 1, n, table_s);
+        record(name, table_simd_label.c_str(), 1, n, simd_s);
+        record(name, "parallel", pool_threads, n, parallel_s);
       }
     }
-    std::printf("  (activation table: %zu KiB per function; pool size %zu)\n\n",
-                parallel.table_bytes() / 1024,
-                core::ThreadPool::shared().size());
+    // Batched softmax (fused raw-domain path when the exp table is up).
+    {
+      const std::size_t n = 1000;
+      std::vector<fp::Fixed> xs;
+      xs.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back(fp::Fixed::from_double(
+            0.01 * static_cast<double>(i) - 2.0, kConfig.format));
+      }
+      const double softmax_s =
+          time_ops([&] { benchmark::DoNotOptimize(table_simd.softmax(xs)); });
+      std::printf("  %-8s %8zu %12s %12s %12s %12.3e %12s %9s\n", "softmax",
+                  n, "-", "-", "-", static_cast<double>(n) / softmax_s, "-",
+                  "-");
+      record("softmax", table_simd_label.c_str(), 1, n, softmax_s);
+    }
+    std::printf("  (activation table: %zu KiB per function; simd backend "
+                "%s; pool size %zu)\n",
+                parallel.table_bytes() / 1024, simd_name, pool_threads);
+    if (writer.write("BENCH_throughput.json")) {
+      std::printf("  wrote BENCH_throughput.json\n\n");
+    } else {
+      std::printf("  FAILED to write BENCH_throughput.json\n\n");
+    }
   }
 
   benchmark::Initialize(&argc, argv);

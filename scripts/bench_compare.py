@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Records (written by bench/bench_json.hpp) are flat maps. Two records match
+when every string-valued field (op, format, backend, ...) is equal; their
+numeric fields are then compared pairwise. Direction is inferred from the
+metric name: throughput-like metrics (elems_per_s, trials_per_s, coverage,
+accuracy) must not drop, latency-like metrics (ns_per_elem) must not rise.
+A relative change past the threshold (default 10%) in the bad direction is
+a regression and the exit code is 1; new/vanished records are reported but
+are not failures (benches grow over time).
+
+Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric-name fragments where LOWER is better; everything else numeric is
+# treated as higher-is-better. Count-like match keys (elems, trials,
+# threads, faults) are string-ified into the match key instead.
+LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes")
+MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults")
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "records" not in doc:
+        sys.exit(f"error: {path} is not a bench JSON (no 'records' array)")
+    return doc.get("schema", "?"), doc["records"]
+
+
+def record_key(record):
+    parts = []
+    for key in sorted(record):
+        value = record[key]
+        if isinstance(value, str) or key in MATCH_NUMERIC_KEYS:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def metrics(record):
+    return {
+        key: value
+        for key, value in record.items()
+        if isinstance(value, (int, float)) and key not in MATCH_NUMERIC_KEYS
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression threshold (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base_schema, base_records = load_records(args.baseline)
+    cand_schema, cand_records = load_records(args.candidate)
+    if base_schema != cand_schema:
+        print(
+            f"warning: schema mismatch ({base_schema} vs {cand_schema}); "
+            "comparing anyway"
+        )
+
+    base_by_key = {record_key(r): r for r in base_records}
+    cand_by_key = {record_key(r): r for r in cand_records}
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for key, base in sorted(base_by_key.items()):
+        cand = cand_by_key.get(key)
+        if cand is None:
+            print(f"  [gone]  {key}")
+            continue
+        base_metrics = metrics(base)
+        for name, base_value in sorted(base_metrics.items()):
+            cand_value = cand.get(name)
+            if not isinstance(cand_value, (int, float)) or base_value == 0:
+                continue
+            compared += 1
+            delta = (cand_value - base_value) / abs(base_value)
+            lower_better = any(frag in name for frag in LOWER_IS_BETTER)
+            regressed = delta > args.threshold if lower_better \
+                else delta < -args.threshold
+            improved = delta < -args.threshold if lower_better \
+                else delta > args.threshold
+            line = (
+                f"{key} :: {name}: {base_value:.6g} -> {cand_value:.6g} "
+                f"({delta:+.1%})"
+            )
+            if regressed:
+                regressions.append(line)
+            elif improved:
+                improvements.append(line)
+    for key in sorted(set(cand_by_key) - set(base_by_key)):
+        print(f"  [new]   {key}")
+
+    if improvements:
+        print(f"improvements (>{args.threshold:.0%}):")
+        for line in improvements:
+            print(f"  [better] {line}")
+    if regressions:
+        print(f"REGRESSIONS (>{args.threshold:.0%} in the bad direction):")
+        for line in regressions:
+            print(f"  [WORSE]  {line}")
+        print(f"{len(regressions)} regression(s) across {compared} metrics")
+        return 1
+    print(f"no regressions across {compared} compared metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

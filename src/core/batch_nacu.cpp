@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simd/kernels.hpp"
+
 namespace nacu::core {
 
 BatchNacu::BatchNacu(const NacuConfig& config)
@@ -125,11 +127,26 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
   }
   const fp::Format fmt = unit_.format();
   const std::vector<std::int16_t>* table = table_for(f, n);
-  // Hoisted so the fault-free path pays one pointer compare per batch.
+  // Hoisted so the fault-free path pays one pointer compare per batch —
+  // and, with a table, runs a branch-free kernel with no port check at all.
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
+  const simd::Backend backend = simd::resolve(options_.backend);
   for_range(n, [&](std::size_t begin, std::size_t end) {
     if (table != nullptr) {
+      if (port == nullptr) {
+        const std::size_t count = end - begin;
+        const std::size_t done = simd::table_lookup_fixed(
+            backend, table->data(), fmt, in.data() + begin,
+            out.data() + begin, count);
+        if (done != count) {
+          throw std::invalid_argument(
+              "BatchNacu::evaluate: input not in the datapath format");
+        }
+        return;
+      }
+      // Armed path: per-element port interception, semantics identical to
+      // the fault-injection subsystem's contract (PR 2).
       const std::int64_t min_raw = fmt.min_raw();
       for (std::size_t k = begin; k < end; ++k) {
         if (in[k].format() != fmt) {
@@ -138,9 +155,7 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
         }
         const auto word = static_cast<std::size_t>(in[k].raw() - min_raw);
         std::int64_t entry = (*table)[word];
-        if (port != nullptr) {
-          entry = port->read(surface, word, entry, fmt.width());
-        }
+        entry = port->read(surface, word, entry, fmt.width());
         out[k] = fp::Fixed::from_raw(entry, fmt);
       }
       return;
@@ -185,9 +200,21 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
   const std::vector<std::int16_t>* table = table_for(f, n);
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
+  const simd::Backend backend = simd::resolve(options_.backend);
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t max_raw = fmt.max_raw();
   for_range(n, [&](std::size_t begin, std::size_t end) {
-    const std::int64_t min_raw = fmt.min_raw();
-    const std::int64_t max_raw = fmt.max_raw();
+    if (table != nullptr && port == nullptr) {
+      const std::size_t count = end - begin;
+      const std::size_t done = simd::table_lookup_raw(
+          backend, table->data(), min_raw, max_raw, in.data() + begin,
+          out.data() + begin, count);
+      if (done != count) {
+        throw std::out_of_range(
+            "BatchNacu::evaluate_raw: raw outside the datapath format");
+      }
+      return;
+    }
     for (std::size_t k = begin; k < end; ++k) {
       const std::int64_t raw = in[k];
       if (raw < min_raw || raw > max_raw) {
@@ -215,6 +242,27 @@ std::vector<fp::Fixed> BatchNacu::softmax(
   }
   const fp::Format fmt = unit_.format();
   const std::size_t n = inputs.size();
+  // Fused raw-domain path: needs the dense exp table, no armed fault port
+  // (the port contract is per-read interception), every input already on
+  // the datapath grid, and ib >= 1 so from_double(1.0) is exactly 2^fb —
+  // the preconditions under which the raw algebra below is provably
+  // bit-identical to the Fixed-API passes. Anything else takes the
+  // original path unchanged.
+  if (fault_port_ == nullptr && fmt.integer_bits() >= 1) {
+    if (const std::vector<std::int16_t>* exp_table =
+            table_for(Function::Exp, n)) {
+      bool uniform = true;
+      for (const fp::Fixed& x : inputs) {
+        if (x.format() != fmt) {
+          uniform = false;
+          break;
+        }
+      }
+      if (uniform) {
+        return softmax_fused(inputs, *exp_table);
+      }
+    }
+  }
   // Max-scan (Eq. 13), same comparator as core::Nacu::softmax.
   fp::Fixed x_max = inputs[0];
   for (const fp::Fixed& x : inputs) {
@@ -265,6 +313,106 @@ std::vector<fp::Fixed> BatchNacu::softmax(
   for_range(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
       out[k] = exps[k].div(denom, fmt, fp::Rounding::Truncate);
+    }
+  });
+  return out;
+}
+
+std::vector<fp::Fixed> BatchNacu::softmax_fused(
+    std::span<const fp::Fixed> inputs,
+    const std::vector<std::int16_t>& exp_table) const {
+  const fp::Format fmt = unit_.format();
+  const std::size_t n = inputs.size();
+  const simd::Backend backend = simd::resolve(options_.backend);
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t max_raw = fmt.max_raw();
+  const int fb = fmt.fractional_bits();
+  // Pass 1 — max scan on raws. Same format everywhere, so a raw compare is
+  // the value compare the Fixed path performs.
+  std::int64_t x_max = inputs[0].raw();
+  for (const fp::Fixed& x : inputs) {
+    if (x.raw() > x_max) {
+      x_max = x.raw();
+    }
+  }
+  // Accumulator format: identical derivation to core::Nacu::softmax.
+  int sum_ib = 1;
+  while ((std::size_t{1} << sum_ib) < n + 1) {
+    ++sum_ib;
+  }
+  const fp::Format sum_fmt{sum_ib + 1, fb};
+  // Pass 2 — fused shift + exp. sub(x_max, fmt) with equal formats is
+  // clamp(raw - x_max_raw) (the difference is <= 0, so only the lower clamp
+  // can fire), and rebasing by -min_raw gives the table word directly; the
+  // gather kernel then replaces the per-element Fixed round-trip.
+  std::vector<std::int32_t> exps(n);
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      std::int64_t diff = inputs[k].raw() - x_max;
+      if (diff < min_raw) {
+        diff = min_raw;
+      }
+      exps[k] = static_cast<std::int32_t>(diff - min_raw);
+    }
+    simd::table_lookup_i32(backend, exp_table.data(), exps.data() + begin,
+                           exps.data() + begin, end - begin);
+  });
+  // Pass 3 — denominator. mac(denom, e, 1.0) with one_raw = 2^fb and
+  // acc.fb == fb reduces to a per-step saturating add of the raw exp value,
+  // in the same left-to-right order as the scalar accumulation.
+  const std::int64_t sum_min = sum_fmt.min_raw();
+  const std::int64_t sum_max = sum_fmt.max_raw();
+  std::int64_t denom = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::int64_t next = denom + exps[k];
+    if (next < sum_min) {
+      next = sum_min;
+    } else if (next > sum_max) {
+      next = sum_max;
+    }
+    denom = next;
+  }
+  if (denom == 0) {
+    denom = 1;  // the scalar path's 1-LSB floor against divide-by-zero
+  }
+  // Pass 4 — normalise.
+  std::vector<fp::Fixed> out(n, fp::Fixed::zero(fmt));
+  if (const ReciprocalUnit* recip = unit_.reciprocal_unit()) {
+    // Approximate path (§VIII): mul(e, r, fmt, Truncate) with
+    // e.fb == fmt.fb is ((e_raw * r_raw) >> recip_fmt.fb) floor-truncated
+    // (arithmetic shift), then saturated into fmt.
+    const fp::Format recip_fmt{
+        1, fb + config().divider_guard_bits + 2};
+    const fp::Fixed denom_recip = recip->reciprocal(
+        fp::Fixed::from_raw(denom, sum_fmt), recip_fmt);
+    const std::int64_t r_raw = denom_recip.raw();
+    const int r_shift = recip_fmt.fractional_bits();
+    for_range(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        std::int64_t q =
+            (static_cast<std::int64_t>(exps[k]) * r_raw) >> r_shift;
+        if (q < min_raw) {
+          q = min_raw;
+        } else if (q > max_raw) {
+          q = max_raw;
+        }
+        out[k] = fp::Fixed::from_raw_unchecked(q, fmt);
+      }
+    });
+    return out;
+  }
+  // Exact path: div(e, denom, fmt, Truncate) truncates the quotient toward
+  // zero — precisely C++ integer division of (e_raw << fb) by denom_raw —
+  // then saturates into fmt.
+  for_range(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      std::int64_t q = (static_cast<std::int64_t>(exps[k]) << fb) / denom;
+      if (q < min_raw) {
+        q = min_raw;
+      } else if (q > max_raw) {
+        q = max_raw;
+      }
+      out[k] = fp::Fixed::from_raw_unchecked(q, fmt);
     }
   });
   return out;

@@ -37,6 +37,7 @@
 
 #include "core/nacu.hpp"
 #include "core/thread_pool.hpp"
+#include "simd/dispatch.hpp"
 
 namespace nacu::core {
 
@@ -58,6 +59,11 @@ class BatchNacu {
     std::size_t parallel_grain = std::size_t{1} << 12;
     /// Pool to fan out on; nullptr uses ThreadPool::shared().
     ThreadPool* pool = nullptr;
+    /// Kernel backend for the table-lookup / fused-softmax fast paths
+    /// (simd/dispatch.hpp). Defaults to the process-wide CPUID pick;
+    /// re-resolved against availability at every use, so a stale Avx2
+    /// request degrades to Scalar rather than faulting.
+    simd::Backend backend = simd::active_backend();
   };
 
   explicit BatchNacu(const NacuConfig& config);
@@ -125,6 +131,16 @@ class BatchNacu {
   void scrub_table(Function f) const;
 
  private:
+  /// Raw-domain Eq. 13 softmax over the dense exp table: single max scan,
+  /// one fused shift+exp pass, the same ordered saturating denominator
+  /// accumulation, then the divide/reciprocal pass — all on int raws,
+  /// bit-identical to the Fixed-API path (see DESIGN.md for the algebra).
+  /// Callable only when the exp table exists, no fault port is armed, every
+  /// input is in the datapath format, and 1.0 is representable.
+  [[nodiscard]] std::vector<fp::Fixed> softmax_fused(
+      std::span<const fp::Fixed> inputs,
+      const std::vector<std::int16_t>& exp_table) const;
+
   /// Scalar datapath result for one raw input.
   [[nodiscard]] std::int64_t scalar_raw(Function f, std::int64_t raw) const;
   /// The dense table for @p f, building it if a batch of @p batch_size

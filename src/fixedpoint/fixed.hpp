@@ -28,6 +28,14 @@ class Fixed {
   /// must never silently overflow.
   static Fixed from_raw(std::int64_t raw, Format fmt);
 
+  /// Wrap a raw integer the caller has already proven to fit @p fmt — no
+  /// range check. For kernel code on hot paths (simd/kernels.cpp) where the
+  /// raw comes out of a table of validated entries; anywhere the invariant
+  /// is not structurally guaranteed, use from_raw.
+  static Fixed from_raw_unchecked(std::int64_t raw, Format fmt) noexcept {
+    return Fixed{raw, fmt};
+  }
+
   /// Quantise a real value onto @p fmt's grid.
   static Fixed from_double(double value, Format fmt,
                            Rounding rounding = Rounding::NearestEven,

@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "nn/rng.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "simd/qgemm.hpp"
 
 namespace nacu::nn {
 
@@ -148,6 +151,22 @@ std::vector<double> ConvFeatures::extract_fixed(
     const MatrixD& image, const core::BatchNacu& unit) const {
   const fp::Format fmt = unit.format();
   const fp::Format acc_fmt{fmt.integer_bits() + 6, fmt.fractional_bits()};
+  const bool fused =
+      simd::PackedQGemm::formats_supported(fmt, acc_fmt) &&
+      image.rows() >= 3 && image.cols() >= 3;
+  const simd::Backend backend = simd::resolve(unit.options().backend);
+  // Quantise the image once (the Fixed-API loop below re-quantises every
+  // pixel up to 9 times) — from_double is deterministic, same raws.
+  std::vector<std::int32_t> img_raw;
+  if (fused) {
+    img_raw.reserve(image.rows() * image.cols());
+    for (std::size_t r = 0; r < image.rows(); ++r) {
+      for (std::size_t c = 0; c < image.cols(); ++c) {
+        img_raw.push_back(static_cast<std::int32_t>(
+            fp::Fixed::from_double(image(r, c), fmt).raw()));
+      }
+    }
+  }
   std::vector<double> features;
   for (const MatrixD& filter : filters_) {
     const std::size_t out_r = image.rows() - 2;
@@ -156,18 +175,52 @@ std::vector<double> ConvFeatures::extract_fixed(
     // batch σ pass over it instead of a scalar call per pixel.
     std::vector<fp::Fixed> pre;
     pre.reserve(out_r * out_c);
-    for (std::size_t r = 0; r < out_r; ++r) {
-      for (std::size_t c = 0; c < out_c; ++c) {
-        fp::Fixed acc = fp::Fixed::zero(acc_fmt);
-        for (std::size_t fr = 0; fr < 3; ++fr) {
-          for (std::size_t fc = 0; fc < 3; ++fc) {
-            acc = unit.unit().mac(
-                acc, fp::Fixed::from_double(filter(fr, fc), fmt),
-                fp::Fixed::from_double(image(r + fr, c + fc), fmt));
-          }
+    if (fused) {
+      std::int32_t filter9[9];
+      for (std::size_t fr = 0; fr < 3; ++fr) {
+        for (std::size_t fc = 0; fc < 3; ++fc) {
+          filter9[fr * 3 + fc] = static_cast<std::int32_t>(
+              fp::Fixed::from_double(filter(fr, fc), fmt).raw());
         }
-        pre.push_back(acc.requantize(fmt, fp::Rounding::Truncate,
-                                     fp::Overflow::Saturate));
+      }
+      const auto acc_min = static_cast<std::int32_t>(acc_fmt.min_raw());
+      const auto acc_max = static_cast<std::int32_t>(acc_fmt.max_raw());
+      const std::int64_t lo = fmt.min_raw();
+      const std::int64_t hi = fmt.max_raw();
+      std::vector<std::int32_t> acc(out_c);
+      for (std::size_t r = 0; r < out_r; ++r) {
+        std::fill(acc.begin(), acc.end(), 0);
+        // One kernel call MACs all 9 taps across the whole output row with
+        // the fr-major tap order (and per-step clamp) of the loop below.
+        simd::conv3x3_mac_row(
+            backend, img_raw.data() + r * image.cols(),
+            img_raw.data() + (r + 1) * image.cols(),
+            img_raw.data() + (r + 2) * image.cols(), filter9, out_c,
+            fmt.fractional_bits(), acc_min, acc_max, acc.data());
+        for (std::size_t c = 0; c < out_c; ++c) {
+          std::int64_t raw = acc[c];
+          if (raw < lo) {
+            raw = lo;
+          } else if (raw > hi) {
+            raw = hi;
+          }
+          pre.push_back(fp::Fixed::from_raw_unchecked(raw, fmt));
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < out_r; ++r) {
+        for (std::size_t c = 0; c < out_c; ++c) {
+          fp::Fixed acc = fp::Fixed::zero(acc_fmt);
+          for (std::size_t fr = 0; fr < 3; ++fr) {
+            for (std::size_t fc = 0; fc < 3; ++fc) {
+              acc = unit.unit().mac(
+                  acc, fp::Fixed::from_double(filter(fr, fc), fmt),
+                  fp::Fixed::from_double(image(r + fr, c + fc), fmt));
+            }
+          }
+          pre.push_back(acc.requantize(fmt, fp::Rounding::Truncate,
+                                       fp::Overflow::Saturate));
+        }
       }
     }
     unit.evaluate(core::BatchNacu::Function::Sigmoid, pre, pre);

@@ -69,7 +69,35 @@ LstmFixed::LstmFixed(const LstmWeights& weights,
       unit_{config},
       fmt_{config.format},
       acc_fmt_{config.format.integer_bits() + 6,
-               config.format.fractional_bits()} {}
+               config.format.fractional_bits()} {
+  // Quantise every weight/bias once — step() used to re-quantise each
+  // weight on every MAC. from_double is deterministic, so the raws are the
+  // bits those calls produced.
+  const std::size_t rows4 = 4 * weights_.hidden;
+  wx_raw_.reserve(rows4 * weights_.input);
+  wh_raw_.reserve(rows4 * weights_.hidden);
+  b_raw_.reserve(rows4);
+  for (std::size_t r = 0; r < rows4; ++r) {
+    for (std::size_t i = 0; i < weights_.input; ++i) {
+      wx_raw_.push_back(fp::Fixed::from_double(weights_.wx(r, i), fmt_).raw());
+    }
+    for (std::size_t i = 0; i < weights_.hidden; ++i) {
+      wh_raw_.push_back(fp::Fixed::from_double(weights_.wh(r, i), fmt_).raw());
+    }
+    b_raw_.push_back(fp::Fixed::from_double(weights_.b[r], fmt_).raw());
+  }
+  fused_ok_ = simd::PackedQGemm::formats_supported(fmt_, acc_fmt_);
+  if (fused_ok_) {
+    wx_packed_ = simd::PackedQGemm{
+        rows4, weights_.input, [this](std::size_t o, std::size_t i) {
+          return wx_raw_[o * weights_.input + i];
+        }};
+    wh_packed_ = simd::PackedQGemm{
+        rows4, weights_.hidden, [this](std::size_t o, std::size_t i) {
+          return wh_raw_[o * weights_.hidden + i];
+        }};
+  }
+}
 
 LstmFixed::State LstmFixed::initial_state() const {
   State s;
@@ -81,17 +109,82 @@ LstmFixed::State LstmFixed::initial_state() const {
 fp::Fixed LstmFixed::gate_preactivation(std::size_t row,
                                         const std::vector<fp::Fixed>& xq,
                                         const State& state) const {
-  fp::Fixed acc = fp::Fixed::from_double(weights_.b[row], fmt_)
-                      .requantize(acc_fmt_);
+  fp::Fixed acc =
+      fp::Fixed::from_raw(b_raw_[row], fmt_).requantize(acc_fmt_);
   for (std::size_t i = 0; i < weights_.input; ++i) {
     acc = unit_.unit().mac(
-        acc, fp::Fixed::from_double(weights_.wx(row, i), fmt_), xq[i]);
+        acc, fp::Fixed::from_raw(wx_raw_[row * weights_.input + i], fmt_),
+        xq[i]);
   }
   for (std::size_t i = 0; i < weights_.hidden; ++i) {
     acc = unit_.unit().mac(
-        acc, fp::Fixed::from_double(weights_.wh(row, i), fmt_), state.h[i]);
+        acc, fp::Fixed::from_raw(wh_raw_[row * weights_.hidden + i], fmt_),
+        state.h[i]);
   }
   return acc.requantize(fmt_, fp::Rounding::Truncate, fp::Overflow::Saturate);
+}
+
+std::vector<fp::Fixed> LstmFixed::gate_preactivations(
+    const std::vector<fp::Fixed>& xq, const State& state) const {
+  const std::size_t rows4 = 4 * weights_.hidden;
+  bool fused = fused_ok_ && xq.size() == weights_.input &&
+               state.h.size() == weights_.hidden;
+  if (fused) {
+    for (const fp::Fixed& v : xq) {
+      if (v.format() != fmt_) {
+        fused = false;
+        break;
+      }
+    }
+    for (const fp::Fixed& v : state.h) {
+      if (fused && v.format() != fmt_) {
+        fused = false;
+      }
+    }
+  }
+  std::vector<fp::Fixed> pre;
+  pre.reserve(rows4);
+  if (fused) {
+    // Two fused GEMV passes per step: the wx chain first, the wh chain
+    // continuing on the same accumulators — the exact MAC order of
+    // gate_preactivation.
+    const simd::Backend backend = simd::resolve(unit_.options().backend);
+    const int fb = fmt_.fractional_bits();
+    std::vector<std::int32_t> xv(xq.size());
+    for (std::size_t i = 0; i < xq.size(); ++i) {
+      xv[i] = static_cast<std::int32_t>(xq[i].raw());
+    }
+    std::vector<std::int32_t> hv(state.h.size());
+    for (std::size_t i = 0; i < state.h.size(); ++i) {
+      hv[i] = static_cast<std::int32_t>(state.h[i].raw());
+    }
+    std::vector<std::int32_t> acc(wx_packed_.padded_out(), 0);
+    for (std::size_t r = 0; r < rows4; ++r) {
+      acc[r] = static_cast<std::int32_t>(b_raw_[r]);
+    }
+    const auto acc_min = static_cast<std::int32_t>(acc_fmt_.min_raw());
+    const auto acc_max = static_cast<std::int32_t>(acc_fmt_.max_raw());
+    wx_packed_.accumulate(backend, xv.data(), acc.data(), fb, acc_min,
+                          acc_max);
+    wh_packed_.accumulate(backend, hv.data(), acc.data(), fb, acc_min,
+                          acc_max);
+    const std::int64_t lo = fmt_.min_raw();
+    const std::int64_t hi = fmt_.max_raw();
+    for (std::size_t r = 0; r < rows4; ++r) {
+      std::int64_t raw = acc[r];
+      if (raw < lo) {
+        raw = lo;
+      } else if (raw > hi) {
+        raw = hi;
+      }
+      pre.push_back(fp::Fixed::from_raw_unchecked(raw, fmt_));
+    }
+    return pre;
+  }
+  for (std::size_t r = 0; r < rows4; ++r) {
+    pre.push_back(gate_preactivation(r, xq, state));
+  }
+  return pre;
 }
 
 LstmFixed::State LstmFixed::step(const State& state,
@@ -105,22 +198,14 @@ LstmFixed::State LstmFixed::step(const State& state,
   // Gate pre-activations for the whole step (row order: i, f, cand, o),
   // then the σ/tanh mix of §I as two batch passes: σ over the 3H gate rows
   // (input, forget, output), tanh over the H candidate rows.
+  const std::vector<fp::Fixed> pre = gate_preactivations(xq, state);
   std::vector<fp::Fixed> sig_pre;
   sig_pre.reserve(3 * h);
   std::vector<fp::Fixed> tanh_pre;
   tanh_pre.reserve(h);
-  for (std::size_t i = 0; i < h; ++i) {
-    sig_pre.push_back(gate_preactivation(i, xq, state));
-  }
-  for (std::size_t i = 0; i < h; ++i) {
-    sig_pre.push_back(gate_preactivation(h + i, xq, state));
-  }
-  for (std::size_t i = 0; i < h; ++i) {
-    tanh_pre.push_back(gate_preactivation(2 * h + i, xq, state));
-  }
-  for (std::size_t i = 0; i < h; ++i) {
-    sig_pre.push_back(gate_preactivation(3 * h + i, xq, state));
-  }
+  sig_pre.insert(sig_pre.end(), pre.begin(), pre.begin() + 2 * h);
+  tanh_pre.insert(tanh_pre.end(), pre.begin() + 2 * h, pre.begin() + 3 * h);
+  sig_pre.insert(sig_pre.end(), pre.begin() + 3 * h, pre.end());
   unit_.evaluate(core::BatchNacu::Function::Sigmoid, sig_pre, sig_pre);
   unit_.evaluate(core::BatchNacu::Function::Tanh, tanh_pre, tanh_pre);
 

@@ -13,6 +13,7 @@
 
 #include "core/batch_nacu.hpp"
 #include "nn/matrix.hpp"
+#include "simd/qgemm.hpp"
 
 namespace nacu::nn {
 
@@ -66,11 +67,25 @@ class LstmFixed {
   [[nodiscard]] fp::Fixed gate_preactivation(std::size_t row,
                                              const std::vector<fp::Fixed>& xq,
                                              const State& state) const;
+  /// All 4H gate pre-activations of one step (row order: i, f, cand, o) —
+  /// through the fused wx/wh GEMV kernels when the formats allow, else one
+  /// gate_preactivation per row. Bit-identical either way.
+  [[nodiscard]] std::vector<fp::Fixed> gate_preactivations(
+      const std::vector<fp::Fixed>& xq, const State& state) const;
 
   LstmWeights weights_;
   core::BatchNacu unit_;
   fp::Format fmt_;
   fp::Format acc_fmt_;
+  /// Weights/biases quantised onto fmt_ once at construction (the float
+  /// originals in weights_ are kept only for shape bookkeeping). Row-major
+  /// [4H × D] and [4H × H].
+  std::vector<std::int64_t> wx_raw_;
+  std::vector<std::int64_t> wh_raw_;
+  std::vector<std::int64_t> b_raw_;
+  simd::PackedQGemm wx_packed_;
+  simd::PackedQGemm wh_packed_;
+  bool fused_ok_ = false;
 };
 
 /// Mean |h_fixed − h_ref| after running @p steps of the same random input

@@ -7,14 +7,20 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <stdexcept>
-#include <vector>
+
+#include "simd/aligned.hpp"
 
 namespace nacu::nn {
 
 template <typename T>
 class Matrix {
  public:
+  /// Storage is cache-line (64-byte) aligned so SIMD kernels can treat
+  /// row-major data as aligned streams; the container API is still vector.
+  using Storage = simd::AlignedVector<T>;
+
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, T init = T{})
       : rows_{rows}, cols_{cols}, data_(rows * cols, init) {}
@@ -39,8 +45,19 @@ class Matrix {
     return (*this)(r, c);
   }
 
-  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
-  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+  /// Contiguous view of row @p r — what kernels iterate instead of
+  /// element-wise operator() calls. Bounds-checked like at().
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    check_row(r);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    check_row(r);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Storage& data() noexcept { return data_; }
+  [[nodiscard]] const Storage& data() const noexcept { return data_; }
 
  private:
   void check(std::size_t r, std::size_t c) const {
@@ -48,10 +65,15 @@ class Matrix {
       throw std::out_of_range("Matrix index out of range");
     }
   }
+  void check_row(std::size_t r) const {
+    if (r >= rows_) {
+      throw std::out_of_range("Matrix row out of range");
+    }
+  }
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  Storage data_;
 };
 
 using MatrixD = Matrix<double>;

@@ -38,6 +38,18 @@ QuantizedMlp::QuantizedMlp(const Mlp& reference,
     }
     biases_raw_.push_back(std::move(bq));
   }
+  fused_ok_ = simd::PackedQGemm::formats_supported(fmt_, acc_fmt_);
+  if (fused_ok_) {
+    packed_.reserve(weights_raw_.size());
+    for (const auto& wq : weights_raw_) {
+      const std::size_t out_dim = wq.size();
+      const std::size_t in_dim = out_dim > 0 ? wq[0].size() : 0;
+      packed_.emplace_back(out_dim, in_dim,
+                           [&wq](std::size_t o, std::size_t i) {
+                             return wq[o][i];
+                           });
+    }
+  }
 }
 
 std::vector<fp::Fixed> QuantizedMlp::dense_forward(
@@ -47,15 +59,59 @@ std::vector<fp::Fixed> QuantizedMlp::dense_forward(
   const auto& b = biases_raw_[layer];
   std::vector<fp::Fixed> out;
   out.reserve(w.size());
-  for (std::size_t o = 0; o < w.size(); ++o) {
-    // Bias preloads the accumulator; each term goes through the NACU MAC.
-    fp::Fixed acc = fp::Fixed::from_raw(b[o], fmt_).requantize(acc_fmt_);
-    for (std::size_t i = 0; i < input.size(); ++i) {
-      acc = unit_.unit().mac(acc, fp::Fixed::from_raw(w[o][i], fmt_),
-                             input[i]);
+  // Fused path: the whole layer's MAC chains run through the tile-packed
+  // int32 kernel — per-step truncate+saturate in the same input order as
+  // Fixed::mac, so the raws match the loop below bit-for-bit. Inputs off
+  // the datapath grid (can't happen from predict_proba, but the API allows
+  // it) fall back to the Fixed-API loop, whose format handling is general.
+  bool fused = fused_ok_ && !w.empty() &&
+               input.size() == packed_[layer].in_dim();
+  if (fused) {
+    for (const fp::Fixed& v : input) {
+      if (v.format() != fmt_) {
+        fused = false;
+        break;
+      }
     }
-    out.push_back(acc.requantize(fmt_, fp::Rounding::Truncate,
-                                 fp::Overflow::Saturate));
+  }
+  if (fused) {
+    const simd::PackedQGemm& pg = packed_[layer];
+    std::vector<std::int32_t> x(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      x[i] = static_cast<std::int32_t>(input[i].raw());
+    }
+    std::vector<std::int32_t> acc(pg.padded_out(), 0);
+    for (std::size_t o = 0; o < w.size(); ++o) {
+      // Bias preload: requantize(acc_fmt_) keeps the raw (same fb, wider
+      // range), so the int32 accumulator starts at the bias raw directly.
+      acc[o] = static_cast<std::int32_t>(b[o]);
+    }
+    pg.accumulate(simd::resolve(unit_.options().backend), x.data(),
+                  acc.data(), fmt_.fractional_bits(),
+                  static_cast<std::int32_t>(acc_fmt_.min_raw()),
+                  static_cast<std::int32_t>(acc_fmt_.max_raw()));
+    const std::int64_t lo = fmt_.min_raw();
+    const std::int64_t hi = fmt_.max_raw();
+    for (std::size_t o = 0; o < w.size(); ++o) {
+      std::int64_t raw = acc[o];
+      if (raw < lo) {
+        raw = lo;
+      } else if (raw > hi) {
+        raw = hi;
+      }
+      out.push_back(fp::Fixed::from_raw_unchecked(raw, fmt_));
+    }
+  } else {
+    for (std::size_t o = 0; o < w.size(); ++o) {
+      // Bias preloads the accumulator; each term goes through the NACU MAC.
+      fp::Fixed acc = fp::Fixed::from_raw(b[o], fmt_).requantize(acc_fmt_);
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        acc = unit_.unit().mac(acc, fp::Fixed::from_raw(w[o][i], fmt_),
+                               input[i]);
+      }
+      out.push_back(acc.requantize(fmt_, fp::Rounding::Truncate,
+                                   fp::Overflow::Saturate));
+    }
   }
   if (apply_activation) {
     // One batch activation pass over the whole layer.

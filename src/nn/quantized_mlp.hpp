@@ -17,6 +17,7 @@
 
 #include "core/batch_nacu.hpp"
 #include "nn/mlp.hpp"
+#include "simd/qgemm.hpp"
 
 namespace nacu::nn {
 
@@ -58,6 +59,12 @@ class QuantizedMlp {
   fp::Format acc_fmt_;
   std::vector<std::vector<std::vector<std::int64_t>>> weights_raw_;
   std::vector<std::vector<std::int64_t>> biases_raw_;
+  /// Tile-packed copies of weights_raw_ for the fused GEMV kernel; empty
+  /// when the (data, accumulator) format pair is outside the kernel's
+  /// int32-exactness envelope (fused_ok_ == false), in which case
+  /// dense_forward keeps the Fixed-API MAC loop.
+  std::vector<simd::PackedQGemm> packed_;
+  bool fused_ok_ = false;
 };
 
 }  // namespace nacu::nn

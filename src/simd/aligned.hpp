@@ -1,0 +1,64 @@
+// Over-aligned allocator for kernel-facing buffers.
+//
+// The SIMD kernels stream 32-byte vectors; 64-byte (cache-line) alignment
+// keeps every aligned load/store split-free and gives packed weight tiles
+// a clean line boundary. nn::Matrix and the packed GEMM buffers allocate
+// through this so kernels never need unaligned-tail special cases at the
+// *start* of a buffer.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace nacu::simd {
+
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not be weaker than the type's natural one");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc{};
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator<U, Alignment>&) noexcept {
+    return true;
+  }
+  template <typename U>
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator<U, Alignment>&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector with cache-line-aligned storage.
+template <typename T, std::size_t Alignment = 64>
+using AlignedVector = std::vector<T, AlignedAllocator<T, Alignment>>;
+
+}  // namespace nacu::simd

@@ -1,0 +1,250 @@
+// Scalar reference implementations + backend dispatch for simd/kernels.hpp.
+//
+// The scalar loops here ARE the semantics: the AVX2 TU (kernels_avx2.cpp)
+// must match them bit-for-bit, and the differential tests compare the two
+// over the exhaustive input domain. Keep these loops boring and obviously
+// equivalent to the Fixed-API formulations they replace.
+
+#include "simd/kernels.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+namespace nacu::simd {
+
+#if defined(NACU_HAVE_AVX2)
+namespace detail {
+// Implemented in kernels_avx2.cpp (compiled with -mavx2). Each processes
+// full 8-wide blocks from the front and returns how many elements it
+// handled; the scalar loop finishes the tail (and performs the precise
+// stop-on-mismatch scan for checked kernels, since a partially processed
+// AVX2 block never commits any stores).
+std::size_t table_lookup_fixed_avx2(const std::int16_t* table,
+                                    std::int64_t fmt_bits,
+                                    std::int64_t min_raw, const char* in,
+                                    char* out, std::size_t n);
+std::size_t table_lookup_raw_avx2(const std::int16_t* table,
+                                  std::int64_t min_raw, std::int64_t max_raw,
+                                  const std::int64_t* in, std::int64_t* out,
+                                  std::size_t n);
+void table_lookup_i32_avx2(const std::int16_t* table, const std::int32_t* in,
+                           std::int32_t* out, std::size_t n);
+void qgemm_accumulate_avx2(const std::int16_t* packed, std::size_t tiles,
+                           std::size_t in_dim, const std::int32_t* x,
+                           std::int32_t* acc, int fb, std::int32_t acc_min,
+                           std::int32_t acc_max);
+void conv3x3_mac_row_avx2(const std::int32_t* row0, const std::int32_t* row1,
+                          const std::int32_t* row2,
+                          const std::int32_t* filter9, std::size_t out_cols,
+                          int fb, std::int32_t acc_min, std::int32_t acc_max,
+                          std::int32_t* acc);
+}  // namespace detail
+#endif
+
+namespace {
+
+// The AVX2 Fixed-span kernel reads Fixed as [int64 raw][8-byte Format]. The
+// C++ object model doesn't promise that layout, so probe it once: build a
+// Fixed with a recognisable raw and check the first 8 bytes are exactly it.
+bool probe_fixed_layout() noexcept {
+  static_assert(std::is_trivially_copyable_v<fp::Fixed>);
+  static_assert(std::is_trivially_copyable_v<fp::Format>);
+  if (sizeof(fp::Fixed) != 16 || sizeof(fp::Format) != 8) {
+    return false;
+  }
+  const fp::Fixed probe =
+      fp::Fixed::from_raw_unchecked(INT64_C(0x5A17C0DEFEED1234), {30, 30});
+  std::int64_t head = 0;
+  std::memcpy(&head, &probe, sizeof(head));
+  return head == INT64_C(0x5A17C0DEFEED1234);
+}
+
+std::int64_t format_bits(fp::Format fmt) noexcept {
+  std::int64_t bits = 0;
+  std::memcpy(&bits, &fmt, sizeof(fmt));
+  return bits;
+}
+
+inline std::int32_t clamp_i32(std::int64_t v, std::int32_t lo,
+                              std::int32_t hi) noexcept {
+  if (v < lo) {
+    return lo;
+  }
+  if (v > hi) {
+    return hi;
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+std::size_t table_lookup_fixed_scalar(const std::int16_t* table,
+                                      fp::Format fmt, const fp::Fixed* in,
+                                      fp::Fixed* out, std::size_t n) {
+  const std::int64_t min_raw = fmt.min_raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in[i].format() != fmt) {
+      return i;
+    }
+    const auto word =
+        static_cast<std::size_t>(in[i].raw() - min_raw);
+    out[i] = fp::Fixed::from_raw_unchecked(table[word], fmt);
+  }
+  return n;
+}
+
+std::size_t table_lookup_raw_scalar(const std::int16_t* table,
+                                    std::int64_t min_raw, std::int64_t max_raw,
+                                    const std::int64_t* in, std::int64_t* out,
+                                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t raw = in[i];
+    if (raw < min_raw || raw > max_raw) {
+      return i;
+    }
+    out[i] = table[static_cast<std::size_t>(raw - min_raw)];
+  }
+  return n;
+}
+
+void table_lookup_i32_scalar(const std::int16_t* table, const std::int32_t* in,
+                             std::int32_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = table[in[i]];
+  }
+}
+
+void qgemm_accumulate_scalar(const std::int16_t* packed, std::size_t tiles,
+                             std::size_t in_dim, const std::int32_t* x,
+                             std::int32_t* acc, int fb, std::int32_t acc_min,
+                             std::int32_t acc_max) {
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    const std::int16_t* w = packed + tile * in_dim * 8;
+    std::int32_t* a = acc + tile * 8;
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      const std::int32_t xi = x[i];
+      const std::int16_t* wp = w + i * 8;
+      for (std::size_t lane = 0; lane < 8; ++lane) {
+        // Exactly Fixed::mac per step: widen, truncate-shift (arithmetic =
+        // floor), add, saturate. Products fit 2^30 and |acc + t| < 2^31 by
+        // PackedQGemm::formats_supported, so int64 here never overflows.
+        const std::int64_t product =
+            static_cast<std::int64_t>(wp[lane]) * xi;
+        const std::int64_t term = product >> fb;
+        a[lane] = clamp_i32(static_cast<std::int64_t>(a[lane]) + term,
+                            acc_min, acc_max);
+      }
+    }
+  }
+}
+
+void conv3x3_mac_row_scalar(const std::int32_t* row0, const std::int32_t* row1,
+                            const std::int32_t* row2,
+                            const std::int32_t* filter9, std::size_t out_cols,
+                            int fb, std::int32_t acc_min, std::int32_t acc_max,
+                            std::int32_t* acc) {
+  const std::int32_t* rows[3] = {row0, row1, row2};
+  for (std::size_t c = 0; c < out_cols; ++c) {
+    std::int32_t a = acc[c];
+    for (int fr = 0; fr < 3; ++fr) {
+      const std::int32_t* row = rows[fr] + c;
+      for (int fc = 0; fc < 3; ++fc) {
+        const std::int64_t product =
+            static_cast<std::int64_t>(filter9[fr * 3 + fc]) * row[fc];
+        a = clamp_i32(static_cast<std::int64_t>(a) + (product >> fb), acc_min,
+                      acc_max);
+      }
+    }
+    acc[c] = a;
+  }
+}
+
+}  // namespace
+
+bool fixed_layout_is_raw_then_format() noexcept {
+  static const bool ok = probe_fixed_layout();
+  return ok;
+}
+
+std::size_t table_lookup_fixed(Backend backend, const std::int16_t* table,
+                               fp::Format fmt, const fp::Fixed* in,
+                               fp::Fixed* out, std::size_t n) {
+  std::size_t done = 0;
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2 && fixed_layout_is_raw_then_format()) {
+    done = detail::table_lookup_fixed_avx2(
+        table, format_bits(fmt), fmt.min_raw(),
+        reinterpret_cast<const char*>(in), reinterpret_cast<char*>(out), n);
+  }
+#else
+  (void)backend;
+  (void)format_bits;
+#endif
+  return done + table_lookup_fixed_scalar(table, fmt, in + done, out + done,
+                                          n - done);
+}
+
+std::size_t table_lookup_raw(Backend backend, const std::int16_t* table,
+                             std::int64_t min_raw, std::int64_t max_raw,
+                             const std::int64_t* in, std::int64_t* out,
+                             std::size_t n) {
+  std::size_t done = 0;
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2) {
+    done = detail::table_lookup_raw_avx2(table, min_raw, max_raw, in, out, n);
+  }
+#else
+  (void)backend;
+#endif
+  return done + table_lookup_raw_scalar(table, min_raw, max_raw, in + done,
+                                        out + done, n - done);
+}
+
+void table_lookup_i32(Backend backend, const std::int16_t* table,
+                      const std::int32_t* in, std::int32_t* out,
+                      std::size_t n) {
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2) {
+    detail::table_lookup_i32_avx2(table, in, out, n);
+    return;
+  }
+#else
+  (void)backend;
+#endif
+  table_lookup_i32_scalar(table, in, out, n);
+}
+
+void qgemm_accumulate(Backend backend, const std::int16_t* packed,
+                      std::size_t tiles, std::size_t in_dim,
+                      const std::int32_t* x, std::int32_t* acc, int fb,
+                      std::int32_t acc_min, std::int32_t acc_max) {
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2) {
+    detail::qgemm_accumulate_avx2(packed, tiles, in_dim, x, acc, fb, acc_min,
+                                  acc_max);
+    return;
+  }
+#else
+  (void)backend;
+#endif
+  qgemm_accumulate_scalar(packed, tiles, in_dim, x, acc, fb, acc_min,
+                          acc_max);
+}
+
+void conv3x3_mac_row(Backend backend, const std::int32_t* row0,
+                     const std::int32_t* row1, const std::int32_t* row2,
+                     const std::int32_t* filter9, std::size_t out_cols,
+                     int fb, std::int32_t acc_min, std::int32_t acc_max,
+                     std::int32_t* acc) {
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2) {
+    detail::conv3x3_mac_row_avx2(row0, row1, row2, filter9, out_cols, fb,
+                                 acc_min, acc_max, acc);
+    return;
+  }
+#else
+  (void)backend;
+#endif
+  conv3x3_mac_row_scalar(row0, row1, row2, filter9, out_cols, fb, acc_min,
+                         acc_max, acc);
+}
+
+}  // namespace nacu::simd

@@ -1,0 +1,91 @@
+// Vectorizable kernels behind the Backend dispatch (simd/dispatch.hpp).
+//
+// Each kernel exists twice: a portable scalar loop (the reference, compiled
+// everywhere) and an AVX2 implementation in kernels_avx2.cpp (compiled with
+// -mavx2 into its own TU, absent under -DNACU_FORCE_SCALAR=ON). The entry
+// points here pick between them from the Backend argument — resolved once by
+// the caller, never per element — and both implementations are bit-identical
+// by contract, enforced by tests/test_simd_differential.cpp.
+//
+// All kernels work on *raw* fixed-point integers (or on fp::Fixed spans whose
+// raw/format layout a runtime probe has verified), because the datapath
+// semantics live entirely in the raws: a dense activation table is raw→raw,
+// and the MAC chain is clamp(acc + ((w*x) >> fb)) per step (see
+// core/nacu.cpp's Fixed::mac reduction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fixedpoint/fixed.hpp"
+#include "fixedpoint/format.hpp"
+#include "simd/dispatch.hpp"
+
+namespace nacu::simd {
+
+/// Whether fp::Fixed is laid out as [int64 raw][Format] with no padding —
+/// probed once at runtime. The AVX2 Fixed-span kernel depends on it; when the
+/// probe fails (exotic ABI), table_lookup_fixed silently stays scalar.
+[[nodiscard]] bool fixed_layout_is_raw_then_format() noexcept;
+
+/// Dense-table activation lookup over a span of fp::Fixed:
+///   out[i] = Fixed(table[in[i].raw() - fmt.min_raw()], fmt)
+/// for every in[i] whose format equals @p fmt. Stops at the first element
+/// with a different format and returns the number of elements processed
+/// (== n on full success) so the caller can raise its own diagnostic.
+/// `in` and `out` may alias exactly. Raws are trusted to be in range —
+/// guaranteed by the Fixed class invariant once the format matches.
+[[nodiscard]] std::size_t table_lookup_fixed(Backend backend,
+                                             const std::int16_t* table,
+                                             fp::Format fmt,
+                                             const fp::Fixed* in,
+                                             fp::Fixed* out, std::size_t n);
+
+/// Dense-table lookup over raw int64 values:
+///   out[i] = table[in[i] - min_raw]  for min_raw <= in[i] <= max_raw.
+/// Stops at the first out-of-range raw and returns the count processed.
+/// `in` and `out` may alias exactly.
+[[nodiscard]] std::size_t table_lookup_raw(Backend backend,
+                                           const std::int16_t* table,
+                                           std::int64_t min_raw,
+                                           std::int64_t max_raw,
+                                           const std::int64_t* in,
+                                           std::int64_t* out, std::size_t n);
+
+/// Unchecked dense-table lookup over int32 words already rebased to table
+/// indices: out[i] = table[in[i]]. Used inside fused paths (softmax exp pass)
+/// where the indices were produced by a clamping kernel and cannot be out of
+/// range. `in` and `out` may alias exactly.
+void table_lookup_i32(Backend backend, const std::int16_t* table,
+                      const std::int32_t* in, std::int32_t* out,
+                      std::size_t n);
+
+/// Fused quantized GEMV accumulation over tile-packed int16 weights
+/// (simd/qgemm.hpp packs them). For each output lane o of each 8-wide tile:
+///   for i in [0, in_dim):
+///     acc[o] = clamp(acc[o] + ((w[o][i] * x[i]) >> fb), acc_min, acc_max)
+/// with >> an arithmetic shift — exactly Fixed::mac's per-step truncate +
+/// saturate reduction when acc.fb == data.fb (PackedQGemm::formats_supported
+/// guarantees every intermediate fits an int32 lane). `acc` holds
+/// tiles*8 int32 accumulators (bias-preloaded by the caller).
+void qgemm_accumulate(Backend backend, const std::int16_t* packed,
+                      std::size_t tiles, std::size_t in_dim,
+                      const std::int32_t* x, std::int32_t* acc, int fb,
+                      std::int32_t acc_min, std::int32_t acc_max);
+
+/// Fused 3x3 convolution MAC across one output row (valid padding):
+///   for c in [0, out_cols):
+///     for fr in 0..2: for fc in 0..2:
+///       acc[c] = clamp(acc[c] + ((filter9[fr*3+fc] * rowfr[c+fc]) >> fb),
+///                      acc_min, acc_max)
+/// — the tap order (fr-major, fc-minor) matches nn/conv.cpp's scalar loop,
+/// so every per-step clamp lands identically. row0/row1/row2 point at the
+/// quantized image rows r, r+1, r+2; each must have out_cols + 2 readable
+/// elements. `acc` is pre-loaded (zero for conv) by the caller.
+void conv3x3_mac_row(Backend backend, const std::int32_t* row0,
+                     const std::int32_t* row1, const std::int32_t* row2,
+                     const std::int32_t* filter9, std::size_t out_cols,
+                     int fb, std::int32_t acc_min, std::int32_t acc_max,
+                     std::int32_t* acc);
+
+}  // namespace nacu::simd

@@ -1,0 +1,88 @@
+// Tile-packed int16 weight matrix for the fused quantized GEMV kernel.
+//
+// The scalar MAC chain acc = clamp(acc + ((w*x) >> fb)) saturates *per
+// step*, so the accumulation along the input dimension is a serial
+// dependency chain — it cannot be reassociated or widened without changing
+// bits. What CAN run in parallel are the independent chains of different
+// output neurons, so the kernel vectorizes across 8 outputs at a time:
+// weights are repacked once at construction into 8-row tiles, input-major
+// inside a tile (packed[(tile*in_dim + i)*8 + lane] = w[tile*8+lane][i]),
+// giving the kernel one contiguous 8x int16 load per (tile, i) step.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "fixedpoint/format.hpp"
+#include "simd/aligned.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+
+namespace nacu::simd {
+
+class PackedQGemm {
+ public:
+  /// Output rows per tile == int32 lanes in a 256-bit vector.
+  static constexpr std::size_t kTile = 8;
+
+  /// Whether the int32-lane kernel is exact for this (data, accumulator)
+  /// format pair: weights/inputs must fit int16 (|raw| <= 2^15), the
+  /// accumulator must share the data grid (so the per-step shift is exactly
+  /// fb with no re-quantisation), and |acc| <= 2^28 keeps every
+  /// intermediate acc + (w*x >> fb) inside int32. All the repo's NN
+  /// accumulator formats (Q12.11, Q10.11) qualify.
+  [[nodiscard]] static bool formats_supported(fp::Format data,
+                                              fp::Format acc) noexcept {
+    return data.width() <= 16 &&
+           acc.fractional_bits() == data.fractional_bits() &&
+           acc.integer_bits() + acc.fractional_bits() <= 28;
+  }
+
+  PackedQGemm() = default;
+
+  /// Pack an out_dim x in_dim weight matrix; @p raw_fn(o, i) must return
+  /// the int64 raw of weight [o][i] (already on the data grid). Rows past
+  /// out_dim inside the last tile are zero-padded — their lanes compute
+  /// garbage-free zeros that the caller never reads.
+  template <typename WeightRawFn>
+  PackedQGemm(std::size_t out_dim, std::size_t in_dim, WeightRawFn&& raw_fn)
+      : out_dim_{out_dim},
+        in_dim_{in_dim},
+        tiles_{(out_dim + kTile - 1) / kTile} {
+    packed_.assign(tiles_ * in_dim_ * kTile, 0);
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      const std::size_t tile = o / kTile;
+      const std::size_t lane = o % kTile;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        packed_[(tile * in_dim_ + i) * kTile + lane] =
+            static_cast<std::int16_t>(raw_fn(o, i));
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return packed_.empty(); }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return out_dim_; }
+  [[nodiscard]] std::size_t in_dim() const noexcept { return in_dim_; }
+  /// Accumulator slots the kernel writes: tiles * 8 >= out_dim.
+  [[nodiscard]] std::size_t padded_out() const noexcept {
+    return tiles_ * kTile;
+  }
+
+  /// acc[0..padded_out) += W x with per-step truncate+saturate, exactly the
+  /// Fixed::mac chain in input-index order. @p x holds in_dim input raws,
+  /// @p acc is preloaded (bias) and clamped to [acc_min, acc_max] already.
+  void accumulate(Backend backend, const std::int32_t* x, std::int32_t* acc,
+                  int fb, std::int32_t acc_min, std::int32_t acc_max) const {
+    qgemm_accumulate(backend, packed_.data(), tiles_, in_dim_, x, acc, fb,
+                     acc_min, acc_max);
+  }
+
+ private:
+  std::size_t out_dim_ = 0;
+  std::size_t in_dim_ = 0;
+  std::size_t tiles_ = 0;
+  AlignedVector<std::int16_t> packed_;
+};
+
+}  // namespace nacu::simd
