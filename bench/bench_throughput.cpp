@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "core/nacu.hpp"
 #include "hwmodel/nacu_rtl.hpp"
 #include "hwmodel/softmax_engine.hpp"
+#include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
 
 namespace {
@@ -207,6 +209,24 @@ BENCHMARK(BM_RtlExpPipelined);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --metrics: enable the observability registry for the run and dump it
+  // as JSON at the end. Stripped before benchmark::Initialize sees argv.
+  bool metrics = false;
+  {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view{argv[i]} == "--metrics") {
+        metrics = true;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
+  if (metrics) {
+    obs::set_metrics_enabled(true);
+  }
+
   std::printf("=== Simulated hardware timing (28 nm, 3.75 ns clock) ===\n");
   std::printf("  sigmoid latency: 3 cycles = 11.25 ns\n");
   std::printf("  tanh    latency: 3 cycles = 11.25 ns\n");
@@ -396,5 +416,9 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  if (metrics) {
+    std::printf("\n--- metrics ---\n%s", obs::registry().to_json().c_str());
+  }
   return 0;
 }

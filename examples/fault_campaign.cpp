@@ -2,7 +2,7 @@
 // state surfaces and watch the invariant detectors and recovery policies
 // deal with them.
 //
-//   ./fault_campaign [trials] [seed]
+//   ./fault_campaign [trials] [seed] [--metrics]
 //
 // Runs [trials] randomized single-bit injections (default 10000) over the
 // σ-LUT coefficients, the S1–S3 pipeline registers and the dense activation
@@ -10,16 +10,36 @@
 // masked / detected / silent-corruption breakdown per surface and which
 // invariant caught what. Deterministic for a given seed regardless of how
 // many threads the campaign fans out on.
+//
+// With --metrics the observability registry is enabled for the run and its
+// JSON dump (campaign tallies, thread-pool and batch-engine counters) is
+// printed at the end.
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "fault/campaign.hpp"
+#include "obs/metrics.hpp"
 
 int main(int argc, char** argv) {
+  bool metrics = false;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (metrics) {
+    nacu::obs::set_metrics_enabled(true);
+  }
   nacu::fault::CampaignConfig config;
-  config.trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
-  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  config.trials =
+      !args.empty() ? std::strtoull(args[0], nullptr, 10) : 10000;
+  config.seed = args.size() > 1 ? std::strtoull(args[1], nullptr, 10) : 1;
 
   const nacu::fault::CampaignRunner runner{config};
   std::cout << "datapath Q" << config.unit.format.integer_bits() << "."
@@ -39,5 +59,9 @@ int main(int argc, char** argv) {
             << " word " << t.fault.word << " bit " << t.fault.bit << " -> "
             << nacu::fault::outcome_name(t.outcome)
             << " (detectors: " << t.detection.to_string() << ")\n";
+
+  if (metrics) {
+    std::cout << "\n--- metrics ---\n" << nacu::obs::registry().to_json();
+  }
   return 0;
 }

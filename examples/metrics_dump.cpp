@@ -1,0 +1,87 @@
+// Observability quickstart: run one of each instrumented workload with the
+// metrics registry enabled, then dump every counter, gauge, and latency
+// histogram as JSON.
+//
+//   ./metrics_dump
+//   NACU_TRACE=trace.json ./metrics_dump   # also writes Chrome trace spans
+//
+// The dump shows the layer end to end: batch-engine table builds and
+// path/backend tallies, thread-pool batch accounting, softmax-engine phase
+// cycles, fault-campaign detection tallies, and per-layer nn timings. Load
+// the NACU_TRACE file in chrome://tracing or https://ui.perfetto.dev to see
+// the same run as a timeline.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "fault/campaign.hpp"
+#include "hwmodel/softmax_engine.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+int main() {
+  using namespace nacu;
+  obs::set_metrics_enabled(true);
+
+  const core::NacuConfig config = core::config_for_bits(16);
+
+  // 1. Batched activations: big enough to build the dense tables and to
+  //    fan out across the thread pool.
+  {
+    const core::BatchNacu batch{config};
+    std::vector<fp::Fixed> xs;
+    xs.reserve(1 << 15);
+    for (std::size_t i = 0; i < (std::size_t{1} << 15); ++i) {
+      xs.push_back(fp::Fixed::from_double(
+          -6.0 + 12.0 * static_cast<double>(i) / (1 << 15), config.format));
+    }
+    std::vector<fp::Fixed> out = xs;
+    batch.evaluate(core::BatchNacu::Function::Sigmoid, xs, out);
+    batch.evaluate(core::BatchNacu::Function::Tanh, xs, out);
+    (void)batch.softmax(std::vector<fp::Fixed>(
+        xs.begin(), xs.begin() + 16));
+  }
+
+  // 2. Cycle-accurate softmax: phase counters mirror Result fields.
+  {
+    hw::SoftmaxEngine engine{config};
+    std::vector<std::int64_t> logits;
+    for (int i = 0; i < 10; ++i) {
+      logits.push_back(
+          fp::Fixed::from_double(0.25 * i - 1.0, config.format).raw());
+    }
+    (void)engine.run(logits);
+  }
+
+  // 3. A small MLP inference pass: per-layer timings.
+  {
+    const nn::Dataset data = nn::make_blobs(30, 3);
+    nn::MlpConfig mlp_config;
+    mlp_config.layer_sizes = {2, 8, 3};
+    mlp_config.epochs = 5;
+    nn::Mlp mlp{mlp_config};
+    mlp.train(data);
+    const nn::QuantizedMlp q{mlp, config};
+    (void)q.accuracy(data);
+  }
+
+  // 4. A short fault campaign: detection/recovery tallies.
+  {
+    fault::CampaignConfig campaign;
+    campaign.trials = 200;
+    campaign.seed = 1;
+    const fault::CampaignRunner runner{campaign};
+    (void)runner.run();
+  }
+
+  std::cout << obs::registry().to_json();
+  if (obs::trace_enabled()) {
+    std::cerr << "trace: " << obs::trace_event_count()
+              << " spans buffered (written at exit)\n";
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+                     [--ignore FRAGMENT ...]
 
 Records (written by bench/bench_json.hpp) are flat maps. Two records match
 when every string-valued field (op, format, backend, ...) is equal; their
@@ -12,6 +13,11 @@ accuracy) must not drop, latency-like metrics (ns_per_elem) must not rise.
 A relative change past the threshold (default 10%) in the bad direction is
 a regression and the exit code is 1; new/vanished records are reported but
 are not failures (benches grow over time).
+
+--ignore skips metrics whose name contains the given fragment (repeatable).
+CI uses it to compare committed baselines across machines: deterministic
+metrics (coverage, accuracy) hold to a tight threshold while machine-speed
+metrics (elems_per_s, trials_per_s) are ignored or held loosely.
 
 Stdlib only — no pip dependencies.
 """
@@ -62,6 +68,13 @@ def main():
         default=0.10,
         help="relative regression threshold (default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="skip metrics whose name contains FRAGMENT (repeatable)",
+    )
     args = parser.parse_args()
 
     base_schema, base_records = load_records(args.baseline)
@@ -85,6 +98,8 @@ def main():
             continue
         base_metrics = metrics(base)
         for name, base_value in sorted(base_metrics.items()):
+            if any(fragment in name for fragment in args.ignore):
+                continue
             cand_value = cand.get(name)
             if not isinstance(cand_value, (int, float)) or base_value == 0:
                 continue

@@ -2,9 +2,38 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/kernels.hpp"
 
 namespace nacu::core {
+
+namespace {
+
+/// Batch/element tallies by serving path, plus the backend pick — the
+/// datapath decisions that were invisible before the obs layer. Sites
+/// cache the registry references once; each add() is a relaxed load when
+/// metrics are off.
+void count_batch(std::size_t n, bool table, simd::Backend backend) {
+  static obs::Counter& table_batches =
+      obs::counter("core.batch_nacu.table_batches");
+  static obs::Counter& table_elems =
+      obs::counter("core.batch_nacu.table_elems");
+  static obs::Counter& scalar_batches =
+      obs::counter("core.batch_nacu.scalar_fallback_batches");
+  static obs::Counter& scalar_elems =
+      obs::counter("core.batch_nacu.scalar_fallback_elems");
+  static obs::Counter& avx2_batches =
+      obs::counter("core.batch_nacu.backend_avx2_batches");
+  static obs::Counter& scalar_backend_batches =
+      obs::counter("core.batch_nacu.backend_scalar_batches");
+  (table ? table_batches : scalar_batches).add();
+  (table ? table_elems : scalar_elems).add(n);
+  (backend == simd::Backend::Avx2 ? avx2_batches : scalar_backend_batches)
+      .add();
+}
+
+}  // namespace
 
 BatchNacu::BatchNacu(const NacuConfig& config)
     : BatchNacu{config, Options{}} {}
@@ -91,6 +120,12 @@ const std::vector<std::int16_t>* BatchNacu::table_for(
     // is bit-identical to per-call evaluation by construction. Serial on
     // purpose: a nested parallel build could deadlock a caller already
     // running inside the pool, and the sweep is a few milliseconds.
+    static obs::Counter& builds = obs::counter("core.batch_nacu.table_builds");
+    static obs::Histogram& build_ns =
+        obs::histogram("core.batch_nacu.table_build_ns");
+    builds.add();
+    const obs::ScopedTimer timer{build_ns};
+    const obs::TraceSpan span{"BatchNacu::table_build"};
     const fp::Format fmt = unit_.format();
     const std::int64_t min_raw = fmt.min_raw();
     const auto entries =
@@ -132,6 +167,7 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
   const simd::Backend backend = simd::resolve(options_.backend);
+  count_batch(n, table != nullptr, backend);
   for_range(n, [&](std::size_t begin, std::size_t end) {
     if (table != nullptr) {
       if (port == nullptr) {
@@ -201,6 +237,7 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
   const simd::Backend backend = simd::resolve(options_.backend);
+  count_batch(n, table != nullptr, backend);
   const std::int64_t min_raw = fmt.min_raw();
   const std::int64_t max_raw = fmt.max_raw();
   for_range(n, [&](std::size_t begin, std::size_t end) {
@@ -240,6 +277,11 @@ std::vector<fp::Fixed> BatchNacu::softmax(
   if (inputs.empty()) {
     return {};
   }
+  static obs::Counter& fused_count =
+      obs::counter("core.batch_nacu.softmax_fused");
+  static obs::Counter& fixed_count =
+      obs::counter("core.batch_nacu.softmax_fixed");
+  const obs::TraceSpan span{"BatchNacu::softmax"};
   const fp::Format fmt = unit_.format();
   const std::size_t n = inputs.size();
   // Fused raw-domain path: needs the dense exp table, no armed fault port
@@ -259,10 +301,12 @@ std::vector<fp::Fixed> BatchNacu::softmax(
         }
       }
       if (uniform) {
+        fused_count.add();
         return softmax_fused(inputs, *exp_table);
       }
     }
   }
+  fixed_count.add();
   // Max-scan (Eq. 13), same comparator as core::Nacu::softmax.
   fp::Fixed x_max = inputs[0];
   for (const fp::Fixed& x : inputs) {

@@ -5,6 +5,9 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nacu::core {
 
 namespace {
@@ -70,6 +73,20 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) {
     return;
   }
+  // Per-batch accounting: task count, queue-depth high-water (sampled at
+  // the deepest point, right after this batch enqueues), and wall time
+  // from enqueue to the last completion.
+  static obs::Counter& batches = obs::counter("core.thread_pool.batches");
+  static obs::Counter& tasks_executed =
+      obs::counter("core.thread_pool.tasks_executed");
+  static obs::Gauge& queue_high_water =
+      obs::gauge("core.thread_pool.queue_depth_high_water");
+  static obs::Histogram& batch_ns =
+      obs::histogram("core.thread_pool.batch_ns");
+  batches.add();
+  tasks_executed.add(tasks.size());
+  const obs::ScopedTimer timer{batch_ns};
+  const obs::TraceSpan span{"ThreadPool::run"};
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
   {
@@ -91,6 +108,7 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
         }
       });
     }
+    queue_high_water.record_max(static_cast<std::int64_t>(queue_.size()));
   }
   work_ready_.notify_all();
   // The caller drains queued tasks too (its own batch's or another's), so

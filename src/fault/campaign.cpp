@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nacu::fault {
 
 namespace {
@@ -507,6 +510,10 @@ TrialResult CampaignRunner::run_trial(std::uint64_t index) const {
 }
 
 CampaignReport CampaignRunner::run() const {
+  const obs::TraceSpan span{"CampaignRunner::run"};
+  static obs::Histogram& campaign_ns =
+      obs::histogram("fault.campaign.run_ns");
+  const obs::ScopedTimer timer{campaign_ns};
   CampaignReport report;
   report.trials = config_.trials;
   report.results.resize(config_.trials);
@@ -533,6 +540,21 @@ CampaignReport CampaignRunner::run() const {
       }
     }
   }
+  // Detection/recovery tallies, cumulative across campaigns — the same
+  // numbers summary() prints, exported for registry().to_json() scraping.
+  static obs::Counter& trials = obs::counter("fault.campaign.trials");
+  static obs::Counter& corrupted = obs::counter("fault.campaign.corrupted");
+  static obs::Counter& detected = obs::counter("fault.campaign.detected");
+  static obs::Counter& recovered = obs::counter("fault.campaign.recovered");
+  static obs::Counter& sdc =
+      obs::counter("fault.campaign.silent_corruptions");
+  trials.add(report.trials);
+  corrupted.add(report.corrupted_trials());
+  detected.add(report.detected_corrupted());
+  recovered.add(report.by_outcome[static_cast<std::size_t>(
+      Outcome::DetectedCorrected)]);
+  sdc.add(report.by_outcome[static_cast<std::size_t>(
+      Outcome::SilentCorruption)]);
   return report;
 }
 

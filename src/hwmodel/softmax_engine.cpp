@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "hwmodel/divider.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nacu::hw {
+
+namespace {
+
+/// Exports the three phase cycle counters the engine already computes —
+/// the measured counterpart to the streaming-softmax accounting in the
+/// fixed-point exp literature (see DESIGN.md §3e).
+void export_phase_counters(const SoftmaxEngine::Result& result) {
+  static obs::Counter& runs = obs::counter("hw.softmax_engine.runs");
+  static obs::Counter& elems = obs::counter("hw.softmax_engine.elems");
+  static obs::Counter& max_cycles =
+      obs::counter("hw.softmax_engine.max_phase_cycles");
+  static obs::Counter& exp_cycles =
+      obs::counter("hw.softmax_engine.exp_phase_cycles");
+  static obs::Counter& divide_cycles =
+      obs::counter("hw.softmax_engine.divide_phase_cycles");
+  runs.add();
+  elems.add(result.probs_raw.size());
+  max_cycles.add(result.max_phase_cycles);
+  exp_cycles.add(result.exp_phase_cycles);
+  divide_cycles.add(result.divide_phase_cycles);
+}
+
+}  // namespace
 
 SoftmaxEngine::SoftmaxEngine(const core::NacuConfig& config)
     : config_{config}, rtl_{config}, batch_{config} {}
@@ -20,6 +45,7 @@ SoftmaxEngine::Result SoftmaxEngine::run(
   if (logits_raw.empty()) {
     return result;
   }
+  const obs::TraceSpan span{"SoftmaxEngine::run"};
   const fp::Format fmt = config_.format;
   const std::size_t n = logits_raw.size();
 
@@ -92,6 +118,7 @@ SoftmaxEngine::Result SoftmaxEngine::run(
     }
     result.cycles = result.max_phase_cycles + result.exp_phase_cycles +
                     result.divide_phase_cycles;
+    export_phase_counters(result);
     return result;
   }
 
@@ -121,6 +148,7 @@ SoftmaxEngine::Result SoftmaxEngine::run(
   }
   result.cycles = result.max_phase_cycles + result.exp_phase_cycles +
                   result.divide_phase_cycles;
+  export_phase_counters(result);
   return result;
 }
 

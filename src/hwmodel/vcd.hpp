@@ -37,10 +37,15 @@ class VcdWriter {
     int width;
     std::string id;        ///< VCD short identifier
     std::uint64_t value = 0;
-    std::uint64_t last_emitted = ~std::uint64_t{0};
+    std::uint64_t last_emitted = 0;
+    // The "never emitted" state needs its own flag: a sentinel raw value
+    // collides with a real 64-bit all-ones initial value and would
+    // suppress its time-0 dump.
+    bool emitted = false;
   };
 
   void write_header();
+  void write_value(const Signal& signal);
   static std::string identifier_for(int index);
 
   std::ostream& out_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nn/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/kernels.hpp"
 #include "simd/qgemm.hpp"
@@ -149,6 +151,11 @@ std::vector<double> ConvFeatures::extract_fixed(
 
 std::vector<double> ConvFeatures::extract_fixed(
     const MatrixD& image, const core::BatchNacu& unit) const {
+  const obs::TraceSpan span{"ConvFeatures::extract_fixed"};
+  static obs::Counter& extracts = obs::counter("nn.conv.extracts");
+  static obs::Histogram& extract_ns = obs::histogram("nn.conv.extract_ns");
+  const obs::ScopedTimer timer{extract_ns};
+  extracts.add();
   const fp::Format fmt = unit.format();
   const fp::Format acc_fmt{fmt.integer_bits() + 6, fmt.fractional_bits()};
   const bool fused =

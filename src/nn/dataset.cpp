@@ -59,20 +59,29 @@ Split train_test_split(const Dataset& dataset, double train_fraction,
   if (train_fraction <= 0.0 || train_fraction >= 1.0) {
     throw std::invalid_argument("train_fraction must be in (0, 1)");
   }
+  if (dataset.size() < 2) {
+    throw std::invalid_argument(
+        "train_test_split needs at least 2 samples");
+  }
   std::vector<std::size_t> order(dataset.size());
   std::iota(order.begin(), order.end(), 0);
   Rng rng{seed};
   for (std::size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[rng.below(i)]);
   }
-  const auto n_train =
-      static_cast<std::size_t>(train_fraction * dataset.size());
+  // Clamp so neither partition is empty: 3 samples at 0.1 used to yield
+  // an empty train set (and accuracy() divides by size()).
+  const auto n_train = std::clamp<std::size_t>(
+      static_cast<std::size_t>(train_fraction * dataset.size()), 1,
+      dataset.size() - 1);
   Split split;
   for (Dataset* part : {&split.train, &split.test}) {
     part->classes = dataset.classes;
   }
   split.train.inputs = MatrixD{n_train, dataset.inputs.cols()};
   split.test.inputs = MatrixD{dataset.size() - n_train, dataset.inputs.cols()};
+  split.train.labels.reserve(n_train);
+  split.test.labels.reserve(dataset.size() - n_train);
   for (std::size_t i = 0; i < order.size(); ++i) {
     Dataset& part = i < n_train ? split.train : split.test;
     const std::size_t row = i < n_train ? i : i - n_train;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nacu::nn {
 
@@ -189,6 +191,11 @@ std::vector<fp::Fixed> LstmFixed::gate_preactivations(
 
 LstmFixed::State LstmFixed::step(const State& state,
                                  const std::vector<double>& x) const {
+  const obs::TraceSpan span{"LstmFixed::step"};
+  static obs::Counter& steps = obs::counter("nn.lstm.steps");
+  static obs::Histogram& step_ns = obs::histogram("nn.lstm.step_ns");
+  const obs::ScopedTimer timer{step_ns};
+  steps.add();
   const std::size_t h = weights_.hidden;
   std::vector<fp::Fixed> xq;
   xq.reserve(x.size());

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace nacu::nn {
 
 QuantizedMlp::QuantizedMlp(const Mlp& reference,
@@ -55,6 +58,12 @@ QuantizedMlp::QuantizedMlp(const Mlp& reference,
 std::vector<fp::Fixed> QuantizedMlp::dense_forward(
     std::size_t layer, const std::vector<fp::Fixed>& input,
     bool apply_activation) const {
+  const obs::TraceSpan span{"QuantizedMlp::dense_forward"};
+  static obs::Counter& layers_run = obs::counter("nn.mlp.layers_run");
+  static obs::Counter& fused_layers = obs::counter("nn.mlp.fused_layers");
+  static obs::Histogram& layer_ns = obs::histogram("nn.mlp.layer_ns");
+  const obs::ScopedTimer timer{layer_ns};
+  layers_run.add();
   const auto& w = weights_raw_[layer];
   const auto& b = biases_raw_[layer];
   std::vector<fp::Fixed> out;
@@ -75,6 +84,7 @@ std::vector<fp::Fixed> QuantizedMlp::dense_forward(
     }
   }
   if (fused) {
+    fused_layers.add();
     const simd::PackedQGemm& pg = packed_[layer];
     std::vector<std::int32_t> x(input.size());
     for (std::size_t i = 0; i < input.size(); ++i) {

@@ -42,8 +42,25 @@ class Rng {
            std::cos(2.0 * std::numbers::pi * u2);
   }
 
-  /// Uniform integer in [0, n).
-  std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+  /// Uniform integer in [0, n); returns 0 when n == 0 (the old
+  /// `next() % n` was UB there). Lemire multiply-shift with rejection:
+  /// exactly uniform, no modulo bias, and one draw in the common case.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    if (n == 0) {
+      return 0;
+    }
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      // 2^64 mod n, computed without 128-bit division.
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(next()) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
  private:
   std::uint64_t state_;

@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace nacu::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* category;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// One recording thread's buffer. The owning thread pushes; write/count/
+/// reset read from other threads, so the vector is mutex-guarded. The
+/// global registry keeps a shared_ptr so buffers survive thread exit.
+struct Buffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+struct Global {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;  ///< guards buffers and exit_path
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  std::string exit_path;
+  std::uint32_t next_tid = 1;
+};
+
+Global& global() {
+  static Global* g = new Global;  // leaked: thread_local buffers may flush
+                                  // during late static destruction
+  return *g;
+}
+
+Buffer& local_buffer() {
+  thread_local std::shared_ptr<Buffer> buffer = [] {
+    auto b = std::make_shared<Buffer>();
+    Global& g = global();
+    const std::lock_guard<std::mutex> lock{g.mutex};
+    b->tid = g.next_tid++;
+    g.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void write_exit_trace() {
+  std::string path;
+  {
+    Global& g = global();
+    const std::lock_guard<std::mutex> lock{g.mutex};
+    path = g.exit_path;
+  }
+  if (!path.empty()) {
+    (void)write_trace(path);
+  }
+}
+
+/// NACU_TRACE=<path> turns tracing on before main() and writes the file at
+/// exit, so any binary linking obs is traceable with zero code changes.
+const bool g_env_init = [] {
+  const char* env = std::getenv("NACU_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    enable_trace(env);
+  }
+  return true;
+}();
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return global().enabled.load(std::memory_order_relaxed);
+}
+
+void enable_trace(std::string exit_path) {
+  Global& g = global();
+  {
+    const std::lock_guard<std::mutex> lock{g.mutex};
+    if (!exit_path.empty() && g.exit_path.empty()) {
+      std::atexit(write_exit_trace);
+    }
+    if (!exit_path.empty()) {
+      g.exit_path = std::move(exit_path);
+    }
+  }
+  g.enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_trace() noexcept {
+  global().enabled.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSpan::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceSpan::commit() noexcept {
+  const std::uint64_t end_ns = now_ns();
+  Buffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock{buffer.mutex};
+  buffer.events.push_back(Event{name_, category_, start_ns_,
+                                end_ns > start_ns_ ? end_ns - start_ns_ : 0});
+}
+
+std::size_t trace_event_count() {
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock{g.mutex};
+  std::size_t n = 0;
+  for (const auto& buffer : g.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock{buffer->mutex};
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void reset_trace() {
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock{g.mutex};
+  for (const auto& buffer : g.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock{buffer->mutex};
+    buffer->events.clear();
+  }
+}
+
+bool write_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  // Rebase timestamps to the earliest span so the viewer opens at t=0.
+  // Chrome's "ts"/"dur" are microseconds; fractional µs keeps ns precision.
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock{g.mutex};
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const auto& buffer : g.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock{buffer->mutex};
+    for (const Event& e : buffer->events) {
+      t0 = e.start_ns < t0 ? e.start_ns : t0;
+    }
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  for (const auto& buffer : g.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock{buffer->mutex};
+    for (const Event& e : buffer->events) {
+      std::fprintf(
+          f,
+          "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+          first ? "" : ",\n", e.name, e.category, buffer->tid,
+          static_cast<double>(e.start_ns - t0) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace nacu::obs

@@ -1,0 +1,77 @@
+// Scoped trace spans with Chrome trace-event JSON export.
+//
+// A TraceSpan brackets one region of work (a table build, a thread-pool
+// batch, a softmax engine run). When tracing is enabled every span records
+// a complete event — name, category, thread, start, duration — into a
+// per-thread buffer; write_trace() merges the buffers into the Chrome
+// trace-event format (the JSON Array Format wrapped in {"traceEvents":
+// [...]}), which chrome://tracing and https://ui.perfetto.dev load
+// directly.
+//
+// Tracing is off by default and costs one relaxed atomic load per span.
+// Enable it either programmatically (enable_trace) or by setting
+// `NACU_TRACE=out.json` in the environment — the env path is written
+// automatically at process exit, so any instrumented binary can be traced
+// without a code change:
+//
+//   NACU_TRACE=run.json ./bench_throughput --benchmark_filter=NONE
+//
+// Span names must be string literals (or otherwise outlive the process):
+// the buffers store the pointers, not copies, to keep the record path at a
+// clock read plus a vector push.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nacu::obs {
+
+/// Whether spans currently record — one relaxed load.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Start recording spans. @p exit_path, when non-empty, is written by an
+/// atexit handler (the NACU_TRACE env var routes through this).
+void enable_trace(std::string exit_path = {});
+
+/// Stop recording. Buffered events are kept until reset_trace().
+void disable_trace() noexcept;
+
+/// Merge every thread's buffer and write Chrome trace-event JSON.
+/// Returns false on I/O error.
+[[nodiscard]] bool write_trace(const std::string& path);
+
+/// Number of completed spans currently buffered (all threads).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Drop all buffered events (tests; between traced sections).
+void reset_trace();
+
+class TraceSpan {
+ public:
+  /// @p name and @p category must outlive the process (string literals).
+  explicit TraceSpan(const char* name,
+                     const char* category = "nacu") noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      category_ = category;
+      start_ns_ = now_ns();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      commit();
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+  void commit() noexcept;
+
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace nacu::obs

@@ -83,6 +83,70 @@ TEST(Rng, GaussianMomentsSane) {
   EXPECT_NEAR(sq / n, 1.0, 0.05);
 }
 
+TEST(Rng, BelowZeroIsSafe) {
+  // `next() % 0` was division by zero (UB); the guard pins 0.
+  Rng rng{1};
+  EXPECT_EQ(rng.below(0), 0u);
+  // The guard consumes no draw: the stream continues as if the call
+  // never happened.
+  Rng fresh{1};
+  (void)rng.below(0);
+  EXPECT_EQ(rng.next(), fresh.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  for (const std::uint64_t n : {1ull, 2ull, 1ull << 33, ~0ull}) {
+    EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowSequenceIsPinned) {
+  // The Lemire rejection sampler is deterministic; these values are the
+  // contract every dataset shuffle and weight draw depends on. If this
+  // test breaks, retrained-model accuracy thresholds may shift too.
+  Rng a{42};
+  const std::uint64_t expect10[] = {7, 1, 2, 3, 0, 8, 2, 8};
+  for (const std::uint64_t e : expect10) {
+    EXPECT_EQ(a.below(10), e);
+  }
+  Rng b{7};
+  const std::uint64_t expect1000[] = {389, 16, 900, 582, 452, 249, 467, 328};
+  for (const std::uint64_t e : expect1000) {
+    EXPECT_EQ(b.below(1000), e);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  // n = 6 over 60k draws: each bucket expects 10000; the old modulo
+  // method is fine at this n, but the chi-square bound also catches a
+  // broken rejection loop.
+  Rng rng{2024};
+  constexpr int kBuckets = 6;
+  constexpr int kDraws = 60000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 20.5);  // chi-square_{0.999, df=5} = 20.52
+}
+
 TEST(Dataset, BlobsShapeAndLabels) {
   const Dataset d = make_blobs(50, 3);
   EXPECT_EQ(d.size(), 150u);
@@ -116,6 +180,38 @@ TEST(Dataset, SplitRejectsBadFraction) {
   const Dataset d = make_blobs(10, 2);
   EXPECT_THROW(train_test_split(d, 0.0), std::invalid_argument);
   EXPECT_THROW(train_test_split(d, 1.0), std::invalid_argument);
+}
+
+TEST(Dataset, SplitNeverReturnsEmptyPartition) {
+  // 3 samples at 0.1 used to floor to n_train == 0 (empty train set —
+  // accuracy() then divides by zero); 0.9 gives the mirror case where
+  // the clamp must leave one test sample.
+  const Dataset d = make_blobs(1, 3);  // 3 samples total
+  ASSERT_EQ(d.size(), 3u);
+  for (const double fraction : {0.1, 0.9}) {
+    const Split split = train_test_split(d, fraction);
+    EXPECT_GE(split.train.size(), 1u) << "fraction " << fraction;
+    EXPECT_GE(split.test.size(), 1u) << "fraction " << fraction;
+    EXPECT_EQ(split.train.size() + split.test.size(), d.size());
+    EXPECT_EQ(split.train.labels.size(), split.train.inputs.rows());
+    EXPECT_EQ(split.test.labels.size(), split.test.inputs.rows());
+  }
+}
+
+TEST(Dataset, SplitRejectsTooFewSamples) {
+  const Dataset one = make_blobs(1, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_THROW(train_test_split(one, 0.5), std::invalid_argument);
+}
+
+TEST(Dataset, SplitIsDeterministicForFixedSeed) {
+  const Dataset d = make_blobs(20, 2);
+  const Split a = train_test_split(d, 0.75, 11);
+  const Split b = train_test_split(d, 0.75, 11);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_EQ(a.test.labels, b.test.labels);
+  EXPECT_EQ(a.train.inputs.data(), b.train.inputs.data());
 }
 
 TEST(SoftmaxRef, SumsToOneAndOrdersLikeInputs) {

@@ -69,6 +69,91 @@ TEST(SoftmaxEngine, CycleCountMatchesPipelineStructure) {
   }
 }
 
+TEST(SoftmaxEngine, PhaseCyclesSumToTotal) {
+  // Result.cycles is defined as the sum of the three phase counters, in
+  // both divider configurations.
+  for (const bool approx : {false, true}) {
+    core::NacuConfig config = kConfig;
+    config.approximate_reciprocal = approx;
+    SoftmaxEngine engine{config};
+    for (const std::size_t n : {2u, 6u, 17u}) {
+      std::vector<double> values;
+      for (std::size_t i = 0; i < n; ++i) {
+        values.push_back(0.2 * static_cast<double>(i) - 1.0);
+      }
+      const auto result = engine.run(raw_logits(values));
+      EXPECT_EQ(result.cycles, result.max_phase_cycles +
+                                   result.exp_phase_cycles +
+                                   result.divide_phase_cycles)
+          << "approx " << approx << " n " << n;
+    }
+  }
+}
+
+TEST(SoftmaxEngine, ApproximateModeFollowsBurstIssueSchedule) {
+  // §VIII sequencer: each exp's reciprocal re-enters S1 three slots after
+  // issue, so issues come in bursts of three with three-cycle gaps —
+  // slot k is free iff k % 6 < 3. The k-th issue (0-based) thus lands on
+  // step 6·⌊k/3⌋ + (k mod 3) and the exp phase drains 7 cycles after the
+  // last issue. Phase 3 is one 3-cycle reciprocal pass of the shared
+  // denominator plus one MAC multiply per element.
+  core::NacuConfig config = kConfig;
+  config.approximate_reciprocal = true;
+  SoftmaxEngine engine{config};
+  struct Expected {
+    std::size_t n;
+    std::uint64_t exp_cycles;   // hand-computed: last issue step + 7
+    std::uint64_t div_cycles;   // 3 + n
+  };
+  // Hand computation of the last issue step s = 6·⌊(n−1)/3⌋ + (n−1)%3:
+  //   n=2 → s=1,  exp=8;   n=3 → s=2,  exp=9;   n=4 → s=6,  exp=13;
+  //   n=5 → s=7,  exp=14;  n=7 → s=12, exp=19;  n=10 → s=18, exp=25;
+  //   n=32 → s=61, exp=68.
+  const Expected cases[] = {
+      {2, 8, 5},   {3, 9, 6},   {4, 13, 7},  {5, 14, 8},
+      {7, 19, 10}, {10, 25, 13}, {32, 68, 35},
+  };
+  for (const Expected& c : cases) {
+    std::vector<double> values;
+    for (std::size_t i = 0; i < c.n; ++i) {
+      values.push_back(0.1 * static_cast<double>(i));
+    }
+    const auto result = engine.run(raw_logits(values));
+    EXPECT_EQ(result.max_phase_cycles, c.n) << c.n;
+    EXPECT_EQ(result.exp_phase_cycles, c.exp_cycles) << c.n;
+    EXPECT_EQ(result.divide_phase_cycles, c.div_cycles) << c.n;
+    EXPECT_EQ(result.cycles, c.n + c.exp_cycles + c.div_cycles) << c.n;
+  }
+}
+
+TEST(SoftmaxEngine, ApproximateModeBitExactWithFunctionalSoftmax) {
+  // The burst sequencer changes timing only — values still match the
+  // functional softmax bit-for-bit in the approximate-reciprocal config.
+  core::NacuConfig config = kConfig;
+  config.approximate_reciprocal = true;
+  SoftmaxEngine engine{config};
+  const core::Nacu functional{config};
+  nn::Rng rng{31};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(12);
+    std::vector<fp::Fixed> xs;
+    std::vector<std::int64_t> raws;
+    for (std::size_t i = 0; i < n; ++i) {
+      const fp::Fixed x =
+          fp::Fixed::from_double(rng.uniform(-6.0, 6.0), config.format);
+      xs.push_back(x);
+      raws.push_back(x.raw());
+    }
+    const auto expected = functional.softmax(xs);
+    const auto result = engine.run(raws);
+    ASSERT_EQ(result.probs_raw.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(result.probs_raw[i], expected[i].raw())
+          << "trial " << trial << " element " << i;
+    }
+  }
+}
+
 TEST(SoftmaxEngine, ThroughputAmortisesPipelineFill) {
   // Cycles per element falls toward 3 as N grows (1 max + 1 exp + 1 div).
   SoftmaxEngine engine{kConfig};

@@ -68,6 +68,44 @@ TEST(Vcd, OnlyChangesAreEmitted) {
   EXPECT_NE(text.find("#2"), std::string::npos);
 }
 
+TEST(Vcd, InitialAllOnes64BitValueIsDumpedAtTimeZero) {
+  // Regression: the old writer used last_emitted = ~0 as a "never
+  // emitted" sentinel, so a 64-wide signal whose initial value was
+  // all-ones compared equal and was silently dropped from the time-0
+  // dump. Viewers then showed 'x' until the first change.
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  const int wide = vcd.add_signal("wide", 64);
+  vcd.set(wide, ~std::uint64_t{0});
+  vcd.step();
+  const std::string text = os.str();
+  const std::string all_ones = "b" + std::string(64, '1') + " !";
+  EXPECT_NE(text.find(all_ones), std::string::npos);
+  // The initial dump is wrapped in a $dumpvars ... $end block and the
+  // value sits inside it.
+  const std::size_t dumpvars = text.find("$dumpvars");
+  ASSERT_NE(dumpvars, std::string::npos);
+  const std::size_t end = text.find("$end", dumpvars);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_GT(text.find(all_ones), dumpvars);
+  EXPECT_LT(text.find(all_ones), end);
+  // Unchanged at the next step: emitted exactly once in total.
+  vcd.step();
+  const std::string text2 = os.str();
+  EXPECT_EQ(text2.find(all_ones), text2.rfind(all_ones));
+}
+
+TEST(Vcd, InitialZeroValueIsDumpedAtTimeZero) {
+  // A zero-valued signal must also appear in the $dumpvars block even
+  // though nothing was ever set.
+  std::ostringstream os;
+  VcdWriter vcd{os};
+  vcd.add_signal("z", 1);
+  vcd.step();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0!"), std::string::npos);
+}
+
 TEST(Vcd, VectorValuesPrintedInBinary) {
   std::ostringstream os;
   VcdWriter vcd{os};
