@@ -28,9 +28,9 @@ import sys
 
 # Metric-name fragments where LOWER is better; everything else numeric is
 # treated as higher-is-better. Count-like match keys (elems, trials,
-# threads, faults) are string-ified into the match key instead.
+# threads, faults, clients) are string-ified into the match key instead.
 LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes")
-MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults")
+MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients")
 
 
 def load_records(path):

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown files.
+
+Usage:
+    check_links.py [ROOT]
+
+Walks every *.md under ROOT (default: the repository root, i.e. the parent
+of this script's directory), extracts inline Markdown links and images
+([text](target), ![alt](target)), and checks that every *relative* target
+resolves to an existing file or directory. Absolute URLs (http/https/
+mailto), pure in-page anchors (#section), and absolute paths are skipped —
+this is a docs-tree integrity check, not a web crawler. Anchor fragments
+on relative links (FILE.md#section) are checked for file existence only.
+
+Exit code 1 with one line per broken link; 0 when the tree is clean.
+Stdlib only — no pip dependencies.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) — target ends at the first unmatched
+# ')' or whitespace (titles like (file.md "Title") are split off below).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#", "/")
+SKIP_DIRS = {".git", "build", ".cache", "node_modules"}
+
+
+def markdown_files(root):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path, root):
+    broken = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Strip anchor fragments and angle brackets.
+            target = target.split("#", 1)[0].strip("<>")
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(root)
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main():
+    root = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent
+    ).resolve()
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(md, root))
+    for line in broken:
+        print(line)
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} Markdown files")
+        return 1
+    print(f"all relative links resolve across {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,15 +32,29 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    stopping_ = true;
-  }
-  work_ready_.notify_all();
-  for (std::thread& worker : workers_) {
-    worker.join();
-  }
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      stopping_ = true;
+      work_ready_.notify_all();
+      // Wait for every in-flight run() batch: their tasks are already
+      // queued, and the still-live workers (plus the batch's own caller)
+      // drain them. Joining before this point could leave a caller blocked
+      // on a batch no worker will ever finish.
+      batches_idle_.wait(lock, [this] { return active_batches_ == 0; });
+    }
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  });
+}
+
+bool ThreadPool::stopped() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stopping_;
 }
 
 void ThreadPool::worker_loop() {
@@ -91,24 +105,51 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   batch->remaining = tasks.size();
   {
     const std::lock_guard<std::mutex> lock{mutex_};
-    for (std::function<void()>& task : tasks) {
-      queue_.emplace_back([batch, task = std::move(task)] {
-        std::exception_ptr error;
-        try {
-          task();
-        } catch (...) {
-          error = std::current_exception();
-        }
-        const std::lock_guard<std::mutex> batch_lock{batch->mutex};
-        if (error && !batch->error) {
-          batch->error = error;
-        }
-        if (--batch->remaining == 0) {
-          batch->done.notify_all();
-        }
-      });
+    if (stopping_) {
+      // The workers are gone (or going): run inline on the caller with the
+      // same complete-everything-then-rethrow semantics, touching no pool
+      // state after this check — submission during shutdown degrades to
+      // serial execution instead of dropping tasks or deadlocking.
+      batch.reset();
+    } else {
+      // Counted before the tasks are visible to workers, so a concurrent
+      // stop() waits for this batch to finish before joining them.
+      ++active_batches_;
+      for (std::function<void()>& task : tasks) {
+        queue_.emplace_back([batch, task = std::move(task)] {
+          std::exception_ptr error;
+          try {
+            task();
+          } catch (...) {
+            error = std::current_exception();
+          }
+          const std::lock_guard<std::mutex> batch_lock{batch->mutex};
+          if (error && !batch->error) {
+            batch->error = error;
+          }
+          if (--batch->remaining == 0) {
+            batch->done.notify_all();
+          }
+        });
+      }
+      queue_high_water.record_max(static_cast<std::int64_t>(queue_.size()));
     }
-    queue_high_water.record_max(static_cast<std::int64_t>(queue_.size()));
+  }
+  if (batch == nullptr) {
+    std::exception_ptr first_error;
+    for (std::function<void()>& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+    return;
   }
   work_ready_.notify_all();
   // The caller drains queued tasks too (its own batch's or another's), so
@@ -116,8 +157,16 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   while (std::function<void()> task = try_pop()) {
     task();
   }
-  std::unique_lock<std::mutex> lock{batch->mutex};
-  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  {
+    std::unique_lock<std::mutex> lock{batch->mutex};
+    batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (--active_batches_ == 0) {
+      batches_idle_.notify_all();
+    }
+  }
   if (batch->error) {
     std::rethrow_exception(batch->error);
   }

@@ -7,11 +7,23 @@
 // calling thread, so batch evaluation keeps ordinary error semantics.
 //
 // The pool is deliberately minimal — no futures, no work stealing beyond
-// the shared queue, no task priorities — because the only client is
-// BatchNacu's data-parallel range splitting, where every task is a chunk of
-// one homogeneous loop. Tasks must not enqueue nested run() batches on the
-// same pool (a worker blocking on a nested batch could deadlock a pool
-// whose other workers wait on it).
+// the shared queue, no task priorities — because the only clients are
+// BatchNacu's data-parallel range splitting and the serving layer's
+// dispatcher, where every task is a chunk of one homogeneous loop. Tasks
+// must not enqueue nested run() batches on the same pool (a worker
+// blocking on a nested batch could deadlock a pool whose other workers
+// wait on it).
+//
+// Shutdown contract (the serving layer's drain path relies on it):
+//  * stop() — and the destructor, which calls it — waits for every
+//    in-flight run() batch to complete before joining the workers, so a
+//    pool going down never drops queued tasks and never leaves a caller
+//    blocked on a batch that no worker will finish;
+//  * run() on a pool that is stopping or stopped executes its tasks inline
+//    on the calling thread, with the same complete-then-rethrow semantics.
+//    Submission during shutdown therefore degrades to serial execution
+//    instead of deadlocking or losing work
+//    (tests/test_thread_pool.cpp: *DuringShutdown*, *AfterStop*).
 #pragma once
 
 #include <condition_variable>
@@ -37,8 +49,18 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Run every task, block until all complete, rethrow the first exception.
-  /// The calling thread participates in draining the queue.
+  /// The calling thread participates in draining the queue. On a stopping
+  /// or stopped pool the tasks run inline on the caller instead — every
+  /// task still executes exactly once.
   void run(std::vector<std::function<void()>> tasks);
+
+  /// Stop accepting pooled work: waits for in-flight run() batches to
+  /// drain, then joins every worker. Idempotent; called by the destructor.
+  /// Afterwards run() still works (inline on the caller).
+  void stop();
+
+  /// Whether stop() has begun (further run() calls execute inline).
+  [[nodiscard]] bool stopped() const;
 
   /// Split [0, count) into at most size() contiguous chunks of at least
   /// @p grain elements and run body(begin, end) over each. Runs inline on
@@ -56,10 +78,13 @@ class ThreadPool {
   std::function<void()> try_pop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
+  std::condition_variable batches_idle_;  ///< signalled when a run() exits
   std::deque<std::function<void()>> queue_;
+  std::size_t active_batches_ = 0;  ///< run() calls currently in flight
   bool stopping_ = false;
+  std::once_flag stop_once_;  ///< concurrent stop() callers block until done
 };
 
 }  // namespace nacu::core

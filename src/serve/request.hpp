@@ -1,0 +1,92 @@
+// Request/response vocabulary of the async serving layer.
+//
+// A request is one unit of client work — an element-wise activation batch,
+// one softmax row, or a full model forward pass — paired with the promise
+// its result is delivered through. Requests are created by the
+// InferenceServer submission API (server.hpp), queued in the MicroBatcher
+// (micro_batcher.hpp), and fulfilled by the dispatcher thread; clients only
+// ever see the std::future side.
+//
+// Admission failures are *exceptions from submit*, not broken futures: a
+// request that the server cannot accept (queue at its high-water mark, or
+// shutdown already begun) throws before any promise exists, so a returned
+// future always corresponds to accepted work that the server will finish —
+// the graceful-shutdown drain guarantee depends on exactly this.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "nn/lstm.hpp"
+#include "nn/quantized_mlp.hpp"
+
+namespace nacu::serve {
+
+/// Submission rejected: the pending queue reached ServerOptions::
+/// queue_capacity (the backpressure high-water mark). Clients should back
+/// off and retry; nothing was enqueued.
+class OverloadedError : public std::runtime_error {
+ public:
+  OverloadedError()
+      : std::runtime_error{
+            "serve: pending queue at its high-water mark, request rejected"} {}
+};
+
+/// Submission rejected: shutdown has begun. Previously accepted requests
+/// still complete (the drain guarantee); new work is refused.
+class ShutdownError : public std::runtime_error {
+ public:
+  ShutdownError()
+      : std::runtime_error{"serve: server is shutting down, request rejected"} {}
+};
+
+/// Element-wise activation over the datapath: out[i] = f(in[i]). These are
+/// the requests the micro-batcher *coalesces* — element-wise evaluation is
+/// position-independent, so concatenating many requests into one
+/// BatchNacu::evaluate call and slicing the output back apart is
+/// bit-identical to evaluating each request alone (proven by
+/// tests/test_serving.cpp).
+struct ActivationRequest {
+  core::BatchNacu::Function function = core::BatchNacu::Function::Sigmoid;
+  std::vector<fp::Fixed> input;
+  std::promise<std::vector<fp::Fixed>> result;
+};
+
+/// One Eq. 13 softmax row. Rows are dispatched in the same groups as
+/// activations but each row is its own BatchNacu::softmax call — the
+/// normalisation couples every element of a row, so rows are never merged.
+struct SoftmaxRequest {
+  std::vector<fp::Fixed> logits;
+  std::promise<std::vector<fp::Fixed>> result;
+};
+
+/// Full nn::QuantizedMlp forward pass (predict_proba). The model is
+/// borrowed: the caller must keep it alive until the future resolves.
+struct MlpRequest {
+  const nn::QuantizedMlp* model = nullptr;
+  std::vector<double> input;
+  std::promise<std::vector<double>> result;
+};
+
+/// One nn::LstmFixed cell step. The model is borrowed like MlpRequest's.
+struct LstmRequest {
+  const nn::LstmFixed* model = nullptr;
+  nn::LstmFixed::State state;
+  std::vector<double> x;
+  std::promise<nn::LstmFixed::State> result;
+};
+
+/// One queued unit of work plus its admission timestamp (feeds the
+/// serve.request_latency_ns enqueue→complete histogram and the
+/// max_wait_us flush deadline).
+struct Request {
+  std::variant<ActivationRequest, SoftmaxRequest, MlpRequest, LstmRequest>
+      payload;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+}  // namespace nacu::serve

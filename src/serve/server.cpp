@@ -1,0 +1,290 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nacu::serve {
+
+InferenceServer::InferenceServer(const core::NacuConfig& config,
+                                 ServerOptions options)
+    : engine_{config, options.batch_options},
+      options_{options},
+      batcher_{options.batcher} {
+  if (options_.warm_tables && engine_.table_cacheable()) {
+    engine_.warm(Function::Sigmoid);
+    engine_.warm(Function::Tanh);
+    engine_.warm(Function::Exp);
+  }
+  dispatcher_ = std::thread{[this] { dispatcher_loop(); }};
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  // One caller joins; concurrent callers block here until the drain is
+  // complete, so "shutdown returned" always means "every accepted future
+  // is ready".
+  std::call_once(join_once_, [this] { dispatcher_.join(); });
+}
+
+bool InferenceServer::accepting() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return !stopping_;
+}
+
+std::size_t InferenceServer::pending() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return batcher_.size();
+}
+
+InferenceServer::Counters InferenceServer::counters() const {
+  Counters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  c.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.dispatches = dispatches_.load(std::memory_order_relaxed);
+  return c;
+}
+
+template <typename Result, typename Payload>
+std::future<Result> InferenceServer::enqueue(Payload payload) {
+  static obs::Counter& accepted_m = obs::counter("serve.accepted");
+  static obs::Counter& rejected_overload_m =
+      obs::counter("serve.rejected_overload");
+  static obs::Counter& rejected_shutdown_m =
+      obs::counter("serve.rejected_shutdown");
+  static obs::Gauge& depth_high_water =
+      obs::gauge("serve.queue_depth_high_water");
+  std::future<Result> future = payload.result.get_future();
+  Request request;
+  request.payload = std::move(payload);
+  if (obs::metrics_enabled()) {
+    // The enqueue→complete latency histogram is the only consumer of the
+    // stamp; skip the clock read on the hot path when metrics are off.
+    request.enqueued_at = std::chrono::steady_clock::now();
+  }
+  std::size_t depth = 0;
+  {
+    // Keep the critical section to the admission decision and the push —
+    // every concurrent submitter and the dispatcher contend this mutex, so
+    // bookkeeping happens outside it.
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (stopping_) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shutdown_m.add();
+      throw ShutdownError{};
+    }
+    if (batcher_.full()) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      rejected_overload_m.add();
+      throw OverloadedError{};
+    }
+    batcher_.push(std::move(request));
+    depth = batcher_.size();
+  }
+  work_ready_.notify_one();  // only the dispatcher waits on this
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  accepted_m.add();
+  depth_high_water.record_max(static_cast<std::int64_t>(depth));
+  return future;
+}
+
+std::future<std::vector<fp::Fixed>> InferenceServer::submit(
+    Function f, std::vector<fp::Fixed> input) {
+  ActivationRequest payload;
+  payload.function = f;
+  payload.input = std::move(input);
+  return enqueue<std::vector<fp::Fixed>>(std::move(payload));
+}
+
+std::future<std::vector<fp::Fixed>> InferenceServer::submit_softmax(
+    std::vector<fp::Fixed> logits) {
+  SoftmaxRequest payload;
+  payload.logits = std::move(logits);
+  return enqueue<std::vector<fp::Fixed>>(std::move(payload));
+}
+
+std::future<std::vector<double>> InferenceServer::submit_mlp(
+    const nn::QuantizedMlp& model, std::vector<double> input) {
+  MlpRequest payload;
+  payload.model = &model;
+  payload.input = std::move(input);
+  return enqueue<std::vector<double>>(std::move(payload));
+}
+
+std::future<nn::LstmFixed::State> InferenceServer::submit_lstm(
+    const nn::LstmFixed& model, nn::LstmFixed::State state,
+    std::vector<double> x) {
+  LstmRequest payload;
+  payload.model = &model;
+  payload.state = std::move(state);
+  payload.x = std::move(x);
+  return enqueue<nn::LstmFixed::State>(std::move(payload));
+}
+
+void InferenceServer::dispatcher_loop() {
+  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+  for (;;) {
+    std::vector<Request> group;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      for (;;) {
+        if (batcher_.empty()) {
+          if (stopping_) {
+            return;  // drained: every accepted future is fulfilled
+          }
+          work_ready_.wait(lock);
+          continue;
+        }
+        // Shutdown flushes whatever is pending immediately; otherwise the
+        // group forms on max_batch or the oldest request's age, whichever
+        // fires first. The timed wait re-checks on every wake, so time
+        // only advances through should_flush.
+        if (stopping_ ||
+            batcher_.should_flush(std::chrono::steady_clock::now())) {
+          break;
+        }
+        work_ready_.wait_until(lock, *batcher_.flush_deadline());
+      }
+      group = batcher_.take_group();
+      depth.set(static_cast<std::int64_t>(batcher_.size()));
+    }
+    execute_group(std::move(group));
+  }
+}
+
+void InferenceServer::execute_group(std::vector<Request> group) {
+  static obs::Counter& dispatches_m = obs::counter("serve.dispatches");
+  static obs::Histogram& group_requests =
+      obs::histogram("serve.group_requests");
+  static obs::Histogram& coalesced_elems =
+      obs::histogram("serve.coalesced_elems");
+  static obs::Histogram& dispatch_ns = obs::histogram("serve.dispatch_ns");
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  dispatches_m.add();
+  group_requests.record(group.size());
+  const obs::ScopedTimer timer{dispatch_ns};
+  const obs::TraceSpan span{"InferenceServer::dispatch"};
+
+  std::vector<bool> handled(group.size(), false);
+  // Coalesce the element-wise activation requests: one engine call per
+  // function over the concatenation of every member's input. Element-wise
+  // evaluation is position-independent, so slicing the output back apart
+  // is bit-identical to per-request evaluation (the differential test's
+  // central claim).
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    const auto f = static_cast<Function>(fi);
+    std::vector<std::size_t>& members = scratch_members_;
+    members.clear();
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto* act = std::get_if<ActivationRequest>(&group[i].payload);
+      if (act != nullptr && act->function == f) {
+        members.push_back(i);
+        total += act->input.size();
+      }
+    }
+    if (members.size() < 2) {
+      continue;  // nothing to coalesce; the per-request loop picks it up
+    }
+    std::vector<fp::Fixed>& in = scratch_in_;
+    in.clear();
+    in.reserve(total);
+    for (const std::size_t i : members) {
+      const auto& act = std::get<ActivationRequest>(group[i].payload);
+      in.insert(in.end(), act.input.begin(), act.input.end());
+    }
+    try {
+      scratch_out_.assign(total, fp::Fixed::zero(engine_.format()));
+      std::vector<fp::Fixed>& out = scratch_out_;
+      engine_.evaluate(f, in, out);
+      coalesced_elems.record(total);
+      std::size_t offset = 0;
+      for (const std::size_t i : members) {
+        auto& act = std::get<ActivationRequest>(group[i].payload);
+        const std::size_t n = act.input.size();
+        // The input vector is dead once evaluated — recycle it as the
+        // result buffer so the coalesced path allocates nothing per
+        // request beyond the promise's shared state.
+        std::copy(out.begin() + static_cast<std::ptrdiff_t>(offset),
+                  out.begin() + static_cast<std::ptrdiff_t>(offset + n),
+                  act.input.begin());
+        act.result.set_value(std::move(act.input));
+        offset += n;
+        handled[i] = true;
+        finish(group[i]);
+      }
+    } catch (...) {
+      // A bad request poisons the whole coalesced call (e.g. an input
+      // outside the datapath format). Fall back to per-request execution
+      // so only the offenders see the exception — error isolation.
+      for (const std::size_t i : members) {
+        if (!handled[i]) {
+          execute_one(group[i]);
+          handled[i] = true;
+          finish(group[i]);
+        }
+      }
+    }
+  }
+  // Everything else — softmax rows, model passes, lone activations — runs
+  // one engine/model call per request. The engine still fans large calls
+  // out across the thread pool internally.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (!handled[i]) {
+      execute_one(group[i]);
+      finish(group[i]);
+    }
+  }
+}
+
+void InferenceServer::execute_one(Request& request) {
+  std::visit(
+      [this](auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        try {
+          if constexpr (std::is_same_v<T, ActivationRequest>) {
+            r.result.set_value(engine_.evaluate(r.function, r.input));
+          } else if constexpr (std::is_same_v<T, SoftmaxRequest>) {
+            r.result.set_value(engine_.softmax(r.logits));
+          } else if constexpr (std::is_same_v<T, MlpRequest>) {
+            r.result.set_value(r.model->predict_proba(r.input));
+          } else {
+            static_assert(std::is_same_v<T, LstmRequest>);
+            r.result.set_value(r.model->step(r.state, r.x));
+          }
+        } catch (...) {
+          r.result.set_exception(std::current_exception());
+        }
+      },
+      request.payload);
+}
+
+void InferenceServer::finish(const Request& request) {
+  static obs::Counter& completed_m = obs::counter("serve.completed");
+  static obs::Histogram& latency =
+      obs::histogram("serve.request_latency_ns");
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_m.add();
+  if (obs::metrics_enabled() &&
+      request.enqueued_at != std::chrono::steady_clock::time_point{}) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - request.enqueued_at)
+                        .count();
+    latency.record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+  }
+}
+
+}  // namespace nacu::serve

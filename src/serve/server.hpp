@@ -1,0 +1,161 @@
+// Asynchronous inference server over the NACU batch engine.
+//
+// The missing piece between "a fast datapath" and "a system that serves
+// traffic": many concurrent clients submit per-request work — an
+// element-wise activation batch, a softmax row, a whole QuantizedMlp or
+// LstmFixed forward pass — through a lock-guarded API and get
+// std::futures back. A single dispatcher thread coalesces pending
+// requests in a dynamic micro-batcher (flush on max_batch or max_wait_us,
+// whichever fires first) and executes each dispatch group through the
+// shared core::BatchNacu engine, whose dense-table/SIMD kernels and
+// core::ThreadPool fan-out do the heavy lifting.
+//
+// Contracts, each proven by tests/test_serving.cpp:
+//
+//  * bit-identity — results equal direct BatchNacu/model calls raw-for-raw
+//    no matter how requests were coalesced into groups. Element-wise
+//    activations are concatenated and sliced (position-independent by
+//    construction); softmax rows and model passes run one engine call per
+//    request inside the group;
+//  * backpressure — at most queue_capacity requests sit accepted-but-
+//    undispatched; the next submit throws OverloadedError and enqueues
+//    nothing (reject-with-error, never silent drops or unbounded queues);
+//  * graceful shutdown — shutdown() (and the destructor) stops admission
+//    (further submits throw ShutdownError), drains every accepted request,
+//    fulfils its future, then joins the dispatcher. A returned future is
+//    therefore always eventually ready;
+//  * per-request error isolation — a request with bad inputs (e.g. a Fixed
+//    outside the datapath format) gets the exception on its own future; the
+//    other requests of the same coalesced group still complete correctly;
+//  * observability — per-stage obs:: metrics: admission counters, queue
+//    depth high-water, dispatch group size/element histograms, dispatch
+//    execution time, and the enqueue→complete latency histogram whose
+//    log2 buckets give p50/p99 through Registry::to_json().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/micro_batcher.hpp"
+#include "serve/request.hpp"
+
+namespace nacu::serve {
+
+struct ServerOptions {
+  /// Micro-batching policy: group size, age-based flush, high-water mark.
+  BatcherOptions batcher{};
+  /// Engine knobs forwarded to the owned core::BatchNacu (thread pool,
+  /// kernel backend, table/parallel thresholds).
+  core::BatchNacu::Options batch_options{};
+  /// Build the σ/tanh/exp dense tables at construction (when the format is
+  /// table-cacheable) so the first requests are not taxed with the lazy
+  /// full-domain sweeps.
+  bool warm_tables = true;
+};
+
+class InferenceServer {
+ public:
+  using Function = core::BatchNacu::Function;
+
+  explicit InferenceServer(const core::NacuConfig& config,
+                           ServerOptions options = {});
+  ~InferenceServer();  ///< shutdown(): drains accepted work, then joins.
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Element-wise activation batch: future resolves to f(input) in order.
+  /// Throws OverloadedError / ShutdownError instead of enqueueing.
+  [[nodiscard]] std::future<std::vector<fp::Fixed>> submit(
+      Function f, std::vector<fp::Fixed> input);
+
+  /// One Eq. 13 softmax row over @p logits.
+  [[nodiscard]] std::future<std::vector<fp::Fixed>> submit_softmax(
+      std::vector<fp::Fixed> logits);
+
+  /// Full forward pass: future resolves to model.predict_proba(input).
+  /// @p model is borrowed — keep it alive until the future resolves.
+  [[nodiscard]] std::future<std::vector<double>> submit_mlp(
+      const nn::QuantizedMlp& model, std::vector<double> input);
+
+  /// One LSTM cell step: future resolves to model.step(state, x).
+  /// @p model is borrowed — keep it alive until the future resolves.
+  [[nodiscard]] std::future<nn::LstmFixed::State> submit_lstm(
+      const nn::LstmFixed& model, nn::LstmFixed::State state,
+      std::vector<double> x);
+
+  /// Stop admission, drain every accepted request, join the dispatcher.
+  /// Idempotent and safe to call from several threads.
+  void shutdown();
+
+  /// Whether submissions are still admitted.
+  [[nodiscard]] bool accepting() const;
+  /// Requests accepted but not yet taken into a dispatch group.
+  [[nodiscard]] std::size_t pending() const;
+
+  [[nodiscard]] const core::BatchNacu& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Per-server admission/completion tallies — unlike the obs:: registry
+  /// these are always on and scoped to this instance, so tests can assert
+  /// exact counts without toggling the global metrics switch.
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t completed = 0;  ///< futures fulfilled (value or exception)
+    std::uint64_t dispatches = 0;  ///< dispatch groups executed
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  /// Admission: lock, reject on stop/high-water, stamp, enqueue, wake the
+  /// dispatcher. Returns the future tied to the enqueued promise.
+  template <typename Result, typename Payload>
+  [[nodiscard]] std::future<Result> enqueue(Payload payload);
+
+  void dispatcher_loop();
+  /// Execute one dispatch group: coalesce activations per function, run
+  /// everything else per request, fulfil every promise exactly once.
+  void execute_group(std::vector<Request> group);
+  /// Non-coalesced execution of one request (also the error-isolation
+  /// fallback when a coalesced evaluation throws).
+  void execute_one(Request& request);
+  /// Record completion metrics and the enqueue→complete latency.
+  void finish(const Request& request);
+
+  core::BatchNacu engine_;
+  ServerOptions options_;
+
+  /// Dispatcher-thread-only scratch for coalesced evaluation, reused
+  /// across dispatch groups so the steady-state hot path allocates only
+  /// the per-request result vectors.
+  std::vector<fp::Fixed> scratch_in_;
+  std::vector<fp::Fixed> scratch_out_;
+  std::vector<std::size_t> scratch_members_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  MicroBatcher batcher_;
+  bool stopping_ = false;
+  std::once_flag join_once_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+
+  std::thread dispatcher_;  ///< last member: started after all state exists
+};
+
+}  // namespace nacu::serve

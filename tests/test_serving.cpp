@@ -1,0 +1,440 @@
+// Serving-layer differential and stress coverage.
+//
+// The central claim: results delivered through the async InferenceServer
+// are bit-identical to direct core::BatchNacu / model evaluation, no
+// matter how the dynamic micro-batcher coalesces concurrent requests into
+// dispatch groups. The differential sweep proves it for every NacuConfig
+// variant the batch engine's own differential test covers, under
+// multi-threaded clients and three very different batching policies.
+// Around that: exact backpressure at the high-water mark, the
+// graceful-shutdown drain guarantee, per-request error isolation inside
+// coalesced groups, and the obs:: serving metrics. The whole binary also
+// runs under the CI TSan job (serving-smoke) — submission, dispatch, and
+// shutdown are the new concurrency surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_nacu.hpp"
+#include "nn/dataset.hpp"
+#include "nn/lstm.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "nn/rng.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace nacu::serve {
+namespace {
+
+using core::BatchNacu;
+using core::NacuConfig;
+using core::config_for_bits;
+using Function = BatchNacu::Function;
+
+/// The same five config variants as tests/test_batch_differential.cpp —
+/// every switch that changes the datapath's bit behaviour gets one.
+std::vector<std::pair<const char*, NacuConfig>> config_variants() {
+  std::vector<std::pair<const char*, NacuConfig>> variants;
+  variants.emplace_back("default", config_for_bits(16));
+
+  NacuConfig general = config_for_bits(16);
+  general.use_bit_trick_units = false;
+  variants.emplace_back("general-subtractors", general);
+
+  NacuConfig truncate = config_for_bits(16);
+  truncate.output_rounding = fp::Rounding::Truncate;
+  variants.emplace_back("truncate-rounding", truncate);
+
+  NacuConfig approx = config_for_bits(16);
+  approx.approximate_reciprocal = true;
+  variants.emplace_back("approx-reciprocal", approx);
+
+  NacuConfig refined = config_for_bits(16);
+  refined.refine_quantised_lut = true;
+  variants.emplace_back("refined-lut", refined);
+  return variants;
+}
+
+/// One client's reproducible request: function + input vector.
+struct WorkItem {
+  Function function = Function::Sigmoid;
+  std::vector<fp::Fixed> input;
+};
+
+/// Deterministic per-client workload mixing functions and sizes (including
+/// empty and single-element requests) over the full representable range.
+std::vector<WorkItem> make_workload(const NacuConfig& config,
+                                    std::uint64_t seed, std::size_t items) {
+  nn::Rng rng{seed};
+  const fp::Format fmt = config.format;
+  std::vector<WorkItem> work(items);
+  for (WorkItem& item : work) {
+    item.function = static_cast<Function>(rng.below(3));
+    const std::size_t n = rng.below(97);  // 0..96, crosses none/one/many
+    item.input.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto raw = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(fmt.max_raw() - fmt.min_raw() +
+                                               1))) +
+          fmt.min_raw();
+      item.input.push_back(fp::Fixed::from_raw(raw, fmt));
+    }
+  }
+  return work;
+}
+
+void expect_bit_equal(const std::vector<fp::Fixed>& got,
+                      const std::vector<fp::Fixed>& want,
+                      const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].raw(), want[i].raw()) << context << " element " << i;
+  }
+}
+
+/// Drive @p clients concurrent threads of @p items requests each through
+/// @p server and compare every future against direct BatchNacu evaluation.
+void run_differential(InferenceServer& server, const NacuConfig& config,
+                      std::size_t clients, std::size_t items,
+                      const std::string& context) {
+  const BatchNacu direct{config};
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::vector<WorkItem> work =
+          make_workload(config, 1000 + 31 * c, items);
+      std::vector<std::future<std::vector<fp::Fixed>>> futures;
+      futures.reserve(work.size());
+      for (const WorkItem& item : work) {
+        futures.push_back(server.submit(item.function, item.input));
+      }
+      for (std::size_t k = 0; k < work.size(); ++k) {
+        const std::vector<fp::Fixed> got = futures[k].get();
+        const std::vector<fp::Fixed> want =
+            direct.evaluate(work[k].function, work[k].input);
+        if (got.size() != want.size()) {
+          failures[c] = context + ": size mismatch";
+          return;
+        }
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          if (got[i].raw() != want[i].raw()) {
+            failures[c] = context + ": client " + std::to_string(c) +
+                          " request " + std::to_string(k) + " element " +
+                          std::to_string(i);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::string& failure : failures) {
+    ASSERT_TRUE(failure.empty()) << failure;
+  }
+}
+
+TEST(Serving, BitIdenticalToDirectBatchNacuForEveryConfigVariant) {
+  // The acceptance-criteria differential: all five config variants, four
+  // concurrent clients, coalescing on — every delivered bit equals direct
+  // BatchNacu evaluation.
+  for (const auto& [name, config] : config_variants()) {
+    ServerOptions options;
+    options.batcher.max_batch = 16;
+    options.batcher.max_wait = std::chrono::microseconds{100};
+    InferenceServer server{config, options};
+    run_differential(server, config, 4, 48, name);
+  }
+}
+
+TEST(Serving, CoalescingPolicyCannotChangeTheBits) {
+  // The same workload under per-request dispatch (max_batch=1), mid-size
+  // groups, and huge groups with age-only flushing must deliver identical
+  // raws — coalescing is a pure scheduling decision.
+  const NacuConfig config = config_for_bits(16);
+  const std::vector<WorkItem> work = make_workload(config, 77, 64);
+  std::vector<std::vector<std::vector<std::int64_t>>> per_policy;
+  const std::size_t policies = 3;
+  for (std::size_t p = 0; p < policies; ++p) {
+    ServerOptions options;
+    if (p == 0) {
+      options.batcher.max_batch = 1;  // per-request baseline
+    } else if (p == 1) {
+      options.batcher.max_batch = 8;
+      options.batcher.max_wait = std::chrono::microseconds{50};
+    } else {
+      options.batcher.max_batch = 1024;
+      options.batcher.max_wait = std::chrono::microseconds{0};
+    }
+    InferenceServer server{config, options};
+    std::vector<std::future<std::vector<fp::Fixed>>> futures;
+    for (const WorkItem& item : work) {
+      futures.push_back(server.submit(item.function, item.input));
+    }
+    std::vector<std::vector<std::int64_t>> results;
+    for (auto& future : futures) {
+      std::vector<std::int64_t> raws;
+      for (const fp::Fixed& x : future.get()) {
+        raws.push_back(x.raw());
+      }
+      results.push_back(std::move(raws));
+    }
+    per_policy.push_back(std::move(results));
+  }
+  for (std::size_t p = 1; p < per_policy.size(); ++p) {
+    ASSERT_EQ(per_policy[p], per_policy[0]) << "policy " << p;
+  }
+}
+
+TEST(Serving, SoftmaxRowsMatchDirectEvaluation) {
+  for (const auto& [name, config] : config_variants()) {
+    const BatchNacu direct{config};
+    ServerOptions options;
+    options.batcher.max_batch = 8;
+    InferenceServer server{config, options};
+    nn::Rng rng{5};
+    std::vector<std::vector<fp::Fixed>> rows;
+    std::vector<std::future<std::vector<fp::Fixed>>> futures;
+    for (std::size_t r = 0; r < 24; ++r) {
+      std::vector<fp::Fixed> row;
+      const std::size_t n = 1 + rng.below(12);
+      for (std::size_t i = 0; i < n; ++i) {
+        row.push_back(
+            fp::Fixed::from_double(rng.uniform(-6.0, 6.0), config.format));
+      }
+      futures.push_back(server.submit_softmax(row));
+      rows.push_back(std::move(row));
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      expect_bit_equal(futures[r].get(), direct.softmax(rows[r]),
+                       std::string{name} + " row " + std::to_string(r));
+    }
+  }
+}
+
+TEST(Serving, ModelForwardPassesMatchDirectCalls) {
+  // Full QuantizedMlp and LstmFixed forward passes through the server equal
+  // direct model calls — same code path, now behind the dispatcher.
+  const NacuConfig config = config_for_bits(16);
+  const nn::Dataset data = nn::make_blobs(30, 3);
+  nn::MlpConfig mlp_config;
+  mlp_config.layer_sizes = {2, 10, 3};
+  mlp_config.epochs = 30;
+  nn::Mlp reference{mlp_config};
+  reference.train(data);
+  const nn::QuantizedMlp model{reference, config};
+
+  const nn::LstmWeights weights = nn::LstmWeights::random(6, 8);
+  const nn::LstmFixed lstm{weights, config};
+
+  ServerOptions options;
+  options.batcher.max_batch = 8;
+  InferenceServer server{config, options};
+
+  std::vector<std::future<std::vector<double>>> mlp_futures;
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const std::vector<double> input{data.inputs(s, 0), data.inputs(s, 1)};
+    mlp_futures.push_back(server.submit_mlp(model, input));
+  }
+  nn::Rng rng{17};
+  nn::LstmFixed::State state = lstm.initial_state();
+  std::vector<std::vector<double>> xs;
+  std::vector<std::future<nn::LstmFixed::State>> lstm_futures;
+  for (int t = 0; t < 8; ++t) {
+    std::vector<double> x(6);
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    lstm_futures.push_back(server.submit_lstm(lstm, state, x));
+    xs.push_back(std::move(x));
+  }
+
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const std::vector<double> input{data.inputs(s, 0), data.inputs(s, 1)};
+    const std::vector<double> want = model.predict_proba(input);
+    const std::vector<double> got = mlp_futures[s].get();
+    ASSERT_EQ(got, want) << "sample " << s;
+  }
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const nn::LstmFixed::State want = lstm.step(state, xs[t]);
+    const nn::LstmFixed::State got = lstm_futures[t].get();
+    ASSERT_EQ(got.h.size(), want.h.size());
+    for (std::size_t i = 0; i < want.h.size(); ++i) {
+      ASSERT_EQ(got.h[i].raw(), want.h[i].raw()) << "step " << t;
+      ASSERT_EQ(got.c[i].raw(), want.c[i].raw()) << "step " << t;
+    }
+  }
+}
+
+TEST(Serving, BackpressureRejectsExactlyAboveTheHighWaterMark) {
+  // With flushing effectively disabled (huge max_batch, long max_wait) the
+  // queue fills to exactly queue_capacity accepted requests; request
+  // capacity+1 is rejected with OverloadedError and nothing is enqueued.
+  // Shutdown then drains every accepted request.
+  const NacuConfig config = config_for_bits(16);
+  ServerOptions options;
+  options.batcher.max_batch = 1 << 20;
+  options.batcher.max_wait = std::chrono::seconds{30};
+  options.batcher.queue_capacity = 8;
+  InferenceServer server{config, options};
+
+  const std::vector<fp::Fixed> input{
+      fp::Fixed::from_double(0.5, config.format)};
+  std::vector<std::future<std::vector<fp::Fixed>>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(Function::Sigmoid, input));
+  }
+  EXPECT_EQ(server.pending(), 8u);
+  EXPECT_THROW((void)server.submit(Function::Sigmoid, input),
+               OverloadedError);
+  EXPECT_THROW((void)server.submit_softmax(input), OverloadedError);
+  EXPECT_EQ(server.pending(), 8u);  // rejected submits enqueued nothing
+
+  server.shutdown();
+  const BatchNacu direct{config};
+  const std::vector<fp::Fixed> want =
+      direct.evaluate(Function::Sigmoid, input);
+  for (auto& future : futures) {
+    expect_bit_equal(future.get(), want, "drained request");
+  }
+  const InferenceServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.accepted, 8u);
+  EXPECT_EQ(counters.rejected_overload, 2u);
+  EXPECT_EQ(counters.completed, 8u);
+}
+
+TEST(Serving, ShutdownDrainsEveryAcceptedRequestThenRejects) {
+  const NacuConfig config = config_for_bits(16);
+  ServerOptions options;
+  options.batcher.max_batch = 32;
+  options.batcher.max_wait = std::chrono::microseconds{200};
+  options.batcher.queue_capacity = 1 << 16;
+  InferenceServer server{config, options};
+
+  // Clients submit while another thread pulls the plug: every accepted
+  // future must still resolve with a value, every post-shutdown submit
+  // must throw ShutdownError, and nothing may deadlock.
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 200;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> resolved{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<fp::Fixed> input(
+          4, fp::Fixed::from_double(0.25 * static_cast<double>(c + 1),
+                                    config.format));
+      std::vector<std::future<std::vector<fp::Fixed>>> futures;
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        try {
+          futures.push_back(server.submit(Function::Tanh, input));
+          ++accepted;
+        } catch (const ShutdownError&) {
+          ++rejected;
+        }
+      }
+      for (auto& future : futures) {
+        (void)future.get();  // must not throw and must not hang
+        ++resolved;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  server.shutdown();
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(accepted.load() + rejected.load(), kClients * kPerClient);
+  EXPECT_EQ(resolved.load(), accepted.load());
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.pending(), 0u);
+  const InferenceServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.accepted, accepted.load());
+  EXPECT_EQ(counters.completed, accepted.load());
+  EXPECT_EQ(counters.rejected_shutdown, rejected.load());
+  // Post-shutdown submissions are refused outright.
+  EXPECT_THROW((void)server.submit(Function::Exp, {}), ShutdownError);
+  server.shutdown();  // idempotent
+}
+
+TEST(Serving, BadRequestsFailAloneInsideCoalescedGroups) {
+  // One request whose input is not in the datapath format poisons the
+  // coalesced evaluation; the server must fall back to per-request
+  // execution so only the offender's future carries the exception.
+  const NacuConfig config = config_for_bits(16);
+  ServerOptions options;
+  options.batcher.max_batch = 1 << 20;
+  options.batcher.max_wait = std::chrono::seconds{30};
+  InferenceServer server{config, options};
+
+  const fp::Format wrong{2, 5};
+  const std::vector<fp::Fixed> good{
+      fp::Fixed::from_double(1.0, config.format)};
+  const std::vector<fp::Fixed> bad{fp::Fixed::from_double(0.5, wrong)};
+
+  auto f1 = server.submit(Function::Sigmoid, good);
+  auto f_bad = server.submit(Function::Sigmoid, bad);
+  auto f2 = server.submit(Function::Sigmoid, good);
+  server.shutdown();  // flushes all three as one group
+
+  const BatchNacu direct{config};
+  const std::vector<fp::Fixed> want =
+      direct.evaluate(Function::Sigmoid, good);
+  expect_bit_equal(f1.get(), want, "good before");
+  expect_bit_equal(f2.get(), want, "good after");
+  EXPECT_THROW((void)f_bad.get(), std::invalid_argument);
+}
+
+TEST(Serving, EmptyRequestsResolveToEmptyResults) {
+  const NacuConfig config = config_for_bits(16);
+  InferenceServer server{config};
+  auto activation = server.submit(Function::Sigmoid, {});
+  auto softmax = server.submit_softmax({});
+  EXPECT_TRUE(activation.get().empty());
+  EXPECT_TRUE(softmax.get().empty());
+}
+
+TEST(Serving, ServingMetricsArePopulated) {
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  {
+    const NacuConfig config = config_for_bits(16);
+    ServerOptions options;
+    options.batcher.max_batch = 4;
+    options.batcher.max_wait = std::chrono::microseconds{100};
+    InferenceServer server{config, options};
+    const std::vector<fp::Fixed> input(
+        8, fp::Fixed::from_double(-0.5, config.format));
+    std::vector<std::future<std::vector<fp::Fixed>>> futures;
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(server.submit(Function::Sigmoid, input));
+    }
+    for (auto& future : futures) {
+      (void)future.get();
+    }
+    server.shutdown();
+  }
+  EXPECT_EQ(obs::counter("serve.accepted").value(), 12u);
+  EXPECT_EQ(obs::counter("serve.completed").value(), 12u);
+  EXPECT_GE(obs::gauge("serve.queue_depth_high_water").value(), 1);
+  const obs::Histogram::Snapshot latency =
+      obs::histogram("serve.request_latency_ns").snapshot();
+  EXPECT_EQ(latency.count, 12u);
+  EXPECT_GT(latency.quantile_bound(0.99), 0u);
+  const obs::Histogram::Snapshot groups =
+      obs::histogram("serve.group_requests").snapshot();
+  EXPECT_GE(groups.count, 3u);  // 12 requests in groups of <= 4
+  obs::registry().reset_all();
+  obs::set_metrics_enabled(false);
+}
+
+}  // namespace
+}  // namespace nacu::serve
