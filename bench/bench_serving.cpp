@@ -1,34 +1,49 @@
-// Serving-layer throughput: dynamic micro-batching vs per-request dispatch.
+// Serving-layer throughput: per-request dispatch vs dynamic micro-batching
+// vs the sharded scale-out, swept over concurrent client counts.
 //
 // The experiment the serving layer exists for: N concurrent clients each
 // keep a window of small activation requests in flight against one
-// InferenceServer and we measure end-to-end request throughput under two
-// batching policies over identical workloads:
+// InferenceServer and we measure end-to-end request throughput and tail
+// latency under three configurations over identical workloads:
 //
-//   per-request — max_batch = 1: every request is its own dispatch group,
-//                 paying the full dispatcher/engine per-call overhead —
-//                 the "no dynamic batching" baseline every serving-system
-//                 paper compares against;
-//   micro-batch — max_batch = 256, max_wait = 0: the dispatcher coalesces
-//                 whatever is pending each time it wakes (adaptive
-//                 batching — zero added latency, group size grows with
-//                 load) into one engine call per function per group.
+//   per-request — max_batch = 1, one shard: every request is its own
+//                 dispatch group, paying the full dispatcher/engine
+//                 per-call overhead — the "no dynamic batching" baseline
+//                 every serving-system paper compares against;
+//   micro-batch — max_batch = 256, max_wait = 0, one shard: the PR 5
+//                 design — the dispatcher coalesces whatever is pending
+//                 each time it wakes (adaptive batching — zero added
+//                 latency, group size grows with load), but every client
+//                 funnels through one ingress mutex and one dispatcher;
+//   sharded     — the same adaptive batching across 4 dispatcher shards
+//                 with per-thread shard affinity and work stealing: the
+//                 submission path contends on 1/4 of the locks, which is
+//                 where the single-dispatcher design measurably fell over
+//                 as clients grew.
 //
 // Requests are deliberately small (kElemsPerRequest elements): at that
 // size the fixed per-dispatch cost (dispatcher loop and locking, take/
 // execute bookkeeping, per-call engine entry, per-request result
 // allocation) rivals the table-lookup work itself, which is precisely the
-// regime dynamic micro-batching exists for. Results are bit-identical
-// across both policies (tests/test_serving.cpp proves it); this bench
-// quantifies the throughput gap and reports the dispatch group size the
-// micro-batcher actually formed.
+// regime micro-batching and sharding exist for. Results are bit-identical
+// across all three configurations (tests/test_serving.cpp proves it, over
+// the full shards × max_batch × config matrix); this bench quantifies the
+// throughput and tail-latency differences.
+//
+// Per-request p50/p99 enqueue→complete latency comes from the
+// serve.request_latency_ns obs histogram (log2 buckets — the quantile is
+// an upper bucket bound, coarse but machine-comparable), with the metrics
+// registry reset around every cell so each snapshot is cell-local.
 //
 //   ./bench_serving [--trials N]    # default 3, best-of-N per cell
 //
-// Writes BENCH_serving.json (schema nacu-bench-serving-v1): one record per
-// (mode, clients) cell plus one speedup record per client count.
-// scripts/bench_compare.py gates CI runs against bench/baselines/ (speed
-// metrics --ignore'd across machines; see docs/BENCHMARKS.md).
+// Writes BENCH_serving.json (schema nacu-bench-serving-v2): one record per
+// (mode, clients) cell — requests/s, elems/s, avg dispatch group, p50_ns,
+// p99_ns — plus one speedup record per client count comparing both
+// batched modes against per-request dispatch. scripts/bench_compare.py
+// gates CI runs against bench/baselines/ (speed and latency metrics
+// --ignore'd across machines but required structurally; see
+// docs/BENCHMARKS.md).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +55,7 @@
 
 #include "bench_json.hpp"
 #include "core/batch_nacu.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -54,13 +70,16 @@ struct Cell {
   double requests_per_s = 0.0;
   double elems_per_s = 0.0;
   double avg_group = 0.0;  ///< requests per dispatch group actually formed
+  std::uint64_t p50_ns = 0;  ///< median enqueue→complete latency bound
+  std::uint64_t p99_ns = 0;  ///< tail enqueue→complete latency bound
 };
 
 /// One (policy, clients) measurement: every client pushes kWindow requests,
-/// drains the futures, repeats for @p rounds. Returns best-of nothing —
-/// the caller handles trials.
+/// drains the futures, repeats for @p rounds. Latency quantiles come from
+/// the obs histogram, scoped to this cell by reset_all.
 Cell run_cell(const core::NacuConfig& config, const serve::ServerOptions&
               options, std::size_t clients, std::size_t rounds) {
+  obs::registry().reset_all();
   serve::InferenceServer server{config, options};
   // Identical per-client inputs: a stride walk across the representable
   // range, rotating through sigma/tanh/exp.
@@ -120,6 +139,10 @@ Cell run_cell(const core::NacuConfig& config, const serve::ServerOptions&
           ? 0.0
           : static_cast<double>(counters.completed) /
                 static_cast<double>(counters.dispatches);
+  const obs::Histogram::Snapshot latency =
+      obs::histogram("serve.request_latency_ns").snapshot();
+  cell.p50_ns = latency.quantile_bound(0.50);
+  cell.p99_ns = latency.quantile_bound(0.99);
   return cell;
 }
 
@@ -139,6 +162,27 @@ serve::ServerOptions micro_batch_options() {
   return options;
 }
 
+serve::ServerOptions sharded_options() {
+  serve::ServerOptions options = micro_batch_options();
+  options.shards = 4;
+  options.work_stealing = true;
+  return options;
+}
+
+void add_cell(benchjson::Writer& writer, const char* mode,
+              std::size_t clients, std::size_t shards, const Cell& cell) {
+  writer.add(benchjson::Record{}
+                 .add("bench", "serving")
+                 .add("mode", mode)
+                 .add("clients", clients)
+                 .add("shards", shards)
+                 .add("requests_per_s", cell.requests_per_s)
+                 .add("elems_per_s", cell.elems_per_s)
+                 .add("avg_group", cell.avg_group)
+                 .add("p50_ns", cell.p50_ns)
+                 .add("p99_ns", cell.p99_ns));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,53 +195,60 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The latency histograms need the metrics switch on; it costs one clock
+  // read per request in every mode, so the comparison stays fair.
+  obs::set_metrics_enabled(true);
   const core::NacuConfig config = core::config_for_bits(16);
   const std::vector<std::size_t> client_counts{1, 2, 4, 8, 16};
   // Rounds scale down with client count so every cell does comparable
   // total work and the bench stays a few seconds end to end.
   const std::size_t base_rounds = 256;
 
-  benchjson::Writer writer{"nacu-bench-serving-v1"};
-  std::printf("Serving throughput: dynamic micro-batching vs per-request\n");
+  benchjson::Writer writer{"nacu-bench-serving-v2"};
+  std::printf(
+      "Serving throughput: per-request vs micro-batch vs sharded (4 shards)\n");
   std::printf("(%zu-element requests, window %zu per client, best of %zu)\n\n",
               kElemsPerRequest, kWindow, trials);
-  std::printf("%8s %14s %14s %10s %9s\n", "clients", "per-req req/s",
-              "batched req/s", "speedup", "avg group");
+  std::printf("%8s %13s %13s %13s %8s %8s %10s %10s\n", "clients",
+              "per-req req/s", "batch req/s", "shard req/s", "b-spdup",
+              "s-spdup", "shard p50", "shard p99");
   for (const std::size_t clients : client_counts) {
     const std::size_t rounds =
         std::max<std::size_t>(16, base_rounds / clients);
     Cell per_request;
     Cell batched;
+    Cell sharded;
     for (std::size_t t = 0; t < trials; ++t) {
       const Cell a = run_cell(config, per_request_options(), clients, rounds);
       const Cell b = run_cell(config, micro_batch_options(), clients, rounds);
+      const Cell s = run_cell(config, sharded_options(), clients, rounds);
       if (a.requests_per_s > per_request.requests_per_s) {
         per_request = a;
       }
       if (b.requests_per_s > batched.requests_per_s) {
         batched = b;
       }
+      if (s.requests_per_s > sharded.requests_per_s) {
+        sharded = s;
+      }
     }
-    const double speedup = batched.requests_per_s / per_request.requests_per_s;
-    std::printf("%8zu %14.0f %14.0f %9.2fx %9.1f\n", clients,
-                per_request.requests_per_s, batched.requests_per_s, speedup,
-                batched.avg_group);
-    writer.add(benchjson::Record{}
-                   .add("bench", "serving")
-                   .add("mode", "per-request")
-                   .add("clients", clients)
-                   .add("requests_per_s", per_request.requests_per_s)
-                   .add("elems_per_s", per_request.elems_per_s));
-    writer.add(benchjson::Record{}
-                   .add("bench", "serving")
-                   .add("mode", "micro-batch")
-                   .add("clients", clients)
-                   .add("requests_per_s", batched.requests_per_s)
-                   .add("elems_per_s", batched.elems_per_s));
+    const double batched_speedup =
+        batched.requests_per_s / per_request.requests_per_s;
+    const double sharded_speedup =
+        sharded.requests_per_s / per_request.requests_per_s;
+    std::printf("%8zu %13.0f %13.0f %13.0f %7.2fx %7.2fx %9lluns %9lluns\n",
+                clients, per_request.requests_per_s, batched.requests_per_s,
+                sharded.requests_per_s, batched_speedup, sharded_speedup,
+                static_cast<unsigned long long>(sharded.p50_ns),
+                static_cast<unsigned long long>(sharded.p99_ns));
+    add_cell(writer, "per-request", clients, 1, per_request);
+    add_cell(writer, "micro-batch", clients, 1, batched);
+    add_cell(writer, "sharded", clients, 4, sharded);
     writer.add(benchjson::Record{}
                    .add("bench", "serving_speedup")
                    .add("clients", clients)
-                   .add("speedup", speedup));
+                   .add("speedup", batched_speedup)
+                   .add("sharded_speedup", sharded_speedup));
   }
   if (writer.write("BENCH_serving.json")) {
     std::printf("\nwrote BENCH_serving.json\n");

@@ -1,14 +1,16 @@
 // Serving demo — the async inference API end to end.
 //
-// Spins up one serve::InferenceServer over a 16-bit NACU, drives it from
-// concurrent client threads with a mixed workload (activation batches,
-// softmax rows, full QuantizedMlp forward passes), then demonstrates the
-// three contracts the layer exists for: bit-identical micro-batched
-// results, reject-with-error backpressure at the high-water mark, and a
-// graceful shutdown that drains every accepted request. Finishes with the
-// serving metrics dump.
+// Spins up a sharded serve::InferenceServer over a 16-bit NACU, drives it
+// from concurrent client threads with a mixed workload (activation
+// batches, softmax rows, full QuantizedMlp forward passes), then
+// demonstrates the contracts the layer exists for: bit-identical results
+// across dispatcher shards and micro-batching, admission control
+// (priority shedding, deadlines, per-tenant quotas), reject-with-error
+// backpressure at the high-water mark, and a graceful shutdown that
+// drains every accepted request. Finishes with the serving metrics dump.
 //
 // Usage: ./build/examples/serving_demo
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -36,9 +38,14 @@ int main() {
   mlp.train(data);
   const nn::QuantizedMlp model{mlp, config};
 
-  // 1. Mixed workload from concurrent clients. The dispatcher coalesces
-  //    whatever is pending per wake (max_wait = 0: adaptive batching).
-  serve::InferenceServer server{config};
+  // 1. Mixed workload from concurrent clients across two dispatcher
+  //    shards. Each submitting thread sticks to its home shard; each
+  //    shard's dispatcher coalesces whatever is pending per wake
+  //    (max_wait = 0: adaptive batching); idle shards steal from loaded
+  //    neighbours. None of that can change the bits.
+  serve::ServerOptions sharded;
+  sharded.shards = 2;
+  serve::InferenceServer server{config, sharded};
   const core::BatchNacu direct{config};
 
   std::vector<fp::Fixed> xs;
@@ -76,17 +83,79 @@ int main() {
     total_mismatches += m;
   }
   const auto counters = server.counters();
-  std::printf("\n%d clients x %d rounds: %llu requests, %llu dispatch "
-              "groups (avg %.1f req/group)\n",
+  std::printf("\n%d clients x %d rounds over 2 shards: %llu requests, "
+              "%llu dispatch groups (avg %.1f req/group), %llu steals\n",
               kClients, kRequestsPerClient,
               static_cast<unsigned long long>(counters.accepted),
               static_cast<unsigned long long>(counters.dispatches),
               static_cast<double>(counters.completed) /
-                  static_cast<double>(counters.dispatches));
+                  static_cast<double>(counters.dispatches),
+              static_cast<unsigned long long>(counters.steals));
   std::printf("bit-identical to direct BatchNacu: %s\n",
               total_mismatches == 0 ? "yes (0 mismatching raws)" : "NO");
 
-  // 2. Backpressure: a tiny queue with flushing disabled fills to its
+  // 2. Admission control. Priorities: with a 4-deep queue, best-effort
+  //    may only fill the first half (default fraction 0.5), so its third
+  //    submission sheds while normal traffic still admits. Deadlines: an
+  //    already-expired deadline is rejected at submit. Quotas: tenant 7
+  //    gets a 2-token bucket and is rejected on its third burst
+  //    submission; unlisted tenants are unmetered.
+  serve::ServerOptions admission_opts;
+  admission_opts.batcher.queue_capacity = 4;
+  admission_opts.batcher.max_batch = 1 << 20;             // never flush
+  admission_opts.batcher.max_wait = std::chrono::seconds{30};
+  admission_opts.admission.quotas.push_back(
+      {7, serve::TenantQuota{0.0, 2.0}});
+  serve::InferenceServer gated{config, admission_opts};
+  std::vector<std::future<std::vector<fp::Fixed>>> gated_futures;
+
+  serve::SubmitOptions best_effort;
+  best_effort.priority = serve::Priority::BestEffort;
+  int be_shed = 0;
+  for (int i = 0; i < 3; ++i) {
+    try {
+      gated_futures.push_back(
+          gated.submit(Function::Sigmoid, xs, best_effort));
+    } catch (const serve::OverloadedError&) {
+      ++be_shed;
+    }
+  }
+  std::printf("\nadmission: best-effort fills 2/4 (its depth fraction), "
+              "then %d shed while normal still admits\n", be_shed);
+
+  serve::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds{1};
+  bool deadline_rejected = false;
+  try {
+    (void)gated.submit(Function::Tanh, xs, expired);
+  } catch (const serve::DeadlineExpiredError&) {
+    deadline_rejected = true;
+  }
+  std::printf("admission: already-expired deadline %s\n",
+              deadline_rejected ? "throws DeadlineExpiredError"
+                                : "NOT rejected");
+
+  serve::SubmitOptions metered;
+  metered.tenant = 7;
+  int quota_rejected = 0;
+  for (int i = 0; i < 3; ++i) {
+    try {
+      gated_futures.push_back(
+          gated.submit(Function::Exp, xs, metered));
+    } catch (const serve::QuotaExceededError&) {
+      ++quota_rejected;
+    }
+  }
+  std::printf("admission: tenant 7's 2-token bucket rejects %d of 3 "
+              "burst submissions with QuotaExceededError\n",
+              quota_rejected);
+  gated.shutdown();  // drains the admitted requests
+  for (auto& f : gated_futures) {
+    (void)f.get();
+  }
+
+  // 3. Backpressure: a tiny queue with flushing disabled fills to its
   //    high-water mark, then rejects with OverloadedError.
   serve::ServerOptions tight;
   tight.batcher.queue_capacity = 4;
@@ -105,7 +174,7 @@ int main() {
   std::printf("\nbackpressure: capacity 4 -> %zu accepted, %d rejected "
               "with OverloadedError\n", accepted.size(), rejected);
 
-  // 3. Graceful shutdown drains the accepted four; later submits are
+  // 4. Graceful shutdown drains the accepted four; later submits are
   //    refused with ShutdownError.
   small.shutdown();
   int drained = 0;
@@ -122,8 +191,10 @@ int main() {
               "post-shutdown submit %s\n", drained,
               shutdown_rejected ? "throws ShutdownError" : "NOT refused");
 
-  // 4. The per-stage serving metrics (serve.* entries of the registry).
+  // 5. The per-stage serving metrics (serve.* entries of the registry).
   std::printf("\nobs registry dump (see the serve.* entries):\n%s\n",
               obs::Registry::instance().to_json().c_str());
-  return total_mismatches == 0 && shutdown_rejected ? 0 : 1;
+  const bool admission_ok =
+      be_shed == 1 && deadline_rejected && quota_rejected == 1;
+  return total_mismatches == 0 && shutdown_rejected && admission_ok ? 0 : 1;
 }

@@ -17,7 +17,15 @@ are not failures (benches grow over time).
 --ignore skips metrics whose name contains the given fragment (repeatable).
 CI uses it to compare committed baselines across machines: deterministic
 metrics (coverage, accuracy) hold to a tight threshold while machine-speed
-metrics (elems_per_s, trials_per_s) are ignored or held loosely.
+metrics (elems_per_s, trials_per_s, p50_ns/p99_ns latency quantiles) are
+ignored or held loosely.
+
+--require-metric asserts the candidate is *structurally* intact even when
+the metric's value is ignored: every candidate record of a bench that has
+any field containing the fragment must carry a positive value for it.
+CI combines `--ignore p50 --require-metric p50_ns` to say "tail-latency
+numbers are machine-speed, but a run that stopped reporting them (e.g. a
+histogram wired up wrong) is a failure, not a silent pass".
 
 Stdlib only — no pip dependencies.
 """
@@ -29,8 +37,9 @@ import sys
 # Metric-name fragments where LOWER is better; everything else numeric is
 # treated as higher-is-better. Count-like match keys (elems, trials,
 # threads, faults, clients) are string-ified into the match key instead.
-LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes")
-MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients")
+LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes", "p50", "p99")
+MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients",
+                      "shards")
 
 
 def load_records(path):
@@ -74,6 +83,15 @@ def main():
         default=[],
         metavar="FRAGMENT",
         help="skip metrics whose name contains FRAGMENT (repeatable)",
+    )
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="fail unless every candidate record that should carry a metric "
+        "whose name contains FRAGMENT reports a positive value for it "
+        "(structural gate for --ignore'd machine-speed metrics; repeatable)",
     )
     args = parser.parse_args()
 
@@ -121,15 +139,50 @@ def main():
     for key in sorted(set(cand_by_key) - set(base_by_key)):
         print(f"  [new]   {key}")
 
+    # Structural gates: a metric may be --ignore'd by value (machine speed)
+    # yet still required to exist and be positive in every candidate record
+    # whose baseline counterpart carries it.
+    structural_failures = []
+    for fragment in args.require_metric:
+        checked = 0
+        for key, base in sorted(base_by_key.items()):
+            names = [name for name in metrics(base) if fragment in name]
+            if not names:
+                continue
+            cand = cand_by_key.get(key)
+            if cand is None:
+                continue  # already reported as [gone]
+            for name in names:
+                checked += 1
+                value = cand.get(name)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    structural_failures.append(
+                        f"{key} :: {name} missing or non-positive "
+                        f"({value!r})"
+                    )
+        if checked == 0:
+            structural_failures.append(
+                f"no matched record carries a metric containing "
+                f"'{fragment}'"
+            )
+
     if improvements:
         print(f"improvements (>{args.threshold:.0%}):")
         for line in improvements:
             print(f"  [better] {line}")
+    failed = False
     if regressions:
         print(f"REGRESSIONS (>{args.threshold:.0%} in the bad direction):")
         for line in regressions:
             print(f"  [WORSE]  {line}")
         print(f"{len(regressions)} regression(s) across {compared} metrics")
+        failed = True
+    if structural_failures:
+        print("STRUCTURAL FAILURES (--require-metric):")
+        for line in structural_failures:
+            print(f"  [MISSING] {line}")
+        failed = True
+    if failed:
         return 1
     print(f"no regressions across {compared} compared metrics")
     return 0

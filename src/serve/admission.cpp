@@ -1,0 +1,78 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nacu::serve {
+namespace {
+
+std::size_t limit_for(double fraction, std::size_t capacity) {
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  const auto limit = static_cast<std::size_t>(
+      std::floor(clamped * static_cast<double>(capacity)));
+  // A priority class can be throttled hard but never configured out: one
+  // slot always remains, so a lone best-effort request on an idle server
+  // is admitted no matter the fraction.
+  return std::max<std::size_t>(1, limit);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         std::size_t shard_capacity)
+    : options_{std::move(options)},
+      shard_capacity_{std::max<std::size_t>(1, shard_capacity)} {
+  limits_[static_cast<std::size_t>(Priority::High)] =
+      limit_for(options_.high_depth_fraction, shard_capacity_);
+  limits_[static_cast<std::size_t>(Priority::Normal)] =
+      limit_for(options_.normal_depth_fraction, shard_capacity_);
+  limits_[static_cast<std::size_t>(Priority::BestEffort)] =
+      limit_for(options_.best_effort_depth_fraction, shard_capacity_);
+  for (const auto& [tenant, quota] : options_.quotas) {
+    Bucket bucket;
+    bucket.quota.tokens_per_s = std::max(0.0, quota.tokens_per_s);
+    bucket.quota.burst = std::max(1.0, quota.burst);
+    bucket.tokens = bucket.quota.burst;  // buckets start full
+    bucket.last = now();
+    buckets_[tenant] = bucket;
+  }
+}
+
+std::chrono::steady_clock::time_point AdmissionController::now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+AdmissionController::Verdict AdmissionController::preadmit(
+    const SubmitOptions& options) {
+  // Deadline first: an already-expired request must never consume a
+  // quota token — it could not have been served at any load.
+  const bool needs_clock = options.deadline.has_value() || !buckets_.empty();
+  if (!needs_clock) {
+    return Verdict::Admit;  // the common unmetered, undeadlined fast path
+  }
+  const auto at = now();
+  if (options.deadline.has_value() && *options.deadline <= at) {
+    return Verdict::RejectDeadline;
+  }
+  if (!buckets_.empty()) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    const auto it = buckets_.find(options.tenant);
+    if (it != buckets_.end()) {
+      Bucket& bucket = it->second;
+      const double dt =
+          std::chrono::duration<double>(at - bucket.last).count();
+      if (dt > 0.0) {
+        bucket.tokens = std::min(bucket.quota.burst,
+                                 bucket.tokens + dt * bucket.quota.tokens_per_s);
+        bucket.last = at;
+      }
+      if (bucket.tokens < 1.0) {
+        return Verdict::RejectQuota;
+      }
+      bucket.tokens -= 1.0;
+    }
+  }
+  return Verdict::Admit;
+}
+
+}  // namespace nacu::serve

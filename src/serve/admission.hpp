@@ -1,0 +1,111 @@
+// Admission control above the shard queues' backpressure.
+//
+// The PR 5 server had exactly one admission rule: reject when the queue is
+// full. Serving real multi-tenant traffic needs three more, all decided
+// *before* a request is enqueued so every rejection is an exception from
+// submit and never a broken future:
+//
+//   * priority classes — each Priority admits against its own fraction of
+//     the per-shard queue capacity (depth_limit). Best-effort fills only
+//     the first half of a queue by default, so under load it is always
+//     shed before normal/high traffic — graceful degradation instead of
+//     FIFO lockout;
+//   * deadline checks — a request whose deadline has already expired is
+//     rejected at submit (RejectDeadline); one whose deadline expires
+//     while queued is shed at dispatch by the server (its future carries
+//     DeadlineExpiredError, the engine never sees it);
+//   * per-tenant token buckets — tenants listed in AdmissionOptions::
+//     quotas draw one token per submission from a bucket that refills at
+//     tokens_per_s up to burst. An empty bucket rejects (RejectQuota).
+//     Unlisted tenants (including the default id 0) are unmetered.
+//
+// Time is injected: AdmissionOptions::clock replaces steady_clock::now for
+// both bucket refill and deadline checks, so tests drive refill rates and
+// expiry deterministically (tests/test_admission.cpp).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace nacu::serve {
+
+/// Token-bucket quota for one tenant: sustained tokens_per_s with bursts
+/// up to burst tokens. One submission costs one token.
+struct TenantQuota {
+  double tokens_per_s = 0.0;
+  double burst = 1.0;
+};
+
+struct AdmissionOptions {
+  /// Fraction of each shard's queue capacity a priority class may fill
+  /// before it is shed (clamped to [0, 1]; the resulting depth limit is
+  /// at least 1 so a priority class is never configured out entirely).
+  /// Defaults keep high and normal at full capacity — byte-for-byte the
+  /// pre-admission-control backpressure behaviour — and shed best-effort
+  /// at half.
+  double high_depth_fraction = 1.0;
+  double normal_depth_fraction = 1.0;
+  double best_effort_depth_fraction = 0.5;
+  /// Per-tenant token buckets, keyed by SubmitOptions::tenant. Tenants
+  /// not listed are unmetered.
+  std::vector<std::pair<std::uint64_t, TenantQuota>> quotas;
+  /// Clock used for bucket refill and deadline checks. Empty → the real
+  /// steady clock. Injected by tests.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict {
+    Admit,
+    RejectDeadline,  ///< deadline already expired at submission
+    RejectQuota,     ///< tenant bucket empty
+  };
+
+  AdmissionController(AdmissionOptions options, std::size_t shard_capacity);
+
+  /// The controller's notion of now (the injected clock, or the real
+  /// steady clock). The server also uses it for dispatch-time deadline
+  /// shedding so fake-clock tests are fully deterministic.
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const;
+
+  /// The submission-time decision: deadline check, then token-bucket
+  /// draw. Queue-depth shedding happens in ShardQueue::try_push against
+  /// depth_limit() — under the producer lock, where it is exact.
+  [[nodiscard]] Verdict preadmit(const SubmitOptions& options);
+
+  /// Depth (in requests, per shard) the priority class may fill to.
+  [[nodiscard]] std::size_t depth_limit(Priority priority) const noexcept {
+    return limits_[static_cast<std::size_t>(priority)];
+  }
+
+  /// Whether any priority's limit sits below the full shard capacity —
+  /// when true, an all-shards-full rejection for that class is a priority
+  /// shed, not an overload.
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shard_capacity_;
+  }
+
+ private:
+  struct Bucket {
+    TenantQuota quota;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last{};
+  };
+
+  AdmissionOptions options_;
+  std::size_t shard_capacity_;
+  std::array<std::size_t, kPriorityCount> limits_{};
+  std::mutex mutex_;  ///< guards buckets_ (metered tenants only)
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+}  // namespace nacu::serve

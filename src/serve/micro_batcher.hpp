@@ -1,5 +1,5 @@
-// Dynamic micro-batcher: the bounded FIFO between the submission API and
-// the dispatcher thread.
+// Dynamic micro-batcher: the flush policy between a shard's ingress queue
+// and its dispatcher.
 //
 // Requests accumulate here until a *flush trigger* fires, whichever first:
 //
@@ -11,10 +11,13 @@
 // (the baseline bench_serving compares against); max_wait = 0 makes the
 // dispatcher coalesce exactly what is pending whenever it wakes.
 //
-// The batcher is NOT internally synchronised: every member runs under the
-// owning InferenceServer's submission mutex. It holds no timer of its own —
-// the dispatcher sleeps until flush_deadline() and re-asks should_flush(),
-// so time only ever advances in one place.
+// The batcher is NOT internally synchronised: it is the dispatcher-private
+// side of a shard (fed from ShardQueue::drain_into and by work stealing),
+// owned and touched by exactly one dispatcher thread. It holds no timer of
+// its own — the dispatcher sleeps until flush_deadline() and re-asks
+// should_flush(), so time only ever advances in one place. Flush policy is
+// unit-tested in isolation with synthetic clocks
+// (tests/test_micro_batcher.cpp).
 #pragma once
 
 #include <chrono>
@@ -33,7 +36,9 @@ struct BatcherOptions {
   /// Oldest-request age at which a partial group flushes anyway.
   std::chrono::microseconds max_wait{200};
   /// Backpressure high-water mark: accepted-but-undispatched requests
-  /// beyond this are rejected with OverloadedError.
+  /// beyond this are rejected with OverloadedError. The server splits it
+  /// across shards (ceil(queue_capacity / shards) per ShardQueue); the
+  /// batcher's own full() uses it verbatim for single-queue consumers.
   std::size_t queue_capacity = 1024;
 };
 

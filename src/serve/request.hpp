@@ -2,21 +2,34 @@
 //
 // A request is one unit of client work — an element-wise activation batch,
 // one softmax row, or a full model forward pass — paired with the promise
-// its result is delivered through. Requests are created by the
-// InferenceServer submission API (server.hpp), queued in the MicroBatcher
-// (micro_batcher.hpp), and fulfilled by the dispatcher thread; clients only
-// ever see the std::future side.
+// its result is delivered through, plus the admission metadata the sharded
+// server schedules it by: a priority class, an optional completion
+// deadline, and an optional tenant id for per-tenant quotas. Requests are
+// created by the InferenceServer submission API (server.hpp), admitted
+// through the AdmissionController (admission.hpp), queued in a per-shard
+// ShardQueue (shard_queue.hpp), grouped by that shard's MicroBatcher
+// (micro_batcher.hpp), and fulfilled by the shard's dispatcher thread;
+// clients only ever see the std::future side.
 //
 // Admission failures are *exceptions from submit*, not broken futures: a
-// request that the server cannot accept (queue at its high-water mark, or
+// request that the server cannot accept (every eligible shard at its
+// priority's depth limit, quota exhausted, deadline already expired, or
 // shutdown already begun) throws before any promise exists, so a returned
 // future always corresponds to accepted work that the server will finish —
-// the graceful-shutdown drain guarantee depends on exactly this.
+// the graceful-shutdown drain guarantee depends on exactly this. The one
+// post-admission rejection is deadline shedding: a request whose deadline
+// expires while it queues is never dispatched; its future carries
+// DeadlineExpiredError instead (the drain guarantee still holds — the
+// future becomes ready).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <exception>
 #include <future>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -26,14 +39,15 @@
 
 namespace nacu::serve {
 
-/// Submission rejected: the pending queue reached ServerOptions::
-/// queue_capacity (the backpressure high-water mark). Clients should back
-/// off and retry; nothing was enqueued.
+/// Submission rejected: every shard eligible for the request's priority is
+/// at its depth limit (the backpressure high-water mark). Clients should
+/// back off and retry; nothing was enqueued.
 class OverloadedError : public std::runtime_error {
  public:
   OverloadedError()
       : std::runtime_error{
-            "serve: pending queue at its high-water mark, request rejected"} {}
+            "serve: pending queues at their high-water mark, request "
+            "rejected"} {}
 };
 
 /// Submission rejected: shutdown has begun. Previously accepted requests
@@ -42,6 +56,49 @@ class ShutdownError : public std::runtime_error {
  public:
   ShutdownError()
       : std::runtime_error{"serve: server is shutting down, request rejected"} {}
+};
+
+/// Submission rejected: the tenant's token bucket is empty (per-tenant
+/// quota, AdmissionOptions::quotas). Back off until the bucket refills.
+class QuotaExceededError : public std::runtime_error {
+ public:
+  QuotaExceededError()
+      : std::runtime_error{
+            "serve: tenant token-bucket quota exhausted, request rejected"} {}
+};
+
+/// The request's deadline expired — either already past at submission
+/// (thrown from submit) or while the request queued (set on its future;
+/// the request is shed, never dispatched).
+class DeadlineExpiredError : public std::runtime_error {
+ public:
+  DeadlineExpiredError()
+      : std::runtime_error{"serve: request deadline expired before dispatch"} {}
+};
+
+/// Admission-control priority classes. Under load, lower classes are shed
+/// first: each class admits only while the target shard's queue depth is
+/// below its configured fraction of capacity (admission.hpp), so
+/// best-effort traffic is always rejected before high-priority traffic.
+enum class Priority : std::uint8_t {
+  High = 0,
+  Normal = 1,
+  BestEffort = 2,
+};
+inline constexpr std::size_t kPriorityCount = 3;
+
+/// Per-submission scheduling metadata. Default-constructed options behave
+/// exactly like the pre-admission-control server: normal priority, no
+/// deadline, unmetered tenant.
+struct SubmitOptions {
+  Priority priority = Priority::Normal;
+  /// Completion deadline. Expired at submit → DeadlineExpiredError from
+  /// submit; expired while queued → the future carries DeadlineExpiredError
+  /// and the request is never dispatched.
+  std::optional<std::chrono::steady_clock::time_point> deadline{};
+  /// Tenant id for per-tenant token-bucket quotas. Tenants without a
+  /// configured quota (including the default 0) are unmetered.
+  std::uint64_t tenant = 0;
 };
 
 /// Element-wise activation over the datapath: out[i] = f(in[i]). These are
@@ -80,13 +137,23 @@ struct LstmRequest {
   std::promise<nn::LstmFixed::State> result;
 };
 
-/// One queued unit of work plus its admission timestamp (feeds the
-/// serve.request_latency_ns enqueue→complete histogram and the
-/// max_wait_us flush deadline).
+/// One queued unit of work plus its scheduling metadata: the admission
+/// timestamp (feeds the max_wait flush policy and the
+/// serve.request_latency_ns enqueue→complete histogram), the priority it
+/// was admitted under, and its optional deadline.
 struct Request {
   std::variant<ActivationRequest, SoftmaxRequest, MlpRequest, LstmRequest>
       payload;
   std::chrono::steady_clock::time_point enqueued_at{};
+  Priority priority = Priority::Normal;
+  std::optional<std::chrono::steady_clock::time_point> deadline{};
 };
+
+/// Deliver @p error through whichever promise type the request carries
+/// (deadline shedding, which never reaches execute_one).
+inline void fail_request(Request& request, std::exception_ptr error) {
+  std::visit([&](auto& r) { r.result.set_exception(std::move(error)); },
+             request.payload);
+}
 
 }  // namespace nacu::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <exception>
 #include <type_traits>
 #include <utility>
 
@@ -10,42 +11,97 @@
 #include "obs/trace.hpp"
 
 namespace nacu::serve {
+namespace {
+
+std::size_t resolve_shard_count(std::size_t requested) {
+  if (requested > 0) {
+    return std::min<std::size_t>(requested, 64);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 8);
+}
+
+std::size_t resolve_per_shard_capacity(const ServerOptions& options) {
+  const std::size_t shards = resolve_shard_count(options.shards);
+  const std::size_t total =
+      std::max<std::size_t>(1, options.batcher.queue_capacity);
+  return (total + shards - 1) / shards;
+}
+
+}  // namespace
+
+InferenceServer::Shard::Shard(const core::NacuConfig& config,
+                              const core::BatchNacu::Options& batch_options,
+                              const BatcherOptions& batcher_options,
+                              std::size_t capacity)
+    : engine{config, batch_options},
+      queue{capacity},
+      batcher{batcher_options} {}
 
 InferenceServer::InferenceServer(const core::NacuConfig& config,
                                  ServerOptions options)
-    : engine_{config, options.batch_options},
-      options_{options},
-      batcher_{options.batcher} {
-  if (options_.warm_tables && engine_.table_cacheable()) {
-    engine_.warm(Function::Sigmoid);
-    engine_.warm(Function::Tanh);
-    engine_.warm(Function::Exp);
+    : options_{std::move(options)},
+      admission_{options_.admission, resolve_per_shard_capacity(options_)},
+      per_shard_capacity_{resolve_per_shard_capacity(options_)},
+      stamp_enqueue_time_{options_.batcher.max_wait.count() > 0} {
+  const std::size_t shard_count = resolve_shard_count(options_.shards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        config, options_.batch_options, options_.batcher,
+        per_shard_capacity_));
   }
-  dispatcher_ = std::thread{[this] { dispatcher_loop(); }};
+  if (options_.warm_tables && shards_.front()->engine.table_cacheable()) {
+    for (auto& shard : shards_) {
+      shard->engine.warm(Function::Sigmoid);
+      shard->engine.warm(Function::Tanh);
+      shard->engine.warm(Function::Exp);
+    }
+  }
+  obs::gauge("serve.shard.count").set(static_cast<std::int64_t>(shard_count));
+  // Dispatchers start only after every shard exists: try_steal walks the
+  // whole shard vector.
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_[i]->dispatcher = std::thread{[this, i] { dispatcher_loop(i); }};
+  }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
 void InferenceServer::shutdown() {
-  {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    stopping_ = true;
+  // Order matters: dispatchers that wake on queue.stop() must already see
+  // stopping_ so they flush partial groups immediately instead of waiting
+  // out max_wait.
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->queue.stop();
   }
-  work_ready_.notify_all();
   // One caller joins; concurrent callers block here until the drain is
   // complete, so "shutdown returned" always means "every accepted future
   // is ready".
-  std::call_once(join_once_, [this] { dispatcher_.join(); });
+  std::call_once(join_once_, [this] {
+    for (auto& shard : shards_) {
+      if (shard->dispatcher.joinable()) {
+        shard->dispatcher.join();
+      }
+    }
+  });
 }
 
 bool InferenceServer::accepting() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
-  return !stopping_;
+  return !stopping_.load(std::memory_order_acquire);
 }
 
 std::size_t InferenceServer::pending() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
-  return batcher_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.size();
+  }
+  return total;
+}
+
+const core::BatchNacu& InferenceServer::engine() const noexcept {
+  return shards_.front()->engine;
 }
 
 InferenceServer::Counters InferenceServer::counters() const {
@@ -53,120 +109,234 @@ InferenceServer::Counters InferenceServer::counters() const {
   c.accepted = accepted_.load(std::memory_order_relaxed);
   c.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
   c.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  c.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  c.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  c.shed_priority = shed_priority_.load(std::memory_order_relaxed);
+  c.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   c.completed = completed_.load(std::memory_order_relaxed);
   c.dispatches = dispatches_.load(std::memory_order_relaxed);
+  c.steals = steals_.load(std::memory_order_relaxed);
+  c.stolen_requests = stolen_requests_.load(std::memory_order_relaxed);
   return c;
 }
 
+std::size_t InferenceServer::home_shard() const noexcept {
+  // Process-global token issuance: each thread draws one token for life,
+  // so threads spread round-robin over shards and then stick (affinity).
+  static std::atomic<std::uint64_t> next_token{0};
+  thread_local const std::uint64_t token =
+      next_token.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::size_t>(token % shards_.size());
+}
+
 template <typename Result, typename Payload>
-std::future<Result> InferenceServer::enqueue(Payload payload) {
+std::future<Result> InferenceServer::enqueue(
+    Payload payload, const SubmitOptions& submit_options) {
   static obs::Counter& accepted_m = obs::counter("serve.accepted");
   static obs::Counter& rejected_overload_m =
       obs::counter("serve.rejected_overload");
   static obs::Counter& rejected_shutdown_m =
       obs::counter("serve.rejected_shutdown");
+  static obs::Counter& rejected_quota_m =
+      obs::counter("serve.admission.rejected_quota");
+  static obs::Counter& rejected_deadline_m =
+      obs::counter("serve.admission.rejected_deadline");
+  static obs::Counter& shed_priority_m =
+      obs::counter("serve.admission.shed_priority");
   static obs::Gauge& depth_high_water =
       obs::gauge("serve.queue_depth_high_water");
+
   std::future<Result> future = payload.result.get_future();
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    rejected_shutdown_m.add();
+    throw ShutdownError{};
+  }
+  switch (admission_.preadmit(submit_options)) {
+    case AdmissionController::Verdict::RejectDeadline:
+      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+      rejected_deadline_m.add();
+      throw DeadlineExpiredError{};
+    case AdmissionController::Verdict::RejectQuota:
+      rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+      rejected_quota_m.add();
+      throw QuotaExceededError{};
+    case AdmissionController::Verdict::Admit:
+      break;
+  }
+
   Request request;
   request.payload = std::move(payload);
-  if (obs::metrics_enabled()) {
-    // The enqueue→complete latency histogram is the only consumer of the
-    // stamp; skip the clock read on the hot path when metrics are off.
+  request.priority = submit_options.priority;
+  request.deadline = submit_options.deadline;
+  if (stamp_enqueue_time_ || obs::metrics_enabled()) {
+    // The stamp feeds the max_wait flush policy and the enqueue→complete
+    // latency histogram; with max_wait = 0 and metrics off nothing reads
+    // it, so the hot path skips the clock.
     request.enqueued_at = std::chrono::steady_clock::now();
   }
-  std::size_t depth = 0;
-  {
-    // Keep the critical section to the admission decision and the push —
-    // every concurrent submitter and the dispatcher contend this mutex, so
-    // bookkeeping happens outside it.
-    const std::lock_guard<std::mutex> lock{mutex_};
-    if (stopping_) {
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
-      rejected_shutdown_m.add();
-      throw ShutdownError{};
+
+  const std::size_t depth_limit = admission_.depth_limit(submit_options.priority);
+  const std::size_t shard_count = shards_.size();
+  const std::size_t start = home_shard();
+  for (std::size_t probe = 0; probe < shard_count; ++probe) {
+    ShardQueue& queue = shards_[(start + probe) % shard_count]->queue;
+    switch (queue.try_push(request, depth_limit)) {
+      case ShardQueue::Push::Ok:
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        accepted_m.add();
+        depth_high_water.record_max(static_cast<std::int64_t>(queue.size()));
+        return future;
+      case ShardQueue::Push::Stopped:
+        // stop() reaches every queue; seeing one stopped means shutdown.
+        rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        rejected_shutdown_m.add();
+        throw ShutdownError{};
+      case ShardQueue::Push::Full:
+        break;  // probe the next shard
     }
-    if (batcher_.full()) {
-      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-      rejected_overload_m.add();
-      throw OverloadedError{};
-    }
-    batcher_.push(std::move(request));
-    depth = batcher_.size();
   }
-  work_ready_.notify_one();  // only the dispatcher waits on this
-  accepted_.fetch_add(1, std::memory_order_relaxed);
-  accepted_m.add();
-  depth_high_water.record_max(static_cast<std::int64_t>(depth));
-  return future;
+  if (depth_limit < per_shard_capacity_) {
+    // Rejected at a sub-capacity class limit: a higher-priority request
+    // would still have been admitted — this is a priority shed.
+    shed_priority_.fetch_add(1, std::memory_order_relaxed);
+    shed_priority_m.add();
+  } else {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    rejected_overload_m.add();
+  }
+  throw OverloadedError{};
 }
 
 std::future<std::vector<fp::Fixed>> InferenceServer::submit(
-    Function f, std::vector<fp::Fixed> input) {
+    Function f, std::vector<fp::Fixed> input,
+    const SubmitOptions& submit_options) {
   ActivationRequest payload;
   payload.function = f;
   payload.input = std::move(input);
-  return enqueue<std::vector<fp::Fixed>>(std::move(payload));
+  return enqueue<std::vector<fp::Fixed>>(std::move(payload), submit_options);
 }
 
 std::future<std::vector<fp::Fixed>> InferenceServer::submit_softmax(
-    std::vector<fp::Fixed> logits) {
+    std::vector<fp::Fixed> logits, const SubmitOptions& submit_options) {
   SoftmaxRequest payload;
   payload.logits = std::move(logits);
-  return enqueue<std::vector<fp::Fixed>>(std::move(payload));
+  return enqueue<std::vector<fp::Fixed>>(std::move(payload), submit_options);
 }
 
 std::future<std::vector<double>> InferenceServer::submit_mlp(
-    const nn::QuantizedMlp& model, std::vector<double> input) {
+    const nn::QuantizedMlp& model, std::vector<double> input,
+    const SubmitOptions& submit_options) {
   MlpRequest payload;
   payload.model = &model;
   payload.input = std::move(input);
-  return enqueue<std::vector<double>>(std::move(payload));
+  return enqueue<std::vector<double>>(std::move(payload), submit_options);
 }
 
 std::future<nn::LstmFixed::State> InferenceServer::submit_lstm(
     const nn::LstmFixed& model, nn::LstmFixed::State state,
-    std::vector<double> x) {
+    std::vector<double> x, const SubmitOptions& submit_options) {
   LstmRequest payload;
   payload.model = &model;
   payload.state = std::move(state);
   payload.x = std::move(x);
-  return enqueue<nn::LstmFixed::State>(std::move(payload));
+  return enqueue<nn::LstmFixed::State>(std::move(payload), submit_options);
 }
 
-void InferenceServer::dispatcher_loop() {
-  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
-  for (;;) {
-    std::vector<Request> group;
-    {
-      std::unique_lock<std::mutex> lock{mutex_};
-      for (;;) {
-        if (batcher_.empty()) {
-          if (stopping_) {
-            return;  // drained: every accepted future is fulfilled
-          }
-          work_ready_.wait(lock);
-          continue;
-        }
-        // Shutdown flushes whatever is pending immediately; otherwise the
-        // group forms on max_batch or the oldest request's age, whichever
-        // fires first. The timed wait re-checks on every wake, so time
-        // only advances through should_flush.
-        if (stopping_ ||
-            batcher_.should_flush(std::chrono::steady_clock::now())) {
-          break;
-        }
-        work_ready_.wait_until(lock, *batcher_.flush_deadline());
-      }
-      group = batcher_.take_group();
-      depth.set(static_cast<std::int64_t>(batcher_.size()));
+bool InferenceServer::try_steal(std::size_t shard_index) {
+  static obs::Counter& steals_m = obs::counter("serve.shard.steals");
+  static obs::Counter& stolen_m = obs::counter("serve.shard.stolen_requests");
+  static obs::Histogram& steal_batch_m =
+      obs::histogram("serve.shard.steal_batch");
+  Shard& thief = *shards_[shard_index];
+  const std::size_t shard_count = shards_.size();
+  // Cheap atomic scan for the most loaded victim — advisory, the steal
+  // itself re-checks under the victim's lock.
+  std::size_t victim = shard_index;
+  std::size_t victim_depth = 0;
+  for (std::size_t offset = 1; offset < shard_count; ++offset) {
+    const std::size_t i = (shard_index + offset) % shard_count;
+    const std::size_t depth = shards_[i]->queue.size();
+    if (depth > victim_depth) {
+      victim = i;
+      victim_depth = depth;
     }
-    execute_group(std::move(group));
+  }
+  if (victim == shard_index || victim_depth == 0) {
+    return false;
+  }
+  // Take up to half the victim's backlog, bounded by one dispatch group.
+  const std::size_t want =
+      std::min(std::max<std::size_t>(1, victim_depth / 2),
+               thief.batcher.options().max_batch);
+  const std::size_t got = shards_[victim]->queue.steal_into(
+      [&](Request&& request) { thief.batcher.push(std::move(request)); },
+      want);
+  if (got == 0) {
+    return false;
+  }
+  thief.queue.adopt(got);
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_requests_.fetch_add(got, std::memory_order_relaxed);
+  steals_m.add();
+  stolen_m.add(got);
+  steal_batch_m.record(got);
+  return true;
+}
+
+void InferenceServer::dispatcher_loop(std::size_t shard_index) {
+  static obs::Gauge& depth_g = obs::gauge("serve.queue_depth");
+  Shard& shard = *shards_[shard_index];
+  const std::size_t max_batch = shard.batcher.options().max_batch;
+  const bool stealing =
+      options_.work_stealing && shards_.size() > 1;
+  for (;;) {
+    // Top up the private batcher with the oldest ingress — at most one
+    // group's worth per pass, so the rest of a burst stays in the inbox
+    // where idle neighbours can steal it.
+    if (shard.batcher.size() < max_batch) {
+      (void)shard.queue.drain_into(
+          [&](Request&& request) { shard.batcher.push(std::move(request)); },
+          max_batch - shard.batcher.size());
+    }
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (shard.batcher.empty()) {
+      if (!stopping && stealing && try_steal(shard_index)) {
+        continue;
+      }
+      std::optional<std::chrono::steady_clock::time_point> poll;
+      if (!stopping && stealing) {
+        poll = std::chrono::steady_clock::now() + options_.steal_poll;
+      }
+      switch (shard.queue.wait(poll)) {
+        case ShardQueue::Wait::Work:
+        case ShardQueue::Wait::Timeout:
+          continue;
+        case ShardQueue::Wait::Stopped:
+          // Stopped with an empty inbox and an empty private deque: every
+          // request this shard will ever see has been dispatched.
+          return;
+      }
+    }
+    if (!stopping &&
+        !shard.batcher.should_flush(std::chrono::steady_clock::now())) {
+      // Partial group: sleep until the oldest request ages out or new
+      // ingress arrives (which may complete the group). Time only
+      // advances through should_flush on the next pass.
+      (void)shard.queue.wait(shard.batcher.flush_deadline());
+      continue;
+    }
+    std::vector<Request> group = shard.batcher.take_group();
+    shard.queue.on_taken(group.size());
+    depth_g.set(static_cast<std::int64_t>(shard.queue.size()));
+    execute_group(shard, std::move(group));
   }
 }
 
-void InferenceServer::execute_group(std::vector<Request> group) {
+void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
   static obs::Counter& dispatches_m = obs::counter("serve.dispatches");
+  static obs::Counter& shed_deadline_m =
+      obs::counter("serve.admission.shed_deadline");
   static obs::Histogram& group_requests =
       obs::histogram("serve.group_requests");
   static obs::Histogram& coalesced_elems =
@@ -179,6 +349,25 @@ void InferenceServer::execute_group(std::vector<Request> group) {
   const obs::TraceSpan span{"InferenceServer::dispatch"};
 
   std::vector<bool> handled(group.size(), false);
+  // Deadline shedding before anything touches the engine: an expired
+  // request is never dispatched — its future carries the error instead.
+  bool any_deadline = false;
+  for (const Request& request : group) {
+    any_deadline = any_deadline || request.deadline.has_value();
+  }
+  if (any_deadline) {
+    const auto now = admission_.now();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i].deadline.has_value() && *group[i].deadline <= now) {
+        fail_request(group[i],
+                     std::make_exception_ptr(DeadlineExpiredError{}));
+        handled[i] = true;
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        shed_deadline_m.add();
+        finish(group[i]);
+      }
+    }
+  }
   // Coalesce the element-wise activation requests: one engine call per
   // function over the concatenation of every member's input. Element-wise
   // evaluation is position-independent, so slicing the output back apart
@@ -186,12 +375,12 @@ void InferenceServer::execute_group(std::vector<Request> group) {
   // central claim).
   for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
     const auto f = static_cast<Function>(fi);
-    std::vector<std::size_t>& members = scratch_members_;
+    std::vector<std::size_t>& members = shard.scratch_members;
     members.clear();
     std::size_t total = 0;
     for (std::size_t i = 0; i < group.size(); ++i) {
       const auto* act = std::get_if<ActivationRequest>(&group[i].payload);
-      if (act != nullptr && act->function == f) {
+      if (!handled[i] && act != nullptr && act->function == f) {
         members.push_back(i);
         total += act->input.size();
       }
@@ -199,7 +388,7 @@ void InferenceServer::execute_group(std::vector<Request> group) {
     if (members.size() < 2) {
       continue;  // nothing to coalesce; the per-request loop picks it up
     }
-    std::vector<fp::Fixed>& in = scratch_in_;
+    std::vector<fp::Fixed>& in = shard.scratch_in;
     in.clear();
     in.reserve(total);
     for (const std::size_t i : members) {
@@ -207,9 +396,10 @@ void InferenceServer::execute_group(std::vector<Request> group) {
       in.insert(in.end(), act.input.begin(), act.input.end());
     }
     try {
-      scratch_out_.assign(total, fp::Fixed::zero(engine_.format()));
-      std::vector<fp::Fixed>& out = scratch_out_;
-      engine_.evaluate(f, in, out);
+      shard.scratch_out.assign(total,
+                               fp::Fixed::zero(shard.engine.format()));
+      std::vector<fp::Fixed>& out = shard.scratch_out;
+      shard.engine.evaluate(f, in, out);
       coalesced_elems.record(total);
       std::size_t offset = 0;
       for (const std::size_t i : members) {
@@ -232,7 +422,7 @@ void InferenceServer::execute_group(std::vector<Request> group) {
       // so only the offenders see the exception — error isolation.
       for (const std::size_t i : members) {
         if (!handled[i]) {
-          execute_one(group[i]);
+          execute_one(shard, group[i]);
           handled[i] = true;
           finish(group[i]);
         }
@@ -244,21 +434,21 @@ void InferenceServer::execute_group(std::vector<Request> group) {
   // out across the thread pool internally.
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (!handled[i]) {
-      execute_one(group[i]);
+      execute_one(shard, group[i]);
       finish(group[i]);
     }
   }
 }
 
-void InferenceServer::execute_one(Request& request) {
+void InferenceServer::execute_one(Shard& shard, Request& request) {
   std::visit(
-      [this](auto& r) {
+      [&shard](auto& r) {
         using T = std::decay_t<decltype(r)>;
         try {
           if constexpr (std::is_same_v<T, ActivationRequest>) {
-            r.result.set_value(engine_.evaluate(r.function, r.input));
+            r.result.set_value(shard.engine.evaluate(r.function, r.input));
           } else if constexpr (std::is_same_v<T, SoftmaxRequest>) {
-            r.result.set_value(engine_.softmax(r.logits));
+            r.result.set_value(shard.engine.softmax(r.logits));
           } else if constexpr (std::is_same_v<T, MlpRequest>) {
             r.result.set_value(r.model->predict_proba(r.input));
           } else {

@@ -1,61 +1,93 @@
-// Asynchronous inference server over the NACU batch engine.
+// Sharded asynchronous inference server over the NACU batch engine.
 //
 // The missing piece between "a fast datapath" and "a system that serves
 // traffic": many concurrent clients submit per-request work — an
 // element-wise activation batch, a softmax row, a whole QuantizedMlp or
-// LstmFixed forward pass — through a lock-guarded API and get
-// std::futures back. A single dispatcher thread coalesces pending
-// requests in a dynamic micro-batcher (flush on max_batch or max_wait_us,
-// whichever fires first) and executes each dispatch group through the
-// shared core::BatchNacu engine, whose dense-table/SIMD kernels and
-// core::ThreadPool fan-out do the heavy lifting.
+// LstmFixed forward pass — and get std::futures back. Where the first
+// serving layer funnelled every submitter through one mutex into one
+// dispatcher thread (the measured scaling ceiling: requests/s *fell* as
+// clients grew), this server scales out:
 //
-// Contracts, each proven by tests/test_serving.cpp:
+//   * sharded ingress — N dispatcher shards, each owning a bounded MPSC
+//     ShardQueue, its own core::BatchNacu engine, its own MicroBatcher,
+//     and its own concat scratch. A cheap shard picker (round-robin with
+//     per-thread affinity) sends each submitting thread to its home
+//     shard, so S shards divide submission-lock contention by S; a full
+//     home shard spills to the next before rejecting;
+//   * work stealing — an idle shard steals the oldest queued ingress of
+//     the most loaded neighbour, so one bursty client cannot strand work
+//     behind a single dispatcher while others sit idle;
+//   * admission control (admission.hpp) — priority classes with
+//     per-class depth limits (best-effort sheds before high), deadline
+//     checks at submit *and* dispatch (an expired request is never
+//     executed), and per-tenant token-bucket quotas, all layered above
+//     the exact OverloadedError backpressure.
+//
+// Contracts, each proven by tests/test_serving.cpp and
+// tests/test_admission.cpp:
 //
 //  * bit-identity — results equal direct BatchNacu/model calls raw-for-raw
-//    no matter how requests were coalesced into groups. Element-wise
-//    activations are concatenated and sliced (position-independent by
-//    construction); softmax rows and model passes run one engine call per
-//    request inside the group;
+//    no matter the shard count, the stealing schedule, or how requests
+//    were coalesced into groups. Element-wise activations are concatenated
+//    and sliced (position-independent by construction); softmax rows and
+//    model passes run one engine call per request inside the group; every
+//    shard's engine builds identical tables from the same scalar datapath;
 //  * backpressure — at most queue_capacity requests sit accepted-but-
-//    undispatched; the next submit throws OverloadedError and enqueues
-//    nothing (reject-with-error, never silent drops or unbounded queues);
+//    undispatched across all shards; past a priority's depth limit submit
+//    throws OverloadedError and enqueues nothing (reject-with-error, never
+//    silent drops or unbounded queues);
 //  * graceful shutdown — shutdown() (and the destructor) stops admission
-//    (further submits throw ShutdownError), drains every accepted request,
-//    fulfils its future, then joins the dispatcher. A returned future is
-//    therefore always eventually ready;
+//    (further submits throw ShutdownError), drains every accepted request
+//    across every shard, fulfils its future, then joins the dispatchers. A
+//    returned future is therefore always eventually ready — deadline-shed
+//    requests become ready with DeadlineExpiredError;
 //  * per-request error isolation — a request with bad inputs (e.g. a Fixed
 //    outside the datapath format) gets the exception on its own future; the
 //    other requests of the same coalesced group still complete correctly;
-//  * observability — per-stage obs:: metrics: admission counters, queue
-//    depth high-water, dispatch group size/element histograms, dispatch
-//    execution time, and the enqueue→complete latency histogram whose
-//    log2 buckets give p50/p99 through Registry::to_json().
+//  * observability — per-stage obs:: metrics: serve.* admission counters
+//    and latency histograms (log2 buckets give p50/p99 through
+//    Registry::to_json()), serve.shard.* steal counters, and
+//    serve.admission.* shed/quota counters.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/admission.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/request.hpp"
+#include "serve/shard_queue.hpp"
 
 namespace nacu::serve {
 
 struct ServerOptions {
   /// Micro-batching policy: group size, age-based flush, high-water mark.
+  /// queue_capacity is the *total* backpressure bound; each shard's queue
+  /// gets ceil(queue_capacity / shards).
   BatcherOptions batcher{};
-  /// Engine knobs forwarded to the owned core::BatchNacu (thread pool,
-  /// kernel backend, table/parallel thresholds).
+  /// Engine knobs forwarded to every shard's core::BatchNacu (thread
+  /// pool, kernel backend, table/parallel thresholds).
   core::BatchNacu::Options batch_options{};
   /// Build the σ/tanh/exp dense tables at construction (when the format is
   /// table-cacheable) so the first requests are not taxed with the lazy
   /// full-domain sweeps.
   bool warm_tables = true;
+  /// Dispatcher shards. 1 (the default) reproduces the single-dispatcher
+  /// behaviour exactly; 0 picks one shard per hardware thread, clamped to
+  /// [1, 8].
+  std::size_t shards = 1;
+  /// Idle shards steal queued ingress from the most loaded neighbour.
+  bool work_stealing = true;
+  /// How often an idle shard re-polls neighbours for stealable work (it
+  /// has no other wake-up source for work that never touches its queue).
+  std::chrono::microseconds steal_poll{100};
+  /// Priority depth limits, deadline policy, per-tenant quotas.
+  AdmissionOptions admission{};
 };
 
 class InferenceServer {
@@ -70,36 +102,43 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Element-wise activation batch: future resolves to f(input) in order.
-  /// Throws OverloadedError / ShutdownError instead of enqueueing.
+  /// Throws OverloadedError / ShutdownError / QuotaExceededError /
+  /// DeadlineExpiredError instead of enqueueing.
   [[nodiscard]] std::future<std::vector<fp::Fixed>> submit(
-      Function f, std::vector<fp::Fixed> input);
+      Function f, std::vector<fp::Fixed> input,
+      const SubmitOptions& submit_options = {});
 
   /// One Eq. 13 softmax row over @p logits.
   [[nodiscard]] std::future<std::vector<fp::Fixed>> submit_softmax(
-      std::vector<fp::Fixed> logits);
+      std::vector<fp::Fixed> logits, const SubmitOptions& submit_options = {});
 
   /// Full forward pass: future resolves to model.predict_proba(input).
   /// @p model is borrowed — keep it alive until the future resolves.
   [[nodiscard]] std::future<std::vector<double>> submit_mlp(
-      const nn::QuantizedMlp& model, std::vector<double> input);
+      const nn::QuantizedMlp& model, std::vector<double> input,
+      const SubmitOptions& submit_options = {});
 
   /// One LSTM cell step: future resolves to model.step(state, x).
   /// @p model is borrowed — keep it alive until the future resolves.
   [[nodiscard]] std::future<nn::LstmFixed::State> submit_lstm(
       const nn::LstmFixed& model, nn::LstmFixed::State state,
-      std::vector<double> x);
+      std::vector<double> x, const SubmitOptions& submit_options = {});
 
-  /// Stop admission, drain every accepted request, join the dispatcher.
-  /// Idempotent and safe to call from several threads.
+  /// Stop admission, drain every accepted request across every shard,
+  /// join the dispatchers. Idempotent and safe from several threads.
   void shutdown();
 
   /// Whether submissions are still admitted.
   [[nodiscard]] bool accepting() const;
-  /// Requests accepted but not yet taken into a dispatch group.
+  /// Requests accepted but not yet taken into a dispatch group, summed
+  /// over all shards.
   [[nodiscard]] std::size_t pending() const;
 
-  [[nodiscard]] const core::BatchNacu& engine() const noexcept {
-    return engine_;
+  /// Shard 0's engine (all shards are configured identically and produce
+  /// identical bits).
+  [[nodiscard]] const core::BatchNacu& engine() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
   }
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;
@@ -107,55 +146,94 @@ class InferenceServer {
 
   /// Per-server admission/completion tallies — unlike the obs:: registry
   /// these are always on and scoped to this instance, so tests can assert
-  /// exact counts without toggling the global metrics switch.
+  /// exact counts without toggling the global metrics switch. Invariant
+  /// after shutdown(): accepted == completed, and
+  /// accepted + rejected_* + shed_priority == submissions attempted.
   struct Counters {
     std::uint64_t accepted = 0;
-    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_overload = 0;  ///< full at the capacity limit
     std::uint64_t rejected_shutdown = 0;
+    std::uint64_t rejected_quota = 0;     ///< tenant bucket empty
+    std::uint64_t rejected_deadline = 0;  ///< expired already at submit
+    std::uint64_t shed_priority = 0;  ///< full at a sub-capacity class limit
+    std::uint64_t shed_deadline = 0;  ///< accepted, expired before dispatch
     std::uint64_t completed = 0;  ///< futures fulfilled (value or exception)
     std::uint64_t dispatches = 0;  ///< dispatch groups executed
+    std::uint64_t steals = 0;          ///< successful steal operations
+    std::uint64_t stolen_requests = 0;  ///< requests moved by stealing
   };
   [[nodiscard]] Counters counters() const;
 
  private:
-  /// Admission: lock, reject on stop/high-water, stamp, enqueue, wake the
-  /// dispatcher. Returns the future tied to the enqueued promise.
-  template <typename Result, typename Payload>
-  [[nodiscard]] std::future<Result> enqueue(Payload payload);
+  /// Everything one dispatcher shard owns. Engines are per-shard so group
+  /// execution never shares mutable state across shards; configured
+  /// identically, they produce identical bits by the dense-table
+  /// construction argument.
+  struct Shard {
+    Shard(const core::NacuConfig& config,
+          const core::BatchNacu::Options& batch_options,
+          const BatcherOptions& batcher_options, std::size_t capacity);
 
-  void dispatcher_loop();
-  /// Execute one dispatch group: coalesce activations per function, run
-  /// everything else per request, fulfil every promise exactly once.
-  void execute_group(std::vector<Request> group);
+    core::BatchNacu engine;
+    ShardQueue queue;
+    MicroBatcher batcher;  ///< dispatcher-private; fed by queue.drain_into
+
+    /// Dispatcher-thread-only scratch for coalesced evaluation, reused
+    /// across dispatch groups so the steady-state hot path allocates only
+    /// the per-request result vectors.
+    std::vector<fp::Fixed> scratch_in;
+    std::vector<fp::Fixed> scratch_out;
+    std::vector<std::size_t> scratch_members;
+
+    std::thread dispatcher;  ///< started after every shard exists
+  };
+
+  /// Admission: preadmit (deadline/quota), stamp, then push into the home
+  /// shard or — when it is full — probe the others once around. Returns
+  /// the future tied to the enqueued promise; throws instead of enqueueing
+  /// on any rejection.
+  template <typename Result, typename Payload>
+  [[nodiscard]] std::future<Result> enqueue(Payload payload,
+                                            const SubmitOptions& submit_options);
+
+  /// Round-robin with per-thread affinity: each submitting thread keeps
+  /// hitting the same shard (its producer lock stays warm and uncontended
+  /// until thread count exceeds shard count).
+  [[nodiscard]] std::size_t home_shard() const noexcept;
+
+  void dispatcher_loop(std::size_t shard_index);
+  /// Steal from the most loaded other shard into @p shard_index's batcher.
+  [[nodiscard]] bool try_steal(std::size_t shard_index);
+  /// Execute one dispatch group on @p shard: shed expired deadlines,
+  /// coalesce activations per function, run everything else per request,
+  /// fulfil every promise exactly once.
+  void execute_group(Shard& shard, std::vector<Request> group);
   /// Non-coalesced execution of one request (also the error-isolation
   /// fallback when a coalesced evaluation throws).
-  void execute_one(Request& request);
+  void execute_one(Shard& shard, Request& request);
   /// Record completion metrics and the enqueue→complete latency.
   void finish(const Request& request);
 
-  core::BatchNacu engine_;
   ServerOptions options_;
+  AdmissionController admission_;
+  std::size_t per_shard_capacity_ = 0;
+  bool stamp_enqueue_time_ = false;  ///< max_wait > 0 needs the age stamp
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// Dispatcher-thread-only scratch for coalesced evaluation, reused
-  /// across dispatch groups so the steady-state hot path allocates only
-  /// the per-request result vectors.
-  std::vector<fp::Fixed> scratch_in_;
-  std::vector<fp::Fixed> scratch_out_;
-  std::vector<std::size_t> scratch_members_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
-  MicroBatcher batcher_;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
   std::once_flag join_once_;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> rejected_quota_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
+  std::atomic<std::uint64_t> shed_priority_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> dispatches_{0};
-
-  std::thread dispatcher_;  ///< last member: started after all state exists
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> stolen_requests_{0};
 };
 
 }  // namespace nacu::serve

@@ -6,16 +6,23 @@
 // dispatch groups. The differential sweep proves it for every NacuConfig
 // variant the batch engine's own differential test covers, under
 // multi-threaded clients and three very different batching policies.
-// Around that: exact backpressure at the high-water mark, the
-// graceful-shutdown drain guarantee, per-request error isolation inside
+// dispatch groups — and, since the scale-out, no matter how many
+// dispatcher shards the work spreads over or how work stealing reshuffles
+// it: a full shards × max_batch × config matrix plus a single-thread-burst
+// stealing test pin it down. Around that: ShardQueue unit coverage (exact
+// depth accounting, steal transfer, stop semantics), exact backpressure at
+// the high-water mark, the graceful-shutdown drain guarantee raced against
+// bursty unbalanced submitters, per-request error isolation inside
 // coalesced groups, and the obs:: serving metrics. The whole binary also
-// runs under the CI TSan job (serving-smoke) — submission, dispatch, and
-// shutdown are the new concurrency surface.
+// runs under the CI TSan job (serving-smoke) — submission, dispatch,
+// stealing, and shutdown are the concurrency surface.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +34,7 @@
 #include "nn/rng.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/shard_queue.hpp"
 
 namespace nacu::serve {
 namespace {
@@ -400,6 +408,281 @@ TEST(Serving, EmptyRequestsResolveToEmptyResults) {
   auto softmax = server.submit_softmax({});
   EXPECT_TRUE(activation.get().empty());
   EXPECT_TRUE(softmax.get().empty());
+}
+
+// --- ShardQueue unit coverage -------------------------------------------
+// The ingress queue's accounting is what the backpressure and stealing
+// contracts rest on, so its exact semantics get direct tests.
+
+/// A promise-carrying request whose activation input has @p tag elements —
+/// the tag identifies it through drains and steals.
+Request tagged_request(std::size_t tag) {
+  Request request;
+  ActivationRequest payload;
+  payload.input.assign(tag, fp::Fixed::from_raw(0, fp::Format{8, 7}));
+  request.payload = std::move(payload);
+  return request;
+}
+
+std::size_t tag_of(const Request& request) {
+  return std::get<ActivationRequest>(request.payload).input.size();
+}
+
+TEST(ShardQueue, TryPushEnforcesDepthLimitsExactlyAndMovesOnlyOnOk) {
+  ShardQueue queue{4};
+  Request request = tagged_request(10);
+  EXPECT_EQ(queue.try_push(request, 2), ShardQueue::Push::Ok);
+  request = tagged_request(11);
+  EXPECT_EQ(queue.try_push(request, 2), ShardQueue::Push::Ok);
+  request = tagged_request(12);
+  // At the class depth limit: rejected, and the request is NOT consumed —
+  // the server relies on this to probe the next shard with the same object.
+  EXPECT_EQ(queue.try_push(request, 2), ShardQueue::Push::Full);
+  EXPECT_EQ(tag_of(request), 12u);
+  EXPECT_EQ(queue.try_push(request, 4), ShardQueue::Push::Ok);
+  request = tagged_request(13);
+  // A depth limit above capacity clamps to capacity.
+  EXPECT_EQ(queue.try_push(request, 100), ShardQueue::Push::Ok);
+  request = tagged_request(14);
+  EXPECT_EQ(queue.try_push(request, 100), ShardQueue::Push::Full);
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(ShardQueue, StealTakesTheOldestAndTransfersAccountingToTheThief) {
+  ShardQueue victim{8};
+  ShardQueue thief{8};
+  for (std::size_t tag = 0; tag < 4; ++tag) {
+    Request request = tagged_request(tag);
+    ASSERT_EQ(victim.try_push(request, 8), ShardQueue::Push::Ok);
+  }
+  std::vector<std::size_t> stolen;
+  const std::size_t got = victim.steal_into(
+      [&](Request&& request) { stolen.push_back(tag_of(request)); }, 2);
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(stolen, (std::vector<std::size_t>{0, 1}));  // oldest first
+  EXPECT_EQ(victim.size(), 2u);  // stolen requests left its accounting...
+  thief.adopt(got);
+  EXPECT_EQ(thief.size(), 2u);  // ...and entered the thief's
+
+  // drain_into (the owning dispatcher) keeps the count until on_taken:
+  // drained-but-undispatched still holds backpressure slots.
+  std::vector<std::size_t> drained;
+  EXPECT_EQ(victim.drain_into(
+                [&](Request&& request) { drained.push_back(tag_of(request)); },
+                10),
+            2u);
+  EXPECT_EQ(drained, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(victim.size(), 2u);
+  victim.on_taken(2);
+  EXPECT_EQ(victim.size(), 0u);
+}
+
+TEST(ShardQueue, StopRejectsNewPushesButDrainsWhatWasAccepted) {
+  ShardQueue queue{4};
+  Request request = tagged_request(1);
+  ASSERT_EQ(queue.try_push(request, 4), ShardQueue::Push::Ok);
+  queue.stop();
+  request = tagged_request(2);
+  EXPECT_EQ(queue.try_push(request, 4), ShardQueue::Push::Stopped);
+  // The drain guarantee at queue level: wait reports Work while accepted
+  // requests remain, and Stopped only once the inbox is empty — so a
+  // dispatcher can never exit with undelivered promises.
+  EXPECT_EQ(queue.wait(std::nullopt), ShardQueue::Wait::Work);
+  (void)queue.drain_into([](Request&&) {}, 10);
+  queue.on_taken(1);
+  EXPECT_EQ(queue.wait(std::nullopt), ShardQueue::Wait::Stopped);
+}
+
+TEST(ShardQueue, WaitTimesOutOnAnEmptyQueue) {
+  ShardQueue queue{1};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds{1};
+  EXPECT_EQ(queue.wait(deadline), ShardQueue::Wait::Timeout);
+}
+
+// --- Sharded determinism and stealing -----------------------------------
+
+TEST(Serving, DeterminismMatrixShardsByBatchByConfig) {
+  // The scale-out acceptance matrix: shards ∈ {1,2,4} × max_batch ∈
+  // {1,8,1024} × all five config variants, three concurrent clients each.
+  // Every cell must be bit-identical to direct BatchNacu evaluation AND to
+  // the shards=1 cell (the PR 5 single-dispatcher path) of the same
+  // max_batch — shard count, affinity, and stealing are pure scheduling.
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kItems = 24;
+  for (const auto& [name, config] : config_variants()) {
+    const BatchNacu direct{config};
+    // Direct expectations, once per config.
+    std::vector<std::vector<std::vector<std::int64_t>>> want(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      const std::vector<WorkItem> work =
+          make_workload(config, 9000 + 17 * c, kItems);
+      for (const WorkItem& item : work) {
+        std::vector<std::int64_t> raws;
+        for (const fp::Fixed& x : direct.evaluate(item.function, item.input)) {
+          raws.push_back(x.raw());
+        }
+        want[c].push_back(std::move(raws));
+      }
+    }
+    for (const std::size_t max_batch : {1, 8, 1024}) {
+      std::vector<std::vector<std::vector<std::int64_t>>> reference;
+      for (const std::size_t shards : {1, 2, 4}) {
+        ServerOptions options;
+        options.batcher.max_batch = max_batch;
+        options.batcher.max_wait = max_batch == 1024
+                                       ? std::chrono::microseconds{0}
+                                       : std::chrono::microseconds{50};
+        options.shards = shards;
+        // Keep the 45-cell sweep fast: skip table warming and stay on the
+        // scalar datapath (tables are built FROM it, so the bits match).
+        options.warm_tables = false;
+        options.batch_options.table_threshold = std::size_t{1} << 30;
+        const std::string context = std::string{name} + " max_batch=" +
+                                    std::to_string(max_batch) +
+                                    " shards=" + std::to_string(shards);
+        std::vector<std::vector<std::vector<std::int64_t>>> raws(kClients);
+        {
+          InferenceServer server{config, options};
+          std::vector<std::thread> threads;
+          for (std::size_t c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+              const std::vector<WorkItem> work =
+                  make_workload(config, 9000 + 17 * c, kItems);
+              std::vector<std::future<std::vector<fp::Fixed>>> futures;
+              for (const WorkItem& item : work) {
+                futures.push_back(server.submit(item.function, item.input));
+              }
+              for (auto& future : futures) {
+                std::vector<std::int64_t> r;
+                for (const fp::Fixed& x : future.get()) {
+                  r.push_back(x.raw());
+                }
+                raws[c].push_back(std::move(r));
+              }
+            });
+          }
+          for (std::thread& t : threads) {
+            t.join();
+          }
+        }
+        ASSERT_EQ(raws, want) << context << " vs direct BatchNacu";
+        if (shards == 1) {
+          reference = raws;  // the single-dispatcher (PR 5) behaviour
+        } else {
+          ASSERT_EQ(raws, reference) << context << " vs shards=1";
+        }
+      }
+    }
+  }
+}
+
+TEST(Serving, WorkStealingRebalancesASingleThreadBurst) {
+  // All submissions come from this one thread, so per-thread affinity
+  // lands every request on the same home shard; with dispatch groups of 2
+  // and a deep burst, the three idle shards must steal from the loaded
+  // one — and stolen requests must deliver exactly the same bits.
+  const NacuConfig config = config_for_bits(16);
+  ServerOptions options;
+  options.shards = 4;
+  options.batcher.max_batch = 2;
+  options.batcher.max_wait = std::chrono::microseconds{0};
+  options.batcher.queue_capacity = 1 << 12;
+  options.steal_poll = std::chrono::microseconds{20};
+  InferenceServer server{config, options};
+
+  const BatchNacu direct{config};
+  const std::vector<fp::Fixed> input(
+      4096, fp::Fixed::from_double(0.75, config.format));
+  const std::vector<fp::Fixed> want = direct.evaluate(Function::Tanh, input);
+  std::vector<std::future<std::vector<fp::Fixed>>> futures;
+  futures.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    futures.push_back(server.submit(Function::Tanh, input));
+  }
+  for (auto& future : futures) {
+    expect_bit_equal(future.get(), want, "burst request");
+  }
+  server.shutdown();
+  const InferenceServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.accepted, 256u);
+  EXPECT_EQ(counters.completed, 256u);
+  EXPECT_GT(counters.steals, 0u);
+  EXPECT_GT(counters.stolen_requests, 0u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(Serving, ShutdownRacesBurstyUnbalancedSubmittersAcrossShards) {
+  // The shutdown drain guarantee under the nastiest schedule we can force:
+  // four shards, five clients submitting unbalanced bursts (some 48-deep,
+  // some 6-deep, so stealing is active), and shutdown() fired at a
+  // different point in each round. Invariants per round: no accepted
+  // future is lost or doubled (resolved == accepted and the dispatcher
+  // would std::terminate on a double set_value), client tallies equal the
+  // server's counters, and post-shutdown submits throw ShutdownError.
+  const NacuConfig config = config_for_bits(16);
+  for (int round = 0; round < 6; ++round) {
+    ServerOptions options;
+    options.shards = 4;
+    options.batcher.max_batch = 8;
+    options.batcher.max_wait = std::chrono::microseconds{100};
+    options.batcher.queue_capacity = 1 << 12;
+    options.steal_poll = std::chrono::microseconds{50};
+    InferenceServer server{config, options};
+
+    constexpr std::size_t kClients = 5;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> resolved{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const std::size_t burst = (c % 2 == 0) ? 48 : 6;
+        const std::vector<fp::Fixed> input(
+            8, fp::Fixed::from_double(0.125 * static_cast<double>(c + 1),
+                                      config.format));
+        std::vector<std::future<std::vector<fp::Fixed>>> futures;
+        bool down = false;
+        for (int b = 0; b < 10 && !down; ++b) {
+          for (std::size_t i = 0; i < burst; ++i) {
+            try {
+              futures.push_back(server.submit(Function::Sigmoid, input));
+              ++accepted;
+            } catch (const ShutdownError&) {
+              ++rejected;
+              down = true;
+              break;
+            }
+          }
+          std::this_thread::yield();
+        }
+        for (auto& future : futures) {
+          try {
+            (void)future.get();
+            ++resolved;
+          } catch (...) {
+            ++failed;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds{300 + 500 * round});
+    server.shutdown();
+    for (std::thread& t : clients) {
+      t.join();
+    }
+
+    EXPECT_EQ(resolved.load(), accepted.load()) << "round " << round;
+    EXPECT_EQ(failed.load(), 0u) << "round " << round;
+    const InferenceServer::Counters counters = server.counters();
+    EXPECT_EQ(counters.accepted, accepted.load()) << "round " << round;
+    EXPECT_EQ(counters.completed, accepted.load()) << "round " << round;
+    EXPECT_EQ(counters.rejected_shutdown, rejected.load())
+        << "round " << round;
+    EXPECT_EQ(server.pending(), 0u) << "round " << round;
+    EXPECT_THROW((void)server.submit(Function::Sigmoid, {}), ShutdownError);
+  }
 }
 
 TEST(Serving, ServingMetricsArePopulated) {
