@@ -6,8 +6,10 @@
 // demonstrates the contracts the layer exists for: bit-identical results
 // across dispatcher shards and micro-batching, admission control
 // (priority shedding, deadlines, per-tenant quotas), reject-with-error
-// backpressure at the high-water mark, and a graceful shutdown that
-// drains every accepted request. Finishes with the serving metrics dump.
+// backpressure at the high-water mark, a graceful shutdown that drains
+// every accepted request, and a mid-flight single-event upset that is
+// detected, quarantined and scrubbed with zero client-visible errors.
+// Finishes with the serving metrics dump.
 //
 // Usage: ./build/examples/serving_demo
 #include <chrono>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/batch_nacu.hpp"
+#include "fault/fault_injector.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -191,10 +194,69 @@ int main() {
               "post-shutdown submit %s\n", drained,
               shutdown_rejected ? "throws ShutdownError" : "NOT refused");
 
-  // 5. The per-stage serving metrics (serve.* entries of the registry).
+  // 5. Self-healing: a single-event upset flips one bit of a dense table
+  //    word mid-flight. Verify-before-release catches the corrupt word on
+  //    the very request that reads it, the client still receives correct
+  //    bits (scalar-path recompute), the function quarantines, and the
+  //    supervisor scrubs the table and lifts the quarantine — zero
+  //    client-visible errors end to end. (poke_supervisor() drives the
+  //    recovery deterministically here; in production the watchdog thread
+  //    does it within its 500 us interval.)
+  fault::FaultInjector seu;
+  serve::ServerOptions healing;
+  healing.shards = 1;
+  healing.resilience.supervise = false;  // poke by hand for a stable demo
+  healing.resilience.shard_fault_ports = {&seu};
+  serve::InferenceServer resilient{config, healing};
+
+  const std::int64_t hit_raw = xs[xs.size() / 2].raw();
+  const std::vector<fp::Fixed> healing_want =
+      direct.evaluate(Function::Sigmoid, xs);
+  seu.arm(fault::Fault{fault::Surface::TableSigmoid,
+                       static_cast<std::size_t>(hit_raw -
+                                                config.format.min_raw()),
+                       5, fault::FaultModel::TransientSeu});
+  const std::vector<fp::Fixed> during = resilient.submit(
+      Function::Sigmoid, xs).get();
+  int seu_mismatches = 0;
+  for (std::size_t i = 0; i < during.size(); ++i) {
+    seu_mismatches += static_cast<int>(during[i].raw() !=
+                                       healing_want[i].raw());
+  }
+  const serve::ShardHealthSnapshot hit = resilient.shard_health(0);
+  std::printf("\nself-healing: SEU armed on the σ table word for raw %lld; "
+              "served result had %d wrong elements (detections=%llu, "
+              "quarantined mask=0x%x)\n",
+              static_cast<long long>(hit_raw), seu_mismatches,
+              static_cast<unsigned long long>(hit.detections),
+              hit.quarantined);
+  resilient.poke_supervisor();  // scrub-rebuild + re-verify + close circuit
+  const serve::ShardHealthSnapshot healed = resilient.shard_health(0);
+  const std::vector<fp::Fixed> after = resilient.submit(
+      Function::Sigmoid, xs).get();
+  int after_mismatches = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    after_mismatches += static_cast<int>(after[i].raw() !=
+                                         healing_want[i].raw());
+  }
+  const bool healed_ok = seu_mismatches == 0 && after_mismatches == 0 &&
+                         hit.detections >= 1 && hit.quarantined != 0 &&
+                         healed.quarantined == 0 && healed.scrubs == 1 &&
+                         healed.state == serve::CircuitState::Closed;
+  std::printf("self-healing: scrubbed (%llu scrub), quarantine lifted, "
+              "circuit %s, post-recovery result %s\n",
+              static_cast<unsigned long long>(healed.scrubs),
+              serve::circuit_state_name(healed.state),
+              after_mismatches == 0 ? "bit-identical" : "WRONG");
+  resilient.shutdown();
+
+  // 6. The per-stage serving metrics (serve.* entries of the registry).
   std::printf("\nobs registry dump (see the serve.* entries):\n%s\n",
               obs::Registry::instance().to_json().c_str());
   const bool admission_ok =
       be_shed == 1 && deadline_rejected && quota_rejected == 1;
-  return total_mismatches == 0 && shutdown_rejected && admission_ok ? 0 : 1;
+  return total_mismatches == 0 && shutdown_rejected && admission_ok &&
+                 healed_ok
+             ? 0
+             : 1;
 }

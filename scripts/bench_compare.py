@@ -37,17 +37,34 @@ import sys
 # Metric-name fragments where LOWER is better; everything else numeric is
 # treated as higher-is-better. Count-like match keys (elems, trials,
 # threads, faults, clients) are string-ified into the match key instead.
-LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes", "p50", "p99")
+# Careful with short fragments: "ms" is a substring of "elems", so
+# millisecond metrics match on "_ms" (detection_ms_mean, recovery_ms_mean).
+LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes", "p50", "p99",
+                   "_ms")
 MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients",
-                      "shards")
+                      "shards", "kills", "injected")
 
 
 def load_records(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+    """Load one BENCH_*.json; every malformation is a one-line error."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        sys.exit(
+            f"error: cannot read {path}: {err.strerror or err} "
+            "(run the bench to generate it, e.g. ./bench_<name> --trials 1)"
+        )
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {path} is not valid JSON: {err}")
     if not isinstance(doc, dict) or "records" not in doc:
         sys.exit(f"error: {path} is not a bench JSON (no 'records' array)")
-    return doc.get("schema", "?"), doc["records"]
+    records = doc["records"]
+    if not isinstance(records, list) or not all(
+        isinstance(r, dict) for r in records
+    ):
+        sys.exit(f"error: {path} 'records' must be an array of objects")
+    return doc.get("schema", "?"), records
 
 
 def record_key(record):

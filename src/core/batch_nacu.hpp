@@ -111,9 +111,12 @@ class BatchNacu {
   /// read through @p port (surfaces TableSigmoid/TableTanh/TableExp, word =
   /// raw − min_raw). nullptr disarms (the default); the fault-free path
   /// then costs one pointer compare per batch, hoisted out of the loops.
-  /// Not thread-safe: attach only while no evaluation is in flight, and do
-  /// not fan armed batches out across the pool (an injector is not a
-  /// thread-safe object) — campaign trials evaluate serially.
+  /// Attaching is not thread-safe — attach only while no evaluation is in
+  /// flight (the serving layer attaches at shard construction/rebuild).
+  /// Armed batches may fan out across the pool, and a serving supervisor
+  /// may scrub while a dispatcher reads, *if* the port itself is
+  /// thread-safe — fault::FaultInjector is (mutex-guarded fault list,
+  /// atomic counters).
   void attach_fault_port(fault::BitFaultPort* port) noexcept {
     fault_port_ = port;
   }

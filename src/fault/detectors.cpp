@@ -400,6 +400,20 @@ DetectionReport InvariantChecker::check_unit(const core::Nacu& unit) const {
   return report;
 }
 
+bool InvariantChecker::word_intact(Function f, std::size_t word,
+                                   std::int64_t entry) const noexcept {
+  const auto fi = static_cast<std::size_t>(f);
+  const std::vector<bool>& parity = table_parity_[fi];
+  if (word >= parity.size()) {
+    return true;  // no signature for this word — nothing to check against
+  }
+  if (parity_of(entry, config_.format.width()) != parity[word]) {
+    return false;
+  }
+  const FunctionCal& cal = cal_[fi];
+  return entry >= cal.range_lo && entry <= cal.range_hi;
+}
+
 DetectionReport InvariantChecker::check_table(
     Function f,
     const std::function<std::int64_t(std::size_t)>& read_word) const {

@@ -118,6 +118,24 @@ class InvariantChecker {
     return golden_tables_[static_cast<std::size_t>(f)];
   }
 
+  /// Whether @p f has dense-table parity signatures (table-cacheable
+  /// format). word_intact can only detect when this holds.
+  [[nodiscard]] bool has_table_signatures(Function f) const noexcept {
+    return !table_parity_[static_cast<std::size_t>(f)].empty();
+  }
+
+  /// O(1) per-word serving guard. @p entry is the value of table word
+  /// @p word *as read* — equivalently, the activation output raw the word
+  /// produced, since a table-path evaluation returns the entry unchanged.
+  /// Returns false when the entry fails the word's captured parity
+  /// signature or the calibrated output range — any single-bit corruption
+  /// of a stored word flips its parity, so checking every served word
+  /// gives the TableParity coverage guarantee *before* the result is
+  /// released to a client. Returns true (no detection possible) when the
+  /// format has no signatures or @p word is out of range.
+  [[nodiscard]] bool word_intact(Function f, std::size_t word,
+                                 std::int64_t entry) const noexcept;
+
   /// Scalar-unit battery: σ-LUT word checks (coefficient range + parity)
   /// and the full probe battery (range, symmetry, oddness, monotonicity,
   /// continuity, softmax) evaluated through @p unit — which may have a

@@ -8,12 +8,17 @@ void FaultInjector::arm(const Fault& fault) {
   if (fault.bit < 0 || fault.bit >= 64) {
     throw std::invalid_argument("FaultInjector: bit index out of range");
   }
+  const std::lock_guard<std::mutex> lock{mutex_};
   faults_.push_back(Armed{.fault = fault, .spent = false});
 }
 
-void FaultInjector::disarm_all() noexcept { faults_.clear(); }
+void FaultInjector::disarm_all() noexcept {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  faults_.clear();
+}
 
 bool FaultInjector::transient_live() const noexcept {
+  const std::lock_guard<std::mutex> lock{mutex_};
   for (const Armed& a : faults_) {
     if (a.fault.model == FaultModel::TransientSeu && !a.spent) {
       return true;
@@ -52,25 +57,29 @@ std::int64_t FaultInjector::apply(const Fault& fault, std::int64_t clean,
 std::int64_t FaultInjector::read(Surface surface, std::size_t word,
                                  std::int64_t clean, int width) noexcept {
   std::int64_t value = clean;
-  for (Armed& a : faults_) {
-    if (a.fault.surface != surface || a.fault.word != word || a.spent) {
-      continue;
-    }
-    value = apply(a.fault, value, width);
-    if (a.fault.model == FaultModel::TransientSeu &&
-        surface == Surface::RtlPipeline) {
-      // A flop upset corrupts exactly one clocking of the register; the
-      // next cycle's write overwrites it.
-      a.spent = true;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (Armed& a : faults_) {
+      if (a.fault.surface != surface || a.fault.word != word || a.spent) {
+        continue;
+      }
+      value = apply(a.fault, value, width);
+      if (a.fault.model == FaultModel::TransientSeu &&
+          surface == Surface::RtlPipeline) {
+        // A flop upset corrupts exactly one clocking of the register; the
+        // next cycle's write overwrites it.
+        a.spent = true;
+      }
     }
   }
   if (value != clean) {
-    ++reads_faulted_;
+    reads_faulted_.fetch_add(1, std::memory_order_relaxed);
   }
   return value;
 }
 
 void FaultInjector::on_rewrite(Surface surface, std::size_t word) noexcept {
+  const std::lock_guard<std::mutex> lock{mutex_};
   for (Armed& a : faults_) {
     if (a.fault.surface == surface && a.fault.word == word &&
         a.fault.model == FaultModel::TransientSeu) {

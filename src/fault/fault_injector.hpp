@@ -16,11 +16,18 @@
 // in the format the clean word came from — corruption propagates as wrong
 // *values*, never as out-of-range crashes.
 //
-// Not thread-safe: one injector serves one (serially used) set of hooked
-// units. Fault-campaign trials each own a private injector.
+// Thread-safe: the armed-fault list is mutex-guarded and the faulted-read
+// counter is atomic, so one injector may be armed on a BatchNacu whose
+// evaluations fan out across the thread pool, or on a serving shard whose
+// supervisor arms/scrubs while the dispatcher serves reads (the live-SEU
+// chaos path, serve/resilience.hpp). The disarmed fast path in the hooked
+// units is still a single pointer compare — the lock is only ever taken
+// while a port is attached and a read is intercepted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "fault/fault_port.hpp"
@@ -53,12 +60,13 @@ class FaultInjector final : public BitFaultPort {
   void arm(const Fault& fault);
   void disarm_all() noexcept;
   [[nodiscard]] std::size_t armed_count() const noexcept {
+    const std::lock_guard<std::mutex> lock{mutex_};
     return faults_.size();
   }
 
   /// Number of reads whose returned value differed from the clean word.
   [[nodiscard]] std::size_t reads_faulted() const noexcept {
-    return reads_faulted_;
+    return reads_faulted_.load(std::memory_order_relaxed);
   }
   /// Whether any armed TransientSeu is still live (not spent / scrubbed).
   [[nodiscard]] bool transient_live() const noexcept;
@@ -82,8 +90,9 @@ class FaultInjector final : public BitFaultPort {
     Fault fault;
     bool spent = false;  ///< transient already healed (scrub / flop re-clock)
   };
+  mutable std::mutex mutex_;  ///< guards faults_ (arm/read/rewrite/query)
   std::vector<Armed> faults_;
-  std::size_t reads_faulted_ = 0;
+  std::atomic<std::size_t> reads_faulted_{0};
 };
 
 }  // namespace nacu::fault

@@ -29,12 +29,7 @@ AdmissionController::AdmissionController(AdmissionOptions options,
   limits_[static_cast<std::size_t>(Priority::BestEffort)] =
       limit_for(options_.best_effort_depth_fraction, shard_capacity_);
   for (const auto& [tenant, quota] : options_.quotas) {
-    Bucket bucket;
-    bucket.quota.tokens_per_s = std::max(0.0, quota.tokens_per_s);
-    bucket.quota.burst = std::max(1.0, quota.burst);
-    bucket.tokens = bucket.quota.burst;  // buckets start full
-    bucket.last = now();
-    buckets_[tenant] = bucket;
+    buckets_[tenant] = TokenBucket{quota, now()};  // buckets start full
   }
 }
 
@@ -57,19 +52,8 @@ AdmissionController::Verdict AdmissionController::preadmit(
   if (!buckets_.empty()) {
     const std::lock_guard<std::mutex> lock{mutex_};
     const auto it = buckets_.find(options.tenant);
-    if (it != buckets_.end()) {
-      Bucket& bucket = it->second;
-      const double dt =
-          std::chrono::duration<double>(at - bucket.last).count();
-      if (dt > 0.0) {
-        bucket.tokens = std::min(bucket.quota.burst,
-                                 bucket.tokens + dt * bucket.quota.tokens_per_s);
-        bucket.last = at;
-      }
-      if (bucket.tokens < 1.0) {
-        return Verdict::RejectQuota;
-      }
-      bucket.tokens -= 1.0;
+    if (it != buckets_.end() && !it->second.try_draw(at)) {
+      return Verdict::RejectQuota;
     }
   }
   return Verdict::Admit;

@@ -24,6 +24,7 @@
 // expiry deterministically (tests/test_admission.cpp).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -42,6 +43,42 @@ namespace nacu::serve {
 struct TenantQuota {
   double tokens_per_s = 0.0;
   double burst = 1.0;
+};
+
+/// One token bucket: refills at quota.tokens_per_s up to quota.burst, one
+/// token per draw. Time is passed in rather than read — the caller's clock
+/// may be the injected test clock — and access is *not* synchronised here:
+/// AdmissionController guards its tenant buckets with its own mutex, and
+/// the resilience layer's RetryBudget (resilience.hpp) does the same for
+/// its global bucket.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(TenantQuota quota, std::chrono::steady_clock::time_point now)
+      : quota_{std::max(0.0, quota.tokens_per_s), std::max(1.0, quota.burst)},
+        tokens_{quota_.burst},
+        last_{now} {}
+
+  /// Refill for the elapsed time, then draw one token; false when empty.
+  [[nodiscard]] bool try_draw(std::chrono::steady_clock::time_point now) {
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    if (dt > 0.0) {
+      tokens_ = std::min(quota_.burst, tokens_ + dt * quota_.tokens_per_s);
+      last_ = now;
+    }
+    if (tokens_ < 1.0) {
+      return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  TenantQuota quota_{};
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_{};
 };
 
 struct AdmissionOptions {
@@ -95,17 +132,11 @@ class AdmissionController {
   }
 
  private:
-  struct Bucket {
-    TenantQuota quota;
-    double tokens = 0.0;
-    std::chrono::steady_clock::time_point last{};
-  };
-
   AdmissionOptions options_;
   std::size_t shard_capacity_;
   std::array<std::size_t, kPriorityCount> limits_{};
   std::mutex mutex_;  ///< guards buckets_ (metered tenants only)
-  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::unordered_map<std::uint64_t, TokenBucket> buckets_;
 };
 
 }  // namespace nacu::serve

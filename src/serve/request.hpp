@@ -23,10 +23,12 @@
 // future becomes ready).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
 #include <future>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -76,6 +78,20 @@ class DeadlineExpiredError : public std::runtime_error {
       : std::runtime_error{"serve: request deadline expired before dispatch"} {}
 };
 
+/// The dispatcher shard holding the request died (uncaught exception) or
+/// stalled, and the request could not be transparently re-enqueued: it had
+/// no retry credit left (SubmitOptions::max_retries, default 0) or the
+/// server-wide retry budget was empty (ResilienceOptions). Delivered
+/// through the future — the drain guarantee still holds, the future is
+/// ready, it just carries this error instead of a value.
+class ShardFailedError : public std::runtime_error {
+ public:
+  ShardFailedError()
+      : std::runtime_error{
+            "serve: dispatcher shard failed and the request had no retry "
+            "credit (SubmitOptions::max_retries / global retry budget)"} {}
+};
+
 /// Admission-control priority classes. Under load, lower classes are shed
 /// first: each class admits only while the target shard's queue depth is
 /// below its configured fraction of capacity (admission.hpp), so
@@ -99,6 +115,57 @@ struct SubmitOptions {
   /// Tenant id for per-tenant token-bucket quotas. Tenants without a
   /// configured quota (including the default 0) are unmetered.
   std::uint64_t tenant = 0;
+  /// Times the server may transparently re-enqueue this request after the
+  /// shard holding it fails (dispatcher death or stall). Every retry also
+  /// draws one token from the server-wide retry-budget bucket
+  /// (ResilienceOptions::retry_budget_per_s) so a crash-looping shard
+  /// cannot amplify load; when either is exhausted the future fails with
+  /// ShardFailedError. 0 (the default) fails fast on the first loss.
+  std::uint32_t max_retries = 0;
+  /// Tail-latency hedging: with a deadline set and a fraction in (0, 1],
+  /// the supervisor launches a duplicate dispatch on another shard once
+  /// this fraction of the submit→deadline interval elapses unfinished.
+  /// The first copy to complete wins; results are bit-identical either way
+  /// (every shard's tables are built from the same scalar datapath), so
+  /// hedging is purely a tail-latency lever. Hedges draw from the same
+  /// retry budget. 0 (the default) disables hedging.
+  double hedge_fraction = 0.0;
+};
+
+/// One-shot result cell shared between a request and its retry/hedge
+/// copies. The resilience layer may put several copies of one accepted
+/// request in flight (a hedge racing a slow shard, a requeue after a shard
+/// died); whichever copy finishes first wins — a single atomic exchange
+/// decides the winner, so the underlying promise is fulfilled exactly once
+/// and later completions are dropped, never double-set.
+template <typename T>
+class SharedResult {
+ public:
+  [[nodiscard]] std::future<T> get_future() { return promise_.get_future(); }
+  /// Whether some copy already completed (lets the supervisor skip firing
+  /// a hedge whose original has finished).
+  [[nodiscard]] bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+  /// True when this call won (fulfilled the promise).
+  bool set_value(T value) {
+    if (done_.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    promise_.set_value(std::move(value));
+    return true;
+  }
+  bool set_exception(std::exception_ptr error) {
+    if (done_.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    promise_.set_exception(std::move(error));
+    return true;
+  }
+
+ private:
+  std::promise<T> promise_;
+  std::atomic<bool> done_{false};
 };
 
 /// Element-wise activation over the datapath: out[i] = f(in[i]). These are
@@ -110,7 +177,8 @@ struct SubmitOptions {
 struct ActivationRequest {
   core::BatchNacu::Function function = core::BatchNacu::Function::Sigmoid;
   std::vector<fp::Fixed> input;
-  std::promise<std::vector<fp::Fixed>> result;
+  std::shared_ptr<SharedResult<std::vector<fp::Fixed>>> result =
+      std::make_shared<SharedResult<std::vector<fp::Fixed>>>();
 };
 
 /// One Eq. 13 softmax row. Rows are dispatched in the same groups as
@@ -118,7 +186,8 @@ struct ActivationRequest {
 /// normalisation couples every element of a row, so rows are never merged.
 struct SoftmaxRequest {
   std::vector<fp::Fixed> logits;
-  std::promise<std::vector<fp::Fixed>> result;
+  std::shared_ptr<SharedResult<std::vector<fp::Fixed>>> result =
+      std::make_shared<SharedResult<std::vector<fp::Fixed>>>();
 };
 
 /// Full nn::QuantizedMlp forward pass (predict_proba). The model is
@@ -126,7 +195,8 @@ struct SoftmaxRequest {
 struct MlpRequest {
   const nn::QuantizedMlp* model = nullptr;
   std::vector<double> input;
-  std::promise<std::vector<double>> result;
+  std::shared_ptr<SharedResult<std::vector<double>>> result =
+      std::make_shared<SharedResult<std::vector<double>>>();
 };
 
 /// One nn::LstmFixed cell step. The model is borrowed like MlpRequest's.
@@ -134,7 +204,8 @@ struct LstmRequest {
   const nn::LstmFixed* model = nullptr;
   nn::LstmFixed::State state;
   std::vector<double> x;
-  std::promise<nn::LstmFixed::State> result;
+  std::shared_ptr<SharedResult<nn::LstmFixed::State>> result =
+      std::make_shared<SharedResult<nn::LstmFixed::State>>();
 };
 
 /// One queued unit of work plus its scheduling metadata: the admission
@@ -147,13 +218,28 @@ struct Request {
   std::chrono::steady_clock::time_point enqueued_at{};
   Priority priority = Priority::Normal;
   std::optional<std::chrono::steady_clock::time_point> deadline{};
+  /// Remaining transparent re-enqueues after a shard failure
+  /// (SubmitOptions::max_retries; decremented per requeue).
+  std::uint32_t retries_left = 0;
+  /// A supervisor-launched hedge duplicate. Shares the original's
+  /// SharedResult but is not client-accepted work: it never counts toward
+  /// the completed counter and is silently dropped when orphaned.
+  bool hedge_copy = false;
 };
 
-/// Deliver @p error through whichever promise type the request carries
-/// (deadline shedding, which never reaches execute_one).
+/// Deliver @p error through whichever result cell the request carries
+/// (deadline shedding / shard-failure sweeps, which never reach
+/// execute_one). A no-op when another copy of the request already won.
 inline void fail_request(Request& request, std::exception_ptr error) {
-  std::visit([&](auto& r) { r.result.set_exception(std::move(error)); },
+  std::visit([&](auto& r) { (void)r.result->set_exception(std::move(error)); },
              request.payload);
+}
+
+/// Whether the request's result cell has already been fulfilled by some
+/// copy (original or hedge).
+[[nodiscard]] inline bool request_done(const Request& request) {
+  return std::visit([](const auto& r) { return r.result->done(); },
+                    request.payload);
 }
 
 }  // namespace nacu::serve

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cstddef>
 #include <exception>
+#include <limits>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
+#include "fault/detectors.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -34,13 +37,14 @@ InferenceServer::Shard::Shard(const core::NacuConfig& config,
                               const core::BatchNacu::Options& batch_options,
                               const BatcherOptions& batcher_options,
                               std::size_t capacity)
-    : engine{config, batch_options},
+    : engine{std::make_unique<core::BatchNacu>(config, batch_options)},
       queue{capacity},
       batcher{batcher_options} {}
 
 InferenceServer::InferenceServer(const core::NacuConfig& config,
                                  ServerOptions options)
     : options_{std::move(options)},
+      config_{config},
       admission_{options_.admission, resolve_per_shard_capacity(options_)},
       per_shard_capacity_{resolve_per_shard_capacity(options_)},
       stamp_enqueue_time_{options_.batcher.max_wait.count() > 0} {
@@ -51,18 +55,45 @@ InferenceServer::InferenceServer(const core::NacuConfig& config,
         config, options_.batch_options, options_.batcher,
         per_shard_capacity_));
   }
-  if (options_.warm_tables && shards_.front()->engine.table_cacheable()) {
-    for (auto& shard : shards_) {
-      shard->engine.warm(Function::Sigmoid);
-      shard->engine.warm(Function::Tanh);
-      shard->engine.warm(Function::Exp);
+  const ResilienceOptions& res = options_.resilience;
+  bool any_port = false;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    if (i < res.shard_fault_ports.size() &&
+        res.shard_fault_ports[i] != nullptr) {
+      shards_[i]->fault_port = res.shard_fault_ports[i];
+      shards_[i]->engine->attach_fault_port(shards_[i]->fault_port);
+      any_port = true;
     }
   }
+  if ((any_port || res.verify_dispatches) &&
+      shards_.front()->engine->table_cacheable()) {
+    // One golden-signature checker shared read-only by every shard's
+    // verify path. Construction runs the full-domain sweeps once.
+    checker_ = std::make_unique<fault::InvariantChecker>(config);
+  }
+  for (auto& shard : shards_) {
+    shard->verify = checker_ != nullptr &&
+                    (shard->fault_port != nullptr || res.verify_dispatches);
+  }
+  retry_budget_ = std::make_unique<RetryBudget>(
+      res.retry_budget_per_s, res.retry_budget_burst, res.clock);
+  if (options_.warm_tables && shards_.front()->engine->table_cacheable()) {
+    for (auto& shard : shards_) {
+      shard->engine->warm(Function::Sigmoid);
+      shard->engine->warm(Function::Tanh);
+      shard->engine->warm(Function::Exp);
+    }
+  }
+  last_heartbeat_.assign(shard_count, 0);
+  last_progress_.assign(shard_count, resilience_now());
   obs::gauge("serve.shard.count").set(static_cast<std::int64_t>(shard_count));
   // Dispatchers start only after every shard exists: try_steal walks the
   // whole shard vector.
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_[i]->dispatcher = std::thread{[this, i] { dispatcher_loop(i); }};
+  }
+  if (res.supervise) {
+    supervisor_ = std::thread{[this] { supervisor_loop(); }};
   }
 }
 
@@ -76,16 +107,56 @@ void InferenceServer::shutdown() {
   for (auto& shard : shards_) {
     shard->queue.stop();
   }
+  supervisor_wake_.notify_all();
   // One caller joins; concurrent callers block here until the drain is
   // complete, so "shutdown returned" always means "every accepted future
   // is ready".
   std::call_once(join_once_, [this] {
+    if (supervisor_.joinable()) {
+      // The supervisor first: it may be mid-respawn, mutating dispatcher
+      // thread handles.
+      supervisor_.join();
+    }
     for (auto& shard : shards_) {
       if (shard->dispatcher.joinable()) {
         shard->dispatcher.join();
       }
     }
+    sweep_leftovers();
   });
+}
+
+void InferenceServer::sweep_leftovers() {
+  // A dispatcher that exited cleanly leaves nothing behind (it only
+  // returns on Stopped + empty). Anything still queued belongs to a shard
+  // that died or stalled with no supervisor pass left to recover it:
+  // fail-or-finish every orphan so the drain guarantee (every accepted
+  // future becomes ready) holds unconditionally.
+  for (auto& shard : shards_) {
+    std::vector<Request> orphans;
+    while (!shard->batcher.empty()) {
+      std::vector<Request> group = shard->batcher.take_group();
+      shard->queue.on_taken(group.size());
+      for (Request& r : group) {
+        orphans.push_back(std::move(r));
+      }
+    }
+    (void)shard->queue.steal_into(
+        [&](Request&& r) { orphans.push_back(std::move(r)); },
+        std::numeric_limits<std::size_t>::max());
+    for (Request& r : orphans) {
+      if (r.hedge_copy) {
+        continue;  // not client work
+      }
+      if (!request_done(r)) {
+        fail_request(r, std::make_exception_ptr(ShardFailedError{}));
+        retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      finish(r);
+    }
+  }
+  const std::lock_guard<std::mutex> lock{hedges_mutex_};
+  hedges_.clear();  // copies only; the originals were accounted above
 }
 
 bool InferenceServer::accepting() const {
@@ -101,7 +172,23 @@ std::size_t InferenceServer::pending() const {
 }
 
 const core::BatchNacu& InferenceServer::engine() const noexcept {
-  return shards_.front()->engine;
+  return *shards_.front()->engine;
+}
+
+ShardHealthSnapshot InferenceServer::shard_health(
+    std::size_t shard_index) const {
+  const ShardHealth& h = shards_[shard_index]->health;
+  ShardHealthSnapshot s;
+  s.state = h.state();
+  s.quarantined = h.quarantined();
+  s.dispatcher_dead = h.dispatcher_dead();
+  s.heartbeat = h.heartbeat();
+  s.detections = h.detections();
+  s.scrubs = h.scrubs();
+  s.scrub_failures = h.scrub_failures();
+  s.respawns = h.respawns();
+  s.stalls = h.stalls();
+  return s;
 }
 
 InferenceServer::Counters InferenceServer::counters() const {
@@ -117,6 +204,18 @@ InferenceServer::Counters InferenceServer::counters() const {
   c.dispatches = dispatches_.load(std::memory_order_relaxed);
   c.steals = steals_.load(std::memory_order_relaxed);
   c.stolen_requests = stolen_requests_.load(std::memory_order_relaxed);
+  c.detections = detections_.load(std::memory_order_relaxed);
+  c.degraded_requests = degraded_requests_.load(std::memory_order_relaxed);
+  c.scrubs = scrubs_.load(std::memory_order_relaxed);
+  c.scrub_failures = scrub_failures_.load(std::memory_order_relaxed);
+  c.respawns = respawns_.load(std::memory_order_relaxed);
+  c.stalls = stalls_.load(std::memory_order_relaxed);
+  c.retried = retried_.load(std::memory_order_relaxed);
+  c.retry_exhausted = retry_exhausted_.load(std::memory_order_relaxed);
+  c.hedges = hedges_launched_.load(std::memory_order_relaxed);
+  c.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  c.circuit_opens = circuit_opens_.load(std::memory_order_relaxed);
+  c.circuit_closes = circuit_closes_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -127,6 +226,11 @@ std::size_t InferenceServer::home_shard() const noexcept {
   thread_local const std::uint64_t token =
       next_token.fetch_add(1, std::memory_order_relaxed);
   return static_cast<std::size_t>(token % shards_.size());
+}
+
+std::chrono::steady_clock::time_point InferenceServer::resilience_now() const {
+  return options_.resilience.clock ? options_.resilience.clock()
+                                   : std::chrono::steady_clock::now();
 }
 
 template <typename Result, typename Payload>
@@ -143,10 +247,12 @@ std::future<Result> InferenceServer::enqueue(
       obs::counter("serve.admission.rejected_deadline");
   static obs::Counter& shed_priority_m =
       obs::counter("serve.admission.shed_priority");
+  static obs::Counter& hedges_armed_m =
+      obs::counter("serve.resilience.hedges_armed");
   static obs::Gauge& depth_high_water =
       obs::gauge("serve.queue_depth_high_water");
 
-  std::future<Result> future = payload.result.get_future();
+  std::future<Result> future = payload.result->get_future();
   if (stopping_.load(std::memory_order_acquire)) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     rejected_shutdown_m.add();
@@ -169,32 +275,80 @@ std::future<Result> InferenceServer::enqueue(
   request.payload = std::move(payload);
   request.priority = submit_options.priority;
   request.deadline = submit_options.deadline;
+  request.retries_left = submit_options.max_retries;
   if (stamp_enqueue_time_ || obs::metrics_enabled()) {
     // The stamp feeds the max_wait flush policy and the enqueue→complete
     // latency histogram; with max_wait = 0 and metrics off nothing reads
     // it, so the hot path skips the clock.
     request.enqueued_at = std::chrono::steady_clock::now();
   }
+  const bool hedged = submit_options.hedge_fraction > 0.0 &&
+                      submit_options.deadline.has_value();
+  std::optional<Request> hedge;
+  if (hedged) {
+    // Copy before the queue consumes the original: the copy shares the
+    // SharedResult cell (first completion wins) but is not client work.
+    hedge = request;
+    hedge->hedge_copy = true;
+    hedge->retries_left = 0;
+  }
 
   const std::size_t depth_limit = admission_.depth_limit(submit_options.priority);
   const std::size_t shard_count = shards_.size();
   const std::size_t start = home_shard();
-  for (std::size_t probe = 0; probe < shard_count; ++probe) {
-    ShardQueue& queue = shards_[(start + probe) % shard_count]->queue;
-    switch (queue.try_push(request, depth_limit)) {
-      case ShardQueue::Push::Ok:
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        accepted_m.add();
-        depth_high_water.record_max(static_cast<std::int64_t>(queue.size()));
-        return future;
-      case ShardQueue::Push::Stopped:
-        // stop() reaches every queue; seeing one stopped means shutdown.
-        rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
-        rejected_shutdown_m.add();
-        throw ShutdownError{};
-      case ShardQueue::Push::Full:
-        break;  // probe the next shard
+  bool circuit_skipped = false;
+  // First pass respects circuit state; when *every* push failed and some
+  // shard was skipped for its circuit, a fail-static second pass pushes
+  // anyway — a queue that may recover beats rejecting the request.
+  const auto try_route = [&](bool respect_circuit)
+      -> std::optional<std::size_t> {
+    for (std::size_t probe = 0; probe < shard_count; ++probe) {
+      const std::size_t idx = (start + probe) % shard_count;
+      Shard& shard = *shards_[idx];
+      if (respect_circuit && !shard.health.try_admit()) {
+        circuit_skipped = true;
+        continue;
+      }
+      switch (shard.queue.try_push(request, depth_limit)) {
+        case ShardQueue::Push::Ok:
+          depth_high_water.record_max(
+              static_cast<std::int64_t>(shard.queue.size()));
+          return idx;
+        case ShardQueue::Push::Stopped:
+          // stop() reaches every queue; seeing one stopped means shutdown.
+          rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+          rejected_shutdown_m.add();
+          throw ShutdownError{};
+        case ShardQueue::Push::Full:
+          break;  // probe the next shard
+      }
     }
+    return std::nullopt;
+  };
+  std::optional<std::size_t> placed = try_route(/*respect_circuit=*/true);
+  if (!placed && circuit_skipped) {
+    placed = try_route(/*respect_circuit=*/false);
+  }
+  if (placed) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_m.add();
+    if (hedged) {
+      const auto now_r = resilience_now();
+      const double frac =
+          std::clamp(submit_options.hedge_fraction, 0.0, 1.0);
+      const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                *submit_options.deadline - now_r)
+                                .count();
+      const auto wait_ns = std::chrono::nanoseconds{static_cast<std::int64_t>(
+          interval <= 0 ? 0 : static_cast<double>(interval) * frac)};
+      const std::lock_guard<std::mutex> lock{hedges_mutex_};
+      hedges_.push_back(PendingHedge{
+          .fire_at = now_r + wait_ns,
+          .origin = *placed,
+          .request = std::move(*hedge)});
+      hedges_armed_m.add();
+    }
+    return future;
   }
   if (depth_limit < per_shard_capacity_) {
     // Rejected at a sub-capacity class limit: a higher-priority request
@@ -285,12 +439,34 @@ bool InferenceServer::try_steal(std::size_t shard_index) {
 }
 
 void InferenceServer::dispatcher_loop(std::size_t shard_index) {
+  static obs::Counter& crashes_m =
+      obs::counter("serve.resilience.dispatcher_crashes");
+  try {
+    dispatcher_run(shard_index);
+  } catch (...) {
+    // The crash barrier: an escaped exception must not terminate the
+    // process. Mark the shard dead; the supervisor joins this thread,
+    // sweeps the orphans into retries-or-errors, rebuilds the engine, and
+    // respawns.
+    crashes_m.add();
+    shards_[shard_index]->health.mark_dead();
+  }
+}
+
+void InferenceServer::dispatcher_run(std::size_t shard_index) {
   static obs::Gauge& depth_g = obs::gauge("serve.queue_depth");
   Shard& shard = *shards_[shard_index];
   const std::size_t max_batch = shard.batcher.options().max_batch;
   const bool stealing =
       options_.work_stealing && shards_.size() > 1;
   for (;;) {
+    shard.health.beat();
+    if (options_.resilience.dispatch_hook) {
+      // Chaos/test seam. Here — after the heartbeat, before draining —
+      // the dispatcher holds no requests, so a throw orphans only what
+      // the supervisor can reach (queue + batcher), never a taken group.
+      options_.resilience.dispatch_hook(shard_index);
+    }
     // Top up the private batcher with the oldest ingress — at most one
     // group's worth per pass, so the rest of a burst stays in the inbox
     // where idle neighbours can steal it.
@@ -305,7 +481,9 @@ void InferenceServer::dispatcher_loop(std::size_t shard_index) {
         continue;
       }
       std::optional<std::chrono::steady_clock::time_point> poll;
-      if (!stopping && stealing) {
+      if (!stopping && (stealing || options_.resilience.dispatch_hook)) {
+        // With a dispatch hook armed, bounded waits keep the heartbeat
+        // advancing (and the hook observable) even on an idle shard.
         poll = std::chrono::steady_clock::now() + options_.steal_poll;
       }
       switch (shard.queue.wait(poll)) {
@@ -333,10 +511,33 @@ void InferenceServer::dispatcher_loop(std::size_t shard_index) {
   }
 }
 
+void InferenceServer::on_detection(Shard& shard, std::size_t function_index) {
+  static obs::Counter& detections_m =
+      obs::counter("serve.resilience.detections");
+  // Order matters for the scrub handshake: publish the quarantine bit
+  // (release) before requesting the scrub, so the supervisor's rewrite
+  // can never race a table read from this dispatcher — we stop reading
+  // the table the moment the bit is set, and only the supervisor clears
+  // it after the rewrite.
+  shard.health.quarantine(function_index);
+  shard.health.request_scrub();
+  shard.health.record_detection();
+  shard.group_detections += 1;
+  detections_.fetch_add(1, std::memory_order_relaxed);
+  detections_m.add();
+  if (shard.health.record_failure(options_.resilience.failure_threshold,
+                                  resilience_now())) {
+    circuit_opens_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.resilience.circuit_opens").add();
+  }
+}
+
 void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
   static obs::Counter& dispatches_m = obs::counter("serve.dispatches");
   static obs::Counter& shed_deadline_m =
       obs::counter("serve.admission.shed_deadline");
+  static obs::Counter& degraded_m =
+      obs::counter("serve.resilience.degraded_requests");
   static obs::Histogram& group_requests =
       obs::histogram("serve.group_requests");
   static obs::Histogram& coalesced_elems =
@@ -347,6 +548,7 @@ void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
   group_requests.record(group.size());
   const obs::ScopedTimer timer{dispatch_ns};
   const obs::TraceSpan span{"InferenceServer::dispatch"};
+  shard.group_detections = 0;
 
   std::vector<bool> handled(group.size(), false);
   // Deadline shedding before anything touches the engine: an expired
@@ -373,6 +575,7 @@ void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
   // evaluation is position-independent, so slicing the output back apart
   // is bit-identical to per-request evaluation (the differential test's
   // central claim).
+  const std::uint32_t quarantined = shard.health.quarantined();
   for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
     const auto f = static_cast<Function>(fi);
     std::vector<std::size_t>& members = shard.scratch_members;
@@ -397,9 +600,29 @@ void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
     }
     try {
       shard.scratch_out.assign(total,
-                               fp::Fixed::zero(shard.engine.format()));
+                               fp::Fixed::zero(shard.engine->format()));
       std::vector<fp::Fixed>& out = shard.scratch_out;
-      shard.engine.evaluate(f, in, out);
+      const bool degraded = (quarantined & (1u << fi)) != 0;
+      if (degraded) {
+        evaluate_degraded(shard.engine->unit(), f, in, out);
+      } else {
+        shard.engine->evaluate(f, in, out);
+        if (shard.verify &&
+            !verify_activation(*checker_, shard.engine->format(), f, in,
+                               out)) {
+          // A served word failed its parity signature. Quarantine first,
+          // then recompute the whole concat on the scalar path — clients
+          // get correct bits, never the corrupt ones.
+          on_detection(shard, fi);
+          evaluate_degraded(shard.engine->unit(), f, in, out);
+        }
+      }
+      if ((quarantined & (1u << fi)) != 0 ||
+          (shard.health.quarantined() & (1u << fi)) != 0) {
+        degraded_requests_.fetch_add(members.size(),
+                                     std::memory_order_relaxed);
+        degraded_m.add(members.size());
+      }
       coalesced_elems.record(total);
       std::size_t offset = 0;
       for (const std::size_t i : members) {
@@ -411,7 +634,10 @@ void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
         std::copy(out.begin() + static_cast<std::ptrdiff_t>(offset),
                   out.begin() + static_cast<std::ptrdiff_t>(offset + n),
                   act.input.begin());
-        act.result.set_value(std::move(act.input));
+        const bool won = act.result->set_value(std::move(act.input));
+        if (won && group[i].hedge_copy) {
+          hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        }
         offset += n;
         handled[i] = true;
         finish(group[i]);
@@ -438,34 +664,95 @@ void InferenceServer::execute_group(Shard& shard, std::vector<Request> group) {
       finish(group[i]);
     }
   }
+  // A dispatch group with no detections is the circuit's success signal —
+  // it resets the failure streak and closes a HalfOpen trial.
+  if (shard.group_detections == 0) {
+    if (shard.health.record_success()) {
+      circuit_closes_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.resilience.circuit_closes").add();
+    }
+  }
 }
 
 void InferenceServer::execute_one(Shard& shard, Request& request) {
+  static obs::Counter& degraded_m =
+      obs::counter("serve.resilience.degraded_requests");
+  bool won = false;
+  // Counted *before* the promise resolves so a client that observed its
+  // future ready also observes the counter (promise synchronisation
+  // publishes the sequenced-before increment).
+  const auto note_degraded = [this] {
+    degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+    degraded_m.add();
+  };
   std::visit(
-      [&shard](auto& r) {
+      [&](auto& r) {
         using T = std::decay_t<decltype(r)>;
         try {
           if constexpr (std::is_same_v<T, ActivationRequest>) {
-            r.result.set_value(shard.engine.evaluate(r.function, r.input));
+            const auto fi = static_cast<std::size_t>(r.function);
+            if ((shard.health.quarantined() & (1u << fi)) != 0) {
+              note_degraded();
+              std::vector<fp::Fixed> out(
+                  r.input.size(), fp::Fixed::zero(shard.engine->format()));
+              evaluate_degraded(shard.engine->unit(), r.function, r.input,
+                                out);
+              won = r.result->set_value(std::move(out));
+            } else {
+              std::vector<fp::Fixed> out =
+                  shard.engine->evaluate(r.function, r.input);
+              if (shard.verify &&
+                  !verify_activation(*checker_, shard.engine->format(),
+                                     r.function, r.input, out)) {
+                on_detection(shard, fi);
+                note_degraded();
+                evaluate_degraded(shard.engine->unit(), r.function, r.input,
+                                  out);
+              }
+              won = r.result->set_value(std::move(out));
+            }
           } else if constexpr (std::is_same_v<T, SoftmaxRequest>) {
-            r.result.set_value(shard.engine.softmax(r.logits));
+            const auto exp_fi = static_cast<std::size_t>(Function::Exp);
+            if ((shard.health.quarantined() & (1u << exp_fi)) != 0) {
+              // Softmax reads the exp table; quarantined → the scalar
+              // unit's softmax (bit-identical by construction).
+              note_degraded();
+              won = r.result->set_value(shard.engine->unit().softmax(r.logits));
+            } else {
+              std::vector<fp::Fixed> out = shard.engine->softmax(r.logits);
+              if (shard.verify &&
+                  !verify_softmax(*checker_, *shard.engine, r.logits)) {
+                on_detection(shard, exp_fi);
+                note_degraded();
+                out = shard.engine->unit().softmax(r.logits);
+              }
+              won = r.result->set_value(std::move(out));
+            }
           } else if constexpr (std::is_same_v<T, MlpRequest>) {
-            r.result.set_value(r.model->predict_proba(r.input));
+            // Model passes run on the model's own engine — outside the
+            // shard's fault/verify domain (see src/fault/README.md).
+            won = r.result->set_value(r.model->predict_proba(r.input));
           } else {
             static_assert(std::is_same_v<T, LstmRequest>);
-            r.result.set_value(r.model->step(r.state, r.x));
+            won = r.result->set_value(r.model->step(r.state, r.x));
           }
         } catch (...) {
-          r.result.set_exception(std::current_exception());
+          (void)r.result->set_exception(std::current_exception());
         }
       },
       request.payload);
+  if (won && request.hedge_copy) {
+    hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void InferenceServer::finish(const Request& request) {
   static obs::Counter& completed_m = obs::counter("serve.completed");
   static obs::Histogram& latency =
       obs::histogram("serve.request_latency_ns");
+  if (request.hedge_copy) {
+    return;  // not client work; the original's finish() keeps the books
+  }
   completed_.fetch_add(1, std::memory_order_relaxed);
   completed_m.add();
   if (obs::metrics_enabled() &&
@@ -475,6 +762,293 @@ void InferenceServer::finish(const Request& request) {
                         .count();
     latency.record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+void InferenceServer::supervisor_loop() {
+  std::unique_lock<std::mutex> lock{supervisor_wake_mutex_};
+  while (!stopping_.load(std::memory_order_acquire)) {
+    supervisor_wake_.wait_for(lock, options_.resilience.watchdog_interval);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    poke_supervisor();
+  }
+}
+
+void InferenceServer::poke_supervisor() {
+  const std::lock_guard<std::mutex> lock{supervisor_mutex_};
+  if (stopping_.load(std::memory_order_acquire)) {
+    return;  // shutdown's join + sweep owns recovery from here
+  }
+  supervisor_pass(resilience_now());
+}
+
+void InferenceServer::supervisor_pass(
+    std::chrono::steady_clock::time_point now) {
+  const ResilienceOptions& res = options_.resilience;
+  // Snapshot inbox depths before any recovery runs: requests this pass
+  // redistributes from a stalled shard must not count as the *target*
+  // shard's long-pending work — its stall window starts next pass.
+  std::vector<std::size_t> depth(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    depth[i] = shards_[i]->queue.size();
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    if (shard.health.dispatcher_dead()) {
+      recover_dead_shard(i, now);
+      continue;
+    }
+    // Stall detection: heartbeat frozen while work queues. A stalled
+    // thread is never killed (never safe); its circuit opens and its
+    // *inbox* redistributes — requests already drained into its private
+    // batcher stay with it until it resumes. Pointless with one shard
+    // (nowhere to redistribute to).
+    const std::uint64_t hb = shard.health.heartbeat();
+    if (hb != last_heartbeat_[i]) {
+      last_heartbeat_[i] = hb;
+      last_progress_[i] = now;
+    } else if (depth[i] == 0) {
+      // A frozen heartbeat with nothing pending is idleness, not a stall:
+      // the stall clock measures work-pending-without-progress, so it
+      // starts when work arrives.
+      last_progress_[i] = now;
+    } else if (shards_.size() > 1 &&
+               now - last_progress_[i] >= res.stall_timeout) {
+      shard.health.record_stall();
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.resilience.stalls").add();
+      if (shard.health.force_open(now)) {
+        circuit_opens_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.resilience.circuit_opens").add();
+      }
+      std::vector<Request> stranded;
+      (void)shard.queue.steal_into(
+          [&](Request&& r) { stranded.push_back(std::move(r)); },
+          std::numeric_limits<std::size_t>::max());
+      for (Request& r : stranded) {
+        requeue_or_fail(std::move(r));
+      }
+      last_progress_[i] = now;  // one redistribution per frozen window
+    }
+    if (shard.health.take_scrub_request()) {
+      scrub_shard(i, now);
+    }
+    shard.health.maybe_half_open(
+        now, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 res.open_cooldown),
+        res.half_open_trials);
+  }
+  fire_due_hedges(now);
+}
+
+void InferenceServer::recover_dead_shard(
+    std::size_t shard_index, std::chrono::steady_clock::time_point now) {
+  static obs::Counter& respawns_m = obs::counter("serve.resilience.respawns");
+  Shard& shard = *shards_[shard_index];
+  if (shard.dispatcher.joinable()) {
+    shard.dispatcher.join();  // already exited through the crash barrier
+  }
+  if (shard.health.force_open(now)) {
+    circuit_opens_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.resilience.circuit_opens").add();
+  }
+  // With the thread joined, the batcher and scratch are supervisor-owned.
+  // Sweep everything the dead dispatcher held or would have drained.
+  std::vector<Request> orphans;
+  while (!shard.batcher.empty()) {
+    std::vector<Request> group = shard.batcher.take_group();
+    shard.queue.on_taken(group.size());
+    for (Request& r : group) {
+      orphans.push_back(std::move(r));
+    }
+  }
+  (void)shard.queue.steal_into(
+      [&](Request&& r) { orphans.push_back(std::move(r)); },
+      std::numeric_limits<std::size_t>::max());
+  // Rebuild the engine from the pristine config — tables and all — and
+  // re-attach the shard's fault port so chaos campaigns survive respawns.
+  shard.engine =
+      std::make_unique<core::BatchNacu>(config_, options_.batch_options);
+  if (shard.fault_port != nullptr) {
+    shard.engine->attach_fault_port(shard.fault_port);
+  }
+  if (options_.warm_tables && shard.engine->table_cacheable()) {
+    shard.engine->warm(Function::Sigmoid);
+    shard.engine->warm(Function::Tanh);
+    shard.engine->warm(Function::Exp);
+  }
+  shard.health.clear_dead();
+  shard.health.record_respawn();
+  respawns_.fetch_add(1, std::memory_order_relaxed);
+  respawns_m.add();
+  last_heartbeat_[shard_index] = shard.health.heartbeat();
+  last_progress_[shard_index] = now;
+  if (!stopping_.load(std::memory_order_acquire)) {
+    shard.dispatcher =
+        std::thread{[this, shard_index] { dispatcher_loop(shard_index); }};
+  }
+  // Requeue after the respawn so even a one-shard server has a live
+  // dispatcher to serve the retries.
+  for (Request& r : orphans) {
+    requeue_or_fail(std::move(r));
+  }
+}
+
+void InferenceServer::scrub_shard(std::size_t shard_index,
+                                  std::chrono::steady_clock::time_point now) {
+  static obs::Counter& scrubs_m = obs::counter("serve.resilience.scrubs");
+  static obs::Counter& scrub_failures_m =
+      obs::counter("serve.resilience.scrub_failures");
+  const obs::TraceSpan span{"InferenceServer::scrub"};
+  Shard& shard = *shards_[shard_index];
+  const std::int64_t min_raw = shard.engine->format().min_raw();
+  std::uint32_t mask = shard.health.quarantined();
+  for (std::size_t fi = 0; fi < core::BatchNacu::kFunctionCount; ++fi) {
+    if ((mask & (1u << fi)) == 0) {
+      continue;
+    }
+    const auto f = static_cast<Function>(fi);
+    if (!shard.engine->table_built(f)) {
+      shard.health.clear_quarantine(fi);  // nothing to scrub or serve from
+      continue;
+    }
+    // Rewrite every entry from the scalar datapath (heals transients —
+    // on_rewrite marks them spent), then re-verify through the *armed*
+    // read path so a stuck-at cell, which survives any rewrite, fails the
+    // re-check and keeps the function on the scalar path.
+    shard.engine->scrub_table(f);
+    bool clean = true;
+    if (checker_ != nullptr) {
+      const fault::DetectionReport report = checker_->check_table(
+          f, [&](std::size_t word) {
+            std::int64_t in = min_raw + static_cast<std::int64_t>(word);
+            std::int64_t out = 0;
+            shard.engine->evaluate_raw(f, std::span<const std::int64_t>{&in, 1},
+                                       std::span<std::int64_t>{&out, 1});
+            return out;
+          });
+      clean = !report.flagged();
+    }
+    shard.health.record_scrub(clean);
+    if (clean) {
+      shard.health.clear_quarantine(fi);
+      scrubs_.fetch_add(1, std::memory_order_relaxed);
+      scrubs_m.add();
+    } else {
+      scrub_failures_.fetch_add(1, std::memory_order_relaxed);
+      scrub_failures_m.add();
+      if (shard.health.record_failure(options_.resilience.failure_threshold,
+                                      now)) {
+        circuit_opens_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.resilience.circuit_opens").add();
+      }
+    }
+  }
+  if (shard.health.quarantined() == 0 && !shard.health.dispatcher_dead() &&
+      shard.health.state() != CircuitState::Closed) {
+    // Fully healed: back to full-speed table serving without waiting out
+    // the cooldown/half-open probation.
+    shard.health.close();
+    circuit_closes_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.resilience.circuit_closes").add();
+  }
+}
+
+void InferenceServer::fire_due_hedges(
+    std::chrono::steady_clock::time_point now) {
+  static obs::Counter& hedges_m = obs::counter("serve.resilience.hedges");
+  std::vector<PendingHedge> due;
+  {
+    const std::lock_guard<std::mutex> lock{hedges_mutex_};
+    auto it = hedges_.begin();
+    while (it != hedges_.end()) {
+      if (request_done(it->request)) {
+        it = hedges_.erase(it);  // the original already won — drop
+      } else if (it->fire_at <= now) {
+        due.push_back(std::move(*it));
+        it = hedges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (PendingHedge& h : due) {
+    if (request_done(h.request)) {
+      continue;
+    }
+    if (h.request.deadline.has_value() && *h.request.deadline <= now) {
+      continue;  // too late to help; the dispatcher sheds the original
+    }
+    if (!retry_budget_->try_draw()) {
+      continue;  // budget empty — hedging is strictly best-effort
+    }
+    // A healthy shard other than the origin (a hedge on the same slow
+    // shard would wait behind the same backlog).
+    const std::size_t shard_count = shards_.size();
+    for (std::size_t probe = 1; probe <= shard_count; ++probe) {
+      const std::size_t idx = (h.origin + probe) % shard_count;
+      if (shard_count > 1 && idx == h.origin) {
+        continue;
+      }
+      Shard& shard = *shards_[idx];
+      if (!shard.health.try_admit()) {
+        continue;
+      }
+      if (shard.queue.try_push(h.request, per_shard_capacity_) ==
+          ShardQueue::Push::Ok) {
+        hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+        hedges_m.add();
+        break;
+      }
+    }
+    // No shard took it: the hedge is silently dropped (the original is
+    // still in flight and owns the future).
+  }
+}
+
+void InferenceServer::requeue_or_fail(Request&& request) {
+  static obs::Counter& retried_m = obs::counter("serve.resilience.retried");
+  static obs::Counter& exhausted_m =
+      obs::counter("serve.resilience.retry_exhausted");
+  if (request.hedge_copy) {
+    return;  // copies are disposable; the original owns the future
+  }
+  if (request_done(request)) {
+    finish(request);  // a hedge already delivered the value — just account
+    return;
+  }
+  if (request.retries_left > 0 && retry_budget_->try_draw()) {
+    request.retries_left -= 1;
+    const std::size_t shard_count = shards_.size();
+    bool circuit_skipped = false;
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t idx = 0; idx < shard_count; ++idx) {
+        Shard& shard = *shards_[idx];
+        if (round == 0 && !shard.health.try_admit()) {
+          circuit_skipped = true;
+          continue;
+        }
+        if (shard.queue.try_push(request, per_shard_capacity_) ==
+            ShardQueue::Push::Ok) {
+          retried_.fetch_add(1, std::memory_order_relaxed);
+          retried_m.add();
+          return;
+        }
+      }
+      if (!circuit_skipped) {
+        break;  // second (fail-static) round could not change the outcome
+      }
+    }
+  }
+  fail_request(request, std::make_exception_ptr(ShardFailedError{}));
+  retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  exhausted_m.add();
+  finish(request);
 }
 
 }  // namespace nacu::serve

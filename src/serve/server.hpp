@@ -21,17 +21,26 @@
 //     per-class depth limits (best-effort sheds before high), deadline
 //     checks at submit *and* dispatch (an expired request is never
 //     executed), and per-tenant token-bucket quotas, all layered above
-//     the exact OverloadedError backpressure.
+//     the exact OverloadedError backpressure;
+//   * self-healing (resilience.hpp) — per-shard supervision with
+//     heartbeat watchdog, crash respawn and stall redistribution;
+//     per-shard circuit breaking that routes traffic away from unhealthy
+//     shards; budgeted transparent retries and tail-latency hedging; and
+//     live SEU scrub-and-recover: with a fault port armed, every
+//     table-path result is parity-verified before release, a detection
+//     quarantines the function onto the bit-identical scalar path while
+//     the supervisor scrub-rebuilds the table off the hot path.
 //
-// Contracts, each proven by tests/test_serving.cpp and
-// tests/test_admission.cpp:
+// Contracts, each proven by tests/test_serving.cpp, tests/
+// test_admission.cpp, and tests/test_resilience.cpp:
 //
 //  * bit-identity — results equal direct BatchNacu/model calls raw-for-raw
-//    no matter the shard count, the stealing schedule, or how requests
-//    were coalesced into groups. Element-wise activations are concatenated
-//    and sliced (position-independent by construction); softmax rows and
-//    model passes run one engine call per request inside the group; every
-//    shard's engine builds identical tables from the same scalar datapath;
+//    no matter the shard count, the stealing schedule, how requests were
+//    coalesced into groups, whether a retry or hedge copy won, or whether
+//    the serving path was quarantined down to the scalar unit. Every
+//    shard's engine builds identical tables from the same scalar datapath,
+//    and the scalar datapath *is* the table's source — so every schedule
+//    and every degradation yields the same bits;
 //  * backpressure — at most queue_capacity requests sit accepted-but-
 //    undispatched across all shards; past a priority's depth limit submit
 //    throws OverloadedError and enqueues nothing (reject-with-error, never
@@ -40,17 +49,20 @@
 //    (further submits throw ShutdownError), drains every accepted request
 //    across every shard, fulfils its future, then joins the dispatchers. A
 //    returned future is therefore always eventually ready — deadline-shed
-//    requests become ready with DeadlineExpiredError;
+//    requests become ready with DeadlineExpiredError, requests orphaned by
+//    a shard failure with no retry credit with ShardFailedError;
 //  * per-request error isolation — a request with bad inputs (e.g. a Fixed
 //    outside the datapath format) gets the exception on its own future; the
 //    other requests of the same coalesced group still complete correctly;
 //  * observability — per-stage obs:: metrics: serve.* admission counters
 //    and latency histograms (log2 buckets give p50/p99 through
-//    Registry::to_json()), serve.shard.* steal counters, and
-//    serve.admission.* shed/quota counters.
+//    Registry::to_json()), serve.shard.* steal counters, serve.admission.*
+//    shed/quota counters, and serve.resilience.* detection/recovery
+//    counters.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -61,6 +73,7 @@
 #include "serve/admission.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/request.hpp"
+#include "serve/resilience.hpp"
 #include "serve/shard_queue.hpp"
 
 namespace nacu::serve {
@@ -88,6 +101,9 @@ struct ServerOptions {
   std::chrono::microseconds steal_poll{100};
   /// Priority depth limits, deadline policy, per-tenant quotas.
   AdmissionOptions admission{};
+  /// Supervision, circuit breaking, retry/hedge budgets, live SEU
+  /// verification (resilience.hpp).
+  ResilienceOptions resilience{};
 };
 
 class InferenceServer {
@@ -125,7 +141,8 @@ class InferenceServer {
       std::vector<double> x, const SubmitOptions& submit_options = {});
 
   /// Stop admission, drain every accepted request across every shard,
-  /// join the dispatchers. Idempotent and safe from several threads.
+  /// join the supervisor and dispatchers, fail-or-finish any orphans.
+  /// Idempotent and safe from several threads.
   void shutdown();
 
   /// Whether submissions are still admitted.
@@ -144,10 +161,22 @@ class InferenceServer {
     return options_;
   }
 
+  /// Run one supervisor pass now, on the resilience clock: recover dead
+  /// dispatchers, detect stalls, perform requested scrubs, advance circuit
+  /// cooldowns, fire due hedges. The watchdog thread calls this on its
+  /// interval; fake-clock tests (and the chaos bench) call it directly for
+  /// deterministic recovery. Serialised against the watchdog; a no-op
+  /// once shutdown has begun.
+  void poke_supervisor();
+
+  /// Point-in-time health of shard @p shard_index.
+  [[nodiscard]] ShardHealthSnapshot shard_health(std::size_t shard_index) const;
+
   /// Per-server admission/completion tallies — unlike the obs:: registry
   /// these are always on and scoped to this instance, so tests can assert
   /// exact counts without toggling the global metrics switch. Invariant
-  /// after shutdown(): accepted == completed, and
+  /// after shutdown(): accepted == completed (hedge copies are not client
+  /// work and count toward neither), and
   /// accepted + rejected_* + shed_priority == submissions attempted.
   struct Counters {
     std::uint64_t accepted = 0;
@@ -161,6 +190,19 @@ class InferenceServer {
     std::uint64_t dispatches = 0;  ///< dispatch groups executed
     std::uint64_t steals = 0;          ///< successful steal operations
     std::uint64_t stolen_requests = 0;  ///< requests moved by stealing
+    // Resilience (serve/resilience.hpp):
+    std::uint64_t detections = 0;  ///< verify-before-release parity hits
+    std::uint64_t degraded_requests = 0;  ///< served on the scalar path
+    std::uint64_t scrubs = 0;           ///< successful scrub-and-reverify
+    std::uint64_t scrub_failures = 0;   ///< table still corrupt after scrub
+    std::uint64_t respawns = 0;  ///< dispatcher threads rebuilt after death
+    std::uint64_t stalls = 0;    ///< frozen-heartbeat redistributions
+    std::uint64_t retried = 0;   ///< transparent requeues after shard loss
+    std::uint64_t retry_exhausted = 0;  ///< futures failed ShardFailedError
+    std::uint64_t hedges = 0;      ///< duplicate dispatches launched
+    std::uint64_t hedge_wins = 0;  ///< races won by the hedge copy
+    std::uint64_t circuit_opens = 0;
+    std::uint64_t circuit_closes = 0;
   };
   [[nodiscard]] Counters counters() const;
 
@@ -168,15 +210,26 @@ class InferenceServer {
   /// Everything one dispatcher shard owns. Engines are per-shard so group
   /// execution never shares mutable state across shards; configured
   /// identically, they produce identical bits by the dense-table
-  /// construction argument.
+  /// construction argument. The engine lives behind a unique_ptr so the
+  /// supervisor can rebuild it wholesale after a dispatcher death.
   struct Shard {
     Shard(const core::NacuConfig& config,
           const core::BatchNacu::Options& batch_options,
           const BatcherOptions& batcher_options, std::size_t capacity);
 
-    core::BatchNacu engine;
+    std::unique_ptr<core::BatchNacu> engine;
     ShardQueue queue;
     MicroBatcher batcher;  ///< dispatcher-private; fed by queue.drain_into
+
+    ShardHealth health;
+    /// Fault port re-attached to every rebuilt engine (nullptr = unarmed).
+    fault::BitFaultPort* fault_port = nullptr;
+    /// Parity-verify every table-path dispatch before release (armed port
+    /// or ResilienceOptions::verify_dispatches, and a cacheable format).
+    bool verify = false;
+    /// Dispatcher-thread-only: detections in the current dispatch group,
+    /// used to decide record_success at group end.
+    std::uint64_t group_detections = 0;
 
     /// Dispatcher-thread-only scratch for coalesced evaluation, reused
     /// across dispatch groups so the steady-state hot path allocates only
@@ -188,10 +241,19 @@ class InferenceServer {
     std::thread dispatcher;  ///< started after every shard exists
   };
 
+  /// A supervisor-armed duplicate dispatch waiting for its fire time.
+  struct PendingHedge {
+    std::chrono::steady_clock::time_point fire_at{};
+    std::size_t origin = 0;  ///< shard the original was accepted into
+    Request request;         ///< hedge_copy = true, shares the SharedResult
+  };
+
   /// Admission: preadmit (deadline/quota), stamp, then push into the home
-  /// shard or — when it is full — probe the others once around. Returns
-  /// the future tied to the enqueued promise; throws instead of enqueueing
-  /// on any rejection.
+  /// shard or — when it is full — probe the others once around, skipping
+  /// shards whose circuit refuses (falling back to ignoring circuit state
+  /// when every healthy shard is full — fail-static). Returns the future
+  /// tied to the enqueued promise; throws instead of enqueueing on any
+  /// rejection.
   template <typename Result, typename Payload>
   [[nodiscard]] std::future<Result> enqueue(Payload payload,
                                             const SubmitOptions& submit_options);
@@ -201,24 +263,80 @@ class InferenceServer {
   /// until thread count exceeds shard count).
   [[nodiscard]] std::size_t home_shard() const noexcept;
 
+  /// Now on the resilience clock (injected fake in tests, steady_clock
+  /// otherwise). Circuit cooldowns, stall timing, hedge fire times, and
+  /// the retry budget all read this clock.
+  [[nodiscard]] std::chrono::steady_clock::time_point resilience_now() const;
+
+  /// Crash barrier around dispatcher_run: an escaped exception marks the
+  /// shard dead for the supervisor instead of terminating the process.
   void dispatcher_loop(std::size_t shard_index);
+  void dispatcher_run(std::size_t shard_index);
   /// Steal from the most loaded other shard into @p shard_index's batcher.
   [[nodiscard]] bool try_steal(std::size_t shard_index);
   /// Execute one dispatch group on @p shard: shed expired deadlines,
   /// coalesce activations per function, run everything else per request,
-  /// fulfil every promise exactly once.
+  /// verify table-path results when armed, fulfil every promise exactly
+  /// once (first completed copy wins).
   void execute_group(Shard& shard, std::vector<Request> group);
   /// Non-coalesced execution of one request (also the error-isolation
   /// fallback when a coalesced evaluation throws).
   void execute_one(Shard& shard, Request& request);
-  /// Record completion metrics and the enqueue→complete latency.
+  /// A verify-before-release check failed on @p shard: quarantine the
+  /// function, request a scrub, record the failure against the circuit.
+  void on_detection(Shard& shard, std::size_t function_index);
+  /// Record completion metrics and the enqueue→complete latency. Hedge
+  /// copies are not client work — they are skipped entirely.
   void finish(const Request& request);
 
+  // -- supervisor (watchdog thread or poke_supervisor) ---------------------
+  void supervisor_loop();
+  /// One pass; caller holds supervisor_mutex_.
+  void supervisor_pass(std::chrono::steady_clock::time_point now);
+  /// Join a dead dispatcher, sweep its orphans, rebuild its engine,
+  /// respawn the thread, requeue-or-fail the orphans.
+  void recover_dead_shard(std::size_t shard_index,
+                          std::chrono::steady_clock::time_point now);
+  /// Scrub-rebuild every quarantined table of @p shard_index, re-verify
+  /// through the armed read path, clear quarantine / close the circuit on
+  /// success; keep stuck-at functions quarantined (still serving, scalar).
+  void scrub_shard(std::size_t shard_index,
+                   std::chrono::steady_clock::time_point now);
+  /// Launch hedge copies whose fire time has passed (budget-capped, to a
+  /// healthy non-origin shard); drop hedges whose original completed.
+  void fire_due_hedges(std::chrono::steady_clock::time_point now);
+  /// Transparently re-enqueue an orphaned request if it has retry credit
+  /// and the budget admits; otherwise fail its future (ShardFailedError).
+  /// Hedge copies are silently dropped.
+  void requeue_or_fail(Request&& request);
+  /// Post-join shutdown sweep: fail-or-finish anything a dead shard left
+  /// behind, drop pending hedges.
+  void sweep_leftovers();
+
   ServerOptions options_;
+  core::NacuConfig config_;  ///< kept for supervisor engine rebuilds
   AdmissionController admission_;
   std::size_t per_shard_capacity_ = 0;
   bool stamp_enqueue_time_ = false;  ///< max_wait > 0 needs the age stamp
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Golden parity signatures + calibrated ranges shared by every shard's
+  /// verify path (read-only after construction). Built only when some
+  /// shard verifies and the format is table-cacheable.
+  std::unique_ptr<fault::InvariantChecker> checker_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;  ///< serialises passes (watchdog vs poke)
+  std::mutex supervisor_wake_mutex_;
+  std::condition_variable supervisor_wake_;
+  /// Supervisor-pass state (guarded by supervisor_mutex_): last observed
+  /// heartbeat and when it last advanced, per shard.
+  std::vector<std::uint64_t> last_heartbeat_;
+  std::vector<std::chrono::steady_clock::time_point> last_progress_;
+
+  std::mutex hedges_mutex_;
+  std::vector<PendingHedge> hedges_;
 
   std::atomic<bool> stopping_{false};
   std::once_flag join_once_;
@@ -234,6 +352,18 @@ class InferenceServer {
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> stolen_requests_{0};
+  std::atomic<std::uint64_t> detections_{0};
+  std::atomic<std::uint64_t> degraded_requests_{0};
+  std::atomic<std::uint64_t> scrubs_{0};
+  std::atomic<std::uint64_t> scrub_failures_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> retry_exhausted_{0};
+  std::atomic<std::uint64_t> hedges_launched_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> circuit_opens_{0};
+  std::atomic<std::uint64_t> circuit_closes_{0};
 };
 
 }  // namespace nacu::serve

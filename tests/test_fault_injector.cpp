@@ -4,7 +4,11 @@
 // the injector and vanish when it is detached).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "core/batch_nacu.hpp"
 #include "fault/fault_injector.hpp"
@@ -273,6 +277,93 @@ TEST(FaultHooks, RtlExpSurvivesWorstCaseCorruption) {
             hw::Func::Exp, fp::Fixed::from_double(-1.0, fmt)));
       }
     }
+  }
+}
+
+TEST(FaultHooks, ConcurrentEvaluatesAgainstALiveCampaignAreSafe) {
+  // The serving layer arms, queries and disarms a shard's BitFaultPort
+  // while that shard's BatchNacu is mid-evaluate on the thread pool — so
+  // the injector must tolerate arm()/disarm_all()/reads_faulted() racing
+  // table reads from many workers. This test drives exactly that shape
+  // (it runs under TSan in the CI chaos-smoke job): two evaluator threads
+  // hammer a shared engine whose batches fan out across the pool, while
+  // the main thread cycles a fault campaign on two fixed table words.
+  // Faults are only ever armed on those words, so every *other* element
+  // must stay bit-identical to the clean run no matter the interleaving.
+  core::NacuConfig config = core::config_for_bits(16);
+  core::BatchNacu::Options opts;
+  opts.parallel_threshold = 64;  // force pool fan-out for every batch
+  opts.parallel_grain = 32;
+  core::BatchNacu engine{config, opts};
+  FaultInjector injector;
+  engine.attach_fault_port(&injector);
+  engine.warm(core::BatchNacu::Function::Sigmoid);
+
+  constexpr std::size_t kElems = 2048;
+  const std::int64_t min_raw = config.format.min_raw();
+  const std::int64_t span = config.format.max_raw() - min_raw;
+  std::vector<fp::Fixed> input;
+  input.reserve(kElems);
+  for (std::size_t k = 0; k < kElems; ++k) {
+    const auto raw =
+        min_raw + static_cast<std::int64_t>(k) * span /
+                      static_cast<std::int64_t>(kElems - 1);
+    input.push_back(fp::Fixed::from_raw(raw, config.format));
+  }
+  // The campaign only ever touches the words behind these two inputs.
+  const std::size_t kHot0 = 0;
+  const std::size_t kHot1 = kElems / 2;
+  const auto word0 = static_cast<std::size_t>(input[kHot0].raw() - min_raw);
+  const auto word1 = static_cast<std::size_t>(input[kHot1].raw() - min_raw);
+
+  const std::vector<fp::Fixed> clean =
+      engine.evaluate(core::BatchNacu::Function::Sigmoid, input);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> evaluators;
+  for (int t = 0; t < 2; ++t) {
+    evaluators.emplace_back([&] {
+      std::vector<fp::Fixed> out(input.size(),
+                                 fp::Fixed::zero(config.format));
+      while (!stop.load(std::memory_order_acquire)) {
+        engine.evaluate(core::BatchNacu::Function::Sigmoid, input, out);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          if (k == kHot0 || k == kHot1) {
+            continue;  // the armed words — corruption here is the point
+          }
+          if (out[k].raw() != clean[k].raw()) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 60; ++round) {
+    injector.arm({Surface::TableSigmoid, word0, round % 8,
+                  FaultModel::TransientSeu});
+    injector.arm({Surface::TableSigmoid, word1, (round + 3) % 8,
+                  round % 2 == 0 ? FaultModel::StuckAt0
+                                 : FaultModel::StuckAt1});
+    (void)injector.reads_faulted();
+    (void)injector.transient_live();
+    EXPECT_EQ(injector.armed_count(), 2u);
+    std::this_thread::yield();
+    injector.disarm_all();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : evaluators) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a fault leaked outside its armed word";
+
+  // With the campaign over, the shared engine serves clean bits again.
+  injector.disarm_all();
+  const std::vector<fp::Fixed> after =
+      engine.evaluate(core::BatchNacu::Function::Sigmoid, input);
+  for (std::size_t k = 0; k < after.size(); ++k) {
+    ASSERT_EQ(after[k].raw(), clean[k].raw()) << "element " << k;
   }
 }
 

@@ -373,6 +373,89 @@ TEST(Serving, ShutdownDrainsEveryAcceptedRequestThenRejects) {
   server.shutdown();  // idempotent
 }
 
+TEST(Serving, SubmitShutdownRaceLeavesNoHungFuture) {
+  // The sharpened shutdown contract: submitters racing shutdown() get
+  // exactly one of {accepted-and-drained, ShutdownError} per request, and
+  // the moment shutdown() returns every accepted future is *already*
+  // ready — a client holding one never blocks, not even briefly. The
+  // submitters are staggered so some race the stop flag, some the queue
+  // stop, and some arrive after; retry credit and armed (never-firing)
+  // hedges ride along so the sweep's orphan/hedge bookkeeping is on the
+  // racing path too. Runs under TSan in CI.
+  const NacuConfig config = config_for_bits(16);
+  ServerOptions options;
+  options.shards = 2;
+  options.batcher.max_batch = 16;
+  options.batcher.max_wait = std::chrono::microseconds{100};
+  options.batcher.queue_capacity = 1 << 16;
+  InferenceServer server{config, options};
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 120;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  struct ClientState {
+    std::vector<std::future<std::vector<fp::Fixed>>> futures;
+    std::vector<fp::Fixed> input;
+  };
+  std::vector<ClientState> states(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientState& state = states[c];
+      state.input.assign(
+          3, fp::Fixed::from_double(0.125 * static_cast<double>(c + 1),
+                                    config.format));
+      std::this_thread::sleep_for(std::chrono::microseconds{300 * c});
+      SubmitOptions submit;
+      submit.max_retries = c % 2;  // odd clients carry retry credit
+      if (c % 3 == 0) {            // some arm hedges that never fire
+        submit.deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds{30};
+        submit.hedge_fraction = 0.9;
+      }
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        try {
+          state.futures.push_back(
+              server.submit(Function::Sigmoid, state.input, submit));
+          ++accepted;
+        } catch (const ShutdownError&) {
+          ++rejected;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  server.shutdown();
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kClients * kPerClient);
+  const BatchNacu direct{config};
+  std::uint64_t resolved = 0;
+  for (ClientState& state : states) {
+    const std::vector<fp::Fixed> want =
+        state.input.empty()
+            ? std::vector<fp::Fixed>{}
+            : direct.evaluate(Function::Sigmoid, state.input);
+    for (auto& future : state.futures) {
+      // shutdown() returned, so the drain is complete: ready *now*.
+      ASSERT_EQ(future.wait_for(std::chrono::seconds{0}),
+                std::future_status::ready)
+          << "accepted future not resolved by the time shutdown() returned";
+      expect_bit_equal(future.get(), want, "drained racing request");
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, accepted.load());
+  EXPECT_EQ(server.pending(), 0u);
+  const InferenceServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.accepted, accepted.load());
+  EXPECT_EQ(counters.completed, accepted.load());
+  EXPECT_EQ(counters.rejected_shutdown, rejected.load());
+}
+
 TEST(Serving, BadRequestsFailAloneInsideCoalescedGroups) {
   // One request whose input is not in the datapath format poisons the
   // coalesced evaluation; the server must fall back to per-request
