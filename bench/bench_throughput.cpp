@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -270,7 +272,9 @@ int main(int argc, char** argv) {
     const char* simd_name = simd::backend_name(simd_backend);
     const std::size_t pool_threads = core::ThreadPool::shared().size();
     const std::string fmt_name = kConfig.format.to_string();
-    benchjson::Writer writer{"nacu-bench-throughput-v1"};
+    // v2: adds table_bytes (resident activation-table bytes behind each
+    // row) and configs (live engine configs in the working-set sweep).
+    benchjson::Writer writer{"nacu-bench-throughput-v2"};
 
     const core::Nacu scalar{kConfig};
     core::BatchNacu::Options table_scalar_options;
@@ -297,7 +301,8 @@ int main(int argc, char** argv) {
     };
     const auto record = [&](const char* op, const char* backend,
                             std::size_t threads, std::size_t n,
-                            double seconds) {
+                            double seconds, std::size_t table_bytes,
+                            std::size_t configs = 1) {
       const double dn = static_cast<double>(n);
       writer.add(benchjson::Record{}
                      .add("op", op)
@@ -305,6 +310,8 @@ int main(int argc, char** argv) {
                      .add("backend", backend)
                      .add("threads", threads)
                      .add("elems", n)
+                     .add("configs", configs)
+                     .add("table_bytes", table_bytes)
                      .add("elems_per_s", dn / seconds)
                      .add("ns_per_elem", seconds * 1e9 / dn));
     };
@@ -381,11 +388,15 @@ int main(int argc, char** argv) {
             "  %-8s %8zu %12.3e %12.3e %12.3e %12.3e %12.3e %8.1fx\n", name,
             n, dn / scalar_s, dn / pr1_s, dn / table_s, dn / simd_s,
             dn / parallel_s, pr1_s / simd_s);
-        record(name, "scalar-datapath", 1, n, scalar_s);
-        record(name, "table-pr1", 1, n, pr1_s);
-        record(name, "table-scalar", 1, n, table_s);
-        record(name, table_simd_label.c_str(), 1, n, simd_s);
-        record(name, "parallel", pool_threads, n, parallel_s);
+        record(name, "scalar-datapath", 1, n, scalar_s, 0);
+        record(name, "table-pr1", 1, n, pr1_s,
+               entries * sizeof(std::int16_t));
+        record(name, "table-scalar", 1, n, table_s,
+               table_scalar.table_resident_bytes(f));
+        record(name, table_simd_label.c_str(), 1, n, simd_s,
+               table_simd.table_resident_bytes(f));
+        record(name, "parallel", pool_threads, n, parallel_s,
+               parallel.table_resident_bytes(f));
       }
     }
     // Batched softmax (fused raw-domain path when the exp table is up).
@@ -402,11 +413,157 @@ int main(int argc, char** argv) {
       std::printf("  %-8s %8zu %12s %12s %12s %12.3e %12s %9s\n", "softmax",
                   n, "-", "-", "-", static_cast<double>(n) / softmax_s, "-",
                   "-");
-      record("softmax", table_simd_label.c_str(), 1, n, softmax_s);
+      record("softmax", table_simd_label.c_str(), 1, n, softmax_s,
+             table_simd.table_resident_bytes(core::BatchNacu::Function::Exp));
     }
-    std::printf("  (activation table: %zu KiB per function; simd backend "
-                "%s; pool size %zu)\n",
-                parallel.table_bytes() / 1024, simd_name, pool_threads);
+    // === Working-set sweep: live configs × table mode × backend ===
+    // Many deployed configs share one cache. Each cell builds `configs`
+    // engines with *distinct* NacuConfigs (different LUT geometries →
+    // different table contents), warms σ + tanh on each, then streams the
+    // same total element count through them — so every cell does identical
+    // arithmetic and differs only in resident table bytes. Dense at 8
+    // configs is 8 × 2 × 128 KiB = 2 MiB of tables (a typical L2);
+    // HalfRange halves that; Pwl collapses it to a few KiB.
+    //
+    // Methodology: every evaluation uses the *same* small scrambled input
+    // chunk (uniform over the raw range, so gathers hit the tables
+    // randomly instead of walking them linearly), and each round cycles
+    // through all engines before touching the first again — each engine's
+    // tables must survive the other configs' gathers to stay resident.
+    // Rounds scale inversely with `configs` so total work per cell is
+    // constant and only the live table footprint varies.
+    std::printf("\n=== Working-set sweep: live configs x table mode ===\n");
+    std::printf("  %-8s %-6s %8s %12s %12s\n", "backend", "mode", "configs",
+                "tables KiB", "elems/s");
+    {
+      const std::size_t kSweepLutEntries[8] = {53, 61, 71, 47,
+                                               59, 67, 73, 79};
+      struct ModeRow {
+        core::BatchNacu::TableMode mode;
+        const char* name;
+      };
+      const ModeRow modes[] = {
+          {core::BatchNacu::TableMode::Dense, "dense"},
+          {core::BatchNacu::TableMode::HalfRange, "half"},
+          {core::BatchNacu::TableMode::Pwl, "pwl"},
+      };
+      std::vector<std::pair<simd::Backend, const char*>> sweep_backends;
+      sweep_backends.emplace_back(simd::Backend::Scalar, "scalar");
+      if (simd::avx2_available()) {
+        sweep_backends.emplace_back(simd::Backend::Avx2, "avx2");
+      }
+      if (simd::avx512_available()) {
+        sweep_backends.emplace_back(simd::Backend::Avx512, "avx512");
+      }
+      if (simd::neon_available()) {
+        sweep_backends.emplace_back(simd::Backend::Neon, "neon");
+      }
+      // Small chunks force frequent engine hand-offs: a mode whose live
+      // tables exceed the L2 re-faults lines on every visit, one that fits
+      // streams at full gather speed after the first round.
+      const std::size_t kChunk = 4096;
+      const std::size_t kRoundsAtOne = 128;  // rounds × configs is constant
+      // Scrambled chunk: a fixed LCG walk over the full raw range, shared
+      // by every cell (identical arithmetic everywhere, random gathers).
+      std::vector<fp::Fixed> chunk;
+      chunk.reserve(kChunk);
+      {
+        const std::int64_t span =
+            kConfig.format.max_raw() - kConfig.format.min_raw() + 1;
+        std::uint32_t s = 0x9E3779B9u;
+        for (std::size_t i = 0; i < kChunk; ++i) {
+          s = s * 1664525u + 1013904223u;
+          chunk.push_back(fp::Fixed::from_raw(
+              kConfig.format.min_raw() +
+                  static_cast<std::int64_t>((s >> 8) % span),
+              kConfig.format));
+        }
+      }
+      std::vector<fp::Fixed> chunk_out(kChunk,
+                                       fp::Fixed::zero(kConfig.format));
+      // Contention robustness: a shared host can steal the core in
+      // multi-second bursts, and back-to-back tries of one cell all land
+      // inside the same burst. So every cell is built once up front, then
+      // the whole grid is timed in several well-separated passes — each
+      // visit runs the cell once untimed (tables re-resident, any burst
+      // absorbed) and once timed, and a cell reports its best across
+      // passes. A burst then costs one pass of a few cells, not a cell.
+      struct SweepCell {
+        const char* backend_name;
+        const char* mode_name;
+        std::size_t configs;
+        std::size_t rounds;
+        std::size_t resident;
+        std::vector<std::unique_ptr<core::BatchNacu>> engines;
+        double best_s;
+      };
+      std::vector<SweepCell> cells;
+      for (const auto& [backend, backend_name] : sweep_backends) {
+        for (const ModeRow& mode : modes) {
+          for (const std::size_t configs : {std::size_t{1}, std::size_t{4},
+                                            std::size_t{8}}) {
+            SweepCell cell{backend_name, mode.name,   configs,
+                           kRoundsAtOne / configs, 0, {},
+                           1e100};
+            core::BatchNacu::Options opts;
+            opts.parallel_threshold = ~std::size_t{0};
+            opts.backend = backend;
+            opts.table_mode = mode.mode;
+            for (std::size_t c = 0; c < configs; ++c) {
+              cell.engines.push_back(std::make_unique<core::BatchNacu>(
+                  core::config_for_bits(16, kSweepLutEntries[c]), opts));
+              cell.engines.back()->warm(core::BatchNacu::Function::Sigmoid);
+              cell.engines.back()->warm(core::BatchNacu::Function::Tanh);
+              cell.resident += cell.engines.back()->table_resident_bytes(
+                                   core::BatchNacu::Function::Sigmoid) +
+                               cell.engines.back()->table_resident_bytes(
+                                   core::BatchNacu::Function::Tanh);
+            }
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+      const auto run_cell = [&](SweepCell& cell) {
+        for (std::size_t round = 0; round < cell.rounds; ++round) {
+          for (std::size_t c = 0; c < cell.configs; ++c) {
+            cell.engines[c]->evaluate(core::BatchNacu::Function::Sigmoid,
+                                      chunk, chunk_out);
+            cell.engines[c]->evaluate(core::BatchNacu::Function::Tanh,
+                                      chunk, chunk_out);
+          }
+        }
+        benchmark::DoNotOptimize(chunk_out.data());
+      };
+      for (int pass = 0; pass < 5; ++pass) {
+        for (SweepCell& cell : cells) {
+          run_cell(cell);
+          const auto t0 = Clock::now();
+          run_cell(cell);
+          cell.best_s = std::min(
+              cell.best_s,
+              std::chrono::duration<double>(Clock::now() - t0).count());
+        }
+      }
+      for (const SweepCell& cell : cells) {
+        const std::size_t swept = cell.rounds * cell.configs * 2 * kChunk;
+        std::printf("  %-8s %-6s %8zu %12zu %12.3e\n", cell.backend_name,
+                    cell.mode_name, cell.configs, cell.resident / 1024,
+                    static_cast<double>(swept) / cell.best_s);
+        std::string label = "sweep-";
+        label += cell.backend_name;
+        label += '-';
+        label += cell.mode_name;
+        record("sweep", label.c_str(), 1, swept, cell.best_s, cell.resident,
+               cell.configs);
+      }
+    }
+    std::printf("  (activation table: %zu KiB dense / %zu KiB resident per "
+                "function; simd backend %s; pool size %zu)\n",
+                parallel.table_bytes() / 1024,
+                parallel.table_resident_bytes(
+                    core::BatchNacu::Function::Sigmoid) /
+                    1024,
+                simd_name, pool_threads);
     if (writer.write("BENCH_throughput.json")) {
       std::printf("  wrote BENCH_throughput.json\n\n");
     } else {

@@ -21,11 +21,13 @@ metrics (elems_per_s, trials_per_s, p50_ns/p99_ns latency quantiles) are
 ignored or held loosely.
 
 --require-metric asserts the candidate is *structurally* intact even when
-the metric's value is ignored: every candidate record of a bench that has
-any field containing the fragment must carry a positive value for it.
-CI combines `--ignore p50 --require-metric p50_ns` to say "tail-latency
-numbers are machine-speed, but a run that stopped reporting them (e.g. a
-histogram wired up wrong) is a failure, not a silent pass".
+the metric's value is ignored: every candidate record whose baseline
+counterpart carries a *positive* value for a metric containing the
+fragment must itself report a positive value (a baseline of 0 marks the
+metric as legitimately absent there — e.g. table_bytes on rows with no
+cached table). CI combines `--ignore p50 --require-metric p50_ns` to say
+"tail-latency numbers are machine-speed, but a run that stopped reporting
+them (e.g. a histogram wired up wrong) is a failure, not a silent pass".
 
 Stdlib only — no pip dependencies.
 """
@@ -42,7 +44,7 @@ import sys
 LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes", "p50", "p99",
                    "_ms")
 MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients",
-                      "shards", "kills", "injected")
+                      "shards", "kills", "injected", "configs")
 
 
 def load_records(path):
@@ -158,12 +160,16 @@ def main():
 
     # Structural gates: a metric may be --ignore'd by value (machine speed)
     # yet still required to exist and be positive in every candidate record
-    # whose baseline counterpart carries it.
+    # whose baseline counterpart carries a positive value for it.
     structural_failures = []
     for fragment in args.require_metric:
         checked = 0
         for key, base in sorted(base_by_key.items()):
-            names = [name for name in metrics(base) if fragment in name]
+            names = [
+                name
+                for name, value in metrics(base).items()
+                if fragment in name and value > 0
+            ]
             if not names:
                 continue
             cand = cand_by_key.get(key)

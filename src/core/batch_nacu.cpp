@@ -4,11 +4,17 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "simd/kernels.hpp"
 
 namespace nacu::core {
 
 namespace {
+
+/// Process-wide resident bytes of built activation tables, across every
+/// live BatchNacu. Auto table-mode budgets new σ/tanh tables against it:
+/// adding another HalfRange table past Options::cache_budget_bytes tips
+/// the build into the PWL form instead. Builds add under their call_once;
+/// the destructor subtracts.
+std::atomic<std::size_t> g_live_table_bytes{0};
 
 /// Batch/element tallies by serving path, plus the backend pick — the
 /// datapath decisions that were invisible before the obs layer. Sites
@@ -25,12 +31,32 @@ void count_batch(std::size_t n, bool table, simd::Backend backend) {
       obs::counter("core.batch_nacu.scalar_fallback_elems");
   static obs::Counter& avx2_batches =
       obs::counter("core.batch_nacu.backend_avx2_batches");
+  static obs::Counter& avx512_batches =
+      obs::counter("core.batch_nacu.backend_avx512_batches");
+  static obs::Counter& neon_batches =
+      obs::counter("core.batch_nacu.backend_neon_batches");
   static obs::Counter& scalar_backend_batches =
       obs::counter("core.batch_nacu.backend_scalar_batches");
   (table ? table_batches : scalar_batches).add();
   (table ? table_elems : scalar_elems).add(n);
-  (backend == simd::Backend::Avx2 ? avx2_batches : scalar_backend_batches)
-      .add();
+  switch (backend) {
+    case simd::Backend::Avx2:
+      avx2_batches.add();
+      break;
+    case simd::Backend::Avx512:
+      avx512_batches.add();
+      break;
+    case simd::Backend::Neon:
+      neon_batches.add();
+      break;
+    case simd::Backend::Scalar:
+      scalar_backend_batches.add();
+      break;
+  }
+}
+
+bool fits_int16(std::int64_t v) noexcept {
+  return v >= -32768 && v <= 32767;
 }
 
 }  // namespace
@@ -41,7 +67,18 @@ BatchNacu::BatchNacu(const NacuConfig& config)
 BatchNacu::BatchNacu(const NacuConfig& config, Options options)
     : unit_{config},
       options_{options},
-      pool_{options.pool != nullptr ? options.pool : &ThreadPool::shared()} {}
+      pool_{options.pool != nullptr ? options.pool : &ThreadPool::shared()},
+      resolved_backend_{simd::resolve(options.backend)} {}
+
+BatchNacu::~BatchNacu() {
+  std::size_t total = 0;
+  for (const TableStore& store : tables_) {
+    total += store.resident_bytes;
+  }
+  if (total != 0) {
+    g_live_table_bytes.fetch_sub(total, std::memory_order_relaxed);
+  }
+}
 
 bool BatchNacu::table_cacheable() const noexcept {
   return unit_.format().width() <= kMaxTableWidth;
@@ -57,6 +94,26 @@ std::size_t BatchNacu::table_bytes() const noexcept {
     return 0;
   }
   return (std::size_t{1} << unit_.format().width()) * sizeof(std::int16_t);
+}
+
+std::size_t BatchNacu::table_resident_bytes(Function f) const noexcept {
+  const auto index = static_cast<std::size_t>(f);
+  if (!table_built_[index].load(std::memory_order_acquire)) {
+    return 0;
+  }
+  return tables_[index].resident_bytes;
+}
+
+simd::TableKind BatchNacu::table_kind(Function f) const noexcept {
+  const auto index = static_cast<std::size_t>(f);
+  if (!table_built_[index].load(std::memory_order_acquire)) {
+    return simd::TableKind::Dense;
+  }
+  return tables_[index].view.kind;
+}
+
+std::size_t BatchNacu::live_table_bytes() noexcept {
+  return g_live_table_bytes.load(std::memory_order_relaxed);
 }
 
 void BatchNacu::warm(Function f) const {
@@ -81,12 +138,61 @@ void BatchNacu::scrub_table(Function f) const {
     return;
   }
   const fault::Surface surface = table_surface(f);
-  const std::int64_t min_raw = unit_.format().min_raw();
-  std::vector<std::int16_t>& table = tables_[index];
-  for (std::size_t k = 0; k < table.size(); ++k) {
-    table[k] = static_cast<std::int16_t>(
-        scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
-    if (fault_port_ != nullptr) {
+  const fp::Format fmt = unit_.format();
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t max_raw = fmt.max_raw();
+  TableStore& store = tables_[index];
+  // Rewrite the physical storage from the scalar datapath, in whatever
+  // layout the build chose (the layout itself never changes post-publish).
+  switch (store.view.kind) {
+    case simd::TableKind::Dense:
+      for (std::size_t k = 0; k < store.entries.size(); ++k) {
+        store.entries[k] = static_cast<std::int16_t>(
+            scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
+      }
+      break;
+    case simd::TableKind::HalfSigmoid:
+    case simd::TableKind::HalfOdd: {
+      // Rebuild the published encoding: HalfSigmoid entries are
+      // corr-packed (sample | corr << 15, see simd/kernels.hpp), HalfOdd
+      // entries are plain samples. The build proved the corrections fit,
+      // and scalar_raw is the deterministic fault-free datapath, so the
+      // scrub re-derives the identical bits.
+      const std::int64_t one = store.view.one_raw;
+      for (std::int64_t r = 0; r <= max_raw; ++r) {
+        const std::int64_t yp = scalar_raw(f, r);
+        std::int64_t corr = 0;
+        if (one != 0 && r > 0) {
+          corr = scalar_raw(f, -r) - (one - yp);
+        }
+        store.entries[static_cast<std::size_t>(r)] =
+            static_cast<std::int16_t>(yp | (corr << 15));
+      }
+      // The pre-inverted |min_raw| slot (correction bit clear).
+      store.entries[static_cast<std::size_t>(max_raw) + 1] =
+          static_cast<std::int16_t>(one - scalar_raw(f, min_raw));
+      break;
+    }
+    case simd::TableKind::Pwl: {
+      const bool tanh_mode = f == Function::Tanh;
+      for (std::size_t s = 0; s < store.pwl.segments; ++s) {
+        const Nacu::Coefficients pos = unit_.morph_coefficients(
+            s, tanh_mode ? Nacu::Mode::TanhPos : Nacu::Mode::SigmoidPos);
+        const Nacu::Coefficients neg = unit_.morph_coefficients(
+            s, tanh_mode ? Nacu::Mode::TanhNeg : Nacu::Mode::SigmoidNeg);
+        store.coeff_pos[s] = pos.coeff.raw();
+        store.bias_pos[s] = pos.bias.raw();
+        store.coeff_neg[s] = neg.coeff.raw();
+        store.bias_neg[s] = neg.bias.raw();
+      }
+      break;
+    }
+  }
+  // Rewrite notifications cover the full *dense* word domain regardless of
+  // layout — the fault surface's addressing contract (PR 2) is dense words.
+  if (fault_port_ != nullptr) {
+    const auto words = static_cast<std::size_t>(max_raw - min_raw + 1);
+    for (std::size_t k = 0; k < words; ++k) {
       fault_port_->on_rewrite(surface, k);
     }
   }
@@ -105,8 +211,177 @@ std::int64_t BatchNacu::scalar_raw(Function f, std::int64_t raw) const {
   throw std::logic_error("BatchNacu: unknown function");
 }
 
-const std::vector<std::int16_t>* BatchNacu::table_for(
-    Function f, std::size_t batch_size) const {
+void BatchNacu::build_table(Function f, TableStore& store) const {
+  static obs::Counter& half_rejected =
+      obs::counter("core.batch_nacu.half_range_rejected");
+  static obs::Counter& pwl_rejected =
+      obs::counter("core.batch_nacu.pwl_rejected");
+  static obs::Counter& exp_dense =
+      obs::counter("core.batch_nacu.compressed_exp_forced_dense");
+  const fp::Format fmt = unit_.format();
+  const std::int64_t min_raw = fmt.min_raw();
+  const std::int64_t max_raw = fmt.max_raw();
+  const auto dense_count = static_cast<std::size_t>(max_raw - min_raw + 1);
+  // The dense sweep is always computed: it is the reference every
+  // compressed layout must reproduce bit-for-bit, and the fallback when
+  // one cannot.
+  std::vector<std::int16_t> dense(dense_count);
+  for (std::size_t k = 0; k < dense_count; ++k) {
+    dense[k] = static_cast<std::int16_t>(
+        scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
+  }
+
+  TableMode mode = options_.table_mode;
+  if (f == Function::Exp && mode != TableMode::Dense) {
+    // e^x is not symmetric — Eq. 14 runs σ through a divider — so neither
+    // the half-range fold nor the (division-free) PWL form can express it.
+    if (mode != TableMode::Auto) {
+      exp_dense.add();
+    }
+    mode = TableMode::Dense;
+  }
+  if (mode == TableMode::Auto) {
+    const std::size_t half_bytes =
+        (static_cast<std::size_t>(max_raw) + 3) * sizeof(std::int16_t);
+    mode = g_live_table_bytes.load(std::memory_order_relaxed) + half_bytes >
+                   options_.cache_budget_bytes
+               ? TableMode::Pwl
+               : TableMode::HalfRange;
+  }
+
+  const bool tanh_mode = f == Function::Tanh;
+  const std::int64_t one =
+      f == Function::Sigmoid
+          ? (std::int64_t{1} << fmt.fractional_bits())
+          : 0;
+
+  if (mode == TableMode::Pwl) {
+    const SigmoidLut& lut = unit_.lut();
+    const std::size_t segs = lut.entries();
+    store.coeff_pos.resize(segs);
+    store.bias_pos.resize(segs);
+    store.coeff_neg.resize(segs);
+    store.bias_neg.resize(segs);
+    for (std::size_t s = 0; s < segs; ++s) {
+      const Nacu::Coefficients pos = unit_.morph_coefficients(
+          s, tanh_mode ? Nacu::Mode::TanhPos : Nacu::Mode::SigmoidPos);
+      const Nacu::Coefficients neg = unit_.morph_coefficients(
+          s, tanh_mode ? Nacu::Mode::TanhNeg : Nacu::Mode::SigmoidNeg);
+      store.coeff_pos[s] = pos.coeff.raw();
+      store.bias_pos[s] = pos.bias.raw();
+      store.coeff_neg[s] = neg.coeff.raw();
+      store.bias_neg[s] = neg.bias.raw();
+    }
+    store.pwl.coeff_pos = store.coeff_pos.data();
+    store.pwl.bias_pos = store.bias_pos.data();
+    store.pwl.coeff_neg = store.coeff_neg.data();
+    store.pwl.bias_neg = store.bias_neg.data();
+    store.pwl.segments = segs;
+    store.pwl.x_max_raw = lut.x_max_raw();
+    store.pwl.mag_max_raw = max_raw;
+    store.pwl.tanh_stretch = tanh_mode;
+    store.pwl.bias_shift = fmt.fractional_bits();
+    store.pwl.out_shift = config().coeff_format.fractional_bits();
+    store.pwl.rounding = config().output_rounding;
+    store.pwl.out_min = min_raw;
+    store.pwl.out_max = max_raw;
+    // Exhaustive replay check: the integer FMA must land on the scalar
+    // datapath's output for every representable input, or the form is
+    // rejected (e.g. a rounding mode whose requantisation the compact
+    // replay cannot mirror).
+    bool ok = true;
+    for (std::size_t k = 0; k < dense_count && ok; ++k) {
+      ok = simd::pwl_eval_raw(store.pwl,
+                              min_raw + static_cast<std::int64_t>(k)) ==
+           dense[k];
+    }
+    if (ok) {
+      store.view.kind = simd::TableKind::Pwl;
+      store.view.entries = nullptr;
+      store.view.one_raw = 0;
+      store.view.pwl = &store.pwl;
+      store.resident_bytes = segs * 4 * sizeof(std::int64_t);
+      return;
+    }
+    pwl_rejected.add();
+    store.coeff_pos.clear();
+    store.bias_pos.clear();
+    store.coeff_neg.clear();
+    store.bias_neg.clear();
+    store.pwl = simd::PwlTable{};
+    mode = TableMode::HalfRange;
+  }
+
+  if (mode == TableMode::HalfRange) {
+    // Fold onto the non-negative half: entries[r] for r in [0, max_raw],
+    // the pre-inverted |min_raw| slot at max_raw + 1, one zero pad slot to
+    // keep the entry count even (the dword-pair gather reads in pairs).
+    //
+    // For σ (one != 0) the entries are corr-packed (simd/kernels.hpp): the
+    // sample in bits [0,14] and a +1 correction in bit 15, because the
+    // datapath's bit-trick coefficient morph makes σ(−x) land one raw ulp
+    // above 1 − σ(x) for some inputs — Eq. 3 holds exactly only in real
+    // arithmetic. A correction outside {0, 1} (or a sample needing bit 15)
+    // has no encoding and rejects the fold. Odd functions store plain
+    // signed samples and must satisfy f(−x) = −f(x) exactly.
+    std::vector<std::int16_t> half(static_cast<std::size_t>(max_raw) + 3, 0);
+    bool ok = true;
+    for (std::int64_t r = 0; r <= max_raw && ok; ++r) {
+      const std::int64_t yp = dense[static_cast<std::size_t>(r - min_raw)];
+      if (one != 0) {
+        std::int64_t corr = 0;
+        if (r > 0) {
+          const std::int64_t yn =
+              dense[static_cast<std::size_t>(-r - min_raw)];
+          corr = yn - (one - yp);
+        }
+        ok = yp >= 0 && yp <= 0x7FFF && (corr == 0 || corr == 1);
+        half[static_cast<std::size_t>(r)] =
+            static_cast<std::int16_t>(yp | (corr << 15));
+      } else {
+        half[static_cast<std::size_t>(r)] = static_cast<std::int16_t>(yp);
+      }
+    }
+    const std::int64_t slot = one - dense[0];  // word 0 is raw == min_raw
+    ok = ok && fits_int16(slot) && (one == 0 || (slot >= 0 && slot <= 0x7FFF));
+    if (ok) {
+      half[static_cast<std::size_t>(max_raw) + 1] =
+          static_cast<std::int16_t>(slot);
+      // Exhaustive check over the full dense domain through the *same*
+      // reconstruction formula the kernels use (table_entry_for_word):
+      // every word must land on the dense sweep, or the fold is rejected.
+      simd::TableView probe;
+      probe.kind = f == Function::Sigmoid ? simd::TableKind::HalfSigmoid
+                                          : simd::TableKind::HalfOdd;
+      probe.entries = half.data();
+      probe.one_raw = static_cast<std::int32_t>(one);
+      for (std::size_t k = 0; k < dense_count && ok; ++k) {
+        ok = simd::table_entry_for_word(probe, min_raw, k) == dense[k];
+      }
+    }
+    if (ok) {
+      store.entries = std::move(half);
+      store.view.kind = f == Function::Sigmoid ? simd::TableKind::HalfSigmoid
+                                               : simd::TableKind::HalfOdd;
+      store.view.entries = store.entries.data();
+      store.view.one_raw = static_cast<std::int32_t>(one);
+      store.view.pwl = nullptr;
+      store.resident_bytes = store.entries.size() * sizeof(std::int16_t);
+      return;
+    }
+    half_rejected.add();
+  }
+
+  store.entries = std::move(dense);
+  store.view.kind = simd::TableKind::Dense;
+  store.view.entries = store.entries.data();
+  store.view.one_raw = 0;
+  store.view.pwl = nullptr;
+  store.resident_bytes = store.entries.size() * sizeof(std::int16_t);
+}
+
+const simd::TableView* BatchNacu::table_for(Function f,
+                                            std::size_t batch_size) const {
   if (!table_cacheable()) {
     return nullptr;
   }
@@ -126,19 +401,12 @@ const std::vector<std::int16_t>* BatchNacu::table_for(
     builds.add();
     const obs::ScopedTimer timer{build_ns};
     const obs::TraceSpan span{"BatchNacu::table_build"};
-    const fp::Format fmt = unit_.format();
-    const std::int64_t min_raw = fmt.min_raw();
-    const auto entries =
-        static_cast<std::size_t>(fmt.max_raw() - min_raw + 1);
-    std::vector<std::int16_t> table(entries);
-    for (std::size_t k = 0; k < entries; ++k) {
-      table[k] = static_cast<std::int16_t>(
-          scalar_raw(f, min_raw + static_cast<std::int64_t>(k)));
-    }
-    tables_[index] = std::move(table);
+    build_table(f, tables_[index]);
+    g_live_table_bytes.fetch_add(tables_[index].resident_bytes,
+                                 std::memory_order_relaxed);
     table_built_[index].store(true, std::memory_order_release);
   });
-  return &tables_[index];
+  return &tables_[index].view;
 }
 
 void BatchNacu::for_range(
@@ -161,27 +429,28 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
     return;
   }
   const fp::Format fmt = unit_.format();
-  const std::vector<std::int16_t>* table = table_for(f, n);
+  const simd::TableView* view = table_for(f, n);
   // Hoisted so the fault-free path pays one pointer compare per batch —
   // and, with a table, runs a branch-free kernel with no port check at all.
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
-  const simd::Backend backend = simd::resolve(options_.backend);
-  count_batch(n, table != nullptr, backend);
+  const simd::Backend backend = resolved_backend_;
+  count_batch(n, view != nullptr, backend);
   for_range(n, [&](std::size_t begin, std::size_t end) {
-    if (table != nullptr) {
+    if (view != nullptr) {
       if (port == nullptr) {
         const std::size_t count = end - begin;
-        const std::size_t done = simd::table_lookup_fixed(
-            backend, table->data(), fmt, in.data() + begin,
-            out.data() + begin, count);
+        const std::size_t done =
+            simd::table_lookup_fixed(backend, *view, fmt, in.data() + begin,
+                                     out.data() + begin, count);
         if (done != count) {
           throw std::invalid_argument(
               "BatchNacu::evaluate: input not in the datapath format");
         }
         return;
       }
-      // Armed path: per-element port interception, semantics identical to
+      // Armed path: per-element port interception in the dense word domain
+      // (word = raw − min_raw regardless of layout), semantics identical to
       // the fault-injection subsystem's contract (PR 2).
       const std::int64_t min_raw = fmt.min_raw();
       for (std::size_t k = begin; k < end; ++k) {
@@ -190,7 +459,7 @@ void BatchNacu::evaluate(Function f, std::span<const fp::Fixed> in,
               "BatchNacu::evaluate: input not in the datapath format");
         }
         const auto word = static_cast<std::size_t>(in[k].raw() - min_raw);
-        std::int64_t entry = (*table)[word];
+        std::int64_t entry = simd::table_entry_for_word(*view, min_raw, word);
         entry = port->read(surface, word, entry, fmt.width());
         out[k] = fp::Fixed::from_raw(entry, fmt);
       }
@@ -233,19 +502,19 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
     return;
   }
   const fp::Format fmt = unit_.format();
-  const std::vector<std::int16_t>* table = table_for(f, n);
+  const simd::TableView* view = table_for(f, n);
   fault::BitFaultPort* const port = fault_port_;
   const fault::Surface surface = table_surface(f);
-  const simd::Backend backend = simd::resolve(options_.backend);
-  count_batch(n, table != nullptr, backend);
+  const simd::Backend backend = resolved_backend_;
+  count_batch(n, view != nullptr, backend);
   const std::int64_t min_raw = fmt.min_raw();
   const std::int64_t max_raw = fmt.max_raw();
   for_range(n, [&](std::size_t begin, std::size_t end) {
-    if (table != nullptr && port == nullptr) {
+    if (view != nullptr && port == nullptr) {
       const std::size_t count = end - begin;
-      const std::size_t done = simd::table_lookup_raw(
-          backend, table->data(), min_raw, max_raw, in.data() + begin,
-          out.data() + begin, count);
+      const std::size_t done =
+          simd::table_lookup_raw(backend, *view, min_raw, max_raw,
+                                 in.data() + begin, out.data() + begin, count);
       if (done != count) {
         throw std::out_of_range(
             "BatchNacu::evaluate_raw: raw outside the datapath format");
@@ -258,9 +527,9 @@ void BatchNacu::evaluate_raw(Function f, std::span<const std::int64_t> in,
         throw std::out_of_range(
             "BatchNacu::evaluate_raw: raw outside the datapath format");
       }
-      if (table != nullptr) {
+      if (view != nullptr) {
         const auto word = static_cast<std::size_t>(raw - min_raw);
-        std::int64_t entry = (*table)[word];
+        std::int64_t entry = simd::table_entry_for_word(*view, min_raw, word);
         if (port != nullptr) {
           entry = port->read(surface, word, entry, fmt.width());
         }
@@ -284,15 +553,14 @@ std::vector<fp::Fixed> BatchNacu::softmax(
   const obs::TraceSpan span{"BatchNacu::softmax"};
   const fp::Format fmt = unit_.format();
   const std::size_t n = inputs.size();
-  // Fused raw-domain path: needs the dense exp table, no armed fault port
-  // (the port contract is per-read interception), every input already on
-  // the datapath grid, and ib >= 1 so from_double(1.0) is exactly 2^fb —
-  // the preconditions under which the raw algebra below is provably
-  // bit-identical to the Fixed-API passes. Anything else takes the
+  // Fused raw-domain path: needs the exp table (always Dense), no armed
+  // fault port (the port contract is per-read interception), every input
+  // already on the datapath grid, and ib >= 1 so from_double(1.0) is
+  // exactly 2^fb — the preconditions under which the raw algebra below is
+  // provably bit-identical to the Fixed-API passes. Anything else takes the
   // original path unchanged.
   if (fault_port_ == nullptr && fmt.integer_bits() >= 1) {
-    if (const std::vector<std::int16_t>* exp_table =
-            table_for(Function::Exp, n)) {
+    if (const simd::TableView* exp_view = table_for(Function::Exp, n)) {
       bool uniform = true;
       for (const fp::Fixed& x : inputs) {
         if (x.format() != fmt) {
@@ -302,7 +570,7 @@ std::vector<fp::Fixed> BatchNacu::softmax(
       }
       if (uniform) {
         fused_count.add();
-        return softmax_fused(inputs, *exp_table);
+        return softmax_fused(inputs, *exp_view);
       }
     }
   }
@@ -363,11 +631,10 @@ std::vector<fp::Fixed> BatchNacu::softmax(
 }
 
 std::vector<fp::Fixed> BatchNacu::softmax_fused(
-    std::span<const fp::Fixed> inputs,
-    const std::vector<std::int16_t>& exp_table) const {
+    std::span<const fp::Fixed> inputs, const simd::TableView& exp_view) const {
   const fp::Format fmt = unit_.format();
   const std::size_t n = inputs.size();
-  const simd::Backend backend = simd::resolve(options_.backend);
+  const simd::Backend backend = resolved_backend_;
   const std::int64_t min_raw = fmt.min_raw();
   const std::int64_t max_raw = fmt.max_raw();
   const int fb = fmt.fractional_bits();
@@ -398,7 +665,7 @@ std::vector<fp::Fixed> BatchNacu::softmax_fused(
       }
       exps[k] = static_cast<std::int32_t>(diff - min_raw);
     }
-    simd::table_lookup_i32(backend, exp_table.data(), exps.data() + begin,
+    simd::table_lookup_i32(backend, exp_view, min_raw, exps.data() + begin,
                            exps.data() + begin, end - begin);
   });
   // Pass 3 — denominator. mac(denom, e, 1.0) with one_raw = 2^fb and

@@ -161,7 +161,7 @@ std::vector<double> ConvFeatures::extract_fixed(
   const bool fused =
       simd::PackedQGemm::formats_supported(fmt, acc_fmt) &&
       image.rows() >= 3 && image.cols() >= 3;
-  const simd::Backend backend = simd::resolve(unit.options().backend);
+  const simd::Backend backend = unit.backend();
   // Quantise the image once (the Fixed-API loop below re-quantises every
   // pixel up to 9 times) — from_double is deterministic, same raws.
   std::vector<std::int32_t> img_raw;

@@ -150,7 +150,7 @@ std::vector<fp::Fixed> LstmFixed::gate_preactivations(
     // Two fused GEMV passes per step: the wx chain first, the wh chain
     // continuing on the same accumulators — the exact MAC order of
     // gate_preactivation.
-    const simd::Backend backend = simd::resolve(unit_.options().backend);
+    const simd::Backend backend = unit_.backend();
     const int fb = fmt_.fractional_bits();
     std::vector<std::int32_t> xv(xq.size());
     for (std::size_t i = 0; i < xq.size(); ++i) {

@@ -96,7 +96,7 @@ std::vector<fp::Fixed> QuantizedMlp::dense_forward(
       // range), so the int32 accumulator starts at the bias raw directly.
       acc[o] = static_cast<std::int32_t>(b[o]);
     }
-    pg.accumulate(simd::resolve(unit_.options().backend), x.data(),
+    pg.accumulate(unit_.backend(), x.data(),
                   acc.data(), fmt_.fractional_bits(),
                   static_cast<std::int32_t>(acc_fmt_.min_raw()),
                   static_cast<std::int32_t>(acc_fmt_.max_raw()));

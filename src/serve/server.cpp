@@ -87,6 +87,11 @@ InferenceServer::InferenceServer(const core::NacuConfig& config,
   last_heartbeat_.assign(shard_count, 0);
   last_progress_.assign(shard_count, resilience_now());
   obs::gauge("serve.shard.count").set(static_cast<std::int64_t>(shard_count));
+  // Cache working set across all shards' engines (plus any other live
+  // engines in the process) — the number the table-mode policy budgets
+  // against. With HalfRange tables this is about half the dense figure.
+  obs::gauge("serve.table.resident_bytes")
+      .set(static_cast<std::int64_t>(core::BatchNacu::live_table_bytes()));
   // Dispatchers start only after every shard exists: try_steal walks the
   // whole shard vector.
   for (std::size_t i = 0; i < shard_count; ++i) {
@@ -882,6 +887,8 @@ void InferenceServer::recover_dead_shard(
     shard.engine->warm(Function::Tanh);
     shard.engine->warm(Function::Exp);
   }
+  obs::gauge("serve.table.resident_bytes")
+      .set(static_cast<std::int64_t>(core::BatchNacu::live_table_bytes()));
   shard.health.clear_dead();
   shard.health.record_respawn();
   respawns_.fetch_add(1, std::memory_order_relaxed);

@@ -84,11 +84,16 @@ struct ServerOptions {
   /// gets ceil(queue_capacity / shards).
   BatcherOptions batcher{};
   /// Engine knobs forwarded to every shard's core::BatchNacu (thread
-  /// pool, kernel backend, table/parallel thresholds).
+  /// pool, kernel backend, table/parallel thresholds, table layout mode
+  /// and cache budget). Every shard shares one policy; with the default
+  /// TableMode::Auto the shards' σ/tanh tables come up half-range and
+  /// collapse to the PWL form only once the process-wide working set
+  /// (live_table_bytes, exported as serve.table.resident_bytes) crosses
+  /// cache_budget_bytes.
   core::BatchNacu::Options batch_options{};
-  /// Build the σ/tanh/exp dense tables at construction (when the format is
-  /// table-cacheable) so the first requests are not taxed with the lazy
-  /// full-domain sweeps.
+  /// Build the σ/tanh/exp activation tables at construction (when the
+  /// format is table-cacheable) so the first requests are not taxed with
+  /// the lazy full-domain sweeps.
   bool warm_tables = true;
   /// Dispatcher shards. 1 (the default) reproduces the single-dispatcher
   /// behaviour exactly; 0 picks one shard per hardware thread, clamped to

@@ -1,14 +1,25 @@
 // Scalar reference implementations + backend dispatch for simd/kernels.hpp.
 //
-// The scalar loops here ARE the semantics: the AVX2 TU (kernels_avx2.cpp)
-// must match them bit-for-bit, and the differential tests compare the two
-// over the exhaustive input domain. Keep these loops boring and obviously
-// equivalent to the Fixed-API formulations they replace.
+// The scalar loops here ARE the semantics: the vector TUs (kernels_avx2.cpp,
+// kernels_avx512.cpp, kernels_neon.cpp) must match them bit-for-bit, and the
+// differential tests compare all of them over the exhaustive input domain.
+// Keep these loops boring and obviously equivalent to the Fixed-API
+// formulations they replace.
+//
+// The half-range reconstruct is everywhere the same branch-free select:
+//   v   = entries[|raw|]            (|min_raw| lands on the extra slot)
+//   out = raw < 0 ? one_raw − v : v (one_raw == 0 for odd functions)
+// The PWL form has no vector implementation yet — it exists to shrink the
+// working set when many configs are live, and its per-element cost is a
+// handful of integer ops rather than a cache-missing gather.
 
 #include "simd/kernels.hpp"
 
 #include <cstring>
+#include <mutex>
 #include <type_traits>
+
+#include "obs/metrics.hpp"
 
 namespace nacu::simd {
 
@@ -23,12 +34,26 @@ std::size_t table_lookup_fixed_avx2(const std::int16_t* table,
                                     std::int64_t fmt_bits,
                                     std::int64_t min_raw, const char* in,
                                     char* out, std::size_t n);
+std::size_t table_lookup_fixed_avx2_half(const std::int16_t* table,
+                                         std::int64_t fmt_bits,
+                                         std::int64_t one_raw, const char* in,
+                                         char* out, std::size_t n);
 std::size_t table_lookup_raw_avx2(const std::int16_t* table,
                                   std::int64_t min_raw, std::int64_t max_raw,
                                   const std::int64_t* in, std::int64_t* out,
                                   std::size_t n);
+std::size_t table_lookup_raw_avx2_half(const std::int16_t* table,
+                                       std::int64_t one_raw,
+                                       std::int64_t min_raw,
+                                       std::int64_t max_raw,
+                                       const std::int64_t* in,
+                                       std::int64_t* out, std::size_t n);
 void table_lookup_i32_avx2(const std::int16_t* table, const std::int32_t* in,
                            std::int32_t* out, std::size_t n);
+void table_lookup_i32_avx2_half(const std::int16_t* table,
+                                std::int64_t one_raw, std::int64_t min_raw,
+                                const std::int32_t* in, std::int32_t* out,
+                                std::size_t n);
 void qgemm_accumulate_avx2(const std::int16_t* packed, std::size_t tiles,
                            std::size_t in_dim, const std::int32_t* x,
                            std::int32_t* acc, int fb, std::int32_t acc_min,
@@ -41,11 +66,98 @@ void conv3x3_mac_row_avx2(const std::int32_t* row0, const std::int32_t* row1,
 }  // namespace detail
 #endif
 
+#if defined(NACU_HAVE_AVX512)
+namespace detail {
+// Implemented in kernels_avx512.cpp (-mavx512f -mavx512bw). Same block
+// contract as the AVX2 set, 16 lanes per step; the i32 kernels use masked
+// gathers/stores and need no scalar tail at all.
+std::size_t table_lookup_fixed_avx512(const std::int16_t* table,
+                                      std::int64_t fmt_bits,
+                                      std::int64_t min_raw, const char* in,
+                                      char* out, std::size_t n);
+std::size_t table_lookup_fixed_avx512_half(const std::int16_t* table,
+                                           std::int64_t fmt_bits,
+                                           std::int64_t one_raw,
+                                           const char* in, char* out,
+                                           std::size_t n);
+std::size_t table_lookup_raw_avx512(const std::int16_t* table,
+                                    std::int64_t min_raw,
+                                    std::int64_t max_raw,
+                                    const std::int64_t* in, std::int64_t* out,
+                                    std::size_t n);
+std::size_t table_lookup_raw_avx512_half(const std::int16_t* table,
+                                         std::int64_t one_raw,
+                                         std::int64_t min_raw,
+                                         std::int64_t max_raw,
+                                         const std::int64_t* in,
+                                         std::int64_t* out, std::size_t n);
+void table_lookup_i32_avx512(const std::int16_t* table,
+                             const std::int32_t* in, std::int32_t* out,
+                             std::size_t n);
+void table_lookup_i32_avx512_half(const std::int16_t* table,
+                                  std::int64_t one_raw, std::int64_t min_raw,
+                                  const std::int32_t* in, std::int32_t* out,
+                                  std::size_t n);
+void qgemm_accumulate_avx512(const std::int16_t* packed, std::size_t tiles,
+                             std::size_t in_dim, const std::int32_t* x,
+                             std::int32_t* acc, int fb, std::int32_t acc_min,
+                             std::int32_t acc_max);
+void conv3x3_mac_row_avx512(const std::int32_t* row0,
+                            const std::int32_t* row1,
+                            const std::int32_t* row2,
+                            const std::int32_t* filter9, std::size_t out_cols,
+                            int fb, std::int32_t acc_min,
+                            std::int32_t acc_max, std::int32_t* acc);
+}  // namespace detail
+#endif
+
+#if defined(NACU_HAVE_NEON)
+namespace detail {
+// Implemented in kernels_neon.cpp (aarch64 only; Advanced SIMD is baseline
+// there, so no extra -m flags). NEON has no gather — the lookup kernels
+// load lanes individually and vectorize the reconstruct/pack, while qgemm
+// and conv3x3 are fully vectorized.
+std::size_t table_lookup_fixed_neon(const std::int16_t* table,
+                                    std::int64_t fmt_bits,
+                                    std::int64_t min_raw, const char* in,
+                                    char* out, std::size_t n);
+std::size_t table_lookup_fixed_neon_half(const std::int16_t* table,
+                                         std::int64_t fmt_bits,
+                                         std::int64_t one_raw, const char* in,
+                                         char* out, std::size_t n);
+std::size_t table_lookup_raw_neon(const std::int16_t* table,
+                                  std::int64_t min_raw, std::int64_t max_raw,
+                                  const std::int64_t* in, std::int64_t* out,
+                                  std::size_t n);
+std::size_t table_lookup_raw_neon_half(const std::int16_t* table,
+                                       std::int64_t one_raw,
+                                       std::int64_t min_raw,
+                                       std::int64_t max_raw,
+                                       const std::int64_t* in,
+                                       std::int64_t* out, std::size_t n);
+void table_lookup_i32_neon(const std::int16_t* table, const std::int32_t* in,
+                           std::int32_t* out, std::size_t n);
+void table_lookup_i32_neon_half(const std::int16_t* table,
+                                std::int64_t one_raw, std::int64_t min_raw,
+                                const std::int32_t* in, std::int32_t* out,
+                                std::size_t n);
+void qgemm_accumulate_neon(const std::int16_t* packed, std::size_t tiles,
+                           std::size_t in_dim, const std::int32_t* x,
+                           std::int32_t* acc, int fb, std::int32_t acc_min,
+                           std::int32_t acc_max);
+void conv3x3_mac_row_neon(const std::int32_t* row0, const std::int32_t* row1,
+                          const std::int32_t* row2,
+                          const std::int32_t* filter9, std::size_t out_cols,
+                          int fb, std::int32_t acc_min, std::int32_t acc_max,
+                          std::int32_t* acc);
+}  // namespace detail
+#endif
+
 namespace {
 
-// The AVX2 Fixed-span kernel reads Fixed as [int64 raw][8-byte Format]. The
-// C++ object model doesn't promise that layout, so probe it once: build a
-// Fixed with a recognisable raw and check the first 8 bytes are exactly it.
+// The vector Fixed-span kernels read Fixed as [int64 raw][8-byte Format].
+// The C++ object model doesn't promise that layout, so probe it once: build
+// a Fixed with a recognisable raw and check the first 8 bytes are exactly it.
 bool probe_fixed_layout() noexcept {
   static_assert(std::is_trivially_copyable_v<fp::Fixed>);
   static_assert(std::is_trivially_copyable_v<fp::Format>);
@@ -59,10 +171,48 @@ bool probe_fixed_layout() noexcept {
   return head == INT64_C(0x5A17C0DEFEED1234);
 }
 
+// A vector backend was requested but the Fixed ABI probe failed, so the
+// Fixed-span lookup stays scalar for the whole process. Make that visible
+// exactly once instead of degrading silently.
+void note_abi_probe_fallback() {
+  static std::once_flag once;
+  std::call_once(once,
+                 [] { obs::counter("simd.fallback.abi_probe").add(); });
+}
+
 std::int64_t format_bits(fp::Format fmt) noexcept {
   std::int64_t bits = 0;
   std::memcpy(&bits, &fmt, sizeof(fmt));
   return bits;
+}
+
+/// HalfSigmoid reconstructs with one_raw; HalfOdd (and everything else)
+/// with 0, making `one − v` the single negative-side formula.
+std::int64_t half_one(const TableView& view) noexcept {
+  return view.kind == TableKind::HalfSigmoid ? view.one_raw : 0;
+}
+
+/// entries[|raw|] with the negative side reconstructed. |min_raw| =
+/// max_raw + 1 indexes the extra pre-inverted slot — no special case.
+/// HalfSigmoid (one != 0) entries are corr-packed: the sample lives in the
+/// low 15 bits and bit 15 carries the +1 the negative branch's bit-trick
+/// coefficient morph adds over the exact 1 − σ(x) on some raws (see
+/// simd/kernels.hpp). HalfOdd (one == 0) entries are plain signed samples.
+inline std::int64_t half_entry(const std::int16_t* entries, std::int64_t one,
+                               std::int64_t raw) noexcept {
+  if (one == 0) {
+    if (raw >= 0) {
+      return entries[static_cast<std::size_t>(raw)];
+    }
+    return -entries[static_cast<std::size_t>(-raw)];
+  }
+  const auto packed = static_cast<std::uint16_t>(
+      entries[static_cast<std::size_t>(raw >= 0 ? raw : -raw)]);
+  const std::int64_t v = packed & 0x7FFF;
+  if (raw >= 0) {
+    return v;
+  }
+  return one - v + (packed >> 15);
 }
 
 inline std::int32_t clamp_i32(std::int64_t v, std::int32_t lo,
@@ -91,6 +241,34 @@ std::size_t table_lookup_fixed_scalar(const std::int16_t* table,
   return n;
 }
 
+std::size_t table_lookup_fixed_scalar_half(const std::int16_t* entries,
+                                           std::int64_t one, fp::Format fmt,
+                                           const fp::Fixed* in, fp::Fixed* out,
+                                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in[i].format() != fmt) {
+      return i;
+    }
+    out[i] = fp::Fixed::from_raw_unchecked(half_entry(entries, one,
+                                                      in[i].raw()),
+                                           fmt);
+  }
+  return n;
+}
+
+std::size_t table_lookup_fixed_scalar_pwl(const PwlTable& pwl, fp::Format fmt,
+                                          const fp::Fixed* in, fp::Fixed* out,
+                                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in[i].format() != fmt) {
+      return i;
+    }
+    out[i] = fp::Fixed::from_raw_unchecked(pwl_eval_raw(pwl, in[i].raw()),
+                                           fmt);
+  }
+  return n;
+}
+
 std::size_t table_lookup_raw_scalar(const std::int16_t* table,
                                     std::int64_t min_raw, std::int64_t max_raw,
                                     const std::int64_t* in, std::int64_t* out,
@@ -105,10 +283,60 @@ std::size_t table_lookup_raw_scalar(const std::int16_t* table,
   return n;
 }
 
+std::size_t table_lookup_raw_scalar_half(const std::int16_t* entries,
+                                         std::int64_t one,
+                                         std::int64_t min_raw,
+                                         std::int64_t max_raw,
+                                         const std::int64_t* in,
+                                         std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t raw = in[i];
+    if (raw < min_raw || raw > max_raw) {
+      return i;
+    }
+    out[i] = half_entry(entries, one, raw);
+  }
+  return n;
+}
+
+std::size_t table_lookup_raw_scalar_pwl(const PwlTable& pwl,
+                                        std::int64_t min_raw,
+                                        std::int64_t max_raw,
+                                        const std::int64_t* in,
+                                        std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t raw = in[i];
+    if (raw < min_raw || raw > max_raw) {
+      return i;
+    }
+    out[i] = pwl_eval_raw(pwl, raw);
+  }
+  return n;
+}
+
 void table_lookup_i32_scalar(const std::int16_t* table, const std::int32_t* in,
                              std::int32_t* out, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = table[in[i]];
+  }
+}
+
+void table_lookup_i32_scalar_half(const std::int16_t* entries,
+                                  std::int64_t one, std::int64_t min_raw,
+                                  const std::int32_t* in, std::int32_t* out,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t raw = static_cast<std::int64_t>(in[i]) + min_raw;
+    out[i] = static_cast<std::int32_t>(half_entry(entries, one, raw));
+  }
+}
+
+void table_lookup_i32_scalar_pwl(const PwlTable& pwl, std::int64_t min_raw,
+                                 const std::int32_t* in, std::int32_t* out,
+                                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int32_t>(
+        pwl_eval_raw(pwl, static_cast<std::int64_t>(in[i]) + min_raw));
   }
 }
 
@@ -164,65 +392,284 @@ bool fixed_layout_is_raw_then_format() noexcept {
   return ok;
 }
 
+std::int64_t pwl_eval_raw(const PwlTable& t, std::int64_t raw) noexcept {
+  // Replays core::Nacu::evaluate_pwl on raws. Every step maps 1:1:
+  //   x.abs()                       -> |raw| saturated at mag_max_raw
+  //   shifted_left(1, Saturate)     -> 2*mag saturated (tanh's Eq. 3)
+  //   SigmoidLut::segment_for       -> clamp + (mag * segments) / x_max
+  //   morph_coefficients            -> pre-baked per-sign LUT entries
+  //   mul_full / add_full           -> exact int64 FMA (bias pre-aligned)
+  //   requantize(fmt, rounding, Sat)-> shift_right_rounded + clamp
+  // Exhaustively verified against the dense sweep before first use, so any
+  // divergence (e.g. an exotic rounding mode) rejects the PWL form rather
+  // than shipping it.
+  const bool neg = raw < 0;
+  std::int64_t mag = neg ? -raw : raw;
+  if (mag > t.mag_max_raw) {
+    mag = t.mag_max_raw;
+  }
+  std::int64_t seg_in = mag;
+  if (t.tanh_stretch) {
+    seg_in = mag << 1;
+    if (seg_in > t.mag_max_raw) {
+      seg_in = t.mag_max_raw;
+    }
+  }
+  if (seg_in > t.x_max_raw) {
+    seg_in = t.x_max_raw;
+  }
+  // seg_in <= x_max_raw < 2^16 and segments is small, so the product fits
+  // int64 comfortably (the Fixed-path __int128 is only needed off-table).
+  std::int64_t seg =
+      (seg_in * static_cast<std::int64_t>(t.segments)) / t.x_max_raw;
+  if (seg >= static_cast<std::int64_t>(t.segments)) {
+    seg = static_cast<std::int64_t>(t.segments) - 1;
+  }
+  const std::int64_t c = neg ? t.coeff_neg[seg] : t.coeff_pos[seg];
+  const std::int64_t b = neg ? t.bias_neg[seg] : t.bias_pos[seg];
+  const std::int64_t wide = mag * c + (b << t.bias_shift);
+  std::int64_t y = fp::shift_right_rounded(wide, t.out_shift, t.rounding);
+  if (y < t.out_min) {
+    y = t.out_min;
+  } else if (y > t.out_max) {
+    y = t.out_max;
+  }
+  return y;
+}
+
+std::int64_t table_entry_for_word(const TableView& view, std::int64_t min_raw,
+                                  std::size_t word) noexcept {
+  const std::int64_t raw = min_raw + static_cast<std::int64_t>(word);
+  switch (view.kind) {
+    case TableKind::Dense:
+      return view.entries[word];
+    case TableKind::HalfSigmoid:
+    case TableKind::HalfOdd:
+      return half_entry(view.entries, half_one(view), raw);
+    case TableKind::Pwl:
+      return pwl_eval_raw(*view.pwl, raw);
+  }
+  return 0;
+}
+
+std::size_t table_lookup_fixed(Backend backend, const TableView& view,
+                               fp::Format fmt, const fp::Fixed* in,
+                               fp::Fixed* out, std::size_t n) {
+  if (view.kind == TableKind::Pwl) {
+    return table_lookup_fixed_scalar_pwl(*view.pwl, fmt, in, out, n);
+  }
+  const bool layout_ok = fixed_layout_is_raw_then_format();
+  if (backend != Backend::Scalar && !layout_ok) {
+    note_abi_probe_fallback();
+  }
+  const bool half = view.kind != TableKind::Dense;
+  const std::int64_t one = half_one(view);
+  std::size_t done = 0;
+#if defined(NACU_HAVE_AVX512)
+  if (backend == Backend::Avx512 && layout_ok) {
+    done = half ? detail::table_lookup_fixed_avx512_half(
+                      view.entries, format_bits(fmt), one,
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n)
+                : detail::table_lookup_fixed_avx512(
+                      view.entries, format_bits(fmt), fmt.min_raw(),
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n);
+  }
+#endif
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2 && layout_ok) {
+    done = half ? detail::table_lookup_fixed_avx2_half(
+                      view.entries, format_bits(fmt), one,
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n)
+                : detail::table_lookup_fixed_avx2(
+                      view.entries, format_bits(fmt), fmt.min_raw(),
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n);
+  }
+#endif
+#if defined(NACU_HAVE_NEON)
+  if (backend == Backend::Neon && layout_ok) {
+    done = half ? detail::table_lookup_fixed_neon_half(
+                      view.entries, format_bits(fmt), one,
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n)
+                : detail::table_lookup_fixed_neon(
+                      view.entries, format_bits(fmt), fmt.min_raw(),
+                      reinterpret_cast<const char*>(in),
+                      reinterpret_cast<char*>(out), n);
+  }
+#endif
+#if !defined(NACU_HAVE_AVX2) && !defined(NACU_HAVE_AVX512) && \
+    !defined(NACU_HAVE_NEON)
+  (void)format_bits;
+#endif
+  if (half) {
+    return done + table_lookup_fixed_scalar_half(view.entries, one, fmt,
+                                                 in + done, out + done,
+                                                 n - done);
+  }
+  return done + table_lookup_fixed_scalar(view.entries, fmt, in + done,
+                                          out + done, n - done);
+}
+
 std::size_t table_lookup_fixed(Backend backend, const std::int16_t* table,
                                fp::Format fmt, const fp::Fixed* in,
                                fp::Fixed* out, std::size_t n) {
-  std::size_t done = 0;
-#if defined(NACU_HAVE_AVX2)
-  if (backend == Backend::Avx2 && fixed_layout_is_raw_then_format()) {
-    done = detail::table_lookup_fixed_avx2(
-        table, format_bits(fmt), fmt.min_raw(),
-        reinterpret_cast<const char*>(in), reinterpret_cast<char*>(out), n);
+  TableView view;
+  view.entries = table;
+  return table_lookup_fixed(backend, view, fmt, in, out, n);
+}
+
+std::size_t table_lookup_raw(Backend backend, const TableView& view,
+                             std::int64_t min_raw, std::int64_t max_raw,
+                             const std::int64_t* in, std::int64_t* out,
+                             std::size_t n) {
+  if (view.kind == TableKind::Pwl) {
+    return table_lookup_raw_scalar_pwl(*view.pwl, min_raw, max_raw, in, out,
+                                       n);
   }
-#else
-  (void)backend;
-  (void)format_bits;
+  const bool half = view.kind != TableKind::Dense;
+  const std::int64_t one = half_one(view);
+  std::size_t done = 0;
+#if defined(NACU_HAVE_AVX512)
+  if (backend == Backend::Avx512) {
+    done = half ? detail::table_lookup_raw_avx512_half(view.entries, one,
+                                                       min_raw, max_raw, in,
+                                                       out, n)
+                : detail::table_lookup_raw_avx512(view.entries, min_raw,
+                                                  max_raw, in, out, n);
+  }
 #endif
-  return done + table_lookup_fixed_scalar(table, fmt, in + done, out + done,
-                                          n - done);
+#if defined(NACU_HAVE_AVX2)
+  if (backend == Backend::Avx2) {
+    done = half ? detail::table_lookup_raw_avx2_half(view.entries, one,
+                                                     min_raw, max_raw, in,
+                                                     out, n)
+                : detail::table_lookup_raw_avx2(view.entries, min_raw,
+                                                max_raw, in, out, n);
+  }
+#endif
+#if defined(NACU_HAVE_NEON)
+  if (backend == Backend::Neon) {
+    done = half ? detail::table_lookup_raw_neon_half(view.entries, one,
+                                                     min_raw, max_raw, in,
+                                                     out, n)
+                : detail::table_lookup_raw_neon(view.entries, min_raw,
+                                                max_raw, in, out, n);
+  }
+#endif
+#if !defined(NACU_HAVE_AVX2) && !defined(NACU_HAVE_AVX512) && \
+    !defined(NACU_HAVE_NEON)
+  (void)backend;
+#endif
+  if (half) {
+    return done + table_lookup_raw_scalar_half(view.entries, one, min_raw,
+                                               max_raw, in + done, out + done,
+                                               n - done);
+  }
+  return done + table_lookup_raw_scalar(view.entries, min_raw, max_raw,
+                                        in + done, out + done, n - done);
 }
 
 std::size_t table_lookup_raw(Backend backend, const std::int16_t* table,
                              std::int64_t min_raw, std::int64_t max_raw,
                              const std::int64_t* in, std::int64_t* out,
                              std::size_t n) {
-  std::size_t done = 0;
+  TableView view;
+  view.entries = table;
+  return table_lookup_raw(backend, view, min_raw, max_raw, in, out, n);
+}
+
+void table_lookup_i32(Backend backend, const TableView& view,
+                      std::int64_t min_raw, const std::int32_t* in,
+                      std::int32_t* out, std::size_t n) {
+  if (view.kind == TableKind::Pwl) {
+    table_lookup_i32_scalar_pwl(*view.pwl, min_raw, in, out, n);
+    return;
+  }
+  const bool half = view.kind != TableKind::Dense;
+  const std::int64_t one = half_one(view);
+#if defined(NACU_HAVE_AVX512)
+  if (backend == Backend::Avx512) {
+    if (half) {
+      detail::table_lookup_i32_avx512_half(view.entries, one, min_raw, in,
+                                           out, n);
+    } else {
+      detail::table_lookup_i32_avx512(view.entries, in, out, n);
+    }
+    return;
+  }
+#endif
 #if defined(NACU_HAVE_AVX2)
   if (backend == Backend::Avx2) {
-    done = detail::table_lookup_raw_avx2(table, min_raw, max_raw, in, out, n);
+    if (half) {
+      detail::table_lookup_i32_avx2_half(view.entries, one, min_raw, in, out,
+                                         n);
+    } else {
+      detail::table_lookup_i32_avx2(view.entries, in, out, n);
+    }
+    return;
   }
-#else
+#endif
+#if defined(NACU_HAVE_NEON)
+  if (backend == Backend::Neon) {
+    if (half) {
+      detail::table_lookup_i32_neon_half(view.entries, one, min_raw, in, out,
+                                         n);
+    } else {
+      detail::table_lookup_i32_neon(view.entries, in, out, n);
+    }
+    return;
+  }
+#endif
+#if !defined(NACU_HAVE_AVX2) && !defined(NACU_HAVE_AVX512) && \
+    !defined(NACU_HAVE_NEON)
   (void)backend;
 #endif
-  return done + table_lookup_raw_scalar(table, min_raw, max_raw, in + done,
-                                        out + done, n - done);
+  if (half) {
+    table_lookup_i32_scalar_half(view.entries, one, min_raw, in, out, n);
+  } else {
+    table_lookup_i32_scalar(view.entries, in, out, n);
+  }
 }
 
 void table_lookup_i32(Backend backend, const std::int16_t* table,
                       const std::int32_t* in, std::int32_t* out,
                       std::size_t n) {
-#if defined(NACU_HAVE_AVX2)
-  if (backend == Backend::Avx2) {
-    detail::table_lookup_i32_avx2(table, in, out, n);
-    return;
-  }
-#else
-  (void)backend;
-#endif
-  table_lookup_i32_scalar(table, in, out, n);
+  TableView view;
+  view.entries = table;
+  table_lookup_i32(backend, view, 0, in, out, n);
 }
 
 void qgemm_accumulate(Backend backend, const std::int16_t* packed,
                       std::size_t tiles, std::size_t in_dim,
                       const std::int32_t* x, std::int32_t* acc, int fb,
                       std::int32_t acc_min, std::int32_t acc_max) {
+#if defined(NACU_HAVE_AVX512)
+  if (backend == Backend::Avx512) {
+    detail::qgemm_accumulate_avx512(packed, tiles, in_dim, x, acc, fb,
+                                    acc_min, acc_max);
+    return;
+  }
+#endif
 #if defined(NACU_HAVE_AVX2)
   if (backend == Backend::Avx2) {
     detail::qgemm_accumulate_avx2(packed, tiles, in_dim, x, acc, fb, acc_min,
                                   acc_max);
     return;
   }
-#else
+#endif
+#if defined(NACU_HAVE_NEON)
+  if (backend == Backend::Neon) {
+    detail::qgemm_accumulate_neon(packed, tiles, in_dim, x, acc, fb, acc_min,
+                                  acc_max);
+    return;
+  }
+#endif
+#if !defined(NACU_HAVE_AVX2) && !defined(NACU_HAVE_AVX512) && \
+    !defined(NACU_HAVE_NEON)
   (void)backend;
 #endif
   qgemm_accumulate_scalar(packed, tiles, in_dim, x, acc, fb, acc_min,
@@ -234,13 +681,29 @@ void conv3x3_mac_row(Backend backend, const std::int32_t* row0,
                      const std::int32_t* filter9, std::size_t out_cols,
                      int fb, std::int32_t acc_min, std::int32_t acc_max,
                      std::int32_t* acc) {
+#if defined(NACU_HAVE_AVX512)
+  if (backend == Backend::Avx512) {
+    detail::conv3x3_mac_row_avx512(row0, row1, row2, filter9, out_cols, fb,
+                                   acc_min, acc_max, acc);
+    return;
+  }
+#endif
 #if defined(NACU_HAVE_AVX2)
   if (backend == Backend::Avx2) {
     detail::conv3x3_mac_row_avx2(row0, row1, row2, filter9, out_cols, fb,
                                  acc_min, acc_max, acc);
     return;
   }
-#else
+#endif
+#if defined(NACU_HAVE_NEON)
+  if (backend == Backend::Neon) {
+    detail::conv3x3_mac_row_neon(row0, row1, row2, filter9, out_cols, fb,
+                                 acc_min, acc_max, acc);
+    return;
+  }
+#endif
+#if !defined(NACU_HAVE_AVX2) && !defined(NACU_HAVE_AVX512) && \
+    !defined(NACU_HAVE_NEON)
   (void)backend;
 #endif
   conv3x3_mac_row_scalar(row0, row1, row2, filter9, out_cols, fb, acc_min,

@@ -3,15 +3,18 @@
 // datapath semantics they accelerate.
 //
 // Everything is exhaustive or adversarial: table lookups sweep all 2^16
-// representable inputs per config variant, the fused GEMV is checked against
-// a NACU MAC chain (including saturation-stressed cases where accumulation
-// ORDER changes the answer, so any reassociation would be caught), and the
-// armed fault-injection path is pinned to its PR 2 semantics across
-// backends. Under -DNACU_FORCE_SCALAR=ON (or on a non-AVX2 host) the AVX2
-// half of every comparison degrades to scalar-vs-scalar and the suite still
-// proves the dispatch layer routes correctly.
+// representable inputs per config variant — across every compiled backend
+// (scalar, AVX2, AVX-512, NEON) and every table layout (Dense, HalfRange,
+// Pwl) — the fused GEMV is checked against a NACU MAC chain (including
+// saturation-stressed cases where accumulation ORDER changes the answer,
+// so any reassociation would be caught), and the armed fault-injection
+// path is pinned to its PR 2 semantics across backends AND table modes.
+// Under -DNACU_FORCE_SCALAR=ON (or on a host without the ISA) the SIMD
+// half of every comparison degrades to scalar-vs-scalar and the suite
+// still proves the dispatch layer routes correctly.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <utility>
@@ -36,14 +39,31 @@ using core::BatchNacu;
 using core::Nacu;
 using core::NacuConfig;
 
-/// Backends to differentially compare: scalar always, AVX2 when this build
-/// carries the kernels and the host can run them.
+/// Backends to differentially compare: scalar always, each SIMD tier when
+/// this build carries its kernels and the host can run them.
 std::vector<simd::Backend> backends() {
   std::vector<simd::Backend> list{simd::Backend::Scalar};
   if (simd::avx2_available()) {
     list.push_back(simd::Backend::Avx2);
   }
+  if (simd::avx512_available()) {
+    list.push_back(simd::Backend::Avx512);
+  }
+  if (simd::neon_available()) {
+    list.push_back(simd::Backend::Neon);
+  }
   return list;
+}
+
+/// Table layouts to differentially compare. Explicit modes (never Auto) so
+/// the process-wide resident-byte total other tests contribute to cannot
+/// flip a layout choice mid-suite. Explicit modes still verify-and-fall-back
+/// at build time, so a variant whose datapath breaks a symmetry simply lands
+/// on a safer layout — the bit-identity sweep holds either way.
+std::vector<std::pair<const char*, BatchNacu::TableMode>> table_modes() {
+  return {{"dense", BatchNacu::TableMode::Dense},
+          {"half-range", BatchNacu::TableMode::HalfRange},
+          {"pwl", BatchNacu::TableMode::Pwl}};
 }
 
 /// Same datapath variants as test_batch_differential.cpp: every config
@@ -99,8 +119,25 @@ TEST(SimdDispatch, ResolveClampsAndEnvOverrideWorks) {
     EXPECT_TRUE(simd::avx2_compiled());
     EXPECT_EQ(simd::resolve(simd::Backend::Avx2), simd::Backend::Avx2);
   }
+  if (!simd::avx512_available()) {
+    // AVX-512 degrades through the cascade, never to an unavailable ISA.
+    EXPECT_EQ(simd::resolve(simd::Backend::Avx512),
+              simd::avx2_available() ? simd::Backend::Avx2
+                                     : simd::Backend::Scalar);
+  } else {
+    EXPECT_TRUE(simd::avx512_compiled());
+    EXPECT_EQ(simd::resolve(simd::Backend::Avx512), simd::Backend::Avx512);
+  }
+  if (!simd::neon_available()) {
+    EXPECT_EQ(simd::resolve(simd::Backend::Neon), simd::Backend::Scalar);
+  } else {
+    EXPECT_TRUE(simd::neon_compiled());
+    EXPECT_EQ(simd::resolve(simd::Backend::Neon), simd::Backend::Neon);
+  }
   EXPECT_STREQ(simd::backend_name(simd::Backend::Scalar), "scalar");
   EXPECT_STREQ(simd::backend_name(simd::Backend::Avx2), "avx2");
+  EXPECT_STREQ(simd::backend_name(simd::Backend::Avx512), "avx512");
+  EXPECT_STREQ(simd::backend_name(simd::Backend::Neon), "neon");
 
   ::setenv("NACU_BACKEND", "scalar", 1);
   EXPECT_EQ(simd::detect_backend(), simd::Backend::Scalar);
@@ -110,6 +147,42 @@ TEST(SimdDispatch, ResolveClampsAndEnvOverrideWorks) {
   EXPECT_EQ(simd::active_backend(), simd::Backend::Scalar);
   simd::clear_backend_override();
   EXPECT_EQ(simd::active_backend(), simd::detect_backend());
+}
+
+TEST(SimdDispatch, EngineBackendIsPinnedAtConstruction) {
+  // Options::backend resolves against host availability ONCE, in the
+  // BatchNacu constructor. Process-wide overrides landing afterwards —
+  // set_active_backend or a NACU_BACKEND change — must not retarget a live
+  // engine, so a batch never changes ISA mid-flight.
+  const NacuConfig config = core::config_for_bits(16);
+  const BatchNacu engine{config, BatchNacu::Options{}};
+  const simd::Backend constructed = engine.backend();
+  // backend() reports a resolved pick: resolving it again is a fixpoint.
+  EXPECT_EQ(simd::resolve(constructed), constructed);
+
+  const std::vector<fp::Fixed> xs = full_domain(config.format);
+  const std::vector<fp::Fixed> before =
+      engine.evaluate(BatchNacu::Function::Sigmoid, xs);
+
+  simd::set_active_backend(simd::Backend::Scalar);
+  ::setenv("NACU_BACKEND", "scalar", 1);
+  EXPECT_EQ(engine.backend(), constructed)
+      << "live engine retargeted by a post-construction override";
+  const std::vector<fp::Fixed> after =
+      engine.evaluate(BatchNacu::Function::Sigmoid, xs);
+
+  // A NEW engine constructed under the override does pick it up — the
+  // override is for future construction, not for engines in flight.
+  const BatchNacu fresh{config, BatchNacu::Options{}};
+  EXPECT_EQ(fresh.backend(), simd::Backend::Scalar);
+
+  simd::clear_backend_override();
+  ::unsetenv("NACU_BACKEND");
+
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before[i].raw(), after[i].raw()) << "element " << i;
+  }
 }
 
 TEST(SimdKernels, FixedLayoutSupportsTheSpanKernel) {
@@ -241,6 +314,131 @@ TEST(SimdKernels, TableLookupI32MatchesScalarIncludingAliasing) {
                            inplace.data(), inplace.size());
     EXPECT_EQ(inplace, expected)
         << simd::backend_name(backend) << " aliased";
+  }
+}
+
+TEST(SimdKernels, HalfRangeViewKernelsBitIdenticalAcrossBackends) {
+  // Synthetic Half* views — one corr-packed HalfSigmoid (sample bits
+  // [0,14], +1 correction in bit 15, the |min_raw| slot), one plain
+  // HalfOdd — driven through every view-based lookup entry point on every
+  // backend. The reference is simd::table_entry_for_word: the same scalar
+  // unpack formula core::BatchNacu proves against the datapath at build
+  // time. This pins the vectorised unpack (value/correction masks, sign
+  // select, the slot, heads/tails, aliasing, range stops) to that formula.
+  const fp::Format fmt = core::config_for_bits(16).format;
+  const std::int64_t max_raw = fmt.max_raw();
+  const std::int64_t min_raw = fmt.min_raw();
+  const auto half_len = static_cast<std::size_t>(max_raw) + 3;  // padded even
+
+  std::vector<std::int16_t> sig(half_len, 0);
+  std::uint32_t h = 0xC0FFEE42u;
+  for (std::size_t k = 0; k + 1 < half_len; ++k) {
+    h = h * 1664525u + 1013904223u;
+    const auto sample = static_cast<std::uint16_t>(h >> 17);  // 15 bits
+    const auto corr = static_cast<std::uint16_t>(((h >> 7) & 1u) << 15);
+    sig[k] = static_cast<std::int16_t>(sample | corr);
+  }
+  // The |min_raw| slot is stored pre-inverted with the correction clear.
+  auto& slot = sig[static_cast<std::size_t>(max_raw) + 1];
+  slot = static_cast<std::int16_t>(slot & 0x7FFF);
+  simd::TableView sig_view;
+  sig_view.kind = simd::TableKind::HalfSigmoid;
+  sig_view.entries = sig.data();
+  sig_view.one_raw = std::int32_t{1} << fmt.fractional_bits();
+
+  std::vector<std::int16_t> odd = synthetic_table(half_len);
+  simd::TableView odd_view;
+  odd_view.kind = simd::TableKind::HalfOdd;
+  odd_view.entries = odd.data();
+  odd_view.one_raw = 0;
+
+  const std::vector<fp::Fixed> xs = full_domain(fmt);
+  std::vector<std::int64_t> raws;
+  raws.reserve(xs.size());
+  for (const fp::Fixed& x : xs) {
+    raws.push_back(x.raw());
+  }
+
+  for (const simd::TableView* view : {&sig_view, &odd_view}) {
+    const char* kind = view->kind == simd::TableKind::HalfSigmoid
+                           ? "half-sigmoid"
+                           : "half-odd";
+    std::vector<std::int64_t> expected(xs.size());
+    for (std::size_t w = 0; w < xs.size(); ++w) {
+      expected[w] = simd::table_entry_for_word(*view, min_raw, w);
+    }
+    for (const simd::Backend backend : backends()) {
+      // Raw path: aligned and misaligned odd-length runs, so every SIMD
+      // head/tail combination reconstructs both halves.
+      for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+        const std::size_t n = raws.size() - offset - (offset != 0 ? 2 : 0);
+        std::vector<std::int64_t> out(n, -12345);
+        ASSERT_EQ(simd::table_lookup_raw(backend, *view, min_raw, max_raw,
+                                         raws.data() + offset, out.data(), n),
+                  n)
+            << kind << " " << simd::backend_name(backend);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(out[i], expected[offset + i])
+              << kind << " " << simd::backend_name(backend) << " offset "
+              << offset << " word " << offset + i;
+        }
+      }
+      // Out-of-range raws stop the half path exactly where they sit, no
+      // clobber past the stop — same contract as the dense path.
+      for (const std::int64_t bad : {max_raw + 1, min_raw - 1}) {
+        for (const std::size_t pos : {std::size_t{0}, std::size_t{5},
+                                      std::size_t{8}, std::size_t{12}}) {
+          std::vector<std::int64_t> in(13, -3);
+          in[pos] = bad;
+          std::vector<std::int64_t> stopped(13, -999);
+          EXPECT_EQ(simd::table_lookup_raw(backend, *view, min_raw, max_raw,
+                                           in.data(), stopped.data(), 13),
+                    pos)
+              << kind << " " << simd::backend_name(backend) << " bad " << bad;
+          for (std::size_t i = pos; i < stopped.size(); ++i) {
+            ASSERT_EQ(stopped[i], -999)
+                << kind << " clobbered past stop at " << pos;
+          }
+        }
+      }
+      // Fixed path over the full domain, plus exact in/out aliasing.
+      std::vector<fp::Fixed> out_fixed(xs.size(), fp::Fixed::zero(fmt));
+      ASSERT_EQ(simd::table_lookup_fixed(backend, *view, fmt, xs.data(),
+                                         out_fixed.data(), xs.size()),
+                xs.size())
+          << kind << " " << simd::backend_name(backend);
+      std::vector<fp::Fixed> aliased = xs;
+      ASSERT_EQ(simd::table_lookup_fixed(backend, *view, fmt, aliased.data(),
+                                         aliased.data(), aliased.size()),
+                aliased.size())
+          << kind << " " << simd::backend_name(backend);
+      for (std::size_t w = 0; w < xs.size(); ++w) {
+        ASSERT_EQ(out_fixed[w].raw(), expected[w])
+            << kind << " " << simd::backend_name(backend) << " word " << w;
+        ASSERT_EQ(aliased[w].raw(), expected[w])
+            << kind << " " << simd::backend_name(backend) << " aliased";
+      }
+      // i32 word path (dense-domain indices, un-rebased by min_raw inside
+      // the kernel), including in-place aliasing.
+      nn::Rng rng{83};
+      std::vector<std::int32_t> idx(777);
+      for (std::int32_t& v : idx) {
+        v = static_cast<std::int32_t>(rng.below(xs.size()));
+      }
+      std::vector<std::int32_t> out32(idx.size(), 0);
+      simd::table_lookup_i32(backend, *view, min_raw, idx.data(),
+                             out32.data(), idx.size());
+      std::vector<std::int32_t> inplace = idx;
+      simd::table_lookup_i32(backend, *view, min_raw, inplace.data(),
+                             inplace.data(), inplace.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        const auto w = static_cast<std::size_t>(idx[i]);
+        ASSERT_EQ(out32[i], static_cast<std::int32_t>(expected[w]))
+            << kind << " " << simd::backend_name(backend) << " index " << i;
+        ASSERT_EQ(inplace[i], static_cast<std::int32_t>(expected[w]))
+            << kind << " " << simd::backend_name(backend) << " aliased";
+      }
+    }
   }
 }
 
@@ -400,49 +598,106 @@ TEST(SimdKernels, Conv3x3RowMatchesNaiveTapLoop) {
   }
 }
 
-TEST(SimdDifferential, BatchEvaluateBitIdenticalAcrossBackends) {
+TEST(SimdDifferential, BatchEvaluateBitIdenticalAcrossBackendsAndModes) {
+  // Every backend × every table layout × every config variant, exhaustively
+  // over all 2^16 inputs and all three functions — the scalar Fig. 2
+  // datapath is the single reference for all of them, so a compressed
+  // layout or a wider ISA can only pass by being bit-identical.
   for (const auto& [name, config] : config_variants()) {
     const Nacu scalar{config};
-    BatchNacu::Options scalar_options;
-    scalar_options.backend = simd::Backend::Scalar;
-    const BatchNacu batch_scalar{config, scalar_options};
-    BatchNacu::Options simd_options;
-    simd_options.backend = simd::Backend::Avx2;  // resolves to best available
-    const BatchNacu batch_simd{config, simd_options};
     const std::vector<fp::Fixed> xs = full_domain(config.format);
+    std::array<std::vector<std::int64_t>, BatchNacu::kFunctionCount> expected;
     for (const BatchNacu::Function f : kFunctions) {
-      const std::vector<fp::Fixed> got_scalar = batch_scalar.evaluate(f, xs);
-      const std::vector<fp::Fixed> got_simd = batch_simd.evaluate(f, xs);
-      ASSERT_EQ(got_scalar.size(), got_simd.size());
-      std::size_t mismatches = 0;
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        const fp::Fixed expected =
-            f == BatchNacu::Function::Sigmoid ? scalar.sigmoid(xs[i])
-            : f == BatchNacu::Function::Tanh ? scalar.tanh(xs[i])
-                                             : scalar.exp(xs[i]);
-        if (got_simd[i].raw() != expected.raw() ||
-            got_scalar[i].raw() != expected.raw()) {
-          if (++mismatches <= 5) {
-            ADD_FAILURE() << name << " at raw " << xs[i].raw() << ": simd "
-                          << got_simd[i].raw() << " scalar-backend "
-                          << got_scalar[i].raw() << " datapath "
-                          << expected.raw();
-          }
-        }
+      auto& exp_f = expected[static_cast<std::size_t>(f)];
+      exp_f.reserve(xs.size());
+      for (const fp::Fixed& x : xs) {
+        const fp::Fixed y = f == BatchNacu::Function::Sigmoid
+                                ? scalar.sigmoid(x)
+                            : f == BatchNacu::Function::Tanh ? scalar.tanh(x)
+                                                             : scalar.exp(x);
+        exp_f.push_back(y.raw());
       }
-      EXPECT_EQ(mismatches, 0u) << name;
     }
-    // The raw-domain variant dispatches through the same kernels.
     std::vector<std::int64_t> raws;
     for (const fp::Fixed& x : xs) {
       raws.push_back(x.raw());
     }
-    std::vector<std::int64_t> raw_scalar(raws.size());
-    std::vector<std::int64_t> raw_simd(raws.size());
-    batch_scalar.evaluate_raw(BatchNacu::Function::Tanh, raws, raw_scalar);
-    batch_simd.evaluate_raw(BatchNacu::Function::Tanh, raws, raw_simd);
-    EXPECT_EQ(raw_scalar, raw_simd) << name;
+    for (const auto& [mode_name, mode] : table_modes()) {
+      for (const simd::Backend backend : backends()) {
+        BatchNacu::Options options;
+        options.backend = backend;
+        options.table_mode = mode;
+        const BatchNacu batch{config, options};
+        for (const BatchNacu::Function f : kFunctions) {
+          const std::vector<fp::Fixed> got = batch.evaluate(f, xs);
+          const auto& exp_f = expected[static_cast<std::size_t>(f)];
+          ASSERT_EQ(got.size(), exp_f.size());
+          std::size_t mismatches = 0;
+          for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (got[i].raw() != exp_f[i]) {
+              if (++mismatches <= 5) {
+                ADD_FAILURE()
+                    << name << " " << mode_name << " "
+                    << simd::backend_name(backend) << " at raw "
+                    << xs[i].raw() << ": got " << got[i].raw()
+                    << " datapath " << exp_f[i];
+              }
+            }
+          }
+          EXPECT_EQ(mismatches, 0u)
+              << name << " " << mode_name << " "
+              << simd::backend_name(backend);
+        }
+        // The raw-domain variant dispatches through the same kernels.
+        std::vector<std::int64_t> raw_out(raws.size());
+        batch.evaluate_raw(BatchNacu::Function::Tanh, raws, raw_out);
+        EXPECT_EQ(raw_out,
+                  expected[static_cast<std::size_t>(BatchNacu::Function::Tanh)])
+            << name << " " << mode_name << " " << simd::backend_name(backend);
+      }
+    }
   }
+}
+
+TEST(SimdDifferential, TableModesLandOnTheirCompressedLayouts) {
+  // For the default Q4.11 config every compressed layout passes its
+  // build-time verification, so an explicit mode must actually ship that
+  // layout — a silent fallback to Dense would make the exhaustive mode
+  // sweeps above vacuous. (Exp is always Dense: Eq. 14 runs a divider, so
+  // its table has no symmetry to fold.)
+  const NacuConfig config = core::config_for_bits(16);
+
+  BatchNacu::Options half_options;
+  half_options.table_mode = BatchNacu::TableMode::HalfRange;
+  const BatchNacu half{config, half_options};
+  for (const BatchNacu::Function f : kFunctions) {
+    half.warm(f);
+  }
+  EXPECT_EQ(half.table_kind(BatchNacu::Function::Sigmoid),
+            simd::TableKind::HalfSigmoid);
+  EXPECT_EQ(half.table_kind(BatchNacu::Function::Tanh),
+            simd::TableKind::HalfOdd);
+  EXPECT_EQ(half.table_kind(BatchNacu::Function::Exp),
+            simd::TableKind::Dense);
+  // Folding halves the resident bytes (plus the slot/padding entries).
+  EXPECT_LT(half.table_resident_bytes(BatchNacu::Function::Sigmoid),
+            half.table_bytes() / 2 + 16);
+  EXPECT_LT(half.table_resident_bytes(BatchNacu::Function::Tanh),
+            half.table_bytes() / 2 + 16);
+
+  BatchNacu::Options pwl_options;
+  pwl_options.table_mode = BatchNacu::TableMode::Pwl;
+  const BatchNacu pwl{config, pwl_options};
+  for (const BatchNacu::Function f : kFunctions) {
+    pwl.warm(f);
+  }
+  EXPECT_EQ(pwl.table_kind(BatchNacu::Function::Sigmoid),
+            simd::TableKind::Pwl);
+  EXPECT_EQ(pwl.table_kind(BatchNacu::Function::Tanh), simd::TableKind::Pwl);
+  EXPECT_EQ(pwl.table_kind(BatchNacu::Function::Exp), simd::TableKind::Dense);
+  // The coefficient form is LUT-sized, not sample-sized.
+  EXPECT_LT(pwl.table_resident_bytes(BatchNacu::Function::Sigmoid),
+            half.table_resident_bytes(BatchNacu::Function::Sigmoid) / 8);
 }
 
 TEST(SimdDifferential, FusedSoftmaxBitIdenticalAcrossBackendsAndConfigs) {
@@ -483,8 +738,10 @@ TEST(SimdDifferential, FusedSoftmaxBitIdenticalAcrossBackendsAndConfigs) {
 TEST(SimdDifferential, ArmedFaultPathKeepsPr2SemanticsAcrossBackends) {
   // The fused kernels only run with the fault port disarmed; when a port is
   // attached every read must still go through it, per element, exactly as
-  // PR 2 shipped — for BOTH backend settings (the armed loop ignores the
-  // backend, and this pins that).
+  // PR 2 shipped — for EVERY backend setting (the armed loop ignores the
+  // backend) and EVERY table layout (the fault surface's word addressing is
+  // the dense domain regardless of the physical storage, the PR 7
+  // verify-before-release parity contract). This pins both.
   const NacuConfig config = core::config_for_bits(10);
   const fp::Format fmt = config.format;
   const std::vector<fp::Fixed> xs = full_domain(fmt);
@@ -500,40 +757,47 @@ TEST(SimdDifferential, ArmedFaultPathKeepsPr2SemanticsAcrossBackends) {
         {surface, word, static_cast<int>(word % 5), fault::FaultModel::StuckAt0});
   }
 
-  std::vector<std::vector<std::int64_t>> per_backend;
-  for (const simd::Backend backend : backends()) {
-    BatchNacu::Options options;
-    options.backend = backend;
-    BatchNacu batch{config, options};
-    batch.warm(f);
-    const std::vector<fp::Fixed> clean = batch.evaluate(f, xs);
-    fault::FaultInjector injector;
-    for (const fault::Fault& d : defects) {
-      injector.arm(d);
-    }
-    batch.attach_fault_port(&injector);
-    const std::vector<fp::Fixed> faulted = batch.evaluate(f, xs);
-    batch.attach_fault_port(nullptr);
-    EXPECT_GT(injector.reads_faulted(), 0u);
+  std::vector<std::vector<std::int64_t>> per_combination;
+  for (const auto& [mode_name, mode] : table_modes()) {
+    for (const simd::Backend backend : backends()) {
+      BatchNacu::Options options;
+      options.backend = backend;
+      options.table_mode = mode;
+      BatchNacu batch{config, options};
+      batch.warm(f);
+      const std::vector<fp::Fixed> clean = batch.evaluate(f, xs);
+      fault::FaultInjector injector;
+      for (const fault::Fault& d : defects) {
+        injector.arm(d);
+      }
+      batch.attach_fault_port(&injector);
+      const std::vector<fp::Fixed> faulted = batch.evaluate(f, xs);
+      batch.attach_fault_port(nullptr);
+      EXPECT_GT(injector.reads_faulted(), 0u)
+          << mode_name << " " << simd::backend_name(backend);
 
-    // Expected: the injector applied to each clean table entry.
-    fault::FaultInjector twin;
-    for (const fault::Fault& d : defects) {
-      twin.arm(d);
+      // Expected: the injector applied to each clean table entry.
+      fault::FaultInjector twin;
+      for (const fault::Fault& d : defects) {
+        twin.arm(d);
+      }
+      std::vector<std::int64_t> raws;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto word = static_cast<std::size_t>(xs[i].raw() - fmt.min_raw());
+        const std::int64_t expected =
+            twin.read(surface, word, clean[i].raw(), fmt.width());
+        ASSERT_EQ(faulted[i].raw(), expected)
+            << mode_name << " " << simd::backend_name(backend) << " word "
+            << word;
+        raws.push_back(faulted[i].raw());
+      }
+      per_combination.push_back(std::move(raws));
     }
-    std::vector<std::int64_t> raws;
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-      const auto word = static_cast<std::size_t>(xs[i].raw() - fmt.min_raw());
-      const std::int64_t expected =
-          twin.read(surface, word, clean[i].raw(), fmt.width());
-      ASSERT_EQ(faulted[i].raw(), expected)
-          << simd::backend_name(backend) << " word " << word;
-      raws.push_back(faulted[i].raw());
-    }
-    per_backend.push_back(std::move(raws));
   }
-  for (std::size_t b = 1; b < per_backend.size(); ++b) {
-    EXPECT_EQ(per_backend[b], per_backend[0]);
+  // Identical faulted outputs across every (mode, backend) combination:
+  // the injected campaign is layout- and ISA-invariant.
+  for (std::size_t b = 1; b < per_combination.size(); ++b) {
+    EXPECT_EQ(per_combination[b], per_combination[0]) << "combination " << b;
   }
 }
 
