@@ -7,12 +7,14 @@
 // across dispatcher shards and micro-batching, admission control
 // (priority shedding, deadlines, per-tenant quotas), reject-with-error
 // backpressure at the high-water mark, a graceful shutdown that drains
-// every accepted request, and a mid-flight single-event upset that is
-// detected, quarantined and scrubbed with zero client-visible errors.
-// Finishes with the serving metrics dump.
+// every accepted request, a mid-flight single-event upset that is
+// detected, quarantined and scrubbed with zero client-visible errors,
+// and the same serving layer reached over real loopback TCP through the
+// src/net/ wire protocol. Finishes with the serving metrics dump.
 //
 // Usage: ./build/examples/serving_demo
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -20,6 +22,8 @@
 
 #include "core/batch_nacu.hpp"
 #include "fault/fault_injector.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "nn/quantized_mlp.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -250,13 +254,71 @@ int main() {
               after_mismatches == 0 ? "bit-identical" : "WRONG");
   resilient.shutdown();
 
-  // 6. The per-stage serving metrics (serve.* entries of the registry).
+  // 6. The same layer over the wire: a net::NetServer wraps an
+  //    InferenceServer behind the length-prefixed TCP protocol
+  //    (src/net/wire.hpp) on an ephemeral loopback port; a net::Client
+  //    pipelines activation, softmax and hosted-MLP requests over one
+  //    connection and responses stream back in submission order —
+  //    bit-identical to direct evaluation, because the wire carries raw
+  //    fixed-point words untouched. Shutdown drains the connection: every
+  //    accepted request is answered before the socket closes.
+  serve::ServerOptions wire_opts;
+  wire_opts.shards = 2;
+  serve::InferenceServer wire_inference{config, wire_opts};
+  net::NetServerOptions net_opts;
+  net_opts.mlp = &model;  // host the MLP so kSubmitMlp frames resolve
+  net::NetServer net_server{wire_inference, net_opts};
+  int wire_mismatches = -1;
+  {
+    net::Client client{net_server.port()};
+    if (client.valid()) {
+      wire_mismatches = 0;
+      constexpr int kPipelined = 9;
+      for (int r = 0; r < kPipelined; ++r) {
+        (void)client.send_submit(static_cast<Function>(r % 3), xs);
+      }
+      const std::uint64_t mlp_id =
+          client.send_mlp(std::vector<double>{data.inputs(0, 0),
+                                              data.inputs(0, 1)});
+      for (int r = 0; r < kPipelined; ++r) {
+        const auto response = client.read_response();
+        if (!response.has_value() || !response->ok()) {
+          ++wire_mismatches;
+          continue;
+        }
+        const std::vector<fp::Fixed> want =
+            direct.evaluate(static_cast<Function>(r % 3), xs);
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          wire_mismatches += static_cast<int>(
+              response->values[i].raw() != want[i].raw());
+        }
+      }
+      const auto mlp_response = client.read_response();
+      wire_mismatches += static_cast<int>(
+          !mlp_response.has_value() || !mlp_response->ok() ||
+          mlp_response->id != mlp_id || mlp_response->doubles.size() != 3);
+      client.close_send();            // half-close: done submitting
+      while (client.read_response().has_value()) {
+      }                               // drain to EOF
+    }
+  }
+  net_server.shutdown();
+  const net::NetServer::Stats wire_stats = net_server.stats();
+  std::printf("\nover TCP (port was %u): %llu frames in, %llu requests, "
+              "%llu responses written, result %s\n",
+              static_cast<unsigned>(net_server.port()),
+              static_cast<unsigned long long>(wire_stats.frames_read),
+              static_cast<unsigned long long>(wire_stats.requests_submitted),
+              static_cast<unsigned long long>(wire_stats.responses_written),
+              wire_mismatches == 0 ? "bit-identical" : "WRONG");
+
+  // 7. The per-stage serving metrics (serve.* entries of the registry).
   std::printf("\nobs registry dump (see the serve.* entries):\n%s\n",
               obs::Registry::instance().to_json().c_str());
   const bool admission_ok =
       be_shed == 1 && deadline_rejected && quota_rejected == 1;
   return total_mismatches == 0 && shutdown_rejected && admission_ok &&
-                 healed_ok
+                 healed_ok && wire_mismatches == 0
              ? 0
              : 1;
 }

@@ -1,0 +1,385 @@
+#include "net/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace nacu::net {
+namespace {
+
+/// How long the accept loop blocks in poll() before re-checking the stop
+/// flag — the shutdown latency of an idle listener.
+constexpr int kAcceptPollMs = 50;
+
+}  // namespace
+
+ErrorCode classify_exception(std::exception_ptr error, std::string& message) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const serve::OverloadedError& e) {
+    message = e.what();
+    return ErrorCode::kOverloaded;
+  } catch (const serve::ShutdownError& e) {
+    message = e.what();
+    return ErrorCode::kShutdown;
+  } catch (const serve::QuotaExceededError& e) {
+    message = e.what();
+    return ErrorCode::kQuotaExceeded;
+  } catch (const serve::DeadlineExpiredError& e) {
+    message = e.what();
+    return ErrorCode::kDeadlineExpired;
+  } catch (const serve::ShardFailedError& e) {
+    message = e.what();
+    return ErrorCode::kShardFailed;
+  } catch (const std::out_of_range& e) {
+    message = e.what();
+    return ErrorCode::kBadRequest;
+  } catch (const std::invalid_argument& e) {
+    message = e.what();
+    return ErrorCode::kBadRequest;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return ErrorCode::kInternal;
+  } catch (...) {
+    message = "unknown error";
+    return ErrorCode::kInternal;
+  }
+}
+
+NetServer::NetServer(serve::InferenceServer& inference,
+                     NetServerOptions options)
+    : inference_{inference},
+      options_{options},
+      listener_{options.port} {
+  if (!listener_.valid()) {
+    return;  // running() stays false; port() stays 0
+  }
+  listening_ = true;
+  port_ = listener_.port();
+  acceptor_ = std::thread{[this] { accept_loop(); }};
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections = connections_accepted_.load(std::memory_order_relaxed);
+  s.frames_read = frames_read_.load(std::memory_order_relaxed);
+  s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  s.responses_written = responses_written_.load(std::memory_order_relaxed);
+  s.immediate_errors = immediate_errors_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  std::call_once(shutdown_once_, [this] {
+    // Order is the drain guarantee:
+    //  1. Stop accepting — no new connections, no new readers.
+    if (acceptor_.joinable()) {
+      acceptor_.join();  // exits on its next stop-flag check
+    }
+    listener_.close();
+    //  2. Drain the inference layer. When this returns, every future a
+    //     reader pushed is ready (value or typed error) — the serving
+    //     layer's own graceful-shutdown contract.
+    inference_.shutdown();
+    //  3. Wake readers blocked in recv; in-flight submits now throw
+    //     ShutdownError, which the reader turns into error frames.
+    {
+      const std::lock_guard<std::mutex> lock{connections_mutex_};
+      for (auto& conn : connections_) {
+        conn->socket.shutdown_receive();
+      }
+    }
+    //  4. Join everything. Writers exit only once their pending queue is
+    //     empty, so every response reaches the wire before its socket
+    //     closes (unless the client itself vanished — write_failures).
+    reap_connections(/*all=*/true);
+  });
+}
+
+void NetServer::accept_loop() {
+  static obs::Counter& accepted_m = obs::counter("net.connections");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Socket> conn_socket = listener_.accept(kAcceptPollMs);
+    reap_connections(/*all=*/false);
+    if (!conn_socket) {
+      continue;
+    }
+    const core::NacuConfig& config = inference_.engine().config();
+    if (!write_frame(*conn_socket,
+                     encode_hello(config.format.integer_bits(),
+                                  config.format.fractional_bits(),
+                                  core::BatchNacu::kFunctionCount))) {
+      continue;  // greeting failed — peer already gone
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_m.add();
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*conn_socket);
+    Connection& ref = *conn;
+    {
+      const std::lock_guard<std::mutex> lock{connections_mutex_};
+      connections_.push_back(std::move(conn));
+    }
+    // Threads start only after the connection is registered: shutdown's
+    // SHUT_RD sweep must be able to reach every reader.
+    ref.reader = std::thread{[this, &ref] { reader_loop(ref); }};
+    ref.writer = std::thread{[this, &ref] { writer_loop(ref); }};
+  }
+}
+
+void NetServer::reap_connections(bool all) {
+  std::list<std::unique_ptr<Connection>> done;
+  {
+    const std::lock_guard<std::mutex> lock{connections_mutex_};
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all ||
+          (*it)->live_threads.load(std::memory_order_acquire) == 0) {
+        done.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: with all=true these joins block until the
+  // writer drains, and a reader might be taking the lock to push pending.
+  for (auto& conn : done) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+    if (conn->writer.joinable()) {
+      conn->writer.join();
+    }
+  }
+}
+
+void NetServer::push_pending(Connection& conn, Pending pending) {
+  {
+    const std::lock_guard<std::mutex> lock{conn.mutex};
+    conn.pending.push_back(std::move(pending));
+  }
+  conn.cv.notify_one();
+}
+
+void NetServer::reader_loop(Connection& conn) {
+  static obs::Counter& frames_m = obs::counter("net.frames_read");
+  for (;;) {
+    FrameRead frame = read_frame(conn.socket, options_.max_frame_bytes);
+    if (frame.status != FrameRead::Status::kOk) {
+      if (frame.status == FrameRead::Status::kBroken) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("net.protocol_errors").add();
+      }
+      break;
+    }
+    frames_read_.fetch_add(1, std::memory_order_relaxed);
+    frames_m.add();
+    handle_frame(conn, frame.payload);
+  }
+  // No more pushes will come from this thread; let the writer drain what
+  // is queued and exit. Responses for everything already submitted still
+  // go out — the client may have half-closed (SHUT_WR) and be reading.
+  {
+    const std::lock_guard<std::mutex> lock{conn.mutex};
+    conn.reader_done = true;
+  }
+  conn.cv.notify_one();
+  conn.live_threads.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void NetServer::handle_frame(Connection& conn,
+                             const std::vector<std::uint8_t>& payload) {
+  ByteReader r{std::span<const std::uint8_t>{payload}};
+  const auto opcode = r.u8();   // length ≥ 1 — cannot fail
+  const auto id = r.u64();
+  if (!id) {
+    // Too short to even carry the id that an error frame would echo.
+    immediate_errors_.fetch_add(1, std::memory_order_relaxed);
+    push_pending(conn, PendingError{0, ErrorCode::kBadRequest,
+                                    "frame too short for request id"});
+    return;
+  }
+  const auto bad = [&](std::string message) {
+    immediate_errors_.fetch_add(1, std::memory_order_relaxed);
+    push_pending(conn,
+                 PendingError{*id, ErrorCode::kBadRequest, std::move(message)});
+  };
+
+  std::uint8_t function = 0;
+  const auto op = static_cast<Opcode>(*opcode);
+  if (op == Opcode::kSubmit) {
+    const auto f = r.u8();
+    if (!f) {
+      bad("truncated submit: missing function");
+      return;
+    }
+    if (*f >= core::BatchNacu::kFunctionCount) {
+      bad("unknown function index");
+      return;
+    }
+    function = *f;
+  }
+  const auto wire_options = decode_submit_options(r);
+  if (!wire_options) {
+    bad("truncated submit options");
+    return;
+  }
+  if (wire_options->priority >= serve::kPriorityCount) {
+    bad("unknown priority class");
+    return;
+  }
+  const auto count = r.u32();
+  if (!count || r.remaining() != std::size_t{*count} * 8) {
+    bad("element count does not match frame length");
+    return;
+  }
+
+  serve::SubmitOptions submit_options;
+  submit_options.priority = static_cast<serve::Priority>(wire_options->priority);
+  submit_options.tenant = wire_options->tenant;
+  submit_options.max_retries = wire_options->max_retries;
+  submit_options.hedge_fraction = wire_options->hedge_fraction;
+  if (wire_options->deadline_ns) {
+    // Relative on the wire, absolute on the serving clock from here on.
+    submit_options.deadline =
+        inference_.now() + std::chrono::nanoseconds{*wire_options->deadline_ns};
+  }
+
+  try {
+    switch (op) {
+      case Opcode::kSubmit:
+      case Opcode::kSubmitSoftmax: {
+        const fp::Format format = inference_.engine().config().format;
+        std::vector<fp::Fixed> input;
+        input.reserve(*count);
+        for (std::uint32_t i = 0; i < *count; ++i) {
+          // from_raw throws out_of_range on a raw outside the format —
+          // classified below as kBadRequest, connection keeps serving.
+          input.push_back(fp::Fixed::from_raw(*r.i64(), format));
+        }
+        auto future =
+            op == Opcode::kSubmit
+                ? inference_.submit(
+                      static_cast<core::BatchNacu::Function>(function),
+                      std::move(input), submit_options)
+                : inference_.submit_softmax(std::move(input), submit_options);
+        requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+        push_pending(conn, PendingFixed{*id, std::move(future)});
+        return;
+      }
+      case Opcode::kSubmitMlp: {
+        if (options_.mlp == nullptr) {
+          immediate_errors_.fetch_add(1, std::memory_order_relaxed);
+          push_pending(conn, PendingError{*id, ErrorCode::kUnsupported,
+                                          "no MLP model hosted"});
+          return;
+        }
+        std::vector<double> input;
+        input.reserve(*count);
+        for (std::uint32_t i = 0; i < *count; ++i) {
+          input.push_back(*r.f64());
+        }
+        auto future =
+            inference_.submit_mlp(*options_.mlp, std::move(input),
+                                  submit_options);
+        requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+        push_pending(conn, PendingF64{*id, std::move(future)});
+        return;
+      }
+      default:
+        bad("unknown opcode");
+        return;
+    }
+  } catch (...) {
+    // Admission rejections (and bad raws) — typed error frame instead of
+    // a future; the request was never accepted, nothing to drain.
+    std::string message;
+    const ErrorCode code = classify_exception(std::current_exception(),
+                                              message);
+    immediate_errors_.fetch_add(1, std::memory_order_relaxed);
+    push_pending(conn, PendingError{*id, code, std::move(message)});
+  }
+}
+
+void NetServer::writer_loop(Connection& conn) {
+  static obs::Counter& responses_m = obs::counter("net.responses_written");
+  std::vector<std::int64_t> raws;
+  for (;;) {
+    Pending pending = [&]() -> Pending {
+      std::unique_lock<std::mutex> lock{conn.mutex};
+      conn.cv.wait(lock,
+                   [&] { return !conn.pending.empty() || conn.reader_done; });
+      if (conn.pending.empty()) {
+        return PendingError{0, ErrorCode::kNone, {}};  // sentinel: done
+      }
+      Pending p = std::move(conn.pending.front());
+      conn.pending.pop_front();
+      return p;
+    }();
+    if (auto* sentinel = std::get_if<PendingError>(&pending);
+        sentinel != nullptr && sentinel->code == ErrorCode::kNone) {
+      break;
+    }
+    std::vector<std::uint8_t> frame;
+    bool answers_future = false;
+    if (auto* fixed = std::get_if<PendingFixed>(&pending)) {
+      answers_future = true;
+      try {
+        const std::vector<fp::Fixed> result = fixed->future.get();
+        raws.clear();
+        raws.reserve(result.size());
+        for (const fp::Fixed& v : result) {
+          raws.push_back(v.raw());
+        }
+        frame = encode_result_fixed(fixed->id, raws);
+      } catch (...) {
+        std::string message;
+        const ErrorCode code =
+            classify_exception(std::current_exception(), message);
+        frame = encode_error(fixed->id, code, message);
+      }
+    } else if (auto* dbl = std::get_if<PendingF64>(&pending)) {
+      answers_future = true;
+      try {
+        frame = encode_result_f64(dbl->id, dbl->future.get());
+      } catch (...) {
+        std::string message;
+        const ErrorCode code =
+            classify_exception(std::current_exception(), message);
+        frame = encode_error(dbl->id, code, message);
+      }
+    } else {
+      auto& error = std::get<PendingError>(pending);
+      frame = encode_error(error.id, error.code, error.message);
+    }
+    // write_failed is writer-private state; no lock — and no lock held
+    // across the (potentially blocking) send.
+    bool wrote = false;
+    if (!conn.write_failed) {
+      wrote = write_frame(conn.socket, frame);
+      if (!wrote) {
+        conn.write_failed = true;
+        // Wake the reader: a peer that cannot receive responses will
+        // not be served further.
+        conn.socket.shutdown_receive();
+      }
+    }
+    if (wrote) {
+      if (answers_future) {
+        responses_written_.fetch_add(1, std::memory_order_relaxed);
+      }
+      responses_m.add();
+    } else {
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  conn.live_threads.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace nacu::net

@@ -1,0 +1,170 @@
+// The network edge: a TCP front-end over serve::InferenceServer.
+//
+// Eight PRs of serving machinery end at std::future; this layer turns it
+// into an actual server. One accept-loop thread hands each connection a
+// reader thread and a writer thread:
+//
+//   reader: read frame → decode (wire.hpp) → InferenceServer::submit /
+//           submit_softmax / submit_mlp → push the future onto the
+//           connection's pending queue. Admission rejections (Overloaded,
+//           Quota, Deadline, Shutdown — thrown from submit) become typed
+//           error frames without ever entering the pending queue's future
+//           path; malformed-but-framed payloads become kBadRequest frames
+//           and the connection keeps serving.
+//   writer: pop pending responses in submission order, future.get() each,
+//           write a ResultFixed/ResultF64 frame — or map the exception
+//           (DeadlineExpiredError, ShardFailedError, per-request input
+//           errors) onto an Error frame. Responses therefore stream back
+//           per connection in exactly the order requests were submitted,
+//           while the inference layer batches, steals, retries, and hedges
+//           them across shards in any order it likes.
+//
+// Graceful drain rides the InferenceServer::shutdown() contract:
+// NetServer::shutdown() stops accepting, shuts down the inference layer
+// (every accepted future becomes ready — the drain guarantee), then
+// wakes each reader (SHUT_RD), lets it exit, and joins each writer only
+// after the pending queue is empty — so every request that reached the
+// inference layer is answered on the wire before its socket closes.
+// The closed-loop gate in bench_e2e asserts exactly this:
+// stats().requests_submitted == stats().responses_written after a
+// shutdown under steady load, with clients holding their sockets open.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <condition_variable>
+#include <variant>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/server.hpp"
+
+namespace nacu::net {
+
+struct NetServerOptions {
+  /// 0 = ephemeral; read the bound port back via NetServer::port().
+  std::uint16_t port = 0;
+  /// Per-frame payload bound enforced on every connection.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Model served by kSubmitMlp frames (borrowed; keep alive for the
+  /// server's lifetime). nullptr answers kSubmitMlp with kUnsupported.
+  const nn::QuantizedMlp* mlp = nullptr;
+};
+
+/// Map a caught exception from submit / future.get() onto its wire code.
+/// serve:: error types map one-to-one; std::out_of_range /
+/// std::invalid_argument (a raw outside the datapath format) map to
+/// kBadRequest; anything else to kInternal.
+[[nodiscard]] ErrorCode classify_exception(std::exception_ptr error,
+                                           std::string& message);
+
+class NetServer {
+ public:
+  /// Binds and starts serving immediately. @p inference is borrowed and
+  /// must outlive this object; its shutdown() is invoked (once) by ours.
+  explicit NetServer(serve::InferenceServer& inference,
+                     NetServerOptions options = {});
+  ~NetServer();  ///< shutdown(): drain every pending response, then join.
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  [[nodiscard]] bool running() const noexcept {
+    return listening_ && !stopping_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop accepting, drain the inference layer, flush every pending
+  /// response frame onto its socket, join everything. Idempotent.
+  void shutdown();
+
+  /// Always-on per-server tallies (mirroring InferenceServer::Counters'
+  /// role): the drain guarantee is the invariant
+  /// requests_submitted == responses_written after shutdown() when no
+  /// client vanished mid-response (write_failures == 0).
+  struct Stats {
+    std::uint64_t connections = 0;      ///< accepted sockets
+    std::uint64_t frames_read = 0;      ///< well-framed payloads received
+    std::uint64_t requests_submitted = 0;  ///< futures obtained from serve
+    std::uint64_t responses_written = 0;   ///< result/error frames answering
+                                           ///< a submitted future
+    std::uint64_t immediate_errors = 0;  ///< error frames for requests that
+                                         ///< never produced a future
+    std::uint64_t protocol_errors = 0;  ///< connections killed by broken
+                                        ///< framing (bad length prefix /
+                                        ///< EOF mid-frame)
+    std::uint64_t write_failures = 0;  ///< frames lost to a vanished client
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// One response owed to the client, in submission order. Futures are
+  /// resolved by the writer thread (get() blocks until the inference
+  /// layer fulfils the promise — shutdown's drain guarantees it will).
+  struct PendingFixed {
+    std::uint64_t id;
+    std::future<std::vector<fp::Fixed>> future;
+  };
+  struct PendingF64 {
+    std::uint64_t id;
+    std::future<std::vector<double>> future;
+  };
+  struct PendingError {
+    std::uint64_t id;
+    ErrorCode code;
+    std::string message;
+  };
+  using Pending = std::variant<PendingFixed, PendingF64, PendingError>;
+
+  struct Connection {
+    Socket socket;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Pending> pending;  ///< FIFO — submission order
+    bool reader_done = false;     ///< no more pending will be pushed
+    bool write_failed = false;    ///< client gone; drop instead of send
+    std::atomic<int> live_threads{2};  ///< reapable at 0
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  /// Decode one framed payload and act on it. False only when the
+  /// connection must close (unparseable beyond recovery is *not* such a
+  /// case — framing intact means the stream is still synchronised).
+  void handle_frame(Connection& conn, const std::vector<std::uint8_t>& payload);
+  void push_pending(Connection& conn, Pending pending);
+  /// Join and erase connections whose threads have both exited.
+  void reap_connections(bool all);
+
+  serve::InferenceServer& inference_;
+  NetServerOptions options_;
+  Listener listener_;
+  bool listening_ = false;
+  std::uint16_t port_ = 0;
+
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> frames_read_{0};
+  std::atomic<std::uint64_t> requests_submitted_{0};
+  std::atomic<std::uint64_t> responses_written_{0};
+  std::atomic<std::uint64_t> immediate_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+};
+
+}  // namespace nacu::net

@@ -1,0 +1,188 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nacu::net {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(const void* data, std::size_t n) const {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (sent == 0) {
+      return false;
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+Socket::Read Socket::read_exact(void* data, std::size_t n) const {
+  auto* p = static_cast<std::uint8_t*>(data);
+  const std::size_t want = n;
+  while (n > 0) {
+    const ssize_t got = ::recv(fd_, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return n == want ? Read::kEof : Read::kTorn;
+    }
+    if (got == 0) {
+      return n == want ? Read::kEof : Read::kTorn;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return Read::kOk;
+}
+
+void Socket::shutdown_send() const noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+void Socket::shutdown_receive() const noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RD);
+  }
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameRead read_frame(const Socket& socket, std::size_t max_frame_bytes) {
+  FrameRead result;
+  std::uint8_t prefix[kLengthPrefixBytes];
+  switch (socket.read_exact(prefix, sizeof prefix)) {
+    case Socket::Read::kOk:
+      break;
+    case Socket::Read::kEof:
+      result.status = FrameRead::Status::kEof;
+      return result;
+    case Socket::Read::kTorn:
+      result.status = FrameRead::Status::kBroken;
+      return result;
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (length == 0 || length > max_frame_bytes) {
+    result.status = FrameRead::Status::kBroken;
+    return result;
+  }
+  result.payload.resize(length);
+  if (socket.read_exact(result.payload.data(), result.payload.size()) !=
+      Socket::Read::kOk) {
+    result.status = FrameRead::Status::kBroken;
+    result.payload.clear();
+    return result;
+  }
+  result.status = FrameRead::Status::kOk;
+  return result;
+}
+
+bool write_frame(const Socket& socket,
+                 const std::vector<std::uint8_t>& frame) {
+  return socket.send_all(frame.data(), frame.size());
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return;
+  }
+  Socket sock{fd};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    return;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return;
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_ = std::move(sock);
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (!socket_.valid()) {
+    return std::nullopt;
+  }
+  pollfd pfd{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) {
+    return std::nullopt;
+  }
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  Socket conn{fd};
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return conn;
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Socket{};
+  }
+  Socket sock{fd};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Socket{};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+}  // namespace nacu::net

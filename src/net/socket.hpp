@@ -1,0 +1,104 @@
+// Thin RAII wrappers over POSIX TCP sockets — everything the net layer
+// needs and nothing more: a movable owning fd, short-read/short-write
+// loops that survive EINTR, a loopback listener with a poll()-based
+// accept so shutdown is a flag check away, and frame-level read/write
+// built on the wire.hpp length prefix.
+//
+// All operations are blocking; concurrency comes from the thread-per-
+// connection model in net/server.cpp, not from non-blocking I/O. SIGPIPE
+// is suppressed per send (MSG_NOSIGNAL) so a client that vanished mid
+// response surfaces as an error return, never a process signal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace nacu::net {
+
+/// Owning socket fd. Move-only; close on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_{fd} {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write exactly @p n bytes; false on any unrecoverable error
+  /// (peer gone, fd closed under us). Retries EINTR.
+  [[nodiscard]] bool send_all(const void* data, std::size_t n) const;
+
+  enum class Read {
+    kOk,    ///< all n bytes arrived
+    kEof,   ///< clean EOF before the first byte
+    kTorn,  ///< EOF or error after some bytes — the stream tore mid-unit
+  };
+  /// Read exactly @p n bytes. Retries EINTR.
+  [[nodiscard]] Read read_exact(void* data, std::size_t n) const;
+
+  /// Half-close: no more bytes will be sent (SHUT_WR) — the peer's next
+  /// read sees EOF while our own reads keep draining. Used by clients to
+  /// signal "done submitting" during drain tests.
+  void shutdown_send() const noexcept;
+  /// Wake a reader blocked in read_exact from another thread (SHUT_RD).
+  void shutdown_receive() const noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// One length-prefixed frame, read blocking. Anything but kOk ends the
+/// connection; the kEof/kBroken split only feeds diagnostics (a clean
+/// close is normal, a broken one counts as a protocol error).
+struct FrameRead {
+  enum class Status {
+    kOk,      ///< payload holds one complete frame
+    kEof,     ///< peer closed cleanly between frames
+    kBroken,  ///< zero/oversized length prefix, or the stream tore
+              ///< mid-frame — the byte stream cannot be resynchronised
+  };
+  Status status = Status::kEof;
+  std::vector<std::uint8_t> payload;
+};
+[[nodiscard]] FrameRead read_frame(const Socket& socket,
+                                   std::size_t max_frame_bytes =
+                                       kMaxFrameBytes);
+
+/// Write one already-framed buffer (from wire.hpp's encode_* helpers).
+[[nodiscard]] bool write_frame(const Socket& socket,
+                               const std::vector<std::uint8_t>& frame);
+
+/// Loopback listener (127.0.0.1). Binds at construction — port 0 picks
+/// an ephemeral port, readable via port() immediately after.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port = 0);
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait up to @p timeout_ms for a connection. nullopt on timeout or
+  /// when the listener has been closed — callers poll a stop flag
+  /// between calls rather than blocking forever in accept(2).
+  [[nodiscard]] std::optional<Socket> accept(int timeout_ms);
+
+  void close() noexcept { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:port. Invalid Socket on failure.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port);
+
+}  // namespace nacu::net

@@ -1,0 +1,165 @@
+#include "net/wire.hpp"
+
+namespace nacu::net {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "none";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShutdown:
+      return "shutdown";
+    case ErrorCode::kQuotaExceeded:
+      return "quota-exceeded";
+    case ErrorCode::kDeadlineExpired:
+      return "deadline-expired";
+    case ErrorCode::kShardFailed:
+      return "shard-failed";
+    case ErrorCode::kBadRequest:
+      return "bad-request";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> finish_frame(std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<std::uint8_t>(length >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void encode_submit_options(ByteWriter& w, const WireSubmitOptions& options) {
+  w.u8(options.priority);
+  w.u8(options.deadline_ns.has_value() ? 1 : 0);
+  w.u64(options.tenant);
+  w.u32(options.max_retries);
+  w.i64(options.deadline_ns.value_or(0));
+  w.f64(options.hedge_fraction);
+}
+
+std::optional<WireSubmitOptions> decode_submit_options(ByteReader& r) {
+  const auto priority = r.u8();
+  const auto flags = r.u8();
+  const auto tenant = r.u64();
+  const auto max_retries = r.u32();
+  const auto deadline_ns = r.i64();
+  const auto hedge = r.f64();
+  if (!priority || !flags || !tenant || !max_retries || !deadline_ns ||
+      !hedge) {
+    return std::nullopt;
+  }
+  WireSubmitOptions options;
+  options.priority = *priority;
+  options.tenant = *tenant;
+  options.max_retries = *max_retries;
+  if ((*flags & 1u) != 0) {
+    options.deadline_ns = *deadline_ns;
+  }
+  options.hedge_fraction = *hedge;
+  return options;
+}
+
+std::vector<std::uint8_t> encode_hello(int integer_bits, int fractional_bits,
+                                       std::uint8_t functions) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Opcode::kHello));
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(integer_bits));
+  w.u8(static_cast<std::uint8_t>(fractional_bits));
+  w.u8(functions);
+  return finish_frame(w.take());
+}
+
+namespace {
+
+void encode_request_head(ByteWriter& w, Opcode opcode, std::uint64_t id) {
+  w.u8(static_cast<std::uint8_t>(opcode));
+  w.u64(id);
+}
+
+void encode_i64_body(ByteWriter& w, std::span<const std::int64_t> raws) {
+  w.u32(static_cast<std::uint32_t>(raws.size()));
+  for (const auto raw : raws) {
+    w.i64(raw);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_submit(std::uint64_t id,
+                                        std::uint8_t function,
+                                        std::span<const std::int64_t> raws,
+                                        const WireSubmitOptions& options) {
+  ByteWriter w;
+  encode_request_head(w, Opcode::kSubmit, id);
+  w.u8(function);
+  encode_submit_options(w, options);
+  encode_i64_body(w, raws);
+  return finish_frame(w.take());
+}
+
+std::vector<std::uint8_t> encode_submit_softmax(
+    std::uint64_t id, std::span<const std::int64_t> raws,
+    const WireSubmitOptions& options) {
+  ByteWriter w;
+  encode_request_head(w, Opcode::kSubmitSoftmax, id);
+  encode_submit_options(w, options);
+  encode_i64_body(w, raws);
+  return finish_frame(w.take());
+}
+
+std::vector<std::uint8_t> encode_submit_mlp(std::uint64_t id,
+                                            std::span<const double> input,
+                                            const WireSubmitOptions& options) {
+  ByteWriter w;
+  encode_request_head(w, Opcode::kSubmitMlp, id);
+  encode_submit_options(w, options);
+  w.u32(static_cast<std::uint32_t>(input.size()));
+  for (const auto v : input) {
+    w.f64(v);
+  }
+  return finish_frame(w.take());
+}
+
+std::vector<std::uint8_t> encode_result_fixed(
+    std::uint64_t id, std::span<const std::int64_t> raws) {
+  ByteWriter w;
+  encode_request_head(w, Opcode::kResultFixed, id);
+  encode_i64_body(w, raws);
+  return finish_frame(w.take());
+}
+
+std::vector<std::uint8_t> encode_result_f64(std::uint64_t id,
+                                            std::span<const double> values) {
+  ByteWriter w;
+  encode_request_head(w, Opcode::kResultF64, id);
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (const auto v : values) {
+    w.f64(v);
+  }
+  return finish_frame(w.take());
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t id, ErrorCode code,
+                                       std::string_view message) {
+  // Clamp the diagnostic text to its u16 length field; codes carry the
+  // semantics, the text is best-effort.
+  const std::size_t n = std::min<std::size_t>(message.size(), 0xFFFF);
+  ByteWriter w;
+  encode_request_head(w, Opcode::kError, id);
+  w.u8(static_cast<std::uint8_t>(code));
+  w.u16(static_cast<std::uint16_t>(n));
+  w.raw(message.data(), n);
+  return finish_frame(w.take());
+}
+
+}  // namespace nacu::net

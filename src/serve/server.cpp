@@ -33,6 +33,18 @@ std::size_t resolve_per_shard_capacity(const ServerOptions& options) {
 
 }  // namespace
 
+ServerOptions InferenceServer::normalize(ServerOptions options) {
+  if (options.clock) {
+    if (!options.admission.clock) {
+      options.admission.clock = options.clock;
+    }
+    if (!options.resilience.clock) {
+      options.resilience.clock = options.clock;
+    }
+  }
+  return options;
+}
+
 InferenceServer::Shard::Shard(const core::NacuConfig& config,
                               const core::BatchNacu::Options& batch_options,
                               const BatcherOptions& batcher_options,
@@ -43,7 +55,7 @@ InferenceServer::Shard::Shard(const core::NacuConfig& config,
 
 InferenceServer::InferenceServer(const core::NacuConfig& config,
                                  ServerOptions options)
-    : options_{std::move(options)},
+    : options_{normalize(std::move(options))},
       config_{config},
       admission_{options_.admission, resolve_per_shard_capacity(options_)},
       per_shard_capacity_{resolve_per_shard_capacity(options_)},
@@ -285,7 +297,7 @@ std::future<Result> InferenceServer::enqueue(
     // The stamp feeds the max_wait flush policy and the enqueue→complete
     // latency histogram; with max_wait = 0 and metrics off nothing reads
     // it, so the hot path skips the clock.
-    request.enqueued_at = std::chrono::steady_clock::now();
+    request.enqueued_at = now();
   }
   const bool hedged = submit_options.hedge_fraction > 0.0 &&
                       submit_options.deadline.has_value();
@@ -501,12 +513,19 @@ void InferenceServer::dispatcher_run(std::size_t shard_index) {
           return;
       }
     }
-    if (!stopping &&
-        !shard.batcher.should_flush(std::chrono::steady_clock::now())) {
+    if (!stopping && !shard.batcher.should_flush(now())) {
       // Partial group: sleep until the oldest request ages out or new
       // ingress arrives (which may complete the group). Time only
-      // advances through should_flush on the next pass.
-      (void)shard.queue.wait(shard.batcher.flush_deadline());
+      // advances through should_flush on the next pass. With an injected
+      // clock the flush deadline is a fake-time point that a real
+      // condition variable cannot wait until — bound the sleep on the
+      // real clock and re-check fake time each wake instead.
+      if (options_.clock) {
+        (void)shard.queue.wait(std::chrono::steady_clock::now() +
+                               options_.steal_poll);
+      } else {
+        (void)shard.queue.wait(shard.batcher.flush_deadline());
+      }
       continue;
     }
     std::vector<Request> group = shard.batcher.take_group();
@@ -763,7 +782,7 @@ void InferenceServer::finish(const Request& request) {
   if (obs::metrics_enabled() &&
       request.enqueued_at != std::chrono::steady_clock::time_point{}) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - request.enqueued_at)
+                        now() - request.enqueued_at)
                         .count();
     latency.record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
   }

@@ -64,6 +64,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,16 @@ struct ServerOptions {
   /// Supervision, circuit breaking, retry/hedge budgets, live SEU
   /// verification (resilience.hpp).
   ResilienceOptions resilience{};
+  /// The serving layer's single time source (empty = steady_clock). Every
+  /// time read in the layer — the enqueued_at stamp, the max_wait flush
+  /// check, dispatch-time deadline shedding, the completion-latency
+  /// histogram, circuit cooldowns, hedge fire times — goes through this
+  /// one seam: at construction it is propagated into admission.clock and
+  /// resilience.clock wherever those are unset, so injecting a fake clock
+  /// here puts the whole layer on fake time. (Before this seam existed,
+  /// the flush and latency paths read steady_clock directly and were
+  /// silently exempt from the fake-clock test discipline.)
+  std::function<std::chrono::steady_clock::time_point()> clock{};
 };
 
 class InferenceServer {
@@ -166,6 +177,15 @@ class InferenceServer {
     return options_;
   }
 
+  /// Now on the serving clock (ServerOptions::clock, steady_clock when
+  /// unset). Request stamping, flush ageing, and latency accounting all
+  /// read this; admission_.now() and resilience_now() agree with it by
+  /// the propagation in ServerOptions::clock's contract.
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const {
+    return options_.clock ? options_.clock()
+                          : std::chrono::steady_clock::now();
+  }
+
   /// Run one supervisor pass now, on the resilience clock: recover dead
   /// dispatchers, detect stalls, perform requested scrubs, advance circuit
   /// cooldowns, fire due hedges. The watchdog thread calls this on its
@@ -212,6 +232,12 @@ class InferenceServer {
   [[nodiscard]] Counters counters() const;
 
  private:
+  /// Propagate ServerOptions::clock into admission.clock and
+  /// resilience.clock wherever those are unset, so one injected clock
+  /// covers the whole layer (a sub-option clock set explicitly still
+  /// wins). Runs before any member reads options_.
+  [[nodiscard]] static ServerOptions normalize(ServerOptions options);
+
   /// Everything one dispatcher shard owns. Engines are per-shard so group
   /// execution never shares mutable state across shards; configured
   /// identically, they produce identical bits by the dense-table

@@ -21,7 +21,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,6 +35,7 @@
 #include "nn/quantized_mlp.hpp"
 #include "nn/rng.hpp"
 #include "obs/metrics.hpp"
+#include "serve/micro_batcher.hpp"
 #include "serve/server.hpp"
 #include "serve/shard_queue.hpp"
 
@@ -800,6 +803,259 @@ TEST(Serving, ServingMetricsArePopulated) {
   EXPECT_GE(groups.count, 3u);  // 12 requests in groups of <= 4
   obs::registry().reset_all();
   obs::set_metrics_enabled(false);
+}
+
+// --- The one-clock seam (ServerOptions::clock) ---------------------------
+//
+// Before the seam existed the serving layer ran on two clocks: admission
+// and resilience read the injectable clocks, but the enqueued_at stamp and
+// the dispatcher's flush check read steady_clock directly — which silently
+// exempted the max_wait flush policy and dispatch-time deadline shedding
+// from the fake-clock test discipline. These tests are exactly the ones
+// that were impossible to write.
+
+/// Injectable deterministic clock (same idiom as tests/test_resilience.cpp);
+/// here it is handed to ServerOptions::clock, which propagates it into
+/// admission and resilience, so ONE clock drives the whole layer.
+struct FakeClock {
+  std::shared_ptr<std::atomic<std::int64_t>> ns =
+      std::make_shared<std::atomic<std::int64_t>>(std::int64_t{1});
+
+  void advance(std::chrono::nanoseconds d) const { ns->fetch_add(d.count()); }
+  [[nodiscard]] std::function<std::chrono::steady_clock::time_point()> fn()
+      const {
+    auto cell = ns;
+    return [cell] {
+      return std::chrono::steady_clock::time_point{
+          std::chrono::nanoseconds{cell->load()}};
+    };
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const {
+    return fn()();
+  }
+};
+
+TEST(ServingClock, MaxWaitFlushFiresOnFakeTimeNotWallTime) {
+  const NacuConfig config = config_for_bits(16);
+  const BatchNacu direct{config};
+  FakeClock clock;
+  ServerOptions options;
+  options.shards = 1;
+  options.batcher.max_batch = 64;  // never reached — only max_wait can flush
+  options.batcher.max_wait = std::chrono::milliseconds{50};
+  options.resilience.supervise = false;
+  options.clock = clock.fn();
+  InferenceServer server{config, options};
+
+  const std::vector<fp::Fixed> input{
+      fp::Fixed::from_double(-0.5, config.format),
+      fp::Fixed::from_double(1.25, config.format)};
+  std::future<std::vector<fp::Fixed>> future =
+      server.submit(Function::Sigmoid, input);
+  // Wall time passes, fake time does not: the partial group must NOT
+  // flush — 50 real milliseconds exceed max_wait many times over.
+  EXPECT_EQ(future.wait_for(std::chrono::milliseconds{50}),
+            std::future_status::timeout);
+  // One fake tick past max_wait: the dispatcher's next poll flushes.
+  clock.advance(std::chrono::milliseconds{51});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds{10}),
+            std::future_status::ready);
+  const std::vector<fp::Fixed> got = future.get();
+  const std::vector<fp::Fixed> want = direct.evaluate(Function::Sigmoid, input);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].raw(), want[i].raw()) << "element " << i;
+  }
+}
+
+TEST(ServingClock, BatchFullFlushNeedsNoClockAdvance) {
+  // The size trigger is clock-independent: a full group flushes even with
+  // fake time frozen solid.
+  const NacuConfig config = config_for_bits(16);
+  FakeClock clock;
+  ServerOptions options;
+  options.shards = 1;
+  options.batcher.max_batch = 4;
+  options.batcher.max_wait = std::chrono::hours{1};
+  options.resilience.supervise = false;
+  options.clock = clock.fn();
+  InferenceServer server{config, options};
+
+  const std::vector<fp::Fixed> input{fp::Fixed::zero(config.format)};
+  std::vector<std::future<std::vector<fp::Fixed>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.submit(Function::Tanh, input));
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds{10}),
+              std::future_status::ready);
+    (void)future.get();
+  }
+}
+
+TEST(ServingClock, DispatchTimeDeadlineShedRunsOnTheSameFakeClock) {
+  // A request whose deadline expires while it queues must be shed at
+  // dispatch, never executed — driven entirely by fake time. Under the
+  // old split clock this scenario was untestable: the flush check
+  // compared a real-clock now against the (then real-clock) stamp while
+  // the shed check compared the fake admission clock, so fake-driven
+  // expiry either never flushed or never shed.
+  const NacuConfig config = config_for_bits(16);
+  FakeClock clock;
+  ServerOptions options;
+  options.shards = 1;
+  options.batcher.max_batch = 8;
+  options.batcher.max_wait = std::chrono::milliseconds{10};
+  options.resilience.supervise = false;
+  options.clock = clock.fn();
+  InferenceServer server{config, options};
+
+  const std::vector<fp::Fixed> input{fp::Fixed::zero(config.format)};
+  SubmitOptions submit_options;
+  submit_options.deadline = clock.now() + std::chrono::milliseconds{5};
+  std::future<std::vector<fp::Fixed>> doomed =
+      server.submit(Function::Sigmoid, input, submit_options);
+  // Frozen fake clock: neither flushed nor shed yet.
+  EXPECT_EQ(doomed.wait_for(std::chrono::milliseconds{20}),
+            std::future_status::timeout);
+  // Advance past BOTH the deadline and max_wait in one fake step: the
+  // flush fires and dispatch-time shedding catches the expired deadline.
+  clock.advance(std::chrono::milliseconds{20});
+  ASSERT_EQ(doomed.wait_for(std::chrono::seconds{10}),
+            std::future_status::ready);
+  EXPECT_THROW((void)doomed.get(), DeadlineExpiredError);
+  // The dispatcher fulfils the future BEFORE bumping the counters; give it
+  // a moment to finish the bookkeeping.
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  while (server.counters().shed_deadline == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  const InferenceServer::Counters counters = server.counters();
+  EXPECT_EQ(counters.shed_deadline, 1u);
+  EXPECT_EQ(counters.completed, 1u);  // shed still fulfils the future
+}
+
+TEST(ServingClock, OneInjectedClockPropagatesIntoAdmissionAndResilience) {
+  FakeClock clock;
+  ServerOptions options;
+  options.clock = clock.fn();
+  const ServerOptions normalized = [&] {
+    const NacuConfig config = config_for_bits(16);
+    ServerOptions copy = options;
+    copy.resilience.supervise = false;
+    InferenceServer server{config, copy};
+    return server.options();
+  }();
+  // The server's stored options carry the propagated clocks: all three
+  // seams read the same cell.
+  ASSERT_TRUE(static_cast<bool>(normalized.admission.clock));
+  ASSERT_TRUE(static_cast<bool>(normalized.resilience.clock));
+  clock.advance(std::chrono::nanoseconds{41});
+  EXPECT_EQ(normalized.admission.clock(), clock.now());
+  EXPECT_EQ(normalized.resilience.clock(), clock.now());
+}
+
+// --- ShardQueue: the moved-only-on-Ok contract ---------------------------
+
+TEST(ShardQueue, FullAndStoppedLeaveEveryRequestFieldIntact) {
+  // The server's shard-probe loop hands the SAME Request object to shard
+  // after shard until one accepts; admission metadata must survive every
+  // rejection bit-for-bit or the accepting shard schedules it wrongly.
+  const fp::Format fmt{8, 7};
+  const auto deadline = std::chrono::steady_clock::time_point{
+      std::chrono::nanoseconds{123456789}};
+  const auto make = [&] {
+    Request request;
+    ActivationRequest payload;
+    payload.function = Function::Exp;
+    payload.input = {fp::Fixed::from_raw(-301, fmt),
+                     fp::Fixed::from_raw(77, fmt)};
+    request.payload = std::move(payload);
+    request.priority = Priority::High;
+    request.deadline = deadline;
+    request.retries_left = 3;
+    return request;
+  };
+  const auto expect_intact = [&](const Request& request, const char* after) {
+    const auto& payload = std::get<ActivationRequest>(request.payload);
+    ASSERT_EQ(payload.input.size(), 2u) << after;
+    EXPECT_EQ(payload.input[0].raw(), -301) << after;
+    EXPECT_EQ(payload.input[1].raw(), 77) << after;
+    EXPECT_EQ(payload.function, Function::Exp) << after;
+    EXPECT_EQ(request.priority, Priority::High) << after;
+    ASSERT_TRUE(request.deadline.has_value()) << after;
+    EXPECT_EQ(*request.deadline, deadline) << after;
+    EXPECT_EQ(request.retries_left, 3u) << after;
+    EXPECT_FALSE(request.hedge_copy) << after;
+    ASSERT_NE(payload.result, nullptr) << after;
+    EXPECT_FALSE(payload.result->done()) << after;
+  };
+
+  ShardQueue full_queue{1};
+  Request filler = tagged_request(1);
+  ASSERT_EQ(full_queue.try_push(filler, 1), ShardQueue::Push::Ok);
+  ShardQueue stopped_queue{1};
+  stopped_queue.stop();
+
+  Request request = make();
+  EXPECT_EQ(full_queue.try_push(request, 1), ShardQueue::Push::Full);
+  expect_intact(request, "after Full");
+  EXPECT_EQ(stopped_queue.try_push(request, 1), ShardQueue::Push::Stopped);
+  expect_intact(request, "after Stopped");
+}
+
+TEST(ShardQueue, RequestSurvivingManyFullProbesDispatchesBitIdentically) {
+  // Regression for the probe loop end-to-end: a request bounced off N full
+  // shards, finally accepted, drained through a MicroBatcher and executed,
+  // must produce exactly the bits direct evaluation produces — the N Full
+  // rejections must not have corrupted the payload they did not consume.
+  const NacuConfig config = config_for_bits(16);
+  const BatchNacu engine{config};
+  const std::vector<fp::Fixed> input = {
+      fp::Fixed::from_double(-3.5, config.format),
+      fp::Fixed::from_double(0.125, config.format),
+      fp::Fixed::from_double(6.0, config.format)};
+  const std::vector<fp::Fixed> want = engine.evaluate(Function::Tanh, input);
+
+  Request request;
+  {
+    ActivationRequest payload;
+    payload.function = Function::Tanh;
+    payload.input = input;
+    request.payload = std::move(payload);
+  }
+  std::future<std::vector<fp::Fixed>> future =
+      std::get<ActivationRequest>(request.payload).result->get_future();
+
+  ShardQueue full_queue{1};
+  Request filler = tagged_request(1);
+  ASSERT_EQ(full_queue.try_push(filler, 1), ShardQueue::Push::Ok);
+  constexpr int kProbes = 16;
+  for (int probe = 0; probe < kProbes; ++probe) {
+    ASSERT_EQ(full_queue.try_push(request, 1), ShardQueue::Push::Full)
+        << "probe " << probe;
+  }
+
+  ShardQueue home{4};
+  ASSERT_EQ(home.try_push(request, 4), ShardQueue::Push::Ok);
+  MicroBatcher batcher{BatcherOptions{.max_batch = 4}};
+  ASSERT_EQ(home.drain_into(
+                [&](Request&& r) { batcher.push(std::move(r)); }, 4),
+            1u);
+  std::vector<Request> group = batcher.take_group();
+  home.on_taken(group.size());
+  ASSERT_EQ(group.size(), 1u);
+
+  auto& payload = std::get<ActivationRequest>(group.front().payload);
+  ASSERT_TRUE(
+      payload.result->set_value(engine.evaluate(payload.function,
+                                                payload.input)));
+  const std::vector<fp::Fixed> got = future.get();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].raw(), want[i].raw()) << "element " << i;
+  }
 }
 
 }  // namespace
