@@ -41,10 +41,15 @@ import sys
 # threads, faults, clients) are string-ified into the match key instead.
 # Careful with short fragments: "ms" is a substring of "elems", so
 # millisecond metrics match on "_ms" (detection_ms_mean, recovery_ms_mean).
+# The nacu-dse-v1 fragments: error/rmse (accuracy), _bits (storage),
+# area_um2/power_mw (hardware cost) — all regress upward.
 LOWER_IS_BETTER = ("ns_per", "latency", "seconds", "bytes", "p50", "p99",
-                   "_ms")
+                   "_ms", "error", "rmse", "_bits", "area_um2", "power_mw")
 MATCH_NUMERIC_KEYS = ("elems", "trials", "threads", "faults", "clients",
-                      "shards", "kills", "injected", "configs")
+                      "shards", "kills", "injected", "configs",
+                      # nacu-dse-v1 design-point identity (two budgets can
+                      # share one impl name when a search converges):
+                      "budget", "entries", "samples", "servable")
 
 
 def load_records(path):

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate a nacu-dse-v1 frontier file (structure, types, invariants).
+
+Usage:
+    python3 scripts/check_dse_schema.py BENCH_dse.json
+    python3 scripts/check_dse_schema.py BENCH_dse.json \
+        --min-families 4 --min-formats 3   # full-sweep coverage gate
+
+Checks, in order:
+  1. document shape — {"schema": "nacu-dse-v1", "records": [...]};
+  2. per-record fields — every required key present with the right JSON
+     type, error metrics finite and non-negative, counts positive;
+  3. frontier invariants — no duplicate design point, no baseline point
+     dominated within its function group on (max_abs_error, rmse,
+     storage_bits, area_um2), no servable NACU config dominated at config
+     granularity, and every servable config complete (sigmoid+tanh+exp);
+  4. optional coverage floors (--min-families/--min-formats) per function,
+     counting baseline families only (NACU rows ride on top).
+
+Exit 0 when clean; exit 1 listing every violation. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "nacu-dse-v1"
+STRING_FIELDS = ("function", "family", "format", "impl")
+COUNT_FIELDS = ("budget", "entries", "storage_bits", "table_bytes",
+                "samples", "servable")
+METRIC_FIELDS = ("max_abs_error", "rmse", "mean_abs_error", "worst_x", "ge",
+                 "area_um2", "power_mw", "elems_per_s")
+FUNCTIONS = ("sigmoid", "tanh", "exp")
+
+
+def check_record(index, record, errors):
+    label = f"records[{index}]"
+    if not isinstance(record, dict):
+        errors.append(f"{label}: not an object")
+        return False
+    ok = True
+    for key in STRING_FIELDS:
+        if not isinstance(record.get(key), str) or not record.get(key):
+            errors.append(f"{label}: '{key}' missing or not a string")
+            ok = False
+    for key in COUNT_FIELDS:
+        value = record.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{label}: '{key}' missing or not a count")
+            ok = False
+    for key in METRIC_FIELDS:
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            errors.append(f"{label}: '{key}' missing or not finite")
+            ok = False
+    if not ok:
+        return False
+    if record["function"] not in FUNCTIONS:
+        errors.append(f"{label}: unknown function '{record['function']}'")
+        ok = False
+    if record["servable"] not in (0, 1):
+        errors.append(f"{label}: 'servable' must be 0 or 1")
+        ok = False
+    for key in ("max_abs_error", "rmse", "mean_abs_error"):
+        if record[key] < 0:
+            errors.append(f"{label}: '{key}' is negative")
+            ok = False
+    # entries/storage_bits may be zero (table-less designs: Gomar, and the
+    # CORDIC datapath counts its angle ROM in ge, not storage) — but an
+    # empty error sweep is always a bug.
+    if record["samples"] == 0:
+        errors.append(f"{label}: 'samples' is zero")
+        ok = False
+    if record["area_um2"] <= 0 or record["ge"] <= 0:
+        errors.append(f"{label}: non-positive hardware cost")
+        ok = False
+    return ok
+
+
+def dominates(a, b):
+    axes = ("max_abs_error", "rmse", "storage_bits", "area_um2")
+    if any(a[k] > b[k] for k in axes):
+        return False
+    return any(a[k] < b[k] for k in axes)
+
+
+def check_frontier_invariants(records, errors):
+    seen = set()
+    for r in records:
+        key = (r["function"], r["family"], r["format"], r["impl"],
+               r["budget"])
+        if key in seen:
+            errors.append(f"duplicate design point {key}")
+        seen.add(key)
+
+    for fn in FUNCTIONS:
+        group = [r for r in records
+                 if r["function"] == fn and not r["servable"]]
+        for a in group:
+            for b in group:
+                if a is not b and dominates(a, b):
+                    errors.append(
+                        f"{fn}: {a['impl']}@{a['format']} dominates "
+                        f"{b['impl']}@{b['format']}")
+
+    configs = {}
+    for r in records:
+        if r["servable"]:
+            configs.setdefault((r["format"], r["budget"]), {})[
+                r["function"]] = r
+    for key, rows in configs.items():
+        if set(rows) != set(FUNCTIONS):
+            errors.append(
+                f"servable config {key} incomplete: has {sorted(rows)}")
+    complete = {k: v for k, v in configs.items()
+                if set(v) == set(FUNCTIONS)}
+    for ka, a in complete.items():
+        for kb, b in complete.items():
+            if ka == kb:
+                continue
+            sa, sb = a["sigmoid"], b["sigmoid"]
+            all_le = (sa["storage_bits"] <= sb["storage_bits"]
+                      and sa["area_um2"] <= sb["area_um2"])
+            any_lt = (sa["storage_bits"] < sb["storage_bits"]
+                      or sa["area_um2"] < sb["area_um2"])
+            for fn in FUNCTIONS:
+                ea, eb = a[fn]["max_abs_error"], b[fn]["max_abs_error"]
+                all_le = all_le and ea <= eb
+                any_lt = any_lt or ea < eb
+            if all_le and any_lt:
+                errors.append(f"servable config {ka} dominates {kb}")
+
+
+def check_coverage(records, min_families, min_formats, errors):
+    for fn in FUNCTIONS:
+        group = [r for r in records if r["function"] == fn]
+        if not group:
+            errors.append(f"no records for function '{fn}'")
+            continue
+        families = {r["family"] for r in group if not r["servable"]}
+        formats = {r["format"] for r in group}
+        if len(families) < min_families:
+            errors.append(
+                f"{fn}: {len(families)} baseline families "
+                f"({sorted(families)}), need >= {min_families}")
+        if len(formats) < min_formats:
+            errors.append(
+                f"{fn}: {len(formats)} formats ({sorted(formats)}), "
+                f"need >= {min_formats}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("frontier")
+    parser.add_argument("--min-families", type=int, default=1,
+                        help="per-function baseline-family floor")
+    parser.add_argument("--min-formats", type=int, default=1,
+                        help="per-function Q-format floor")
+    args = parser.parse_args()
+
+    try:
+        with open(args.frontier, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.frontier}: {exc}")
+        return 1
+
+    errors = []
+    if not isinstance(document, dict):
+        errors.append("top level is not an object")
+    elif document.get("schema") != SCHEMA:
+        errors.append(
+            f"schema is {document.get('schema')!r}, want '{SCHEMA}'")
+    elif not isinstance(document.get("records"), list):
+        errors.append("'records' missing or not an array")
+    elif not document["records"]:
+        errors.append("'records' is empty")
+    else:
+        records = document["records"]
+        clean = [r for i, r in enumerate(records)
+                 if check_record(i, r, errors)]
+        if clean:
+            check_frontier_invariants(clean, errors)
+            check_coverage(clean, args.min_families, args.min_formats,
+                           errors)
+
+    if errors:
+        for line in errors:
+            print(f"  [BAD] {line}")
+        print(f"{len(errors)} schema violation(s) in {args.frontier}")
+        return 1
+    count = len(document["records"])
+    print(f"{args.frontier}: valid {SCHEMA} frontier, {count} records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plot a nacu-dse-v1 Pareto frontier: error vs cost, one panel per function.
+
+Usage:
+    python3 scripts/plot_dse.py BENCH_dse.json [-o dse_frontier.png]
+        [--x area_um2|storage_bits|table_bytes|power_mw]
+
+Each panel scatters the frontier for one activation function with
+max_abs_error (log scale) against the chosen cost axis (log scale),
+coloured by family; servable NACU points get a star marker — the staircase
+the autotuner's select() walks down. Requires matplotlib (not a repo
+dependency): without it the script explains and exits 2 so docs/CI can
+call it opportunistically.
+"""
+
+import argparse
+import json
+import sys
+
+FUNCTIONS = ("sigmoid", "tanh", "exp")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("frontier")
+    parser.add_argument("-o", "--output", default="dse_frontier.png")
+    parser.add_argument(
+        "--x", default="area_um2",
+        choices=("area_um2", "storage_bits", "table_bytes", "power_mw"),
+        help="cost axis (default area_um2)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("plot_dse.py: matplotlib is not installed; skipping plot "
+              "(the frontier JSON itself is the canonical artifact)")
+        return 2
+
+    with open(args.frontier, encoding="utf-8") as f:
+        document = json.load(f)
+    if document.get("schema") != "nacu-dse-v1":
+        print(f"error: {args.frontier} is not a nacu-dse-v1 file")
+        return 1
+    records = document["records"]
+
+    families = sorted({r["family"] for r in records})
+    cmap = plt.get_cmap("tab10")
+    colors = {fam: cmap(i % 10) for i, fam in enumerate(families)}
+
+    fig, axes = plt.subplots(1, len(FUNCTIONS), figsize=(15, 4.5),
+                             sharey=True)
+    for ax, fn in zip(axes, FUNCTIONS):
+        group = [r for r in records if r["function"] == fn]
+        for fam in families:
+            pts = [r for r in group if r["family"] == fam]
+            if not pts:
+                continue
+            servable = bool(pts[0]["servable"])
+            ax.scatter([p[args.x] for p in pts],
+                       [p["max_abs_error"] for p in pts],
+                       s=80 if servable else 28,
+                       marker="*" if servable else "o",
+                       color=colors[fam], label=fam,
+                       alpha=0.85, edgecolors="none")
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_title(fn)
+        ax.set_xlabel(args.x)
+        ax.grid(True, which="both", alpha=0.25)
+    axes[0].set_ylabel("max abs error (exhaustive)")
+    axes[-1].legend(fontsize=8, loc="upper right")
+    fig.suptitle("NACU DSE Pareto frontier (nacu-dse-v1)")
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output} ({len(records)} frontier points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+#include "approx/family_registry.hpp"
+
+#include <stdexcept>
+
+#include "approx/cordic.hpp"
+#include "approx/gomar.hpp"
+#include "approx/lut.hpp"
+#include "approx/nupwl.hpp"
+#include "approx/parabolic.hpp"
+#include "approx/polynomial.hpp"
+#include "approx/pwl.hpp"
+#include "approx/ralut.hpp"
+
+namespace nacu::approx {
+
+std::string to_string(SweepFamily family) {
+  switch (family) {
+    case SweepFamily::Lut:
+      return "LUT";
+    case SweepFamily::Ralut:
+      return "RALUT";
+    case SweepFamily::Pwl:
+      return "PWL";
+    case SweepFamily::Nupwl:
+      return "NUPWL";
+    case SweepFamily::Taylor:
+      return "Taylor";
+    case SweepFamily::Cordic:
+      return "CORDIC";
+    case SweepFamily::Parabolic:
+      return "Parabolic";
+    case SweepFamily::Gomar:
+      return "Gomar";
+  }
+  return "?";  // unreachable
+}
+
+SweepFamily parse_sweep_family(const std::string& name) {
+  for (const SweepFamily family : all_sweep_families()) {
+    if (to_string(family) == name) {
+      return family;
+    }
+  }
+  throw std::invalid_argument("unknown sweep family: " + name);
+}
+
+const std::vector<SweepFamily>& all_sweep_families() {
+  static const std::vector<SweepFamily> families{
+      SweepFamily::Lut,      SweepFamily::Ralut,     SweepFamily::Pwl,
+      SweepFamily::Nupwl,    SweepFamily::Taylor,    SweepFamily::Cordic,
+      SweepFamily::Parabolic, SweepFamily::Gomar,
+  };
+  return families;
+}
+
+bool supports(SweepFamily family, FunctionKind kind) {
+  switch (family) {
+    case SweepFamily::Cordic:
+    case SweepFamily::Parabolic:
+      return kind == FunctionKind::Exp;
+    default:
+      return true;
+  }
+}
+
+std::vector<std::size_t> sweep_budgets(SweepFamily family) {
+  switch (family) {
+    case SweepFamily::Lut:
+    case SweepFamily::Ralut:
+      return {16, 32, 64, 128, 256};
+    case SweepFamily::Pwl:
+    case SweepFamily::Nupwl:
+      return {4, 8, 16, 32, 64};
+    case SweepFamily::Taylor:
+      return {2, 4, 8, 16};
+    case SweepFamily::Cordic:
+      return {8, 12, 16};
+    case SweepFamily::Parabolic:
+      return {1, 2, 3};
+    case SweepFamily::Gomar:
+      return {0};
+  }
+  return {};  // unreachable
+}
+
+ApproximatorPtr build_sweep(SweepFamily family, FunctionKind kind,
+                            fp::Format fmt, std::size_t budget) {
+  if (!supports(family, kind)) {
+    throw std::invalid_argument(to_string(family) +
+                                " cannot approximate " + to_string(kind));
+  }
+  switch (family) {
+    case SweepFamily::Lut:
+      return std::make_unique<UniformLut>(
+          UniformLut::natural_config(kind, fmt, budget == 0 ? 64 : budget));
+    case SweepFamily::Ralut:
+      return std::make_unique<Ralut>(
+          Ralut::with_max_entries(kind, fmt, budget == 0 ? 64 : budget));
+    case SweepFamily::Pwl: {
+      auto config = Pwl::natural_config(kind, fmt, budget == 0 ? 32 : budget);
+      config.datapath_rounding = fp::Rounding::NearestEven;
+      return std::make_unique<Pwl>(config);
+    }
+    case SweepFamily::Nupwl:
+      return std::make_unique<Nupwl>(
+          Nupwl::with_max_entries(kind, fmt, budget == 0 ? 32 : budget));
+    case SweepFamily::Taylor:
+      return std::make_unique<Polynomial>(Polynomial::natural_config(
+          kind, fmt, /*order=*/2, budget == 0 ? 8 : budget,
+          Polynomial::FitMode::Taylor));
+    case SweepFamily::Cordic:
+      return std::make_unique<CordicExp>(CordicExp::natural_config(
+          fmt, budget == 0 ? 14 : static_cast<int>(budget)));
+    case SweepFamily::Parabolic:
+      return std::make_unique<ParabolicExp>(ParabolicExp::natural_config(
+          fmt, budget == 0 ? 2 : static_cast<int>(budget)));
+    case SweepFamily::Gomar: {
+      if (kind == FunctionKind::Exp) {
+        GomarExp::Config config;
+        config.in = fmt;
+        config.out = fmt;
+        return std::make_unique<GomarExp>(config);
+      }
+      GomarSigmoidTanh::Config config;
+      config.kind = kind;
+      config.in = fmt;
+      config.out = fmt;
+      return std::make_unique<GomarSigmoidTanh>(config);
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace nacu::approx

@@ -1,0 +1,70 @@
+// Uniform construction of every §VI approximation family (DSE sweep axis).
+//
+// search.hpp's Family enum covers the four σ/tanh table families Fig. 4
+// compares; the design-space explorer (src/dse/) sweeps the *whole* related-
+// work spectrum — including the exp-only designs (CORDIC, parabolic
+// synthesis) and the table-less change-of-base unit (Gomar). This registry
+// gives them one constructor signature: (family, function, format, budget),
+// where the budget parameter means whatever "size" means for that family:
+//
+//   family      budget means                    budget = 0 picks
+//   Lut         table entries                   64
+//   Ralut       max table entries (bisected)    64
+//   Pwl         segments                        32
+//   Nupwl       max segments (bisected)         32
+//   Taylor      segments (order fixed at 2)     8
+//   Cordic      micro-rotations                 14
+//   Parabolic   parabolic factors               2
+//   Gomar       ignored (the design has no knob)
+//
+// Unsupported (family, function) pairs — e.g. CORDIC sigmoid — throw
+// std::invalid_argument rather than silently substituting; the sweep driver
+// filters with supports() first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/approximator.hpp"
+
+namespace nacu::approx {
+
+/// Every buildable family, superset of search.hpp's Family.
+enum class SweepFamily {
+  Lut,
+  Ralut,
+  Pwl,
+  Nupwl,
+  Taylor,     ///< segmented order-2 polynomial (Polynomial, FitMode::Taylor)
+  Cordic,     ///< hyperbolic CORDIC (exp only)
+  Parabolic,  ///< parabolic synthesis (exp only)
+  Gomar,      ///< change-of-base shift-add (no size knob)
+};
+
+[[nodiscard]] std::string to_string(SweepFamily family);
+
+/// Inverse of to_string (case-sensitive); throws std::invalid_argument on
+/// an unknown name.
+[[nodiscard]] SweepFamily parse_sweep_family(const std::string& name);
+
+/// All families, in a stable sweep order.
+[[nodiscard]] const std::vector<SweepFamily>& all_sweep_families();
+
+/// Whether @p family can approximate @p kind (CORDIC/parabolic are
+/// exp-only; everything else covers all three functions).
+[[nodiscard]] bool supports(SweepFamily family, FunctionKind kind);
+
+/// The family's natural size grid for a sweep — ascending budgets that
+/// trace its error/cost curve (a single element for Gomar).
+[[nodiscard]] std::vector<std::size_t> sweep_budgets(SweepFamily family);
+
+/// Build a member of @p family for @p kind in @p fmt at the given budget
+/// (see the table above; 0 = the family default). Domain is the natural
+/// one: σ/tanh on the full format range, exp on [-In_max, 0]. Throws
+/// std::invalid_argument when the pair is unsupported or the format cannot
+/// carry the family's derived coefficient grids.
+[[nodiscard]] ApproximatorPtr build_sweep(SweepFamily family,
+                                          FunctionKind kind, fp::Format fmt,
+                                          std::size_t budget);
+
+}  // namespace nacu::approx

@@ -1,0 +1,369 @@
+#include "dse/dse.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "approx/error_analysis.hpp"
+#include "fixedpoint/fixed.hpp"
+#include "core/batch_nacu.hpp"
+#include "core/nacu_approximator.hpp"
+#include "fixedpoint/format_select.hpp"
+#include "hwcost/approx_cost.hpp"
+#include "hwcost/nacu_cost.hpp"
+#include "hwcost/technology.hpp"
+
+namespace nacu::dse {
+
+namespace {
+
+/// The natural sweep domain on the raw grid (mirrors analyze_natural).
+void natural_domain(approx::FunctionKind kind, fp::Format in,
+                    std::int64_t& lo, std::int64_t& hi) {
+  if (kind == approx::FunctionKind::Exp) {
+    lo = fp::Fixed::from_double(-fp::input_max(in), in).raw();
+    hi = 0;
+  } else {
+    lo = in.min_raw();
+    hi = in.max_raw();
+  }
+}
+
+/// Best-of-3 scalar evaluate throughput over a strided domain sample.
+double scalar_throughput(const approx::Approximator& unit) {
+  const fp::Format in = unit.input_format();
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  natural_domain(unit.function(), in, lo, hi);
+  constexpr std::size_t kSamples = 4096;
+  const std::uint64_t count = static_cast<std::uint64_t>(hi - lo) + 1;
+  const std::int64_t stride = static_cast<std::int64_t>(
+      count > kSamples ? count / kSamples : 1);
+  std::vector<fp::Fixed> inputs;
+  inputs.reserve(kSamples);
+  for (std::int64_t raw = lo; raw <= hi && inputs.size() < kSamples;
+       raw += stride) {
+    inputs.push_back(fp::Fixed::from_raw(raw, in));
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const fp::Fixed& x : inputs) {
+      sink += unit.evaluate(x).raw();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (sink == std::numeric_limits<std::int64_t>::min()) {
+      continue;  // keep the accumulation observable
+    }
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(inputs.size()) / seconds);
+    }
+  }
+  return best;
+}
+
+/// Best-of-3 BatchNacu table-path throughput over the full domain.
+double batch_throughput(const core::NacuConfig& config,
+                        approx::FunctionKind kind) {
+  core::BatchNacu engine{config};
+  if (!engine.table_cacheable()) {
+    return 0.0;
+  }
+  const core::BatchNacu::Function f =
+      kind == approx::FunctionKind::Sigmoid
+          ? core::BatchNacu::Function::Sigmoid
+          : kind == approx::FunctionKind::Tanh
+                ? core::BatchNacu::Function::Tanh
+                : core::BatchNacu::Function::Exp;
+  engine.warm(f);
+  const fp::Format in = config.format;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  natural_domain(kind, in, lo, hi);
+  std::vector<fp::Fixed> inputs;
+  inputs.reserve(static_cast<std::size_t>(hi - lo) + 1);
+  for (std::int64_t raw = lo; raw <= hi; ++raw) {
+    inputs.push_back(fp::Fixed::from_raw(raw, in));
+  }
+  std::vector<fp::Fixed> outputs(inputs.size(), fp::Fixed::zero(in));
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.evaluate(f, inputs, outputs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (seconds > 0.0) {
+      best = std::max(best, static_cast<double>(inputs.size()) / seconds);
+    }
+  }
+  return best;
+}
+
+void fill_error_stats(DsePoint& point, const approx::Approximator& unit,
+                      std::size_t max_samples) {
+  const approx::ErrorStats stats = analyze_natural(unit, max_samples);
+  point.max_abs_error = stats.max_abs;
+  point.rmse = stats.rmse;
+  point.mean_abs_error = stats.mean_abs;
+  point.worst_x = stats.worst_x;
+  point.samples = stats.samples;
+}
+
+cost::Function cost_function_for(approx::FunctionKind kind) {
+  switch (kind) {
+    case approx::FunctionKind::Sigmoid:
+      return cost::Function::Sigmoid;
+    case approx::FunctionKind::Tanh:
+      return cost::Function::Tanh;
+    case approx::FunctionKind::Exp:
+      return cost::Function::Exp;
+  }
+  return cost::Function::Sigmoid;  // unreachable
+}
+
+/// Deterministic point order: function, area, storage, error, impl.
+bool point_less(const DsePoint& a, const DsePoint& b) {
+  if (a.function != b.function) {
+    return a.function < b.function;
+  }
+  if (a.area_um2 != b.area_um2) {
+    return a.area_um2 < b.area_um2;
+  }
+  if (a.storage_bits != b.storage_bits) {
+    return a.storage_bits < b.storage_bits;
+  }
+  if (a.max_abs_error != b.max_abs_error) {
+    return a.max_abs_error < b.max_abs_error;
+  }
+  return a.impl < b.impl;
+}
+
+bool same_axes(const DsePoint& a, const DsePoint& b) {
+  return a.max_abs_error == b.max_abs_error && a.rmse == b.rmse &&
+         a.storage_bits == b.storage_bits && a.area_um2 == b.area_um2;
+}
+
+/// A NACU config's position in (per-function error, storage, area) space.
+struct NacuConfigAxes {
+  std::map<std::string, double> error;  ///< function name → max_abs_error
+  std::size_t storage_bits = 0;
+  double area_um2 = 0.0;
+  std::vector<std::size_t> point_indices;
+};
+
+/// Config-granularity dominance over the union of swept functions; a
+/// config missing a function's row counts as +inf there (never dominated
+/// on an axis it did not measure).
+bool config_dominates(const NacuConfigAxes& a, const NacuConfigAxes& b,
+                      const std::vector<std::string>& functions) {
+  bool strict = false;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const std::string& f : functions) {
+    const auto ita = a.error.find(f);
+    const auto itb = b.error.find(f);
+    const double ea = ita == a.error.end() ? kInf : ita->second;
+    const double eb = itb == b.error.end() ? kInf : itb->second;
+    if (ea > eb) {
+      return false;
+    }
+    strict = strict || ea < eb;
+  }
+  if (a.storage_bits > b.storage_bits || a.area_um2 > b.area_um2) {
+    return false;
+  }
+  strict = strict || a.storage_bits < b.storage_bits ||
+           a.area_um2 < b.area_um2;
+  return strict;
+}
+
+}  // namespace
+
+core::NacuConfig nacu_config_for(fp::Format format, std::size_t lut_entries) {
+  core::NacuConfig config;
+  config.format = format;
+  config.lut_entries = lut_entries;
+  config.coeff_format = fp::Format{1, format.width() - 2};
+  return config;
+}
+
+std::vector<DsePoint> sweep(const SweepOptions& options) {
+  std::vector<DsePoint> points;
+
+  for (const approx::FunctionKind kind : options.functions) {
+    // Baseline families.
+    for (const approx::SweepFamily family : options.families) {
+      if (!supports(family, kind)) {
+        continue;
+      }
+      const std::vector<std::size_t> budgets =
+          options.budgets.empty() ? approx::sweep_budgets(family)
+                                  : options.budgets;
+      for (const fp::Format& fmt : options.formats) {
+        for (const std::size_t budget : budgets) {
+          approx::ApproximatorPtr unit;
+          try {
+            unit = approx::build_sweep(family, kind, fmt, budget);
+          } catch (const std::invalid_argument&) {
+            if (options.skip_failed_builds) {
+              continue;
+            }
+            throw;
+          }
+          DsePoint point;
+          point.function = approx::to_string(kind);
+          point.family = approx::to_string(family);
+          point.format = fmt.to_string();
+          point.impl = unit->name();
+          point.budget = budget;
+          point.entries = unit->table_entries();
+          point.storage_bits = unit->storage_bits();
+          point.table_bytes = (point.storage_bits + 7) / 8;
+          fill_error_stats(point, *unit, options.max_samples);
+          const cost::ApproxUnitCost cost =
+              cost::approx_unit_cost(family, *unit, budget);
+          point.ge = cost.ge;
+          point.area_um2 = cost.area_um2;
+          point.power_mw = cost.total_mw();
+          if (options.measure_throughput) {
+            point.elems_per_s = scalar_throughput(*unit);
+          }
+          points.push_back(std::move(point));
+          if (family == approx::SweepFamily::Gomar) {
+            break;  // no size knob: one point per (function, format)
+          }
+        }
+      }
+    }
+
+    // Servable NACU points.
+    for (const fp::Format& fmt : options.formats) {
+      for (const std::size_t lut_entries : options.nacu_lut_entries) {
+        core::NacuConfig config;
+        std::shared_ptr<core::Nacu> unit;
+        try {
+          config = nacu_config_for(fmt, lut_entries);
+          unit = std::make_shared<core::Nacu>(config);
+        } catch (const std::exception&) {
+          if (options.skip_failed_builds) {
+            continue;
+          }
+          throw;
+        }
+        const core::NacuApproximator adapter{unit, kind};
+        DsePoint point;
+        point.function = approx::to_string(kind);
+        point.family = "NACU";
+        point.format = fmt.to_string();
+        point.impl = adapter.name() + "(" + std::to_string(lut_entries) + ")";
+        point.budget = lut_entries;
+        point.entries = adapter.table_entries();
+        point.storage_bits = adapter.storage_bits();
+        point.table_bytes = (point.storage_bits + 7) / 8;
+        point.servable = true;
+        fill_error_stats(point, adapter, options.max_samples);
+        const cost::Breakdown breakdown = cost::nacu_breakdown(config);
+        point.ge = breakdown.total_ge();
+        point.area_um2 = breakdown.area_um2();
+        point.power_mw =
+            cost::power_for_function(breakdown, cost_function_for(kind),
+                                     cost::Tech28::kClockNs)
+                .total_mw();
+        if (options.measure_throughput) {
+          point.elems_per_s = batch_throughput(config, kind);
+        }
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+bool dominates(const DsePoint& a, const DsePoint& b) {
+  if (a.max_abs_error > b.max_abs_error || a.rmse > b.rmse ||
+      a.storage_bits > b.storage_bits || a.area_um2 > b.area_um2) {
+    return false;
+  }
+  return a.max_abs_error < b.max_abs_error || a.rmse < b.rmse ||
+         a.storage_bits < b.storage_bits || a.area_um2 < b.area_um2;
+}
+
+std::vector<DsePoint> pareto_frontier(std::vector<DsePoint> points) {
+  std::sort(points.begin(), points.end(), point_less);
+
+  std::vector<DsePoint> frontier;
+
+  // Baseline points: per-function four-axis dominance + duplicate drop.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& candidate = points[i];
+    if (candidate.servable) {
+      continue;
+    }
+    bool keep = true;
+    for (std::size_t j = 0; j < points.size() && keep; ++j) {
+      if (i == j || points[j].servable ||
+          points[j].function != candidate.function) {
+        continue;
+      }
+      if (dominates(points[j], candidate)) {
+        keep = false;
+      } else if (j < i && same_axes(points[j], candidate)) {
+        keep = false;  // exact duplicate: first in sort order wins
+      }
+    }
+    if (keep) {
+      frontier.push_back(candidate);
+    }
+  }
+
+  // Servable NACU points: config-granularity dominance.
+  std::map<std::string, NacuConfigAxes> configs;
+  std::vector<std::string> functions;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& point = points[i];
+    if (!point.servable) {
+      continue;
+    }
+    const std::string key =
+        point.format + "/" + std::to_string(point.budget);
+    NacuConfigAxes& axes = configs[key];
+    axes.error[point.function] = point.max_abs_error;
+    axes.storage_bits = point.storage_bits;
+    axes.area_um2 = point.area_um2;
+    axes.point_indices.push_back(i);
+    if (std::find(functions.begin(), functions.end(), point.function) ==
+        functions.end()) {
+      functions.push_back(point.function);
+    }
+  }
+  for (const auto& [key, axes] : configs) {
+    bool keep = true;
+    for (const auto& [other_key, other] : configs) {
+      if (other_key == key) {
+        continue;
+      }
+      if (config_dominates(other, axes, functions) ||
+          (other_key < key && !config_dominates(axes, other, functions) &&
+           other.storage_bits == axes.storage_bits &&
+           other.area_um2 == axes.area_um2 && other.error == axes.error)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      for (const std::size_t index : axes.point_indices) {
+        frontier.push_back(points[index]);
+      }
+    }
+  }
+
+  std::sort(frontier.begin(), frontier.end(), point_less);
+  return frontier;
+}
+
+}  // namespace nacu::dse

@@ -1,0 +1,119 @@
+// Design-space exploration over approximation family × size × Q(ib).(fb)
+// format (ROADMAP item 2; methodology of "Design Space Exploration of
+// Neural Network Activation Function Circuits").
+//
+// The paper's §VI comparison fixes one operating point per related-work
+// family; src/approx/ implements every family and src/hwcost/ prices them,
+// but until this module nothing searched the space. sweep() builds every
+// (family, function, format, budget) combination, scores each point
+// exhaustively on the §VII metrics — max/RMS error over every representable
+// input via approx/error_analysis — plus table storage, structural 28 nm
+// area/power, and measured throughput; pareto_frontier() prunes the result
+// to the non-dominated set a consumer actually chooses from.
+//
+// Two classes of point travel through the pipeline:
+//
+//  * baseline points — the §VI families (approx/family_registry.hpp).
+//    Reference hardware designs: they can be compared, not booted.
+//  * servable points (family "NACU", servable = 1) — the repo's own Fig. 2
+//    datapath at (format × lut_entries), scored through the identical
+//    harness via core::NacuApproximator and timed through core::BatchNacu's
+//    table path. These are the points dse::select() can turn into a running
+//    server (select.hpp), so dominance treats them at *config* granularity:
+//    a NACU config is one point in (σ error, tanh error, exp error,
+//    storage, area) space, and either all three of its function rows
+//    survive or none do — a frontier never offers a config it cannot boot
+//    all three functions from.
+//
+// Dominance (definitions the tests pin):
+//  * baseline points compare within one (function, format-agnostic) group
+//    on (max_abs_error, rmse, storage_bits, area_um2): A dominates B when
+//    A ≤ B on every axis and A < B on at least one. Exact duplicates on
+//    all four axes keep only the first in deterministic sort order.
+//  * NACU configs compare on (σ/tanh/exp max_abs_error, storage_bits,
+//    area_um2) with the same ≤/< rule.
+// Throughput is reported, never a dominance axis: it is machine-measured
+// and would make the frontier non-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "approx/family_registry.hpp"
+#include "core/nacu.hpp"
+#include "fixedpoint/format.hpp"
+
+namespace nacu::dse {
+
+/// One scored design point — flat on purpose: every field maps 1:1 onto a
+/// record of the nacu-dse-v1 JSON (frontier_io.hpp).
+struct DsePoint {
+  std::string function;  ///< "sigmoid" | "tanh" | "exp"
+  std::string family;    ///< family_registry name, or "NACU" for servable
+  std::string format;    ///< "Q4.11" textual form of the in/out format
+  std::string impl;      ///< Approximator::name(), e.g. "RALUT(57)"
+  std::size_t budget = 0;        ///< sweep size knob (family semantics)
+  std::size_t entries = 0;       ///< realised table/coefficient entries
+  std::size_t storage_bits = 0;  ///< Approximator::storage_bits()
+  std::size_t table_bytes = 0;   ///< ceil(storage_bits / 8)
+  std::size_t samples = 0;       ///< error-sweep sample count (exhaustive)
+  double max_abs_error = 0.0;
+  double rmse = 0.0;
+  double mean_abs_error = 0.0;
+  double worst_x = 0.0;  ///< input where max_abs_error occurred
+  double ge = 0.0;       ///< structural gate equivalents
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  double elems_per_s = 0.0;  ///< measured; 0 when timing was disabled
+  bool servable = false;     ///< can boot a server via dse::select
+};
+
+struct SweepOptions {
+  std::vector<approx::FunctionKind> functions{
+      approx::FunctionKind::Sigmoid, approx::FunctionKind::Tanh,
+      approx::FunctionKind::Exp};
+  std::vector<approx::SweepFamily> families = approx::all_sweep_families();
+  std::vector<fp::Format> formats{
+      fp::Format{4, 11}, fp::Format{3, 12}, fp::Format{3, 8},
+      fp::Format{2, 5}};
+  /// Override the per-family budget grid (empty = sweep_budgets(family)).
+  std::vector<std::size_t> budgets{};
+  /// Also sweep the servable NACU datapath at formats × these LUT entry
+  /// counts (empty disables the NACU rows).
+  std::vector<std::size_t> nacu_lut_entries{16, 32, 53, 96};
+  /// Error-sweep sample budget per point; the default covers any ≤ 22-bit
+  /// domain exhaustively (every format here is far below that).
+  std::size_t max_samples = std::size_t{1} << 22;
+  /// Measure throughput (scalar Approximator::evaluate loops; BatchNacu
+  /// table-path batches for NACU points). Off = elems_per_s stays 0.
+  bool measure_throughput = true;
+  /// A point whose build throws (format too narrow for the family's
+  /// derived coefficient grid, unreachable entry budget) is skipped when
+  /// true; rethrown when false.
+  bool skip_failed_builds = true;
+};
+
+/// The NacuConfig a servable point (format, lut_entries) boots with —
+/// shared by the sweep, dse::select and the bit-identity tests so the
+/// engine the frontier scored and the engine the server runs are the same
+/// config by construction. Coefficients store at Q1.(width−2), the paper's
+/// datapath-width choice.
+[[nodiscard]] core::NacuConfig nacu_config_for(fp::Format format,
+                                               std::size_t lut_entries);
+
+/// Score every point of the grid (no pruning). Deterministic apart from
+/// elems_per_s.
+[[nodiscard]] std::vector<DsePoint> sweep(const SweepOptions& options);
+
+/// Prune @p points to the Pareto frontier under the header's dominance
+/// definitions. Order is deterministic: by function, then ascending
+/// area_um2, storage_bits, max_abs_error, impl.
+[[nodiscard]] std::vector<DsePoint> pareto_frontier(
+    std::vector<DsePoint> points);
+
+/// True when @p a dominates @p b under the baseline four-axis rule
+/// (callers must compare points of one function group only).
+[[nodiscard]] bool dominates(const DsePoint& a, const DsePoint& b);
+
+}  // namespace nacu::dse

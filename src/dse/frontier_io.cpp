@@ -1,0 +1,379 @@
+#include "dse/frontier_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace nacu::dse {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool& first) {
+  if (!first) {
+    out += ',';
+  }
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += escape(value);
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, double value,
+                  bool& first) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  if (!first) {
+    out += ',';
+  }
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, std::size_t value,
+                  bool& first) {
+  if (!first) {
+    out += ',';
+  }
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+/// Recursive-descent parser over the nacu-dse-v1 subset of JSON.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_{text} {}
+
+  std::vector<DsePoint> parse() {
+    skip_ws();
+    expect('{');
+    std::vector<DsePoint> points;
+    bool saw_schema = false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) {
+        expect(',');
+        skip_ws();
+      }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "schema") {
+        const std::string schema = parse_string();
+        if (schema != kFrontierSchema) {
+          fail("schema is \"" + schema + "\", want \"" + kFrontierSchema +
+               "\"");
+        }
+        saw_schema = true;
+      } else if (key == "records") {
+        points = parse_records();
+      } else {
+        skip_value();
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+    }
+    if (!saw_schema) {
+      fail("document has no \"schema\" field");
+    }
+    return points;
+  }
+
+ private:
+  std::vector<DsePoint> parse_records() {
+    expect('[');
+    std::vector<DsePoint> points;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return points;
+    }
+    while (true) {
+      skip_ws();
+      points.push_back(parse_record());
+      skip_ws();
+      const char c = next();
+      if (c == ']') {
+        return points;
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in records array");
+      }
+    }
+  }
+
+  DsePoint parse_record() {
+    expect('{');
+    DsePoint point;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return point;
+      }
+      if (!first) {
+        expect(',');
+        skip_ws();
+      }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "function") {
+        point.function = parse_string();
+      } else if (key == "family") {
+        point.family = parse_string();
+      } else if (key == "format") {
+        point.format = parse_string();
+      } else if (key == "impl") {
+        point.impl = parse_string();
+      } else if (key == "budget") {
+        point.budget = static_cast<std::size_t>(parse_number());
+      } else if (key == "entries") {
+        point.entries = static_cast<std::size_t>(parse_number());
+      } else if (key == "storage_bits") {
+        point.storage_bits = static_cast<std::size_t>(parse_number());
+      } else if (key == "table_bytes") {
+        point.table_bytes = static_cast<std::size_t>(parse_number());
+      } else if (key == "samples") {
+        point.samples = static_cast<std::size_t>(parse_number());
+      } else if (key == "max_abs_error") {
+        point.max_abs_error = parse_number();
+      } else if (key == "rmse") {
+        point.rmse = parse_number();
+      } else if (key == "mean_abs_error") {
+        point.mean_abs_error = parse_number();
+      } else if (key == "worst_x") {
+        point.worst_x = parse_number();
+      } else if (key == "ge") {
+        point.ge = parse_number();
+      } else if (key == "area_um2") {
+        point.area_um2 = parse_number();
+      } else if (key == "power_mw") {
+        point.power_mw = parse_number();
+      } else if (key == "elems_per_s") {
+        point.elems_per_s = parse_number();
+      } else if (key == "servable") {
+        point.servable = parse_number() != 0.0;
+      } else {
+        skip_value();  // forward compatibility
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("unterminated escape");
+        }
+        out += text_[pos_++];
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a number");
+    }
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number \"" + text_.substr(start, pos_ - start) + "\"");
+    }
+    return 0.0;  // unreachable
+  }
+
+  /// Skip any value (used for unknown fields): string, number, object,
+  /// array, or literal.
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+      return;
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      int depth = 1;
+      while (depth > 0) {
+        if (pos_ >= text_.size()) {
+          fail("unterminated value");
+        }
+        const char d = text_[pos_];
+        if (d == '"') {
+          parse_string();
+          continue;
+        }
+        ++pos_;
+        if (d == c) {
+          ++depth;
+        } else if (d == close) {
+          --depth;
+        }
+      }
+      return;
+    }
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']') {
+      ++pos_;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+    }
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string{"expected '"} + c + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("nacu-dse-v1 parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const std::vector<DsePoint>& points) {
+  std::string out = "{\n  \"schema\": \"";
+  out += kFrontierSchema;
+  out += "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& p = points[i];
+    std::string record = "    {";
+    bool first = true;
+    append_field(record, "function", p.function, first);
+    append_field(record, "family", p.family, first);
+    append_field(record, "format", p.format, first);
+    append_field(record, "impl", p.impl, first);
+    append_field(record, "budget", p.budget, first);
+    append_field(record, "entries", p.entries, first);
+    append_field(record, "storage_bits", p.storage_bits, first);
+    append_field(record, "table_bytes", p.table_bytes, first);
+    append_field(record, "samples", p.samples, first);
+    append_field(record, "max_abs_error", p.max_abs_error, first);
+    append_field(record, "rmse", p.rmse, first);
+    append_field(record, "mean_abs_error", p.mean_abs_error, first);
+    append_field(record, "worst_x", p.worst_x, first);
+    append_field(record, "ge", p.ge, first);
+    append_field(record, "area_um2", p.area_um2, first);
+    append_field(record, "power_mw", p.power_mw, first);
+    append_field(record, "elems_per_s", p.elems_per_s, first);
+    append_field(record, "servable", std::size_t{p.servable ? 1u : 0u},
+                 first);
+    record += '}';
+    if (i + 1 < points.size()) {
+      record += ',';
+    }
+    out += record;
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool write_frontier(const std::vector<DsePoint>& points,
+                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = to_json(points);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return ok && closed;
+}
+
+std::vector<DsePoint> parse_frontier(const std::string& json) {
+  return Parser{json}.parse();
+}
+
+std::vector<DsePoint> read_frontier(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error("cannot read frontier file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_frontier(buffer.str());
+}
+
+}  // namespace nacu::dse

@@ -1,0 +1,44 @@
+// nacu-dse-v1 frontier files: the committed artifact between a DSE run and
+// a booting server.
+//
+// The on-disk shape is the repo's bench_json layout —
+// {"schema": "nacu-dse-v1", "records": [flat maps]} — so
+// scripts/bench_compare.py gates a fresh sweep against
+// bench/baselines/BENCH_dse.json with no extra tooling. One record per
+// DsePoint, field names identical to the struct members; doubles print with
+// 17 significant digits so a write → read round trip is bit-exact (the
+// frontier-reproduction test depends on it). servable serialises as 0/1.
+//
+// The reader is a deliberately small recursive-descent parser for exactly
+// this subset of JSON (objects, arrays, strings with \"/\\ escapes,
+// numbers) — the repo takes no third-party JSON dependency. Unknown record
+// fields are ignored (forward compatibility); a wrong schema string, syntax
+// error, or non-numeric/missing required field throws std::runtime_error
+// with the offending path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/dse.hpp"
+
+namespace nacu::dse {
+
+inline constexpr const char* kFrontierSchema = "nacu-dse-v1";
+
+/// Serialise @p points as a nacu-dse-v1 document (not yet on disk).
+[[nodiscard]] std::string to_json(const std::vector<DsePoint>& points);
+
+/// Write @p points to @p path; false on I/O error.
+[[nodiscard]] bool write_frontier(const std::vector<DsePoint>& points,
+                                  const std::string& path);
+
+/// Parse a nacu-dse-v1 document. Throws std::runtime_error on syntax or
+/// schema mismatch.
+[[nodiscard]] std::vector<DsePoint> parse_frontier(const std::string& json);
+
+/// Read + parse @p path. Throws std::runtime_error (unreadable file or
+/// parse failure).
+[[nodiscard]] std::vector<DsePoint> read_frontier(const std::string& path);
+
+}  // namespace nacu::dse

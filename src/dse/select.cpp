@@ -1,0 +1,114 @@
+#include "dse/select.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "dse/frontier_io.hpp"
+#include "obs/metrics.hpp"
+
+namespace nacu::dse {
+
+namespace {
+
+struct ConfigRows {
+  const DsePoint* sigmoid = nullptr;
+  const DsePoint* tanh = nullptr;
+  const DsePoint* exp = nullptr;
+  [[nodiscard]] bool complete() const noexcept {
+    return sigmoid != nullptr && tanh != nullptr && exp != nullptr;
+  }
+};
+
+double cap_for(double override_cap, double default_cap) {
+  return std::isnan(override_cap) ? default_cap : override_cap;
+}
+
+}  // namespace
+
+std::optional<Selection> select(const std::vector<DsePoint>& frontier,
+                                const ErrorBudget& budget) {
+  // Group servable rows by config. The map key is (format text, entries) —
+  // format text sorts deterministically and entries breaks ties, giving
+  // the documented format/entries order for equal-cost candidates.
+  std::map<std::pair<std::string, std::size_t>, ConfigRows> configs;
+  for (const DsePoint& point : frontier) {
+    if (!point.servable) {
+      continue;
+    }
+    ConfigRows& rows = configs[{point.format, point.budget}];
+    if (point.function == "sigmoid") {
+      rows.sigmoid = &point;
+    } else if (point.function == "tanh") {
+      rows.tanh = &point;
+    } else if (point.function == "exp") {
+      rows.exp = &point;
+    }
+  }
+
+  const double sigmoid_cap =
+      cap_for(budget.sigmoid_max_abs, budget.max_abs_error);
+  const double tanh_cap = cap_for(budget.tanh_max_abs, budget.max_abs_error);
+  const double exp_cap = cap_for(budget.exp_max_abs, budget.max_abs_error);
+
+  std::optional<Selection> best;
+  for (const auto& [key, rows] : configs) {
+    if (!rows.complete()) {
+      continue;  // cannot boot all three functions from this config
+    }
+    if (rows.sigmoid->max_abs_error > sigmoid_cap ||
+        rows.tanh->max_abs_error > tanh_cap ||
+        rows.exp->max_abs_error > exp_cap) {
+      continue;
+    }
+    const std::size_t storage = rows.sigmoid->storage_bits;
+    const double area = rows.sigmoid->area_um2;
+    if (budget.max_storage_bits != 0 && storage > budget.max_storage_bits) {
+      continue;
+    }
+    if (budget.max_area_um2 > 0.0 && area > budget.max_area_um2) {
+      continue;
+    }
+    if (best &&
+        (best->area_um2 < area ||
+         (best->area_um2 == area && best->storage_bits <= storage))) {
+      continue;  // existing candidate is cheaper (or equal + earlier key)
+    }
+    Selection choice;
+    choice.format = fp::Format::parse(key.first);
+    choice.lut_entries = key.second;
+    choice.config = nacu_config_for(choice.format, choice.lut_entries);
+    choice.storage_bits = storage;
+    choice.area_um2 = area;
+    choice.sigmoid_max_abs = rows.sigmoid->max_abs_error;
+    choice.tanh_max_abs = rows.tanh->max_abs_error;
+    choice.exp_max_abs = rows.exp->max_abs_error;
+    best = choice;
+  }
+  return best;
+}
+
+std::optional<Selection> select_from_file(const std::string& path,
+                                          const ErrorBudget& budget) {
+  return select(read_frontier(path), budget);
+}
+
+std::unique_ptr<serve::InferenceServer> make_server(
+    const Selection& selection, serve::ServerOptions options) {
+  obs::gauge("dse.selected.format_ib").set(selection.format.integer_bits());
+  obs::gauge("dse.selected.format_fb")
+      .set(selection.format.fractional_bits());
+  obs::gauge("dse.selected.lut_entries")
+      .set(static_cast<std::int64_t>(selection.lut_entries));
+  obs::gauge("dse.selected.storage_bits")
+      .set(static_cast<std::int64_t>(selection.storage_bits));
+  obs::gauge("dse.selected.sigmoid_error_nano")
+      .set(static_cast<std::int64_t>(selection.sigmoid_max_abs * 1e9));
+  obs::gauge("dse.selected.tanh_error_nano")
+      .set(static_cast<std::int64_t>(selection.tanh_max_abs * 1e9));
+  obs::gauge("dse.selected.exp_error_nano")
+      .set(static_cast<std::int64_t>(selection.exp_max_abs * 1e9));
+  return std::make_unique<serve::InferenceServer>(selection.config,
+                                                  std::move(options));
+}
+
+}  // namespace nacu::dse

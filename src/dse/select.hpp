@@ -1,0 +1,84 @@
+// Frontier → running server: the selection seam of the autotuner.
+//
+// A DSE run commits its Pareto frontier (frontier_io.hpp); at startup a
+// server turns an *error budget* — the accuracy its workload tolerates —
+// into the cheapest servable NACU config on that frontier and boots from
+// it. The deploy decision becomes a reviewed number in a config file
+// instead of a hand-picked Q-format:
+//
+//     auto frontier = dse::read_frontier("bench/baselines/BENCH_dse.json");
+//     auto choice = dse::select(frontier, {.max_abs_error = 1e-2});
+//     auto server = dse::make_server(*choice);   // serve::InferenceServer
+//
+// select() considers only servable points (family "NACU"), at config
+// granularity: a config qualifies when the frontier carries all three of
+// its function rows (a server boots σ, tanh *and* exp) and every row meets
+// its function's error cap plus the optional storage/area ceilings. Among
+// qualifying configs the cheapest wins: least area, then least storage,
+// then the deterministic format/entries order. The returned Selection's
+// config comes from nacu_config_for(), i.e. exactly the config the sweep
+// scored — an engine booted from a Selection is bit-identical to one
+// configured directly (pinned by tests/test_dse.cpp).
+//
+// make_server() publishes the choice: dse.selected.* gauges (format bits,
+// LUT entries, error caps in nano-units) so dashboards show which operating
+// point is live, and — because net::NetServer reads the engine format off
+// the server it wraps — the Hello handshake's format bytes advertise the
+// selected Q(ib).(fb) to every connecting client with no extra wiring.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/dse.hpp"
+#include "serve/server.hpp"
+
+namespace nacu::dse {
+
+/// Accuracy/resource ceilings a selected config must satisfy. Error caps
+/// compare against the frontier's exhaustively-measured max_abs_error.
+struct ErrorBudget {
+  /// Cap applied to every function's max absolute error.
+  double max_abs_error = 1e-2;
+  /// Per-function overrides; NaN (default) inherits max_abs_error.
+  double sigmoid_max_abs = std::numeric_limits<double>::quiet_NaN();
+  double tanh_max_abs = std::numeric_limits<double>::quiet_NaN();
+  double exp_max_abs = std::numeric_limits<double>::quiet_NaN();
+  /// 0 = unconstrained.
+  std::size_t max_storage_bits = 0;
+  double max_area_um2 = 0.0;
+};
+
+/// The chosen operating point: the bootable config plus the frontier
+/// evidence it was chosen on.
+struct Selection {
+  core::NacuConfig config;      ///< nacu_config_for(format, lut_entries)
+  fp::Format format{4, 11};
+  std::size_t lut_entries = 0;
+  std::size_t storage_bits = 0;
+  double area_um2 = 0.0;
+  double sigmoid_max_abs = 0.0;  ///< frontier-measured, per function
+  double tanh_max_abs = 0.0;
+  double exp_max_abs = 0.0;
+};
+
+/// Cheapest servable frontier config meeting @p budget, or nullopt when no
+/// config qualifies (budget tighter than the frontier's best point).
+[[nodiscard]] std::optional<Selection> select(
+    const std::vector<DsePoint>& frontier, const ErrorBudget& budget);
+
+/// read_frontier(path) + select(). Throws std::runtime_error when the file
+/// is unreadable/unparsable (budget misses return nullopt, as above).
+[[nodiscard]] std::optional<Selection> select_from_file(
+    const std::string& path, const ErrorBudget& budget);
+
+/// Boot a serve::InferenceServer from @p selection and publish the choice
+/// as dse.selected.* gauges (format_ib, format_fb, lut_entries,
+/// storage_bits, plus *_error_nano per function: max_abs × 1e9 as int).
+[[nodiscard]] std::unique_ptr<serve::InferenceServer> make_server(
+    const Selection& selection, serve::ServerOptions options = {});
+
+}  // namespace nacu::dse

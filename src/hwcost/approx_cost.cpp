@@ -1,0 +1,62 @@
+#include "hwcost/approx_cost.hpp"
+
+#include "approx/reference.hpp"
+#include "hwcost/baseline_costs.hpp"
+#include "hwcost/technology.hpp"
+
+namespace nacu::cost {
+
+namespace {
+
+double unit_ge(approx::SweepFamily family, const approx::Approximator& unit,
+               std::size_t budget) {
+  const int in_bits = unit.input_format().width();
+  const int out_bits = unit.output_format().width();
+  const std::size_t entries = unit.table_entries();
+  switch (family) {
+    case approx::SweepFamily::Lut:
+      return lut_unit_ge(entries, in_bits, out_bits);
+    case approx::SweepFamily::Ralut:
+      return ralut_unit_ge(entries, in_bits, out_bits);
+    case approx::SweepFamily::Pwl:
+      // natural_config stores coefficients at Q1.(N−2): width N−1.
+      return pwl_unit_ge(entries, in_bits, in_bits - 1);
+    case approx::SweepFamily::Nupwl:
+      return nupwl_unit_ge(entries, in_bits, in_bits - 1);
+    case approx::SweepFamily::Taylor:
+      // natural_config stores coefficients at Q2.(N−3): width N.
+      return polynomial_unit_ge(entries, /*order=*/2, in_bits, in_bits);
+    case approx::SweepFamily::Cordic:
+      // budget micro-rotations + the two mandated hyperbolic repeats.
+      return cordic_unit_ge(static_cast<int>(budget) + 2, in_bits);
+    case approx::SweepFamily::Parabolic:
+      return parabolic_unit_ge(static_cast<int>(budget), in_bits);
+    case approx::SweepFamily::Gomar:
+      return gomar_unit_ge(
+          in_bits, unit.function() != approx::FunctionKind::Exp);
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace
+
+ApproxUnitCost approx_unit_cost(approx::SweepFamily family,
+                                const approx::Approximator& unit,
+                                std::size_t budget, double clock_ns) {
+  if (clock_ns <= 0.0) {
+    clock_ns = Tech28::kClockNs;
+  }
+  ApproxUnitCost cost;
+  cost.ge = unit_ge(family, unit, budget);
+  cost.area_um2 = cost.ge * Tech28::kGateAreaUm2 * Tech28::kLayoutOverhead;
+  // Same activity assumption as power_for_function (nacu_cost.cpp): the
+  // whole unit is one function's datapath, so everything toggles.
+  constexpr double kActivity = 0.15;
+  const double freq_hz = 1e9 / clock_ns;
+  cost.dynamic_mw =
+      cost.ge * Tech28::kEnergyPerGeFj * kActivity * freq_hz * 1e-12;
+  cost.leakage_mw = cost.ge * Tech28::kLeakagePerGeNw * 1e-6;
+  return cost;
+}
+
+}  // namespace nacu::cost

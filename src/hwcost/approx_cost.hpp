@@ -1,0 +1,37 @@
+// Per-design-point costing for the DSE sweep (src/dse/).
+//
+// baseline_costs.hpp prices each related-work architecture from its own
+// structural parameters; this header closes the loop for the autotuner: one
+// call takes a family tag plus the approximator the sweep just built and
+// returns gate equivalents, post-layout 28 nm area, and the activity-model
+// power — the same Tech28 constants and activity assumption the NACU
+// breakdown uses, so DSE points and nacu_breakdown() areas are directly
+// comparable on one axis.
+#pragma once
+
+#include "approx/approximator.hpp"
+#include "approx/family_registry.hpp"
+
+namespace nacu::cost {
+
+struct ApproxUnitCost {
+  double ge = 0.0;          ///< gate equivalents
+  double area_um2 = 0.0;    ///< post-layout 28 nm (gate area × overhead)
+  double dynamic_mw = 0.0;  ///< activity-model switching power at the clock
+  double leakage_mw = 0.0;
+  [[nodiscard]] double total_mw() const noexcept {
+    return dynamic_mw + leakage_mw;
+  }
+};
+
+/// Cost of one @p family unit as built. @p budget is the sweep's size knob
+/// (family_registry.hpp semantics) — needed where the Approximator
+/// interface does not expose the structural parameter (CORDIC iterations,
+/// parabolic factors); table families read entries off @p unit directly.
+/// @p clock_ns defaults to the paper's 267 MHz operating point.
+[[nodiscard]] ApproxUnitCost approx_unit_cost(approx::SweepFamily family,
+                                              const approx::Approximator& unit,
+                                              std::size_t budget,
+                                              double clock_ns = 0.0);
+
+}  // namespace nacu::cost

@@ -47,6 +47,36 @@ double cordic_unit_ge(int iterations, int data_bits) {
   return iterations * per_iteration;
 }
 
+double nupwl_unit_ge(std::size_t segments, int data_bits, int coeff_bits) {
+  // The uniform PWL datapath, but segment selection costs what the RALUT
+  // pays: a boundary constant + magnitude comparator per segment and a
+  // priority encoder, since non-uniform boundaries cannot be a bit slice.
+  const double addressing =
+      static_cast<double>(segments) *
+          (comparator_ge(data_bits) + data_bits * rom_bit_ge()) +
+      static_cast<double>(segments) * 1.5;
+  return pwl_unit_ge(segments, data_bits, coeff_bits) + addressing;
+}
+
+double gomar_unit_ge(int data_bits, bool with_divider) {
+  // x·log2(e) as a 3-term shift-add (the multiplier-less constant multiply
+  // of [12]), the 2^k barrel shifter (log2(n) mux levels), and the 1+f
+  // incrementer; σ/tanh [11] add the restoring divider array.
+  const int shift_levels = [] (int bits) {
+    int levels = 0;
+    while ((1 << levels) < bits) {
+      ++levels;
+    }
+    return levels;
+  }(data_bits);
+  double ge = 3 * adder_ge(data_bits) + shift_levels * mux2_ge(data_bits) +
+              incrementer_ge(data_bits) + register_ge(2 * data_bits);
+  if (with_divider) {
+    ge += data_bits * divider_row_ge(data_bits) + register_ge(2 * data_bits);
+  }
+  return ge;
+}
+
 double parabolic_unit_ge(int factors, int data_bits) {
   // Per factor: Horner chain for c0 + c1·w + c2·w² (two multiply-adds) and
   // the running product multiplier.

@@ -37,4 +37,17 @@ namespace nacu::cost {
 /// plus the inter-factor multiplier.
 [[nodiscard]] double parabolic_unit_ge(int factors, int data_bits);
 
+/// Non-uniform PWL unit: the PWL datapath plus RALUT-style segment
+/// addressing (one boundary comparator + boundary constant per segment and
+/// a priority encode, instead of the uniform unit's free bit-slice index).
+[[nodiscard]] double nupwl_unit_ge(std::size_t segments, int data_bits,
+                                   int coeff_bits);
+
+/// Gomar change-of-base unit [11, 12]: constant ×log2(e) as a shift-add
+/// tree, integer/fraction split, barrel shifter for the 2^k scaling, and
+/// the 1+f line. @p with_divider adds the restoring divider array the σ and
+/// tanh variants need on top of exp (the per-layer divider §VII.A calls
+/// out).
+[[nodiscard]] double gomar_unit_ge(int data_bits, bool with_divider);
+
 }  // namespace nacu::cost

@@ -1,0 +1,404 @@
+// Tests for the design-space explorer: sweep coverage, Pareto dominance,
+// frontier reproduction, nacu-dse-v1 round-tripping, and the select() →
+// server seam (ISSUE acceptance criteria live here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "approx/error_analysis.hpp"
+#include "approx/family_registry.hpp"
+#include "core/batch_nacu.hpp"
+#include "core/nacu_approximator.hpp"
+#include "dse/dse.hpp"
+#include "dse/frontier_io.hpp"
+#include "dse/select.hpp"
+#include "obs/metrics.hpp"
+
+namespace nacu::dse {
+namespace {
+
+/// A small but representative grid: two baseline families × two formats ×
+/// two budgets, plus two servable NACU sizes. Swept once per process.
+SweepOptions small_options() {
+  SweepOptions options;
+  options.families = {approx::SweepFamily::Lut, approx::SweepFamily::Pwl};
+  options.formats = {fp::Format{4, 11}, fp::Format{2, 5}};
+  options.budgets = {8, 32};
+  options.nacu_lut_entries = {16, 53};
+  options.measure_throughput = false;
+  return options;
+}
+
+const std::vector<DsePoint>& small_sweep() {
+  static const std::vector<DsePoint> points = sweep(small_options());
+  return points;
+}
+
+const std::vector<DsePoint>& small_frontier() {
+  static const std::vector<DsePoint> frontier =
+      pareto_frontier(small_sweep());
+  return frontier;
+}
+
+TEST(DseSweep, CoversTheWholeGrid) {
+  const auto& points = small_sweep();
+  std::set<std::string> functions;
+  std::set<std::string> families;
+  std::set<std::string> formats;
+  for (const DsePoint& p : points) {
+    functions.insert(p.function);
+    families.insert(p.family);
+    formats.insert(p.format);
+  }
+  EXPECT_EQ(functions,
+            (std::set<std::string>{"sigmoid", "tanh", "exp"}));
+  EXPECT_EQ(families, (std::set<std::string>{"LUT", "PWL", "NACU"}));
+  EXPECT_EQ(formats, (std::set<std::string>{"Q4.11", "Q2.5"}));
+  // Upper bound: the full grid. Lower bound: all twelve servable rows plus
+  // the twelve Q4.11 baseline points build unconditionally (narrow formats
+  // may skip a baseline budget).
+  EXPECT_LE(points.size(), 3u * (2u * 2u * 2u + 2u * 2u));
+  EXPECT_GE(points.size(), 24u);
+}
+
+TEST(DseSweep, ErrorSweepsAreExhaustive) {
+  for (const DsePoint& p : small_sweep()) {
+    const fp::Format fmt = fp::Format::parse(p.format);
+    const std::size_t domain = std::size_t{1} << fmt.width();
+    // σ/tanh sweep the full grid; exp sweeps [−In_max, 0], which on the
+    // raw grid is min_raw+1 … 0 — exactly half the domain.
+    const std::size_t expected =
+        p.function == "exp" ? domain / 2 : domain;
+    EXPECT_EQ(p.samples, expected) << p.function << " " << p.impl;
+  }
+}
+
+TEST(DseFrontier, IsASubsetOfTheSweep) {
+  const auto& points = small_sweep();
+  for (const DsePoint& f : small_frontier()) {
+    const bool found = std::any_of(
+        points.begin(), points.end(), [&](const DsePoint& p) {
+          return p.function == f.function && p.impl == f.impl &&
+                 p.format == f.format && p.budget == f.budget &&
+                 p.max_abs_error == f.max_abs_error && p.rmse == f.rmse;
+        });
+    EXPECT_TRUE(found) << f.function << " " << f.impl;
+  }
+}
+
+TEST(DseFrontier, NoBaselinePointIsDominated) {
+  const auto& frontier = small_frontier();
+  for (const DsePoint& a : frontier) {
+    for (const DsePoint& b : frontier) {
+      if (&a == &b || a.servable || b.servable ||
+          a.function != b.function) {
+        continue;
+      }
+      EXPECT_FALSE(dominates(a, b))
+          << a.impl << "@" << a.format << " dominates " << b.impl << "@"
+          << b.format << " (" << a.function << ")";
+    }
+  }
+}
+
+TEST(DseFrontier, NoNacuConfigIsDominated) {
+  // Re-derive the config axes and check pairwise non-dominance on
+  // (σ err, tanh err, exp err, storage, area).
+  struct Axes {
+    std::map<std::string, double> err;
+    std::size_t storage = 0;
+    double area = 0.0;
+  };
+  std::map<std::string, Axes> configs;
+  for (const DsePoint& p : small_frontier()) {
+    if (!p.servable) {
+      continue;
+    }
+    Axes& axes = configs[p.format + "/" + std::to_string(p.budget)];
+    axes.err[p.function] = p.max_abs_error;
+    axes.storage = p.storage_bits;
+    axes.area = p.area_um2;
+  }
+  ASSERT_FALSE(configs.empty());
+  for (const auto& [ka, a] : configs) {
+    // A surviving config always carries all three bootable function rows.
+    EXPECT_EQ(a.err.size(), 3u) << ka;
+    for (const auto& [kb, b] : configs) {
+      if (ka == kb) {
+        continue;
+      }
+      bool all_le = a.storage <= b.storage && a.area <= b.area;
+      bool any_lt = a.storage < b.storage || a.area < b.area;
+      for (const auto& [fn, ea] : a.err) {
+        const double eb = b.err.at(fn);
+        all_le = all_le && ea <= eb;
+        any_lt = any_lt || ea < eb;
+      }
+      EXPECT_FALSE(all_le && any_lt) << ka << " dominates " << kb;
+    }
+  }
+}
+
+TEST(DseFrontier, EveryPointReproducesUnderIndependentReEvaluation) {
+  const SweepOptions options = small_options();
+  for (const DsePoint& p : small_frontier()) {
+    const fp::Format fmt = fp::Format::parse(p.format);
+    approx::ApproximatorPtr rebuilt;
+    if (p.servable) {
+      rebuilt = std::make_unique<core::NacuApproximator>(
+          std::make_shared<core::Nacu>(nacu_config_for(fmt, p.budget)),
+          p.function == "sigmoid" ? approx::FunctionKind::Sigmoid
+          : p.function == "tanh"  ? approx::FunctionKind::Tanh
+                                  : approx::FunctionKind::Exp);
+    } else {
+      rebuilt = approx::build_sweep(
+          approx::parse_sweep_family(p.family),
+          p.function == "sigmoid" ? approx::FunctionKind::Sigmoid
+          : p.function == "tanh"  ? approx::FunctionKind::Tanh
+                                  : approx::FunctionKind::Exp,
+          fmt, p.budget);
+    }
+    const approx::ErrorStats stats =
+        analyze_natural(*rebuilt, options.max_samples);
+    // Exact equality: same deterministic pipeline, same process.
+    EXPECT_EQ(stats.max_abs, p.max_abs_error) << p.impl << "@" << p.format;
+    EXPECT_EQ(stats.rmse, p.rmse) << p.impl << "@" << p.format;
+    EXPECT_EQ(stats.mean_abs, p.mean_abs_error) << p.impl << "@" << p.format;
+    EXPECT_EQ(stats.samples, p.samples) << p.impl << "@" << p.format;
+    EXPECT_EQ(rebuilt->storage_bits(), p.storage_bits)
+        << p.impl << "@" << p.format;
+  }
+}
+
+TEST(DseJson, RoundTripIsBitExact) {
+  const auto& frontier = small_frontier();
+  const std::vector<DsePoint> parsed = parse_frontier(to_json(frontier));
+  ASSERT_EQ(parsed.size(), frontier.size());
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const DsePoint& a = frontier[i];
+    const DsePoint& b = parsed[i];
+    EXPECT_EQ(a.function, b.function);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.format, b.format);
+    EXPECT_EQ(a.impl, b.impl);
+    EXPECT_EQ(a.budget, b.budget);
+    EXPECT_EQ(a.entries, b.entries);
+    EXPECT_EQ(a.storage_bits, b.storage_bits);
+    EXPECT_EQ(a.table_bytes, b.table_bytes);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.max_abs_error, b.max_abs_error);  // %.17g: exact
+    EXPECT_EQ(a.rmse, b.rmse);
+    EXPECT_EQ(a.mean_abs_error, b.mean_abs_error);
+    EXPECT_EQ(a.worst_x, b.worst_x);
+    EXPECT_EQ(a.ge, b.ge);
+    EXPECT_EQ(a.area_um2, b.area_um2);
+    EXPECT_EQ(a.power_mw, b.power_mw);
+    EXPECT_EQ(a.servable, b.servable);
+  }
+}
+
+TEST(DseJson, FileWriteThenReadMatches) {
+  const std::string path = testing::TempDir() + "dse_roundtrip.json";
+  ASSERT_TRUE(write_frontier(small_frontier(), path));
+  const std::vector<DsePoint> read = read_frontier(path);
+  EXPECT_EQ(read.size(), small_frontier().size());
+}
+
+TEST(DseJson, WrongSchemaIsRejected) {
+  EXPECT_THROW(
+      parse_frontier(R"({"schema": "nacu-bench-v1", "records": []})"),
+      std::runtime_error);
+}
+
+TEST(DseJson, MissingSchemaIsRejected) {
+  EXPECT_THROW(parse_frontier(R"({"records": []})"), std::runtime_error);
+}
+
+TEST(DseJson, GarbageIsRejected) {
+  EXPECT_THROW(parse_frontier("not json"), std::runtime_error);
+  EXPECT_THROW(parse_frontier(R"({"schema": "nacu-dse-v1", "records": [)"),
+               std::runtime_error);
+}
+
+TEST(DseJson, UnknownRecordFieldsAreIgnored) {
+  const auto parsed = parse_frontier(
+      R"({"schema": "nacu-dse-v1", "records": [)"
+      R"({"function":"sigmoid","future_field":{"nested":[1,2]},"budget":8}]})");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].function, "sigmoid");
+  EXPECT_EQ(parsed[0].budget, 8u);
+}
+
+TEST(DseSelect, PicksTheCheapestConfigMeetingTheBudget) {
+  ErrorBudget budget;
+  budget.max_abs_error = 5e-3;
+  const auto choice = select(small_frontier(), budget);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LE(choice->sigmoid_max_abs, budget.max_abs_error);
+  EXPECT_LE(choice->tanh_max_abs, budget.max_abs_error);
+  EXPECT_LE(choice->exp_max_abs, budget.max_abs_error);
+  // Brute-force check: no qualifying config is cheaper.
+  std::map<std::string, std::map<std::string, const DsePoint*>> configs;
+  for (const DsePoint& p : small_frontier()) {
+    if (p.servable) {
+      configs[p.format + "/" + std::to_string(p.budget)][p.function] = &p;
+    }
+  }
+  for (const auto& [key, rows] : configs) {
+    if (rows.size() != 3) {
+      continue;
+    }
+    bool fits = true;
+    for (const auto& [fn, p] : rows) {
+      fits = fits && p->max_abs_error <= budget.max_abs_error;
+    }
+    if (fits) {
+      EXPECT_GE(rows.begin()->second->area_um2, choice->area_um2) << key;
+    }
+  }
+}
+
+TEST(DseSelect, ImpossibleBudgetReturnsNullopt) {
+  ErrorBudget budget;
+  budget.max_abs_error = 1e-12;  // below every quantisation floor
+  EXPECT_FALSE(select(small_frontier(), budget).has_value());
+}
+
+TEST(DseSelect, ResourceCeilingsFilterCandidates) {
+  ErrorBudget budget;
+  budget.max_abs_error = 5e-3;
+  const auto unconstrained = select(small_frontier(), budget);
+  ASSERT_TRUE(unconstrained.has_value());
+  budget.max_area_um2 = unconstrained->area_um2 - 1.0;
+  const auto constrained = select(small_frontier(), budget);
+  if (constrained.has_value()) {
+    EXPECT_LT(constrained->area_um2, unconstrained->area_um2);
+  }
+  budget.max_area_um2 = 0.0;
+  budget.max_storage_bits = 1;  // nothing fits one bit of storage
+  EXPECT_FALSE(select(small_frontier(), budget).has_value());
+}
+
+TEST(DseSelect, SelectionUsesTheSweepsOwnConfig) {
+  ErrorBudget budget;
+  budget.max_abs_error = 5e-3;
+  const auto choice = select(small_frontier(), budget);
+  ASSERT_TRUE(choice.has_value());
+  const core::NacuConfig direct =
+      nacu_config_for(choice->format, choice->lut_entries);
+  EXPECT_EQ(choice->config.format, direct.format);
+  EXPECT_EQ(choice->config.lut_entries, direct.lut_entries);
+  EXPECT_EQ(choice->config.coeff_format, direct.coeff_format);
+}
+
+TEST(DseSelect, ServerFromSelectionIsBitIdenticalToDirectEngine) {
+  ErrorBudget budget;
+  budget.max_abs_error = 5e-3;  // tight: only the best configs qualify
+  const auto choice = select(small_frontier(), budget);
+  ASSERT_TRUE(choice.has_value());
+
+  const core::NacuConfig direct_config =
+      nacu_config_for(choice->format, choice->lut_entries);
+  core::BatchNacu direct{direct_config};
+  const auto server = make_server(*choice);
+
+  const fp::Format fmt = choice->format;
+  std::vector<fp::Fixed> domain;
+  domain.reserve(static_cast<std::size_t>(fmt.max_raw() - fmt.min_raw()) + 1);
+  for (std::int64_t raw = fmt.min_raw(); raw <= fmt.max_raw(); ++raw) {
+    domain.push_back(fp::Fixed::from_raw(raw, fmt));
+  }
+  constexpr std::size_t kChunk = 8192;
+  for (const auto f :
+       {core::BatchNacu::Function::Sigmoid, core::BatchNacu::Function::Tanh,
+        core::BatchNacu::Function::Exp}) {
+    const std::vector<fp::Fixed> want = direct.evaluate(f, domain);
+    for (std::size_t start = 0; start < domain.size(); start += kChunk) {
+      const std::size_t n = std::min(kChunk, domain.size() - start);
+      std::vector<fp::Fixed> chunk{domain.begin() + start,
+                                   domain.begin() + start + n};
+      const std::vector<fp::Fixed> got =
+          server->submit(f, std::move(chunk)).get();
+      ASSERT_EQ(got.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i].raw(), want[start + i].raw())
+            << "function " << static_cast<int>(f) << " raw input "
+            << domain[start + i].raw();
+      }
+    }
+  }
+}
+
+TEST(DseSelect, MakeServerPublishesSelectionGauges) {
+  ErrorBudget budget;
+  budget.max_abs_error = 5e-3;
+  const auto choice = select(small_frontier(), budget);
+  ASSERT_TRUE(choice.has_value());
+  obs::set_metrics_enabled(true);
+  {
+    serve::ServerOptions options;
+    options.warm_tables = false;
+    const auto server = make_server(*choice, options);
+    EXPECT_EQ(obs::gauge("dse.selected.format_ib").value(),
+              choice->format.integer_bits());
+    EXPECT_EQ(obs::gauge("dse.selected.format_fb").value(),
+              choice->format.fractional_bits());
+    EXPECT_EQ(obs::gauge("dse.selected.lut_entries").value(),
+              static_cast<std::int64_t>(choice->lut_entries));
+    EXPECT_EQ(obs::gauge("dse.selected.storage_bits").value(),
+              static_cast<std::int64_t>(choice->storage_bits));
+    EXPECT_GT(obs::gauge("dse.selected.sigmoid_error_nano").value(), 0);
+  }
+  obs::set_metrics_enabled(false);
+}
+
+TEST(FamilyRegistry, NamesRoundTrip) {
+  for (const approx::SweepFamily family : approx::all_sweep_families()) {
+    EXPECT_EQ(approx::parse_sweep_family(approx::to_string(family)), family);
+  }
+  EXPECT_THROW((void)approx::parse_sweep_family("no-such-family"),
+               std::invalid_argument);
+}
+
+TEST(FamilyRegistry, UnsupportedPairsThrow) {
+  EXPECT_FALSE(approx::supports(approx::SweepFamily::Cordic,
+                                approx::FunctionKind::Sigmoid));
+  EXPECT_FALSE(approx::supports(approx::SweepFamily::Parabolic,
+                                approx::FunctionKind::Tanh));
+  EXPECT_THROW(approx::build_sweep(approx::SweepFamily::Cordic,
+                                   approx::FunctionKind::Sigmoid,
+                                   fp::Format{4, 11}, 8),
+               std::invalid_argument);
+}
+
+TEST(FamilyRegistry, EverySupportedPairBuildsAtDefaultBudget) {
+  for (const approx::SweepFamily family : approx::all_sweep_families()) {
+    for (const approx::FunctionKind kind :
+         {approx::FunctionKind::Sigmoid, approx::FunctionKind::Tanh,
+          approx::FunctionKind::Exp}) {
+      if (!approx::supports(family, kind)) {
+        continue;
+      }
+      const approx::ApproximatorPtr unit =
+          approx::build_sweep(family, kind, fp::Format{4, 11}, 0);
+      ASSERT_NE(unit, nullptr) << approx::to_string(family);
+      EXPECT_EQ(unit->function(), kind);
+    }
+  }
+}
+
+TEST(FamilyRegistry, BudgetGridsAreAscendingAndNonEmpty) {
+  for (const approx::SweepFamily family : approx::all_sweep_families()) {
+    const std::vector<std::size_t> budgets = approx::sweep_budgets(family);
+    ASSERT_FALSE(budgets.empty()) << approx::to_string(family);
+    for (std::size_t i = 1; i < budgets.size(); ++i) {
+      EXPECT_LT(budgets[i - 1], budgets[i]) << approx::to_string(family);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nacu::dse

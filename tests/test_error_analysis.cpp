@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "approx/error_analysis.hpp"
 #include "approx/lut.hpp"
@@ -122,6 +123,74 @@ TEST(ErrorRegions, ExpRegionsUseNormalisedDomain) {
   // Normalised domain is [−16, 0]: |x| >= 4 covers three quarters of it.
   EXPECT_GT(regions.tail.samples, regions.steep.samples);
   EXPECT_GT(regions.steep.samples, 0u);
+}
+
+TEST(ErrorAnalysis, DegenerateSingleSegmentStillSweeps) {
+  // A one-entry LUT and a one-segment PWL are legal (useless) designs: the
+  // sweep must complete with a sane, large-but-bounded error, not crash or
+  // divide by a zero segment count.
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 1)};
+  const ErrorStats lut_stats = analyze_natural(lut);
+  EXPECT_EQ(lut_stats.samples, 65536u);
+  EXPECT_GT(lut_stats.max_abs, 0.0);
+  EXPECT_LT(lut_stats.max_abs, 1.0);  // σ spans (0, 1)
+
+  const Pwl pwl{Pwl::natural_config(FunctionKind::Sigmoid, kFmt, 1)};
+  const ErrorStats pwl_stats = analyze_natural(pwl);
+  EXPECT_EQ(pwl_stats.samples, 65536u);
+  EXPECT_LT(pwl_stats.max_abs, 1.0);
+}
+
+TEST(ErrorAnalysis, OverWideFormatsAreRejectedAtConstruction) {
+  // 1 + ib + fb must fit the 62-bit raw word; a sweep can never reach an
+  // analyze() call with a format the datapath cannot carry.
+  EXPECT_THROW(fp::Format(31, 31), std::invalid_argument);
+  EXPECT_THROW(fp::Format(60, 10), std::invalid_argument);
+  EXPECT_THROW(fp::Format(0, 62), std::invalid_argument);
+  EXPECT_NO_THROW(fp::Format(30, 31));  // exactly kMaxWidth
+}
+
+TEST(ErrorAnalysis, EmptyDomainYieldsAllZeroStats) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats = analyze(ref, 2.0, 1.0);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rmse, 0.0);
+}
+
+TEST(ErrorAnalysis, SinglePointDomainSweepsOneSample) {
+  const QuantisedReference ref{FunctionKind::Sigmoid, kFmt};
+  const ErrorStats stats = analyze(ref, 1.0, 1.0);
+  EXPECT_EQ(stats.samples, 1u);
+}
+
+TEST(ErrorAnalysis, PinnedExactValuesForLut16Sigmoid) {
+  // One fully pinned (family, config) pair: 16-entry uniform LUT of σ in
+  // Q4.11. max_abs and worst_x are exact binary fractions (EXPECT_EQ);
+  // mean/rmse accumulate libm-computed references, so they get a 1e-12
+  // envelope for cross-platform last-ulp drift.
+  const UniformLut lut{
+      UniformLut::natural_config(FunctionKind::Sigmoid, kFmt, 16)};
+  const ErrorStats stats = analyze_natural(lut);
+  EXPECT_EQ(stats.samples, 65536u);
+  EXPECT_EQ(stats.max_abs, 0.12255859375);
+  EXPECT_EQ(stats.worst_x, 0.0);
+  EXPECT_NEAR(stats.mean_abs, 0.0078287741400074676, 1e-12);
+  EXPECT_NEAR(stats.rmse, 0.020804691645411461, 1e-12);
+}
+
+TEST(Search, SingleEntryBudgetBuilds) {
+  for (const Family family :
+       {Family::Lut, Family::Ralut, Family::Pwl, Family::Nupwl}) {
+    const ApproximatorPtr a =
+        build_family(family, FunctionKind::Sigmoid, kFmt, 1);
+    ASSERT_NE(a, nullptr) << to_string(family);
+    EXPECT_GE(a->table_entries(), 1u);
+    const ErrorStats stats = analyze_natural(*a);
+    EXPECT_EQ(stats.samples, 65536u) << to_string(family);
+  }
 }
 
 TEST(Search, FamilyNames) {

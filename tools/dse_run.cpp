@@ -1,0 +1,199 @@
+// dse_run — the autotuner CLI (docs/TUNING.md walks the full workflow).
+//
+// Sweeps approximation family × size budget × Q(ib).(fb) format per
+// activation function, scores every point exhaustively (error / storage /
+// 28 nm area / power / measured throughput), prunes to the Pareto
+// frontier, prints the frontier as a human table, and writes it as a
+// nacu-dse-v1 JSON artifact that scripts/bench_compare.py can gate and
+// dse::select_from_file can boot a server from.
+//
+//   dse_run                         # full default grid -> BENCH_dse.json
+//   dse_run --quick                 # CI smoke: LUT family x two formats
+//   dse_run --select 1e-2           # also print the config a server with
+//                                   # that error budget would boot
+//
+// Flags:
+//   --out FILE          frontier output path     (default BENCH_dse.json)
+//   --all-points FILE   also dump the unpruned sweep (default off)
+//   --functions LIST    comma list of sigmoid,tanh,exp
+//   --families LIST     comma list of lut,ralut,pwl,nupwl,taylor,cordic,
+//                       parabolic,gomar
+//   --formats LIST      comma list of Q-formats, e.g. Q4.11,Q3.8
+//   --budgets LIST      override every family's size grid
+//   --nacu-entries LIST servable NACU sigma-LUT entry counts ("" disables)
+//   --select ERR        print dse::select at max_abs_error budget ERR
+//   --no-throughput     skip timing loops (deterministic output)
+//   --quick             LUT family, Q4.11+Q2.5, NACU 53 entries, no timing
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dse/dse.hpp"
+#include "dse/frontier_io.hpp"
+#include "dse/select.hpp"
+
+namespace {
+
+using nacu::dse::DsePoint;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) {
+      out.push_back(text.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+nacu::approx::FunctionKind parse_function(const std::string& name) {
+  if (name == "sigmoid") {
+    return nacu::approx::FunctionKind::Sigmoid;
+  }
+  if (name == "tanh") {
+    return nacu::approx::FunctionKind::Tanh;
+  }
+  if (name == "exp") {
+    return nacu::approx::FunctionKind::Exp;
+  }
+  std::fprintf(stderr, "dse_run: unknown function \"%s\"\n", name.c_str());
+  std::exit(2);
+}
+
+void print_frontier(const std::vector<DsePoint>& frontier) {
+  std::printf("%-8s %-10s %-7s %-22s %9s %9s %11s %11s %9s\n", "function",
+              "family", "format", "impl", "entries", "bits", "max_err",
+              "rmse", "area_um2");
+  for (const DsePoint& p : frontier) {
+    std::printf("%-8s %-10s %-7s %-22s %9zu %9zu %11.3e %11.3e %9.0f%s\n",
+                p.function.c_str(), p.family.c_str(), p.format.c_str(),
+                p.impl.c_str(), p.entries, p.storage_bits, p.max_abs_error,
+                p.rmse, p.area_um2, p.servable ? "  [servable]" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nacu::dse::SweepOptions options;
+  std::string out_path = "BENCH_dse.json";
+  std::string all_points_path;
+  double select_budget = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dse_run: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--all-points") {
+      all_points_path = next();
+    } else if (arg == "--functions") {
+      options.functions.clear();
+      for (const std::string& name : split_list(next())) {
+        options.functions.push_back(parse_function(name));
+      }
+    } else if (arg == "--families") {
+      options.families.clear();
+      for (const std::string& name : split_list(next())) {
+        options.families.push_back(nacu::approx::parse_sweep_family(name));
+      }
+    } else if (arg == "--formats") {
+      options.formats.clear();
+      for (const std::string& text : split_list(next())) {
+        options.formats.push_back(nacu::fp::Format::parse(text));
+      }
+    } else if (arg == "--budgets") {
+      options.budgets.clear();
+      for (const std::string& text : split_list(next())) {
+        options.budgets.push_back(std::strtoull(text.c_str(), nullptr, 10));
+      }
+    } else if (arg == "--nacu-entries") {
+      options.nacu_lut_entries.clear();
+      for (const std::string& text : split_list(next())) {
+        options.nacu_lut_entries.push_back(
+            std::strtoull(text.c_str(), nullptr, 10));
+      }
+    } else if (arg == "--select") {
+      select_budget = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--no-throughput") {
+      options.measure_throughput = false;
+    } else if (arg == "--quick") {
+      options.families = {nacu::approx::SweepFamily::Lut};
+      options.formats = {nacu::fp::Format{4, 11}, nacu::fp::Format{2, 5}};
+      options.nacu_lut_entries = {53};
+      options.measure_throughput = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: dse_run [--quick] [--out FILE] [--all-points FILE]\n"
+          "               [--functions L] [--families L] [--formats L]\n"
+          "               [--budgets L] [--nacu-entries L] [--select ERR]\n"
+          "               [--no-throughput]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "dse_run: unknown flag \"%s\" (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<DsePoint> points;
+  try {
+    points = nacu::dse::sweep(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dse_run: sweep failed: %s\n", e.what());
+    return 1;
+  }
+  const std::vector<DsePoint> frontier =
+      nacu::dse::pareto_frontier(points);
+
+  std::printf("swept %zu points, frontier keeps %zu\n\n", points.size(),
+              frontier.size());
+  print_frontier(frontier);
+
+  if (!all_points_path.empty() &&
+      !nacu::dse::write_frontier(points, all_points_path)) {
+    std::fprintf(stderr, "dse_run: cannot write %s\n",
+                 all_points_path.c_str());
+    return 1;
+  }
+  if (!nacu::dse::write_frontier(frontier, out_path)) {
+    std::fprintf(stderr, "dse_run: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nfrontier written to %s\n", out_path.c_str());
+
+  if (select_budget >= 0.0) {
+    nacu::dse::ErrorBudget budget;
+    budget.max_abs_error = select_budget;
+    const auto choice = nacu::dse::select(frontier, budget);
+    if (!choice) {
+      std::printf(
+          "select: no servable config meets max_abs_error <= %g\n",
+          select_budget);
+      return 3;
+    }
+    std::printf(
+        "select: %s, %zu-entry sigma LUT (storage %zu bits, %.0f um2; "
+        "max_abs sigmoid %.3e tanh %.3e exp %.3e)\n",
+        choice->format.to_string().c_str(), choice->lut_entries,
+        choice->storage_bits, choice->area_um2, choice->sigmoid_max_abs,
+        choice->tanh_max_abs, choice->exp_max_abs);
+  }
+  return 0;
+}
